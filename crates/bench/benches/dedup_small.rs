@@ -1,0 +1,62 @@
+//! Small-corpus dedup pipeline across backends — the criterion-tracked
+//! miniature of Figure 3 (the full sweeps live in the `fig3a`/`fig3b`
+//! binaries).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+
+use ad_bench::DedupSeries;
+use ad_dedup::backend::{BackendConfig, SinkTarget};
+use ad_dedup::corpus::{generate, CorpusParams};
+use ad_dedup::pipeline::{run_pipeline, PipelineConfig};
+
+fn bench_config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(400))
+}
+
+fn dedup_small(c: &mut Criterion) {
+    let corpus = Arc::new(generate(&CorpusParams::new(256 * 1024)));
+    let mut group = c.benchmark_group("dedup_256KiB");
+
+    for series in [
+        DedupSeries::Pthread,
+        DedupSeries::Stm,
+        DedupSeries::StmDeferIo,
+        DedupSeries::StmDeferAll,
+        DedupSeries::Htm,
+        DedupSeries::HtmDeferAll,
+    ] {
+        for threads in [1usize, 2] {
+            group.bench_function(format!("{}_{}t", series.label(), threads), |b| {
+                b.iter(|| {
+                    let backend = series
+                        .make_backend(BackendConfig::default(), SinkTarget::Memory)
+                        .unwrap();
+                    run_pipeline(&corpus, &PipelineConfig::tiny(threads), backend.as_ref())
+                })
+            });
+        }
+    }
+    group.finish();
+
+    // Substrate costs for context: chunking, hashing, compression.
+    c.bench_function("substrate/chunking_256KiB", |b| {
+        b.iter(|| ad_dedup::rabin::chunk_boundaries(&corpus, ad_dedup::rabin::ChunkParams::tiny()))
+    });
+    c.bench_function("substrate/sha256_64KiB", |b| {
+        b.iter(|| ad_dedup::sha256::sha256(&corpus[..64 * 1024]))
+    });
+    c.bench_function("substrate/lzss_compress_64KiB", |b| {
+        b.iter(|| ad_dedup::lzss::compress(&corpus[..64 * 1024]))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = bench_config();
+    targets = dedup_small
+}
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! The cost of atomic deferral itself — Figure 2a's single-threaded story:
+//! "atomic_defer pays a constant overhead per transaction to support
+//! rollback, even though no rollbacks occur", vs irrevocability which
+//! "serializes early, avoids instrumentation".
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use ad_defer::{atomic_defer, atomic_defer_unordered, Defer};
+use ad_stm::{Runtime, TVar, TmConfig};
+
+fn bench_config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_millis(800))
+        .warm_up_time(std::time::Duration::from_millis(300))
+}
+
+struct Obj {
+    x: TVar<u64>,
+}
+
+fn defer_overhead(c: &mut Criterion) {
+    let rt = Runtime::new(TmConfig::stm());
+    let counter = Arc::new(AtomicU64::new(0));
+
+    let v = TVar::new(0u64);
+    c.bench_function("defer/plain_tx_no_defer", |b| {
+        b.iter(|| rt.atomically(|tx| tx.modify(&v, |x| x.wrapping_add(1))))
+    });
+
+    let obj = Defer::new(Obj { x: TVar::new(0) });
+    let cnt = Arc::clone(&counter);
+    c.bench_function("defer/tx_with_atomic_defer", |b| {
+        b.iter(|| {
+            let obj2 = obj.clone();
+            let cnt2 = Arc::clone(&cnt);
+            rt.atomically(move |tx| {
+                obj2.with(tx, |o, tx| tx.modify(&o.x, |x| x.wrapping_add(1)))?;
+                let cnt3 = Arc::clone(&cnt2);
+                atomic_defer(tx, &[&obj2.clone()], move || {
+                    cnt3.fetch_add(1, Ordering::Relaxed);
+                })
+            })
+        })
+    });
+
+    let cnt = Arc::clone(&counter);
+    c.bench_function("defer/tx_with_unordered_defer", |b| {
+        b.iter(|| {
+            let cnt2 = Arc::clone(&cnt);
+            rt.atomically(move |tx| {
+                let cnt3 = Arc::clone(&cnt2);
+                atomic_defer_unordered(tx, move || {
+                    cnt3.fetch_add(1, Ordering::Relaxed);
+                })
+            })
+        })
+    });
+
+    let cnt = Arc::clone(&counter);
+    c.bench_function("defer/synchronized_equivalent", |b| {
+        b.iter(|| {
+            rt.synchronized(|tx| {
+                tx.modify(&v, |x| x.wrapping_add(1))?;
+                cnt.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            })
+        })
+    });
+
+    // Deferral with two objects (the Listing 4 durable-output shape).
+    let a = Defer::new(Obj { x: TVar::new(0) });
+    let bb = Defer::new(Obj { x: TVar::new(0) });
+    c.bench_function("defer/tx_with_two_object_defer", |b| {
+        b.iter(|| {
+            let (a2, b2) = (a.clone(), bb.clone());
+            rt.atomically(move |tx| {
+                let (a3, b3) = (a2.clone(), b2.clone());
+                atomic_defer(tx, &[&a2.clone(), &b2.clone()], move || {
+                    a3.locked().x.update_locked(|x| x.wrapping_add(1));
+                    b3.locked().x.update_locked(|x| x.wrapping_add(1));
+                })
+            })
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = bench_config();
+    targets = defer_overhead
+}
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Primitive STM operation costs: the per-transaction overhead that the
+//! paper's Figure 2a attributes to `atomic_defer` "paying a constant
+//! overhead per transaction to support rollback".
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use ad_stm::{Runtime, TVar, TmConfig};
+
+fn bench_config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_millis(800))
+        .warm_up_time(std::time::Duration::from_millis(300))
+}
+
+fn stm_ops(c: &mut Criterion) {
+    let rt = Runtime::new(TmConfig::stm());
+
+    let v = TVar::new(0u64);
+    c.bench_function("stm/read_only_tx_1var", |b| {
+        b.iter(|| rt.atomically(|tx| tx.read(&v)))
+    });
+
+    c.bench_function("stm/write_tx_1var", |b| {
+        b.iter(|| rt.atomically(|tx| tx.modify(&v, |x| x.wrapping_add(1))))
+    });
+
+    let vars: Vec<TVar<u64>> = (0..32).map(|_| TVar::new(0)).collect();
+    c.bench_function("stm/read_only_tx_32vars", |b| {
+        b.iter(|| {
+            rt.atomically(|tx| {
+                let mut sum = 0u64;
+                for v in &vars {
+                    sum = sum.wrapping_add(tx.read(v)?);
+                }
+                Ok(sum)
+            })
+        })
+    });
+
+    c.bench_function("stm/write_tx_32vars", |b| {
+        b.iter(|| {
+            rt.atomically(|tx| {
+                for v in &vars {
+                    tx.modify(v, |x| x.wrapping_add(1))?;
+                }
+                Ok(())
+            })
+        })
+    });
+
+    c.bench_function("stm/nontx_load", |b| b.iter(|| black_box(v.load())));
+    c.bench_function("stm/nontx_store", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            v.store(i);
+        })
+    });
+
+    // The non-transactional yardsticks.
+    let m = parking_lot::Mutex::new(0u64);
+    c.bench_function("baseline/mutex_increment", |b| {
+        b.iter(|| {
+            *m.lock() += 1;
+        })
+    });
+
+    let rt_nq = Runtime::new(TmConfig::stm().with_quiesce(false));
+    let v2 = TVar::new(0u64);
+    c.bench_function("stm/write_tx_1var_noquiesce", |b| {
+        b.iter(|| rt_nq.atomically(|tx| tx.modify(&v2, |x| x.wrapping_add(1))))
+    });
+
+    c.bench_function("stm/synchronized_tx", |b| {
+        b.iter(|| rt.synchronized(|tx| tx.modify(&v, |x| x.wrapping_add(1))))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = bench_config();
+    targets = stm_ops
+}
+criterion_main!(benches);

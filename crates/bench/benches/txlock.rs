@@ -1,0 +1,89 @@
+//! Transaction-friendly lock costs (paper §4.2): acquire/release cycles,
+//! subscription, and the comparison against an ordinary mutex.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use ad_defer::TxLock;
+use ad_stm::{Runtime, TmConfig};
+
+fn bench_config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_millis(800))
+        .warm_up_time(std::time::Duration::from_millis(300))
+}
+
+fn txlock(c: &mut Criterion) {
+    let rt = Runtime::new(TmConfig::stm().with_quiesce(false));
+
+    let l = TxLock::new();
+    c.bench_function("txlock/acquire_release_uncontended", |b| {
+        b.iter(|| {
+            l.acquire_now(&rt);
+            l.release_now(&rt);
+        })
+    });
+
+    c.bench_function("txlock/acquire_release_one_tx", |b| {
+        b.iter(|| {
+            rt.atomically(|tx| {
+                l.acquire(tx)?;
+                l.release(tx)
+            })
+        })
+    });
+
+    c.bench_function("txlock/reentrant_depth4", |b| {
+        b.iter(|| {
+            rt.atomically(|tx| {
+                for _ in 0..4 {
+                    l.acquire(tx)?;
+                }
+                for _ in 0..4 {
+                    l.release(tx)?;
+                }
+                Ok(())
+            })
+        })
+    });
+
+    c.bench_function("txlock/subscribe_unheld", |b| {
+        b.iter(|| rt.atomically(|tx| l.subscribe(tx)))
+    });
+
+    let locks: Vec<TxLock> = (0..8).map(|_| TxLock::new()).collect();
+    c.bench_function("txlock/acquire8_release8_one_tx", |b| {
+        b.iter(|| {
+            rt.atomically(|tx| {
+                for l in &locks {
+                    l.acquire(tx)?;
+                }
+                Ok(())
+            });
+            rt.atomically(|tx| {
+                for l in &locks {
+                    l.release(tx)?;
+                }
+                Ok(())
+            });
+        })
+    });
+
+    let m = parking_lot::Mutex::new(());
+    c.bench_function("baseline/parking_lot_lock_unlock", |b| {
+        b.iter(|| {
+            drop(m.lock());
+        })
+    });
+
+    c.bench_function("txlock/with_lock_critical_section", |b| {
+        b.iter(|| l.with_lock(&rt, || std::hint::black_box(1 + 1)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = bench_config();
+    targets = txlock
+}
+criterion_main!(benches);

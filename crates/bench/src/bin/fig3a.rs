@@ -1,0 +1,41 @@
+//! Figure 3a: PARSEC-dedup-style pipeline, 1–8 threads, all seven series
+//! (STM, HTM, ±DeferIO, ±DeferAll, Pthread).
+//!
+//! ```text
+//! cargo run --release -p ad-bench --bin fig3a [-- --size BYTES --max-threads N --csv]
+//! ```
+
+use ad_bench::{arg_flag, arg_num, make_corpus, run_dedup_cell, DedupRunParams, DedupSeries};
+use ad_workloads::{print_csv, print_time_table};
+
+fn main() {
+    let params = DedupRunParams {
+        corpus_size: arg_num("--size", 4 << 20),
+        dup_ratio: 0.5,
+        file_output: !arg_flag("--memory"),
+    };
+    let max_threads: usize = arg_num("--max-threads", 8);
+    let threads: Vec<usize> = (1..=max_threads).collect();
+
+    println!(
+        "Figure 3a: dedup pipeline, corpus {} MiB, dup_ratio {:.1}",
+        params.corpus_size >> 20,
+        params.dup_ratio
+    );
+    let corpus = make_corpus(&params);
+
+    let mut results = Vec::new();
+    for series in DedupSeries::fig3a() {
+        for &t in &threads {
+            let m = run_dedup_cell(series, t, &corpus, &params, series.label());
+            eprintln!("  {:<14} {:>2}t: {:>8.3}s  {}", m.series, t, m.secs(), m.note);
+            results.push(m);
+        }
+    }
+
+    print_time_table("Figure 3a: dedup with atomic_defer (I/O and pure functions)",
+        &threads, &results);
+    if arg_flag("--csv") {
+        print_csv(&results);
+    }
+}

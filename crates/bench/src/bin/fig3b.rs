@@ -1,0 +1,45 @@
+//! Figure 3b: dedup scalability at higher thread counts — STM baseline vs
+//! STM-Best / HTM-Best (the +DeferAll variants) vs Pthread. The paper's HTM
+//! baseline is omitted, as in the paper ("the performance of the baseline
+//! HTM is not shown").
+//!
+//! ```text
+//! cargo run --release -p ad-bench --bin fig3b [-- --size BYTES --max-threads N --csv]
+//! ```
+
+use ad_bench::{arg_flag, arg_num, make_corpus, run_dedup_cell, DedupRunParams, DedupSeries};
+use ad_workloads::{print_csv, print_time_table};
+
+fn main() {
+    let params = DedupRunParams {
+        corpus_size: arg_num("--size", 8 << 20),
+        dup_ratio: 0.5,
+        file_output: !arg_flag("--memory"),
+    };
+    let max_threads: usize = arg_num("--max-threads", 32);
+    let threads: Vec<usize> = [4usize, 8, 12, 16, 20, 24, 28, 32]
+        .into_iter()
+        .filter(|&t| t <= max_threads)
+        .collect();
+
+    println!(
+        "Figure 3b: dedup pipeline at scale, corpus {} MiB ({} hardware threads available)",
+        params.corpus_size >> 20,
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(0)
+    );
+    let corpus = make_corpus(&params);
+
+    let mut results = Vec::new();
+    for series in DedupSeries::fig3b() {
+        for &t in &threads {
+            let m = run_dedup_cell(series, t, &corpus, &params, series.fig3b_label());
+            eprintln!("  {:<10} {:>2}t: {:>8.3}s  {}", m.series, t, m.secs(), m.note);
+            results.push(m);
+        }
+    }
+
+    print_time_table("Figure 3b: dedup overall performance", &threads, &results);
+    if arg_flag("--csv") {
+        print_csv(&results);
+    }
+}

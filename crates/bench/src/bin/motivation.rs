@@ -1,0 +1,33 @@
+//! Figure 1 (motivation): quantify the quiescence stall that a long
+//! operation inside a transaction inflicts on *unrelated* transactions, and
+//! how atomic deferral removes it.
+//!
+//! T1 runs a transaction touching A, B, C followed by a long operation on C
+//! (inline vs atomically deferred); T2 (touches B) and T3 (touches only D)
+//! measure their own latency.
+//!
+//! ```text
+//! cargo run --release -p ad-bench --bin motivation [-- --ms 50 --rounds 10]
+//! ```
+
+use ad_bench::{arg_num, motivation_stalls};
+use std::time::Duration;
+
+fn main() {
+    let ms: u64 = arg_num("--ms", 50);
+    let rounds: usize = arg_num("--rounds", 10);
+    let long_op = Duration::from_millis(ms);
+
+    println!("Figure 1 scenario: long operation = {ms}ms, {rounds} rounds");
+    let (inline_stall, deferred_stall) = motivation_stalls(long_op, rounds);
+
+    println!("\n| configuration | mean stall of unrelated transactions |");
+    println!("|---|---|");
+    println!("| long op inside transaction | {:.1}ms |", inline_stall.as_secs_f64() * 1e3);
+    println!("| long op atomically deferred | {:.1}ms |", deferred_stall.as_secs_f64() * 1e3);
+    println!(
+        "\nDeferral reduced the stall by {:.0}x (paper Figure 1: T2/T3 stop \
+         waiting for T1's long operation on C).",
+        inline_stall.as_secs_f64() / deferred_stall.as_secs_f64().max(1e-9)
+    );
+}

@@ -1,0 +1,118 @@
+//! A striped transactional counter.
+//!
+//! A single `TVar<u64>` counter makes every incrementing transaction
+//! conflict with every other. Striping the count over N slots (each its own
+//! `TVar`, picked per-thread) removes the hot spot; reading the total scans
+//! all stripes (and conflicts with everything — totals are for
+//! low-frequency use, exactly like `LongAdder`-style counters).
+
+use ad_stm::{StmResult, TVar, Tx};
+
+/// A transactional counter striped over several `TVar`s.
+pub struct TCounter {
+    stripes: Vec<TVar<u64>>,
+}
+
+impl TCounter {
+    /// A counter with the default stripe count (16).
+    pub fn new() -> Self {
+        TCounter::with_stripes(16)
+    }
+
+    /// A counter with `n` stripes (≥1).
+    pub fn with_stripes(n: usize) -> Self {
+        TCounter {
+            stripes: (0..n.max(1)).map(|_| TVar::new(0)).collect(),
+        }
+    }
+
+    fn my_stripe(&self) -> &TVar<u64> {
+        // Cheap per-thread stripe choice: hash a stack address allocated
+        // once per thread.
+        thread_local! {
+            static TAG: u8 = const { 0 };
+        }
+        let idx = TAG.with(|t| t as *const u8 as usize);
+        &self.stripes[(idx >> 4) % self.stripes.len()]
+    }
+
+    /// Add `delta` to the counter.
+    pub fn add(&self, tx: &mut Tx, delta: u64) -> StmResult<()> {
+        let s = self.my_stripe();
+        let v = tx.read(s)?;
+        tx.write(s, v + delta)
+    }
+
+    /// Increment by one.
+    pub fn incr(&self, tx: &mut Tx) -> StmResult<()> {
+        self.add(tx, 1)
+    }
+
+    /// Read the exact total (conflicts with all increments).
+    pub fn total(&self, tx: &mut Tx) -> StmResult<u64> {
+        let mut sum = 0;
+        for s in &self.stripes {
+            sum += tx.read(s)?;
+        }
+        Ok(sum)
+    }
+
+    /// Non-transactional approximate total (per-stripe consistent reads;
+    /// may tear across stripes).
+    pub fn total_approx(&self) -> u64 {
+        self.stripes.iter().map(|s| s.load()).sum()
+    }
+}
+
+impl Default for TCounter {
+    fn default() -> Self {
+        TCounter::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ad_stm::atomically;
+
+    #[test]
+    fn increments_accumulate() {
+        let c = TCounter::new();
+        for _ in 0..100 {
+            atomically(|tx| c.incr(tx));
+        }
+        assert_eq!(atomically(|tx| c.total(tx)), 100);
+        assert_eq!(c.total_approx(), 100);
+    }
+
+    #[test]
+    fn add_arbitrary_deltas() {
+        let c = TCounter::with_stripes(4);
+        atomically(|tx| c.add(tx, 10));
+        atomically(|tx| c.add(tx, 32));
+        assert_eq!(atomically(|tx| c.total(tx)), 42);
+    }
+
+    #[test]
+    fn concurrent_increments_are_exact() {
+        let c = std::sync::Arc::new(TCounter::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = std::sync::Arc::clone(&c);
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        atomically(|tx| c.incr(tx));
+                    }
+                });
+            }
+        });
+        assert_eq!(atomically(|tx| c.total(tx)), 4000);
+    }
+
+    #[test]
+    fn single_stripe_still_works() {
+        let c = TCounter::with_stripes(1);
+        atomically(|tx| c.add(tx, 7));
+        assert_eq!(atomically(|tx| c.total(tx)), 7);
+    }
+}

@@ -1,0 +1,48 @@
+//! # ad-collections — transactional collections over `ad-stm`
+//!
+//! The data-structure layer the paper's introduction motivates TM with
+//! ("TM is particularly appealing for data structures ... e.g. the
+//! rebalancing operations of a red-black tree"): composable containers
+//! whose operations run inside transactions, combine with arbitrary other
+//! transactional state, block with `retry`, and can hand long-running work
+//! to `atomic_defer`.
+//!
+//! | type | conflict granularity | notes |
+//! |---|---|---|
+//! | [`TStack<T>`] | whole stack | persistent list, O(1) ops |
+//! | [`TQueue<T>`] | ends mostly independent | Okasaki two-list queue |
+//! | [`TMap<K,V>`] | per bucket | the dedup fingerprint-table idiom, generalized |
+//! | [`TTreeMap<K,V>`] | readers free, writers on root | persistent AVL, pure-code rebalancing |
+//! | [`TCounter`] | per stripe | `LongAdder`-style striped counter |
+//!
+//! ```
+//! use ad_stm::atomically;
+//! use ad_collections::{TMap, TQueue};
+//!
+//! let index: TMap<String, u64> = TMap::new();
+//! let work: TQueue<String> = TQueue::new();
+//!
+//! // One transaction updates both structures atomically.
+//! atomically(|tx| {
+//!     index.insert(tx, "job-1".into(), 42)?;
+//!     work.push(tx, "job-1".into())
+//! });
+//! assert_eq!(atomically(|tx| work.pop(tx)), Some("job-1".to_string()));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod counter;
+pub mod list;
+mod map;
+mod queue;
+mod stack;
+mod tree;
+
+pub use counter::TCounter;
+pub use list::List;
+pub use map::TMap;
+pub use queue::TQueue;
+pub use stack::TStack;
+pub use tree::TTreeMap;

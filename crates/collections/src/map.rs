@@ -1,0 +1,272 @@
+//! A transactional hash map with per-bucket conflict granularity — the
+//! generalized form of the fingerprint table the dedup backend needed.
+//!
+//! Each bucket is one `TVar` holding an immutable association list:
+//! operations on different buckets never conflict, so the map scales like a
+//! lock-striped table while remaining fully composable (a transaction can
+//! update several maps and other TVars atomically).
+
+use std::any::Any;
+use std::hash::{BuildHasher, BuildHasherDefault, Hash, Hasher};
+use std::sync::Arc;
+
+use ad_stm::internals::FxHashMap;
+use ad_stm::{StmResult, TVar, Tx};
+
+type Fx = BuildHasherDefault<crate::map::DefaultHasherShim>;
+
+/// Hasher shim so we don't re-export ad-stm's internal hasher type in the
+/// public API (the map is generic over nothing but its key/value types).
+#[derive(Default, Clone)]
+pub struct DefaultHasherShim(std::collections::hash_map::DefaultHasher);
+
+impl Hasher for DefaultHasherShim {
+    fn finish(&self) -> u64 {
+        self.0.finish()
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        self.0.write(bytes)
+    }
+}
+
+/// One bucket: an immutable snapshot of its entries.
+type Bucket<K, V> = Arc<Vec<(K, V)>>;
+
+/// A transactional hash map.
+pub struct TMap<K, V> {
+    buckets: Vec<TVar<Bucket<K, V>>>,
+    hasher: Fx,
+}
+
+impl<K, V> TMap<K, V>
+where
+    K: Any + Send + Sync + Clone + Eq + Hash,
+    V: Any + Send + Sync + Clone,
+{
+    /// A map with the default bucket count (256).
+    pub fn new() -> Self {
+        TMap::with_buckets(256)
+    }
+
+    /// A map with `buckets` buckets (rounded up to a power of two).
+    pub fn with_buckets(buckets: usize) -> Self {
+        let n = buckets.next_power_of_two().max(1);
+        TMap {
+            buckets: (0..n).map(|_| TVar::new(Arc::new(Vec::new()))).collect(),
+            hasher: Fx::default(),
+        }
+    }
+
+    fn bucket(&self, key: &K) -> &TVar<Bucket<K, V>> {
+        let h = self.hasher.hash_one(key);
+        &self.buckets[(h as usize) & (self.buckets.len() - 1)]
+    }
+
+    /// Look up `key`.
+    pub fn get(&self, tx: &mut Tx, key: &K) -> StmResult<Option<V>> {
+        let bucket = tx.read(self.bucket(key))?;
+        Ok(bucket.iter().find(|(k, _)| k == key).map(|(_, v)| v.clone()))
+    }
+
+    /// Insert or replace; returns the previous value.
+    pub fn insert(&self, tx: &mut Tx, key: K, value: V) -> StmResult<Option<V>> {
+        let var = self.bucket(&key);
+        let bucket = tx.read(var)?;
+        let mut next: Vec<(K, V)> = Vec::with_capacity(bucket.len() + 1);
+        let mut prev = None;
+        for (k, v) in bucket.iter() {
+            if *k == key {
+                prev = Some(v.clone());
+            } else {
+                next.push((k.clone(), v.clone()));
+            }
+        }
+        next.push((key, value));
+        tx.write(var, Arc::new(next))?;
+        Ok(prev)
+    }
+
+    /// Insert only if absent; returns the winning value (existing or new)
+    /// and whether this call inserted it — the dedup `lookup_or_reserve`
+    /// idiom.
+    pub fn get_or_insert_with(
+        &self,
+        tx: &mut Tx,
+        key: K,
+        make: impl FnOnce() -> V,
+    ) -> StmResult<(V, bool)> {
+        if let Some(v) = self.get(tx, &key)? {
+            return Ok((v, false));
+        }
+        let v = make();
+        self.insert(tx, key, v.clone())?;
+        Ok((v, true))
+    }
+
+    /// Remove `key`; returns the removed value.
+    pub fn remove(&self, tx: &mut Tx, key: &K) -> StmResult<Option<V>> {
+        let var = self.bucket(key);
+        let bucket = tx.read(var)?;
+        if !bucket.iter().any(|(k, _)| k == key) {
+            return Ok(None);
+        }
+        let mut removed = None;
+        let next: Vec<(K, V)> = bucket
+            .iter()
+            .filter_map(|(k, v)| {
+                if k == key {
+                    removed = Some(v.clone());
+                    None
+                } else {
+                    Some((k.clone(), v.clone()))
+                }
+            })
+            .collect();
+        tx.write(var, Arc::new(next))?;
+        Ok(removed)
+    }
+
+    /// Does the map contain `key`?
+    pub fn contains_key(&self, tx: &mut Tx, key: &K) -> StmResult<bool> {
+        Ok(self.get(tx, key)?.is_some())
+    }
+
+    /// Total entry count (reads every bucket — a full-map conflict; use
+    /// sparingly or keep a [`TCounter`](crate::TCounter) alongside).
+    pub fn len(&self, tx: &mut Tx) -> StmResult<usize> {
+        let mut n = 0;
+        for b in &self.buckets {
+            n += tx.read(b)?.len();
+        }
+        Ok(n)
+    }
+
+    /// Is the map empty? (Reads every bucket.)
+    pub fn is_empty(&self, tx: &mut Tx) -> StmResult<bool> {
+        Ok(self.len(tx)? == 0)
+    }
+
+    /// Snapshot all entries (reads every bucket).
+    pub fn entries(&self, tx: &mut Tx) -> StmResult<Vec<(K, V)>> {
+        let mut out = Vec::new();
+        for b in &self.buckets {
+            out.extend(tx.read(b)?.iter().cloned());
+        }
+        Ok(out)
+    }
+
+    /// Non-transactional consistent-per-bucket snapshot into a standard
+    /// map (diagnostics; buckets are read one at a time).
+    pub fn snapshot(&self) -> FxHashMap<u64, usize> {
+        let mut sizes = FxHashMap::default();
+        for (i, b) in self.buckets.iter().enumerate() {
+            sizes.insert(i as u64, b.load().len());
+        }
+        sizes
+    }
+}
+
+impl<K, V> Default for TMap<K, V>
+where
+    K: Any + Send + Sync + Clone + Eq + Hash,
+    V: Any + Send + Sync + Clone,
+{
+    fn default() -> Self {
+        TMap::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ad_stm::atomically;
+
+    #[test]
+    fn insert_get_remove() {
+        let m: TMap<String, u32> = TMap::new();
+        atomically(|tx| m.insert(tx, "a".into(), 1));
+        assert_eq!(atomically(|tx| m.get(tx, &"a".to_string())), Some(1));
+        assert_eq!(
+            atomically(|tx| m.insert(tx, "a".into(), 2)),
+            Some(1),
+            "insert must return previous"
+        );
+        assert_eq!(atomically(|tx| m.remove(tx, &"a".to_string())), Some(2));
+        assert_eq!(atomically(|tx| m.get(tx, &"a".to_string())), None);
+    }
+
+    #[test]
+    fn get_or_insert_with_reserves_once() {
+        let m: TMap<u32, u32> = TMap::new();
+        let (v, inserted) = atomically(|tx| m.get_or_insert_with(tx, 7, || 70));
+        assert_eq!((v, inserted), (70, true));
+        let (v, inserted) = atomically(|tx| m.get_or_insert_with(tx, 7, || 700));
+        assert_eq!((v, inserted), (70, false));
+    }
+
+    #[test]
+    fn many_keys_roundtrip() {
+        let m: TMap<u32, u32> = TMap::with_buckets(32);
+        atomically(|tx| {
+            for i in 0..500 {
+                m.insert(tx, i, i * 2)?;
+            }
+            Ok(())
+        });
+        assert_eq!(atomically(|tx| m.len(tx)), 500);
+        for i in 0..500 {
+            assert_eq!(atomically(|tx| m.get(tx, &i)), Some(i * 2));
+        }
+    }
+
+    #[test]
+    fn concurrent_disjoint_inserts_all_land() {
+        let m: std::sync::Arc<TMap<u64, u64>> = std::sync::Arc::new(TMap::new());
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let m = std::sync::Arc::clone(&m);
+                s.spawn(move || {
+                    for i in 0..250u64 {
+                        let k = t * 1000 + i;
+                        atomically(|tx| m.insert(tx, k, k));
+                    }
+                });
+            }
+        });
+        assert_eq!(atomically(|tx| m.len(tx)), 1000);
+    }
+
+    #[test]
+    fn concurrent_get_or_insert_single_winner() {
+        // All threads race to reserve the same key; exactly one wins.
+        let m: std::sync::Arc<TMap<u8, u64>> = std::sync::Arc::new(TMap::new());
+        let winners = std::sync::atomic::AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let m = std::sync::Arc::clone(&m);
+                let winners = &winners;
+                s.spawn(move || {
+                    let (_, inserted) =
+                        atomically(|tx| m.get_or_insert_with(tx, 1, || t));
+                    if inserted {
+                        winners.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert_eq!(winners.load(std::sync::atomic::Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn atomic_move_between_maps() {
+        let a: TMap<u32, u32> = TMap::new();
+        let b: TMap<u32, u32> = TMap::new();
+        atomically(|tx| a.insert(tx, 1, 10));
+        atomically(|tx| {
+            let v = a.remove(tx, &1)?.expect("present");
+            b.insert(tx, 1, v)
+        });
+        assert_eq!(atomically(|tx| a.get(tx, &1)), None);
+        assert_eq!(atomically(|tx| b.get(tx, &1)), Some(10));
+    }
+}

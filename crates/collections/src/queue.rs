@@ -1,0 +1,187 @@
+//! A transactional FIFO queue (Okasaki's two-list design).
+//!
+//! Enqueues touch only `back`; dequeues touch only `front` except when the
+//! front runs dry and the back is reversed across. Producers and consumers
+//! therefore usually do **not** conflict with each other — unlike a naive
+//! `TVar<VecDeque>` — which is what makes this the right STM queue.
+
+use std::any::Any;
+
+use ad_stm::{StmResult, TVar, Tx};
+
+use crate::list::List;
+
+/// A FIFO queue whose operations compose inside transactions.
+pub struct TQueue<T> {
+    front: TVar<List<T>>,
+    back: TVar<List<T>>,
+}
+
+impl<T: Any + Send + Sync + Clone> TQueue<T> {
+    /// New empty queue.
+    pub fn new() -> Self {
+        TQueue {
+            front: TVar::new(List::new()),
+            back: TVar::new(List::new()),
+        }
+    }
+
+    /// Enqueue at the tail.
+    pub fn push(&self, tx: &mut Tx, value: T) -> StmResult<()> {
+        let back = tx.read(&self.back)?;
+        tx.write(&self.back, back.push_front(value))
+    }
+
+    /// Dequeue from the head, `None` when empty.
+    pub fn pop(&self, tx: &mut Tx) -> StmResult<Option<T>> {
+        let front = tx.read(&self.front)?;
+        if let Some((v, rest)) = front.pop_front() {
+            let v = v.clone();
+            tx.write(&self.front, rest)?;
+            return Ok(Some(v));
+        }
+        // Front empty: reverse the back across.
+        let back = tx.read(&self.back)?;
+        let reversed = back.reversed();
+        match reversed.pop_front() {
+            Some((v, rest)) => {
+                let v = v.clone();
+                tx.write(&self.front, rest)?;
+                tx.write(&self.back, List::new())?;
+                Ok(Some(v))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Dequeue, blocking (via `retry`) while the queue is empty.
+    pub fn pop_blocking(&self, tx: &mut Tx) -> StmResult<T> {
+        match self.pop(tx)? {
+            Some(v) => Ok(v),
+            None => tx.retry(),
+        }
+    }
+
+    /// Number of elements (O(n)).
+    pub fn len(&self, tx: &mut Tx) -> StmResult<usize> {
+        Ok(tx.read(&self.front)?.len() + tx.read(&self.back)?.len())
+    }
+
+    /// Is the queue empty?
+    pub fn is_empty(&self, tx: &mut Tx) -> StmResult<bool> {
+        Ok(tx.read(&self.front)?.is_empty() && tx.read(&self.back)?.is_empty())
+    }
+}
+
+impl<T: Any + Send + Sync + Clone> Default for TQueue<T> {
+    fn default() -> Self {
+        TQueue::new()
+    }
+}
+
+impl<T> Clone for TQueue<T> {
+    fn clone(&self) -> Self {
+        TQueue {
+            front: self.front.clone(),
+            back: self.back.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ad_stm::atomically;
+
+    #[test]
+    fn fifo_order() {
+        let q = TQueue::new();
+        atomically(|tx| {
+            for i in 0..10 {
+                q.push(tx, i)?;
+            }
+            Ok(())
+        });
+        let mut out = Vec::new();
+        while let Some(v) = atomically(|tx| q.pop(tx)) {
+            out.push(v);
+        }
+        assert_eq!(out, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn interleaved_push_pop_keeps_order() {
+        let q = TQueue::new();
+        atomically(|tx| {
+            q.push(tx, 1)?;
+            q.push(tx, 2)
+        });
+        assert_eq!(atomically(|tx| q.pop(tx)), Some(1));
+        atomically(|tx| {
+            q.push(tx, 3)?;
+            q.push(tx, 4)
+        });
+        assert_eq!(atomically(|tx| q.pop(tx)), Some(2));
+        assert_eq!(atomically(|tx| q.pop(tx)), Some(3));
+        assert_eq!(atomically(|tx| q.pop(tx)), Some(4));
+        assert_eq!(atomically(|tx| q.pop(tx)), None);
+    }
+
+    #[test]
+    fn spsc_pipeline_delivers_everything_in_order() {
+        let q = TQueue::new();
+        let q2 = q.clone();
+        let consumer = std::thread::spawn(move || {
+            let mut got = Vec::new();
+            for _ in 0..500u32 {
+                got.push(atomically(|tx| q2.pop_blocking(tx)));
+            }
+            got
+        });
+        for i in 0..500u32 {
+            atomically(|tx| q.push(tx, i));
+        }
+        assert_eq!(consumer.join().unwrap(), (0..500).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn mpmc_conserves_items() {
+        let q = TQueue::new();
+        let produced: u64 = 4 * 200;
+        let consumed = std::sync::atomic::AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let q = q.clone();
+                s.spawn(move || {
+                    for i in 0..200u64 {
+                        atomically(|tx| q.push(tx, t * 1000 + i));
+                    }
+                });
+            }
+            for _ in 0..4 {
+                let q = q.clone();
+                let consumed = &consumed;
+                s.spawn(move || {
+                    for _ in 0..200 {
+                        atomically(|tx| q.pop_blocking(tx));
+                        consumed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert_eq!(consumed.load(std::sync::atomic::Ordering::Relaxed), produced);
+        assert!(atomically(|tx| q.is_empty(tx)));
+    }
+
+    #[test]
+    fn len_spans_both_lists() {
+        let q = TQueue::new();
+        atomically(|tx| {
+            q.push(tx, 1)?;
+            q.push(tx, 2)
+        });
+        atomically(|tx| q.pop(tx)); // forces the reversal
+        atomically(|tx| q.push(tx, 3));
+        assert_eq!(atomically(|tx| q.len(tx)), 2);
+    }
+}

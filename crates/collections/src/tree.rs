@@ -1,0 +1,421 @@
+//! A transactional ordered map — the red-black-tree-shaped workload the
+//! paper's introduction motivates TM with ("the rebalancing operations of a
+//! red-black tree mutation" are what make lock-based versions hard).
+//!
+//! Representation: a persistent AVL tree of `Arc` nodes behind a single
+//! `TVar` root. Mutations path-copy O(log n) nodes and swing the root;
+//! rebalancing is ordinary pure code — no hand-over-hand locking, no lock
+//! order. Readers never conflict with each other; writers conflict on the
+//! root (the price of a totally ordered structure in any STM with
+//! variable-granularity conflicts).
+
+use std::any::Any;
+use std::sync::Arc;
+
+use ad_stm::{StmResult, TVar, Tx};
+
+type Link<K, V> = Option<Arc<Node<K, V>>>;
+
+struct Node<K, V> {
+    key: K,
+    value: V,
+    height: u32,
+    size: usize,
+    left: Link<K, V>,
+    right: Link<K, V>,
+}
+
+fn height<K, V>(n: &Link<K, V>) -> u32 {
+    n.as_deref().map_or(0, |n| n.height)
+}
+
+fn size<K, V>(n: &Link<K, V>) -> usize {
+    n.as_deref().map_or(0, |n| n.size)
+}
+
+fn mk<K: Clone, V: Clone>(key: K, value: V, left: Link<K, V>, right: Link<K, V>) -> Link<K, V> {
+    Some(Arc::new(Node {
+        height: 1 + height(&left).max(height(&right)),
+        size: 1 + size(&left) + size(&right),
+        key,
+        value,
+        left,
+        right,
+    }))
+}
+
+fn balance_factor<K, V>(n: &Node<K, V>) -> i32 {
+    height(&n.left) as i32 - height(&n.right) as i32
+}
+
+/// Rebuild `n` with AVL rebalancing applied (the "hard part" of ordered
+/// containers that TM makes composable).
+fn balance<K: Clone, V: Clone>(key: K, value: V, left: Link<K, V>, right: Link<K, V>) -> Link<K, V> {
+    let bf = height(&left) as i32 - height(&right) as i32;
+    if bf > 1 {
+        let l = left.as_deref().expect("left-heavy implies left child");
+        if balance_factor(l) >= 0 {
+            // Right rotation.
+            let new_right = mk(key, value, l.right.clone(), right);
+            return mk(l.key.clone(), l.value.clone(), l.left.clone(), new_right);
+        }
+        // Left-right rotation.
+        let lr = l.right.as_deref().expect("LR rotation needs left.right");
+        let new_left = mk(l.key.clone(), l.value.clone(), l.left.clone(), lr.left.clone());
+        let new_right = mk(key, value, lr.right.clone(), right);
+        return mk(lr.key.clone(), lr.value.clone(), new_left, new_right);
+    }
+    if bf < -1 {
+        let r = right.as_deref().expect("right-heavy implies right child");
+        if balance_factor(r) <= 0 {
+            // Left rotation.
+            let new_left = mk(key, value, left, r.left.clone());
+            return mk(r.key.clone(), r.value.clone(), new_left, r.right.clone());
+        }
+        // Right-left rotation.
+        let rl = r.left.as_deref().expect("RL rotation needs right.left");
+        let new_left = mk(key, value, left, rl.left.clone());
+        let new_right = mk(r.key.clone(), r.value.clone(), rl.right.clone(), r.right.clone());
+        return mk(rl.key.clone(), rl.value.clone(), new_left, new_right);
+    }
+    mk(key, value, left, right)
+}
+
+fn insert_at<K: Ord + Clone, V: Clone>(
+    link: &Link<K, V>,
+    key: K,
+    value: V,
+) -> (Link<K, V>, Option<V>) {
+    match link.as_deref() {
+        None => (mk(key, value, None, None), None),
+        Some(n) => match key.cmp(&n.key) {
+            std::cmp::Ordering::Equal => (
+                mk(key, value, n.left.clone(), n.right.clone()),
+                Some(n.value.clone()),
+            ),
+            std::cmp::Ordering::Less => {
+                let (l, prev) = insert_at(&n.left, key, value);
+                (balance(n.key.clone(), n.value.clone(), l, n.right.clone()), prev)
+            }
+            std::cmp::Ordering::Greater => {
+                let (r, prev) = insert_at(&n.right, key, value);
+                (balance(n.key.clone(), n.value.clone(), n.left.clone(), r), prev)
+            }
+        },
+    }
+}
+
+/// Remove and return the minimum node's (key, value) with the remaining
+/// subtree.
+fn take_min<K: Ord + Clone, V: Clone>(link: &Link<K, V>) -> Option<((K, V), Link<K, V>)> {
+    let n = link.as_deref()?;
+    match take_min(&n.left) {
+        None => Some(((n.key.clone(), n.value.clone()), n.right.clone())),
+        Some((min, rest)) => Some((
+            min,
+            balance(n.key.clone(), n.value.clone(), rest, n.right.clone()),
+        )),
+    }
+}
+
+fn remove_at<K: Ord + Clone, V: Clone>(link: &Link<K, V>, key: &K) -> (Link<K, V>, Option<V>) {
+    match link.as_deref() {
+        None => (None, None),
+        Some(n) => match key.cmp(&n.key) {
+            std::cmp::Ordering::Less => {
+                let (l, removed) = remove_at(&n.left, key);
+                if removed.is_none() {
+                    return (link.clone(), None);
+                }
+                (balance(n.key.clone(), n.value.clone(), l, n.right.clone()), removed)
+            }
+            std::cmp::Ordering::Greater => {
+                let (r, removed) = remove_at(&n.right, key);
+                if removed.is_none() {
+                    return (link.clone(), None);
+                }
+                (balance(n.key.clone(), n.value.clone(), n.left.clone(), r), removed)
+            }
+            std::cmp::Ordering::Equal => {
+                let removed = Some(n.value.clone());
+                let merged = match take_min(&n.right) {
+                    None => n.left.clone(),
+                    Some(((k, v), rest)) => balance(k, v, n.left.clone(), rest),
+                };
+                (merged, removed)
+            }
+        },
+    }
+}
+
+fn get_at<'a, K: Ord, V>(mut link: &'a Link<K, V>, key: &K) -> Option<&'a V> {
+    while let Some(n) = link.as_deref() {
+        match key.cmp(&n.key) {
+            std::cmp::Ordering::Equal => return Some(&n.value),
+            std::cmp::Ordering::Less => link = &n.left,
+            std::cmp::Ordering::Greater => link = &n.right,
+        }
+    }
+    None
+}
+
+fn collect_in_order<K: Clone, V: Clone>(link: &Link<K, V>, out: &mut Vec<(K, V)>) {
+    if let Some(n) = link.as_deref() {
+        collect_in_order(&n.left, out);
+        out.push((n.key.clone(), n.value.clone()));
+        collect_in_order(&n.right, out);
+    }
+}
+
+/// A transactional ordered map (persistent AVL behind a `TVar` root).
+pub struct TTreeMap<K, V> {
+    root: TVar<Link<K, V>>,
+}
+
+impl<K, V> TTreeMap<K, V>
+where
+    K: Any + Send + Sync + Clone + Ord,
+    V: Any + Send + Sync + Clone,
+{
+    /// New empty map.
+    pub fn new() -> Self {
+        TTreeMap {
+            root: TVar::new(None),
+        }
+    }
+
+    /// Look up `key`.
+    pub fn get(&self, tx: &mut Tx, key: &K) -> StmResult<Option<V>> {
+        let root = tx.read(&self.root)?;
+        Ok(get_at(&root, key).cloned())
+    }
+
+    /// Insert or replace; returns the previous value.
+    pub fn insert(&self, tx: &mut Tx, key: K, value: V) -> StmResult<Option<V>> {
+        let root = tx.read(&self.root)?;
+        let (next, prev) = insert_at(&root, key, value);
+        tx.write(&self.root, next)?;
+        Ok(prev)
+    }
+
+    /// Remove `key`; returns the removed value.
+    pub fn remove(&self, tx: &mut Tx, key: &K) -> StmResult<Option<V>> {
+        let root = tx.read(&self.root)?;
+        let (next, removed) = remove_at(&root, key);
+        if removed.is_some() {
+            tx.write(&self.root, next)?;
+        }
+        Ok(removed)
+    }
+
+    /// Entry count (O(1): sizes are cached in the nodes).
+    pub fn len(&self, tx: &mut Tx) -> StmResult<usize> {
+        Ok(size(&tx.read(&self.root)?))
+    }
+
+    /// Is the map empty?
+    pub fn is_empty(&self, tx: &mut Tx) -> StmResult<bool> {
+        Ok(self.len(tx)? == 0)
+    }
+
+    /// Smallest key, if any.
+    pub fn min_key(&self, tx: &mut Tx) -> StmResult<Option<K>> {
+        let root = tx.read(&self.root)?;
+        let mut link = &root;
+        let mut best = None;
+        while let Some(n) = link.as_deref() {
+            best = Some(n.key.clone());
+            link = &n.left;
+        }
+        Ok(best)
+    }
+
+    /// All entries in key order.
+    pub fn entries(&self, tx: &mut Tx) -> StmResult<Vec<(K, V)>> {
+        let root = tx.read(&self.root)?;
+        let mut out = Vec::with_capacity(size(&root));
+        collect_in_order(&root, &mut out);
+        Ok(out)
+    }
+
+    #[cfg(test)]
+    fn assert_balanced(&self) {
+        fn check<K, V>(link: &Link<K, V>) -> u32 {
+            match link.as_deref() {
+                None => 0,
+                Some(n) => {
+                    let hl = check(&n.left);
+                    let hr = check(&n.right);
+                    assert!(
+                        (hl as i32 - hr as i32).abs() <= 1,
+                        "AVL invariant violated"
+                    );
+                    assert_eq!(n.height, 1 + hl.max(hr), "cached height wrong");
+                    assert_eq!(
+                        n.size,
+                        1 + size(&n.left) + size(&n.right),
+                        "cached size wrong"
+                    );
+                    n.height
+                }
+            }
+        }
+        check(&self.root.load());
+    }
+}
+
+impl<K, V> Default for TTreeMap<K, V>
+where
+    K: Any + Send + Sync + Clone + Ord,
+    V: Any + Send + Sync + Clone,
+{
+    fn default() -> Self {
+        TTreeMap::new()
+    }
+}
+
+impl<K, V> Clone for TTreeMap<K, V> {
+    fn clone(&self) -> Self {
+        TTreeMap {
+            root: self.root.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ad_stm::atomically;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let t: TTreeMap<u32, String> = TTreeMap::new();
+        atomically(|tx| t.insert(tx, 2, "two".into()));
+        atomically(|tx| t.insert(tx, 1, "one".into()));
+        atomically(|tx| t.insert(tx, 3, "three".into()));
+        assert_eq!(atomically(|tx| t.get(tx, &2)).as_deref(), Some("two"));
+        assert_eq!(atomically(|tx| t.len(tx)), 3);
+        assert_eq!(
+            atomically(|tx| t.remove(tx, &2)).as_deref(),
+            Some("two")
+        );
+        assert_eq!(atomically(|tx| t.get(tx, &2)), None);
+        assert_eq!(atomically(|tx| t.len(tx)), 2);
+        t.assert_balanced();
+    }
+
+    #[test]
+    fn stays_balanced_under_sequential_inserts() {
+        let t: TTreeMap<u32, u32> = TTreeMap::new();
+        atomically(|tx| {
+            for i in 0..1000 {
+                t.insert(tx, i, i)?;
+            }
+            Ok(())
+        });
+        t.assert_balanced();
+        assert_eq!(atomically(|tx| t.len(tx)), 1000);
+        assert_eq!(atomically(|tx| t.min_key(tx)), Some(0));
+    }
+
+    #[test]
+    fn entries_are_sorted() {
+        let t: TTreeMap<i32, i32> = TTreeMap::new();
+        let keys = [5, 1, 9, 3, 7, 2, 8, 4, 6, 0];
+        atomically(|tx| {
+            for &k in &keys {
+                t.insert(tx, k, -k)?;
+            }
+            Ok(())
+        });
+        let entries = atomically(|tx| t.entries(tx));
+        let got_keys: Vec<i32> = entries.iter().map(|(k, _)| *k).collect();
+        assert_eq!(got_keys, (0..10).collect::<Vec<_>>());
+        t.assert_balanced();
+    }
+
+    #[test]
+    fn remove_all_in_random_order() {
+        let t: TTreeMap<u32, u32> = TTreeMap::new();
+        atomically(|tx| {
+            for i in 0..200 {
+                t.insert(tx, i, i)?;
+            }
+            Ok(())
+        });
+        // Remove in a scrambled order.
+        let mut order: Vec<u32> = (0..200).collect();
+        let mut seed = 12345u64;
+        for i in (1..order.len()).rev() {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            order.swap(i, (seed as usize) % (i + 1));
+        }
+        for k in order {
+            assert_eq!(atomically(|tx| t.remove(tx, &k)), Some(k));
+            t.assert_balanced();
+        }
+        assert!(atomically(|tx| t.is_empty(tx)));
+    }
+
+    #[test]
+    fn insert_returns_previous() {
+        let t: TTreeMap<u8, u8> = TTreeMap::new();
+        assert_eq!(atomically(|tx| t.insert(tx, 1, 10)), None);
+        assert_eq!(atomically(|tx| t.insert(tx, 1, 11)), Some(10));
+        assert_eq!(atomically(|tx| t.len(tx)), 1);
+    }
+
+    #[test]
+    fn concurrent_inserts_conserve_all_keys() {
+        let t: std::sync::Arc<TTreeMap<u64, u64>> = std::sync::Arc::new(TTreeMap::new());
+        std::thread::scope(|s| {
+            for thr in 0..4u64 {
+                let t = std::sync::Arc::clone(&t);
+                s.spawn(move || {
+                    for i in 0..100u64 {
+                        let k = thr * 1000 + i;
+                        atomically(|tx| t.insert(tx, k, k));
+                    }
+                });
+            }
+        });
+        assert_eq!(atomically(|tx| t.len(tx)), 400);
+        t.assert_balanced();
+    }
+
+    #[test]
+    fn readers_see_consistent_snapshots_under_writers() {
+        // Writers keep the invariant: key k present iff key k+1000 present.
+        let t: std::sync::Arc<TTreeMap<u64, u64>> = std::sync::Arc::new(TTreeMap::new());
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        std::thread::scope(|s| {
+            let (t2, stop2) = (std::sync::Arc::clone(&t), std::sync::Arc::clone(&stop));
+            s.spawn(move || {
+                let mut k = 0u64;
+                while !stop2.load(std::sync::atomic::Ordering::Relaxed) {
+                    k = (k + 1) % 100;
+                    atomically(|tx| {
+                        if t2.get(tx, &k)?.is_some() {
+                            t2.remove(tx, &k)?;
+                            t2.remove(tx, &(k + 1000))?;
+                        } else {
+                            t2.insert(tx, k, k)?;
+                            t2.insert(tx, k + 1000, k)?;
+                        }
+                        Ok(())
+                    });
+                }
+            });
+            for _ in 0..2000 {
+                let (a, b) = atomically(|tx| {
+                    let k = 42u64;
+                    Ok((t.get(tx, &k)?.is_some(), t.get(tx, &(k + 1000))?.is_some()))
+                });
+                assert_eq!(a, b, "reader observed a half-applied pair");
+            }
+            stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        });
+    }
+}

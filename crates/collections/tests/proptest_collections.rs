@@ -1,0 +1,126 @@
+//! Property tests: each transactional collection must behave exactly like
+//! its standard-library model under arbitrary operation sequences.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+use proptest::prelude::*;
+
+use ad_collections::{TMap, TQueue, TStack, TTreeMap};
+use ad_stm::atomically;
+
+#[derive(Debug, Clone)]
+enum MapOp {
+    Insert(u16, i32),
+    Remove(u16),
+    Get(u16),
+}
+
+fn map_op() -> impl Strategy<Value = MapOp> {
+    prop_oneof![
+        (any::<u16>(), any::<i32>()).prop_map(|(k, v)| MapOp::Insert(k % 64, v)),
+        any::<u16>().prop_map(|k| MapOp::Remove(k % 64)),
+        any::<u16>().prop_map(|k| MapOp::Get(k % 64)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn tmap_matches_hashmap(ops in prop::collection::vec(map_op(), 0..200)) {
+        let tmap: TMap<u16, i32> = TMap::with_buckets(8);
+        let mut model: HashMap<u16, i32> = HashMap::new();
+        for op in ops {
+            match op {
+                MapOp::Insert(k, v) => {
+                    let prev = atomically(|tx| tmap.insert(tx, k, v));
+                    prop_assert_eq!(prev, model.insert(k, v));
+                }
+                MapOp::Remove(k) => {
+                    let prev = atomically(|tx| tmap.remove(tx, &k));
+                    prop_assert_eq!(prev, model.remove(&k));
+                }
+                MapOp::Get(k) => {
+                    let got = atomically(|tx| tmap.get(tx, &k));
+                    prop_assert_eq!(got, model.get(&k).copied());
+                }
+            }
+        }
+        prop_assert_eq!(atomically(|tx| tmap.len(tx)), model.len());
+        let mut entries = atomically(|tx| tmap.entries(tx));
+        entries.sort_unstable();
+        let mut expected: Vec<(u16, i32)> = model.into_iter().collect();
+        expected.sort_unstable();
+        prop_assert_eq!(entries, expected);
+    }
+
+    #[test]
+    fn ttreemap_matches_btreemap(ops in prop::collection::vec(map_op(), 0..200)) {
+        let tmap: TTreeMap<u16, i32> = TTreeMap::new();
+        let mut model: BTreeMap<u16, i32> = BTreeMap::new();
+        for op in ops {
+            match op {
+                MapOp::Insert(k, v) => {
+                    let prev = atomically(|tx| tmap.insert(tx, k, v));
+                    prop_assert_eq!(prev, model.insert(k, v));
+                }
+                MapOp::Remove(k) => {
+                    let prev = atomically(|tx| tmap.remove(tx, &k));
+                    prop_assert_eq!(prev, model.remove(&k));
+                }
+                MapOp::Get(k) => {
+                    let got = atomically(|tx| tmap.get(tx, &k));
+                    prop_assert_eq!(got, model.get(&k).copied());
+                }
+            }
+        }
+        // In-order iteration must match the sorted model exactly.
+        let entries = atomically(|tx| tmap.entries(tx));
+        let expected: Vec<(u16, i32)> = model.iter().map(|(k, v)| (*k, *v)).collect();
+        prop_assert_eq!(entries, expected);
+        prop_assert_eq!(
+            atomically(|tx| tmap.min_key(tx)),
+            model.keys().next().copied()
+        );
+    }
+
+    #[test]
+    fn tqueue_matches_vecdeque(ops in prop::collection::vec(any::<Option<i32>>(), 0..200)) {
+        // Some(v) = push, None = pop.
+        let tq: TQueue<i32> = TQueue::new();
+        let mut model: VecDeque<i32> = VecDeque::new();
+        for op in ops {
+            match op {
+                Some(v) => {
+                    atomically(|tx| tq.push(tx, v));
+                    model.push_back(v);
+                }
+                None => {
+                    let got = atomically(|tx| tq.pop(tx));
+                    prop_assert_eq!(got, model.pop_front());
+                }
+            }
+        }
+        prop_assert_eq!(atomically(|tx| tq.len(tx)), model.len());
+    }
+
+    #[test]
+    fn tstack_matches_vec(ops in prop::collection::vec(any::<Option<i32>>(), 0..200)) {
+        let ts: TStack<i32> = TStack::new();
+        let mut model: Vec<i32> = Vec::new();
+        for op in ops {
+            match op {
+                Some(v) => {
+                    atomically(|tx| ts.push(tx, v));
+                    model.push(v);
+                }
+                None => {
+                    let got = atomically(|tx| ts.pop(tx));
+                    prop_assert_eq!(got, model.pop());
+                }
+            }
+        }
+        prop_assert_eq!(atomically(|tx| ts.len(tx)), model.len());
+        prop_assert_eq!(atomically(|tx| ts.peek(tx)), model.last().copied());
+    }
+}

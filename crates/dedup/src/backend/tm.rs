@@ -1,0 +1,499 @@
+//! The transactional backends — the "STM", "HTM", "+DeferIO" and
+//! "+DeferAll" series of Figure 3.
+//!
+//! Shared state is transactional: the fingerprint table is an
+//! open-addressed array of `TVar` buckets, the reorder buffer a ring of
+//! `TVar` slots. The three flavours differ exactly where the paper's
+//! transformations apply:
+//!
+//! * **Baseline** — output records are written inside an *irrevocable*
+//!   transaction (forcing full serialization, as in Wang et al.'s
+//!   transactionalized dedup), and compression runs *inside* the
+//!   transaction that fills a table entry (long transactions: quiescence
+//!   stalls in STM, capacity overflow → serialization in HTM).
+//! * **+DeferIO** — the output write is atomically deferred on the output
+//!   sink's deferrable object (paper Listing 7): irrevocability gone.
+//! * **+DeferAll** — compression is *also* deferred, on the table entry's
+//!   deferrable payload cell: transactions become short; HTM fits in
+//!   capacity, STM stops stalling quiescers.
+//!
+//! Run on a [`TmConfig::stm`](ad_stm::TmConfig::stm) runtime for the STM
+//! series or [`TmConfig::htm`](ad_stm::TmConfig::htm) for the HTM series.
+
+use std::ops::Range;
+use std::sync::Arc;
+
+use ad_defer::{atomic_defer, Defer};
+use ad_stm::{Runtime, StmResult, TVar, Tx};
+use parking_lot::Mutex;
+
+use super::{Backend, BackendConfig, OutputSink, OutputStats, SinkTarget};
+use crate::format::Record;
+use crate::lzss;
+use crate::sha256::{sha256, Digest};
+
+/// Which of the paper's code transformations are applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TmFlavor {
+    /// Irrevocable output, compression inside transactions.
+    Baseline,
+    /// Output atomically deferred.
+    DeferIo,
+    /// Output and compression atomically deferred.
+    DeferAll,
+}
+
+impl TmFlavor {
+    fn defer_io(self) -> bool {
+        !matches!(self, TmFlavor::Baseline)
+    }
+
+    fn defer_compress(self) -> bool {
+        matches!(self, TmFlavor::DeferAll)
+    }
+
+    /// Label suffix for this flavour.
+    pub fn suffix(self) -> &'static str {
+        match self {
+            TmFlavor::Baseline => "",
+            TmFlavor::DeferIo => "+DeferIO",
+            TmFlavor::DeferAll => "+DeferAll",
+        }
+    }
+}
+
+/// A fingerprint-table entry. The compressed payload lives behind a
+/// deferrable cell so `+DeferAll` can lock it for deferred compression.
+struct TmEntry {
+    fp: Digest,
+    payload: Defer<PayloadCell>,
+    written: TVar<bool>,
+}
+
+struct PayloadCell {
+    data: TVar<Option<Arc<Vec<u8>>>>,
+}
+
+impl TmEntry {
+    fn new(fp: Digest) -> Arc<Self> {
+        Arc::new(TmEntry {
+            fp,
+            payload: Defer::new(PayloadCell {
+                data: TVar::new(None),
+            }),
+            written: TVar::new(false),
+        })
+    }
+}
+
+/// The transactional dedup backend.
+pub struct TmBackend {
+    rt: Runtime,
+    flavor: TmFlavor,
+    buckets: Vec<TVar<Option<Arc<TmEntry>>>>,
+    bucket_mask: usize,
+    reorder: Vec<TVar<Option<(u64, Digest)>>>,
+    next_out: TVar<u64>,
+    output: Defer<OutputCell>,
+    window: usize,
+    flush_batch: usize,
+}
+
+/// Deferrable wrapper for the output sink (the paper's deferrable `packet`
+/// stream object in Listing 7).
+struct OutputCell {
+    sink: Mutex<OutputSink>,
+}
+
+impl TmBackend {
+    /// Create a backend on `rt` with the given flavour.
+    pub fn new(
+        rt: Runtime,
+        flavor: TmFlavor,
+        cfg: BackendConfig,
+        target: SinkTarget,
+    ) -> std::io::Result<Self> {
+        let cap = cfg.table_capacity.next_power_of_two().max(1024);
+        Ok(TmBackend {
+            rt,
+            flavor,
+            buckets: (0..cap * 2).map(|_| TVar::new(None)).collect(),
+            bucket_mask: cap * 2 - 1,
+            reorder: (0..cfg.reorder_window).map(|_| TVar::new(None)).collect(),
+            next_out: TVar::new(0),
+            output: Defer::new(OutputCell {
+                sink: Mutex::new(OutputSink::new(target)?),
+            }),
+            window: cfg.reorder_window,
+            flush_batch: cfg.flush_batch,
+        })
+    }
+
+    /// The runtime this backend transacts on (stats access).
+    pub fn runtime(&self) -> &Runtime {
+        &self.rt
+    }
+
+    fn bucket_start(&self, fp: &Digest) -> usize {
+        usize::from_le_bytes(fp[..8].try_into().unwrap()) & self.bucket_mask
+    }
+
+    /// Probe for `fp`, inserting a fresh entry if absent. Returns the entry
+    /// and whether this call reserved it (i.e. this chunk is the first
+    /// occurrence and must produce the payload).
+    fn lookup_or_reserve(&self, tx: &mut Tx, fp: Digest) -> StmResult<(Arc<TmEntry>, bool)> {
+        let mut idx = self.bucket_start(&fp);
+        for _ in 0..=self.bucket_mask {
+            match tx.read(&self.buckets[idx])? {
+                None => {
+                    let entry = TmEntry::new(fp);
+                    tx.write(&self.buckets[idx], Some(Arc::clone(&entry)))?;
+                    return Ok((entry, true));
+                }
+                Some(e) if e.fp == fp => return Ok((e, false)),
+                Some(_) => idx = (idx + 1) & self.bucket_mask,
+            }
+        }
+        panic!("fingerprint table full: raise BackendConfig::table_capacity");
+    }
+
+    /// Probe for an existing `fp` (flush path).
+    fn find(&self, tx: &mut Tx, fp: &Digest) -> StmResult<Arc<TmEntry>> {
+        let mut idx = self.bucket_start(fp);
+        loop {
+            match tx.read(&self.buckets[idx])? {
+                Some(e) if e.fp == *fp => return Ok(e),
+                Some(_) => idx = (idx + 1) & self.bucket_mask,
+                None => panic!("flushing a fingerprint with no table entry"),
+            }
+        }
+    }
+
+    /// Produce the compressed payload for a newly reserved entry.
+    fn compress_into(&self, entry: &Arc<TmEntry>, corpus: &Arc<Vec<u8>>, range: Range<usize>) {
+        // Honest footprint of the compressor inside a hardware transaction:
+        // input + output + its 64 KiB hash chains (see lzss.rs). This is
+        // what makes Compress "access more memory than can be tracked by
+        // the HTM" (paper §6.2).
+        let compress_footprint = (range.len() as u64) * 9 + 64 * 1024;
+
+        if self.flavor.defer_compress() {
+            // +DeferAll: the transaction only locks the payload cell and
+            // queues the compression; the pure work runs post-commit while
+            // the cell's lock keeps it invisible.
+            let entry2 = Arc::clone(entry);
+            let corpus2 = Arc::clone(corpus);
+            self.rt.atomically(move |tx| {
+                let e = Arc::clone(&entry2);
+                let c = Arc::clone(&corpus2);
+                let r = range.clone();
+                atomic_defer(tx, &[&entry2.payload], move || {
+                    let z = Arc::new(lzss::compress(&c[r]));
+                    e.payload.locked().data.store(Some(z));
+                })
+            });
+        } else {
+            // Baseline / +DeferIO: compression executes inside the
+            // transaction that publishes the payload. The transaction is
+            // long-running: concurrent STM writers stall in quiescence
+            // behind it; in HTM its footprint forces a capacity abort and
+            // eventual serialization.
+            self.rt.atomically(|tx| {
+                tx.account_footprint(compress_footprint)?;
+                let z = Arc::new(lzss::compress(&corpus[range.clone()]));
+                entry.payload.with(tx, |p, tx| tx.write(&p.data, Some(z)))
+            });
+        }
+    }
+
+    /// Submit `(seq, fp)` into the reorder ring (blocking while the window
+    /// is full).
+    fn submit(&self, seq: u64, fp: Digest) {
+        let slot = &self.reorder[(seq as usize) % self.window];
+        self.rt.atomically(|tx| {
+            if tx.read(slot)?.is_some() {
+                // Window full: the previous occupant (seq - window) has not
+                // been flushed yet. Wait for the flusher.
+                return tx.retry();
+            }
+            tx.write(slot, Some((seq, fp)))
+        });
+    }
+
+    /// Drain the in-order prefix of the reorder ring, writing records.
+    fn flush(&self) {
+        loop {
+            let wrote = self.rt.atomically(|tx| self.flush_once(tx));
+            if wrote == 0 {
+                return;
+            }
+        }
+    }
+
+    /// One flush transaction: collect up to `flush_batch` ready records,
+    /// advance `next_out`, and emit them — irrevocably inline (baseline) or
+    /// via `atomic_defer` on the output object (+DeferIO/+DeferAll).
+    ///
+    /// Structured as two phases *within* the transaction: every operation
+    /// that can block (`retry` on an unready payload, `atomic_defer`'s lock
+    /// acquisition, the escalation to irrevocability) happens before the
+    /// first transactional write. This matters when the contention manager
+    /// runs the flush serially: serial writes are eager and cannot be
+    /// rolled back, so blocking after them would be fatal.
+    fn flush_once(&self, tx: &mut Tx) -> StmResult<usize> {
+        // ---- Phase 1: reads and lock acquisitions only. ----
+        let mut records: Vec<Record> = Vec::new();
+        let mut to_clear: Vec<usize> = Vec::new();
+        let mut to_mark: Vec<Arc<TmEntry>> = Vec::new();
+        let start = tx.read(&self.next_out)?;
+        let mut no = start;
+
+        while records.len() < self.flush_batch {
+            let idx = (no as usize) % self.window;
+            let Some((s, fp)) = tx.read(&self.reorder[idx])? else { break };
+            debug_assert_eq!(s, no);
+            let entry = self.find(tx, &fp)?;
+            // The payload may still be compressing: inside another
+            // transaction (data not yet visible) or in a deferred op
+            // holding the cell's lock (subscription signals Retry). Wait
+            // only when it is the head-of-line record; otherwise flush the
+            // batch collected so far.
+            let payload = match entry.payload.with(tx, |p, tx| tx.read(&p.data)) {
+                Ok(Some(p)) => p,
+                Ok(None) | Err(ad_stm::StmError::Retry) if !records.is_empty() => break,
+                Ok(None) => return tx.retry(),
+                Err(e) => return Err(e),
+            };
+            // A fingerprint already written — or marked Unique earlier in
+            // this very batch — becomes a reference.
+            let in_batch = to_mark.iter().any(|e| e.fp == fp);
+            let rec = if in_batch || tx.read(&entry.written)? {
+                Record::Reference { fp }
+            } else {
+                to_mark.push(Arc::clone(&entry));
+                Record::Unique { fp, payload }
+            };
+            records.push(rec);
+            to_clear.push(idx);
+            no += 1;
+        }
+
+        if records.is_empty() {
+            return Ok(0);
+        }
+        let n = records.len();
+
+        // Last blocking operations: acquire the output lock (DeferIO/All)
+        // or escalate to serial mode (baseline).
+        enum Emit {
+            Deferred,
+            Inline(Vec<Record>),
+        }
+        let emit = if self.flavor.defer_io() {
+            // Listing 7: the write is atomically deferred on the output
+            // object; ordering across flushes is enforced by its TxLock.
+            let out = self.output.clone();
+            atomic_defer(tx, &[&self.output], move || {
+                out.locked().sink.lock().write_records(&records);
+            })?;
+            Emit::Deferred
+        } else {
+            // Wang et al.'s version: output inside the transaction requires
+            // irrevocability, serializing every transaction in the program.
+            tx.require_irrevocable()?;
+            Emit::Inline(records)
+        };
+
+        // ---- Phase 2: writes (nothing below can block or abort). ----
+        for idx in to_clear {
+            tx.write(&self.reorder[idx], None)?;
+        }
+        for entry in to_mark {
+            tx.write(&entry.written, true)?;
+        }
+        tx.write(&self.next_out, no)?;
+
+        if let Emit::Inline(records) = emit {
+            // Safe: the transaction is irrevocable (exclusive) here.
+            self.output
+                .peek_unsynchronized()
+                .sink
+                .lock()
+                .write_records(&records);
+        }
+        Ok(n)
+    }
+}
+
+impl Backend for TmBackend {
+    fn process_chunk(&self, seq: u64, corpus: &Arc<Vec<u8>>, range: Range<usize>) {
+        let data = &corpus[range.clone()];
+        let fp = sha256(data);
+
+        // Deduplicate stage.
+        let (entry, is_new) = self
+            .rt
+            .atomically(|tx| self.lookup_or_reserve(tx, fp));
+
+        // Compress stage (first occurrence only).
+        if is_new {
+            self.compress_into(&entry, corpus, range);
+        }
+
+        // Reorder/output stage.
+        self.submit(seq, fp);
+        self.flush();
+    }
+
+    fn finalize(&self, total: u64) {
+        loop {
+            self.flush();
+            if self.next_out.load() >= total {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        self.output.peek_unsynchronized().sink.lock().flush();
+    }
+
+    fn label(&self) -> String {
+        let base = if self.rt.config().is_htm() { "HTM" } else { "STM" };
+        format!("{base}{}", self.flavor.suffix())
+    }
+
+    fn output_stats(&self) -> OutputStats {
+        self.output.peek_unsynchronized().sink.lock().stats()
+    }
+
+    fn archive_bytes(&self) -> std::io::Result<Vec<u8>> {
+        self.output.peek_unsynchronized().sink.lock().contents()
+    }
+
+    fn diagnostics(&self) -> String {
+        format!("{}", self.rt.stats())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{generate, CorpusParams};
+    use crate::rabin::{chunk_boundaries, ChunkParams};
+    use ad_stm::TmConfig;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn run_backend(rt: Runtime, flavor: TmFlavor, threads: usize, corpus: &Arc<Vec<u8>>) -> TmBackend {
+        let ranges = chunk_boundaries(corpus, ChunkParams::tiny());
+        let total = ranges.len() as u64;
+        let backend =
+            TmBackend::new(rt, flavor, BackendConfig::default(), SinkTarget::Memory).unwrap();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= ranges.len() {
+                        break;
+                    }
+                    backend.process_chunk(i as u64, corpus, ranges[i].clone());
+                });
+            }
+        });
+        backend.finalize(total);
+        backend
+    }
+
+    fn check_reconstruction(backend: &TmBackend, corpus: &Arc<Vec<u8>>) {
+        let archive = backend.archive_bytes().unwrap();
+        assert_eq!(
+            crate::format::reconstruct(&archive).unwrap(),
+            **corpus,
+            "archive does not reconstruct the input ({})",
+            backend.label()
+        );
+    }
+
+    #[test]
+    fn stm_baseline_reconstructs() {
+        let corpus = Arc::new(generate(&CorpusParams::new(128 * 1024)));
+        let b = run_backend(Runtime::new(TmConfig::stm()), TmFlavor::Baseline, 2, &corpus);
+        check_reconstruction(&b, &corpus);
+        assert_eq!(b.label(), "STM");
+        // Irrevocable output ⇒ serializations happened.
+        assert!(b.runtime().stats().serializations > 0);
+    }
+
+    #[test]
+    fn stm_defer_io_reconstructs_without_irrevocability() {
+        let corpus = Arc::new(generate(&CorpusParams::new(128 * 1024)));
+        let b = run_backend(Runtime::new(TmConfig::stm()), TmFlavor::DeferIo, 2, &corpus);
+        check_reconstruction(&b, &corpus);
+        assert_eq!(b.label(), "STM+DeferIO");
+        let s = b.runtime().stats();
+        assert_eq!(
+            s.aborts_unsupported, 0,
+            "DeferIO must not need irrevocability: {s}"
+        );
+        assert!(s.deferred_ops > 0);
+    }
+
+    #[test]
+    fn stm_defer_all_reconstructs() {
+        let corpus = Arc::new(generate(&CorpusParams::new(128 * 1024)));
+        let b = run_backend(Runtime::new(TmConfig::stm()), TmFlavor::DeferAll, 4, &corpus);
+        check_reconstruction(&b, &corpus);
+        assert_eq!(b.label(), "STM+DeferAll");
+    }
+
+    #[test]
+    fn htm_baseline_serializes_on_capacity() {
+        let corpus = Arc::new(generate(&CorpusParams::new(128 * 1024)));
+        let b = run_backend(Runtime::new(TmConfig::htm()), TmFlavor::Baseline, 2, &corpus);
+        check_reconstruction(&b, &corpus);
+        let s = b.runtime().stats();
+        assert!(
+            s.aborts_capacity > 0,
+            "compression inside HTM transactions must overflow capacity: {s}"
+        );
+        assert!(s.serializations > 0);
+    }
+
+    #[test]
+    fn htm_defer_all_avoids_capacity_aborts() {
+        let corpus = Arc::new(generate(&CorpusParams::new(128 * 1024)));
+        let b = run_backend(Runtime::new(TmConfig::htm()), TmFlavor::DeferAll, 4, &corpus);
+        check_reconstruction(&b, &corpus);
+        let s = b.runtime().stats();
+        assert_eq!(
+            s.aborts_capacity, 0,
+            "deferred compression must fit HTM capacity: {s}"
+        );
+        assert_eq!(b.label(), "HTM+DeferAll");
+    }
+
+    #[test]
+    fn dedup_produces_references() {
+        let corpus = Arc::new(generate(
+            &CorpusParams::new(256 * 1024).with_dup_ratio(0.8),
+        ));
+        let b = run_backend(Runtime::new(TmConfig::stm()), TmFlavor::DeferAll, 2, &corpus);
+        let stats = b.output_stats();
+        assert!(stats.reference_records > 0);
+        check_reconstruction(&b, &corpus);
+    }
+
+    #[test]
+    fn all_flavors_agree_on_archive_semantics() {
+        let corpus = Arc::new(generate(&CorpusParams::new(96 * 1024)));
+        let mut uniques = Vec::new();
+        for flavor in [TmFlavor::Baseline, TmFlavor::DeferIo, TmFlavor::DeferAll] {
+            let b = run_backend(Runtime::new(TmConfig::stm()), flavor, 3, &corpus);
+            check_reconstruction(&b, &corpus);
+            uniques.push(b.output_stats().unique_records);
+        }
+        // The set of unique chunks is a property of the input, not of the
+        // synchronization strategy.
+        assert_eq!(uniques[0], uniques[1]);
+        assert_eq!(uniques[1], uniques[2]);
+    }
+}

@@ -1,0 +1,143 @@
+//! `dedup` — a command-line front end for the pipeline, making the kernel
+//! usable as an actual tool (and handy for eyeballing backend behaviour on
+//! real files).
+//!
+//! ```text
+//! dedup compress <input> <archive> [--backend NAME] [--threads N]
+//! dedup extract  <archive> <output>
+//! dedup gen      <bytes> <output> [--dup RATIO] [--seed N]
+//! ```
+//!
+//! Backends: pthread (default), stm, stm-defer-io, stm-defer-all, htm,
+//! htm-defer-io, htm-defer-all.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use ad_dedup::backend::tm::{TmBackend, TmFlavor};
+use ad_dedup::backend::{Backend, BackendConfig, SinkTarget};
+use ad_dedup::corpus::{generate, CorpusParams};
+use ad_dedup::pipeline::{run_pipeline, PipelineConfig};
+use ad_dedup::{format, LockBackend};
+use ad_stm::{Runtime, TmConfig};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  dedup compress <input> <archive> [--backend NAME] [--threads N]\n  \
+         dedup extract <archive> <output>\n  \
+         dedup gen <bytes> <output> [--dup RATIO] [--seed N]\n\n\
+         backends: pthread stm stm-defer-io stm-defer-all htm htm-defer-io htm-defer-all"
+    );
+    ExitCode::from(2)
+}
+
+fn opt(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn make_backend(name: &str, cfg: BackendConfig, target: SinkTarget) -> Option<Box<dyn Backend>> {
+    let tm = |cfg_tm: TmConfig, flavor: TmFlavor, cfg, target| -> Option<Box<dyn Backend>> {
+        Some(Box::new(
+            TmBackend::new(Runtime::new(cfg_tm), flavor, cfg, target).ok()?,
+        ))
+    };
+    match name {
+        "pthread" => Some(Box::new(LockBackend::new(cfg, target).ok()?)),
+        "stm" => tm(TmConfig::stm(), TmFlavor::Baseline, cfg, target),
+        "stm-defer-io" => tm(TmConfig::stm(), TmFlavor::DeferIo, cfg, target),
+        "stm-defer-all" => tm(TmConfig::stm(), TmFlavor::DeferAll, cfg, target),
+        "htm" => tm(TmConfig::htm(), TmFlavor::Baseline, cfg, target),
+        "htm-defer-io" => tm(TmConfig::htm(), TmFlavor::DeferIo, cfg, target),
+        "htm-defer-all" => tm(TmConfig::htm(), TmFlavor::DeferAll, cfg, target),
+        _ => None,
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("compress") if args.len() >= 3 => {
+            let input = match std::fs::read(&args[1]) {
+                Ok(d) => Arc::new(d),
+                Err(e) => {
+                    eprintln!("cannot read {}: {e}", args[1]);
+                    return ExitCode::FAILURE;
+                }
+            };
+            let backend_name = opt(&args, "--backend").unwrap_or_else(|| "pthread".into());
+            let threads: usize = opt(&args, "--threads")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(2);
+            let cfg = BackendConfig {
+                table_capacity: (input.len() / 4096).max(1 << 12),
+                ..BackendConfig::default()
+            };
+            let Some(backend) = make_backend(
+                &backend_name,
+                cfg,
+                SinkTarget::File(args[2].clone().into()),
+            ) else {
+                eprintln!("unknown backend {backend_name}");
+                return usage();
+            };
+            let pipe = if input.len() < 2 << 20 {
+                PipelineConfig::tiny(threads)
+            } else {
+                PipelineConfig::new(threads)
+            };
+            let report = run_pipeline(&input, &pipe, backend.as_ref());
+            println!(
+                "{}: {} -> {} bytes ({:.2}x), {} chunks ({} unique), {:.3}s [{}]",
+                report.label,
+                report.bytes_in,
+                report.bytes_out,
+                report.ratio(),
+                report.total_chunks,
+                report.unique_chunks,
+                report.elapsed.as_secs_f64(),
+                report.diagnostics
+            );
+            ExitCode::SUCCESS
+        }
+        Some("extract") if args.len() >= 3 => {
+            let archive = match std::fs::read(&args[1]) {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("cannot read {}: {e}", args[1]);
+                    return ExitCode::FAILURE;
+                }
+            };
+            match format::reconstruct(&archive) {
+                Ok(data) => {
+                    if let Err(e) = std::fs::write(&args[2], &data) {
+                        eprintln!("cannot write {}: {e}", args[2]);
+                        return ExitCode::FAILURE;
+                    }
+                    println!("extracted {} bytes", data.len());
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("archive corrupt: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("gen") if args.len() >= 3 => {
+            let Ok(size) = args[1].parse::<usize>() else {
+                return usage();
+            };
+            let dup: f64 = opt(&args, "--dup").and_then(|v| v.parse().ok()).unwrap_or(0.5);
+            let seed: u64 = opt(&args, "--seed").and_then(|v| v.parse().ok()).unwrap_or(1);
+            let data = generate(&CorpusParams::new(size).with_dup_ratio(dup).with_seed(seed));
+            if let Err(e) = std::fs::write(&args[2], &data) {
+                eprintln!("cannot write {}: {e}", args[2]);
+                return ExitCode::FAILURE;
+            }
+            println!("generated {} bytes (dup_ratio {dup}, seed {seed})", data.len());
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

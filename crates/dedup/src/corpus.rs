@@ -1,0 +1,152 @@
+//! Synthetic input corpus for the dedup pipeline.
+//!
+//! PARSEC ships a ~672 MB archive of real data that we cannot include
+//! (DESIGN.md §5); what the benchmark actually needs from its input is (a)
+//! a controllable *duplication ratio* — so the Deduplicate stage's shared
+//! hash table sees both hits and misses — and (b) *compressible* content —
+//! so the Compress stage does real, long-running pure work. The generator
+//! produces a stream of blocks: each block is either a repeat of an earlier
+//! block (with probability `dup_ratio`) or fresh pseudo-text built from a
+//! word dictionary (compressible, like PARSEC's mixed media).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Corpus generation parameters.
+#[derive(Debug, Clone)]
+pub struct CorpusParams {
+    /// Total size in bytes (the generator may overshoot by < one block).
+    pub size: usize,
+    /// Probability that a block repeats an earlier block.
+    pub dup_ratio: f64,
+    /// Mean block length in bytes (actual lengths vary ±50%).
+    pub block_len: usize,
+    /// RNG seed — corpora are fully reproducible.
+    pub seed: u64,
+}
+
+impl CorpusParams {
+    /// Paper-shaped defaults scaled down: 8 MiB, half the blocks duplicated.
+    pub fn new(size: usize) -> Self {
+        CorpusParams {
+            size,
+            dup_ratio: 0.5,
+            block_len: 16 * 1024,
+            seed: 0xDED0_1234,
+        }
+    }
+
+    /// Builder-style duplication-ratio override.
+    pub fn with_dup_ratio(mut self, r: f64) -> Self {
+        assert!((0.0..=1.0).contains(&r));
+        self.dup_ratio = r;
+        self
+    }
+
+    /// Builder-style seed override.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Load a corpus from a file instead of generating one — for running the
+/// pipeline on real data (the paper used PARSEC's archive of mixed media).
+pub fn from_file(path: impl AsRef<std::path::Path>) -> std::io::Result<Vec<u8>> {
+    std::fs::read(path)
+}
+
+const WORDS: &[&str] = &[
+    "transaction", "memory", "atomic", "deferral", "lock", "subscribe", "commit", "abort",
+    "quiesce", "serial", "pipeline", "chunk", "fingerprint", "compress", "output", "thread",
+    "conflict", "retry", "irrevocable", "buffer", "stream", "record", "archive", "worker",
+];
+
+/// Generate a corpus. Deterministic for a given `params`.
+pub fn generate(params: &CorpusParams) -> Vec<u8> {
+    assert!(params.block_len >= 16, "blocks must be at least 16 bytes");
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut out = Vec::with_capacity(params.size + params.block_len * 2);
+    let mut blocks: Vec<(usize, usize)> = Vec::new(); // (offset, len) of prior blocks
+
+    while out.len() < params.size {
+        let repeat = !blocks.is_empty() && rng.random_bool(params.dup_ratio);
+        if repeat {
+            let (off, len) = blocks[rng.random_range(0..blocks.len())];
+            out.extend_from_within(off..off + len);
+        } else {
+            let target = rng.random_range(params.block_len / 2..params.block_len * 3 / 2);
+            let start = out.len();
+            while out.len() - start < target {
+                let w = WORDS[rng.random_range(0..WORDS.len())];
+                out.extend_from_slice(w.as_bytes());
+                out.push(if rng.random_bool(0.1) { b'\n' } else { b' ' });
+                if rng.random_bool(0.05) {
+                    // Sprinkle numbers so blocks are distinct.
+                    out.extend_from_slice(format!("{:08x}", rng.random::<u32>()).as_bytes());
+                }
+            }
+            blocks.push((start, out.len() - start));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let p = CorpusParams::new(64 * 1024);
+        assert_eq!(generate(&p), generate(&p));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&CorpusParams::new(64 * 1024).with_seed(1));
+        let b = generate(&CorpusParams::new(64 * 1024).with_seed(2));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn size_is_respected() {
+        let p = CorpusParams::new(100_000);
+        let c = generate(&p);
+        assert!(c.len() >= 100_000);
+        assert!(c.len() < 100_000 + p.block_len * 2);
+    }
+
+    #[test]
+    fn corpus_is_compressible() {
+        let c = generate(&CorpusParams::new(256 * 1024));
+        let z = crate::lzss::compress(&c);
+        assert!(
+            z.len() * 2 < c.len(),
+            "corpus should compress at least 2x: {} -> {}",
+            c.len(),
+            z.len()
+        );
+    }
+
+    #[test]
+    fn high_dup_ratio_duplicates_chunks() {
+        let c = generate(&CorpusParams::new(512 * 1024).with_dup_ratio(0.8));
+        let chunks = crate::rabin::chunk(&c, crate::rabin::ChunkParams::tiny());
+        let distinct: std::collections::HashSet<&[u8]> = chunks.iter().copied().collect();
+        assert!(
+            distinct.len() * 2 < chunks.len(),
+            "expected dedup opportunities: {} distinct of {}",
+            distinct.len(),
+            chunks.len()
+        );
+    }
+
+    #[test]
+    fn zero_dup_ratio_yields_mostly_unique_chunks() {
+        let c = generate(&CorpusParams::new(256 * 1024).with_dup_ratio(0.0));
+        let chunks = crate::rabin::chunk(&c, crate::rabin::ChunkParams::tiny());
+        let distinct: std::collections::HashSet<&[u8]> = chunks.iter().copied().collect();
+        assert!(distinct.len() * 10 > chunks.len() * 9);
+    }
+}

@@ -1,0 +1,263 @@
+//! The dedup archive format and its decoder.
+//!
+//! Mirrors PARSEC dedup's output: a sequence of records in original chunk
+//! order, where the **first written** occurrence of a chunk carries its
+//! compressed payload and later occurrences are fingerprint references.
+//! The decoder reconstructs the original stream byte-for-byte, which is how
+//! every benchmark run is verified.
+//!
+//! Wire format (little-endian):
+//!
+//! ```text
+//! unique record:    'U' | fingerprint (32 bytes) | payload_len: u32 | payload
+//! reference record: 'R' | fingerprint (32 bytes)
+//! ```
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::lzss;
+use crate::sha256::{to_hex, Digest};
+
+/// One archive record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Record {
+    /// First written occurrence: fingerprint + LZSS-compressed chunk data.
+    Unique {
+        /// SHA-256 of the uncompressed chunk.
+        fp: Digest,
+        /// Compressed chunk payload.
+        payload: Arc<Vec<u8>>,
+    },
+    /// A repeat of an earlier chunk.
+    Reference {
+        /// SHA-256 of the referenced chunk.
+        fp: Digest,
+    },
+}
+
+impl Record {
+    /// Serialize into `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            Record::Unique { fp, payload } => {
+                out.push(b'U');
+                out.extend_from_slice(fp);
+                out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+                out.extend_from_slice(payload);
+            }
+            Record::Reference { fp } => {
+                out.push(b'R');
+                out.extend_from_slice(fp);
+            }
+        }
+    }
+
+    /// Serialized byte length.
+    pub fn encoded_len(&self) -> usize {
+        match self {
+            Record::Unique { payload, .. } => 1 + 32 + 4 + payload.len(),
+            Record::Reference { .. } => 1 + 32,
+        }
+    }
+}
+
+/// Archive decoding errors.
+#[derive(Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Stream ended inside a record.
+    Truncated,
+    /// Unknown record tag byte.
+    BadTag(u8),
+    /// A reference to a fingerprint not yet seen as a unique record —
+    /// exactly the ordering violation the output stage must prevent.
+    DanglingReference(String),
+    /// A unique record's payload failed to decompress.
+    Corrupt(String),
+    /// A unique record's decompressed payload does not hash to its
+    /// fingerprint.
+    FingerprintMismatch(String),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "archive truncated"),
+            DecodeError::BadTag(t) => write!(f, "bad record tag {t:#x}"),
+            DecodeError::DanglingReference(fp) => {
+                write!(f, "reference to unseen fingerprint {fp}")
+            }
+            DecodeError::Corrupt(e) => write!(f, "payload corrupt: {e}"),
+            DecodeError::FingerprintMismatch(fp) => {
+                write!(f, "payload does not match fingerprint {fp}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Parse an archive into records.
+pub fn decode_records(mut data: &[u8]) -> Result<Vec<Record>, DecodeError> {
+    let mut records = Vec::new();
+    while !data.is_empty() {
+        let tag = data[0];
+        data = &data[1..];
+        if data.len() < 32 {
+            return Err(DecodeError::Truncated);
+        }
+        let mut fp = [0u8; 32];
+        fp.copy_from_slice(&data[..32]);
+        data = &data[32..];
+        match tag {
+            b'U' => {
+                if data.len() < 4 {
+                    return Err(DecodeError::Truncated);
+                }
+                let len = u32::from_le_bytes(data[..4].try_into().unwrap()) as usize;
+                data = &data[4..];
+                if data.len() < len {
+                    return Err(DecodeError::Truncated);
+                }
+                let payload = Arc::new(data[..len].to_vec());
+                data = &data[len..];
+                records.push(Record::Unique { fp, payload });
+            }
+            b'R' => records.push(Record::Reference { fp }),
+            t => return Err(DecodeError::BadTag(t)),
+        }
+    }
+    Ok(records)
+}
+
+/// Decode an archive and reconstruct the original input stream, verifying
+/// every payload against its fingerprint.
+pub fn reconstruct(archive: &[u8]) -> Result<Vec<u8>, DecodeError> {
+    let records = decode_records(archive)?;
+    let mut chunks: HashMap<Digest, Vec<u8>> = HashMap::new();
+    let mut out = Vec::new();
+    for rec in records {
+        match rec {
+            Record::Unique { fp, payload } => {
+                let raw = lzss::decompress(&payload)
+                    .map_err(|e| DecodeError::Corrupt(e.to_string()))?;
+                if crate::sha256::sha256(&raw) != fp {
+                    return Err(DecodeError::FingerprintMismatch(to_hex(&fp)));
+                }
+                out.extend_from_slice(&raw);
+                chunks.insert(fp, raw);
+            }
+            Record::Reference { fp } => {
+                let raw = chunks
+                    .get(&fp)
+                    .ok_or_else(|| DecodeError::DanglingReference(to_hex(&fp)))?;
+                out.extend_from_slice(raw);
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha256::sha256;
+
+    fn unique(data: &[u8]) -> Record {
+        Record::Unique {
+            fp: sha256(data),
+            payload: Arc::new(lzss::compress(data)),
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let recs = vec![
+            unique(b"first chunk first chunk"),
+            Record::Reference {
+                fp: sha256(b"first chunk first chunk"),
+            },
+            unique(b"second chunk entirely different"),
+        ];
+        let mut buf = Vec::new();
+        for r in &recs {
+            r.encode_into(&mut buf);
+            assert_eq!(
+                r.encoded_len(),
+                {
+                    let mut tmp = Vec::new();
+                    r.encode_into(&mut tmp);
+                    tmp.len()
+                },
+                "encoded_len mismatch"
+            );
+        }
+        assert_eq!(decode_records(&buf).unwrap(), recs);
+    }
+
+    #[test]
+    fn reconstruct_resolves_references() {
+        let a = b"alpha block alpha block alpha block".to_vec();
+        let b = b"beta block beta block".to_vec();
+        let mut buf = Vec::new();
+        unique(&a).encode_into(&mut buf);
+        unique(&b).encode_into(&mut buf);
+        Record::Reference { fp: sha256(&a) }.encode_into(&mut buf);
+        let out = reconstruct(&buf).unwrap();
+        let mut expected = a.clone();
+        expected.extend_from_slice(&b);
+        expected.extend_from_slice(&a);
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn dangling_reference_detected() {
+        let mut buf = Vec::new();
+        Record::Reference {
+            fp: sha256(b"never written"),
+        }
+        .encode_into(&mut buf);
+        assert!(matches!(
+            reconstruct(&buf),
+            Err(DecodeError::DanglingReference(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_archive_detected() {
+        let mut buf = Vec::new();
+        unique(b"some chunk data goes here").encode_into(&mut buf);
+        for cut in [1, 10, 33, buf.len() - 1] {
+            assert!(
+                decode_records(&buf[..cut]).is_err(),
+                "cut at {cut} not detected"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_tag_detected() {
+        let mut buf = vec![b'X'];
+        buf.extend_from_slice(&[0u8; 32]);
+        assert_eq!(decode_records(&buf), Err(DecodeError::BadTag(b'X')));
+    }
+
+    #[test]
+    fn fingerprint_mismatch_detected() {
+        let mut buf = Vec::new();
+        Record::Unique {
+            fp: sha256(b"claimed content"),
+            payload: Arc::new(lzss::compress(b"actual different content")),
+        }
+        .encode_into(&mut buf);
+        assert!(matches!(
+            reconstruct(&buf),
+            Err(DecodeError::FingerprintMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn empty_archive_is_empty_stream() {
+        assert_eq!(reconstruct(&[]).unwrap(), Vec::<u8>::new());
+    }
+}

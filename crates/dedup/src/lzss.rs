@@ -1,0 +1,270 @@
+//! An LZSS-style compressor/decompressor.
+//!
+//! Stands in for the gzip compression of PARSEC dedup's *Compress* stage
+//! (DESIGN.md §5): a **pure**, CPU-bound, buffer-in/buffer-out function —
+//! exactly the shape of the paper's `Compress`, which is marked `pure` and
+//! eventually deferred. The decompressor exists so the benchmark's output
+//! archive can be fully verified against the original input.
+//!
+//! Format: a stream of flag-prefixed tokens. Each flag byte covers 8 tokens
+//! (LSB first): bit 0 → literal byte, bit 1 → match, encoded as two bytes
+//! `dddddddd dddd_llll`: 12-bit distance (1-based, up to 4096) and 4-bit
+//! length (3–18 bytes).
+
+const MIN_MATCH: usize = 3;
+const MAX_MATCH: usize = 18;
+const WINDOW: usize = 4096;
+const HASH_SIZE: usize = 1 << 13;
+
+#[inline]
+fn hash3(data: &[u8], i: usize) -> usize {
+    let h = (data[i] as usize) << 10 ^ (data[i + 1] as usize) << 5 ^ (data[i + 2] as usize);
+    (h ^ (h >> 3)) & (HASH_SIZE - 1)
+}
+
+/// Compress `data`. Always succeeds; incompressible input grows by ~1/8.
+pub fn compress(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 2 + 16);
+    // Chained hash table of previous positions for 3-byte prefixes.
+    let mut head = vec![usize::MAX; HASH_SIZE];
+    let mut prev = vec![usize::MAX; data.len()];
+
+    let mut i = 0usize;
+    let mut flag_pos = usize::MAX;
+    let mut flag_bit = 8u8;
+
+    let mut push_token = |out: &mut Vec<u8>, is_match: bool, bytes: &[u8]| {
+        if flag_bit == 8 {
+            flag_pos = out.len();
+            out.push(0);
+            flag_bit = 0;
+        }
+        if is_match {
+            out[flag_pos] |= 1 << flag_bit;
+        }
+        flag_bit += 1;
+        out.extend_from_slice(bytes);
+    };
+
+    while i < data.len() {
+        let mut best_len = 0usize;
+        let mut best_dist = 0usize;
+        if i + MIN_MATCH <= data.len() {
+            let mut cand = head[hash3(data, i)];
+            let mut tries = 16;
+            while cand != usize::MAX && tries > 0 {
+                let dist = i - cand;
+                if dist > WINDOW {
+                    break;
+                }
+                let limit = MAX_MATCH.min(data.len() - i);
+                let mut l = 0;
+                while l < limit && data[cand + l] == data[i + l] {
+                    l += 1;
+                }
+                if l > best_len {
+                    best_len = l;
+                    best_dist = dist;
+                    if l == limit {
+                        break;
+                    }
+                }
+                cand = prev[cand];
+                tries -= 1;
+            }
+        }
+
+        if best_len >= MIN_MATCH {
+            let d = best_dist - 1;
+            let l = best_len - MIN_MATCH;
+            let b0 = (d & 0xFF) as u8;
+            let b1 = (((d >> 8) as u8) << 4) | (l as u8);
+            push_token(&mut out, true, &[b0, b1]);
+            // Insert every covered position into the chain.
+            let end = i + best_len;
+            while i < end {
+                if i + MIN_MATCH <= data.len() {
+                    let h = hash3(data, i);
+                    prev[i] = head[h];
+                    head[h] = i;
+                }
+                i += 1;
+            }
+        } else {
+            push_token(&mut out, false, &[data[i]]);
+            if i + MIN_MATCH <= data.len() {
+                let h = hash3(data, i);
+                prev[i] = head[h];
+                head[h] = i;
+            }
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Errors from [`decompress`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum LzssError {
+    /// The stream ended inside a token.
+    Truncated,
+    /// A match referred beyond the start of the output.
+    BadDistance,
+}
+
+impl std::fmt::Display for LzssError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LzssError::Truncated => write!(f, "compressed stream truncated"),
+            LzssError::BadDistance => write!(f, "match distance exceeds output"),
+        }
+    }
+}
+
+impl std::error::Error for LzssError {}
+
+/// Decompress a [`compress`]-produced stream.
+pub fn decompress(mut input: &[u8]) -> Result<Vec<u8>, LzssError> {
+    let mut out = Vec::with_capacity(input.len() * 2);
+    while !input.is_empty() {
+        let flags = input[0];
+        input = &input[1..];
+        for bit in 0..8 {
+            if input.is_empty() {
+                break;
+            }
+            if flags & (1 << bit) != 0 {
+                if input.len() < 2 {
+                    return Err(LzssError::Truncated);
+                }
+                let b0 = input[0] as usize;
+                let b1 = input[1] as usize;
+                input = &input[2..];
+                let dist = (((b1 >> 4) << 8) | b0) + 1;
+                let len = (b1 & 0x0F) + MIN_MATCH;
+                if dist > out.len() {
+                    return Err(LzssError::BadDistance);
+                }
+                let start = out.len() - dist;
+                for k in 0..len {
+                    let byte = out[start + k];
+                    out.push(byte);
+                }
+            } else {
+                out.push(input[0]);
+                input = &input[1..];
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo_random(len: usize, seed: u64) -> Vec<u8> {
+        let mut x = seed | 1;
+        (0..len)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x >> 32) as u8
+            })
+            .collect()
+    }
+
+    fn roundtrip(data: &[u8]) {
+        let c = compress(data);
+        let d = decompress(&c).expect("decompress");
+        assert_eq!(d, data);
+    }
+
+    #[test]
+    fn empty() {
+        roundtrip(b"");
+        assert!(compress(b"").is_empty());
+    }
+
+    #[test]
+    fn short_inputs() {
+        roundtrip(b"a");
+        roundtrip(b"ab");
+        roundtrip(b"abc");
+        roundtrip(b"aaaa");
+    }
+
+    #[test]
+    fn repetitive_input_compresses_well() {
+        let data = b"the quick brown fox ".repeat(500);
+        let c = compress(&data);
+        assert!(
+            c.len() * 4 < data.len(),
+            "repetitive input barely compressed: {} -> {}",
+            data.len(),
+            c.len()
+        );
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn random_input_roundtrips() {
+        roundtrip(&pseudo_random(100_000, 1));
+    }
+
+    #[test]
+    fn long_runs_roundtrip() {
+        let mut data = vec![0u8; 50_000];
+        data.extend_from_slice(&pseudo_random(1000, 2));
+        data.extend(vec![0xFFu8; 50_000]);
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn overlapping_matches_roundtrip() {
+        // "aaaa..." forces distance-1 overlapping copies.
+        let data = vec![b'a'; 10_000];
+        let c = compress(&data);
+        assert!(c.len() < 3000);
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn mixed_structured_input() {
+        let mut data = Vec::new();
+        for i in 0..2000u32 {
+            data.extend_from_slice(format!("record-{:06}|", i % 97).as_bytes());
+        }
+        let c = compress(&data);
+        assert!(c.len() < data.len() / 2);
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn truncated_stream_is_an_error() {
+        let c = compress(&b"hello hello hello hello hello".repeat(10));
+        assert!(c.len() > 3);
+        let cut = &c[..c.len() - 1];
+        // Either Truncated or a clean parse of fewer bytes; must not panic.
+        let _ = decompress(cut);
+        // A flag byte claiming a match with only 1 byte left:
+        assert_eq!(decompress(&[0b0000_0001, 0x01]), Err(LzssError::Truncated));
+    }
+
+    #[test]
+    fn bad_distance_is_an_error() {
+        // Match token at the very start: distance necessarily exceeds the
+        // (empty) output.
+        assert_eq!(
+            decompress(&[0b0000_0001, 0x05, 0x00]),
+            Err(LzssError::BadDistance)
+        );
+    }
+
+    #[test]
+    fn compression_is_deterministic() {
+        let data = pseudo_random(20_000, 33);
+        assert_eq!(compress(&data), compress(&data));
+    }
+}

@@ -1,0 +1,402 @@
+//! The dedup pipeline driver.
+//!
+//! Reproduces PARSEC dedup's structure: the input stream is cut into coarse
+//! fragments (Fragment) and re-chunked at fine boundaries (FragmentRefine);
+//! the chunks then flow through Deduplicate → Compress → Reorder/Output,
+//! which is where all the shared state lives and where the synchronization
+//! [`Backend`] is exercised. Worker threads pull chunks from a bounded
+//! channel; the producer (fragmentation) runs on the calling thread.
+
+use std::ops::Range;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel;
+
+use crate::backend::Backend;
+use crate::rabin::{chunk_boundaries, ChunkParams};
+
+/// Pipeline tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineConfig {
+    /// Worker threads for the Deduplicate/Compress/Output stages (the
+    /// paper's x-axis).
+    pub threads: usize,
+    /// Coarse (Fragment) chunking parameters.
+    pub coarse: ChunkParams,
+    /// Fine (FragmentRefine) chunking parameters.
+    pub fine: ChunkParams,
+    /// Work-queue depth between the producer and the workers.
+    pub queue_depth: usize,
+}
+
+impl PipelineConfig {
+    /// Defaults for `threads` workers, with chunk parameters scaled for
+    /// multi-megabyte corpora.
+    pub fn new(threads: usize) -> Self {
+        PipelineConfig {
+            threads,
+            coarse: ChunkParams::coarse(),
+            fine: ChunkParams::fine(),
+            queue_depth: 1024,
+        }
+    }
+
+    /// Small chunks for small test corpora.
+    pub fn tiny(threads: usize) -> Self {
+        PipelineConfig {
+            threads,
+            coarse: ChunkParams {
+                divisor: 4096,
+                min: 1024,
+                max: 16 * 1024,
+            },
+            fine: ChunkParams::tiny(),
+            queue_depth: 256,
+        }
+    }
+}
+
+/// What one pipeline run measured.
+#[derive(Debug, Clone)]
+pub struct DedupReport {
+    /// Backend series label ("Pthread", "STM+DeferAll", ...).
+    pub label: String,
+    /// Worker thread count.
+    pub threads: usize,
+    /// Wall-clock time, fragmentation through final flush.
+    pub elapsed: Duration,
+    /// Chunks processed.
+    pub total_chunks: u64,
+    /// Unique chunks (archive `U` records).
+    pub unique_chunks: u64,
+    /// Duplicate chunks (archive `R` records).
+    pub duplicate_chunks: u64,
+    /// Input bytes.
+    pub bytes_in: u64,
+    /// Archive bytes.
+    pub bytes_out: u64,
+    /// Backend diagnostics (TM stats counters; empty for locks).
+    pub diagnostics: String,
+}
+
+impl DedupReport {
+    /// Deduplication + compression ratio achieved.
+    pub fn ratio(&self) -> f64 {
+        if self.bytes_out == 0 {
+            0.0
+        } else {
+            self.bytes_in as f64 / self.bytes_out as f64
+        }
+    }
+}
+
+/// Fragment + FragmentRefine: two-pass content-defined chunking, exactly
+/// covering the corpus.
+pub fn fragment(corpus: &[u8], cfg: &PipelineConfig) -> Vec<Range<usize>> {
+    let mut fine = Vec::new();
+    for coarse in chunk_boundaries(corpus, cfg.coarse) {
+        for sub in chunk_boundaries(&corpus[coarse.clone()], cfg.fine) {
+            fine.push(coarse.start + sub.start..coarse.start + sub.end);
+        }
+    }
+    fine
+}
+
+/// Run the pipeline over `corpus` with `backend`, returning the measured
+/// report. The archive is left inside the backend for verification.
+pub fn run_pipeline(
+    corpus: &Arc<Vec<u8>>,
+    cfg: &PipelineConfig,
+    backend: &dyn Backend,
+) -> DedupReport {
+    let start = Instant::now();
+
+    // Fragment + refine on the producer thread.
+    let ranges = fragment(corpus, cfg);
+    let total = ranges.len() as u64;
+
+    let (tx, rx) = channel::bounded::<(u64, Range<usize>)>(cfg.queue_depth);
+    std::thread::scope(|s| {
+        for _ in 0..cfg.threads.max(1) {
+            let rx = rx.clone();
+            s.spawn(move || {
+                while let Ok((seq, range)) = rx.recv() {
+                    backend.process_chunk(seq, corpus, range);
+                }
+            });
+        }
+        drop(rx);
+        for (seq, range) in ranges.into_iter().enumerate() {
+            tx.send((seq as u64, range)).expect("workers died");
+        }
+        drop(tx);
+    });
+    backend.finalize(total);
+    let elapsed = start.elapsed();
+
+    let out = backend.output_stats();
+    DedupReport {
+        label: backend.label(),
+        threads: cfg.threads,
+        elapsed,
+        total_chunks: total,
+        unique_chunks: out.unique_records,
+        duplicate_chunks: out.reference_records,
+        bytes_in: corpus.len() as u64,
+        bytes_out: out.bytes_written,
+        diagnostics: backend.diagnostics(),
+    }
+}
+
+/// Run the pipeline in PARSEC's *staged* shape: separate thread pools per
+/// stage, connected by bounded queues —
+/// `Fragment (1) → FragmentRefine (n) → Sequence (1) → Process (n)` —
+/// instead of fusing fragmentation into the producer. Produces exactly the
+/// same archive as [`run_pipeline`] (same content-defined boundaries), so
+/// the two are interchangeable; the staged form exists for fidelity and for
+/// studying queue effects.
+pub fn run_pipeline_staged(
+    corpus: &Arc<Vec<u8>>,
+    cfg: &PipelineConfig,
+    backend: &dyn Backend,
+) -> DedupReport {
+    use std::collections::HashMap;
+
+    let start = Instant::now();
+    let workers = cfg.threads.max(1);
+
+    // Fragment (producer): coarse ranges with their index.
+    let (coarse_tx, coarse_rx) = channel::bounded::<(usize, Range<usize>)>(cfg.queue_depth);
+    // Refine → Sequence: fine ranges per coarse chunk, possibly out of order.
+    let (refined_tx, refined_rx) =
+        channel::bounded::<(usize, Vec<Range<usize>>)>(cfg.queue_depth);
+    // Sequence → Process: globally ordered (seq, range).
+    let (seq_tx, seq_rx) = channel::bounded::<(u64, Range<usize>)>(cfg.queue_depth);
+
+    let mut total = 0u64;
+    std::thread::scope(|s| {
+        // FragmentRefine workers.
+        for _ in 0..workers {
+            let rx = coarse_rx.clone();
+            let tx = refined_tx.clone();
+            let fine = cfg.fine;
+            s.spawn(move || {
+                while let Ok((idx, coarse)) = rx.recv() {
+                    let subs: Vec<Range<usize>> = chunk_boundaries(&corpus[coarse.clone()], fine)
+                        .into_iter()
+                        .map(|r| coarse.start + r.start..coarse.start + r.end)
+                        .collect();
+                    if tx.send((idx, subs)).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(coarse_rx);
+        drop(refined_tx);
+
+        // Sequence stage: restore coarse order, hand out global sequence
+        // numbers.
+        let seq_stage = s.spawn(move || {
+            let mut next_coarse = 0usize;
+            let mut pending: HashMap<usize, Vec<Range<usize>>> = HashMap::new();
+            let mut seq = 0u64;
+            while let Ok((idx, subs)) = refined_rx.recv() {
+                pending.insert(idx, subs);
+                while let Some(subs) = pending.remove(&next_coarse) {
+                    for r in subs {
+                        if seq_tx.send((seq, r)).is_err() {
+                            return seq;
+                        }
+                        seq += 1;
+                    }
+                    next_coarse += 1;
+                }
+            }
+            assert!(pending.is_empty(), "refine stage dropped a coarse chunk");
+            drop(seq_tx);
+            seq
+        });
+
+        // Process workers (Deduplicate/Compress/Reorder+Output).
+        for _ in 0..workers {
+            let rx = seq_rx.clone();
+            s.spawn(move || {
+                while let Ok((seq, range)) = rx.recv() {
+                    backend.process_chunk(seq, corpus, range);
+                }
+            });
+        }
+        drop(seq_rx);
+
+        // Fragment on this thread.
+        for (idx, coarse) in chunk_boundaries(corpus, cfg.coarse).into_iter().enumerate() {
+            if coarse_tx.send((idx, coarse)).is_err() {
+                break;
+            }
+        }
+        drop(coarse_tx);
+
+        total = seq_stage.join().expect("sequence stage panicked");
+    });
+    backend.finalize(total);
+    let elapsed = start.elapsed();
+
+    let out = backend.output_stats();
+    DedupReport {
+        label: format!("{} (staged)", backend.label()),
+        threads: cfg.threads,
+        elapsed,
+        total_chunks: total,
+        unique_chunks: out.unique_records,
+        duplicate_chunks: out.reference_records,
+        bytes_in: corpus.len() as u64,
+        bytes_out: out.bytes_written,
+        diagnostics: backend.diagnostics(),
+    }
+}
+
+/// Run the pipeline and verify the archive reconstructs the corpus exactly.
+///
+/// # Panics
+///
+/// Panics if the archive is corrupt or does not match — benchmark results
+/// are only meaningful when the output is right.
+pub fn run_pipeline_verified(
+    corpus: &Arc<Vec<u8>>,
+    cfg: &PipelineConfig,
+    backend: &dyn Backend,
+) -> DedupReport {
+    let report = run_pipeline(corpus, cfg, backend);
+    let archive = backend.archive_bytes().expect("read archive");
+    let rebuilt = crate::format::reconstruct(&archive)
+        .unwrap_or_else(|e| panic!("archive corrupt ({}): {e}", report.label));
+    assert_eq!(
+        rebuilt, **corpus,
+        "archive does not reconstruct the input ({})",
+        report.label
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::locks::LockBackend;
+    use crate::backend::tm::{TmBackend, TmFlavor};
+    use crate::backend::{BackendConfig, SinkTarget};
+    use crate::corpus::{generate, CorpusParams};
+    use ad_stm::{Runtime, TmConfig};
+
+    #[test]
+    fn fragment_covers_corpus() {
+        let corpus = generate(&CorpusParams::new(200_000));
+        let cfg = PipelineConfig::tiny(1);
+        let ranges = fragment(&corpus, &cfg);
+        assert_eq!(ranges.first().unwrap().start, 0);
+        assert_eq!(ranges.last().unwrap().end, corpus.len());
+        for w in ranges.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+    }
+
+    #[test]
+    fn lock_pipeline_end_to_end() {
+        let corpus = Arc::new(generate(&CorpusParams::new(200_000)));
+        let backend = LockBackend::new(BackendConfig::default(), SinkTarget::Memory).unwrap();
+        let report = run_pipeline_verified(&corpus, &PipelineConfig::tiny(3), &backend);
+        assert_eq!(report.label, "Pthread");
+        assert_eq!(
+            report.total_chunks,
+            report.unique_chunks + report.duplicate_chunks
+        );
+        assert!(report.ratio() > 1.0, "no space saved: {report:?}");
+    }
+
+    #[test]
+    fn tm_pipeline_end_to_end_all_flavors() {
+        let corpus = Arc::new(generate(&CorpusParams::new(150_000)));
+        for flavor in [TmFlavor::Baseline, TmFlavor::DeferIo, TmFlavor::DeferAll] {
+            let backend = TmBackend::new(
+                Runtime::new(TmConfig::stm()),
+                flavor,
+                BackendConfig::default(),
+                SinkTarget::Memory,
+            )
+            .unwrap();
+            let report = run_pipeline_verified(&corpus, &PipelineConfig::tiny(3), &backend);
+            assert_eq!(
+                report.total_chunks,
+                report.unique_chunks + report.duplicate_chunks,
+                "{flavor:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn file_sink_pipeline() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("ad_dedup_pipe_{}.archive", std::process::id()));
+        let corpus = Arc::new(generate(&CorpusParams::new(100_000)));
+        let backend =
+            LockBackend::new(BackendConfig::default(), SinkTarget::File(path.clone())).unwrap();
+        let report = run_pipeline_verified(&corpus, &PipelineConfig::tiny(2), &backend);
+        assert!(report.bytes_out > 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn staged_pipeline_matches_fused_pipeline() {
+        let corpus = Arc::new(generate(&CorpusParams::new(180_000)));
+        let cfg = PipelineConfig::tiny(3);
+
+        let fused = LockBackend::new(BackendConfig::default(), SinkTarget::Memory).unwrap();
+        let fused_report = run_pipeline(&corpus, &cfg, &fused);
+
+        let staged = LockBackend::new(BackendConfig::default(), SinkTarget::Memory).unwrap();
+        let staged_report = run_pipeline_staged(&corpus, &cfg, &staged);
+
+        // Identical content-defined boundaries ⇒ identical archives.
+        assert_eq!(staged_report.total_chunks, fused_report.total_chunks);
+        assert_eq!(staged_report.unique_chunks, fused_report.unique_chunks);
+        assert_eq!(staged_report.bytes_out, fused_report.bytes_out);
+        assert!(staged_report.label.contains("staged"));
+        let rebuilt =
+            crate::format::reconstruct(&staged.archive_bytes().unwrap()).unwrap();
+        assert_eq!(rebuilt, *corpus);
+    }
+
+    #[test]
+    fn staged_pipeline_with_tm_backend() {
+        let corpus = Arc::new(generate(&CorpusParams::new(120_000)));
+        let backend = TmBackend::new(
+            Runtime::new(TmConfig::stm()),
+            TmFlavor::DeferAll,
+            BackendConfig::default(),
+            SinkTarget::Memory,
+        )
+        .unwrap();
+        let report = run_pipeline_staged(&corpus, &PipelineConfig::tiny(2), &backend);
+        let rebuilt =
+            crate::format::reconstruct(&backend.archive_bytes().unwrap()).unwrap();
+        assert_eq!(rebuilt, *corpus);
+        assert_eq!(
+            report.total_chunks,
+            report.unique_chunks + report.duplicate_chunks
+        );
+    }
+
+    #[test]
+    fn single_threaded_pipeline_works() {
+        let corpus = Arc::new(generate(&CorpusParams::new(80_000)));
+        let backend = TmBackend::new(
+            Runtime::new(TmConfig::stm()),
+            TmFlavor::DeferAll,
+            BackendConfig::default(),
+            SinkTarget::Memory,
+        )
+        .unwrap();
+        run_pipeline_verified(&corpus, &PipelineConfig::tiny(1), &backend);
+    }
+}

@@ -1,0 +1,297 @@
+//! Rabin-style rolling hash and content-defined chunking.
+//!
+//! PARSEC dedup splits its input in two passes: *Fragment* cuts the stream
+//! into coarse chunks at rolling-hash anchors, and *FragmentRefine* re-chunks
+//! each coarse chunk at finer anchors. Content-defined boundaries make the
+//! chunking insertion-stable: editing one region of the input only changes
+//! the fingerprints of nearby chunks, which is what makes deduplication
+//! effective.
+//!
+//! We use a byte-wise polynomial rolling hash over a fixed window (a
+//! practical Rabin-fingerprint stand-in with the same boundary-stability
+//! property) and declare a boundary whenever `hash % divisor == divisor - 1`,
+//! with configurable minimum and maximum chunk sizes.
+
+/// Width of the rolling window in bytes.
+pub const WINDOW: usize = 48;
+
+const MULT: u64 = 0x0100_0000_01b3; // FNV-ish odd multiplier
+
+/// Precomputed `MULT^WINDOW` for O(1) removal of the outgoing byte.
+fn mult_pow_window() -> u64 {
+    let mut p = 1u64;
+    for _ in 0..WINDOW {
+        p = p.wrapping_mul(MULT);
+    }
+    p
+}
+
+/// A rolling hash over the last [`WINDOW`] bytes seen.
+pub struct RollingHash {
+    hash: u64,
+    window: [u8; WINDOW],
+    pos: usize,
+    filled: bool,
+    out_mult: u64,
+}
+
+impl RollingHash {
+    /// Empty window.
+    pub fn new() -> Self {
+        // The hash maintains the invariant
+        //   hash = Σ_{i in window} (byte_i + 1) · MULT^(W-1-i)
+        // so it must start at the hash of the all-zeros window; otherwise a
+        // constant offset (multiplied by MULT on every push) would make the
+        // value depend on how many bytes were ever pushed, not just on the
+        // current window contents.
+        let mut h = 0u64;
+        for _ in 0..WINDOW {
+            h = h.wrapping_mul(MULT).wrapping_add(1);
+        }
+        RollingHash {
+            hash: h,
+            window: [0; WINDOW],
+            pos: 0,
+            filled: false,
+            out_mult: mult_pow_window(),
+        }
+    }
+
+    /// Push one byte, returning the updated hash.
+    #[inline]
+    pub fn push(&mut self, byte: u8) -> u64 {
+        let outgoing = self.window[self.pos];
+        self.window[self.pos] = byte;
+        self.pos = (self.pos + 1) % WINDOW;
+        if self.pos == 0 {
+            self.filled = true;
+        }
+        // hash = hash * M + in - out * M^W
+        self.hash = self
+            .hash
+            .wrapping_mul(MULT)
+            .wrapping_add(byte as u64 + 1)
+            .wrapping_sub(self.out_mult.wrapping_mul(outgoing as u64 + 1));
+        self.hash
+    }
+
+    /// Has the window seen at least [`WINDOW`] bytes?
+    pub fn primed(&self) -> bool {
+        self.filled
+    }
+
+    /// Current hash value.
+    pub fn value(&self) -> u64 {
+        self.hash
+    }
+}
+
+impl Default for RollingHash {
+    fn default() -> Self {
+        RollingHash::new()
+    }
+}
+
+/// Content-defined chunking parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ChunkParams {
+    /// Boundary when `hash % divisor == divisor - 1`; expected chunk size is
+    /// roughly `divisor` bytes past `min`.
+    pub divisor: u64,
+    /// Never cut before this many bytes.
+    pub min: usize,
+    /// Always cut at this many bytes.
+    pub max: usize,
+}
+
+impl ChunkParams {
+    /// Coarse (Fragment-stage) parameters: ~128 KiB expected.
+    pub fn coarse() -> Self {
+        ChunkParams {
+            divisor: 128 * 1024,
+            min: 32 * 1024,
+            max: 512 * 1024,
+        }
+    }
+
+    /// Fine (FragmentRefine-stage) parameters: ~8 KiB expected.
+    pub fn fine() -> Self {
+        ChunkParams {
+            divisor: 8 * 1024,
+            min: 1024,
+            max: 32 * 1024,
+        }
+    }
+
+    /// Tiny parameters for fast tests.
+    pub fn tiny() -> Self {
+        ChunkParams {
+            divisor: 256,
+            min: 64,
+            max: 1024,
+        }
+    }
+}
+
+/// Split `data` at content-defined boundaries. The returned ranges cover
+/// `data` exactly, in order, without gaps or overlaps.
+pub fn chunk_boundaries(data: &[u8], params: ChunkParams) -> Vec<std::ops::Range<usize>> {
+    assert!(params.min >= 1 && params.max >= params.min && params.divisor >= 2);
+    let mut ranges = Vec::new();
+    let mut start = 0usize;
+    let mut hash = RollingHash::new();
+    let mut len = 0usize;
+
+    for (i, &b) in data.iter().enumerate() {
+        let h = hash.push(b);
+        len += 1;
+        let at_boundary =
+            len >= params.min && hash.primed() && h % params.divisor == params.divisor - 1;
+        if at_boundary || len >= params.max {
+            ranges.push(start..i + 1);
+            start = i + 1;
+            len = 0;
+            hash = RollingHash::new();
+        }
+    }
+    if start < data.len() {
+        ranges.push(start..data.len());
+    }
+    ranges
+}
+
+/// Convenience: materialize chunks as slices.
+pub fn chunk(data: &[u8], params: ChunkParams) -> Vec<&[u8]> {
+    chunk_boundaries(data, params)
+        .into_iter()
+        .map(|r| &data[r])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo_random(len: usize, seed: u64) -> Vec<u8> {
+        let mut x = seed | 1;
+        (0..len)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x >> 32) as u8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn boundaries_cover_input_exactly() {
+        let data = pseudo_random(100_000, 42);
+        let ranges = chunk_boundaries(&data, ChunkParams::tiny());
+        assert!(!ranges.is_empty());
+        assert_eq!(ranges[0].start, 0);
+        assert_eq!(ranges.last().unwrap().end, data.len());
+        for w in ranges.windows(2) {
+            assert_eq!(w[0].end, w[1].start, "gap or overlap");
+        }
+    }
+
+    #[test]
+    fn chunk_sizes_respect_min_and_max() {
+        let data = pseudo_random(200_000, 7);
+        let p = ChunkParams::tiny();
+        let ranges = chunk_boundaries(&data, p);
+        for (i, r) in ranges.iter().enumerate() {
+            let len = r.end - r.start;
+            assert!(len <= p.max, "chunk {i} too large: {len}");
+            if i + 1 != ranges.len() {
+                assert!(len >= p.min, "chunk {i} too small: {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn expected_chunk_size_is_near_divisor() {
+        let data = pseudo_random(1_000_000, 3);
+        let p = ChunkParams::tiny();
+        let ranges = chunk_boundaries(&data, p);
+        let mean = data.len() / ranges.len();
+        // Expected size ≈ min + divisor; allow a generous band.
+        assert!(
+            mean > (p.divisor as usize) / 2 && mean < (p.divisor as usize + p.min) * 4,
+            "mean chunk size {mean} wildly off"
+        );
+    }
+
+    #[test]
+    fn chunking_is_deterministic() {
+        let data = pseudo_random(50_000, 11);
+        let a = chunk_boundaries(&data, ChunkParams::tiny());
+        let b = chunk_boundaries(&data, ChunkParams::tiny());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn identical_regions_produce_identical_chunks() {
+        // Duplicate content must yield duplicate chunks (the property dedup
+        // relies on): a stream of the same block repeated has few distinct
+        // chunk values.
+        let block = pseudo_random(8_192, 5);
+        let mut data = Vec::new();
+        for _ in 0..32 {
+            data.extend_from_slice(&block);
+        }
+        let chunks = chunk(&data, ChunkParams::tiny());
+        let distinct: std::collections::HashSet<&[u8]> = chunks.iter().copied().collect();
+        assert!(
+            distinct.len() * 4 < chunks.len(),
+            "expected heavy duplication: {} distinct of {}",
+            distinct.len(),
+            chunks.len()
+        );
+    }
+
+    #[test]
+    fn boundary_stability_under_prefix_edit() {
+        // Changing bytes near the start must not move boundaries far from
+        // the edit (content-defined property).
+        let mut data = pseudo_random(100_000, 9);
+        let orig = chunk_boundaries(&data, ChunkParams::tiny());
+        data[10] ^= 0xFF;
+        let edited = chunk_boundaries(&data, ChunkParams::tiny());
+        // All boundaries beyond the first few chunks must be identical.
+        let orig_cuts: Vec<usize> = orig.iter().map(|r| r.end).filter(|&e| e > 5_000).collect();
+        let edited_cuts: Vec<usize> =
+            edited.iter().map(|r| r.end).filter(|&e| e > 5_000).collect();
+        assert_eq!(orig_cuts, edited_cuts, "edit rippled through all boundaries");
+    }
+
+    #[test]
+    fn rolling_hash_window_behaviour() {
+        // Same window contents => same hash, regardless of what preceded.
+        let mut h1 = RollingHash::new();
+        let mut h2 = RollingHash::new();
+        let tail: Vec<u8> = (0..WINDOW as u8).collect();
+        for b in 0..200u8 {
+            h1.push(b);
+        }
+        for &b in &tail {
+            h1.push(b);
+        }
+        for b in 100..150u8 {
+            h2.push(b);
+        }
+        for &b in &tail {
+            h2.push(b);
+        }
+        assert_eq!(h1.value(), h2.value());
+        assert!(h1.primed());
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        assert!(chunk_boundaries(&[], ChunkParams::tiny()).is_empty());
+        let one = chunk_boundaries(&[1, 2, 3], ChunkParams::tiny());
+        assert_eq!(one, vec![0..3]);
+    }
+}

@@ -1,0 +1,280 @@
+//! Transaction-friendly condition variables.
+//!
+//! The dedup study the paper builds on (Wang et al., "Transaction-Friendly
+//! Condition Variables", SPAA 2014 — reference [21]) needed condition
+//! synchronization that composes with transactions. With `retry` available,
+//! a condition variable reduces to a *generation counter in transactional
+//! memory*: waiters read the generation and `retry` until it moves;
+//! notifiers bump it. Because the generation is a `TVar`, waits and
+//! notifications compose with arbitrary transactional state — the common
+//! "recheck the predicate under the lock" dance disappears.
+
+use ad_stm::{Runtime, StmResult, TVar, Tx};
+
+/// A condition variable whose state lives in transactional memory.
+///
+/// Typical use:
+///
+/// ```
+/// use ad_stm::{atomically, TVar};
+/// use ad_defer::TxCondvar;
+///
+/// let items = TVar::new(0u32);
+/// let cv = TxCondvar::new();
+///
+/// // Consumer thread:
+/// let (items2, cv2) = (items.clone(), cv.clone());
+/// let consumer = std::thread::spawn(move || {
+///     atomically(|tx| {
+///         let n = tx.read(&items2)?;
+///         if n == 0 {
+///             return cv2.wait(tx); // composes: re-runs when notified OR
+///                                  // when `items` itself changes
+///         }
+///         tx.write(&items2, n - 1)
+///     });
+/// });
+///
+/// // Producer:
+/// atomically(|tx| {
+///     let cv3 = cv.clone();
+///     tx.modify(&items, |n| n + 1)?;
+///     cv3.notify_all(tx)
+/// });
+/// consumer.join().unwrap();
+/// ```
+#[derive(Clone)]
+pub struct TxCondvar {
+    generation: TVar<u64>,
+}
+
+impl TxCondvar {
+    /// New condition variable.
+    pub fn new() -> Self {
+        TxCondvar {
+            generation: TVar::new(0),
+        }
+    }
+
+    /// Block the transaction until the next notification (or until anything
+    /// else in its read set changes — which is a feature: the predicate the
+    /// caller checked is in the read set, so a direct state change also
+    /// wakes the waiter even if the changer forgot to notify).
+    ///
+    /// Typed like [`Tx::retry`] so it can tail a closure of any type.
+    pub fn wait<T>(&self, tx: &mut Tx) -> StmResult<T> {
+        // Reading the generation puts it in the read set; the retry wait
+        // then watches it.
+        let _gen = tx.read(&self.generation)?;
+        tx.retry()
+    }
+
+    /// Wake all transactional waiters when the enclosing transaction
+    /// commits. (There is no `notify_one`: waiters re-check their
+    /// predicates on wake-up, exactly like condition-variable loops, so
+    /// broadcast is the only semantics that composes with aborts.)
+    pub fn notify_all(&self, tx: &mut Tx) -> StmResult<()> {
+        tx.modify(&self.generation, |g| g.wrapping_add(1))
+    }
+
+    /// Notify from outside any transaction (e.g. from a deferred operation
+    /// or plain lock-based code).
+    pub fn notify_all_now(&self) {
+        self.generation.update_locked(|g| g.wrapping_add(1));
+    }
+
+    /// Convenience: `wait` until `pred` holds, then return its payload.
+    /// Re-evaluates `pred` on every wake-up.
+    pub fn wait_until<T>(
+        &self,
+        tx: &mut Tx,
+        pred: impl FnOnce(&mut Tx) -> StmResult<Option<T>>,
+    ) -> StmResult<T> {
+        match pred(tx)? {
+            Some(v) => Ok(v),
+            None => self.wait(tx),
+        }
+    }
+
+    /// Run `rt.atomically`, waiting on this condition variable until `f`
+    /// returns `Some` — the blocking-call shape lock-based code expects.
+    pub fn await_value<T>(
+        &self,
+        rt: &Runtime,
+        mut f: impl FnMut(&mut Tx) -> StmResult<Option<T>>,
+    ) -> T {
+        rt.atomically(|tx| self.wait_until(tx, &mut f))
+    }
+}
+
+impl Default for TxCondvar {
+    fn default() -> Self {
+        TxCondvar::new()
+    }
+}
+
+impl std::fmt::Debug for TxCondvar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TxCondvar")
+            .field("generation", &self.generation.load())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ad_stm::{atomically, TmConfig};
+    use std::collections::VecDeque;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn notify_wakes_waiter() {
+        let cv = TxCondvar::new();
+        let flag = TVar::new(false);
+        let (cv2, f2) = (cv.clone(), flag.clone());
+        let waiter = std::thread::spawn(move || {
+            atomically(|tx| {
+                if !tx.read(&f2)? {
+                    return cv2.wait(tx);
+                }
+                Ok(())
+            });
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        atomically(|tx| {
+            tx.write(&flag, true)?;
+            cv.notify_all(tx)
+        });
+        waiter.join().unwrap();
+    }
+
+    #[test]
+    fn direct_state_change_also_wakes() {
+        // The waiter read `flag`, so a write to flag wakes it even without
+        // a notify call.
+        let cv = TxCondvar::new();
+        let flag = TVar::new(false);
+        let (cv2, f2) = (cv.clone(), flag.clone());
+        let waiter = std::thread::spawn(move || {
+            atomically(|tx| {
+                if !tx.read(&f2)? {
+                    return cv2.wait(tx);
+                }
+                Ok(())
+            });
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        atomically(|tx| tx.write(&flag, true));
+        waiter.join().unwrap();
+    }
+
+    #[test]
+    fn bounded_buffer_producer_consumer() {
+        const CAP: usize = 4;
+        const ITEMS: u32 = 500;
+        let rt = Runtime::new(TmConfig::stm());
+        let queue: TVar<VecDeque<u32>> = TVar::new(VecDeque::new());
+        let not_full = TxCondvar::new();
+        let not_empty = TxCondvar::new();
+
+        std::thread::scope(|s| {
+            let (q, nf, ne, rt2) = (queue.clone(), not_full.clone(), not_empty.clone(), rt.clone());
+            s.spawn(move || {
+                for i in 0..ITEMS {
+                    rt2.atomically(|tx| {
+                        let mut q_val = tx.read(&q)?;
+                        if q_val.len() >= CAP {
+                            return nf.wait(tx);
+                        }
+                        q_val.push_back(i);
+                        tx.write(&q, q_val)?;
+                        ne.notify_all(tx)
+                    });
+                }
+            });
+
+            let (q, nf, ne, rt2) = (queue.clone(), not_full.clone(), not_empty.clone(), rt.clone());
+            let consumer = s.spawn(move || {
+                let mut got = Vec::new();
+                while got.len() < ITEMS as usize {
+                    let v = rt2.atomically(|tx| {
+                        let mut q_val = tx.read(&q)?;
+                        let Some(v) = q_val.pop_front() else {
+                            return ne.wait(tx);
+                        };
+                        tx.write(&q, q_val)?;
+                        nf.notify_all(tx)?;
+                        Ok(v)
+                    });
+                    got.push(v);
+                }
+                got
+            });
+            let got = consumer.join().unwrap();
+            assert_eq!(got, (0..ITEMS).collect::<Vec<_>>(), "FIFO order violated");
+        });
+    }
+
+    #[test]
+    fn await_value_blocks_until_some() {
+        let rt = Runtime::new(TmConfig::stm());
+        let cv = TxCondvar::new();
+        let slot: TVar<Option<u32>> = TVar::new(None);
+        let produced = Arc::new(AtomicBool::new(false));
+
+        let (cv2, s2, rt2, p2) = (cv.clone(), slot.clone(), rt.clone(), Arc::clone(&produced));
+        let waiter = std::thread::spawn(move || {
+            let v = cv2.await_value(&rt2, |tx| tx.read(&s2));
+            assert!(p2.load(Ordering::Acquire), "woke before production");
+            v
+        });
+
+        std::thread::sleep(Duration::from_millis(30));
+        produced.store(true, Ordering::Release);
+        rt.atomically(|tx| {
+            tx.write(&slot, Some(99))?;
+            cv.notify_all(tx)
+        });
+        assert_eq!(waiter.join().unwrap(), 99);
+    }
+
+    #[test]
+    fn notify_from_deferred_operation() {
+        use crate::deferrable::Defer;
+        use crate::defer::atomic_defer;
+
+        struct Disk {
+            written: TVar<bool>,
+        }
+        let disk = Defer::new(Disk {
+            written: TVar::new(false),
+        });
+        let cv = TxCondvar::new();
+
+        let (d2, cv2) = (disk.clone(), cv.clone());
+        let waiter = std::thread::spawn(move || {
+            atomically(|tx| {
+                let done = d2.with(tx, |d, tx| tx.read(&d.written))?;
+                if !done {
+                    return cv2.wait(tx);
+                }
+                Ok(())
+            });
+        });
+
+        std::thread::sleep(Duration::from_millis(20));
+        let (d3, cv3) = (disk.clone(), cv.clone());
+        atomically(move |tx| {
+            let (d4, cv4) = (d3.clone(), cv3.clone());
+            atomic_defer(tx, &[&d3.clone()], move || {
+                d4.locked().written.store(true);
+                cv4.notify_all_now();
+            })
+        });
+        waiter.join().unwrap();
+        assert!(disk.peek_unsynchronized().written.load());
+    }
+}

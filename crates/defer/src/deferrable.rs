@@ -1,0 +1,187 @@
+//! Deferrable objects (paper §4, Listing 1).
+//!
+//! A *deferrable* object carries an implicit [`TxLock`], and every
+//! transactional access to its fields first **subscribes** to that lock —
+//! the paper's compiler extension injects `TxLock.Subscribe` as the first
+//! instruction of every transaction-safe member function; here the
+//! [`Defer::with`] accessor plays that role. Deferred operations, which run
+//! after commit while the lock is held, access the fields through
+//! [`Defer::locked`], which asserts ownership.
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+use ad_stm::{StmResult, Tx};
+
+use crate::owner::OwnerId;
+use crate::txlock::TxLock;
+
+/// Anything protected by an implicit transaction-friendly lock. The
+/// `atomic_defer` machinery only needs the lock, so heterogeneous deferrable
+/// objects can be passed together as `&dyn Deferrable`.
+pub trait Deferrable {
+    /// The object's implicit lock.
+    fn txlock(&self) -> &TxLock;
+}
+
+/// The standard way to make a value deferrable: wrap it.
+///
+/// `T` is typically a struct whose shared fields are `TVar`s (so
+/// transactional accessors can read/write them) and whose external-resource
+/// fields (files, sockets) are plain values used only by deferred
+/// operations. Cloning a `Defer<T>` clones the handle, not the value.
+pub struct Defer<T: ?Sized> {
+    lock: TxLock,
+    inner: Arc<T>,
+}
+
+impl<T> Defer<T> {
+    /// Wrap `value` with a fresh implicit lock.
+    pub fn new(value: T) -> Self {
+        Defer {
+            lock: TxLock::new(),
+            inner: Arc::new(value),
+        }
+    }
+}
+
+impl<T: ?Sized> Defer<T> {
+    /// Transactional access to the object: subscribes to the implicit lock
+    /// (blocking while another thread's deferred operation owns the object),
+    /// then runs `f`. This is the analogue of calling a transaction-safe
+    /// member function on a `deferrable` class.
+    pub fn with<R>(
+        &self,
+        tx: &mut Tx,
+        f: impl FnOnce(&T, &mut Tx) -> StmResult<R>,
+    ) -> StmResult<R> {
+        self.lock.subscribe(tx)?;
+        f(&self.inner, tx)
+    }
+
+    /// Access from a deferred operation (or any other context) that holds
+    /// the implicit lock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the calling thread does not hold the lock: unlocked access
+    /// to a deferrable object's fields is exactly the data race the paper's
+    /// protocol exists to prevent (§4.3).
+    pub fn locked(&self) -> LockedRef<'_, T> {
+        assert_eq!(
+            self.lock.holder(),
+            Some(OwnerId::me()),
+            "deferred access to a Deferrable whose lock this thread does not hold"
+        );
+        LockedRef { inner: &self.inner }
+    }
+
+    /// Escape hatch for read-only access to fields that are themselves
+    /// synchronized (e.g. to read a `TVar` field non-transactionally for
+    /// diagnostics). Does not check the lock; named loudly on purpose.
+    pub fn peek_unsynchronized(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> Deferrable for Defer<T> {
+    fn txlock(&self) -> &TxLock {
+        &self.lock
+    }
+}
+
+impl<T: ?Sized> Clone for Defer<T> {
+    fn clone(&self) -> Self {
+        Defer {
+            lock: self.lock.clone(),
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T: ?Sized> std::fmt::Debug for Defer<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Defer").field("lock", &self.lock).finish()
+    }
+}
+
+/// Proof-of-lock access to a deferrable object's contents.
+pub struct LockedRef<'a, T: ?Sized> {
+    inner: &'a T,
+}
+
+impl<T: ?Sized> Deref for LockedRef<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ad_stm::{atomically, Runtime, TVar};
+
+    struct Counter {
+        value: TVar<u64>,
+    }
+
+    #[test]
+    fn with_subscribes_and_accesses_fields() {
+        let obj = Defer::new(Counter {
+            value: TVar::new(5),
+        });
+        let seen = atomically(|tx| obj.with(tx, |c, tx| tx.read(&c.value)));
+        assert_eq!(seen, 5);
+    }
+
+    #[test]
+    fn locked_access_requires_holding_the_lock() {
+        let obj = Defer::new(Counter {
+            value: TVar::new(0),
+        });
+        obj.txlock().acquire_now(Runtime::global());
+        obj.locked().value.store(7);
+        assert_eq!(obj.peek_unsynchronized().value.load(), 7);
+        obj.txlock().release_now(Runtime::global());
+    }
+
+    #[test]
+    #[should_panic(expected = "lock this thread does not hold")]
+    fn locked_access_without_lock_panics() {
+        let obj = Defer::new(Counter {
+            value: TVar::new(0),
+        });
+        let _ = obj.locked();
+    }
+
+    #[test]
+    #[should_panic(expected = "lock this thread does not hold")]
+    fn locked_access_from_wrong_thread_panics() {
+        let obj = Defer::new(Counter {
+            value: TVar::new(0),
+        });
+        obj.txlock().acquire_now(Runtime::global());
+        let obj2 = obj.clone();
+        let err = std::thread::spawn(move || {
+            let _ = obj2.locked();
+        })
+        .join();
+        obj.txlock().release_now(Runtime::global());
+        // Re-panic the inner panic so should_panic observes it.
+        std::panic::resume_unwind(err.unwrap_err());
+    }
+
+    #[test]
+    fn clone_shares_lock_and_value() {
+        let a = Defer::new(Counter {
+            value: TVar::new(1),
+        });
+        let b = a.clone();
+        b.peek_unsynchronized().value.store(2);
+        assert_eq!(a.peek_unsynchronized().value.load(), 2);
+        a.txlock().acquire_now(Runtime::global());
+        assert!(b.txlock().held_by_me());
+        a.txlock().release_now(Runtime::global());
+    }
+}

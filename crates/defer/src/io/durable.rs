@@ -1,0 +1,223 @@
+//! Durable output with guaranteed order (paper §5.2, Listing 4).
+//!
+//! Some programs (durable databases) must not update file F2 until F1's
+//! updates have *reached the disk* (`fsync` returned). Deferring the
+//! `fsync` naively breaks that ordering. The paper's solution: encapsulate
+//! a completion flag in the deferrable object associated with the deferred
+//! `write+fsync`, so the flag is set while the implicit lock is held — a
+//! transaction that subscribes and checks the flag either sees "not yet
+//! written" (and can retry), waits out the in-flight sync, or sees "synced"
+//! and may proceed.
+
+use std::fs::File;
+use std::io::Write;
+use std::path::Path;
+use std::sync::Arc;
+
+use ad_stm::{StmResult, TVar, Tx};
+use parking_lot::Mutex;
+
+use crate::defer::atomic_defer;
+use crate::deferrable::Defer;
+
+/// Deferrable wrapper for a file descriptor (the paper's `defer_fd`).
+pub struct DeferFd {
+    file: Mutex<File>,
+}
+
+/// A deferrable output file handle.
+#[derive(Clone)]
+pub struct DurableFile {
+    fd: Defer<DeferFd>,
+}
+
+impl DurableFile {
+    /// Create (truncating) a durable output file.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(DurableFile {
+            fd: Defer::new(DeferFd {
+                file: Mutex::new(file),
+            }),
+        })
+    }
+
+    /// The deferrable file-descriptor object (for passing to
+    /// `atomic_defer` alongside a buffer).
+    pub fn deferrable(&self) -> &Defer<DeferFd> {
+        &self.fd
+    }
+}
+
+/// Deferrable wrapper for an output buffer with a durability flag (the
+/// paper's `defer_buffer`: `buf` + `flag: is buffer written?`).
+pub struct BufferState {
+    data: TVar<Arc<Vec<u8>>>,
+    synced: TVar<bool>,
+}
+
+/// A buffer whose durable write can be atomically deferred, carrying the
+/// "has reached the disk" flag used for cross-file ordering.
+#[derive(Clone)]
+pub struct DeferBuffer {
+    inner: Defer<BufferState>,
+}
+
+impl DeferBuffer {
+    /// New buffer holding `data`, not yet synced.
+    pub fn new(data: Vec<u8>) -> Self {
+        DeferBuffer {
+            inner: Defer::new(BufferState {
+                data: TVar::new(Arc::new(data)),
+                synced: TVar::new(false),
+            }),
+        }
+    }
+
+    /// Transactionally replace the buffer contents (clears the synced flag).
+    pub fn set_data(&self, tx: &mut Tx, data: Vec<u8>) -> StmResult<()> {
+        self.inner.with(tx, |b, tx| {
+            tx.write(&b.data, Arc::new(data))?;
+            tx.write(&b.synced, false)
+        })
+    }
+
+    /// Listing 4, T2's condition (lines 7–8): subscribe to the buffer and
+    /// report whether its durable write has completed. Three outcomes map to
+    /// the paper's three cases: the deferring transaction has not committed
+    /// yet → `false`; the deferred `write+fsync` is in flight → this call
+    /// blocks (the subscription retries on the held lock); the sync is done
+    /// → `true`.
+    pub fn is_synced(&self, tx: &mut Tx) -> StmResult<bool> {
+        self.inner.with(tx, |b, tx| tx.read(&b.synced))
+    }
+
+    /// Convenience: retry until the buffer is durable.
+    pub fn await_synced(&self, tx: &mut Tx) -> StmResult<()> {
+        if self.is_synced(tx)? {
+            Ok(())
+        } else {
+            tx.retry()
+        }
+    }
+
+    /// Non-transactional flag read (diagnostics/tests).
+    pub fn synced_now(&self) -> bool {
+        self.inner.peek_unsynchronized().synced.load()
+    }
+}
+
+/// Listing 4, T1 (lines 1–6): atomically defer `write(fd, buf); fsync(fd);
+/// buf.flag = true` from the enclosing transaction, holding both the file's
+/// and the buffer's implicit locks until the data is on disk and the flag is
+/// set.
+pub fn durable_write(tx: &mut Tx, file: &DurableFile, buf: &DeferBuffer) -> StmResult<()> {
+    let fd = file.fd.clone();
+    let b = buf.inner.clone();
+    atomic_defer(tx, &[&file.fd, &buf.inner], move || {
+        let data = b.locked().data.load();
+        {
+            let guard = fd.locked();
+            let mut f = guard.file.lock();
+            // Durable output to unreliable media: retry transient short
+            // writes (the paper's pipeline_out loop, Listing 7).
+            let mut sent = 0usize;
+            while sent < data.len() {
+                match f.write(&data[sent..]) {
+                    Ok(0) => break,
+                    Ok(n) => sent += n,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(e) => panic!("durable write failed irrecoverably: {e}"),
+                }
+            }
+            f.sync_all().expect("fsync failed");
+        }
+        // Set the completion flag while the locks are still held: only
+        // after the release can a subscriber observe synced = true.
+        b.locked().synced.store(true);
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ad_stm::atomically;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "ad_defer_durable_{}_{}_{name}",
+            std::process::id(),
+            ad_stm::internals::clock_now(),
+        ));
+        p
+    }
+
+    #[test]
+    fn durable_write_persists_and_sets_flag() {
+        let path = temp_path("basic");
+        let file = DurableFile::create(&path).unwrap();
+        let buf = DeferBuffer::new(b"hello disk".to_vec());
+        assert!(!buf.synced_now());
+
+        atomically(|tx| durable_write(tx, &file, &buf));
+
+        assert!(buf.synced_now());
+        assert_eq!(std::fs::read(&path).unwrap(), b"hello disk");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn second_output_orders_after_first_sync() {
+        // Listing 4 end-to-end: T2 writes F2 only after T1's F1 write is
+        // durable.
+        let p1 = temp_path("f1");
+        let p2 = temp_path("f2");
+        let f1 = DurableFile::create(&p1).unwrap();
+        let f2 = DurableFile::create(&p2).unwrap();
+        let b1 = DeferBuffer::new(b"first".to_vec());
+        let b2 = DeferBuffer::new(b"second".to_vec());
+
+        let t2_done = std::sync::Arc::new(AtomicBool::new(false));
+        let (b1c, f2c, b2c, done) = (
+            b1.clone(),
+            f2.clone(),
+            b2.clone(),
+            std::sync::Arc::clone(&t2_done),
+        );
+        let t2 = std::thread::spawn(move || {
+            atomically(|tx| {
+                // Subscribe + check flag; retry until T1's fsync completed.
+                b1c.await_synced(tx)?;
+                durable_write(tx, &f2c, &b2c)
+            });
+            done.store(true, Ordering::Release);
+        });
+
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        assert!(!t2_done.load(Ordering::Acquire), "T2 ran before T1 synced");
+
+        atomically(|tx| durable_write(tx, &f1, &b1));
+        t2.join().unwrap();
+
+        assert_eq!(std::fs::read(&p1).unwrap(), b"first");
+        assert_eq!(std::fs::read(&p2).unwrap(), b"second");
+        let _ = std::fs::remove_file(&p1);
+        let _ = std::fs::remove_file(&p2);
+    }
+
+    #[test]
+    fn set_data_clears_synced_flag() {
+        let path = temp_path("reset");
+        let file = DurableFile::create(&path).unwrap();
+        let buf = DeferBuffer::new(b"v1".to_vec());
+        atomically(|tx| durable_write(tx, &file, &buf));
+        assert!(buf.synced_now());
+        atomically(|tx| buf.set_data(tx, b"v2".to_vec()));
+        assert!(!buf.synced_now());
+        atomically(|tx| durable_write(tx, &file, &buf));
+        assert_eq!(std::fs::read(&path).unwrap(), b"v1v2");
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,194 @@
+//! Deferred diagnostic logging (paper §5.1, Listing 3).
+//!
+//! Critical sections in programs like memcached and Atomic Quake log
+//! diagnostics. With plain TM the `fprintf` forces irrevocability
+//! (serializing *every* transaction) — so transactional ports usually just
+//! delete the logging. [`DeferLogger`] keeps it: the message is formatted
+//! *inside* the transaction (reading shared state transactionally) and the
+//! write is deferred, atomic with the transaction.
+
+use std::io::Write;
+use std::sync::Arc;
+
+use ad_stm::{StmResult, Tx};
+use parking_lot::Mutex;
+
+use crate::defer::{atomic_defer, atomic_defer_unordered};
+use crate::deferrable::Defer;
+
+/// The deferrable wrapper for the log sink — the paper's `defer_fprintf`
+/// class encapsulating the output file descriptor.
+struct LogSink {
+    out: Mutex<Box<dyn Write + Send>>,
+}
+
+/// A logger whose writes are atomically deferred from transactions.
+#[derive(Clone)]
+pub struct DeferLogger {
+    sink: Defer<LogSink>,
+}
+
+impl DeferLogger {
+    /// Create a logger writing to `out` (a file, a pipe, an in-memory
+    /// buffer...).
+    pub fn new(out: Box<dyn Write + Send>) -> Self {
+        DeferLogger {
+            sink: Defer::new(LogSink {
+                out: Mutex::new(out),
+            }),
+        }
+    }
+
+    /// Log `line` atomically with the enclosing transaction: the output is
+    /// deferred, and the sink's implicit lock orders all logging operations
+    /// on this sink with respect to each other and to the deferring
+    /// transactions.
+    pub fn log(&self, tx: &mut Tx, line: String) -> StmResult<()> {
+        let sink = self.sink.clone();
+        atomic_defer(tx, &[&self.sink], move || {
+            let guard = sink.locked();
+            let mut out = guard.out.lock();
+            let _ = writeln!(out, "{line}");
+            let _ = out.flush();
+        })
+    }
+
+    /// Log without ordering (the "`nil` second argument" variant, §5.1):
+    /// the write still happens after commit but does not serialize
+    /// transactions that use this logger. Appropriate for timestamped logs
+    /// whose order is reconstructed post-mortem. The internal mutex makes
+    /// the sink itself race-free.
+    pub fn log_unordered(&self, tx: &mut Tx, line: String) -> StmResult<()> {
+        let sink = self.sink.clone();
+        atomic_defer_unordered(tx, move || {
+            // Not atomic with the transaction: access the sink through its
+            // own mutex rather than the (unheld) TxLock.
+            let mut out = sink.peek_unsynchronized().out.lock();
+            let _ = writeln!(out, "{line}");
+            let _ = out.flush();
+        })
+    }
+}
+
+/// An in-memory sink for tests and examples: lines written through a
+/// [`DeferLogger`] can be read back.
+#[derive(Clone, Default)]
+pub struct MemorySink {
+    buf: Arc<Mutex<Vec<u8>>>,
+}
+
+impl MemorySink {
+    /// New empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The logged content so far, as UTF-8.
+    pub fn contents(&self) -> String {
+        String::from_utf8_lossy(&self.buf.lock()).into_owned()
+    }
+
+    /// The logged lines so far.
+    pub fn lines(&self) -> Vec<String> {
+        self.contents().lines().map(str::to_owned).collect()
+    }
+}
+
+impl Write for MemorySink {
+    fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+        self.buf.lock().extend_from_slice(data);
+        Ok(data.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ad_stm::{atomically, TVar};
+
+    #[test]
+    fn logs_are_written_after_commit() {
+        let sink = MemorySink::new();
+        let logger = DeferLogger::new(Box::new(sink.clone()));
+        let x = TVar::new(String::from("world"));
+        let i = TVar::new(3u32);
+
+        atomically(|tx| {
+            // Listing 3: format from mutable shared data inside the
+            // transaction, defer the output.
+            let xv = tx.read(&x)?;
+            let iv = tx.read(&i)?;
+            logger.log(tx, format!("hello {xv} {iv}"))
+        });
+
+        assert_eq!(sink.lines(), vec!["hello world 3"]);
+    }
+
+    #[test]
+    fn ordered_logging_preserves_transaction_order() {
+        let sink = MemorySink::new();
+        let logger = DeferLogger::new(Box::new(sink.clone()));
+        for i in 0..20 {
+            atomically(|tx| logger.log(tx, format!("line {i}")));
+        }
+        let lines = sink.lines();
+        assert_eq!(lines.len(), 20);
+        for (i, line) in lines.iter().enumerate() {
+            assert_eq!(line, &format!("line {i}"));
+        }
+    }
+
+    #[test]
+    fn concurrent_ordered_logging_loses_nothing() {
+        let sink = MemorySink::new();
+        let logger = DeferLogger::new(Box::new(sink.clone()));
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let logger = logger.clone();
+                s.spawn(move || {
+                    for i in 0..50 {
+                        atomically(|tx| logger.log(tx, format!("t{t} m{i}")));
+                    }
+                });
+            }
+        });
+        assert_eq!(sink.lines().len(), 200);
+    }
+
+    #[test]
+    fn unordered_logging_loses_nothing_either() {
+        let sink = MemorySink::new();
+        let logger = DeferLogger::new(Box::new(sink.clone()));
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let logger = logger.clone();
+                s.spawn(move || {
+                    for i in 0..50 {
+                        atomically(|tx| logger.log_unordered(tx, format!("t{t} m{i}")));
+                    }
+                });
+            }
+        });
+        assert_eq!(sink.lines().len(), 200);
+    }
+
+    #[test]
+    fn aborted_transactions_do_not_log() {
+        let sink = MemorySink::new();
+        let logger = DeferLogger::new(Box::new(sink.clone()));
+        let first = std::sync::atomic::AtomicBool::new(true);
+        atomically(|tx| {
+            logger.log(tx, "maybe".into())?;
+            if first.swap(false, std::sync::atomic::Ordering::Relaxed) {
+                return Err(ad_stm::StmError::Conflict);
+            }
+            Ok(())
+        });
+        // Logged exactly once: the aborted attempt's deferred write vanished.
+        assert_eq!(sink.lines(), vec!["maybe"]);
+    }
+}

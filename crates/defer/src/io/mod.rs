@@ -1,0 +1,17 @@
+//! Ready-made atomic-deferral patterns for I/O — the paper's §5 use cases
+//! as reusable library types.
+//!
+//! * [`DeferLogger`]: non-serializing diagnostic logging from transactions
+//!   (Listing 3).
+//! * [`DurableFile`] / [`DeferBuffer`] / [`durable_write`]: ordered durable
+//!   output with `fsync` completion flags (Listing 4).
+//! * [`FdPool`]: a bounded descriptor pool with deferred open/close
+//!   (Listing 5, MySQL InnoDB).
+
+mod durable;
+mod fdpool;
+mod logger;
+
+pub use durable::{durable_write, DeferBuffer, DeferFd, DurableFile};
+pub use fdpool::{FdPool, SlotState};
+pub use logger::{DeferLogger, MemorySink};

@@ -1,0 +1,142 @@
+//! Property tests for the deferral layer: lock invariants and deferral
+//! semantics under randomized schedules.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+
+use ad_defer::{atomic_defer, Defer, Deferrable, TxLock};
+use ad_stm::{Runtime, TVar, TmConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Mutual exclusion: N threads doing M lock-protected increments of a
+    /// plain (non-transactional) counter never lose updates — and the lock
+    /// ends up free with depth 0.
+    #[test]
+    fn txlock_mutual_exclusion(threads in 1usize..4, incs in 1usize..50) {
+        let rt = Runtime::new(TmConfig::stm());
+        let lock = TxLock::new();
+        let counter = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                let lock = lock.clone();
+                let counter = Arc::clone(&counter);
+                let rt = rt.clone();
+                s.spawn(move || {
+                    for _ in 0..incs {
+                        lock.with_lock(&rt, || {
+                            // Non-atomic read-modify-write: only safe if the
+                            // lock really excludes.
+                            let v = counter.load(std::sync::atomic::Ordering::Relaxed);
+                            std::hint::spin_loop();
+                            counter.store(v + 1, std::sync::atomic::Ordering::Relaxed);
+                        });
+                    }
+                });
+            }
+        });
+        prop_assert_eq!(
+            counter.load(std::sync::atomic::Ordering::Relaxed),
+            (threads * incs) as u64
+        );
+        prop_assert_eq!(lock.holder(), None);
+        prop_assert_eq!(lock.depth(), 0);
+    }
+
+    /// Reentrancy bookkeeping: any sequence of nested acquires is undone by
+    /// the same number of releases, through arbitrary transaction
+    /// groupings.
+    #[test]
+    fn txlock_reentrancy_balance(depths in prop::collection::vec(1u32..5, 1..6)) {
+        let rt = Runtime::new(TmConfig::stm());
+        let lock = TxLock::new();
+        for &d in &depths {
+            rt.atomically(|tx| {
+                for _ in 0..d {
+                    lock.acquire(tx)?;
+                }
+                Ok(())
+            });
+            assert_eq!(lock.depth(), d);
+            rt.atomically(|tx| {
+                for _ in 0..d {
+                    lock.release(tx)?;
+                }
+                Ok(())
+            });
+            assert_eq!(lock.depth(), 0);
+            assert_eq!(lock.holder(), None);
+        }
+    }
+
+    /// Atomicity of deferral under randomized object counts: a transaction
+    /// defers an op over a random subset of objects; afterwards every lock
+    /// is free and every touched object was updated exactly once.
+    #[test]
+    fn deferral_touches_exactly_the_listed_objects(
+        n_objs in 1usize..6,
+        rounds in 1usize..10,
+    ) {
+        struct Cell { v: TVar<u64> }
+        let rt = Runtime::new(TmConfig::stm());
+        let objs: Vec<Defer<Cell>> = (0..n_objs)
+            .map(|_| Defer::new(Cell { v: TVar::new(0) }))
+            .collect();
+        for round in 0..rounds {
+            // Rotate which objects participate.
+            let chosen: Vec<Defer<Cell>> = objs
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| (i + round) % 2 == 0)
+                .map(|(_, o)| o.clone())
+                .collect();
+            if chosen.is_empty() { continue; }
+            let chosen2 = chosen.clone();
+            rt.atomically(move |tx| {
+                let refs: Vec<&dyn ad_defer::Deferrable> =
+                    chosen2.iter().map(|o| o as &dyn ad_defer::Deferrable).collect();
+                let chosen3 = chosen2.clone();
+                atomic_defer(tx, &refs, move || {
+                    for o in &chosen3 {
+                        o.locked().v.update_locked(|v| v + 1);
+                    }
+                })
+            });
+            for o in &objs {
+                prop_assert_eq!(o.txlock().holder(), None);
+            }
+        }
+    }
+
+    /// Deferred operations of committed transactions always run exactly
+    /// once, under concurrency, for arbitrary thread/op counts.
+    #[test]
+    fn deferred_ops_run_exactly_once(threads in 1usize..4, ops in 1usize..40) {
+        struct Counter { n: TVar<u64> }
+        let rt = Runtime::new(TmConfig::stm());
+        let obj = Arc::new(Defer::new(Counter { n: TVar::new(0) }));
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                let obj = Arc::clone(&obj);
+                let rt = rt.clone();
+                s.spawn(move || {
+                    for _ in 0..ops {
+                        let o = Arc::clone(&obj);
+                        rt.atomically(move |tx| {
+                            let o2 = Arc::clone(&o);
+                            atomic_defer(tx, &[&*o], move || {
+                                o2.locked().n.update_locked(|n| n + 1);
+                            })
+                        });
+                    }
+                });
+            }
+        });
+        prop_assert_eq!(
+            obj.peek_unsynchronized().n.load(),
+            (threads * ops) as u64
+        );
+        prop_assert_eq!(rt.stats().deferred_ops, (threads * ops) as u64);
+    }
+}

@@ -1,0 +1,228 @@
+//! Thread activity registry and quiescence.
+//!
+//! The C++ TMTS does not segregate transactional from non-transactional
+//! memory, so an STM must solve the *privatization problem* (paper §2): a
+//! writer that commits must wait — *quiesce* — until every transaction that
+//! started before its commit has finished, before its thread may touch
+//! privatized data non-transactionally. The paper's Figure 1 shows how this
+//! makes one long transaction stall completely unrelated threads, which is
+//! precisely the pathology atomic deferral removes.
+//!
+//! Implementation: each thread owns an [`ActivitySlot`] per runtime holding
+//! the read version (`rv`) of its in-flight transaction, or `INACTIVE`. A
+//! committing writer with write version `wv` spins until no slot holds a
+//! value `< wv`.
+//!
+//! Memory-safety note: in this Rust STM, values live behind `Arc`s, so
+//! skipping quiescence can never cause a use-after-free — quiescence here
+//! reproduces the *performance semantics* of a C/C++ STM (and programs may
+//! still rely on it for logical privatization). It is switchable per
+//! runtime for the quiescence ablation benchmark.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::RwLock;
+
+use crate::fxhash::FxHashMap;
+
+/// Sentinel meaning "no transaction in flight on this thread".
+pub(crate) const INACTIVE: u64 = u64::MAX;
+
+/// One thread's activity word for one runtime.
+pub(crate) struct ActivitySlot {
+    active: AtomicU64,
+}
+
+impl ActivitySlot {
+    fn new() -> Arc<Self> {
+        Arc::new(ActivitySlot {
+            active: AtomicU64::new(INACTIVE),
+        })
+    }
+
+    /// Publish that this thread runs a transaction with read version `rv`.
+    #[inline]
+    pub(crate) fn begin(&self, rv: u64) {
+        self.active.store(rv, Ordering::SeqCst);
+    }
+
+    /// Update the published read version after a snapshot extension. A later
+    /// snapshot means later writers need not wait for us (DESIGN.md §7).
+    #[inline]
+    pub(crate) fn extend(&self, rv: u64) {
+        self.active.store(rv, Ordering::SeqCst);
+    }
+
+    /// Publish that the transaction finished (committed or aborted).
+    #[inline]
+    pub(crate) fn end(&self) {
+        self.active.store(INACTIVE, Ordering::SeqCst);
+    }
+
+    #[inline]
+    fn load(&self) -> u64 {
+        self.active.load(Ordering::SeqCst)
+    }
+}
+
+/// All activity slots of one runtime.
+#[derive(Default)]
+pub(crate) struct Registry {
+    slots: RwLock<Vec<Arc<ActivitySlot>>>,
+}
+
+thread_local! {
+    /// runtime-id -> this thread's slot in that runtime's registry.
+    static MY_SLOTS: RefCell<FxHashMap<u64, Arc<ActivitySlot>>> =
+        RefCell::new(FxHashMap::default());
+}
+
+impl Registry {
+    /// Get (registering on first use) the calling thread's slot.
+    pub(crate) fn my_slot(&self, runtime_id: u64) -> Arc<ActivitySlot> {
+        MY_SLOTS.with(|m| {
+            let mut m = m.borrow_mut();
+            if let Some(slot) = m.get(&runtime_id) {
+                return Arc::clone(slot);
+            }
+            let slot = ActivitySlot::new();
+            self.slots.write().push(Arc::clone(&slot));
+            m.insert(runtime_id, Arc::clone(&slot));
+            slot
+        })
+    }
+
+    /// Wait until every *other* transaction that started before `wv` has
+    /// finished. Returns the nanoseconds spent waiting.
+    ///
+    /// The caller must have already marked its own slot inactive (a
+    /// committed writer is no hazard to anyone, and clearing first prevents
+    /// two quiescing writers from deadlocking on each other).
+    pub(crate) fn quiesce(&self, wv: u64, my_slot: &Arc<ActivitySlot>) -> u64 {
+        let start = Instant::now();
+        let mut waited = false;
+        // Snapshot the slot list once: threads that register afterwards
+        // necessarily start transactions with rv >= wv.
+        let slots: Vec<Arc<ActivitySlot>> = self.slots.read().clone();
+        for slot in &slots {
+            if Arc::ptr_eq(slot, my_slot) {
+                continue;
+            }
+            let mut spins = 0u32;
+            loop {
+                let v = slot.load();
+                if v == INACTIVE || v >= wv {
+                    break;
+                }
+                waited = true;
+                spins += 1;
+                if spins < 128 {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
+        if waited {
+            start.elapsed().as_nanos() as u64
+        } else {
+            0
+        }
+    }
+
+    #[cfg(test)]
+    pub(crate) fn slot_count(&self) -> usize {
+        self.slots.read().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn my_slot_is_stable_per_thread() {
+        let r = Registry::default();
+        let a = r.my_slot(7001);
+        let b = r.my_slot(7001);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(r.slot_count(), 1);
+    }
+
+    #[test]
+    fn distinct_runtimes_get_distinct_slots() {
+        let r1 = Registry::default();
+        let r2 = Registry::default();
+        let a = r1.my_slot(7002);
+        let b = r2.my_slot(7003);
+        assert!(!Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn quiesce_passes_when_alone() {
+        let r = Registry::default();
+        let me = r.my_slot(7004);
+        me.end();
+        let ns = r.quiesce(100, &me);
+        assert_eq!(ns, 0);
+    }
+
+    #[test]
+    fn quiesce_ignores_newer_transactions() {
+        let r = Registry::default();
+        let me = r.my_slot(7005);
+        me.end();
+        // Another "thread" running a transaction that started after wv.
+        let other = ActivitySlot::new();
+        other.begin(200);
+        r.slots.write().push(Arc::clone(&other));
+        let ns = r.quiesce(100, &me);
+        assert_eq!(ns, 0);
+    }
+
+    #[test]
+    fn quiesce_waits_for_older_transaction() {
+        let r = Arc::new(Registry::default());
+        let me = r.my_slot(7006);
+        me.end();
+        let other = ActivitySlot::new();
+        other.begin(50);
+        r.slots.write().push(Arc::clone(&other));
+
+        let other2 = Arc::clone(&other);
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            other2.end();
+        });
+        let ns = r.quiesce(100, &me);
+        h.join().unwrap();
+        assert!(
+            ns >= 10_000_000,
+            "expected to wait ~30ms for the older transaction, waited {ns}ns"
+        );
+    }
+
+    #[test]
+    fn extend_releases_quiescer() {
+        let r = Arc::new(Registry::default());
+        let me = r.my_slot(7007);
+        me.end();
+        let other = ActivitySlot::new();
+        other.begin(50);
+        r.slots.write().push(Arc::clone(&other));
+
+        let other2 = Arc::clone(&other);
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            // The older transaction extends its snapshot past wv: the
+            // quiescing writer no longer needs to wait for it.
+            other2.extend(150);
+        });
+        r.quiesce(100, &me);
+        h.join().unwrap();
+    }
+}

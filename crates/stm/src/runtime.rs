@@ -1,0 +1,311 @@
+//! The transaction runner: attempt loop, contention management, retry
+//! waiting, serial escalation, and post-commit (deferred-operation)
+//! execution.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use parking_lot::RwLock;
+
+use crate::clock;
+use crate::cm::ContentionManager;
+use crate::config::{RetryPolicy, TmConfig};
+use crate::error::{StmError, StmResult};
+use crate::registry::{ActivitySlot, Registry};
+use crate::stats::{Stats, StatsSnapshot};
+use crate::tx::{CommitOutput, Tx};
+
+static NEXT_RUNTIME_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// Is this thread currently executing a transaction attempt (any
+    /// runtime)? Starting an independent transaction from inside one is a
+    /// deadlock hazard (the serial lock's read side is held, and a queued
+    /// irrevocable writer would block the inner read acquisition forever),
+    /// so the runner refuses it loudly. Nesting is *flat*: nested atomic
+    /// blocks simply use the enclosing `Tx`.
+    static IN_TRANSACTION: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Clears the in-transaction marker even on unwind.
+struct InTxGuard;
+
+impl InTxGuard {
+    fn enter(what: &str) -> InTxGuard {
+        IN_TRANSACTION.with(|c| {
+            assert!(
+                !c.get(),
+                "{what} called from inside a transaction on the same thread: \
+                 nesting is flat — use the enclosing `Tx` for nested atomic \
+                 blocks, or move the call into a post-commit (deferred) action"
+            );
+            c.set(true);
+        });
+        InTxGuard
+    }
+}
+
+impl Drop for InTxGuard {
+    fn drop(&mut self) {
+        IN_TRANSACTION.with(|c| c.set(false));
+    }
+}
+
+pub(crate) struct RtInner {
+    id: u64,
+    cfg: TmConfig,
+    /// GCC-libitm-style serial lock: every transaction attempt holds the
+    /// read side; serial/irrevocable execution takes the write side,
+    /// excluding all speculation. In simulated-HTM mode this doubles as the
+    /// fallback lock that all hardware transactions implicitly subscribe to.
+    serial: RwLock<()>,
+    registry: Registry,
+    stats: Stats,
+}
+
+/// A TM runtime: a policy configuration plus the machinery (serial lock,
+/// activity registry, statistics) shared by the transactions that run under
+/// it.
+///
+/// `TVar`s are plain shared memory and are not tied to a runtime, but **all
+/// transactions that access a given set of `TVar`s must use the same
+/// runtime** — the serial lock only excludes speculation within one runtime.
+/// Use [`Runtime::global`] (or the free functions [`atomically`] /
+/// [`synchronized`]) unless an experiment needs custom policy.
+///
+/// Cloning a `Runtime` clones a handle to the same runtime.
+#[derive(Clone)]
+pub struct Runtime {
+    inner: Arc<RtInner>,
+}
+
+impl Runtime {
+    /// Create a runtime with the given policy configuration.
+    pub fn new(cfg: TmConfig) -> Self {
+        Runtime {
+            inner: Arc::new(RtInner {
+                id: NEXT_RUNTIME_ID.fetch_add(1, Ordering::Relaxed),
+                cfg,
+                serial: RwLock::new(()),
+                registry: Registry::default(),
+                stats: Stats::default(),
+            }),
+        }
+    }
+
+    /// The process-wide default runtime (STM defaults).
+    pub fn global() -> &'static Runtime {
+        static GLOBAL: OnceLock<Runtime> = OnceLock::new();
+        GLOBAL.get_or_init(|| Runtime::new(TmConfig::stm()))
+    }
+
+    /// This runtime's policy configuration.
+    pub fn config(&self) -> TmConfig {
+        self.inner.cfg
+    }
+
+    pub(crate) fn registry(&self) -> &Registry {
+        &self.inner.registry
+    }
+
+    pub(crate) fn stats_ref(&self) -> &Stats {
+        &self.inner.stats
+    }
+
+    /// Snapshot of this runtime's statistics counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.inner.stats.snapshot()
+    }
+
+    /// Zero the statistics counters.
+    pub fn reset_stats(&self) {
+        self.inner.stats.reset();
+    }
+
+    /// Run `f` as an atomic transaction, re-executing on conflicts and
+    /// blocking on [`retry`](Tx::retry), until it commits; returns the
+    /// closure's result.
+    ///
+    /// The closure may run many times and must be side-effect-free apart
+    /// from its transactional accesses — effects that cannot be repeated
+    /// belong in a deferred operation (`ad-defer`) or behind
+    /// [`Tx::require_irrevocable`].
+    pub fn atomically<T>(&self, f: impl FnMut(&mut Tx) -> StmResult<T>) -> T {
+        self.run(f, false)
+    }
+
+    /// Run `f` irrevocably from the start (the TMTS `synchronized` block):
+    /// the transaction executes under the serial lock, excluding all other
+    /// transactions in this runtime, and may perform I/O directly.
+    pub fn synchronized<T>(&self, f: impl FnMut(&mut Tx) -> StmResult<T>) -> T {
+        self.run(f, true)
+    }
+
+    fn run<T>(&self, mut f: impl FnMut(&mut Tx) -> StmResult<T>, start_serial: bool) -> T {
+        let cfg = self.inner.cfg;
+        let mut cm = ContentionManager::new(cfg.serialize_after, cfg.max_backoff_spins);
+        let slot = self.inner.registry.my_slot(self.inner.id);
+        let mut counted_serialization = false;
+
+        loop {
+            let serial = start_serial || cm.should_serialize();
+            self.inner.stats.on_start();
+            if serial && !counted_serialization {
+                self.inner.stats.on_serialization();
+                counted_serialization = true;
+            }
+
+            let outcome = if serial {
+                self.attempt_serial(&mut f, &slot)
+            } else {
+                self.attempt_speculative(&mut f, &slot)
+            };
+
+            match outcome {
+                AttemptOutcome::Committed(value, output) => {
+                    if serial {
+                        self.inner.stats.on_serial_commit();
+                    } else {
+                        self.inner.stats.on_commit();
+                    }
+                    self.run_post_commit(output);
+                    return value;
+                }
+                AttemptOutcome::Waiting(watch) => {
+                    self.inner.stats.on_retry();
+                    match cfg.retry_policy {
+                        RetryPolicy::Spin => watch.wait_spin(),
+                        RetryPolicy::Park => watch.wait_park(),
+                    }
+                }
+                AttemptOutcome::Failed(err) => {
+                    match err {
+                        StmError::Conflict => self.inner.stats.on_conflict(),
+                        StmError::Capacity => self.inner.stats.on_capacity(),
+                        StmError::Unsupported => self.inner.stats.on_unsupported(),
+                        StmError::Retry => unreachable!("retry handled as Waiting"),
+                    }
+                    if err == StmError::Unsupported {
+                        // No point re-speculating: go straight to serial.
+                        cm.on_unsupported();
+                    } else {
+                        cm.on_failure();
+                    }
+                }
+            }
+        }
+    }
+
+    fn attempt_speculative<T>(
+        &self,
+        f: &mut impl FnMut(&mut Tx) -> StmResult<T>,
+        slot: &Arc<ActivitySlot>,
+    ) -> AttemptOutcome<T> {
+        let _in_tx = InTxGuard::enter("atomically");
+        // Hold the serial lock's read side for the whole attempt, commit
+        // and quiescence included: an irrevocable transaction can only run
+        // once we are completely done.
+        let _guard = self.inner.serial.read();
+        let _slot_guard = SlotGuard(slot);
+        let mut tx = Tx::new(self, Arc::clone(slot), false);
+        slot.begin(tx.read_version());
+
+        match f(&mut tx) {
+            Ok(value) => match tx.commit() {
+                Ok(output) => AttemptOutcome::Committed(value, output),
+                Err(err) => AttemptOutcome::Failed(err),
+            },
+            Err(StmError::Retry) => AttemptOutcome::Waiting(tx.watch_list()),
+            Err(err) => AttemptOutcome::Failed(err),
+        }
+    }
+
+    fn attempt_serial<T>(
+        &self,
+        f: &mut impl FnMut(&mut Tx) -> StmResult<T>,
+        slot: &Arc<ActivitySlot>,
+    ) -> AttemptOutcome<T> {
+        let _in_tx = InTxGuard::enter("synchronized/serial execution");
+        let _guard = self.inner.serial.write();
+        let _slot_guard = SlotGuard(slot);
+        let mut tx = Tx::new(self, Arc::clone(slot), true);
+        slot.begin(clock::now());
+
+        match f(&mut tx) {
+            Ok(value) => {
+                let output = tx.finish_serial();
+                AttemptOutcome::Committed(value, output)
+            }
+            Err(StmError::Retry) => {
+                // Condition synchronization from serial mode is only
+                // possible before any irrevocable write has happened —
+                // afterwards there is nothing to roll back.
+                assert!(
+                    !tx.serial_wrote(),
+                    "retry after writes in an irrevocable transaction: \
+                     irrevocable effects cannot be rolled back"
+                );
+                AttemptOutcome::Waiting(tx.watch_list())
+            }
+            Err(err) => {
+                assert!(
+                    !tx.serial_wrote(),
+                    "abort ({err}) after writes in an irrevocable transaction"
+                );
+                AttemptOutcome::Failed(err)
+            }
+        }
+    }
+
+    /// Execute deferred operations in queue order, then deferred frees —
+    /// the tail of the paper's `TxEnd` (Listing 1). Runs with no locks held
+    /// (the serial guard is released), so deferred operations may start
+    /// transactions of their own.
+    fn run_post_commit(&self, output: CommitOutput) {
+        for action in output.actions {
+            self.inner.stats.on_deferred_op();
+            action(self);
+        }
+        drop(output.drops);
+    }
+
+    /// Internal identifier (stable for the lifetime of the runtime).
+    pub fn id(&self) -> u64 {
+        self.inner.id
+    }
+}
+
+impl std::fmt::Debug for Runtime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Runtime")
+            .field("id", &self.inner.id)
+            .field("cfg", &self.inner.cfg)
+            .finish()
+    }
+}
+
+enum AttemptOutcome<T> {
+    Committed(T, CommitOutput),
+    Waiting(crate::retry::WatchList),
+    Failed(StmError),
+}
+
+/// Ensures a panicking closure cannot leave its activity slot marked active,
+/// which would hang every future quiescing writer.
+struct SlotGuard<'a>(&'a Arc<ActivitySlot>);
+
+impl Drop for SlotGuard<'_> {
+    fn drop(&mut self) {
+        self.0.end();
+    }
+}
+
+/// Run a transaction on the [global runtime](Runtime::global).
+pub fn atomically<T>(f: impl FnMut(&mut Tx) -> StmResult<T>) -> T {
+    Runtime::global().atomically(f)
+}
+
+/// Run an irrevocable transaction on the [global runtime](Runtime::global).
+pub fn synchronized<T>(f: impl FnMut(&mut Tx) -> StmResult<T>) -> T {
+    Runtime::global().synchronized(f)
+}

@@ -1,0 +1,234 @@
+//! Per-runtime statistics counters.
+//!
+//! Every figure reproduction reports these alongside wall-clock time: they
+//! are how we verify that the *mechanism* behind a speedup matches the
+//! paper's story (e.g. "+DeferAll eliminates capacity serializations", or
+//! "irrevoc serializes every output transaction").
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Live counters. All increments are relaxed: the numbers are diagnostics,
+/// not synchronization.
+#[derive(Default)]
+pub struct Stats {
+    pub(crate) starts: AtomicU64,
+    pub(crate) commits: AtomicU64,
+    pub(crate) aborts_conflict: AtomicU64,
+    pub(crate) aborts_capacity: AtomicU64,
+    pub(crate) aborts_unsupported: AtomicU64,
+    pub(crate) retries: AtomicU64,
+    pub(crate) serializations: AtomicU64,
+    pub(crate) serial_commits: AtomicU64,
+    pub(crate) quiesce_waits: AtomicU64,
+    pub(crate) quiesce_ns: AtomicU64,
+    pub(crate) deferred_ops: AtomicU64,
+}
+
+macro_rules! bump {
+    ($($name:ident => $field:ident),* $(,)?) => {
+        $(
+            #[inline]
+            pub(crate) fn $name(&self) {
+                self.$field.fetch_add(1, Ordering::Relaxed);
+            }
+        )*
+    };
+}
+
+impl Stats {
+    bump! {
+        on_start => starts,
+        on_commit => commits,
+        on_conflict => aborts_conflict,
+        on_capacity => aborts_capacity,
+        on_unsupported => aborts_unsupported,
+        on_retry => retries,
+        on_serialization => serializations,
+        on_serial_commit => serial_commits,
+        on_deferred_op => deferred_ops,
+    }
+
+    #[inline]
+    pub(crate) fn on_quiesce(&self, ns: u64) {
+        self.quiesce_waits.fetch_add(1, Ordering::Relaxed);
+        self.quiesce_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Copy the counters out.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            starts: self.starts.load(Ordering::Relaxed),
+            commits: self.commits.load(Ordering::Relaxed),
+            aborts_conflict: self.aborts_conflict.load(Ordering::Relaxed),
+            aborts_capacity: self.aborts_capacity.load(Ordering::Relaxed),
+            aborts_unsupported: self.aborts_unsupported.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            serializations: self.serializations.load(Ordering::Relaxed),
+            serial_commits: self.serial_commits.load(Ordering::Relaxed),
+            quiesce_waits: self.quiesce_waits.load(Ordering::Relaxed),
+            quiesce_ns: self.quiesce_ns.load(Ordering::Relaxed),
+            deferred_ops: self.deferred_ops.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zero all counters (between benchmark phases).
+    pub fn reset(&self) {
+        for c in [
+            &self.starts,
+            &self.commits,
+            &self.aborts_conflict,
+            &self.aborts_capacity,
+            &self.aborts_unsupported,
+            &self.retries,
+            &self.serializations,
+            &self.serial_commits,
+            &self.quiesce_waits,
+            &self.quiesce_ns,
+            &self.deferred_ops,
+        ] {
+            c.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// An immutable copy of a runtime's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Transaction attempts started (including re-executions).
+    pub starts: u64,
+    /// Speculative commits.
+    pub commits: u64,
+    /// Aborts due to validation/lock conflicts.
+    pub aborts_conflict: u64,
+    /// Simulated-HTM capacity aborts.
+    pub aborts_capacity: u64,
+    /// Aborts because the closure needed serial mode (irrevocable op in a
+    /// speculative context).
+    pub aborts_unsupported: u64,
+    /// `retry` waits (condition synchronization, not failures).
+    pub retries: u64,
+    /// Escalations to serial/irrevocable execution.
+    pub serializations: u64,
+    /// Commits that completed in serial mode.
+    pub serial_commits: u64,
+    /// Writer commits that had to wait in quiescence.
+    pub quiesce_waits: u64,
+    /// Total nanoseconds spent quiescing.
+    pub quiesce_ns: u64,
+    /// Post-commit deferred operations executed.
+    pub deferred_ops: u64,
+}
+
+impl StatsSnapshot {
+    /// Total commits, speculative + serial.
+    pub fn total_commits(&self) -> u64 {
+        self.commits + self.serial_commits
+    }
+
+    /// Total aborts of all kinds (excluding retries).
+    pub fn total_aborts(&self) -> u64 {
+        self.aborts_conflict + self.aborts_capacity + self.aborts_unsupported
+    }
+
+    /// Difference of two snapshots (for measuring a phase).
+    pub fn delta_since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            starts: self.starts - earlier.starts,
+            commits: self.commits - earlier.commits,
+            aborts_conflict: self.aborts_conflict - earlier.aborts_conflict,
+            aborts_capacity: self.aborts_capacity - earlier.aborts_capacity,
+            aborts_unsupported: self.aborts_unsupported - earlier.aborts_unsupported,
+            retries: self.retries - earlier.retries,
+            serializations: self.serializations - earlier.serializations,
+            serial_commits: self.serial_commits - earlier.serial_commits,
+            quiesce_waits: self.quiesce_waits - earlier.quiesce_waits,
+            quiesce_ns: self.quiesce_ns - earlier.quiesce_ns,
+            deferred_ops: self.deferred_ops - earlier.deferred_ops,
+        }
+    }
+}
+
+impl fmt::Display for StatsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "commits={} (serial={}) aborts={} (conflict={} capacity={} unsupported={}) \
+             retries={} serializations={} quiesce={}x/{:.1}ms deferred_ops={}",
+            self.total_commits(),
+            self.serial_commits,
+            self.total_aborts(),
+            self.aborts_conflict,
+            self.aborts_capacity,
+            self.aborts_unsupported,
+            self.retries,
+            self.serializations,
+            self.quiesce_waits,
+            self.quiesce_ns as f64 / 1e6,
+            self.deferred_ops,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_bumps() {
+        let s = Stats::default();
+        s.on_start();
+        s.on_start();
+        s.on_commit();
+        s.on_conflict();
+        s.on_retry();
+        s.on_serialization();
+        s.on_serial_commit();
+        s.on_quiesce(1000);
+        s.on_deferred_op();
+        let snap = s.snapshot();
+        assert_eq!(snap.starts, 2);
+        assert_eq!(snap.commits, 1);
+        assert_eq!(snap.aborts_conflict, 1);
+        assert_eq!(snap.retries, 1);
+        assert_eq!(snap.serializations, 1);
+        assert_eq!(snap.serial_commits, 1);
+        assert_eq!(snap.quiesce_waits, 1);
+        assert_eq!(snap.quiesce_ns, 1000);
+        assert_eq!(snap.deferred_ops, 1);
+        assert_eq!(snap.total_commits(), 2);
+        assert_eq!(snap.total_aborts(), 1);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let s = Stats::default();
+        s.on_start();
+        s.on_capacity();
+        s.on_unsupported();
+        s.reset();
+        assert_eq!(s.snapshot(), StatsSnapshot::default());
+    }
+
+    #[test]
+    fn delta_since_subtracts() {
+        let s = Stats::default();
+        s.on_commit();
+        let a = s.snapshot();
+        s.on_commit();
+        s.on_conflict();
+        let b = s.snapshot();
+        let d = b.delta_since(&a);
+        assert_eq!(d.commits, 1);
+        assert_eq!(d.aborts_conflict, 1);
+    }
+
+    #[test]
+    fn display_contains_key_fields() {
+        let s = Stats::default();
+        s.on_commit();
+        let txt = s.snapshot().to_string();
+        assert!(txt.contains("commits=1"));
+        assert!(txt.contains("serializations=0"));
+    }
+}

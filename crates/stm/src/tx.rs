@@ -1,0 +1,465 @@
+//! The transaction descriptor: read/write sets, snapshot management,
+//! commit, and the post-commit hooks that `ad-defer` builds atomic deferral
+//! on.
+//!
+//! Speculative transactions are TL2-style with lazy versioning: reads are
+//! invisible (validated at commit), writes are buffered and written back
+//! under per-variable version locks. Serial transactions (irrevocability,
+//! paper §2) execute with the runtime's serial lock held exclusively and
+//! access memory directly.
+
+use std::any::Any;
+use std::sync::Arc;
+
+use crate::clock;
+use crate::config::Mode;
+use crate::error::{StmError, StmResult};
+use crate::fxhash::FxHashMap;
+use crate::registry::ActivitySlot;
+use crate::retry::WatchList;
+use crate::runtime::Runtime;
+use crate::var::{downcast, new_value, TVar, Value, VarCore};
+
+/// A post-commit action queued by [`Tx::defer_post_commit`]. Receives the
+/// runtime so deferred operations can run follow-up transactions (e.g.
+/// releasing the `TxLock`s they held).
+pub type PostCommitFn = Box<dyn FnOnce(&Runtime) + Send>;
+
+/// How this transaction executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ExecMode {
+    /// Optimistic, abort-and-retry execution.
+    Speculative,
+    /// Exclusive, irrevocable execution under the serial lock.
+    Serial,
+}
+
+/// Everything a successful commit hands back to the runner to execute
+/// outside the transaction, in order: deferred operations first, then
+/// deferred frees (the paper's `tm_free_list`, Listing 1).
+pub(crate) struct CommitOutput {
+    pub(crate) actions: Vec<PostCommitFn>,
+    pub(crate) drops: Vec<Box<dyn Any + Send>>,
+}
+
+/// An in-flight transaction. Handed to the closure run by
+/// [`Runtime::atomically`](crate::Runtime::atomically); all transactional
+/// reads and writes go through it.
+pub struct Tx<'rt> {
+    rt: &'rt Runtime,
+    mode: ExecMode,
+    /// Read version: the snapshot timestamp (TL2 `rv`).
+    rv: u64,
+    /// Variables read, with the version observed. In serial mode this only
+    /// feeds the `retry` watch list.
+    read_set: Vec<(Arc<VarCore>, u64)>,
+    /// First-read values, so re-reads observe a stable snapshot (opacity).
+    read_cache: FxHashMap<usize, Value>,
+    /// Buffered writes (speculative mode only).
+    write_set: FxHashMap<usize, (Arc<VarCore>, Value)>,
+    /// Deferred operations queued by `atomic_defer` (via ad-defer).
+    post_commit: Vec<PostCommitFn>,
+    /// Deferred frees: values whose destruction is delayed until after the
+    /// deferred operations have run.
+    drops: Vec<Box<dyn Any + Send>>,
+    /// Simulated-HTM footprint accounting.
+    footprint: u64,
+    footprint_vars: crate::fxhash::FxHashSet<usize>,
+    /// Serial mode: has the closure performed (unrecoverable) writes?
+    serial_wrote: bool,
+    slot: Arc<ActivitySlot>,
+}
+
+impl<'rt> Tx<'rt> {
+    pub(crate) fn new(rt: &'rt Runtime, slot: Arc<ActivitySlot>, serial: bool) -> Self {
+        let rv = clock::now();
+        Tx {
+            rt,
+            mode: if serial {
+                ExecMode::Serial
+            } else {
+                ExecMode::Speculative
+            },
+            rv,
+            read_set: Vec::new(),
+            read_cache: FxHashMap::default(),
+            write_set: FxHashMap::default(),
+            post_commit: Vec::new(),
+            drops: Vec::new(),
+            footprint: 0,
+            footprint_vars: crate::fxhash::FxHashSet::default(),
+            serial_wrote: false,
+            slot,
+        }
+    }
+
+    /// The runtime this transaction belongs to.
+    pub fn runtime(&self) -> &Runtime {
+        self.rt
+    }
+
+    /// The snapshot timestamp of this transaction attempt.
+    pub fn read_version(&self) -> u64 {
+        self.rv
+    }
+
+    /// Read a transactional variable (clones the value out).
+    pub fn read<T: Any + Send + Sync + Clone>(&mut self, var: &TVar<T>) -> StmResult<T> {
+        let val = self.read_value(var.core())?;
+        Ok(downcast::<T>(&val))
+    }
+
+    /// Read a transactional variable without cloning its contents: returns
+    /// a shared handle to the snapshot value. Useful for large values
+    /// (buffers, collections) where [`Tx::read`]'s clone would be costly.
+    /// The handle stays valid after commit/abort — it is a snapshot, not a
+    /// reference into the variable.
+    pub fn read_arc<T: Any + Send + Sync>(&mut self, var: &TVar<T>) -> StmResult<Arc<T>> {
+        let val = self.read_value(var.core())?;
+        Ok(val
+            .downcast::<T>()
+            .unwrap_or_else(|_| panic!("ad-stm internal error: TVar value has wrong type")))
+    }
+
+    /// The common read path: consistent snapshot + read-set bookkeeping,
+    /// returning the type-erased value.
+    fn read_value(&mut self, core: &Arc<VarCore>) -> StmResult<Value> {
+        if self.mode == ExecMode::Serial {
+            let (v, val) = core.read_consistent();
+            self.read_set.push((Arc::clone(core), v));
+            return Ok(val);
+        }
+        let id = core.id();
+        self.charge_var_access(id)?;
+        if let Some((_, val)) = self.write_set.get(&id) {
+            return Ok(val.clone());
+        }
+        if let Some(val) = self.read_cache.get(&id) {
+            return Ok(val.clone());
+        }
+        let (v1, val) = core.read_consistent();
+        if v1 > self.rv {
+            self.extend_snapshot()?;
+            debug_assert!(v1 <= self.rv);
+        }
+        self.read_set.push((Arc::clone(core), v1));
+        self.read_cache.insert(id, val.clone());
+        Ok(val)
+    }
+
+    /// Write a transactional variable. Buffered until commit in speculative
+    /// mode; immediate (and unrecoverable) in serial mode.
+    pub fn write<T: Any + Send + Sync + Clone>(
+        &mut self,
+        var: &TVar<T>,
+        value: T,
+    ) -> StmResult<()> {
+        let core = var.core();
+        if self.mode == ExecMode::Serial {
+            core.direct_write(new_value(value));
+            self.serial_wrote = true;
+            return Ok(());
+        }
+        let id = core.id();
+        self.charge_var_access(id)?;
+        self.write_set
+            .insert(id, (Arc::clone(core), new_value(value)));
+        Ok(())
+    }
+
+    /// Read-modify-write helper.
+    pub fn modify<T: Any + Send + Sync + Clone>(
+        &mut self,
+        var: &TVar<T>,
+        f: impl FnOnce(T) -> T,
+    ) -> StmResult<()> {
+        let cur = self.read(var)?;
+        self.write(var, f(cur))
+    }
+
+    /// Block (abort and wait) until some variable in the read set changes —
+    /// Harris et al.'s `retry` (paper §2). Typed as returning any `T` so it
+    /// can tail a closure of any result type.
+    pub fn retry<T>(&mut self) -> StmResult<T> {
+        Err(StmError::Retry)
+    }
+
+    /// Harris et al.'s `orElse` combinator (the same paper `retry` comes
+    /// from, cited in §2): run `first`; if it blocks with `retry`, discard
+    /// its buffered effects and run `second` instead. If `second` also
+    /// retries, the transaction waits on the union of both branches' read
+    /// sets — whichever branch's condition changes first re-executes the
+    /// whole transaction.
+    ///
+    /// Reads performed by the abandoned first branch stay in the read set:
+    /// that is what makes the combined wait correct, at the cost of some
+    /// false conflicts.
+    ///
+    /// In an irrevocable transaction the first branch must not write before
+    /// retrying (eager serial writes cannot be discarded); this is the same
+    /// blocking-before-writes discipline all serial-mode code follows.
+    pub fn or_else<T>(
+        &mut self,
+        first: impl FnOnce(&mut Tx<'rt>) -> StmResult<T>,
+        second: impl FnOnce(&mut Tx<'rt>) -> StmResult<T>,
+    ) -> StmResult<T> {
+        if self.mode == ExecMode::Serial {
+            let wrote_before = self.serial_wrote;
+            return match first(self) {
+                Err(StmError::Retry) => {
+                    assert!(
+                        self.serial_wrote == wrote_before,
+                        "or_else: first branch wrote before retrying in an \
+                         irrevocable transaction"
+                    );
+                    second(self)
+                }
+                other => other,
+            };
+        }
+        // Snapshot the transaction's buffered effects; reads are kept.
+        let write_snapshot = self.write_set.clone();
+        let post_commit_len = self.post_commit.len();
+        let drops_len = self.drops.len();
+        match first(self) {
+            Err(StmError::Retry) => {
+                self.write_set = write_snapshot;
+                self.post_commit.truncate(post_commit_len);
+                self.drops.truncate(drops_len);
+                second(self)
+            }
+            other => other,
+        }
+    }
+
+    /// Require irrevocable (serial) execution for the rest of the
+    /// transaction — the TMTS `synchronized` semantics. In a speculative
+    /// context this aborts and re-executes serially; in serial mode it is a
+    /// no-op. Call before performing I/O or other unrecoverable effects.
+    pub fn require_irrevocable(&mut self) -> StmResult<()> {
+        match self.mode {
+            ExecMode::Serial => Ok(()),
+            ExecMode::Speculative => Err(StmError::Unsupported),
+        }
+    }
+
+    /// Is this transaction running irrevocably?
+    pub fn is_irrevocable(&self) -> bool {
+        self.mode == ExecMode::Serial
+    }
+
+    /// Queue an action to run after this transaction commits (and, for
+    /// writers, after quiescence), in queue order. The building block for
+    /// `atomic_defer`: `ad-defer` queues the deferred operation plus the
+    /// release of its `TxLock`s here. Discarded if the transaction aborts.
+    pub fn defer_post_commit(&mut self, f: PostCommitFn) {
+        self.post_commit.push(f);
+    }
+
+    /// Queue a value to be dropped after all post-commit actions have run —
+    /// the paper's delayed `tm_free_list` (Listing 1): deferred operations
+    /// may refer to memory the transaction logically freed, so its
+    /// reclamation must wait for them.
+    pub fn defer_drop(&mut self, v: Box<dyn Any + Send>) {
+        self.drops.push(v);
+    }
+
+    /// Charge additional simulated-HTM footprint, in bytes. Workloads call
+    /// this to model the *data* footprint of computations inside hardware
+    /// transactions (e.g. dedup's `Compress` touching a whole buffer, paper
+    /// §6.2). No-op for STM and for the serial fallback path, where real
+    /// HTM runs non-speculatively.
+    pub fn account_footprint(&mut self, bytes: u64) -> StmResult<()> {
+        if self.mode == ExecMode::Serial {
+            return Ok(());
+        }
+        if let Mode::HtmSim(h) = self.rt.config().mode {
+            self.footprint += bytes;
+            if self.footprint > h.capacity_bytes {
+                return Err(StmError::Capacity);
+            }
+        }
+        Ok(())
+    }
+
+    /// Footprint charged so far (simulated HTM; 0 otherwise).
+    pub fn footprint(&self) -> u64 {
+        self.footprint
+    }
+
+    /// Charge the per-variable cost for a newly accessed variable.
+    fn charge_var_access(&mut self, id: usize) -> StmResult<()> {
+        if let Mode::HtmSim(h) = self.rt.config().mode {
+            if self.footprint_vars.insert(id) {
+                self.footprint += h.bytes_per_access;
+                if self.footprint > h.capacity_bytes {
+                    return Err(StmError::Capacity);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Snapshot extension: move `rv` forward to `now` if the entire read set
+    /// still validates; otherwise the snapshot is broken and the transaction
+    /// conflicts.
+    fn extend_snapshot(&mut self) -> StmResult<()> {
+        let new_rv = clock::now();
+        for (core, seen) in &self.read_set {
+            let cur = core.version();
+            if clock::is_locked(cur) || cur != *seen {
+                return Err(StmError::Conflict);
+            }
+        }
+        self.rv = new_rv;
+        self.slot.extend(new_rv);
+        Ok(())
+    }
+
+    /// The read set as a watch list for `retry` waiting.
+    pub(crate) fn watch_list(&self) -> WatchList {
+        WatchList::new(
+            self.read_set
+                .iter()
+                .map(|(c, v)| (Arc::clone(c), *v))
+                .collect(),
+        )
+    }
+
+    pub(crate) fn serial_wrote(&self) -> bool {
+        self.serial_wrote
+    }
+
+    /// Number of distinct variables written (diagnostics/tests).
+    pub fn write_set_len(&self) -> usize {
+        self.write_set.len()
+    }
+
+    /// Number of read-set entries (diagnostics/tests).
+    pub fn read_set_len(&self) -> usize {
+        self.read_set.len()
+    }
+
+    /// Attempt to commit a speculative transaction. On success the caller
+    /// receives the post-commit work; on `Conflict` every variable lock has
+    /// been restored and the transaction must re-execute.
+    ///
+    /// Serial transactions use [`Tx::finish_serial`] instead.
+    pub(crate) fn commit(&mut self) -> StmResult<CommitOutput> {
+        debug_assert_eq!(self.mode, ExecMode::Speculative);
+
+        if self.write_set.is_empty() {
+            // Read-only: the snapshot was kept consistent throughout, so the
+            // transaction serializes at its (possibly extended) rv. No
+            // clock tick, no quiescence (paper §2: only *writing*
+            // transactions quiesce).
+            self.slot.end();
+            return Ok(self.take_output());
+        }
+
+        // Phase 1: lock the write set in a canonical (address) order so
+        // concurrent committers cannot deadlock.
+        let mut entries: Vec<(usize, Arc<VarCore>, Value)> = self
+            .write_set
+            .drain()
+            .map(|(id, (core, val))| (id, core, val))
+            .collect();
+        entries.sort_unstable_by_key(|(id, _, _)| *id);
+
+        let mut locked: Vec<(Arc<VarCore>, u64)> = Vec::with_capacity(entries.len());
+        for (_, core, _) in &entries {
+            match core.try_lock() {
+                Some(pre) => locked.push((Arc::clone(core), pre)),
+                None => {
+                    for (c, pre) in &locked {
+                        c.unlock_restore(*pre);
+                    }
+                    return Err(StmError::Conflict);
+                }
+            }
+        }
+        let pre_lock: FxHashMap<usize, u64> = locked
+            .iter()
+            .map(|(c, pre)| (c.id(), *pre))
+            .collect();
+
+        // Phase 2: acquire a write version.
+        let wv = clock::tick();
+
+        // Phase 3: validate the read set (unless nobody else committed
+        // since our snapshot — the TL2 fast path).
+        if wv != self.rv + 2 {
+            for (core, seen) in &self.read_set {
+                let ok = match pre_lock.get(&core.id()) {
+                    // We hold this lock: compare against its pre-lock version.
+                    Some(pre) => pre == seen,
+                    None => {
+                        let cur = core.version();
+                        !clock::is_locked(cur) && cur == *seen
+                    }
+                };
+                if !ok {
+                    for (c, pre) in &locked {
+                        c.unlock_restore(*pre);
+                    }
+                    return Err(StmError::Conflict);
+                }
+            }
+        }
+
+        // Phase 4: write back and release, stamping wv.
+        for (_, core, val) in entries {
+            core.write_back(val, wv);
+        }
+
+        // The transaction is durably committed: it is no longer a hazard to
+        // privatizers, so clear the activity slot *before* quiescing (also
+        // prevents two quiescing writers from waiting on each other).
+        self.slot.end();
+
+        // Phase 5: wake retry-waiters watching the written variables.
+        for (core, _) in &locked {
+            core.wake_waiters();
+        }
+
+        // Phase 6: quiesce (privatization safety, paper §2) — wait for all
+        // transactions that started before wv. Simulated HTM skips this:
+        // hardware transactions are never observed mid-cleanup.
+        if self.rt.config().quiesce {
+            let ns = self.rt.registry().quiesce(wv, &self.slot);
+            if ns > 0 {
+                self.rt.stats_ref().on_quiesce(ns);
+            }
+        }
+
+        Ok(self.take_output())
+    }
+
+    /// Complete a serial transaction: writes were applied eagerly, so only
+    /// collect the post-commit work. Must be called while still holding the
+    /// serial write lock.
+    pub(crate) fn finish_serial(&mut self) -> CommitOutput {
+        debug_assert_eq!(self.mode, ExecMode::Serial);
+        self.slot.end();
+        self.take_output()
+    }
+
+    fn take_output(&mut self) -> CommitOutput {
+        CommitOutput {
+            actions: std::mem::take(&mut self.post_commit),
+            drops: std::mem::take(&mut self.drops),
+        }
+    }
+}
+
+impl std::fmt::Debug for Tx<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tx")
+            .field("mode", &self.mode)
+            .field("rv", &self.rv)
+            .field("reads", &self.read_set.len())
+            .field("writes", &self.write_set.len())
+            .field("deferred", &self.post_commit.len())
+            .finish()
+    }
+}

@@ -1,0 +1,175 @@
+//! Thread-sweep measurement utilities shared by the figure-reproduction
+//! binaries and benches: run a fixed total amount of work across N threads
+//! behind a start barrier, time it, and print paper-style tables.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Barrier;
+use std::time::{Duration, Instant};
+
+/// Result of one (variant, thread-count) cell of a figure.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Label of the series (e.g. "CGL", "defer").
+    pub series: String,
+    /// Number of worker threads.
+    pub threads: usize,
+    /// Wall-clock time for the whole fixed workload.
+    pub elapsed: Duration,
+    /// Optional free-form diagnostics (stats counters etc.).
+    pub note: String,
+}
+
+impl Measurement {
+    /// Seconds as f64 (for tables).
+    pub fn secs(&self) -> f64 {
+        self.elapsed.as_secs_f64()
+    }
+}
+
+/// Run `total_ops` operations split across `threads` workers, all released
+/// together by a barrier. `op` receives the thread index and the global
+/// operation index it claimed. Returns the wall-clock duration measured from
+/// barrier release to last-thread completion.
+pub fn run_fixed_work<F>(threads: usize, total_ops: usize, op: F) -> Duration
+where
+    F: Fn(usize, usize) + Sync,
+{
+    assert!(threads > 0);
+    let barrier = Barrier::new(threads + 1);
+    let next_op = AtomicUsize::new(0);
+    let op = &op;
+    let next = &next_op;
+    let bar = &barrier;
+
+    let mut start: Option<Instant> = None;
+    let start_ref = &mut start;
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            s.spawn(move || {
+                bar.wait();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= total_ops {
+                        break;
+                    }
+                    op(t, i);
+                }
+            });
+        }
+        bar.wait();
+        *start_ref = Some(Instant::now());
+        // The scope joins every worker before returning, so measuring
+        // `elapsed` after the scope gives barrier-release → last-finisher.
+    });
+    start.expect("barrier released").elapsed()
+}
+
+/// Print a Markdown-ish table: first column is the thread count, one column
+/// per series, values in seconds.
+pub fn print_time_table(title: &str, thread_counts: &[usize], results: &[Measurement]) {
+    println!("\n## {title}\n");
+    let mut series: Vec<String> = Vec::new();
+    for m in results {
+        if !series.contains(&m.series) {
+            series.push(m.series.clone());
+        }
+    }
+    print!("| threads |");
+    for s in &series {
+        print!(" {s} |");
+    }
+    println!();
+    print!("|---|");
+    for _ in &series {
+        print!("---|");
+    }
+    println!();
+    for &t in thread_counts {
+        print!("| {t} |");
+        for s in &series {
+            match results.iter().find(|m| m.threads == t && &m.series == s) {
+                Some(m) => print!(" {:.3}s |", m.secs()),
+                None => print!(" - |"),
+            }
+        }
+        println!();
+    }
+    println!();
+    for m in results {
+        if !m.note.is_empty() {
+            println!("  [{} @ {}t] {}", m.series, m.threads, m.note);
+        }
+    }
+}
+
+/// Emit machine-readable CSV alongside the table (series,threads,seconds).
+pub fn print_csv(results: &[Measurement]) {
+    println!("series,threads,seconds");
+    for m in results {
+        println!("{},{},{:.6}", m.series, m.threads, m.secs());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn fixed_work_executes_every_op_exactly_once() {
+        let hits = AtomicU64::new(0);
+        let seen = (0..100)
+            .map(|_| AtomicU64::new(0))
+            .collect::<Vec<_>>();
+        run_fixed_work(4, 100, |_, i| {
+            hits.fetch_add(1, Ordering::Relaxed);
+            seen[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 100);
+        for s in &seen {
+            assert_eq!(s.load(Ordering::Relaxed), 1);
+        }
+    }
+
+    #[test]
+    fn fixed_work_single_thread() {
+        let hits = AtomicU64::new(0);
+        let d = run_fixed_work(1, 10, |t, _| {
+            assert_eq!(t, 0);
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 10);
+        assert!(d > Duration::ZERO);
+    }
+
+    #[test]
+    fn measurement_secs() {
+        let m = Measurement {
+            series: "x".into(),
+            threads: 1,
+            elapsed: Duration::from_millis(1500),
+            note: String::new(),
+        };
+        assert!((m.secs() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tables_print_without_panicking() {
+        let results = vec![
+            Measurement {
+                series: "A".into(),
+                threads: 1,
+                elapsed: Duration::from_millis(10),
+                note: "n".into(),
+            },
+            Measurement {
+                series: "B".into(),
+                threads: 2,
+                elapsed: Duration::from_millis(20),
+                note: String::new(),
+            },
+        ];
+        print_time_table("t", &[1, 2], &results);
+        print_csv(&results);
+    }
+}

@@ -1,0 +1,373 @@
+//! The transactional-I/O microbenchmark (paper §6.1, Listing 6; Figure 2).
+//!
+//! N threads cooperate to complete a fixed number of operations. Each
+//! operation produces content (reading and updating shared, transactional
+//! state), identifies a file, and performs I/O against it: open the file,
+//! read its length, append a record derived from (content, length), close —
+//! or, in the `keep_open` configuration of Figure 2d, just append.
+//!
+//! Four synchronization strategies, matching the paper's series:
+//!
+//! * **CGL** — one coarse-grained lock around content production + I/O.
+//! * **FGL** — one fine-grained lock per file (non-transactional baseline
+//!   added in Figures 2b–2d).
+//! * **irrevoc** — a transaction that turns irrevocable to perform the I/O
+//!   inline, serializing all transactions (the `synchronized` version of
+//!   Listing 6).
+//! * **defer** — a transaction that atomically defers the I/O on the file's
+//!   deferrable object (the `atomic_defer` version of Listing 6).
+
+use std::fs::{File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write};
+use std::path::PathBuf;
+use std::time::Duration;
+
+use ad_defer::{atomic_defer, Defer};
+use ad_stm::{Runtime, TVar, TmConfig};
+use parking_lot::Mutex;
+
+use crate::harness::{run_fixed_work, Measurement};
+
+/// Which synchronization strategy an experiment uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// Coarse-grained lock.
+    Cgl,
+    /// Fine-grained (per-file) locks.
+    Fgl,
+    /// Irrevocable transactions.
+    Irrevoc,
+    /// Atomic deferral.
+    Defer,
+}
+
+impl Variant {
+    /// Series label used in tables (matches the paper's legends).
+    pub fn label(self) -> &'static str {
+        match self {
+            Variant::Cgl => "CGL",
+            Variant::Fgl => "FGL",
+            Variant::Irrevoc => "irrevoc",
+            Variant::Defer => "defer",
+        }
+    }
+
+    /// All variants, in the paper's legend order.
+    pub fn all() -> [Variant; 4] {
+        [Variant::Cgl, Variant::Irrevoc, Variant::Defer, Variant::Fgl]
+    }
+}
+
+/// Configuration of one microbenchmark run.
+#[derive(Debug, Clone)]
+pub struct IoBenchConfig {
+    /// Number of files (1, 2, 4 in Figures 2a–2c).
+    pub files: usize,
+    /// Total operations completed cooperatively by all threads (1M in the
+    /// paper; smaller for quick runs).
+    pub total_ops: usize,
+    /// Figure 2d: keep files open for the whole run and only append.
+    pub keep_open: bool,
+    /// Directory for the benchmark files.
+    pub dir: PathBuf,
+    /// Use the simulated-HTM runtime instead of STM for the TM variants
+    /// ("trends for HTM are the same", §6.1).
+    pub htm: bool,
+}
+
+impl IoBenchConfig {
+    /// A configuration with `files` files and `total_ops` operations in the
+    /// system temp directory.
+    pub fn new(files: usize, total_ops: usize) -> Self {
+        IoBenchConfig {
+            files,
+            total_ops,
+            keep_open: false,
+            dir: std::env::temp_dir(),
+            htm: false,
+        }
+    }
+
+    /// Enable the Figure 2d keep-open mode.
+    pub fn with_keep_open(mut self, on: bool) -> Self {
+        self.keep_open = on;
+        self
+    }
+
+    /// Run TM variants on a simulated-HTM runtime.
+    pub fn with_htm(mut self, on: bool) -> Self {
+        self.htm = on;
+        self
+    }
+
+    fn paths(&self, tag: &str) -> Vec<PathBuf> {
+        // A process-unique run id keeps concurrently running benchmarks
+        // (e.g. parallel tests) from colliding on file names.
+        static RUN: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let run = RUN.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        (0..self.files)
+            .map(|i| {
+                self.dir.join(format!(
+                    "ad_iobench_{}_{run}_{tag}_{i}.dat",
+                    std::process::id()
+                ))
+            })
+            .collect()
+    }
+}
+
+/// Per-file state for the lock-based variants.
+struct LockedFile {
+    path: PathBuf,
+    /// Shared mutable content state (Listing 3's `x`/`i`): a counter the
+    /// operation reads and updates while producing its record.
+    counter: u64,
+    handle: Option<File>,
+}
+
+/// Per-file state for the TM variants: transactional content state plus a
+/// deferrable file object.
+struct TmFile {
+    counter: TVar<u64>,
+    file: Defer<TmFileIo>,
+}
+
+struct TmFileIo {
+    path: PathBuf,
+    handle: Mutex<Option<File>>,
+}
+
+fn open_append(path: &PathBuf) -> File {
+    OpenOptions::new()
+        .create(true)
+        .read(true)
+        .append(true)
+        .open(path)
+        .expect("open benchmark file")
+}
+
+/// The I/O body shared by all variants: (re)open if needed, read the length,
+/// append a record derived from content and length, close if not keeping
+/// open. This is Listing 6's λ.
+fn perform_io(path: &PathBuf, handle: &mut Option<File>, keep_open: bool, content: &str) {
+    let mut file = match handle.take() {
+        Some(f) => f,
+        None => open_append(path),
+    };
+    let len = if keep_open {
+        // Figure 2d: plain append, no length query — smaller critical
+        // section.
+        0
+    } else {
+        file.seek(SeekFrom::End(0)).expect("seek")
+    };
+    let record = format!("{content}@{len}\n");
+    file.write_all(record.as_bytes()).expect("append");
+    if keep_open {
+        *handle = Some(file);
+    }
+    // else: file drops (closes) here.
+}
+
+/// Run one (variant, thread-count) measurement. Creates fresh files, runs
+/// the fixed workload, removes the files, and returns the wall time plus a
+/// stats note for TM variants.
+pub fn run_iobench(cfg: &IoBenchConfig, variant: Variant, threads: usize) -> Measurement {
+    let tag = format!("{}_{threads}_{}", variant.label(), cfg.files);
+    let paths = cfg.paths(&tag);
+    for p in &paths {
+        let _ = std::fs::remove_file(p);
+    }
+
+    let (elapsed, note) = match variant {
+        Variant::Cgl => (run_locked(cfg, &paths, threads, true), String::new()),
+        Variant::Fgl => (run_locked(cfg, &paths, threads, false), String::new()),
+        Variant::Irrevoc | Variant::Defer => run_tm(cfg, &paths, threads, variant),
+    };
+
+    for p in &paths {
+        let _ = std::fs::remove_file(p);
+    }
+    Measurement {
+        series: variant.label().to_string(),
+        threads,
+        elapsed,
+        note,
+    }
+}
+
+fn run_locked(cfg: &IoBenchConfig, paths: &[PathBuf], threads: usize, coarse: bool) -> Duration {
+    let files: Vec<Mutex<LockedFile>> = paths
+        .iter()
+        .map(|p| {
+            Mutex::new(LockedFile {
+                path: p.clone(),
+                counter: 0,
+                handle: cfg.keep_open.then(|| open_append(p)),
+            })
+        })
+        .collect();
+    let global = Mutex::new(());
+    let keep_open = cfg.keep_open;
+    let nfiles = files.len();
+
+    run_fixed_work(threads, cfg.total_ops, |_, i| {
+        let idx = i % nfiles;
+        let _g = coarse.then(|| global.lock());
+        let mut f = files[idx].lock();
+        f.counter += 1;
+        let content = format!("op{}:{}", f.counter, idx);
+        let LockedFile { path, handle, .. } = &mut *f;
+        perform_io(path, handle, keep_open, &content);
+    })
+}
+
+fn run_tm(
+    cfg: &IoBenchConfig,
+    paths: &[PathBuf],
+    threads: usize,
+    variant: Variant,
+) -> (Duration, String) {
+    let rt = Runtime::new(if cfg.htm {
+        TmConfig::htm()
+    } else {
+        TmConfig::stm()
+    });
+    let files: Vec<TmFile> = paths
+        .iter()
+        .map(|p| TmFile {
+            counter: TVar::new(0),
+            file: Defer::new(TmFileIo {
+                path: p.clone(),
+                handle: Mutex::new(cfg.keep_open.then(|| open_append(p))),
+            }),
+        })
+        .collect();
+    let keep_open = cfg.keep_open;
+    let nfiles = files.len();
+    let rt_ref = &rt;
+    let files_ref = &files;
+
+    let elapsed = run_fixed_work(threads, cfg.total_ops, move |_, i| {
+        let idx = i % nfiles;
+        let f = &files_ref[idx];
+        match variant {
+            Variant::Irrevoc => {
+                // `synchronized` version: content production + I/O inside an
+                // irrevocable transaction. GCC enters serial mode directly
+                // for synchronized blocks with unsafe operations, so we use
+                // `synchronized` rather than aborting into it.
+                rt_ref.synchronized(|tx| {
+                    let c = tx.read(&f.counter)?;
+                    tx.write(&f.counter, c + 1)?;
+                    let content = format!("op{}:{}", c + 1, idx);
+                    let io = f.file.peek_unsynchronized();
+                    perform_io(&io.path, &mut io.handle.lock(), keep_open, &content);
+                    Ok(())
+                });
+            }
+            Variant::Defer => {
+                // `atomic_defer` version: content produced transactionally,
+                // I/O deferred on the file's deferrable object.
+                rt_ref.atomically(|tx| {
+                    let c = f.file.with(tx, |_, tx| {
+                        let c = tx.read(&f.counter)?;
+                        tx.write(&f.counter, c + 1)?;
+                        Ok(c + 1)
+                    })?;
+                    let content = format!("op{c}:{idx}");
+                    let io = f.file.clone();
+                    atomic_defer(tx, &[&f.file], move || {
+                        let guard = io.locked();
+                        perform_io(&guard.path, &mut guard.handle.lock(), keep_open, &content);
+                    })
+                });
+            }
+            _ => unreachable!(),
+        }
+    });
+    (elapsed, format!("{}", rt.stats()))
+}
+
+/// Count the records written across all benchmark files (verification
+/// helper — the benchmark itself removes its files, so tests use the
+/// lower-level pieces).
+pub fn count_records(paths: &[PathBuf]) -> usize {
+    paths
+        .iter()
+        .filter_map(|p| std::fs::read_to_string(p).ok())
+        .map(|s| s.lines().count())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg(files: usize) -> IoBenchConfig {
+        IoBenchConfig::new(files, 200)
+    }
+
+    #[test]
+    fn all_variants_complete_the_workload() {
+        for variant in Variant::all() {
+            let m = run_iobench(&quick_cfg(2), variant, 2);
+            assert_eq!(m.series, variant.label());
+            assert!(m.elapsed > Duration::ZERO, "{variant:?} did no work");
+        }
+    }
+
+    #[test]
+    fn keep_open_mode_works_for_all_variants() {
+        let cfg = quick_cfg(2).with_keep_open(true);
+        for variant in Variant::all() {
+            let m = run_iobench(&cfg, variant, 2);
+            assert!(m.elapsed > Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn htm_mode_runs_tm_variants() {
+        let cfg = quick_cfg(2).with_htm(true);
+        for variant in [Variant::Irrevoc, Variant::Defer] {
+            let m = run_iobench(&cfg, variant, 2);
+            assert!(m.elapsed > Duration::ZERO);
+            assert!(!m.note.is_empty(), "TM variants should report stats");
+        }
+    }
+
+    #[test]
+    fn defer_variant_writes_every_record() {
+        // Run the defer path manually (without file cleanup) and verify
+        // record counts.
+        let cfg = IoBenchConfig::new(2, 100);
+        let tag = "verify";
+        let paths = cfg.paths(tag);
+        for p in &paths {
+            let _ = std::fs::remove_file(p);
+        }
+        let (elapsed, _) = run_tm(&cfg, &paths, 3, Variant::Defer);
+        assert!(elapsed > Duration::ZERO);
+        assert_eq!(count_records(&paths), 100);
+        for p in &paths {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn irrevoc_variant_serializes() {
+        let cfg = IoBenchConfig::new(1, 50);
+        let tag = "ser";
+        let paths = cfg.paths(tag);
+        for p in &paths {
+            let _ = std::fs::remove_file(p);
+        }
+        let (_, note) = run_tm(&cfg, &paths, 2, Variant::Irrevoc);
+        // Every op serialized: the note must show 50 serial commits.
+        assert!(note.contains("serial=50"), "stats: {note}");
+        assert_eq!(count_records(&paths), 50);
+        for p in &paths {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! # ad-workloads — microbenchmark workloads and measurement harness
+//!
+//! The transactional-I/O microbenchmark of the atomic-deferral paper
+//! (§6.1, Listing 6; reproduced as Figure 2 by `ad-bench`), plus the
+//! thread-sweep measurement utilities shared by all figure binaries.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod harness;
+pub mod iobench;
+pub mod logbench;
+pub mod poolbench;
+
+pub use harness::{print_csv, print_time_table, run_fixed_work, Measurement};
+pub use iobench::{run_iobench, IoBenchConfig, Variant};
+pub use logbench::{run_logbench, LogBenchConfig, LogVariant};
+pub use poolbench::{run_poolbench, PoolBenchConfig, PoolVariant};

@@ -1,0 +1,209 @@
+//! The §5.1 use case, quantified: diagnostic logging from transactional
+//! critical sections (memcached / Atomic Quake).
+//!
+//! Each operation updates a few shared variables and logs a line derived
+//! from them. Strategies:
+//!
+//! * **skip** — delete the logging, as transactional ports of memcached
+//!   actually did to avoid serialization (the paper's observation);
+//! * **irrevoc** — log inline from an irrevocable transaction;
+//! * **defer** — `DeferLogger::log` (ordered, atomic with the transaction);
+//! * **defer-unordered** — the `nil`-objects variant for timestamped logs;
+//! * **mutex** — the non-transactional lock-based yardstick.
+
+use std::fs::File;
+use std::io::Write;
+use std::path::PathBuf;
+
+use ad_defer::io::DeferLogger;
+use ad_stm::{Runtime, TVar, TmConfig};
+use parking_lot::Mutex;
+
+use crate::harness::{run_fixed_work, Measurement};
+
+/// Logging strategy under test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LogVariant {
+    /// No logging at all (what transactional ports resort to).
+    Skip,
+    /// Inline logging from irrevocable transactions.
+    Irrevoc,
+    /// `atomic_defer`red, ordered logging.
+    Defer,
+    /// Deferred logging with no ordering (nil objects).
+    DeferUnordered,
+    /// Lock-based baseline.
+    Mutex,
+}
+
+impl LogVariant {
+    /// Series label.
+    pub fn label(self) -> &'static str {
+        match self {
+            LogVariant::Skip => "skip",
+            LogVariant::Irrevoc => "irrevoc",
+            LogVariant::Defer => "defer",
+            LogVariant::DeferUnordered => "defer-unordered",
+            LogVariant::Mutex => "mutex",
+        }
+    }
+
+    /// All variants in table order.
+    pub fn all() -> [LogVariant; 5] {
+        [
+            LogVariant::Mutex,
+            LogVariant::Skip,
+            LogVariant::Irrevoc,
+            LogVariant::Defer,
+            LogVariant::DeferUnordered,
+        ]
+    }
+}
+
+/// Configuration of one logging-benchmark run.
+#[derive(Debug, Clone)]
+pub struct LogBenchConfig {
+    /// Total operations across all threads.
+    pub total_ops: usize,
+    /// Number of shared counters the transactional part touches.
+    pub shared_vars: usize,
+    /// Directory for the log file.
+    pub dir: PathBuf,
+}
+
+impl LogBenchConfig {
+    /// Default configuration.
+    pub fn new(total_ops: usize) -> Self {
+        LogBenchConfig {
+            total_ops,
+            shared_vars: 8,
+            dir: std::env::temp_dir(),
+        }
+    }
+
+    fn path(&self, tag: &str) -> PathBuf {
+        // A process-unique run id keeps concurrently running benchmarks
+        // (e.g. parallel tests) from colliding on file names.
+        static RUN: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let run = RUN.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.dir
+            .join(format!("ad_logbench_{}_{run}_{tag}.log", std::process::id()))
+    }
+}
+
+/// Run one (variant, threads) cell. Returns the measurement; panics if a
+/// logging variant lost lines.
+pub fn run_logbench(cfg: &LogBenchConfig, variant: LogVariant, threads: usize) -> Measurement {
+    let path = cfg.path(&format!("{}_{threads}", variant.label()));
+    let _ = std::fs::remove_file(&path);
+    let file = File::create(&path).expect("create log file");
+
+    let rt = Runtime::new(TmConfig::stm());
+    let vars: Vec<TVar<u64>> = (0..cfg.shared_vars).map(|_| TVar::new(0)).collect();
+    let nvars = vars.len();
+
+    let (elapsed, note) = match variant {
+        LogVariant::Mutex => {
+            struct State {
+                counters: Vec<u64>,
+                file: File,
+            }
+            let st = Mutex::new(State {
+                counters: vec![0; nvars],
+                file,
+            });
+            let e = run_fixed_work(threads, cfg.total_ops, |t, i| {
+                let slot = i % nvars;
+                let mut s = st.lock();
+                s.counters[slot] += 1;
+                let line = format!("t{t} slot {slot} -> {}", s.counters[slot]);
+                writeln!(s.file, "{line}").expect("log write");
+            });
+            (e, String::new())
+        }
+        LogVariant::Skip => {
+            let e = run_fixed_work(threads, cfg.total_ops, |_, i| {
+                let slot = i % nvars;
+                rt.atomically(|tx| tx.modify(&vars[slot], |v| v + 1));
+            });
+            (e, format!("{}", rt.stats()))
+        }
+        LogVariant::Irrevoc => {
+            let file = Mutex::new(file);
+            let e = run_fixed_work(threads, cfg.total_ops, |t, i| {
+                let slot = i % nvars;
+                rt.synchronized(|tx| {
+                    let v = tx.read(&vars[slot])?;
+                    tx.write(&vars[slot], v + 1)?;
+                    writeln!(file.lock(), "t{t} slot {slot} -> {}", v + 1)
+                        .expect("log write");
+                    Ok(())
+                });
+            });
+            (e, format!("{}", rt.stats()))
+        }
+        LogVariant::Defer | LogVariant::DeferUnordered => {
+            let logger = DeferLogger::new(Box::new(file));
+            let ordered = variant == LogVariant::Defer;
+            let e = run_fixed_work(threads, cfg.total_ops, |t, i| {
+                let slot = i % nvars;
+                rt.atomically(|tx| {
+                    let v = tx.read(&vars[slot])?;
+                    tx.write(&vars[slot], v + 1)?;
+                    let line = format!("t{t} slot {slot} -> {}", v + 1);
+                    if ordered {
+                        logger.log(tx, line)
+                    } else {
+                        logger.log_unordered(tx, line)
+                    }
+                });
+            });
+            (e, format!("{}", rt.stats()))
+        }
+    };
+
+    // Verify: every logging variant must have written exactly total_ops
+    // lines; the counters must add up for every variant.
+    if variant != LogVariant::Skip {
+        let lines = std::fs::read_to_string(&path)
+            .map(|s| s.lines().count())
+            .unwrap_or(0);
+        assert_eq!(lines, cfg.total_ops, "{variant:?} lost log lines");
+    }
+    if variant != LogVariant::Mutex {
+        let sum: u64 = vars.iter().map(|v| v.load()).sum();
+        assert_eq!(sum, cfg.total_ops as u64, "{variant:?} lost updates");
+    }
+    let _ = std::fs::remove_file(&path);
+
+    Measurement {
+        series: variant.label().to_string(),
+        threads,
+        elapsed,
+        note,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_variants_complete_and_verify() {
+        let cfg = LogBenchConfig::new(300);
+        for v in LogVariant::all() {
+            let m = run_logbench(&cfg, v, 2);
+            assert_eq!(m.series, v.label());
+        }
+    }
+
+    #[test]
+    fn irrevocable_variant_serializes_defer_does_not() {
+        let cfg = LogBenchConfig::new(200);
+        let irre = run_logbench(&cfg, LogVariant::Irrevoc, 2);
+        assert!(irre.note.contains("serial=200"), "stats: {}", irre.note);
+        let defr = run_logbench(&cfg, LogVariant::Defer, 2);
+        assert!(defr.note.contains("serial=0"), "stats: {}", defr.note);
+        assert!(defr.note.contains("deferred_ops=200"), "stats: {}", defr.note);
+    }
+}

@@ -1,0 +1,416 @@
+//! The §5.3 use case, quantified: a bounded file-descriptor pool under
+//! concurrent appends (MySQL InnoDB's file-space management).
+//!
+//! All three strategies share the pattern InnoDB uses — reserve an offset
+//! in a critical section, perform the (positioned) write outside it, keep a
+//! pending-I/O count so a descriptor with in-flight writes is never closed:
+//!
+//! * **mutex** — one pool lock; open/close system calls happen while
+//!   holding it (the lock-based original);
+//! * **irrevoc** — transactional metadata; the open/close repair path runs
+//!   as an irrevocable transaction, serializing *every* transaction in the
+//!   program while system calls are in flight;
+//! * **defer** — [`ad_defer::io::FdPool`]: metadata transactions subscribe
+//!   to the pool, open/close are atomically deferred operations, and only
+//!   transactions that touch the pool stall while they run.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write};
+use std::path::PathBuf;
+
+use ad_defer::io::FdPool;
+use ad_stm::{Runtime, StmResult, TVar, TmConfig, Tx};
+use parking_lot::{Condvar, Mutex};
+
+use crate::harness::{run_fixed_work, Measurement};
+
+/// Pool strategy under test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoolVariant {
+    /// Lock-based pool, open/close under the lock.
+    Mutex,
+    /// Transactional pool with irrevocable open/close.
+    Irrevoc,
+    /// Transactional pool with atomically deferred open/close.
+    Defer,
+}
+
+impl PoolVariant {
+    /// Series label.
+    pub fn label(self) -> &'static str {
+        match self {
+            PoolVariant::Mutex => "mutex",
+            PoolVariant::Irrevoc => "irrevoc",
+            PoolVariant::Defer => "defer",
+        }
+    }
+
+    /// All variants in table order.
+    pub fn all() -> [PoolVariant; 3] {
+        [PoolVariant::Mutex, PoolVariant::Irrevoc, PoolVariant::Defer]
+    }
+}
+
+/// Configuration of one pool-benchmark run.
+#[derive(Debug, Clone)]
+pub struct PoolBenchConfig {
+    /// Logical files in the pool.
+    pub files: usize,
+    /// Maximum simultaneously open descriptors.
+    pub max_open: usize,
+    /// Total appends across all threads.
+    pub total_ops: usize,
+    /// Append payload size.
+    pub payload: usize,
+    /// Directory for the files.
+    pub dir: PathBuf,
+}
+
+impl PoolBenchConfig {
+    /// Default: 8 files, 2 open, 64-byte records.
+    pub fn new(total_ops: usize) -> Self {
+        PoolBenchConfig {
+            files: 8,
+            max_open: 2,
+            total_ops,
+            payload: 64,
+            dir: std::env::temp_dir(),
+        }
+    }
+
+    fn paths(&self, tag: &str) -> Vec<PathBuf> {
+        // A process-unique run id keeps concurrently running benchmarks
+        // (e.g. parallel tests) from colliding on file names.
+        static RUN: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let run = RUN.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        (0..self.files)
+            .map(|i| {
+                self.dir.join(format!(
+                    "ad_poolbench_{}_{run}_{tag}_{i}.dat",
+                    std::process::id()
+                ))
+            })
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Lock-based pool: open/close while holding the pool lock.
+// ---------------------------------------------------------------------
+
+struct MutexSlot {
+    path: PathBuf,
+    size: u64,
+    pending: u32,
+    handle: Option<File>,
+}
+
+struct MutexPoolState {
+    slots: Vec<MutexSlot>,
+    n_open: usize,
+}
+
+struct MutexPool {
+    state: Mutex<MutexPoolState>,
+    drained: Condvar,
+    max_open: usize,
+}
+
+impl MutexPool {
+    fn new(paths: Vec<PathBuf>, max_open: usize) -> Self {
+        MutexPool {
+            state: Mutex::new(MutexPoolState {
+                slots: paths
+                    .into_iter()
+                    .map(|path| MutexSlot {
+                        path,
+                        size: 0,
+                        pending: 0,
+                        handle: None,
+                    })
+                    .collect(),
+                n_open: 0,
+            }),
+            drained: Condvar::new(),
+            max_open,
+        }
+    }
+
+    fn append(&self, idx: usize, data: &[u8]) {
+        let offset = {
+            let mut st = self.state.lock();
+            loop {
+                if st.slots[idx].handle.is_some() {
+                    break;
+                }
+                // Need to open; maybe close a victim first — the system
+                // calls happen under the pool lock.
+                if st.n_open >= self.max_open {
+                    let victim = st
+                        .slots
+                        .iter()
+                        .position(|s| s.handle.is_some() && s.pending == 0);
+                    match victim {
+                        Some(v) => {
+                            st.slots[v].handle = None; // close(2)
+                            st.n_open -= 1;
+                        }
+                        None => {
+                            // All open files busy: wait for a writer.
+                            self.drained.wait(&mut st);
+                            continue;
+                        }
+                    }
+                }
+                let slot = &mut st.slots[idx];
+                slot.handle = Some(
+                    OpenOptions::new()
+                        .create(true)
+                        .read(true)
+                        .write(true)
+                        .truncate(false)
+                        .open(&slot.path)
+                        .expect("open"),
+                );
+                st.n_open += 1;
+            }
+            let slot = &mut st.slots[idx];
+            let off = slot.size;
+            slot.size += data.len() as u64;
+            slot.pending += 1;
+            off
+        };
+
+        // Positioned write outside the lock (InnoDB async-I/O pattern).
+        {
+            let mut st = self.state.lock();
+            let MutexSlot { handle, .. } = &mut st.slots[idx];
+            let f = handle.as_mut().expect("closed with pending I/O");
+            f.seek(SeekFrom::Start(offset)).expect("seek");
+            f.write_all(data).expect("write");
+        }
+
+        let mut st = self.state.lock();
+        st.slots[idx].pending -= 1;
+        drop(st);
+        self.drained.notify_all();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Transactional pool with IRREVOCABLE open/close (the pre-deferral port).
+// ---------------------------------------------------------------------
+
+struct IrrevocSlot {
+    path: PathBuf,
+    open: TVar<bool>,
+    size: TVar<u64>,
+    pending: TVar<u32>,
+    handle: Mutex<Option<File>>,
+}
+
+struct IrrevocPool {
+    slots: Vec<IrrevocSlot>,
+    n_open: TVar<usize>,
+    max_open: usize,
+}
+
+enum IrrevocPlan {
+    Reserved(u64),
+    NeedRepair,
+}
+
+impl IrrevocPool {
+    fn new(paths: Vec<PathBuf>, max_open: usize) -> Self {
+        IrrevocPool {
+            slots: paths
+                .into_iter()
+                .map(|path| IrrevocSlot {
+                    path,
+                    open: TVar::new(false),
+                    size: TVar::new(0),
+                    pending: TVar::new(0),
+                    handle: Mutex::new(None),
+                })
+                .collect(),
+            n_open: TVar::new(0),
+            max_open,
+        }
+    }
+
+    fn reserve(&self, tx: &mut Tx, idx: usize, len: u64) -> StmResult<IrrevocPlan> {
+        let slot = &self.slots[idx];
+        if !tx.read(&slot.open)? {
+            return Ok(IrrevocPlan::NeedRepair);
+        }
+        let off = tx.read(&slot.size)?;
+        tx.write(&slot.size, off + len)?;
+        let p = tx.read(&slot.pending)?;
+        tx.write(&slot.pending, p + 1)?;
+        Ok(IrrevocPlan::Reserved(off))
+    }
+
+    /// The repair path: an irrevocable transaction performing the open (and
+    /// victim close) inline — while it runs, no other transaction in the
+    /// runtime can execute. This is exactly the cost §5.3 describes.
+    fn repair(&self, rt: &Runtime, idx: usize) {
+        rt.synchronized(|tx| {
+            if tx.read(&self.slots[idx].open)? {
+                return Ok(()); // someone else repaired it
+            }
+            // Blocking check first (before any serial writes!): find a
+            // victim if at capacity.
+            let n_open = tx.read(&self.n_open)?;
+            let victim = if n_open >= self.max_open {
+                let mut found = None;
+                for (i, s) in self.slots.iter().enumerate() {
+                    if i != idx && tx.read(&s.open)? && tx.read(&s.pending)? == 0 {
+                        found = Some(i);
+                        break;
+                    }
+                }
+                match found {
+                    Some(v) => Some(v),
+                    None => return tx.retry(), // wait for pending I/O to drain
+                }
+            } else {
+                None
+            };
+
+            if let Some(v) = victim {
+                *self.slots[v].handle.lock() = None; // close(2)
+                tx.write(&self.slots[v].open, false)?;
+            } else {
+                tx.write(&self.n_open, n_open + 1)?;
+            }
+            let slot = &self.slots[idx];
+            *slot.handle.lock() = Some(
+                OpenOptions::new()
+                    .create(true)
+                    .read(true)
+                    .write(true)
+                    .truncate(false)
+                    .open(&slot.path)
+                    .expect("open"),
+            );
+            tx.write(&slot.open, true)?;
+            Ok(())
+        });
+    }
+
+    fn append(&self, rt: &Runtime, idx: usize, data: &[u8]) {
+        loop {
+            let plan = rt.atomically(|tx| self.reserve(tx, idx, data.len() as u64));
+            match plan {
+                IrrevocPlan::Reserved(offset) => {
+                    {
+                        let mut guard = self.slots[idx].handle.lock();
+                        let f = guard.as_mut().expect("closed with pending I/O");
+                        f.seek(SeekFrom::Start(offset)).expect("seek");
+                        f.write_all(data).expect("write");
+                    }
+                    rt.atomically(|tx| {
+                        let p = tx.read(&self.slots[idx].pending)?;
+                        tx.write(&self.slots[idx].pending, p - 1)
+                    });
+                    return;
+                }
+                IrrevocPlan::NeedRepair => self.repair(rt, idx),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The benchmark driver.
+// ---------------------------------------------------------------------
+
+/// Run one (variant, threads) cell; verifies file sizes afterwards.
+pub fn run_poolbench(cfg: &PoolBenchConfig, variant: PoolVariant, threads: usize) -> Measurement {
+    let paths = cfg.paths(&format!("{}_{threads}", variant.label()));
+    for p in &paths {
+        let _ = std::fs::remove_file(p);
+    }
+    let payload = vec![b'x'; cfg.payload];
+    let nfiles = cfg.files;
+
+    let (elapsed, note) = match variant {
+        PoolVariant::Mutex => {
+            let pool = MutexPool::new(paths.clone(), cfg.max_open);
+            let e = run_fixed_work(threads, cfg.total_ops, |_, i| {
+                pool.append(i % nfiles, &payload);
+            });
+            (e, String::new())
+        }
+        PoolVariant::Irrevoc => {
+            let rt = Runtime::new(TmConfig::stm());
+            let pool = IrrevocPool::new(paths.clone(), cfg.max_open);
+            let e = run_fixed_work(threads, cfg.total_ops, |_, i| {
+                pool.append(&rt, i % nfiles, &payload);
+            });
+            (e, format!("{}", rt.stats()))
+        }
+        PoolVariant::Defer => {
+            let rt = Runtime::new(TmConfig::stm());
+            let pool = FdPool::new(paths.clone(), cfg.max_open);
+            let e = run_fixed_work(threads, cfg.total_ops, |_, i| {
+                pool.append(&rt, i % nfiles, &payload).expect("append");
+            });
+            (e, format!("{}", rt.stats()))
+        }
+    };
+
+    // Verify: total bytes across files == ops * payload.
+    let total: u64 = paths
+        .iter()
+        .map(|p| std::fs::metadata(p).map(|m| m.len()).unwrap_or(0))
+        .sum();
+    assert_eq!(
+        total,
+        (cfg.total_ops * cfg.payload) as u64,
+        "{variant:?} lost appends"
+    );
+    for p in &paths {
+        let _ = std::fs::remove_file(p);
+    }
+
+    Measurement {
+        series: variant.label().to_string(),
+        threads,
+        elapsed,
+        note,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_variants_complete_and_verify() {
+        let cfg = PoolBenchConfig::new(200);
+        for v in PoolVariant::all() {
+            let m = run_poolbench(&cfg, v, 2);
+            assert_eq!(m.series, v.label());
+        }
+    }
+
+    #[test]
+    fn irrevoc_repairs_serialize_defer_does_not() {
+        let mut cfg = PoolBenchConfig::new(200);
+        cfg.files = 6;
+        cfg.max_open = 2; // lots of churn
+        let irre = run_poolbench(&cfg, PoolVariant::Irrevoc, 2);
+        assert!(
+            !irre.note.contains("serializations=0"),
+            "irrevoc pool should serialize on open/close: {}",
+            irre.note
+        );
+        let defr = run_poolbench(&cfg, PoolVariant::Defer, 2);
+        assert!(
+            defr.note.contains("serializations=0"),
+            "defer pool should never serialize: {}",
+            defr.note
+        );
+    }
+}

@@ -1,0 +1,75 @@
+//! The paper's headline workload in miniature: the dedup pipeline on a
+//! synthetic corpus, comparing the pthread-lock backend against the
+//! transactional backends with and without atomic deferral, and verifying
+//! every archive reconstructs the input byte-for-byte.
+//!
+//! ```text
+//! cargo run --release --example dedup_demo
+//! ```
+
+use std::sync::Arc;
+
+use ad_dedup::backend::tm::{TmBackend, TmFlavor};
+use ad_dedup::backend::{Backend, BackendConfig, SinkTarget};
+use ad_dedup::corpus::{generate, CorpusParams};
+use ad_dedup::pipeline::{run_pipeline_verified, PipelineConfig};
+use ad_dedup::LockBackend;
+use ad_stm::{Runtime, TmConfig};
+
+fn main() {
+    let corpus = Arc::new(generate(
+        &CorpusParams::new(1 << 20).with_dup_ratio(0.6),
+    ));
+    println!("corpus: {} bytes, dup_ratio 0.6", corpus.len());
+    let threads = 2;
+
+    let backends: Vec<Box<dyn Backend>> = vec![
+        Box::new(LockBackend::new(BackendConfig::default(), SinkTarget::Memory).unwrap()),
+        Box::new(
+            TmBackend::new(
+                Runtime::new(TmConfig::stm()),
+                TmFlavor::Baseline,
+                BackendConfig::default(),
+                SinkTarget::Memory,
+            )
+            .unwrap(),
+        ),
+        Box::new(
+            TmBackend::new(
+                Runtime::new(TmConfig::stm()),
+                TmFlavor::DeferAll,
+                BackendConfig::default(),
+                SinkTarget::Memory,
+            )
+            .unwrap(),
+        ),
+        Box::new(
+            TmBackend::new(
+                Runtime::new(TmConfig::htm()),
+                TmFlavor::DeferAll,
+                BackendConfig::default(),
+                SinkTarget::Memory,
+            )
+            .unwrap(),
+        ),
+    ];
+
+    println!(
+        "\n| backend | time | chunks | unique | ratio | notes |\n|---|---|---|---|---|---|"
+    );
+    for backend in &backends {
+        let report =
+            run_pipeline_verified(&corpus, &PipelineConfig::tiny(threads), backend.as_ref());
+        println!(
+            "| {} | {:.3}s | {} | {} | {:.2}x | {} |",
+            report.label,
+            report.elapsed.as_secs_f64(),
+            report.total_chunks,
+            report.unique_chunks,
+            report.ratio(),
+            report.diagnostics
+        );
+    }
+    println!("\nall archives verified (byte-for-byte reconstruction)");
+    println!("dedup_demo example OK");
+}

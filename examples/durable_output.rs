@@ -1,0 +1,56 @@
+//! Paper §5.2 (Listing 4): durable output with guaranteed cross-file order.
+//!
+//! A "journal" file must reach the disk (fsync) before the "index" file is
+//! updated. Thread T2 subscribes to the journal buffer's durability flag
+//! and retries until T1's deferred write+fsync has completed — the flag is
+//! set while the buffer's implicit lock is held, so T2 can never observe
+//! "flag set" without "data durable".
+//!
+//! ```text
+//! cargo run --release --example durable_output
+//! ```
+
+use ad_defer::io::{durable_write, DeferBuffer, DurableFile};
+use ad_stm::atomically;
+
+fn main() {
+    let dir = std::env::temp_dir();
+    let journal_path = dir.join(format!("ad_example_journal_{}.dat", std::process::id()));
+    let index_path = dir.join(format!("ad_example_index_{}.dat", std::process::id()));
+
+    let journal = DurableFile::create(&journal_path).expect("create journal");
+    let index = DurableFile::create(&index_path).expect("create index");
+    let journal_buf = DeferBuffer::new(b"journal-entry: balance=70\n".to_vec());
+    let index_buf = DeferBuffer::new(b"index-entry: journal@0\n".to_vec());
+
+    // T2: update the index only once the journal entry is durable.
+    let (jb, idx, ib) = (journal_buf.clone(), index.clone(), index_buf.clone());
+    let t2 = std::thread::spawn(move || {
+        atomically(|tx| {
+            // Listing 4 lines 7–8: subscribe and check the flag; retry
+            // until the journal's fsync has completed.
+            jb.await_synced(tx)?;
+            durable_write(tx, &idx, &ib)
+        });
+        println!("T2: index written (journal was durable)");
+    });
+
+    // Give T2 a head start so the ordering is actually exercised.
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    println!("T1: writing journal (deferred write + fsync + flag)");
+    atomically(|tx| durable_write(tx, &journal, &journal_buf));
+    t2.join().unwrap();
+
+    let journal_bytes = std::fs::read(&journal_path).unwrap();
+    let index_bytes = std::fs::read(&index_path).unwrap();
+    println!(
+        "journal: {:?}",
+        String::from_utf8_lossy(&journal_bytes).trim()
+    );
+    println!("index:   {:?}", String::from_utf8_lossy(&index_bytes).trim());
+    assert!(!journal_bytes.is_empty() && !index_bytes.is_empty());
+
+    let _ = std::fs::remove_file(&journal_path);
+    let _ = std::fs::remove_file(&index_path);
+    println!("durable_output example OK");
+}

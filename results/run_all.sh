@@ -1,0 +1,16 @@
+#!/bin/sh
+# Regenerate every figure of the paper. Outputs land in results/.
+set -x
+cd "$(dirname "$0")/.."
+cargo build --release -p ad-bench
+B=./target/release
+$B/fig2 --files 1 --ops 100000 --max-threads 8 > results/fig2a.txt 2>results/fig2a.log
+$B/fig2 --files 2 --ops 100000 --max-threads 8 > results/fig2b.txt 2>results/fig2b.log
+$B/fig2 --files 4 --ops 100000 --max-threads 8 > results/fig2c.txt 2>results/fig2c.log
+$B/fig2 --files 4 --ops 100000 --max-threads 8 --keep-open > results/fig2d.txt 2>results/fig2d.log
+$B/fig3a --size 33554432 --max-threads 8 > results/fig3a.txt 2>results/fig3a.log
+$B/fig3b --size 33554432 --max-threads 16 > results/fig3b.txt 2>results/fig3b.log
+$B/motivation --ms 50 --rounds 10 > results/motivation.txt 2>&1
+$B/usecases --ops 10000 --max-threads 4 > results/usecases.txt 2>results/usecases.log
+$B/fig2 --files 2 --ops 30000 --max-threads 4 --htm > results/fig2b_htm.txt 2>results/fig2b_htm.log
+echo ALL-FIGURES-DONE

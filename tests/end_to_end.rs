@@ -1,0 +1,150 @@
+//! Cross-crate integration tests: the full stack (ad-stm → ad-defer →
+//! ad-dedup / ad-workloads) exercised through the public API, the way the
+//! examples and benches use it.
+
+use std::sync::Arc;
+
+use ad_dedup::backend::tm::{TmBackend, TmFlavor};
+use ad_dedup::backend::{BackendConfig, SinkTarget};
+use ad_dedup::corpus::{generate, CorpusParams};
+use ad_dedup::pipeline::{run_pipeline_verified, PipelineConfig};
+use ad_dedup::LockBackend;
+use ad_stm::{Runtime, TmConfig};
+use ad_workloads::{run_iobench, IoBenchConfig, Variant};
+
+#[test]
+fn dedup_all_backends_agree_and_verify() {
+    let corpus = Arc::new(generate(
+        &CorpusParams::new(300_000).with_dup_ratio(0.6).with_seed(77),
+    ));
+    let mut reports = Vec::new();
+
+    let lock_backend = LockBackend::new(BackendConfig::default(), SinkTarget::Memory).unwrap();
+    reports.push(run_pipeline_verified(
+        &corpus,
+        &PipelineConfig::tiny(3),
+        &lock_backend,
+    ));
+
+    for (cfg, flavor) in [
+        (TmConfig::stm(), TmFlavor::Baseline),
+        (TmConfig::stm(), TmFlavor::DeferIo),
+        (TmConfig::stm(), TmFlavor::DeferAll),
+        (TmConfig::htm(), TmFlavor::Baseline),
+        (TmConfig::htm(), TmFlavor::DeferIo),
+        (TmConfig::htm(), TmFlavor::DeferAll),
+    ] {
+        let backend = TmBackend::new(
+            Runtime::new(cfg),
+            flavor,
+            BackendConfig::default(),
+            SinkTarget::Memory,
+        )
+        .unwrap();
+        reports.push(run_pipeline_verified(
+            &corpus,
+            &PipelineConfig::tiny(3),
+            &backend,
+        ));
+    }
+
+    // Every backend chunks identically, so chunk/unique counts must agree.
+    for w in reports.windows(2) {
+        assert_eq!(w[0].total_chunks, w[1].total_chunks, "{} vs {}", w[0].label, w[1].label);
+        assert_eq!(w[0].unique_chunks, w[1].unique_chunks, "{} vs {}", w[0].label, w[1].label);
+        assert_eq!(w[0].bytes_out, w[1].bytes_out, "{} vs {}", w[0].label, w[1].label);
+    }
+    assert!(reports[0].duplicate_chunks > 0, "corpus produced no duplicates");
+}
+
+#[test]
+fn dedup_mechanism_signatures_match_the_paper() {
+    // The *reasons* behind Figure 3, checked as hard assertions:
+    let corpus = Arc::new(generate(&CorpusParams::new(200_000).with_seed(5)));
+
+    // STM baseline: irrevocable output ⇒ serializations.
+    let stm = TmBackend::new(
+        Runtime::new(TmConfig::stm()),
+        TmFlavor::Baseline,
+        BackendConfig::default(),
+        SinkTarget::Memory,
+    )
+    .unwrap();
+    run_pipeline_verified(&corpus, &PipelineConfig::tiny(2), &stm);
+    let s = stm.runtime().stats();
+    assert!(s.serializations > 0, "STM baseline must serialize: {s}");
+
+    // STM+DeferAll: no serialization at all.
+    let da = TmBackend::new(
+        Runtime::new(TmConfig::stm()),
+        TmFlavor::DeferAll,
+        BackendConfig::default(),
+        SinkTarget::Memory,
+    )
+    .unwrap();
+    run_pipeline_verified(&corpus, &PipelineConfig::tiny(2), &da);
+    let s = da.runtime().stats();
+    assert_eq!(s.aborts_unsupported, 0, "DeferAll must never need serial mode: {s}");
+    assert!(s.deferred_ops > 0);
+
+    // HTM baseline: compression overflows capacity.
+    let htm = TmBackend::new(
+        Runtime::new(TmConfig::htm()),
+        TmFlavor::Baseline,
+        BackendConfig::default(),
+        SinkTarget::Memory,
+    )
+    .unwrap();
+    run_pipeline_verified(&corpus, &PipelineConfig::tiny(2), &htm);
+    let s = htm.runtime().stats();
+    assert!(s.aborts_capacity > 0, "HTM baseline must hit capacity: {s}");
+
+    // HTM+DeferAll: compression out of the transaction ⇒ no capacity aborts.
+    let hda = TmBackend::new(
+        Runtime::new(TmConfig::htm()),
+        TmFlavor::DeferAll,
+        BackendConfig::default(),
+        SinkTarget::Memory,
+    )
+    .unwrap();
+    run_pipeline_verified(&corpus, &PipelineConfig::tiny(2), &hda);
+    let s = hda.runtime().stats();
+    assert_eq!(s.aborts_capacity, 0, "HTM+DeferAll must fit capacity: {s}");
+}
+
+#[test]
+fn iobench_every_variant_every_mode_completes() {
+    for htm in [false, true] {
+        for keep_open in [false, true] {
+            let cfg = IoBenchConfig::new(2, 120)
+                .with_keep_open(keep_open)
+                .with_htm(htm);
+            for variant in Variant::all() {
+                let m = run_iobench(&cfg, variant, 2);
+                assert!(
+                    m.elapsed.as_nanos() > 0,
+                    "{variant:?} htm={htm} keep_open={keep_open}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn archive_file_output_roundtrips_through_disk() {
+    let mut path = std::env::temp_dir();
+    path.push(format!("ad_e2e_archive_{}.bin", std::process::id()));
+    let corpus = Arc::new(generate(&CorpusParams::new(150_000).with_seed(9)));
+    let backend = TmBackend::new(
+        Runtime::new(TmConfig::stm()),
+        TmFlavor::DeferIo,
+        BackendConfig::default(),
+        SinkTarget::File(path.clone()),
+    )
+    .unwrap();
+    run_pipeline_verified(&corpus, &PipelineConfig::tiny(2), &backend);
+    // Independently re-read the file and reconstruct.
+    let bytes = std::fs::read(&path).unwrap();
+    assert_eq!(ad_dedup::format::reconstruct(&bytes).unwrap(), **corpus);
+    let _ = std::fs::remove_file(&path);
+}

@@ -1,0 +1,92 @@
+//! Cross-crate property tests driven through the public API.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+
+use ad_defer::{atomic_defer, Defer};
+use ad_dedup::backend::tm::{TmBackend, TmFlavor};
+use ad_dedup::backend::{BackendConfig, SinkTarget};
+use ad_dedup::pipeline::{run_pipeline_verified, PipelineConfig};
+use ad_stm::{Runtime, TVar, TmConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The dedup pipeline reconstructs ARBITRARY byte streams (not just the
+    /// corpus generator's output), for every TM flavour.
+    #[test]
+    fn dedup_roundtrips_arbitrary_bytes(
+        mut data in prop::collection::vec(any::<u8>(), 0..40_000),
+        dup in 0usize..4,
+    ) {
+        // Append duplicated tails to force reference records sometimes.
+        let snapshot = data.clone();
+        for _ in 0..dup {
+            data.extend_from_slice(&snapshot[..snapshot.len().min(5_000)]);
+        }
+        let corpus = Arc::new(data);
+        let backend = TmBackend::new(
+            Runtime::new(TmConfig::stm()),
+            TmFlavor::DeferAll,
+            BackendConfig::default(),
+            SinkTarget::Memory,
+        ).unwrap();
+        // run_pipeline_verified panics on any mismatch.
+        let report = run_pipeline_verified(&corpus, &PipelineConfig::tiny(2), &backend);
+        prop_assert_eq!(report.bytes_in as usize, corpus.len());
+    }
+
+    /// Deferral order equals call order for arbitrary sequences of deferred
+    /// operations within one transaction.
+    #[test]
+    fn deferred_ops_run_in_call_order(n in 1usize..20) {
+        struct Obj { log: TVar<Vec<usize>> }
+        let obj = Defer::new(Obj { log: TVar::new(Vec::new()) });
+        let rt = Runtime::new(TmConfig::stm());
+        let o = obj.clone();
+        rt.atomically(move |tx| {
+            for i in 0..n {
+                let o2 = o.clone();
+                atomic_defer(tx, &[&o.clone()], move || {
+                    o2.locked().log.update_locked(|mut l| { l.push(i); l });
+                })?;
+            }
+            Ok(())
+        });
+        let log = obj.peek_unsynchronized().log.load();
+        prop_assert_eq!(log, (0..n).collect::<Vec<_>>());
+    }
+
+    /// Concurrent transfers with deferred audit entries: totals always
+    /// reconcile no matter the interleaving parameters.
+    #[test]
+    fn deferred_audit_reconciles(threads in 1usize..4, per in 1usize..60) {
+        struct Ledger { committed: TVar<u64>, audited: TVar<u64> }
+        let rt = Runtime::new(TmConfig::stm());
+        let ledger = Arc::new(Defer::new(Ledger {
+            committed: TVar::new(0),
+            audited: TVar::new(0),
+        }));
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                let ledger = Arc::clone(&ledger);
+                let rt = rt.clone();
+                s.spawn(move || {
+                    for _ in 0..per {
+                        let l2 = Arc::clone(&ledger);
+                        rt.atomically(move |tx| {
+                            l2.with(tx, |f, tx| tx.modify(&f.committed, |c| c + 1))?;
+                            let l3 = Arc::clone(&l2);
+                            atomic_defer(tx, &[&*l2], move || {
+                                l3.locked().audited.update_locked(|a| a + 1);
+                            })
+                        });
+                    }
+                });
+            }
+        });
+        let f = ledger.peek_unsynchronized();
+        prop_assert_eq!(f.committed.load(), (threads * per) as u64);
+        prop_assert_eq!(f.audited.load(), (threads * per) as u64);
+    }
+}
