@@ -9,7 +9,7 @@
 //! * **HTM capacity** — where the capacity cliff sits for footprint-heavy
 //!   transactions.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ad_support::crit::{criterion_group, criterion_main, Criterion};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 

@@ -2,7 +2,7 @@
 //! miniature of Figure 3 (the full sweeps live in the `fig3a`/`fig3b`
 //! binaries).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ad_support::crit::{criterion_group, criterion_main, Criterion};
 use std::sync::Arc;
 
 use ad_bench::DedupSeries;

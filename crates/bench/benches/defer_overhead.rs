@@ -3,7 +3,7 @@
 //! rollback, even though no rollbacks occur", vs irrevocability which
 //! "serializes early, avoids instrumentation".
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ad_support::crit::{criterion_group, criterion_main, Criterion};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 

@@ -2,7 +2,7 @@
 //! paper's Figure 2a attributes to `atomic_defer` "paying a constant
 //! overhead per transaction to support rollback".
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ad_support::crit::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use ad_stm::{Runtime, TVar, TmConfig};
@@ -60,7 +60,7 @@ fn stm_ops(c: &mut Criterion) {
     });
 
     // The non-transactional yardsticks.
-    let m = parking_lot::Mutex::new(0u64);
+    let m = ad_support::sync::Mutex::new(0u64);
     c.bench_function("baseline/mutex_increment", |b| {
         b.iter(|| {
             *m.lock() += 1;

@@ -1,7 +1,7 @@
 //! Transaction-friendly lock costs (paper §4.2): acquire/release cycles,
 //! subscription, and the comparison against an ordinary mutex.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ad_support::crit::{criterion_group, criterion_main, Criterion};
 
 use ad_defer::TxLock;
 use ad_stm::{Runtime, TmConfig};
@@ -69,8 +69,8 @@ fn txlock(c: &mut Criterion) {
         })
     });
 
-    let m = parking_lot::Mutex::new(());
-    c.bench_function("baseline/parking_lot_lock_unlock", |b| {
+    let m = ad_support::sync::Mutex::new(());
+    c.bench_function("baseline/mutex_lock_unlock", |b| {
         b.iter(|| {
             drop(m.lock());
         })

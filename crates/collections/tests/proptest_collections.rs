@@ -1,9 +1,12 @@
 //! Property tests: each transactional collection must behave exactly like
 //! its standard-library model under arbitrary operation sequences.
+//!
+//! Seeded randomized cases over `ad_support::prng` (the `proptest` crate is
+//! unavailable offline); failures reproduce from the printed case number.
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
 
-use proptest::prelude::*;
+use ad_support::prng::Rng;
 
 use ad_collections::{TMap, TQueue, TStack, TTreeMap};
 use ad_stm::atomically;
@@ -15,78 +18,104 @@ enum MapOp {
     Get(u16),
 }
 
-fn map_op() -> impl Strategy<Value = MapOp> {
-    prop_oneof![
-        (any::<u16>(), any::<i32>()).prop_map(|(k, v)| MapOp::Insert(k % 64, v)),
-        any::<u16>().prop_map(|k| MapOp::Remove(k % 64)),
-        any::<u16>().prop_map(|k| MapOp::Get(k % 64)),
-    ]
+fn random_map_op(rng: &mut Rng) -> MapOp {
+    let k = (rng.next_u64() % 64) as u16;
+    match rng.random_range(0..3) {
+        0 => MapOp::Insert(k, rng.next_u32() as i32),
+        1 => MapOp::Remove(k),
+        _ => MapOp::Get(k),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn random_map_ops(seed: u64) -> Vec<MapOp> {
+    let mut rng = Rng::seed_from_u64(seed);
+    let len = rng.random_range(0..200);
+    (0..len).map(|_| random_map_op(&mut rng)).collect()
+}
 
-    #[test]
-    fn tmap_matches_hashmap(ops in prop::collection::vec(map_op(), 0..200)) {
+/// Some(v) = push, None = pop — for queue/stack models.
+fn random_push_pop_ops(seed: u64) -> Vec<Option<i32>> {
+    let mut rng = Rng::seed_from_u64(seed);
+    let len = rng.random_range(0..200);
+    (0..len)
+        .map(|_| {
+            if rng.random_bool(0.5) {
+                Some(rng.next_u32() as i32)
+            } else {
+                None
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn tmap_matches_hashmap() {
+    for case in 0..48u64 {
+        let ops = random_map_ops(0xC0_0001 + case);
         let tmap: TMap<u16, i32> = TMap::with_buckets(8);
         let mut model: HashMap<u16, i32> = HashMap::new();
         for op in ops {
             match op {
                 MapOp::Insert(k, v) => {
                     let prev = atomically(|tx| tmap.insert(tx, k, v));
-                    prop_assert_eq!(prev, model.insert(k, v));
+                    assert_eq!(prev, model.insert(k, v), "case {case}");
                 }
                 MapOp::Remove(k) => {
                     let prev = atomically(|tx| tmap.remove(tx, &k));
-                    prop_assert_eq!(prev, model.remove(&k));
+                    assert_eq!(prev, model.remove(&k), "case {case}");
                 }
                 MapOp::Get(k) => {
                     let got = atomically(|tx| tmap.get(tx, &k));
-                    prop_assert_eq!(got, model.get(&k).copied());
+                    assert_eq!(got, model.get(&k).copied(), "case {case}");
                 }
             }
         }
-        prop_assert_eq!(atomically(|tx| tmap.len(tx)), model.len());
+        assert_eq!(atomically(|tx| tmap.len(tx)), model.len());
         let mut entries = atomically(|tx| tmap.entries(tx));
         entries.sort_unstable();
         let mut expected: Vec<(u16, i32)> = model.into_iter().collect();
         expected.sort_unstable();
-        prop_assert_eq!(entries, expected);
+        assert_eq!(entries, expected, "case {case}");
     }
+}
 
-    #[test]
-    fn ttreemap_matches_btreemap(ops in prop::collection::vec(map_op(), 0..200)) {
+#[test]
+fn ttreemap_matches_btreemap() {
+    for case in 0..48u64 {
+        let ops = random_map_ops(0xC0_0002 + case);
         let tmap: TTreeMap<u16, i32> = TTreeMap::new();
         let mut model: BTreeMap<u16, i32> = BTreeMap::new();
         for op in ops {
             match op {
                 MapOp::Insert(k, v) => {
                     let prev = atomically(|tx| tmap.insert(tx, k, v));
-                    prop_assert_eq!(prev, model.insert(k, v));
+                    assert_eq!(prev, model.insert(k, v), "case {case}");
                 }
                 MapOp::Remove(k) => {
                     let prev = atomically(|tx| tmap.remove(tx, &k));
-                    prop_assert_eq!(prev, model.remove(&k));
+                    assert_eq!(prev, model.remove(&k), "case {case}");
                 }
                 MapOp::Get(k) => {
                     let got = atomically(|tx| tmap.get(tx, &k));
-                    prop_assert_eq!(got, model.get(&k).copied());
+                    assert_eq!(got, model.get(&k).copied(), "case {case}");
                 }
             }
         }
         // In-order iteration must match the sorted model exactly.
         let entries = atomically(|tx| tmap.entries(tx));
         let expected: Vec<(u16, i32)> = model.iter().map(|(k, v)| (*k, *v)).collect();
-        prop_assert_eq!(entries, expected);
-        prop_assert_eq!(
+        assert_eq!(entries, expected, "case {case}");
+        assert_eq!(
             atomically(|tx| tmap.min_key(tx)),
             model.keys().next().copied()
         );
     }
+}
 
-    #[test]
-    fn tqueue_matches_vecdeque(ops in prop::collection::vec(any::<Option<i32>>(), 0..200)) {
-        // Some(v) = push, None = pop.
+#[test]
+fn tqueue_matches_vecdeque() {
+    for case in 0..48u64 {
+        let ops = random_push_pop_ops(0xC0_0003 + case);
         let tq: TQueue<i32> = TQueue::new();
         let mut model: VecDeque<i32> = VecDeque::new();
         for op in ops {
@@ -97,15 +126,18 @@ proptest! {
                 }
                 None => {
                     let got = atomically(|tx| tq.pop(tx));
-                    prop_assert_eq!(got, model.pop_front());
+                    assert_eq!(got, model.pop_front(), "case {case}");
                 }
             }
         }
-        prop_assert_eq!(atomically(|tx| tq.len(tx)), model.len());
+        assert_eq!(atomically(|tx| tq.len(tx)), model.len());
     }
+}
 
-    #[test]
-    fn tstack_matches_vec(ops in prop::collection::vec(any::<Option<i32>>(), 0..200)) {
+#[test]
+fn tstack_matches_vec() {
+    for case in 0..48u64 {
+        let ops = random_push_pop_ops(0xC0_0004 + case);
         let ts: TStack<i32> = TStack::new();
         let mut model: Vec<i32> = Vec::new();
         for op in ops {
@@ -116,11 +148,11 @@ proptest! {
                 }
                 None => {
                     let got = atomically(|tx| ts.pop(tx));
-                    prop_assert_eq!(got, model.pop());
+                    assert_eq!(got, model.pop(), "case {case}");
                 }
             }
         }
-        prop_assert_eq!(atomically(|tx| ts.len(tx)), model.len());
-        prop_assert_eq!(atomically(|tx| ts.peek(tx)), model.last().copied());
+        assert_eq!(atomically(|tx| ts.len(tx)), model.len());
+        assert_eq!(atomically(|tx| ts.peek(tx)), model.last().copied());
     }
 }

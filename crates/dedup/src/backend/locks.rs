@@ -13,7 +13,7 @@ use std::ops::Range;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use parking_lot::{Condvar, Mutex};
+use ad_support::sync::{Condvar, Mutex};
 
 use super::{Backend, BackendConfig, OutputSink, OutputStats, SinkTarget};
 use crate::format::Record;

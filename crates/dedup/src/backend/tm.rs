@@ -25,7 +25,7 @@ use std::sync::Arc;
 
 use ad_defer::{atomic_defer, Defer};
 use ad_stm::{Runtime, StmResult, TVar, Tx};
-use parking_lot::Mutex;
+use ad_support::sync::Mutex;
 
 use super::{Backend, BackendConfig, OutputSink, OutputStats, SinkTarget};
 use crate::format::Record;

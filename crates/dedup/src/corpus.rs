@@ -9,8 +9,7 @@
 //! block (with probability `dup_ratio`) or fresh pseudo-text built from a
 //! word dictionary (compressible, like PARSEC's mixed media).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ad_support::prng::Rng;
 
 /// Corpus generation parameters.
 #[derive(Debug, Clone)]
@@ -65,7 +64,7 @@ const WORDS: &[&str] = &[
 /// Generate a corpus. Deterministic for a given `params`.
 pub fn generate(params: &CorpusParams) -> Vec<u8> {
     assert!(params.block_len >= 16, "blocks must be at least 16 bytes");
-    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut rng = Rng::seed_from_u64(params.seed);
     let mut out = Vec::with_capacity(params.size + params.block_len * 2);
     let mut blocks: Vec<(usize, usize)> = Vec::new(); // (offset, len) of prior blocks
 
@@ -83,7 +82,7 @@ pub fn generate(params: &CorpusParams) -> Vec<u8> {
                 out.push(if rng.random_bool(0.1) { b'\n' } else { b' ' });
                 if rng.random_bool(0.05) {
                     // Sprinkle numbers so blocks are distinct.
-                    out.extend_from_slice(format!("{:08x}", rng.random::<u32>()).as_bytes());
+                    out.extend_from_slice(format!("{:08x}", rng.next_u32()).as_bytes());
                 }
             }
             blocks.push((start, out.len() - start));

@@ -11,7 +11,7 @@ use std::ops::Range;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel;
+use ad_support::channel;
 
 use crate::backend::Backend;
 use crate::rabin::{chunk_boundaries, ChunkParams};

@@ -142,7 +142,7 @@ mod tests {
     #[test]
     fn deferred_ops_run_in_call_order_and_see_prior_effects() {
         let o = obj();
-        let order = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let order = Arc::new(ad_support::sync::Mutex::new(Vec::new()));
         let o1 = o.clone();
         let ordr = Arc::clone(&order);
         atomically(move |tx| {
@@ -235,8 +235,8 @@ mod tests {
         let o = obj();
         let first = Arc::new(AtomicBool::new(true));
         let attempts = Arc::new(AtomicU64::new(0));
-        let saboteur: Arc<parking_lot::Mutex<Option<std::thread::JoinHandle<()>>>> =
-            Arc::new(parking_lot::Mutex::new(None));
+        let saboteur: Arc<ad_support::sync::Mutex<Option<std::thread::JoinHandle<()>>>> =
+            Arc::new(ad_support::sync::Mutex::new(None));
 
         let (o2, f2, at2, sab2) = (
             o.clone(),

@@ -158,7 +158,7 @@ mod tests {
     fn get_blocks_until_deferred_op_finishes() {
         let obj = Defer::new(Obj { v: TVar::new(0) });
         let o = obj.clone();
-        let handle = std::sync::Arc::new(parking_lot::Mutex::new(None::<DeferHandle<u32>>));
+        let handle = std::sync::Arc::new(ad_support::sync::Mutex::new(None::<DeferHandle<u32>>));
         let h2 = std::sync::Arc::clone(&handle);
 
         let deferring = std::thread::spawn(move || {

@@ -15,7 +15,7 @@ use std::path::Path;
 use std::sync::Arc;
 
 use ad_stm::{StmResult, TVar, Tx};
-use parking_lot::Mutex;
+use ad_support::sync::Mutex;
 
 use crate::defer::atomic_defer;
 use crate::deferrable::Defer;

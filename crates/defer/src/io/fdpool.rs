@@ -21,7 +21,7 @@ use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::PathBuf;
 
 use ad_stm::{Runtime, StmResult, TVar, Tx};
-use parking_lot::Mutex;
+use ad_support::sync::Mutex;
 
 use crate::defer::atomic_defer;
 use crate::deferrable::Defer;

@@ -11,7 +11,7 @@ use std::io::Write;
 use std::sync::Arc;
 
 use ad_stm::{StmResult, Tx};
-use parking_lot::Mutex;
+use ad_support::sync::Mutex;
 
 use crate::defer::{atomic_defer, atomic_defer_unordered};
 use crate::deferrable::Defer;

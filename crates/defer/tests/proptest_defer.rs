@@ -1,20 +1,24 @@
 //! Property tests for the deferral layer: lock invariants and deferral
 //! semantics under randomized schedules.
+//!
+//! Seeded randomized cases over `ad_support::prng` (the `proptest` crate is
+//! unavailable offline); failures reproduce from the printed case number.
 
-use proptest::prelude::*;
+use ad_support::prng::Rng;
 use std::sync::Arc;
 
 use ad_defer::{atomic_defer, Defer, Deferrable, TxLock};
 use ad_stm::{Runtime, TVar, TmConfig};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Mutual exclusion: N threads doing M lock-protected increments of a
-    /// plain (non-transactional) counter never lose updates — and the lock
-    /// ends up free with depth 0.
-    #[test]
-    fn txlock_mutual_exclusion(threads in 1usize..4, incs in 1usize..50) {
+/// Mutual exclusion: N threads doing M lock-protected increments of a
+/// plain (non-transactional) counter never lose updates — and the lock
+/// ends up free with depth 0.
+#[test]
+fn txlock_mutual_exclusion() {
+    for case in 0..8u64 {
+        let mut rng = Rng::seed_from_u64(0xDE_0001 + case);
+        let threads = rng.random_range(1..4);
+        let incs = rng.random_range(1..50);
         let rt = Runtime::new(TmConfig::stm());
         let lock = TxLock::new();
         let counter = Arc::new(std::sync::atomic::AtomicU64::new(0));
@@ -36,19 +40,24 @@ proptest! {
                 });
             }
         });
-        prop_assert_eq!(
+        assert_eq!(
             counter.load(std::sync::atomic::Ordering::Relaxed),
-            (threads * incs) as u64
+            (threads * incs) as u64,
+            "case {case}"
         );
-        prop_assert_eq!(lock.holder(), None);
-        prop_assert_eq!(lock.depth(), 0);
+        assert_eq!(lock.holder(), None);
+        assert_eq!(lock.depth(), 0);
     }
+}
 
-    /// Reentrancy bookkeeping: any sequence of nested acquires is undone by
-    /// the same number of releases, through arbitrary transaction
-    /// groupings.
-    #[test]
-    fn txlock_reentrancy_balance(depths in prop::collection::vec(1u32..5, 1..6)) {
+/// Reentrancy bookkeeping: any sequence of nested acquires is undone by
+/// the same number of releases, through arbitrary transaction groupings.
+#[test]
+fn txlock_reentrancy_balance() {
+    for case in 0..24u64 {
+        let mut rng = Rng::seed_from_u64(0xDE_0002 + case);
+        let n = rng.random_range(1..6);
+        let depths: Vec<u32> = (0..n).map(|_| rng.random_range(1..5) as u32).collect();
         let rt = Runtime::new(TmConfig::stm());
         let lock = TxLock::new();
         for &d in &depths {
@@ -69,16 +78,20 @@ proptest! {
             assert_eq!(lock.holder(), None);
         }
     }
+}
 
-    /// Atomicity of deferral under randomized object counts: a transaction
-    /// defers an op over a random subset of objects; afterwards every lock
-    /// is free and every touched object was updated exactly once.
-    #[test]
-    fn deferral_touches_exactly_the_listed_objects(
-        n_objs in 1usize..6,
-        rounds in 1usize..10,
-    ) {
-        struct Cell { v: TVar<u64> }
+/// Atomicity of deferral under randomized object counts: a transaction
+/// defers an op over a random subset of objects; afterwards every lock
+/// is free and every touched object was updated exactly once.
+#[test]
+fn deferral_touches_exactly_the_listed_objects() {
+    struct Cell {
+        v: TVar<u64>,
+    }
+    for case in 0..24u64 {
+        let mut rng = Rng::seed_from_u64(0xDE_0003 + case);
+        let n_objs = rng.random_range(1..6);
+        let rounds = rng.random_range(1..10);
         let rt = Runtime::new(TmConfig::stm());
         let objs: Vec<Defer<Cell>> = (0..n_objs)
             .map(|_| Defer::new(Cell { v: TVar::new(0) }))
@@ -91,11 +104,13 @@ proptest! {
                 .filter(|(i, _)| (i + round) % 2 == 0)
                 .map(|(_, o)| o.clone())
                 .collect();
-            if chosen.is_empty() { continue; }
+            if chosen.is_empty() {
+                continue;
+            }
             let chosen2 = chosen.clone();
             rt.atomically(move |tx| {
-                let refs: Vec<&dyn ad_defer::Deferrable> =
-                    chosen2.iter().map(|o| o as &dyn ad_defer::Deferrable).collect();
+                let refs: Vec<&dyn Deferrable> =
+                    chosen2.iter().map(|o| o as &dyn Deferrable).collect();
                 let chosen3 = chosen2.clone();
                 atomic_defer(tx, &refs, move || {
                     for o in &chosen3 {
@@ -104,16 +119,23 @@ proptest! {
                 })
             });
             for o in &objs {
-                prop_assert_eq!(o.txlock().holder(), None);
+                assert_eq!(o.txlock().holder(), None, "case {case}");
             }
         }
     }
+}
 
-    /// Deferred operations of committed transactions always run exactly
-    /// once, under concurrency, for arbitrary thread/op counts.
-    #[test]
-    fn deferred_ops_run_exactly_once(threads in 1usize..4, ops in 1usize..40) {
-        struct Counter { n: TVar<u64> }
+/// Deferred operations of committed transactions always run exactly
+/// once, under concurrency, for arbitrary thread/op counts.
+#[test]
+fn deferred_ops_run_exactly_once() {
+    struct Counter {
+        n: TVar<u64>,
+    }
+    for case in 0..8u64 {
+        let mut rng = Rng::seed_from_u64(0xDE_0004 + case);
+        let threads = rng.random_range(1..4);
+        let ops = rng.random_range(1..40);
         let rt = Runtime::new(TmConfig::stm());
         let obj = Arc::new(Defer::new(Counter { n: TVar::new(0) }));
         std::thread::scope(|s| {
@@ -133,10 +155,11 @@ proptest! {
                 });
             }
         });
-        prop_assert_eq!(
+        assert_eq!(
             obj.peek_unsynchronized().n.load(),
-            (threads * ops) as u64
+            (threads * ops) as u64,
+            "case {case}"
         );
-        prop_assert_eq!(rt.stats().deferred_ops, (threads * ops) as u64);
+        assert_eq!(rt.stats().deferred_ops, (threads * ops) as u64);
     }
 }

@@ -14,9 +14,16 @@ static GLOBAL_CLOCK: AtomicU64 = AtomicU64::new(0);
 /// Current clock value (always even). Used as a transaction's read version
 /// (`rv`): the transaction may only observe versions `<= rv` without
 /// revalidating its snapshot.
+///
+/// `Acquire` (not `SeqCst`) suffices, per TL2's own argument: correctness
+/// only needs `rv` to be a *lower bound* on the clock at the moment the
+/// transaction starts. `Acquire` synchronizes with the `SeqCst` RMW in
+/// [`tick`], so a transaction that reads `rv = t` sees every write-back of
+/// the commit that produced `t`. A stale (smaller) value is always safe:
+/// the transaction merely extends its snapshot (or aborts) more often.
 #[inline]
 pub fn now() -> u64 {
-    GLOBAL_CLOCK.load(Ordering::SeqCst)
+    GLOBAL_CLOCK.load(Ordering::Acquire)
 }
 
 /// Advance the clock and return the new (even) write version for a

@@ -24,7 +24,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use parking_lot::RwLock;
+use ad_support::sync::RwLock;
 
 use crate::fxhash::FxHashMap;
 
@@ -57,9 +57,17 @@ impl ActivitySlot {
     }
 
     /// Publish that the transaction finished (committed or aborted).
+    ///
+    /// Idempotent and cheap to call twice: the commit path ends the slot
+    /// eagerly (before quiescing) and the panic-safety guard ends it again
+    /// on scope exit. Only the owning thread stores to its slot, so the
+    /// `Relaxed` self-read below is exact, and the second call skips the
+    /// (comparatively expensive) SeqCst store.
     #[inline]
     pub(crate) fn end(&self) {
-        self.active.store(INACTIVE, Ordering::SeqCst);
+        if self.active.load(Ordering::Relaxed) != INACTIVE {
+            self.active.store(INACTIVE, Ordering::SeqCst);
+        }
     }
 
     #[inline]
@@ -102,12 +110,19 @@ impl Registry {
     /// committed writer is no hazard to anyone, and clearing first prevents
     /// two quiescing writers from deadlocking on each other).
     pub(crate) fn quiesce(&self, wv: u64, my_slot: &Arc<ActivitySlot>) -> u64 {
-        let start = Instant::now();
-        let mut waited = false;
-        // Snapshot the slot list once: threads that register afterwards
-        // necessarily start transactions with rv >= wv.
-        let slots: Vec<Arc<ActivitySlot>> = self.slots.read().clone();
-        for slot in &slots {
+        // Iterate under the read guard instead of cloning the slot list:
+        // this keeps every writing commit allocation-free. Registration
+        // (the write side) is blocked for the duration, which is safe — a
+        // thread stuck in `my_slot` has no transaction in flight, so we
+        // can never be spinning on *it* — and registration is a once-per-
+        // thread event, so the contention is negligible. Threads that
+        // register after we took the guard necessarily start transactions
+        // with rv >= wv and need no check.
+        let slots = self.slots.read();
+        // Lazily timestamped: `Instant::now` costs a clock_gettime, so only
+        // commits that actually wait pay for the wait accounting.
+        let mut start: Option<Instant> = None;
+        for slot in slots.iter() {
             if Arc::ptr_eq(slot, my_slot) {
                 continue;
             }
@@ -117,7 +132,7 @@ impl Registry {
                 if v == INACTIVE || v >= wv {
                     break;
                 }
-                waited = true;
+                start.get_or_insert_with(Instant::now);
                 spins += 1;
                 if spins < 128 {
                     std::hint::spin_loop();
@@ -126,10 +141,9 @@ impl Registry {
                 }
             }
         }
-        if waited {
-            start.elapsed().as_nanos() as u64
-        } else {
-            0
+        match start {
+            Some(s) => s.elapsed().as_nanos() as u64,
+            None => 0,
         }
     }
 

@@ -61,6 +61,12 @@ impl WatchList {
         WatchList { entries }
     }
 
+    /// Give the entry vector back (the runner recycles its capacity into
+    /// the pooled transaction descriptor after the wait finishes).
+    pub(crate) fn into_entries(self) -> Vec<(Arc<VarCore>, u64)> {
+        self.entries
+    }
+
     pub(crate) fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }

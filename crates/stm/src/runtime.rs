@@ -5,7 +5,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
-use parking_lot::RwLock;
+use ad_support::sync::RwLock;
 
 use crate::clock;
 use crate::cm::ContentionManager;
@@ -13,7 +13,7 @@ use crate::config::{RetryPolicy, TmConfig};
 use crate::error::{StmError, StmResult};
 use crate::registry::{ActivitySlot, Registry};
 use crate::stats::{Stats, StatsSnapshot};
-use crate::tx::{CommitOutput, Tx};
+use crate::tx::{CommitOutput, Tx, TxBuffers};
 
 static NEXT_RUNTIME_ID: AtomicU64 = AtomicU64::new(1);
 
@@ -100,8 +100,12 @@ impl Runtime {
     }
 
     /// This runtime's policy configuration.
-    pub fn config(&self) -> TmConfig {
-        self.inner.cfg
+    ///
+    /// Returned by reference: `TmConfig` is `Copy`, so callers that want a
+    /// value can dereference, but hot paths (per-access mode checks) read
+    /// fields without copying the whole struct.
+    pub fn config(&self) -> &TmConfig {
+        &self.inner.cfg
     }
 
     pub(crate) fn registry(&self) -> &Registry {
@@ -146,6 +150,10 @@ impl Runtime {
         let mut cm = ContentionManager::new(cfg.serialize_after, cfg.max_backoff_spins);
         let slot = self.inner.registry.my_slot(self.inner.id);
         let mut counted_serialization = false;
+        // One pooled descriptor bundle for every attempt of this
+        // transaction: conflicts and retries re-use its collections
+        // instead of reallocating them.
+        let mut bufs = crate::tx::take_buffers();
 
         loop {
             let serial = start_serial || cm.should_serialize();
@@ -156,9 +164,9 @@ impl Runtime {
             }
 
             let outcome = if serial {
-                self.attempt_serial(&mut f, &slot)
+                self.attempt_serial(&mut f, &slot, &mut bufs)
             } else {
-                self.attempt_speculative(&mut f, &slot)
+                self.attempt_speculative(&mut f, &slot, &mut bufs)
             };
 
             match outcome {
@@ -168,6 +176,10 @@ impl Runtime {
                     } else {
                         self.inner.stats.on_commit();
                     }
+                    // Pool the buffers before running post-commit actions:
+                    // a deferred operation may start its own transaction on
+                    // this thread and should find them waiting.
+                    crate::tx::put_buffers(bufs);
                     self.run_post_commit(output);
                     return value;
                 }
@@ -177,6 +189,7 @@ impl Runtime {
                         RetryPolicy::Spin => watch.wait_spin(),
                         RetryPolicy::Park => watch.wait_park(),
                     }
+                    bufs.recycle_watch(watch);
                 }
                 AttemptOutcome::Failed(err) => {
                     match err {
@@ -200,6 +213,7 @@ impl Runtime {
         &self,
         f: &mut impl FnMut(&mut Tx) -> StmResult<T>,
         slot: &Arc<ActivitySlot>,
+        bufs: &mut TxBuffers,
     ) -> AttemptOutcome<T> {
         let _in_tx = InTxGuard::enter("atomically");
         // Hold the serial lock's read side for the whole attempt, commit
@@ -207,7 +221,12 @@ impl Runtime {
         // once we are completely done.
         let _guard = self.inner.serial.read();
         let _slot_guard = SlotGuard(slot);
-        let mut tx = Tx::new(self, Arc::clone(slot), false);
+        // Pin the epoch once for the whole attempt: every snapshot read
+        // inside is then a plain depth increment instead of a fence. The
+        // guard drops before any retry wait, so parked threads never stall
+        // reclamation.
+        let _epoch = crate::snapshot::pin_scope();
+        let mut tx = Tx::new(self, bufs, Arc::clone(slot), false);
         slot.begin(tx.read_version());
 
         match f(&mut tx) {
@@ -224,11 +243,13 @@ impl Runtime {
         &self,
         f: &mut impl FnMut(&mut Tx) -> StmResult<T>,
         slot: &Arc<ActivitySlot>,
+        bufs: &mut TxBuffers,
     ) -> AttemptOutcome<T> {
         let _in_tx = InTxGuard::enter("synchronized/serial execution");
         let _guard = self.inner.serial.write();
         let _slot_guard = SlotGuard(slot);
-        let mut tx = Tx::new(self, Arc::clone(slot), true);
+        let _epoch = crate::snapshot::pin_scope();
+        let mut tx = Tx::new(self, bufs, Arc::clone(slot), true);
         slot.begin(clock::now());
 
         match f(&mut tx) {

@@ -1,0 +1,176 @@
+//! An adaptive pointer-keyed map for transaction read/write sets.
+//!
+//! Almost every transaction touches a handful of variables: the fig2/fig3
+//! workloads write 1–4 `TVar`s and read fewer than ten. For those sizes a
+//! linear scan over an inline vector beats a hash map — no hashing, no
+//! bucket indirection, and (once the vector's capacity is warm, which the
+//! descriptor pool guarantees) no allocation at all. Sets that outgrow
+//! [`INLINE_CAP`] spill to an `FxHashMap` so big transactions keep O(1)
+//! lookups.
+//!
+//! Keys are `VarCore` addresses (`usize`), unique per live variable.
+
+use crate::fxhash::FxHashMap;
+
+/// Sets up to this many entries stay in the inline vector. Chosen to cover
+/// the common transaction sizes above while keeping the scan trivially
+/// cache-resident (one or two lines of key/value pairs).
+pub(crate) const INLINE_CAP: usize = 8;
+
+/// A `usize`-keyed map that is a linear-scanned vector while small and an
+/// `FxHashMap` once large. `clear` keeps both allocations so a pooled
+/// descriptor never re-allocates for small transactions.
+#[derive(Clone)]
+pub(crate) struct SmallMap<V> {
+    inline: Vec<(usize, V)>,
+    spill: FxHashMap<usize, V>,
+    spilled: bool,
+}
+
+impl<V> Default for SmallMap<V> {
+    fn default() -> Self {
+        SmallMap {
+            inline: Vec::new(),
+            spill: FxHashMap::default(),
+            spilled: false,
+        }
+    }
+}
+
+impl<V> SmallMap<V> {
+    #[inline]
+    pub(crate) fn get(&self, key: usize) -> Option<&V> {
+        if self.spilled {
+            self.spill.get(&key)
+        } else {
+            self.inline
+                .iter()
+                .find(|(k, _)| *k == key)
+                .map(|(_, v)| v)
+        }
+    }
+
+    /// Insert, returning the previous value for `key` if any.
+    pub(crate) fn insert(&mut self, key: usize, value: V) -> Option<V> {
+        if self.spilled {
+            return self.spill.insert(key, value);
+        }
+        for (k, v) in self.inline.iter_mut() {
+            if *k == key {
+                return Some(std::mem::replace(v, value));
+            }
+        }
+        if self.inline.len() < INLINE_CAP {
+            self.inline.push((key, value));
+            return None;
+        }
+        // Spill: move the inline entries into the hash map (the vector
+        // keeps its capacity for after the next `clear`).
+        self.spilled = true;
+        self.spill.extend(self.inline.drain(..));
+        self.spill.insert(key, value)
+    }
+
+    #[inline]
+    pub(crate) fn len(&self) -> usize {
+        if self.spilled {
+            self.spill.len()
+        } else {
+            self.inline.len()
+        }
+    }
+
+    #[inline]
+    pub(crate) fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Remove all entries, keeping both the inline and spill allocations.
+    pub(crate) fn clear(&mut self) {
+        self.inline.clear();
+        self.spill.clear();
+        self.spilled = false;
+    }
+
+    /// Drain all `(key, value)` pairs (order unspecified). Does not reset
+    /// the spilled flag — call [`clear`](Self::clear) to fully reset.
+    pub(crate) fn drain(&mut self) -> impl Iterator<Item = (usize, V)> + '_ {
+        self.inline.drain(..).chain(self.spill.drain())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_replace_inline() {
+        let mut m: SmallMap<u32> = SmallMap::default();
+        assert!(m.is_empty());
+        assert_eq!(m.insert(8, 1), None);
+        assert_eq!(m.insert(16, 2), None);
+        assert_eq!(m.get(8), Some(&1));
+        assert_eq!(m.insert(8, 3), Some(1));
+        assert_eq!(m.get(8), Some(&3));
+        assert_eq!(m.get(24), None);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn spills_past_inline_cap_and_stays_correct() {
+        let mut m: SmallMap<usize> = SmallMap::default();
+        let n = INLINE_CAP * 4;
+        for i in 0..n {
+            assert_eq!(m.insert(i * 8, i), None);
+        }
+        assert!(m.spilled);
+        assert_eq!(m.len(), n);
+        for i in 0..n {
+            assert_eq!(m.get(i * 8), Some(&i));
+        }
+        // Replacement still reports the old value after the spill.
+        assert_eq!(m.insert(0, 999), Some(0));
+    }
+
+    #[test]
+    fn clear_resets_to_inline_without_reallocating() {
+        let mut m: SmallMap<u8> = SmallMap::default();
+        for i in 0..(INLINE_CAP * 2) {
+            m.insert(i, 0);
+        }
+        assert!(m.spilled);
+        m.clear();
+        assert!(!m.spilled);
+        assert!(m.is_empty());
+        assert!(m.inline.capacity() >= INLINE_CAP);
+        m.insert(1, 1);
+        assert_eq!(m.get(1), Some(&1));
+    }
+
+    #[test]
+    fn drain_yields_every_entry_once() {
+        for n in [3usize, INLINE_CAP * 3] {
+            let mut m: SmallMap<usize> = SmallMap::default();
+            for i in 0..n {
+                m.insert(i, i * 2);
+            }
+            let mut got: Vec<(usize, usize)> = m.drain().collect();
+            got.sort_unstable();
+            let expected: Vec<(usize, usize)> = (0..n).map(|i| (i, i * 2)).collect();
+            assert_eq!(got, expected);
+        }
+    }
+
+    #[test]
+    fn clone_snapshots_independently() {
+        let mut m: SmallMap<i64> = SmallMap::default();
+        m.insert(1, 10);
+        let snap = m.clone();
+        m.insert(1, 20);
+        m.insert(2, 30);
+        assert_eq!(snap.get(1), Some(&10));
+        assert_eq!(snap.get(2), None);
+        let restored = snap;
+        assert_eq!(restored.len(), 1);
+    }
+}

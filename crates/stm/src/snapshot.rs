@@ -1,0 +1,491 @@
+//! Lock-free snapshot storage for [`VarCore`](crate::var) with epoch-based
+//! reclamation.
+//!
+//! ## Why this module exists
+//!
+//! The committed value of a transactional variable used to live behind a
+//! `RwLock<Arc<dyn Any>>`: readers took the read lock for the duration of an
+//! `Arc` clone. That kept everything in safe Rust, but it put an atomic
+//! RMW pair (lock/unlock) on the hottest path in the system — every
+//! transactional read, every `TVar::load` — and made readers and the
+//! committing writer contend on the lock's cache line even though the
+//! even/odd `version` seqlock already serializes them logically.
+//!
+//! [`SnapshotCell`] replaces the lock with a single `AtomicPtr` to a
+//! heap-allocated `Value` (an `Arc<dyn Any + Send + Sync>`). Readers load
+//! the pointer and clone the `Arc` behind it; writers (who already hold the
+//! cell's version lock, so there is exactly one at a time) swap in a new
+//! pointer. The old allocation cannot be freed immediately — a reader may
+//! have loaded the pointer and not yet finished cloning — so retired
+//! pointers go through a small epoch-based reclamation scheme
+//! (`crossbeam-epoch`-style, hand-rolled because this build is offline).
+//!
+//! ## The epoch scheme
+//!
+//! * A global epoch counter advances by 1 when every *pinned* participant
+//!   has observed the current epoch.
+//! * Each thread registers a participant slot. A reader *pins* (publishes
+//!   the global epoch into its slot, with a `SeqCst` fence so the publish
+//!   cannot reorder after the subsequent pointer load), performs the load +
+//!   clone, then *unpins* (stores the `INACTIVE` sentinel).
+//! * A writer retires the old pointer into a thread-local bag tagged with
+//!   the current global epoch `E`. The pointer is freed once the global
+//!   epoch reaches `E + 2`: advancing to `E + 1` proves no *new* pin can
+//!   acquire the retired pointer (it was unlinked before the advance), and
+//!   advancing again to `E + 2` proves every pin from epoch `E` — the only
+//!   ones that could still hold it — has since unpinned. This is the
+//!   standard two-epoch safety argument used by crossbeam.
+//! * Bags are collected when they exceed a threshold; a thread that exits
+//!   donates its bag to a global orphan list that other threads drain.
+//!
+//! ## Safety invariants (everything `unsafe` here relies on these)
+//!
+//! 1. Pointers stored in a `SnapshotCell` come only from `alloc_value`
+//!    (`Box::into_raw` or a recycled allocation of the same layout) and
+//!    are dropped and released exactly once, either by reclamation or by
+//!    `SnapshotCell::drop`.
+//! 2. A pointer is dereferenced only between a pin and the matching unpin
+//!    of the executing thread's participant (or in `drop`, which has
+//!    exclusive access by `&mut self`).
+//! 3. `SnapshotCell::store` is only called under the owning cell's version
+//!    lock (odd version), so there is at most one concurrent writer; the
+//!    swap therefore retires each old pointer exactly once.
+//! 4. Values are never dropped while the thread-local registry borrow is
+//!    held: user `Drop` impls may re-enter this module (e.g. a dropped
+//!    value reads a `TVar`), so frees happen after the borrow is released.
+//!
+//! The concurrent stress tests live in `tests/snapshot_stress.rs`.
+#![allow(unsafe_code)]
+
+use std::cell::RefCell;
+use std::sync::atomic::{fence, AtomicPtr, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use ad_support::sync::Mutex;
+
+use crate::var::Value;
+
+/// Sentinel epoch meaning "not currently pinned".
+const INACTIVE: u64 = u64::MAX;
+
+/// Bag size at which a thread attempts collection.
+const COLLECT_THRESHOLD: usize = 64;
+
+/// Global epoch counter (advances by 1; see module docs).
+static EPOCH: AtomicU64 = AtomicU64::new(0);
+
+/// All registered participants. Locked only on registration, thread exit,
+/// and (briefly) during epoch advancement — never on the read path.
+static PARTICIPANTS: Mutex<Vec<Arc<Participant>>> = Mutex::new(Vec::new());
+
+/// Garbage donated by exited threads, drained during collection.
+static ORPHANS: Mutex<Vec<Retired>> = Mutex::new(Vec::new());
+
+/// One per thread: the epoch this thread is pinned at, or [`INACTIVE`].
+struct Participant {
+    epoch: AtomicU64,
+}
+
+/// A retired pointer, tagged with the global epoch at retirement.
+struct Retired {
+    ptr: *mut Value,
+    epoch: u64,
+}
+
+// SAFETY: `ptr` is an owned heap allocation of a `Value` (`Send + Sync`);
+// `Retired` merely transfers the obligation to free it across threads.
+unsafe impl Send for Retired {}
+
+/// Cap on the per-thread free list of recycled `Value` allocations. Beyond
+/// this, reclaimed boxes are returned to the system allocator.
+const FREE_LIST_CAP: usize = 64;
+
+/// Thread-local reclamation state: the participant slot, the bag of
+/// retired-but-not-yet-free pointers, the pin depth (pins are reentrant so
+/// a transaction can hold one pin across its whole attempt), and a free
+/// list of recycled allocations so steady-state write-backs don't malloc.
+struct Handle {
+    part: Arc<Participant>,
+    bag: Vec<Retired>,
+    depth: u32,
+    free: Vec<*mut Value>,
+}
+
+impl Handle {
+    fn register() -> Handle {
+        let part = Arc::new(Participant {
+            epoch: AtomicU64::new(INACTIVE),
+        });
+        PARTICIPANTS.lock().push(Arc::clone(&part));
+        Handle {
+            part,
+            bag: Vec::new(),
+            depth: 0,
+            free: Vec::new(),
+        }
+    }
+
+    /// Pin the participant at the current global epoch (outermost pin
+    /// only). The `SeqCst` fence orders the epoch publication before any
+    /// subsequent pointer load: an advancer that does not observe this pin
+    /// is guaranteed (by its own `SeqCst` fence) that our later loads see
+    /// memory at least as new as the epoch it advanced from.
+    #[inline]
+    fn pin(&mut self) {
+        if self.depth == 0 {
+            let e = EPOCH.load(Ordering::Relaxed);
+            self.part.epoch.store(e, Ordering::Relaxed);
+            fence(Ordering::SeqCst);
+        }
+        self.depth += 1;
+    }
+
+    #[inline]
+    fn unpin(&mut self) {
+        self.depth -= 1;
+        if self.depth == 0 {
+            self.part.epoch.store(INACTIVE, Ordering::Release);
+        }
+    }
+}
+
+impl Drop for Handle {
+    fn drop(&mut self) {
+        // Donate unfinished garbage and deregister, so an exited thread can
+        // neither leak its bag nor block epoch advancement forever.
+        if !self.bag.is_empty() {
+            ORPHANS.lock().append(&mut self.bag);
+        }
+        for p in self.free.drain(..) {
+            // SAFETY: free-list entries are allocations whose contents were
+            // already dropped (invariant 1); release the memory only.
+            unsafe { dealloc_value(p) };
+        }
+        let mut parts = PARTICIPANTS.lock();
+        if let Some(i) = parts.iter().position(|p| Arc::ptr_eq(p, &self.part)) {
+            parts.swap_remove(i);
+        }
+    }
+}
+
+thread_local! {
+    static HANDLE: RefCell<Handle> = RefCell::new(Handle::register());
+}
+
+/// An RAII pin covering a whole transaction attempt: while held, every
+/// [`SnapshotCell::load`] on this thread reuses the already-published pin
+/// (a depth increment) instead of issuing its own `SeqCst` fence. Dropped
+/// before the runner blocks in `retry` waiting, so a parked thread never
+/// stalls reclamation.
+pub(crate) struct EpochGuard {
+    pinned: bool,
+}
+
+/// Pin this thread for the lifetime of the returned guard.
+pub(crate) fn pin_scope() -> EpochGuard {
+    let pinned = HANDLE.try_with(|h| h.borrow_mut().pin()).is_ok();
+    EpochGuard { pinned }
+}
+
+impl Drop for EpochGuard {
+    fn drop(&mut self) {
+        if self.pinned {
+            let _ = HANDLE.try_with(|h| h.borrow_mut().unpin());
+        }
+    }
+}
+
+/// Allocate a slot for `value`, reusing a recycled allocation if one is
+/// available.
+fn alloc_value(value: Value) -> *mut Value {
+    let slot = HANDLE.try_with(|h| h.borrow_mut().free.pop()).ok().flatten();
+    match slot {
+        Some(p) => {
+            // SAFETY: free-list entries point to valid, content-dropped
+            // allocations of `Value` owned by this thread (invariant 1).
+            unsafe { std::ptr::write(p, value) };
+            p
+        }
+        None => Box::into_raw(Box::new(value)),
+    }
+}
+
+/// Release the memory of an allocation whose contents were already dropped.
+///
+/// # Safety
+/// `p` must come from `Box::into_raw(Box::new(_: Value))` and its contents
+/// must have been dropped (or moved out) already.
+unsafe fn dealloc_value(p: *mut Value) {
+    drop(unsafe { Box::from_raw(p.cast::<std::mem::MaybeUninit<Value>>()) });
+}
+
+/// Advance the global epoch if every pinned participant has observed it.
+/// Returns the (possibly advanced) global epoch.
+fn try_advance() -> u64 {
+    let global = EPOCH.load(Ordering::Relaxed);
+    fence(Ordering::SeqCst);
+    {
+        let parts = PARTICIPANTS.lock();
+        for p in parts.iter() {
+            let e = p.epoch.load(Ordering::Relaxed);
+            if e != INACTIVE && e != global {
+                // Someone is still pinned in an older epoch.
+                return global;
+            }
+        }
+    }
+    fence(Ordering::SeqCst);
+    match EPOCH.compare_exchange(global, global + 1, Ordering::SeqCst, Ordering::SeqCst) {
+        Ok(_) => global + 1,
+        Err(actual) => actual,
+    }
+}
+
+/// Split `bag` into (free-now, keep) according to the two-epoch rule,
+/// after attempting to advance the epoch and adopting any orphans.
+///
+/// The caller must drop the returned garbage *outside* any thread-local
+/// borrow (invariant 4): freeing a `Value` runs arbitrary user `Drop` code.
+fn collect(bag: &mut Vec<Retired>) -> Vec<Retired> {
+    {
+        let mut orphans = ORPHANS.lock();
+        bag.append(&mut orphans);
+    }
+    let global = try_advance();
+    let mut free = Vec::new();
+    let mut i = 0;
+    while i < bag.len() {
+        if global >= bag[i].epoch.saturating_add(2) {
+            free.push(bag.swap_remove(i));
+        } else {
+            i += 1;
+        }
+    }
+    free
+}
+
+fn free_garbage(garbage: Vec<Retired>) {
+    if garbage.is_empty() {
+        return;
+    }
+    let mut ptrs: Vec<*mut Value> = Vec::with_capacity(garbage.len());
+    for r in garbage {
+        // SAFETY: `r.ptr` came from `alloc_value` (invariant 1) and the
+        // two-epoch rule proves no reader still holds it; `collect`
+        // removed it from the bag, so it is dropped exactly once. The drop
+        // runs outside any `HANDLE` borrow (invariant 4).
+        unsafe { std::ptr::drop_in_place(r.ptr) };
+        ptrs.push(r.ptr);
+    }
+    // Recycle the now-empty allocations into the free list (bounded), so
+    // subsequent write-backs skip the allocator entirely.
+    let mut recycled = false;
+    let _ = HANDLE.try_with(|h| {
+        let mut h = h.borrow_mut();
+        for p in ptrs.drain(..) {
+            if h.free.len() < FREE_LIST_CAP {
+                h.free.push(p);
+            } else {
+                // SAFETY: contents dropped above; memory-only release.
+                unsafe { dealloc_value(p) };
+            }
+        }
+        recycled = true;
+    });
+    if !recycled {
+        for p in ptrs {
+            // SAFETY: as above — TLS teardown path, nothing to recycle to.
+            unsafe { dealloc_value(p) };
+        }
+    }
+}
+
+/// A lock-free, epoch-reclaimed cell holding one type-erased committed
+/// value. Replaces the former `RwLock<Value>` in `VarCore`; the caller's
+/// even/odd version word remains the seqlock that pairs a value with its
+/// commit timestamp.
+pub(crate) struct SnapshotCell {
+    ptr: AtomicPtr<Value>,
+}
+
+impl SnapshotCell {
+    pub(crate) fn new(value: Value) -> Self {
+        SnapshotCell {
+            ptr: AtomicPtr::new(alloc_value(value)),
+        }
+    }
+
+    /// Snapshot the current value (an `Arc` clone). Lock-free: the only
+    /// shared-memory writes are the participant pin/unpin stores and the
+    /// `Arc` refcount increment — and under an enclosing [`EpochGuard`]
+    /// (the transaction-attempt pin) even those reduce to a thread-local
+    /// depth increment.
+    #[inline]
+    pub(crate) fn load(&self) -> Value {
+        HANDLE
+            .try_with(|h| {
+                let mut h = h.borrow_mut();
+                h.pin();
+                let p = self.ptr.load(Ordering::Acquire);
+                // SAFETY: `p` was published by `new`/`store` (invariant 1)
+                // and this thread is pinned, so reclamation cannot have
+                // freed it (invariant 2, two-epoch rule).
+                let val = unsafe { (*p).clone() };
+                h.unpin();
+                val
+            })
+            .unwrap_or_else(|_| self.load_slow())
+    }
+
+    /// Fallback for reads during thread-local destruction (the `HANDLE`
+    /// slot is gone): register a one-shot participant so the epoch
+    /// invariant still protects the load.
+    #[cold]
+    fn load_slow(&self) -> Value {
+        let part = Arc::new(Participant {
+            epoch: AtomicU64::new(INACTIVE),
+        });
+        PARTICIPANTS.lock().push(Arc::clone(&part));
+        let e = EPOCH.load(Ordering::Relaxed);
+        part.epoch.store(e, Ordering::Relaxed);
+        fence(Ordering::SeqCst);
+        let p = self.ptr.load(Ordering::Acquire);
+        // SAFETY: as in `load` — pinned via the temporary participant.
+        let val = unsafe { (*p).clone() };
+        part.epoch.store(INACTIVE, Ordering::Release);
+        let mut parts = PARTICIPANTS.lock();
+        if let Some(i) = parts.iter().position(|q| Arc::ptr_eq(q, &part)) {
+            parts.swap_remove(i);
+        }
+        drop(parts);
+        val
+    }
+
+    /// Replace the value, retiring the previous allocation.
+    ///
+    /// Contract (invariant 3): the caller holds the owning `VarCore`'s
+    /// version lock (odd version word), so at most one `store` runs at a
+    /// time per cell. Concurrent `load`s are fine.
+    pub(crate) fn store(&self, value: Value) {
+        let new = alloc_value(value);
+        let old = self.ptr.swap(new, Ordering::AcqRel);
+        let epoch = EPOCH.load(Ordering::Relaxed);
+        let garbage = HANDLE
+            .try_with(|h| {
+                let mut h = h.borrow_mut();
+                h.bag.push(Retired { ptr: old, epoch });
+                if h.bag.len() >= COLLECT_THRESHOLD {
+                    collect(&mut h.bag)
+                } else {
+                    Vec::new()
+                }
+            })
+            .unwrap_or_else(|_| {
+                // Thread-local teardown: donate straight to the orphan list.
+                ORPHANS.lock().push(Retired { ptr: old, epoch });
+                Vec::new()
+            });
+        // Freed outside the `HANDLE` borrow: dropping a Value can run user
+        // Drop impls that re-enter this module (invariant 4).
+        free_garbage(garbage);
+    }
+}
+
+impl Drop for SnapshotCell {
+    fn drop(&mut self) {
+        // `&mut self` proves no concurrent reader exists (a reader must
+        // reach the cell through a live `Arc<VarCore>`), so the current
+        // pointer can be freed directly without going through a bag.
+        let p = *self.ptr.get_mut();
+        // SAFETY: invariant 1; exclusive access per above.
+        unsafe {
+            drop(Box::from_raw(p));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::var::new_value;
+
+    fn get_u64(v: &Value) -> u64 {
+        *v.downcast_ref::<u64>().unwrap()
+    }
+
+    #[test]
+    fn load_store_roundtrip() {
+        let cell = SnapshotCell::new(new_value(7u64));
+        assert_eq!(get_u64(&cell.load()), 7);
+        cell.store(new_value(8u64));
+        assert_eq!(get_u64(&cell.load()), 8);
+    }
+
+    #[test]
+    fn many_stores_trigger_collection() {
+        // Exceed the bag threshold several times over so retire/advance/free
+        // all run on this thread.
+        let cell = SnapshotCell::new(new_value(0u64));
+        for i in 0..(COLLECT_THRESHOLD as u64 * 8) {
+            cell.store(new_value(i));
+            assert_eq!(get_u64(&cell.load()), i);
+        }
+    }
+
+    #[test]
+    fn values_are_eventually_dropped() {
+        // Count drops of the stored payload: every superseded value must be
+        // dropped by reclamation (or at latest when leftover bags are
+        // collected by later activity), and none twice.
+        use std::sync::atomic::AtomicUsize;
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct Counted;
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let n = COLLECT_THRESHOLD * 4;
+        let cell = SnapshotCell::new(new_value(Counted));
+        for _ in 0..n {
+            cell.store(new_value(Counted));
+        }
+        drop(cell);
+        // n values were superseded +1 final value freed by Drop; some of
+        // the superseded ones may still sit in this thread's bag, but at
+        // least everything from completed collections is gone.
+        let dropped = DROPS.load(Ordering::SeqCst);
+        assert!(dropped <= n + 1, "double free: {dropped} > {}", n + 1);
+        // Concurrent tests may pin participants and delay some advances,
+        // so only require that a solid majority of collections succeeded.
+        assert!(
+            dropped >= n / 4,
+            "reclamation never freed anything: {dropped}"
+        );
+    }
+
+    #[test]
+    fn concurrent_load_store_smoke() {
+        let cell = Arc::new(SnapshotCell::new(new_value(0u64)));
+        let stop = Arc::new(AtomicU64::new(0));
+        let mut readers = Vec::new();
+        for _ in 0..3 {
+            let cell = Arc::clone(&cell);
+            let stop = Arc::clone(&stop);
+            readers.push(std::thread::spawn(move || {
+                while stop.load(Ordering::Relaxed) == 0 {
+                    let _ = cell.load();
+                }
+            }));
+        }
+        // Single writer, per the store contract.
+        for i in 0..20_000u64 {
+            cell.store(new_value(i));
+        }
+        stop.store(1, Ordering::Relaxed);
+        for r in readers {
+            r.join().unwrap();
+        }
+        assert_eq!(get_u64(&cell.load()), 19_999);
+    }
+}

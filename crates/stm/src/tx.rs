@@ -7,17 +7,31 @@
 //! under per-variable version locks. Serial transactions (irrevocability,
 //! paper §2) execute with the runtime's serial lock held exclusively and
 //! access memory directly.
+//!
+//! ## Descriptor reuse
+//!
+//! A `Tx` does not own its collections: it borrows a [`TxBuffers`] bundle
+//! that the runner checks out of a thread-local pool once per
+//! `atomically` call and threads through every attempt. Re-executing after
+//! a conflict therefore allocates nothing — the read set, read cache,
+//! write set and commit scratch vectors are cleared, not dropped, and
+//! their capacities persist across attempts *and* across transactions on
+//! the same thread. The read and write sets are [`SmallMap`]s: inline
+//! linear scans at the common small sizes, hash maps only when a
+//! transaction grows past [`crate::smallmap::INLINE_CAP`] variables.
 
 use std::any::Any;
+use std::cell::RefCell;
 use std::sync::Arc;
 
 use crate::clock;
 use crate::config::Mode;
 use crate::error::{StmError, StmResult};
-use crate::fxhash::FxHashMap;
+use crate::fxhash::FxHashSet;
 use crate::registry::ActivitySlot;
 use crate::retry::WatchList;
 use crate::runtime::Runtime;
+use crate::smallmap::SmallMap;
 use crate::var::{downcast, new_value, TVar, Value, VarCore};
 
 /// A post-commit action queued by [`Tx::defer_post_commit`]. Receives the
@@ -42,36 +56,119 @@ pub(crate) struct CommitOutput {
     pub(crate) drops: Vec<Box<dyn Any + Send>>,
 }
 
-/// An in-flight transaction. Handed to the closure run by
-/// [`Runtime::atomically`](crate::Runtime::atomically); all transactional
-/// reads and writes go through it.
-pub struct Tx<'rt> {
-    rt: &'rt Runtime,
-    mode: ExecMode,
-    /// Read version: the snapshot timestamp (TL2 `rv`).
-    rv: u64,
+/// The reusable allocations of a transaction descriptor. One bundle lives
+/// per thread (in a pool slot); [`Tx::new`] clears it at the start of each
+/// attempt, so retries and subsequent transactions run allocation-free
+/// once the capacities are warm.
+pub(crate) struct TxBuffers {
     /// Variables read, with the version observed. In serial mode this only
     /// feeds the `retry` watch list.
     read_set: Vec<(Arc<VarCore>, u64)>,
     /// First-read values, so re-reads observe a stable snapshot (opacity).
-    read_cache: FxHashMap<usize, Value>,
+    read_cache: SmallMap<Value>,
     /// Buffered writes (speculative mode only).
-    write_set: FxHashMap<usize, (Arc<VarCore>, Value)>,
+    write_set: SmallMap<(Arc<VarCore>, Value)>,
     /// Deferred operations queued by `atomic_defer` (via ad-defer).
     post_commit: Vec<PostCommitFn>,
     /// Deferred frees: values whose destruction is delayed until after the
     /// deferred operations have run.
     drops: Vec<Box<dyn Any + Send>>,
     /// Simulated-HTM footprint accounting.
+    footprint_vars: FxHashSet<usize>,
+    /// Commit scratch: the write set drained into address order.
+    entries: Vec<(usize, Arc<VarCore>, Value)>,
+    /// Commit scratch: pre-lock versions, index-aligned with `entries`.
+    /// Replaces the per-commit `pre_lock` hash map — validation does a
+    /// binary search over the sorted `entries` instead.
+    locked: Vec<u64>,
+}
+
+impl TxBuffers {
+    fn new_boxed() -> Box<TxBuffers> {
+        Box::new(TxBuffers {
+            read_set: Vec::new(),
+            read_cache: SmallMap::default(),
+            write_set: SmallMap::default(),
+            post_commit: Vec::new(),
+            drops: Vec::new(),
+            footprint_vars: FxHashSet::default(),
+            entries: Vec::new(),
+            locked: Vec::new(),
+        })
+    }
+
+    /// Clear every collection, keeping capacities.
+    fn reset(&mut self) {
+        self.read_set.clear();
+        self.read_cache.clear();
+        self.write_set.clear();
+        self.post_commit.clear();
+        self.drops.clear();
+        self.footprint_vars.clear();
+        self.entries.clear();
+        self.locked.clear();
+    }
+
+    /// Take back the read-set vector a [`WatchList`] borrowed from us, so
+    /// the retry path keeps its capacity too.
+    pub(crate) fn recycle_watch(&mut self, watch: WatchList) {
+        self.read_set = watch.into_entries();
+        self.read_set.clear();
+    }
+}
+
+thread_local! {
+    /// One pooled descriptor per thread. A single slot suffices because
+    /// transactions never nest on a thread (enforced by the runner); a
+    /// post-commit action starting a new transaction simply finds the slot
+    /// empty and allocates — its bundle is pooled afterwards.
+    static POOL: RefCell<Option<Box<TxBuffers>>> = const { RefCell::new(None) };
+}
+
+/// Check a descriptor bundle out of the thread-local pool (or allocate).
+pub(crate) fn take_buffers() -> Box<TxBuffers> {
+    POOL.try_with(|p| p.borrow_mut().take())
+        .ok()
+        .flatten()
+        .unwrap_or_else(TxBuffers::new_boxed)
+}
+
+/// Return a bundle to the pool for the next transaction on this thread.
+pub(crate) fn put_buffers(bufs: Box<TxBuffers>) {
+    let _ = POOL.try_with(move |p| *p.borrow_mut() = Some(bufs));
+}
+
+/// An in-flight transaction. Handed to the closure run by
+/// [`Runtime::atomically`](crate::Runtime::atomically); all transactional
+/// reads and writes go through it.
+pub struct Tx<'rt> {
+    rt: &'rt Runtime,
+    mode: ExecMode,
+    /// Execution mode cached from the runtime config at attempt start, so
+    /// per-access footprint checks don't re-read the shared config.
+    cfg_mode: Mode,
+    /// Quiescence policy, cached likewise for commit.
+    cfg_quiesce: bool,
+    /// Read version: the snapshot timestamp (TL2 `rv`).
+    rv: u64,
+    /// Pooled collections (see [`TxBuffers`]).
+    bufs: &'rt mut TxBuffers,
+    /// Simulated-HTM footprint accounting.
     footprint: u64,
-    footprint_vars: crate::fxhash::FxHashSet<usize>,
     /// Serial mode: has the closure performed (unrecoverable) writes?
     serial_wrote: bool,
     slot: Arc<ActivitySlot>,
 }
 
 impl<'rt> Tx<'rt> {
-    pub(crate) fn new(rt: &'rt Runtime, slot: Arc<ActivitySlot>, serial: bool) -> Self {
+    pub(crate) fn new(
+        rt: &'rt Runtime,
+        bufs: &'rt mut TxBuffers,
+        slot: Arc<ActivitySlot>,
+        serial: bool,
+    ) -> Self {
+        bufs.reset();
+        let cfg = rt.config();
         let rv = clock::now();
         Tx {
             rt,
@@ -80,14 +177,11 @@ impl<'rt> Tx<'rt> {
             } else {
                 ExecMode::Speculative
             },
+            cfg_mode: cfg.mode,
+            cfg_quiesce: cfg.quiesce,
             rv,
-            read_set: Vec::new(),
-            read_cache: FxHashMap::default(),
-            write_set: FxHashMap::default(),
-            post_commit: Vec::new(),
-            drops: Vec::new(),
+            bufs,
             footprint: 0,
-            footprint_vars: crate::fxhash::FxHashSet::default(),
             serial_wrote: false,
             slot,
         }
@@ -126,15 +220,15 @@ impl<'rt> Tx<'rt> {
     fn read_value(&mut self, core: &Arc<VarCore>) -> StmResult<Value> {
         if self.mode == ExecMode::Serial {
             let (v, val) = core.read_consistent();
-            self.read_set.push((Arc::clone(core), v));
+            self.bufs.read_set.push((Arc::clone(core), v));
             return Ok(val);
         }
         let id = core.id();
         self.charge_var_access(id)?;
-        if let Some((_, val)) = self.write_set.get(&id) {
+        if let Some((_, val)) = self.bufs.write_set.get(id) {
             return Ok(val.clone());
         }
-        if let Some(val) = self.read_cache.get(&id) {
+        if let Some(val) = self.bufs.read_cache.get(id) {
             return Ok(val.clone());
         }
         let (v1, val) = core.read_consistent();
@@ -142,8 +236,8 @@ impl<'rt> Tx<'rt> {
             self.extend_snapshot()?;
             debug_assert!(v1 <= self.rv);
         }
-        self.read_set.push((Arc::clone(core), v1));
-        self.read_cache.insert(id, val.clone());
+        self.bufs.read_set.push((Arc::clone(core), v1));
+        self.bufs.read_cache.insert(id, val.clone());
         Ok(val)
     }
 
@@ -162,7 +256,8 @@ impl<'rt> Tx<'rt> {
         }
         let id = core.id();
         self.charge_var_access(id)?;
-        self.write_set
+        self.bufs
+            .write_set
             .insert(id, (Arc::clone(core), new_value(value)));
         Ok(())
     }
@@ -218,14 +313,14 @@ impl<'rt> Tx<'rt> {
             };
         }
         // Snapshot the transaction's buffered effects; reads are kept.
-        let write_snapshot = self.write_set.clone();
-        let post_commit_len = self.post_commit.len();
-        let drops_len = self.drops.len();
+        let write_snapshot = self.bufs.write_set.clone();
+        let post_commit_len = self.bufs.post_commit.len();
+        let drops_len = self.bufs.drops.len();
         match first(self) {
             Err(StmError::Retry) => {
-                self.write_set = write_snapshot;
-                self.post_commit.truncate(post_commit_len);
-                self.drops.truncate(drops_len);
+                self.bufs.write_set = write_snapshot;
+                self.bufs.post_commit.truncate(post_commit_len);
+                self.bufs.drops.truncate(drops_len);
                 second(self)
             }
             other => other,
@@ -253,7 +348,7 @@ impl<'rt> Tx<'rt> {
     /// `atomic_defer`: `ad-defer` queues the deferred operation plus the
     /// release of its `TxLock`s here. Discarded if the transaction aborts.
     pub fn defer_post_commit(&mut self, f: PostCommitFn) {
-        self.post_commit.push(f);
+        self.bufs.post_commit.push(f);
     }
 
     /// Queue a value to be dropped after all post-commit actions have run —
@@ -261,7 +356,7 @@ impl<'rt> Tx<'rt> {
     /// may refer to memory the transaction logically freed, so its
     /// reclamation must wait for them.
     pub fn defer_drop(&mut self, v: Box<dyn Any + Send>) {
-        self.drops.push(v);
+        self.bufs.drops.push(v);
     }
 
     /// Charge additional simulated-HTM footprint, in bytes. Workloads call
@@ -273,7 +368,7 @@ impl<'rt> Tx<'rt> {
         if self.mode == ExecMode::Serial {
             return Ok(());
         }
-        if let Mode::HtmSim(h) = self.rt.config().mode {
+        if let Mode::HtmSim(h) = self.cfg_mode {
             self.footprint += bytes;
             if self.footprint > h.capacity_bytes {
                 return Err(StmError::Capacity);
@@ -289,8 +384,8 @@ impl<'rt> Tx<'rt> {
 
     /// Charge the per-variable cost for a newly accessed variable.
     fn charge_var_access(&mut self, id: usize) -> StmResult<()> {
-        if let Mode::HtmSim(h) = self.rt.config().mode {
-            if self.footprint_vars.insert(id) {
+        if let Mode::HtmSim(h) = self.cfg_mode {
+            if self.bufs.footprint_vars.insert(id) {
                 self.footprint += h.bytes_per_access;
                 if self.footprint > h.capacity_bytes {
                     return Err(StmError::Capacity);
@@ -305,7 +400,7 @@ impl<'rt> Tx<'rt> {
     /// conflicts.
     fn extend_snapshot(&mut self) -> StmResult<()> {
         let new_rv = clock::now();
-        for (core, seen) in &self.read_set {
+        for (core, seen) in &self.bufs.read_set {
             let cur = core.version();
             if clock::is_locked(cur) || cur != *seen {
                 return Err(StmError::Conflict);
@@ -316,14 +411,11 @@ impl<'rt> Tx<'rt> {
         Ok(())
     }
 
-    /// The read set as a watch list for `retry` waiting.
-    pub(crate) fn watch_list(&self) -> WatchList {
-        WatchList::new(
-            self.read_set
-                .iter()
-                .map(|(c, v)| (Arc::clone(c), *v))
-                .collect(),
-        )
+    /// The read set as a watch list for `retry` waiting. Moves the read
+    /// set out of the descriptor (no clone); the runner hands the vector
+    /// back via [`TxBuffers::recycle_watch`] after the wait.
+    pub(crate) fn watch_list(&mut self) -> WatchList {
+        WatchList::new(std::mem::take(&mut self.bufs.read_set))
     }
 
     pub(crate) fn serial_wrote(&self) -> bool {
@@ -332,23 +424,27 @@ impl<'rt> Tx<'rt> {
 
     /// Number of distinct variables written (diagnostics/tests).
     pub fn write_set_len(&self) -> usize {
-        self.write_set.len()
+        self.bufs.write_set.len()
     }
 
     /// Number of read-set entries (diagnostics/tests).
     pub fn read_set_len(&self) -> usize {
-        self.read_set.len()
+        self.bufs.read_set.len()
     }
 
     /// Attempt to commit a speculative transaction. On success the caller
     /// receives the post-commit work; on `Conflict` every variable lock has
     /// been restored and the transaction must re-execute.
     ///
+    /// Allocation-free: the sorted entry list and pre-lock versions live in
+    /// pooled scratch vectors, and read-set validation binary-searches the
+    /// address-sorted entries instead of building a hash map.
+    ///
     /// Serial transactions use [`Tx::finish_serial`] instead.
     pub(crate) fn commit(&mut self) -> StmResult<CommitOutput> {
         debug_assert_eq!(self.mode, ExecMode::Speculative);
 
-        if self.write_set.is_empty() {
+        if self.bufs.write_set.is_empty() {
             // Read-only: the snapshot was kept consistent throughout, so the
             // transaction serializes at its (possibly extended) rv. No
             // clock tick, no quiescence (paper §2: only *writing*
@@ -357,31 +453,32 @@ impl<'rt> Tx<'rt> {
             return Ok(self.take_output());
         }
 
+        let TxBuffers {
+            read_set,
+            write_set,
+            entries,
+            locked,
+            ..
+        } = &mut *self.bufs;
+
         // Phase 1: lock the write set in a canonical (address) order so
         // concurrent committers cannot deadlock.
-        let mut entries: Vec<(usize, Arc<VarCore>, Value)> = self
-            .write_set
-            .drain()
-            .map(|(id, (core, val))| (id, core, val))
-            .collect();
+        entries.clear();
+        entries.extend(write_set.drain().map(|(id, (core, val))| (id, core, val)));
         entries.sort_unstable_by_key(|(id, _, _)| *id);
 
-        let mut locked: Vec<(Arc<VarCore>, u64)> = Vec::with_capacity(entries.len());
-        for (_, core, _) in &entries {
+        locked.clear();
+        for (i, (_, core, _)) in entries.iter().enumerate() {
             match core.try_lock() {
-                Some(pre) => locked.push((Arc::clone(core), pre)),
+                Some(pre) => locked.push(pre),
                 None => {
-                    for (c, pre) in &locked {
-                        c.unlock_restore(*pre);
+                    for (j, pre) in locked.iter().enumerate().take(i) {
+                        entries[j].1.unlock_restore(*pre);
                     }
                     return Err(StmError::Conflict);
                 }
             }
         }
-        let pre_lock: FxHashMap<usize, u64> = locked
-            .iter()
-            .map(|(c, pre)| (c.id(), *pre))
-            .collect();
 
         // Phase 2: acquire a write version.
         let wv = clock::tick();
@@ -389,27 +486,29 @@ impl<'rt> Tx<'rt> {
         // Phase 3: validate the read set (unless nobody else committed
         // since our snapshot — the TL2 fast path).
         if wv != self.rv + 2 {
-            for (core, seen) in &self.read_set {
-                let ok = match pre_lock.get(&core.id()) {
+            for (core, seen) in read_set.iter() {
+                let ok = match entries.binary_search_by_key(&core.id(), |(id, _, _)| *id) {
                     // We hold this lock: compare against its pre-lock version.
-                    Some(pre) => pre == seen,
-                    None => {
+                    Ok(i) => locked[i] == *seen,
+                    Err(_) => {
                         let cur = core.version();
                         !clock::is_locked(cur) && cur == *seen
                     }
                 };
                 if !ok {
-                    for (c, pre) in &locked {
-                        c.unlock_restore(*pre);
+                    for (i, pre) in locked.iter().enumerate() {
+                        entries[i].1.unlock_restore(*pre);
                     }
                     return Err(StmError::Conflict);
                 }
             }
         }
 
-        // Phase 4: write back and release, stamping wv.
-        for (_, core, val) in entries {
-            core.write_back(val, wv);
+        // Phase 4: write back and release, stamping wv. (The Arc clone per
+        // entry is a refcount bump, not an allocation; `entries` is cleared
+        // after the waiter wakeups below.)
+        for (_, core, val) in entries.iter() {
+            core.write_back(val.clone(), wv);
         }
 
         // The transaction is durably committed: it is no longer a hazard to
@@ -418,14 +517,15 @@ impl<'rt> Tx<'rt> {
         self.slot.end();
 
         // Phase 5: wake retry-waiters watching the written variables.
-        for (core, _) in &locked {
+        for (_, core, _) in entries.iter() {
             core.wake_waiters();
         }
+        entries.clear();
 
         // Phase 6: quiesce (privatization safety, paper §2) — wait for all
         // transactions that started before wv. Simulated HTM skips this:
         // hardware transactions are never observed mid-cleanup.
-        if self.rt.config().quiesce {
+        if self.cfg_quiesce {
             let ns = self.rt.registry().quiesce(wv, &self.slot);
             if ns > 0 {
                 self.rt.stats_ref().on_quiesce(ns);
@@ -446,8 +546,8 @@ impl<'rt> Tx<'rt> {
 
     fn take_output(&mut self) -> CommitOutput {
         CommitOutput {
-            actions: std::mem::take(&mut self.post_commit),
-            drops: std::mem::take(&mut self.drops),
+            actions: std::mem::take(&mut self.bufs.post_commit),
+            drops: std::mem::take(&mut self.bufs.drops),
         }
     }
 }
@@ -457,9 +557,9 @@ impl std::fmt::Debug for Tx<'_> {
         f.debug_struct("Tx")
             .field("mode", &self.mode)
             .field("rv", &self.rv)
-            .field("reads", &self.read_set.len())
-            .field("writes", &self.write_set.len())
-            .field("deferred", &self.post_commit.len())
+            .field("reads", &self.bufs.read_set.len())
+            .field("writes", &self.bufs.write_set.len())
+            .field("deferred", &self.bufs.post_commit.len())
             .finish()
     }
 }

@@ -6,10 +6,11 @@
 //! * `version` is an even/odd word — even values are the commit timestamp of
 //!   the current value, an odd value means a committing transaction holds
 //!   the cell's write lock.
-//! * the committed value is stored as an `Arc<dyn Any + Send + Sync>` behind
-//!   a short-critical-section `RwLock`. Readers take a consistent
-//!   (version-stable) snapshot by cloning the `Arc`; no torn reads are
-//!   possible, keeping the whole STM in safe Rust.
+//! * the committed value is stored as an `Arc<dyn Any + Send + Sync>` in a
+//!   lock-free [`SnapshotCell`]: an atomic pointer published under the
+//!   version seqlock and reclaimed via epochs (see `snapshot.rs`). Readers
+//!   take a consistent (version-stable) snapshot by cloning the `Arc` —
+//!   no lock, no writer/reader contention beyond the version word itself.
 //! * a waiter list supports parking-based `retry`.
 //!
 //! Values must be `Clone`: a read hands the transaction its own copy. For
@@ -19,13 +20,14 @@
 
 use std::any::Any;
 use std::marker::PhantomData;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::{Mutex, RwLock};
+use ad_support::sync::Mutex;
 
 use crate::clock;
 use crate::retry::Waiter;
+use crate::snapshot::SnapshotCell;
 
 /// Type-erased committed value.
 pub(crate) type Value = Arc<dyn Any + Send + Sync>;
@@ -39,20 +41,24 @@ pub(crate) fn new_value<T: Any + Send + Sync>(v: T) -> Value {
 pub(crate) struct VarCore {
     /// Even = commit timestamp of `value`; odd = write-locked.
     version: AtomicU64,
-    /// The committed value. The `RwLock` critical sections are tiny (an
-    /// `Arc` clone or pointer store); it exists to make snapshot reads
-    /// race-free in safe Rust.
-    value: RwLock<Value>,
+    /// The committed value: a lock-free atomic pointer, paired with
+    /// `version` by the seqlock read protocol in [`read_consistent`]
+    /// (Self::read_consistent).
+    value: SnapshotCell,
     /// Threads parked in `retry` watching this variable.
     waiters: Mutex<Vec<Arc<Waiter>>>,
+    /// Fast-path flag so commits skip the `waiters` mutex entirely when
+    /// nobody is parked (the overwhelmingly common case).
+    has_waiters: AtomicBool,
 }
 
 impl VarCore {
     pub(crate) fn new(initial: Value) -> Arc<Self> {
         Arc::new(VarCore {
             version: AtomicU64::new(clock::now()),
-            value: RwLock::new(initial),
+            value: SnapshotCell::new(initial),
             waiters: Mutex::new(Vec::new()),
+            has_waiters: AtomicBool::new(false),
         })
     }
 
@@ -62,14 +68,32 @@ impl VarCore {
         Arc::as_ptr(self) as usize
     }
 
+    /// Current version word, for validation and watch lists.
+    ///
+    /// `Acquire` (not `SeqCst`) is enough for TL2 validation: a validator
+    /// that observes an even version equal to the one it recorded needs to
+    /// know the value it read earlier has not been superseded by a commit
+    /// ordered before this load. Every commit stores the new version with
+    /// `Release` *after* publishing the value, so an `Acquire` load that
+    /// sees version `v` also sees the value committed at `v`; and a commit
+    /// that *has* happened but is not yet visible here would carry a
+    /// version `> v` or an odd lock word — either of which fails the
+    /// comparison and aborts, which is always safe.
     #[inline]
     pub(crate) fn version(&self) -> u64 {
-        self.version.load(Ordering::SeqCst)
+        self.version.load(Ordering::Acquire)
     }
 
     /// Take a version-consistent snapshot: returns `(version, value)` such
     /// that `value` was the committed value at `version` and `version` is
     /// even. Spins across concurrent commit write-backs (which are short).
+    ///
+    /// Lock-free: the value load is a single `Acquire` pointer read (plus
+    /// an `Arc` clone) under the even/odd seqlock. If a writer swaps the
+    /// pointer between `v1` and `v2`, the writer's preceding lock CAS (odd
+    /// version) or its final version stamp is visible by the time the new
+    /// pointer is (both are ordered before the `Release`-swapped pointer),
+    /// so `v2 != v1` and the read retries.
     pub(crate) fn read_consistent(&self) -> (u64, Value) {
         loop {
             let v1 = self.version.load(Ordering::Acquire);
@@ -77,7 +101,7 @@ impl VarCore {
                 std::hint::spin_loop();
                 continue;
             }
-            let val = self.value.read().clone();
+            let val = self.value.load();
             let v2 = self.version.load(Ordering::Acquire);
             if v1 == v2 {
                 return (v1, val);
@@ -112,7 +136,10 @@ impl VarCore {
     pub(crate) fn write_back(&self, val: Value, wv: u64) {
         debug_assert!(clock::is_locked(self.version.load(Ordering::Relaxed)));
         debug_assert!(!clock::is_locked(wv));
-        *self.value.write() = val;
+        // Holding the version lock satisfies `SnapshotCell::store`'s
+        // single-writer contract; the subsequent `Release` version stamp
+        // publishes value and version together for `read_consistent`.
+        self.value.store(val);
         self.version.store(wv, Ordering::Release);
     }
 
@@ -138,17 +165,28 @@ impl VarCore {
     }
 
     pub(crate) fn register_waiter(&self, w: Arc<Waiter>) {
-        self.waiters.lock().push(w);
+        let mut guard = self.waiters.lock();
+        guard.push(w);
+        self.has_waiters.store(true, Ordering::Release);
     }
 
     /// Wake (and drop) every registered waiter. Called after a commit that
     /// wrote this variable.
+    ///
+    /// The `has_waiters` pre-check means a committer racing with a
+    /// registration can miss a waiter that registered just after the check
+    /// (a store-load race that acquire/release cannot close). That is
+    /// benign: `wait_park` rechecks the watched versions after registering
+    /// — our version bump is already published by then in the common case —
+    /// and its bounded `park_timeout` recheck closes the residual window
+    /// within a millisecond.
     pub(crate) fn wake_waiters(&self) {
+        if !self.has_waiters.load(Ordering::Acquire) {
+            return;
+        }
         let drained: Vec<Arc<Waiter>> = {
             let mut guard = self.waiters.lock();
-            if guard.is_empty() {
-                return;
-            }
+            self.has_waiters.store(false, Ordering::Relaxed);
             std::mem::take(&mut *guard)
         };
         for w in drained {

@@ -1,7 +1,12 @@
 //! Property-based tests: random transactional programs must behave like
 //! their sequential interpretation.
+//!
+//! Implemented as seeded randomized tests over `ad_support::prng` (the
+//! `proptest` crate is unavailable offline); each property runs a fixed
+//! number of independently seeded cases, so failures are reproducible from
+//! the printed seed.
 
-use proptest::prelude::*;
+use ad_support::prng::Rng;
 
 use ad_stm::{Runtime, TVar, TmConfig};
 
@@ -19,12 +24,28 @@ enum Op {
 const CELLS: usize = 6;
 const PRIME: i64 = 1_000_003;
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0..CELLS, 0..CELLS, -100i64..100).prop_map(|(src, dst, k)| Op::AddFrom { src, dst, k }),
-        (0..CELLS, -100i64..100).prop_map(|(dst, k)| Op::Set { dst, k }),
-        (0..CELLS, 0..CELLS, 0..CELLS).prop_map(|(a, b, dst)| Op::MulInto { a, b, dst }),
-    ]
+fn random_op(rng: &mut Rng) -> Op {
+    match rng.random_range(0..3) {
+        0 => Op::AddFrom {
+            src: rng.random_range(0..CELLS),
+            dst: rng.random_range(0..CELLS),
+            k: rng.random_range_i64(-100..100),
+        },
+        1 => Op::Set {
+            dst: rng.random_range(0..CELLS),
+            k: rng.random_range_i64(-100..100),
+        },
+        _ => Op::MulInto {
+            a: rng.random_range(0..CELLS),
+            b: rng.random_range(0..CELLS),
+            dst: rng.random_range(0..CELLS),
+        },
+    }
+}
+
+fn random_program(rng: &mut Rng, max_len: usize) -> Vec<Op> {
+    let len = rng.random_range(0..max_len);
+    (0..len).map(|_| random_op(rng)).collect()
 }
 
 fn run_sequential(ops: &[Op], cells: &mut [i64; CELLS]) {
@@ -59,36 +80,40 @@ fn run_transactional(rt: &Runtime, ops: &[Op], vars: &[TVar<i64>]) {
     });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// A single transaction executing a random program leaves the cells in
-    /// exactly the state the sequential interpretation predicts.
-    #[test]
-    fn single_transaction_matches_sequential(
-        ops in prop::collection::vec(op_strategy(), 0..40),
-        init in prop::array::uniform6(-100i64..100),
-    ) {
+/// A single transaction executing a random program leaves the cells in
+/// exactly the state the sequential interpretation predicts.
+#[test]
+fn single_transaction_matches_sequential() {
+    for case in 0..64u64 {
+        let mut rng = Rng::seed_from_u64(0x51_0001 + case);
+        let ops = random_program(&mut rng, 40);
+        let mut init = [0i64; CELLS];
+        for c in &mut init {
+            *c = rng.random_range_i64(-100..100);
+        }
         let rt = Runtime::new(TmConfig::stm());
         let vars: Vec<TVar<i64>> = init.iter().map(|&v| TVar::new(v)).collect();
         let mut expected = init;
         run_sequential(&ops, &mut expected);
         run_transactional(&rt, &ops, &vars);
         let got: Vec<i64> = vars.iter().map(|v| v.load()).collect();
-        prop_assert_eq!(got, expected.to_vec());
+        assert_eq!(got, expected.to_vec(), "seed case {case}");
     }
+}
 
-    /// Concurrent random programs serialize: the final state must equal the
-    /// sequential execution of the programs in *some* order. We verify a
-    /// weaker but order-independent invariant: executing the observed
-    /// commit order sequentially reproduces the final state. Since we
-    /// cannot observe commit order directly, we instead check a
-    /// commutative workload: concurrent additive programs whose net effect
-    /// is order-independent.
-    #[test]
-    fn concurrent_additive_programs_sum_correctly(
-        deltas in prop::collection::vec(prop::collection::vec(-50i64..50, 1..20), 2..5),
-    ) {
+/// Concurrent additive programs serialize: the final state must equal the
+/// net sum, independent of interleaving.
+#[test]
+fn concurrent_additive_programs_sum_correctly() {
+    for case in 0..16u64 {
+        let mut rng = Rng::seed_from_u64(0x51_0002 + case);
+        let n_programs = rng.random_range(2..5);
+        let deltas: Vec<Vec<i64>> = (0..n_programs)
+            .map(|_| {
+                let len = rng.random_range(1..20);
+                (0..len).map(|_| rng.random_range_i64(-50..50)).collect()
+            })
+            .collect();
         let rt = Runtime::new(TmConfig::stm());
         let cell = TVar::new(0i64);
         let expected: i64 = deltas.iter().flatten().sum();
@@ -103,16 +128,18 @@ proptest! {
                 });
             }
         });
-        prop_assert_eq!(cell.load(), expected);
+        assert_eq!(cell.load(), expected, "seed case {case}");
     }
+}
 
-    /// HTM-sim with arbitrary capacity always completes (via fallback) and
-    /// computes the same result as STM.
-    #[test]
-    fn htm_any_capacity_matches_sequential(
-        ops in prop::collection::vec(op_strategy(), 0..30),
-        capacity in 1u64..2048,
-    ) {
+/// HTM-sim with arbitrary capacity always completes (via fallback) and
+/// computes the same result as STM.
+#[test]
+fn htm_any_capacity_matches_sequential() {
+    for case in 0..32u64 {
+        let mut rng = Rng::seed_from_u64(0x51_0003 + case);
+        let ops = random_program(&mut rng, 30);
+        let capacity = rng.random_range(1..2048) as u64;
         let rt = Runtime::new(TmConfig::htm().with_htm_capacity(capacity));
         let init = [1i64, 2, 3, 4, 5, 6];
         let vars: Vec<TVar<i64>> = init.iter().map(|&v| TVar::new(v)).collect();
@@ -120,20 +147,22 @@ proptest! {
         run_sequential(&ops, &mut expected);
         run_transactional(&rt, &ops, &vars);
         let got: Vec<i64> = vars.iter().map(|v| v.load()).collect();
-        prop_assert_eq!(got, expected.to_vec());
+        assert_eq!(got, expected.to_vec(), "seed case {case} capacity {capacity}");
     }
+}
 
-    /// Nontransactional load/store on a single var is linearizable with
-    /// transactional increments: total equals the sum of both kinds.
-    #[test]
-    fn mixed_access_single_var_counts(
-        tx_incs in 1usize..200,
-    ) {
+/// Nontransactional load/store on a single var is linearizable with
+/// transactional increments: total equals the sum of both kinds.
+#[test]
+fn mixed_access_single_var_counts() {
+    for case in 0..8u64 {
+        let mut rng = Rng::seed_from_u64(0x51_0004 + case);
+        let tx_incs = rng.random_range(1..200);
         let rt = Runtime::new(TmConfig::stm());
         let cell = TVar::new(0i64);
         for _ in 0..tx_incs {
             rt.atomically(|tx| tx.modify(&cell, |x| x + 1));
         }
-        prop_assert_eq!(cell.load(), tx_incs as i64);
+        assert_eq!(cell.load(), tx_incs as i64, "seed case {case}");
     }
 }

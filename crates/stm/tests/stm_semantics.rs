@@ -409,7 +409,7 @@ fn contention_manager_serializes_after_threshold() {
 fn post_commit_actions_run_in_order_after_commit() {
     let rt = Runtime::new(TmConfig::stm());
     let v = TVar::new(0u32);
-    let log = Arc::new(parking_lot::Mutex::new(Vec::new()));
+    let log = Arc::new(ad_support::sync::Mutex::new(Vec::new()));
 
     let (l1, l2) = (Arc::clone(&log), Arc::clone(&log));
     let v_obs = v.clone();
@@ -456,7 +456,7 @@ fn post_commit_actions_discarded_on_abort() {
 
 #[test]
 fn deferred_drops_happen_after_post_commit_actions() {
-    struct DropProbe(Arc<parking_lot::Mutex<Vec<&'static str>>>);
+    struct DropProbe(Arc<ad_support::sync::Mutex<Vec<&'static str>>>);
     impl Drop for DropProbe {
         fn drop(&mut self) {
             self.0.lock().push("drop");
@@ -464,7 +464,7 @@ fn deferred_drops_happen_after_post_commit_actions() {
     }
 
     let rt = Runtime::new(TmConfig::stm());
-    let log = Arc::new(parking_lot::Mutex::new(Vec::new()));
+    let log = Arc::new(ad_support::sync::Mutex::new(Vec::new()));
     let (l1, l2) = (Arc::clone(&log), Arc::clone(&log));
     rt.atomically(move |tx| {
         tx.defer_drop(Box::new(DropProbe(Arc::clone(&l1))));

@@ -1,0 +1,220 @@
+//! A bounded multi-producer multi-consumer channel.
+//!
+//! Replaces the `crossbeam::channel::bounded` usage in the dedup pipeline:
+//! both [`Sender`] and [`Receiver`] are cloneable, `recv` blocks until a
+//! message arrives or every sender is gone, and `send` blocks while the
+//! queue is full (failing only when every receiver is gone). Built on a
+//! mutex + two condvars; the pipeline moves multi-kilobyte chunks per
+//! message, so queue transfer cost is not the bottleneck.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use crate::sync::{Condvar, Mutex};
+
+struct Shared<T> {
+    queue: Mutex<State<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+/// Error returned by [`Sender::send`] when all receivers are gone; gives the
+/// unsent message back.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// Error returned by [`Receiver::recv`] when the channel is empty and all
+/// senders are gone.
+#[derive(Debug, PartialEq, Eq)]
+pub struct RecvError;
+
+/// The sending half of a bounded channel.
+pub struct Sender<T>(Arc<Shared<T>>);
+
+/// The receiving half of a bounded channel.
+pub struct Receiver<T>(Arc<Shared<T>>);
+
+/// Create a bounded channel with room for `capacity` in-flight messages.
+/// `capacity` is clamped to at least 1.
+pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        queue: Mutex::new(State {
+            items: VecDeque::new(),
+            senders: 1,
+            receivers: 1,
+        }),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+        capacity: capacity.max(1),
+    });
+    (Sender(Arc::clone(&shared)), Receiver(shared))
+}
+
+impl<T> Sender<T> {
+    /// Send a message, blocking while the queue is full. Fails (returning
+    /// the message) only when every receiver has been dropped.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut st = self.0.queue.lock();
+        loop {
+            if st.receivers == 0 {
+                return Err(SendError(value));
+            }
+            if st.items.len() < self.0.capacity {
+                st.items.push_back(value);
+                drop(st);
+                self.0.not_empty.notify_one();
+                return Ok(());
+            }
+            self.0.not_full.wait(&mut st);
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Receive a message, blocking while the queue is empty. Fails only when
+    /// the queue is empty *and* every sender has been dropped.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut st = self.0.queue.lock();
+        loop {
+            if let Some(v) = st.items.pop_front() {
+                drop(st);
+                self.0.not_full.notify_one();
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                return Err(RecvError);
+            }
+            self.0.not_empty.wait(&mut st);
+        }
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.0.queue.lock().senders += 1;
+        Sender(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.0.queue.lock().receivers += 1;
+        Receiver(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let remaining = {
+            let mut st = self.0.queue.lock();
+            st.senders -= 1;
+            st.senders
+        };
+        if remaining == 0 {
+            // Unblock receivers so they observe the disconnect.
+            self.0.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let remaining = {
+            let mut st = self.0.queue.lock();
+            st.receivers -= 1;
+            st.receivers
+        };
+        if remaining == 0 {
+            self.0.not_full.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_roundtrip() {
+        let (tx, rx) = bounded(4);
+        for i in 0..4 {
+            tx.send(i).unwrap();
+        }
+        for i in 0..4 {
+            assert_eq!(rx.recv(), Ok(i));
+        }
+    }
+
+    #[test]
+    fn recv_fails_after_all_senders_drop() {
+        let (tx, rx) = bounded::<u32>(2);
+        tx.send(7).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(7));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn send_fails_after_all_receivers_drop() {
+        let (tx, rx) = bounded::<u32>(2);
+        drop(rx);
+        assert_eq!(tx.send(1), Err(SendError(1)));
+    }
+
+    #[test]
+    fn bounded_send_blocks_until_drained() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        let h = std::thread::spawn(move || tx.send(2).unwrap());
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn mpmc_all_messages_arrive_once() {
+        let (tx, rx) = bounded(8);
+        let total: u64 = 1000;
+        let mut senders = Vec::new();
+        for t in 0..4u64 {
+            let tx = tx.clone();
+            senders.push(std::thread::spawn(move || {
+                for i in 0..total / 4 {
+                    tx.send(t * 1_000_000 + i).unwrap();
+                }
+            }));
+        }
+        drop(tx);
+        let mut receivers = Vec::new();
+        for _ in 0..3 {
+            let rx = rx.clone();
+            receivers.push(std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Ok(v) = rx.recv() {
+                    got.push(v);
+                }
+                got
+            }));
+        }
+        drop(rx);
+        for s in senders {
+            s.join().unwrap();
+        }
+        let mut all: Vec<u64> = receivers
+            .into_iter()
+            .flat_map(|r| r.join().unwrap())
+            .collect();
+        assert_eq!(all.len() as u64, total);
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len() as u64, total, "duplicate delivery");
+    }
+}

@@ -1,0 +1,275 @@
+//! A miniature Criterion-compatible benchmark harness.
+//!
+//! The real `criterion` crate is unavailable offline, so this module
+//! provides the API subset the workspace's benches use — `Criterion` with
+//! `sample_size`/`measurement_time`/`warm_up_time` builders,
+//! `bench_function`, benchmark groups, `Bencher::iter` / `iter_custom`, and
+//! the [`criterion_group!`]/[`criterion_main!`] macros — over a simple
+//! median-of-samples measurement loop.
+//!
+//! Output: one line per benchmark,
+//! `name  time: [min median max]` (per iteration), mirroring Criterion's
+//! format closely enough for eyeballs and grep. Setting the
+//! `AD_BENCH_JSON` environment variable to a path additionally appends one
+//! JSON object per benchmark to that file (`{"name": .., "ns_per_iter":
+//! ..}`), which is how the PR-over-PR baseline tracker consumes benches.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+pub use crate::{criterion_group, criterion_main};
+
+/// Top-level harness state: measurement configuration plus the output sink.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark (min 2).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Total time budget for the timed samples.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Time spent warming up (and estimating iteration cost).
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Benchmark `f` under `name`.
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let name = name.into();
+        let mut b = Bencher {
+            cfg: MeasureCfg {
+                sample_size: self.sample_size,
+                measurement_time: self.measurement_time,
+                warm_up_time: self.warm_up_time,
+            },
+            result: None,
+        };
+        f(&mut b);
+        if let Some(r) = b.result {
+            report(&name, &r);
+        }
+        self
+    }
+
+    /// Open a named group; benchmark names are prefixed `group/name`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            prefix: name.into(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'c> {
+    c: &'c mut Criterion,
+    prefix: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmark `f` under `prefix/name`.
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.prefix, name.into());
+        self.c.bench_function(full, f);
+        self
+    }
+
+    /// Finish the group (report flushing is immediate, so this is a no-op
+    /// kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+#[derive(Clone, Copy)]
+struct MeasureCfg {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+struct MeasureResult {
+    min_ns: f64,
+    median_ns: f64,
+    max_ns: f64,
+}
+
+/// Passed to the benchmark closure; drives the measurement loop.
+pub struct Bencher {
+    cfg: MeasureCfg,
+    result: Option<MeasureResult>,
+}
+
+impl Bencher {
+    /// Measure `f` per call. The return value is passed through
+    /// [`black_box`] so the computation cannot be optimized away.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        self.iter_custom(|iters| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            start.elapsed()
+        });
+    }
+
+    /// Measure with a caller-controlled timing loop: `f` receives an
+    /// iteration count and returns the elapsed time for that many
+    /// iterations.
+    pub fn iter_custom(&mut self, mut f: impl FnMut(u64) -> Duration) {
+        // Warm-up doubles as iteration-cost estimation.
+        let mut iters = 1u64;
+        let mut est_per_iter;
+        let warm_start = Instant::now();
+        loop {
+            let t = f(iters);
+            est_per_iter = t.checked_div(iters as u32).unwrap_or(Duration::from_nanos(1));
+            if warm_start.elapsed() >= self.cfg.warm_up_time {
+                break;
+            }
+            iters = (iters * 2).min(1 << 24);
+        }
+
+        let per_sample = self.cfg.measurement_time.as_nanos() as u64
+            / self.cfg.sample_size as u64;
+        let sample_iters =
+            (per_sample / est_per_iter.as_nanos().max(1) as u64).clamp(1, 1 << 28);
+
+        let mut samples: Vec<f64> = Vec::with_capacity(self.cfg.sample_size);
+        for _ in 0..self.cfg.sample_size {
+            let t = f(sample_iters);
+            samples.push(t.as_nanos() as f64 / sample_iters as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.result = Some(MeasureResult {
+            min_ns: samples[0],
+            median_ns: samples[samples.len() / 2],
+            max_ns: samples[samples.len() - 1],
+        });
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn report(name: &str, r: &MeasureResult) {
+    println!(
+        "{name:<44} time: [{} {} {}]",
+        fmt_ns(r.min_ns),
+        fmt_ns(r.median_ns),
+        fmt_ns(r.max_ns)
+    );
+    if let Ok(path) = std::env::var("AD_BENCH_JSON") {
+        use std::io::Write;
+        if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(path) {
+            let _ = writeln!(
+                f,
+                "{{\"name\":\"{}\",\"ns_per_iter\":{:.2},\"ns_min\":{:.2},\"ns_max\":{:.2}}}",
+                name.replace('"', "'"),
+                r.median_ns,
+                r.min_ns,
+                r.max_ns
+            );
+        }
+    }
+}
+
+/// Mirror of `criterion::criterion_group!`: bundles target functions into a
+/// single runner function with a shared [`Criterion`] configuration.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $cfg;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::crit::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Mirror of `criterion::criterion_main!`: emits `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_produces_a_result() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(2));
+        c.bench_function("selftest/add", |b| b.iter(|| 1u64 + 1));
+        let mut g = c.benchmark_group("selftest");
+        g.bench_function("sub", |b| b.iter(|| 2u64 - 1));
+        g.finish();
+    }
+
+    #[test]
+    fn iter_custom_is_supported() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(5))
+            .warm_up_time(Duration::from_millis(1));
+        c.bench_function("selftest/custom", |b| {
+            b.iter_custom(|iters| {
+                let start = Instant::now();
+                for i in 0..iters {
+                    black_box(i);
+                }
+                start.elapsed()
+            })
+        });
+    }
+}

@@ -1,0 +1,29 @@
+//! # ad-support — in-tree stand-ins for external dependencies
+//!
+//! The build environment for this workspace has no crates.io access, so
+//! every external dependency must be vendored, stubbed, or replaced. This
+//! crate provides the small, well-understood subsets the workspace actually
+//! uses:
+//!
+//! * [`sync`] — `Mutex`, `RwLock`, and `Condvar` with the `parking_lot`
+//!   calling convention (no poisoning, `lock()` returns the guard directly),
+//!   implemented over `std::sync`.
+//! * [`channel`] — a bounded MPMC channel with `crossbeam_channel`-style
+//!   cloneable senders *and* receivers and disconnect semantics.
+//! * [`prng`] — a seedable SplitMix64 generator replacing the small part of
+//!   `rand` the corpus generator and the randomized tests need.
+//! * [`crit`] — a miniature Criterion-compatible benchmark harness
+//!   (`criterion_group!` / `criterion_main!`, `bench_function`,
+//!   `iter`/`iter_custom`, benchmark groups) that prints per-iteration
+//!   timings and can emit machine-readable JSON.
+//!
+//! Everything here is safe Rust with no dependencies, so it can never be the
+//! thing that breaks an offline build.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod channel;
+pub mod crit;
+pub mod prng;
+pub mod sync;

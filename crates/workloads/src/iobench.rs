@@ -24,7 +24,7 @@ use std::time::Duration;
 
 use ad_defer::{atomic_defer, Defer};
 use ad_stm::{Runtime, TVar, TmConfig};
-use parking_lot::Mutex;
+use ad_support::sync::Mutex;
 
 use crate::harness::{run_fixed_work, Measurement};
 

@@ -17,7 +17,7 @@ use std::path::PathBuf;
 
 use ad_defer::io::DeferLogger;
 use ad_stm::{Runtime, TVar, TmConfig};
-use parking_lot::Mutex;
+use ad_support::sync::Mutex;
 
 use crate::harness::{run_fixed_work, Measurement};
 

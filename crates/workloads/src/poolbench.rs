@@ -20,7 +20,7 @@ use std::path::PathBuf;
 
 use ad_defer::io::FdPool;
 use ad_stm::{Runtime, StmResult, TVar, TmConfig, Tx};
-use parking_lot::{Condvar, Mutex};
+use ad_support::sync::{Condvar, Mutex};
 
 use crate::harness::{run_fixed_work, Measurement};
 

@@ -1,6 +1,9 @@
 //! Cross-crate property tests driven through the public API.
+//!
+//! Seeded randomized cases over `ad_support::prng` (the `proptest` crate is
+//! unavailable offline); failures reproduce from the printed case number.
 
-use proptest::prelude::*;
+use ad_support::prng::Rng;
 use std::sync::Arc;
 
 use ad_defer::{atomic_defer, Defer};
@@ -9,16 +12,15 @@ use ad_dedup::backend::{BackendConfig, SinkTarget};
 use ad_dedup::pipeline::{run_pipeline_verified, PipelineConfig};
 use ad_stm::{Runtime, TVar, TmConfig};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    /// The dedup pipeline reconstructs ARBITRARY byte streams (not just the
-    /// corpus generator's output), for every TM flavour.
-    #[test]
-    fn dedup_roundtrips_arbitrary_bytes(
-        mut data in prop::collection::vec(any::<u8>(), 0..40_000),
-        dup in 0usize..4,
-    ) {
+/// The dedup pipeline reconstructs ARBITRARY byte streams (not just the
+/// corpus generator's output), for every TM flavour.
+#[test]
+fn dedup_roundtrips_arbitrary_bytes() {
+    for case in 0..6u64 {
+        let mut rng = Rng::seed_from_u64(0x1F_0001 + case);
+        let len = rng.random_range(0..40_000);
+        let mut data: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+        let dup = rng.random_range(0..4);
         // Append duplicated tails to force reference records sometimes.
         let snapshot = data.clone();
         for _ in 0..dup {
@@ -30,38 +32,58 @@ proptest! {
             TmFlavor::DeferAll,
             BackendConfig::default(),
             SinkTarget::Memory,
-        ).unwrap();
+        )
+        .unwrap();
         // run_pipeline_verified panics on any mismatch.
         let report = run_pipeline_verified(&corpus, &PipelineConfig::tiny(2), &backend);
-        prop_assert_eq!(report.bytes_in as usize, corpus.len());
+        assert_eq!(report.bytes_in as usize, corpus.len(), "case {case}");
     }
+}
 
-    /// Deferral order equals call order for arbitrary sequences of deferred
-    /// operations within one transaction.
-    #[test]
-    fn deferred_ops_run_in_call_order(n in 1usize..20) {
-        struct Obj { log: TVar<Vec<usize>> }
-        let obj = Defer::new(Obj { log: TVar::new(Vec::new()) });
+/// Deferral order equals call order for arbitrary sequences of deferred
+/// operations within one transaction.
+#[test]
+fn deferred_ops_run_in_call_order() {
+    struct Obj {
+        log: TVar<Vec<usize>>,
+    }
+    for case in 0..12u64 {
+        let mut rng = Rng::seed_from_u64(0x1F_0002 + case);
+        let n = rng.random_range(1..20);
+        let obj = Defer::new(Obj {
+            log: TVar::new(Vec::new()),
+        });
         let rt = Runtime::new(TmConfig::stm());
         let o = obj.clone();
         rt.atomically(move |tx| {
             for i in 0..n {
                 let o2 = o.clone();
                 atomic_defer(tx, &[&o.clone()], move || {
-                    o2.locked().log.update_locked(|mut l| { l.push(i); l });
+                    o2.locked().log.update_locked(|mut l| {
+                        l.push(i);
+                        l
+                    });
                 })?;
             }
             Ok(())
         });
         let log = obj.peek_unsynchronized().log.load();
-        prop_assert_eq!(log, (0..n).collect::<Vec<_>>());
+        assert_eq!(log, (0..n).collect::<Vec<_>>(), "case {case}");
     }
+}
 
-    /// Concurrent transfers with deferred audit entries: totals always
-    /// reconcile no matter the interleaving parameters.
-    #[test]
-    fn deferred_audit_reconciles(threads in 1usize..4, per in 1usize..60) {
-        struct Ledger { committed: TVar<u64>, audited: TVar<u64> }
+/// Concurrent transfers with deferred audit entries: totals always
+/// reconcile no matter the interleaving parameters.
+#[test]
+fn deferred_audit_reconciles() {
+    struct Ledger {
+        committed: TVar<u64>,
+        audited: TVar<u64>,
+    }
+    for case in 0..6u64 {
+        let mut rng = Rng::seed_from_u64(0x1F_0003 + case);
+        let threads = rng.random_range(1..4);
+        let per = rng.random_range(1..60);
         let rt = Runtime::new(TmConfig::stm());
         let ledger = Arc::new(Defer::new(Ledger {
             committed: TVar::new(0),
@@ -86,7 +108,7 @@ proptest! {
             }
         });
         let f = ledger.peek_unsynchronized();
-        prop_assert_eq!(f.committed.load(), (threads * per) as u64);
-        prop_assert_eq!(f.audited.load(), (threads * per) as u64);
+        assert_eq!(f.committed.load(), (threads * per) as u64, "case {case}");
+        assert_eq!(f.audited.load(), (threads * per) as u64, "case {case}");
     }
 }
