@@ -86,6 +86,13 @@ thread_local! {
     /// runtime-id -> this thread's slot in that runtime's registry.
     static MY_SLOTS: RefCell<FxHashMap<u64, Arc<ActivitySlot>>> =
         RefCell::new(FxHashMap::default());
+
+    /// Pooled scratch for [`Registry::quiesce`]: the slot list is copied
+    /// here so the spin loop runs with the registry's `RwLock` released.
+    /// Reused across commits, so steady state stays allocation-free (the
+    /// per-slot `Arc` clone is a refcount bump).
+    static QUIESCE_SCRATCH: RefCell<Vec<Arc<ActivitySlot>>> =
+        const { RefCell::new(Vec::new()) };
 }
 
 impl Registry {
@@ -110,22 +117,52 @@ impl Registry {
     /// committed writer is no hazard to anyone, and clearing first prevents
     /// two quiescing writers from deadlocking on each other).
     pub(crate) fn quiesce(&self, wv: u64, my_slot: &Arc<ActivitySlot>) -> u64 {
-        // Iterate under the read guard instead of cloning the slot list:
-        // this keeps every writing commit allocation-free. Registration
-        // (the write side) is blocked for the duration, which is safe — a
-        // thread stuck in `my_slot` has no transaction in flight, so we
-        // can never be spinning on *it* — and registration is a once-per-
-        // thread event, so the contention is negligible. Threads that
-        // register after we took the guard necessarily start transactions
-        // with rv >= wv and need no check.
+        // Copy the slot list into pooled thread-local scratch and spin with
+        // the registry lock *released*. Spinning under the read guard would
+        // couple unrelated threads to the slowest transaction:
+        // `std::sync::RwLock` is writer-preferring on Linux, so one quiesce
+        // stalled behind a long-running older transaction blocks a
+        // first-time thread's registration (the write side in `my_slot`)
+        // and, behind that queued writer, every other thread's next
+        // read-acquire. The copy is allocation-free in steady state (the
+        // scratch Vec keeps its capacity; Arc clones are refcount bumps).
+        // Threads that register after the copy was taken necessarily start
+        // their next transaction after our `clock::tick`, i.e. with
+        // rv >= wv, and need no check.
+        QUIESCE_SCRATCH
+            .try_with(|s| {
+                let mut scratch = s.borrow_mut();
+                self.copy_slots(my_slot, &mut scratch);
+                let ns = Self::wait_inactive(wv, &scratch);
+                scratch.clear();
+                ns
+            })
+            .unwrap_or_else(|_| {
+                // Thread-local teardown: fall back to a one-shot copy.
+                let mut scratch = Vec::new();
+                self.copy_slots(my_slot, &mut scratch);
+                Self::wait_inactive(wv, &scratch)
+            })
+    }
+
+    /// Copy every slot except `my_slot` into `out` (held lock: brief).
+    fn copy_slots(&self, my_slot: &Arc<ActivitySlot>, out: &mut Vec<Arc<ActivitySlot>>) {
+        out.clear();
         let slots = self.slots.read();
-        // Lazily timestamped: `Instant::now` costs a clock_gettime, so only
-        // commits that actually wait pay for the wait accounting.
+        out.extend(
+            slots
+                .iter()
+                .filter(|s| !Arc::ptr_eq(s, my_slot))
+                .cloned(),
+        );
+    }
+
+    /// Spin until every slot is inactive or running at `>= wv`. Returns the
+    /// nanoseconds spent waiting; lazily timestamped, so only commits that
+    /// actually wait pay for the `Instant::now` clock_gettime.
+    fn wait_inactive(wv: u64, slots: &[Arc<ActivitySlot>]) -> u64 {
         let mut start: Option<Instant> = None;
-        for slot in slots.iter() {
-            if Arc::ptr_eq(slot, my_slot) {
-                continue;
-            }
+        for slot in slots {
             let mut spins = 0u32;
             loop {
                 let v = slot.load();

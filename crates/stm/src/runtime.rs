@@ -180,11 +180,21 @@ impl Runtime {
                     // a deferred operation may start its own transaction on
                     // this thread and should find them waiting.
                     crate::tx::put_buffers(bufs);
+                    // Reclamation safe point (snapshot.rs invariant 5):
+                    // every guard — epoch pin, activity slot, serial lock —
+                    // dropped when the attempt returned, and commit released
+                    // all version locks, so freed values may run arbitrary
+                    // user Drop code (even transactions) without deadlock.
+                    crate::snapshot::flush();
                     self.run_post_commit(output);
                     return value;
                 }
                 AttemptOutcome::Waiting(watch) => {
                     self.inner.stats.on_retry();
+                    // Safe point before a potentially long park, so this
+                    // thread's retired values from earlier commits are not
+                    // stranded while it sleeps.
+                    crate::snapshot::flush();
                     match cfg.retry_policy {
                         RetryPolicy::Spin => watch.wait_spin(),
                         RetryPolicy::Park => watch.wait_park(),

@@ -28,15 +28,24 @@
 //!   the global epoch into its slot, with a `SeqCst` fence so the publish
 //!   cannot reorder after the subsequent pointer load), performs the load +
 //!   clone, then *unpins* (stores the `INACTIVE` sentinel).
-//! * A writer retires the old pointer into a thread-local bag tagged with
-//!   the current global epoch `E`. The pointer is freed once the global
-//!   epoch reaches `E + 2`: advancing to `E + 1` proves no *new* pin can
-//!   acquire the retired pointer (it was unlinked before the advance), and
-//!   advancing again to `E + 2` proves every pin from epoch `E` — the only
-//!   ones that could still hold it — has since unpinned. This is the
-//!   standard two-epoch safety argument used by crossbeam.
-//! * Bags are collected when they exceed a threshold; a thread that exits
-//!   donates its bag to a global orphan list that other threads drain.
+//! * A writer retires the old pointer into a thread-local bag. The
+//!   retirement runs *pinned* (so it works on the non-transactional
+//!   `direct_write` path too, which carries no transaction-scope pin) and
+//!   the bag tag `E` is the global epoch read **after a `SeqCst` fence
+//!   that follows the unlink swap** — crossbeam's `push_bag` discipline.
+//!   The fence makes the tag fresh with respect to every concurrent
+//!   reader: any reader still able to hold the old pointer is pinned at
+//!   an epoch `<= E` (see the proof in [`SnapshotCell::store`]).
+//! * The pointer is freed once the global epoch reaches `E + 2`:
+//!   advancing to `E + 1` proves no *new* pin can acquire the retired
+//!   pointer (it was unlinked before the advance), and advancing again to
+//!   `E + 2` proves every pin from epoch `E` — the only ones that could
+//!   still hold it — has since unpinned. This is the standard two-epoch
+//!   safety argument used by crossbeam.
+//! * Collection runs only at [`flush`] safe points (never inside `store`):
+//!   when a bag exceeds a threshold, or periodically for below-threshold
+//!   bags and the orphan list. A thread that exits donates its bag to the
+//!   global orphan list that other threads drain.
 //!
 //! ## Safety invariants (everything `unsafe` here relies on these)
 //!
@@ -49,16 +58,21 @@
 //!    exclusive access by `&mut self`).
 //! 3. `SnapshotCell::store` is only called under the owning cell's version
 //!    lock (odd version), so there is at most one concurrent writer; the
-//!    swap therefore retires each old pointer exactly once.
+//!    swap therefore retires each old pointer exactly once. Retirement is
+//!    pinned and its epoch tag is read after a post-swap `SeqCst` fence.
 //! 4. Values are never dropped while the thread-local registry borrow is
 //!    held: user `Drop` impls may re-enter this module (e.g. a dropped
 //!    value reads a `TVar`), so frees happen after the borrow is released.
+//! 5. Values are only freed at [`flush`] safe points, called with no
+//!    version locks held: a user `Drop` must never run while any cell is
+//!    write-locked (it could read that cell and spin forever, or panic and
+//!    leave the lock word odd permanently).
 //!
 //! The concurrent stress tests live in `tests/snapshot_stress.rs`.
 #![allow(unsafe_code)]
 
 use std::cell::RefCell;
-use std::sync::atomic::{fence, AtomicPtr, AtomicU64, Ordering};
+use std::sync::atomic::{fence, AtomicBool, AtomicPtr, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use ad_support::sync::Mutex;
@@ -68,8 +82,14 @@ use crate::var::Value;
 /// Sentinel epoch meaning "not currently pinned".
 const INACTIVE: u64 = u64::MAX;
 
-/// Bag size at which a thread attempts collection.
+/// Bag size at which a [`flush`] attempts collection.
 const COLLECT_THRESHOLD: usize = 64;
+
+/// Every this-many [`flush`] calls, a collection is attempted even with a
+/// below-threshold bag (and for stranded orphans), so a churn-then-quiet
+/// workload does not keep up to `COLLECT_THRESHOLD` values per thread —
+/// plus every exited thread's orphans — alive for the process lifetime.
+const FLUSH_PERIOD: u32 = 64;
 
 /// Global epoch counter (advances by 1; see module docs).
 static EPOCH: AtomicU64 = AtomicU64::new(0);
@@ -80,6 +100,12 @@ static PARTICIPANTS: Mutex<Vec<Arc<Participant>>> = Mutex::new(Vec::new());
 
 /// Garbage donated by exited threads, drained during collection.
 static ORPHANS: Mutex<Vec<Retired>> = Mutex::new(Vec::new());
+
+/// Advisory "the orphan list is non-empty" flag, so [`flush`] can poll for
+/// stranded orphans without taking the `ORPHANS` lock. Set and cleared
+/// while holding the lock; read `Relaxed` (a stale read costs one missed
+/// or one extra periodic collection, nothing more).
+static HAS_ORPHANS: AtomicBool = AtomicBool::new(false);
 
 /// One per thread: the epoch this thread is pinned at, or [`INACTIVE`].
 struct Participant {
@@ -109,6 +135,9 @@ struct Handle {
     bag: Vec<Retired>,
     depth: u32,
     free: Vec<*mut Value>,
+    /// Monotonic count of [`flush`] calls on this thread, used to trigger
+    /// the periodic (below-threshold) collections.
+    flushes: u32,
 }
 
 impl Handle {
@@ -122,6 +151,7 @@ impl Handle {
             bag: Vec::new(),
             depth: 0,
             free: Vec::new(),
+            flushes: 0,
         }
     }
 
@@ -154,7 +184,9 @@ impl Drop for Handle {
         // Donate unfinished garbage and deregister, so an exited thread can
         // neither leak its bag nor block epoch advancement forever.
         if !self.bag.is_empty() {
-            ORPHANS.lock().append(&mut self.bag);
+            let mut orphans = ORPHANS.lock();
+            orphans.append(&mut self.bag);
+            HAS_ORPHANS.store(true, Ordering::Relaxed);
         }
         for p in self.free.drain(..) {
             // SAFETY: free-list entries are allocations whose contents were
@@ -250,6 +282,7 @@ fn collect(bag: &mut Vec<Retired>) -> Vec<Retired> {
     {
         let mut orphans = ORPHANS.lock();
         bag.append(&mut orphans);
+        HAS_ORPHANS.store(false, Ordering::Relaxed);
     }
     let global = try_advance();
     let mut free = Vec::new();
@@ -298,6 +331,44 @@ fn free_garbage(garbage: Vec<Retired>) {
             unsafe { dealloc_value(p) };
         }
     }
+}
+
+/// Reclamation safe point: collect and free retired values if the bag has
+/// reached [`COLLECT_THRESHOLD`], or periodically (every [`FLUSH_PERIOD`]
+/// calls) while a below-threshold bag or donated orphans remain.
+///
+/// # Contract (invariant 5)
+///
+/// Freeing a retired `Value` runs arbitrary user `Drop` code — which may
+/// re-enter this module, read `TVar`s, or start transactions — so `flush`
+/// must only be called with **no version locks held** and outside any
+/// transaction attempt's closure. The two call sites are the runtime's
+/// commit path (after every guard — epoch pin, activity slot, serial lock
+/// — has been released) and `VarCore::direct_write` (after `write_back`
+/// has restored an even version word). `SnapshotCell::store` itself never
+/// frees: a `Drop` impl running under a still-odd version word could spin
+/// forever in `read_consistent`, and a panicking `Drop` would unwind out
+/// of commit write-back leaving version words locked for good.
+///
+/// Cheap when idle: one thread-local access and a counter bump.
+pub(crate) fn flush() {
+    let garbage = HANDLE
+        .try_with(|h| {
+            let mut h = h.borrow_mut();
+            h.flushes = h.flushes.wrapping_add(1);
+            let due = h.bag.len() >= COLLECT_THRESHOLD
+                || (h.flushes % FLUSH_PERIOD == 0
+                    && (!h.bag.is_empty() || HAS_ORPHANS.load(Ordering::Relaxed)));
+            if due {
+                collect(&mut h.bag)
+            } else {
+                Vec::new()
+            }
+        })
+        .unwrap_or_default();
+    // Freed outside the `HANDLE` borrow: dropping a Value can run user
+    // Drop impls that re-enter this module (invariant 4).
+    free_garbage(garbage);
 }
 
 /// A lock-free, epoch-reclaimed cell holding one type-erased committed
@@ -366,28 +437,65 @@ impl SnapshotCell {
     /// Contract (invariant 3): the caller holds the owning `VarCore`'s
     /// version lock (odd version word), so at most one `store` runs at a
     /// time per cell. Concurrent `load`s are fine.
+    ///
+    /// Never frees anything (invariant 5): the old pointer is only pushed
+    /// into the retirement bag, and the caller is typically still holding
+    /// version locks. Collection happens later, at a [`flush`] safe point.
     pub(crate) fn store(&self, value: Value) {
         let new = alloc_value(value);
-        let old = self.ptr.swap(new, Ordering::AcqRel);
-        let epoch = EPOCH.load(Ordering::Relaxed);
-        let garbage = HANDLE
-            .try_with(|h| {
-                let mut h = h.borrow_mut();
-                h.bag.push(Retired { ptr: old, epoch });
-                if h.bag.len() >= COLLECT_THRESHOLD {
-                    collect(&mut h.bag)
-                } else {
-                    Vec::new()
-                }
-            })
-            .unwrap_or_else(|_| {
-                // Thread-local teardown: donate straight to the orphan list.
-                ORPHANS.lock().push(Retired { ptr: old, epoch });
-                Vec::new()
+        let retired = HANDLE.try_with(|h| {
+            let mut h = h.borrow_mut();
+            // Pin for the unlink+retire, so this also holds on the
+            // non-transactional path (`TVar::store` -> `direct_write`,
+            // post-commit deferred ops), which carries no `EpochGuard`.
+            // Under a transaction-attempt pin this is a depth increment.
+            h.pin();
+            let old = self.ptr.swap(new, Ordering::AcqRel);
+            // Tag with an epoch read AFTER a SeqCst fence that follows the
+            // swap (crossbeam's push_bag discipline). This is what makes
+            // the two-epoch rule sound against a concurrent reader R that
+            // loaded `old` just before the swap:
+            //   R publishes its pin epoch e_r, fences SeqCst (F_r), then
+            //   loads the pointer; we swap, fence SeqCst (F_w), then read
+            //   the tag E. If F_w < F_r in the SC order, R's load is
+            //   ordered after the swap and sees `new`, not `old`. If
+            //   F_r < F_w, the monotonic EPOCH gives E >= e_r, and every
+            //   later `try_advance` scan (its fence follows F_w > F_r)
+            //   observes R pinned at e_r <= E — so the epoch cannot pass
+            //   E + 1 while R is pinned, and `old` (freed only once the
+            //   epoch reaches E + 2) outlives R's pin. A stale tag (the
+            //   old `Relaxed` read with no fence) breaks exactly this:
+            //   E could lag e_r and the free could land under R.
+            fence(Ordering::SeqCst);
+            let epoch = EPOCH.load(Ordering::Relaxed);
+            h.bag.push(Retired { ptr: old, epoch });
+            h.unpin();
+        });
+        if retired.is_err() {
+            // Thread-local teardown (no Handle): unlink with the same
+            // fenced tag, using a one-shot participant as the pin, and
+            // donate straight to the orphan list.
+            let part = Arc::new(Participant {
+                epoch: AtomicU64::new(INACTIVE),
             });
-        // Freed outside the `HANDLE` borrow: dropping a Value can run user
-        // Drop impls that re-enter this module (invariant 4).
-        free_garbage(garbage);
+            PARTICIPANTS.lock().push(Arc::clone(&part));
+            let e = EPOCH.load(Ordering::Relaxed);
+            part.epoch.store(e, Ordering::Relaxed);
+            fence(Ordering::SeqCst);
+            let old = self.ptr.swap(new, Ordering::AcqRel);
+            fence(Ordering::SeqCst);
+            let epoch = EPOCH.load(Ordering::Relaxed);
+            {
+                let mut orphans = ORPHANS.lock();
+                orphans.push(Retired { ptr: old, epoch });
+                HAS_ORPHANS.store(true, Ordering::Relaxed);
+            }
+            part.epoch.store(INACTIVE, Ordering::Release);
+            let mut parts = PARTICIPANTS.lock();
+            if let Some(i) = parts.iter().position(|q| Arc::ptr_eq(q, &part)) {
+                parts.swap_remove(i);
+            }
+        }
     }
 }
 
@@ -413,6 +521,15 @@ mod tests {
         *v.downcast_ref::<u64>().unwrap()
     }
 
+    /// Collect this thread's bag unconditionally (tests cannot rely on the
+    /// threshold/period heuristics of `flush`).
+    fn force_collect() {
+        let garbage = HANDLE
+            .try_with(|h| collect(&mut h.borrow_mut().bag))
+            .unwrap_or_default();
+        free_garbage(garbage);
+    }
+
     #[test]
     fn load_store_roundtrip() {
         let cell = SnapshotCell::new(new_value(7u64));
@@ -424,12 +541,43 @@ mod tests {
     #[test]
     fn many_stores_trigger_collection() {
         // Exceed the bag threshold several times over so retire/advance/free
-        // all run on this thread.
+        // all run on this thread, flushing at the safe point as the runtime
+        // would after each commit.
         let cell = SnapshotCell::new(new_value(0u64));
         for i in 0..(COLLECT_THRESHOLD as u64 * 8) {
             cell.store(new_value(i));
             assert_eq!(get_u64(&cell.load()), i);
+            flush();
         }
+    }
+
+    #[test]
+    fn periodic_flush_drains_small_bags() {
+        // A handful of retirements far below COLLECT_THRESHOLD must still be
+        // freed once enough flush safe points pass (churn-then-idle case).
+        use std::sync::atomic::AtomicUsize;
+        struct Counted(Arc<AtomicUsize>);
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let drops = Arc::new(AtomicUsize::new(0));
+        let cell = SnapshotCell::new(new_value(Counted(Arc::clone(&drops))));
+        for _ in 0..4 {
+            cell.store(new_value(Counted(Arc::clone(&drops))));
+        }
+        // Each collect advances the epoch by at most one; many idle flushes
+        // fire several periodic collections, which is enough for the tags
+        // to age past the two-epoch horizon (other tests' transient pins
+        // may delay advancement, hence the generous iteration count).
+        for _ in 0..(FLUSH_PERIOD * 8) {
+            flush();
+        }
+        assert!(
+            drops.load(Ordering::SeqCst) >= 1,
+            "periodic flush never freed a below-threshold bag"
+        );
     }
 
     #[test]
@@ -449,6 +597,10 @@ mod tests {
         let cell = SnapshotCell::new(new_value(Counted));
         for _ in 0..n {
             cell.store(new_value(Counted));
+            flush();
+        }
+        for _ in 0..4 {
+            force_collect();
         }
         drop(cell);
         // n values were superseded +1 final value freed by Drop; some of
@@ -478,9 +630,11 @@ mod tests {
                 }
             }));
         }
-        // Single writer, per the store contract.
+        // Single writer, per the store contract; flush at safe points so
+        // reclamation runs concurrently with the readers.
         for i in 0..20_000u64 {
             cell.store(new_value(i));
+            flush();
         }
         stop.store(1, Ordering::Relaxed);
         for r in readers {

@@ -245,6 +245,12 @@ impl<T: Any + Send + Sync + Clone> TVar<T> {
     /// update fields of a locked deferrable object.
     pub fn store(&self, v: T) {
         self.core.direct_write(new_value(v));
+        // Reclamation safe point (snapshot.rs invariant 5): `write_back`
+        // restored an even version word before we got here, so freed
+        // values may run user Drop code without deadlocking on this cell.
+        // Serial in-transaction writes reach `direct_write` without this
+        // flush (tx.rs) and drain at the runner's post-commit safe point.
+        crate::snapshot::flush();
     }
 
     /// Read-modify-write convenience built on [`load`](Self::load)/
