@@ -9,7 +9,14 @@
 //! ```text
 //! cargo run --release -p ad-bench --bin baseline            # write BENCH_stm_ops.json
 //! cargo run --release -p ad-bench --bin baseline -- --ms 500 --out /tmp/b.json
+//! cargo run --release -p ad-bench --bin baseline -- --stats-json /tmp/stats.json
 //! ```
+//!
+//! `--stats-json PATH` additionally enables the observability layer on every
+//! cell's runtime and dumps the per-cell [`ad_stm::StatsReport`] (counters +
+//! the four latency histograms) as a JSON array. Note tracing costs a few
+//! percent of throughput, so don't compare a `--stats-json` run's ops/sec
+//! against a tracked baseline taken without it.
 //!
 //! Scenarios:
 //! * `read_only`  — each thread sums 16 shared variables transactionally
@@ -26,7 +33,7 @@ use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
 use ad_bench::{arg_num, arg_value};
-use ad_stm::{Runtime, TVar, TmConfig};
+use ad_stm::{Runtime, StatsReport, TVar, TmConfig};
 use ad_support::prng::Rng;
 
 const THREAD_COUNTS: [usize; 3] = [1, 4, 8];
@@ -35,6 +42,7 @@ struct Row {
     scenario: &'static str,
     threads: usize,
     ops_per_sec: f64,
+    stats: Option<StatsReport>,
 }
 
 /// Run `op` from `threads` workers for roughly `dur`, returning total
@@ -125,6 +133,7 @@ fn bench_contended(rt: &Arc<Runtime>, threads: usize, dur: Duration) -> f64 {
 fn main() {
     let ms: u64 = arg_num("--ms", 300);
     let out = arg_value("--out").unwrap_or_else(|| "BENCH_stm_ops.json".to_string());
+    let stats_out = arg_value("--stats-json");
     let dur = Duration::from_millis(ms);
 
     type ScenarioFn = fn(&Arc<Runtime>, usize, Duration) -> f64;
@@ -140,12 +149,14 @@ fn main() {
         for &threads in &THREAD_COUNTS {
             // A fresh runtime per cell keeps stats and slot lists isolated.
             let rt = Arc::new(Runtime::new(TmConfig::stm()));
+            rt.set_tracing(stats_out.is_some());
             let ops_per_sec = f(&rt, threads, dur);
             println!("{name:<10} threads={threads}  {ops_per_sec:>14.0} ops/s");
             rows.push(Row {
                 scenario: name,
                 threads,
                 ops_per_sec,
+                stats: stats_out.is_some().then(|| rt.snapshot_stats()),
             });
         }
     }
@@ -166,4 +177,25 @@ fn main() {
     json.push_str("  ]\n}\n");
     std::fs::write(&out, json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
     println!("wrote {out}");
+
+    if let Some(path) = stats_out {
+        let mut sj = String::from("[\n");
+        for (i, r) in rows.iter().enumerate() {
+            if i > 0 {
+                sj.push_str(",\n");
+            }
+            sj.push_str(&format!(
+                "  {{\"scenario\":\"{}\",\"threads\":{},\"ops_per_sec\":{:.0},\"stats\":{}}}",
+                r.scenario,
+                r.threads,
+                r.ops_per_sec,
+                r.stats
+                    .as_ref()
+                    .map_or_else(|| "null".to_string(), |s| s.to_json()),
+            ));
+        }
+        sj.push_str("\n]\n");
+        std::fs::write(&path, sj).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("wrote {path}");
+    }
 }

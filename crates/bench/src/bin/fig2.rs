@@ -9,10 +9,11 @@
 //!
 //! Options: `--ops N` (default 100000; paper uses 1M), `--max-threads N`
 //! (default 8), `--htm` (run TM variants on the simulated-HTM runtime),
-//! `--csv` (machine-readable output).
+//! `--csv` (machine-readable output), `--stats-json PATH` (per-cell
+//! observability reports; enables tracing on the TM runtimes).
 
-use ad_bench::{arg_flag, arg_num};
-use ad_workloads::{print_csv, print_time_table, run_iobench, IoBenchConfig, Variant};
+use ad_bench::{arg_flag, arg_num, arg_value};
+use ad_workloads::{print_csv, print_time_table, run_iobench, stats_json, IoBenchConfig, Variant};
 
 fn main() {
     let files: usize = arg_num("--files", 1);
@@ -20,10 +21,12 @@ fn main() {
     let max_threads: usize = arg_num("--max-threads", 8);
     let keep_open = arg_flag("--keep-open");
     let htm = arg_flag("--htm");
+    let stats_out = arg_value("--stats-json");
 
     let cfg = IoBenchConfig::new(files, total_ops)
         .with_keep_open(keep_open)
-        .with_htm(htm);
+        .with_htm(htm)
+        .with_obs(stats_out.is_some());
 
     // The paper's Figure 2a has no FGL series (1 file makes FGL == CGL).
     let variants: Vec<Variant> = if files == 1 && !keep_open {
@@ -50,18 +53,31 @@ fn main() {
     for &variant in &variants {
         for &t in &threads {
             let m = run_iobench(&cfg, variant, t);
-            eprintln!("  {:<8} {:>2}t: {:>8.3}s  {}", m.series, t, m.secs(), m.note);
+            eprintln!(
+                "  {:<8} {:>2}t: {:>8.3}s  {}",
+                m.series,
+                t,
+                m.secs(),
+                m.note
+            );
             results.push(m);
         }
     }
 
     print_time_table(
-        &format!("Figure {which}: I/O microbenchmark ({files} files{})",
-            if keep_open { ", kept open" } else { "" }),
+        &format!(
+            "Figure {which}: I/O microbenchmark ({files} files{})",
+            if keep_open { ", kept open" } else { "" }
+        ),
         &threads,
         &results,
     );
     if arg_flag("--csv") {
         print_csv(&results);
+    }
+    if let Some(path) = stats_out {
+        std::fs::write(&path, stats_json(&results))
+            .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("wrote {path}");
     }
 }

@@ -2,17 +2,22 @@
 //! (STM, HTM, ±DeferIO, ±DeferAll, Pthread).
 //!
 //! ```text
-//! cargo run --release -p ad-bench --bin fig3a [-- --size BYTES --max-threads N --csv]
+//! cargo run --release -p ad-bench --bin fig3a \
+//!     [-- --size BYTES --max-threads N --csv --stats-json PATH]
 //! ```
 
-use ad_bench::{arg_flag, arg_num, make_corpus, run_dedup_cell, DedupRunParams, DedupSeries};
-use ad_workloads::{print_csv, print_time_table};
+use ad_bench::{
+    arg_flag, arg_num, arg_value, make_corpus, run_dedup_cell, DedupRunParams, DedupSeries,
+};
+use ad_workloads::{print_csv, print_time_table, stats_json};
 
 fn main() {
+    let stats_out = arg_value("--stats-json");
     let params = DedupRunParams {
         corpus_size: arg_num("--size", 4 << 20),
         dup_ratio: 0.5,
         file_output: !arg_flag("--memory"),
+        obs: stats_out.is_some(),
     };
     let max_threads: usize = arg_num("--max-threads", 8);
     let threads: Vec<usize> = (1..=max_threads).collect();
@@ -28,14 +33,28 @@ fn main() {
     for series in DedupSeries::fig3a() {
         for &t in &threads {
             let m = run_dedup_cell(series, t, &corpus, &params, series.label());
-            eprintln!("  {:<14} {:>2}t: {:>8.3}s  {}", m.series, t, m.secs(), m.note);
+            eprintln!(
+                "  {:<14} {:>2}t: {:>8.3}s  {}",
+                m.series,
+                t,
+                m.secs(),
+                m.note
+            );
             results.push(m);
         }
     }
 
-    print_time_table("Figure 3a: dedup with atomic_defer (I/O and pure functions)",
-        &threads, &results);
+    print_time_table(
+        "Figure 3a: dedup with atomic_defer (I/O and pure functions)",
+        &threads,
+        &results,
+    );
     if arg_flag("--csv") {
         print_csv(&results);
+    }
+    if let Some(path) = stats_out {
+        std::fs::write(&path, stats_json(&results))
+            .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("wrote {path}");
     }
 }

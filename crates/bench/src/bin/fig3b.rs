@@ -4,17 +4,22 @@
 //! HTM is not shown").
 //!
 //! ```text
-//! cargo run --release -p ad-bench --bin fig3b [-- --size BYTES --max-threads N --csv]
+//! cargo run --release -p ad-bench --bin fig3b \
+//!     [-- --size BYTES --max-threads N --csv --stats-json PATH]
 //! ```
 
-use ad_bench::{arg_flag, arg_num, make_corpus, run_dedup_cell, DedupRunParams, DedupSeries};
-use ad_workloads::{print_csv, print_time_table};
+use ad_bench::{
+    arg_flag, arg_num, arg_value, make_corpus, run_dedup_cell, DedupRunParams, DedupSeries,
+};
+use ad_workloads::{print_csv, print_time_table, stats_json};
 
 fn main() {
+    let stats_out = arg_value("--stats-json");
     let params = DedupRunParams {
         corpus_size: arg_num("--size", 8 << 20),
         dup_ratio: 0.5,
         file_output: !arg_flag("--memory"),
+        obs: stats_out.is_some(),
     };
     let max_threads: usize = arg_num("--max-threads", 32);
     let threads: Vec<usize> = [4usize, 8, 12, 16, 20, 24, 28, 32]
@@ -25,7 +30,9 @@ fn main() {
     println!(
         "Figure 3b: dedup pipeline at scale, corpus {} MiB ({} hardware threads available)",
         params.corpus_size >> 20,
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(0)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(0)
     );
     let corpus = make_corpus(&params);
 
@@ -33,7 +40,13 @@ fn main() {
     for series in DedupSeries::fig3b() {
         for &t in &threads {
             let m = run_dedup_cell(series, t, &corpus, &params, series.fig3b_label());
-            eprintln!("  {:<10} {:>2}t: {:>8.3}s  {}", m.series, t, m.secs(), m.note);
+            eprintln!(
+                "  {:<10} {:>2}t: {:>8.3}s  {}",
+                m.series,
+                t,
+                m.secs(),
+                m.note
+            );
             results.push(m);
         }
     }
@@ -41,5 +54,10 @@ fn main() {
     print_time_table("Figure 3b: dedup overall performance", &threads, &results);
     if arg_flag("--csv") {
         print_csv(&results);
+    }
+    if let Some(path) = stats_out {
+        std::fs::write(&path, stats_json(&results))
+            .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("wrote {path}");
     }
 }

@@ -1,0 +1,74 @@
+//! `txtrace` — run a small deferral workload with event tracing enabled and
+//! dump the merged per-thread event timeline (see OBSERVABILITY.md for the
+//! event schema).
+//!
+//! The workload is a miniature of the paper's §5.1 logging scenario: every
+//! transaction increments one of a few contended counters and atomically
+//! defers an operation on a shared deferrable object, so the timeline shows
+//! the full event vocabulary — `begin`, `lock_acquire`, `defer_enqueue`,
+//! `commit`, `defer_exec_start`/`defer_exec_end`, plus `abort`/`backoff`
+//! under contention and `quiesce_enter`/`quiesce_exit` when writers overlap.
+//!
+//! ```text
+//! cargo run --release -p ad-bench --bin txtrace [-- --ops 64 --threads 2 --vars 2]
+//! ```
+//!
+//! Options: `--ops N` total transactions (default 64), `--threads N`
+//! (default 2), `--vars N` shared counters (default 2; fewer = more
+//! conflicts), `--stats` (append the runtime's full stats report).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use ad_bench::{arg_flag, arg_num};
+use ad_defer::{atomic_defer, Defer};
+use ad_stm::{Runtime, TVar, TmConfig};
+use ad_workloads::run_fixed_work;
+
+fn main() {
+    let total_ops: usize = arg_num("--ops", 64);
+    let threads: usize = arg_num("--threads", 2);
+    let nvars: usize = arg_num("--vars", 2);
+
+    let rt = Runtime::new(TmConfig::stm());
+    rt.set_tracing(true);
+
+    struct Sink {
+        applied: AtomicU64,
+    }
+    let vars: Vec<TVar<u64>> = (0..nvars.max(1)).map(|_| TVar::new(0)).collect();
+    let sink = Defer::new(Sink {
+        applied: AtomicU64::new(0),
+    });
+
+    run_fixed_work(threads, total_ops, |_, i| {
+        let slot = i % vars.len();
+        rt.atomically(|tx| {
+            let v = tx.read(&vars[slot])?;
+            tx.write(&vars[slot], v + 1)?;
+            let s = sink.clone();
+            atomic_defer(tx, &[&sink], move || {
+                s.locked().applied.fetch_add(1, Ordering::Relaxed);
+            })
+        });
+    });
+
+    let applied = sink.peek_unsynchronized().applied.load(Ordering::Relaxed);
+    assert_eq!(applied, total_ops as u64, "deferred ops lost");
+
+    let trace = rt.take_trace();
+    println!(
+        "txtrace: {} transactions on {} thread(s) over {} var(s) — {} events ({} dropped)",
+        total_ops,
+        threads,
+        vars.len(),
+        trace.events.len(),
+        trace.dropped
+    );
+    println!();
+    print!("{}", trace.render());
+
+    if arg_flag("--stats") {
+        println!();
+        println!("{}", rt.snapshot_stats());
+    }
+}

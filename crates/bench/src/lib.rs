@@ -151,6 +151,10 @@ pub struct DedupRunParams {
     /// Write the archive to a real temp file (as in the paper) instead of
     /// memory.
     pub file_output: bool,
+    /// Enable the observability layer (event tracing + full latency
+    /// histograms) on TM backends. Costs a few percent of throughput; see
+    /// OBSERVABILITY.md.
+    pub obs: bool,
 }
 
 impl Default for DedupRunParams {
@@ -159,6 +163,7 @@ impl Default for DedupRunParams {
             corpus_size: 4 << 20,
             dup_ratio: 0.5,
             file_output: true,
+            obs: false,
         }
     }
 }
@@ -192,6 +197,7 @@ pub fn run_dedup_cell(
     };
     let cfg = BackendConfig {
         table_capacity: (corpus.len() / 4096).max(1 << 12),
+        obs: params.obs,
         ..BackendConfig::default()
     };
     let backend = series.make_backend(cfg, target).expect("backend");
@@ -224,6 +230,7 @@ pub fn run_dedup_cell(
             report.ratio(),
             report.diagnostics
         ),
+        stats: backend.stats_report(),
     }
 }
 
@@ -254,16 +261,41 @@ pub fn arg_num<T: std::str::FromStr>(name: &str, default: T) -> T {
         .unwrap_or(default)
 }
 
+/// Outcome of one arm (inline or deferred) of the Figure 1 motivation
+/// experiment.
+#[derive(Debug, Clone)]
+pub struct MotivationArm {
+    /// Mean stall per unrelated transaction.
+    pub mean_stall: Duration,
+    /// Full observability report of the arm's runtime (histograms filled
+    /// when `obs` was requested).
+    pub stats: ad_stm::StatsReport,
+}
+
 /// The Figure 1 motivation experiment: measure how long unrelated
 /// transactions stall behind one long-running transaction, with the long
 /// operation inline vs atomically deferred. Returns (inline, deferred)
 /// mean stall per unrelated transaction.
 pub fn motivation_stalls(long_op: Duration, rounds: usize) -> (Duration, Duration) {
+    let (i, d) = motivation_arms(long_op, rounds, false);
+    (i.mean_stall, d.mean_stall)
+}
+
+/// Run both arms of the motivation experiment, returning the full
+/// per-arm observability reports. With `obs` set, tracing is enabled on
+/// each arm's runtime, so commit-latency/backoff histograms fill too (the
+/// quiescence-wait histogram fills regardless).
+pub fn motivation_arms(
+    long_op: Duration,
+    rounds: usize,
+    obs: bool,
+) -> (MotivationArm, MotivationArm) {
     use ad_defer::{atomic_defer, Defer};
     use ad_stm::TVar;
 
-    fn run_one(long_op: Duration, rounds: usize, deferred: bool) -> Duration {
+    fn run_one(long_op: Duration, rounds: usize, deferred: bool, obs: bool) -> MotivationArm {
         let rt = Runtime::new(TmConfig::stm());
+        rt.set_tracing(obs);
         struct C {
             val: TVar<u64>,
         }
@@ -321,12 +353,15 @@ pub fn motivation_stalls(long_op: Duration, rounds: usize) -> (Duration, Duratio
                 }
             });
         }
-        total_stall / (rounds as u32 * 2)
+        MotivationArm {
+            mean_stall: total_stall / (rounds as u32 * 2),
+            stats: rt.snapshot_stats(),
+        }
     }
 
     (
-        run_one(long_op, rounds, false),
-        run_one(long_op, rounds, true),
+        run_one(long_op, rounds, false, obs),
+        run_one(long_op, rounds, true, obs),
     )
 }
 
@@ -354,6 +389,7 @@ mod tests {
             corpus_size: 128 * 1024,
             dup_ratio: 0.5,
             file_output: false,
+            obs: true,
         };
         let corpus = make_corpus(&params);
         for series in [DedupSeries::Pthread, DedupSeries::StmDeferAll] {
@@ -365,8 +401,7 @@ mod tests {
 
     #[test]
     fn motivation_deferred_stalls_less() {
-        let (inline_stall, deferred_stall) =
-            motivation_stalls(Duration::from_millis(40), 3);
+        let (inline_stall, deferred_stall) = motivation_stalls(Duration::from_millis(40), 3);
         assert!(
             deferred_stall < inline_stall,
             "deferral should reduce unrelated-transaction stalls: inline {inline_stall:?}, \

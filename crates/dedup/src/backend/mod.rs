@@ -7,7 +7,7 @@
 //! * [`LockBackend`](locks::LockBackend) — PARSEC's original pthread design:
 //!   sharded table locks, a reorder lock, output performed while holding it.
 //! * [`TmBackend`](tm::TmBackend) — the transactionalized design of Wang et
-//!   al., in four flavours selected by [`TmFlavor`]: the baseline (output in
+//!   al., in four flavours selected by [`TmFlavor`](tm::TmFlavor): the baseline (output in
 //!   irrevocable transactions, compression inside transactions), `+DeferIO`
 //!   (output atomically deferred), and `+DeferAll` (output *and* compression
 //!   deferred), each runnable on the STM or the simulated-HTM runtime.
@@ -47,6 +47,14 @@ pub trait Backend: Send + Sync {
     /// Free-form diagnostics (TM stats counters), if any.
     fn diagnostics(&self) -> String {
         String::new()
+    }
+
+    /// Full observability report of the backend's TM runtime, if it has
+    /// one. `None` for lock-based backends; histograms beyond quiescence
+    /// only fill when the runtime's tracing was enabled
+    /// ([`BackendConfig::obs`]).
+    fn stats_report(&self) -> Option<ad_stm::StatsReport> {
+        None
     }
 }
 
@@ -154,6 +162,8 @@ pub struct BackendConfig {
     pub table_capacity: usize,
     /// Max records drained per flush critical section.
     pub flush_batch: usize,
+    /// Enable the observability layer on TM backends' runtimes.
+    pub obs: bool,
 }
 
 impl Default for BackendConfig {
@@ -162,6 +172,7 @@ impl Default for BackendConfig {
             reorder_window: 8192,
             table_capacity: 1 << 16,
             flush_batch: 32,
+            obs: false,
         }
     }
 }

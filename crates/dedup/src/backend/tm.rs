@@ -114,6 +114,7 @@ impl TmBackend {
         target: SinkTarget,
     ) -> std::io::Result<Self> {
         let cap = cfg.table_capacity.next_power_of_two().max(1024);
+        rt.set_tracing(cfg.obs);
         Ok(TmBackend {
             rt,
             flavor,
@@ -250,7 +251,9 @@ impl TmBackend {
 
         while records.len() < self.flush_batch {
             let idx = (no as usize) % self.window;
-            let Some((s, fp)) = tx.read(&self.reorder[idx])? else { break };
+            let Some((s, fp)) = tx.read(&self.reorder[idx])? else {
+                break;
+            };
             debug_assert_eq!(s, no);
             let entry = self.find(tx, &fp)?;
             // The payload may still be compressing: inside another
@@ -331,9 +334,7 @@ impl Backend for TmBackend {
         let fp = sha256(data);
 
         // Deduplicate stage.
-        let (entry, is_new) = self
-            .rt
-            .atomically(|tx| self.lookup_or_reserve(tx, fp));
+        let (entry, is_new) = self.rt.atomically(|tx| self.lookup_or_reserve(tx, fp));
 
         // Compress stage (first occurrence only).
         if is_new {
@@ -357,7 +358,11 @@ impl Backend for TmBackend {
     }
 
     fn label(&self) -> String {
-        let base = if self.rt.config().is_htm() { "HTM" } else { "STM" };
+        let base = if self.rt.config().is_htm() {
+            "HTM"
+        } else {
+            "STM"
+        };
         format!("{base}{}", self.flavor.suffix())
     }
 
@@ -372,6 +377,10 @@ impl Backend for TmBackend {
     fn diagnostics(&self) -> String {
         format!("{}", self.rt.stats())
     }
+
+    fn stats_report(&self) -> Option<ad_stm::StatsReport> {
+        Some(self.rt.snapshot_stats())
+    }
 }
 
 #[cfg(test)]
@@ -382,7 +391,12 @@ mod tests {
     use ad_stm::TmConfig;
     use std::sync::atomic::{AtomicUsize, Ordering};
 
-    fn run_backend(rt: Runtime, flavor: TmFlavor, threads: usize, corpus: &Arc<Vec<u8>>) -> TmBackend {
+    fn run_backend(
+        rt: Runtime,
+        flavor: TmFlavor,
+        threads: usize,
+        corpus: &Arc<Vec<u8>>,
+    ) -> TmBackend {
         let ranges = chunk_boundaries(corpus, ChunkParams::tiny());
         let total = ranges.len() as u64;
         let backend =
@@ -416,7 +430,12 @@ mod tests {
     #[test]
     fn stm_baseline_reconstructs() {
         let corpus = Arc::new(generate(&CorpusParams::new(128 * 1024)));
-        let b = run_backend(Runtime::new(TmConfig::stm()), TmFlavor::Baseline, 2, &corpus);
+        let b = run_backend(
+            Runtime::new(TmConfig::stm()),
+            TmFlavor::Baseline,
+            2,
+            &corpus,
+        );
         check_reconstruction(&b, &corpus);
         assert_eq!(b.label(), "STM");
         // Irrevocable output ⇒ serializations happened.
@@ -440,7 +459,12 @@ mod tests {
     #[test]
     fn stm_defer_all_reconstructs() {
         let corpus = Arc::new(generate(&CorpusParams::new(128 * 1024)));
-        let b = run_backend(Runtime::new(TmConfig::stm()), TmFlavor::DeferAll, 4, &corpus);
+        let b = run_backend(
+            Runtime::new(TmConfig::stm()),
+            TmFlavor::DeferAll,
+            4,
+            &corpus,
+        );
         check_reconstruction(&b, &corpus);
         assert_eq!(b.label(), "STM+DeferAll");
     }
@@ -448,7 +472,12 @@ mod tests {
     #[test]
     fn htm_baseline_serializes_on_capacity() {
         let corpus = Arc::new(generate(&CorpusParams::new(128 * 1024)));
-        let b = run_backend(Runtime::new(TmConfig::htm()), TmFlavor::Baseline, 2, &corpus);
+        let b = run_backend(
+            Runtime::new(TmConfig::htm()),
+            TmFlavor::Baseline,
+            2,
+            &corpus,
+        );
         check_reconstruction(&b, &corpus);
         let s = b.runtime().stats();
         assert!(
@@ -461,7 +490,12 @@ mod tests {
     #[test]
     fn htm_defer_all_avoids_capacity_aborts() {
         let corpus = Arc::new(generate(&CorpusParams::new(128 * 1024)));
-        let b = run_backend(Runtime::new(TmConfig::htm()), TmFlavor::DeferAll, 4, &corpus);
+        let b = run_backend(
+            Runtime::new(TmConfig::htm()),
+            TmFlavor::DeferAll,
+            4,
+            &corpus,
+        );
         check_reconstruction(&b, &corpus);
         let s = b.runtime().stats();
         assert_eq!(
@@ -473,10 +507,13 @@ mod tests {
 
     #[test]
     fn dedup_produces_references() {
-        let corpus = Arc::new(generate(
-            &CorpusParams::new(256 * 1024).with_dup_ratio(0.8),
-        ));
-        let b = run_backend(Runtime::new(TmConfig::stm()), TmFlavor::DeferAll, 2, &corpus);
+        let corpus = Arc::new(generate(&CorpusParams::new(256 * 1024).with_dup_ratio(0.8)));
+        let b = run_backend(
+            Runtime::new(TmConfig::stm()),
+            TmFlavor::DeferAll,
+            2,
+            &corpus,
+        );
         let stats = b.output_stats();
         assert!(stats.reference_records > 0);
         check_reconstruction(&b, &corpus);

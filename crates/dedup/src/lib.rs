@@ -16,7 +16,7 @@
 //!   (Compress stage), plus a decompressor for verification;
 //! * [`corpus`] — a reproducible synthetic input generator with
 //!   controllable duplication ratio (substitute for PARSEC's data set);
-//! * [`format`] — the archive format and a verifying reconstructor;
+//! * [`mod@format`] — the archive format and a verifying reconstructor;
 //! * [`backend`] — the synchronization strategies over the shared
 //!   fingerprint table, reorder buffer, and output stream;
 //! * [`pipeline`] — the driver that ties it together and measures.

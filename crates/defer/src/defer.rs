@@ -20,6 +20,14 @@
 //! If the transaction aborts, the buffered lock acquisitions and the queued
 //! operation simply evaporate — deferred operations of aborted transactions
 //! never run.
+//!
+//! With the runtime's observability layer on (`Runtime::set_tracing`), the
+//! whole protocol is visible on the merged event timeline: `lock_acquire`
+//! events for the growing phase, `defer_enqueue` when the operation is
+//! queued, the enclosing `commit`, then paired `defer_exec_start` /
+//! `defer_exec_end` events with the same queue index — and the
+//! queue-to-completion latency lands in the `defer_queue_to_done_ns`
+//! histogram of `Runtime::snapshot_stats()`. See `OBSERVABILITY.md`.
 
 use ad_stm::{StmResult, Tx};
 
@@ -136,7 +144,11 @@ mod tests {
         });
         assert!(ran.load(Ordering::Acquire));
         assert_eq!(o.peek_unsynchronized().a.load(), 1);
-        assert_eq!(o.txlock().holder(), None, "lock must be released after the op");
+        assert_eq!(
+            o.txlock().holder(),
+            None,
+            "lock must be released after the op"
+        );
     }
 
     #[test]

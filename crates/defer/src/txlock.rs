@@ -22,7 +22,7 @@
 //! be: "since the implementation uses transactions, the owner and depth
 //! fields need not be packed into a single machine word."
 
-use ad_stm::{Runtime, StmResult, TVar, Tx};
+use ad_stm::{EventKind, Runtime, StmResult, TVar, Tx};
 
 use crate::owner::OwnerId;
 
@@ -56,6 +56,10 @@ impl TxLock {
         let me = OwnerId::me();
         match tx.read(&self.owner)? {
             None => {
+                // On the shared timeline (txtrace) this event marks the
+                // *buffered* acquisition; it becomes real at the enclosing
+                // Commit event. The lock's identity is its owner-TVar id.
+                tx.trace(EventKind::LockAcquire, self.id());
                 tx.write(&self.owner, Some(me))?;
                 tx.write(&self.depth, 1)
             }
@@ -72,7 +76,7 @@ impl TxLock {
     /// # Panics
     ///
     /// Panics if the calling thread does not hold the lock — the paper's
-    /// "[optional] forbid handoff of held lock" fatal error. Lock handoff
+    /// "\[optional\] forbid handoff of held lock" fatal error. Lock handoff
     /// between threads is a bug in the deferral protocol, so we always
     /// enforce this.
     pub fn release(&self, tx: &mut Tx) -> StmResult<()> {
@@ -102,10 +106,24 @@ impl TxLock {
     pub fn subscribe(&self, tx: &mut Tx) -> StmResult<()> {
         let me = OwnerId::me();
         match tx.read(&self.owner)? {
-            None => Ok(()),
-            Some(o) if o == me => Ok(()),
+            None => {
+                tx.trace(EventKind::LockSubscribe, self.id());
+                Ok(())
+            }
+            Some(o) if o == me => {
+                tx.trace(EventKind::LockSubscribe, self.id());
+                Ok(())
+            }
             Some(_) => tx.retry(),
         }
+    }
+
+    /// A stable identity for this lock on the observability timeline: the
+    /// id of its `owner` `TVar` (the variable subscribers read, so it is
+    /// also the id that shows up in `validate_fail` events when an
+    /// acquisition aborts subscribed transactions).
+    pub fn id(&self) -> u64 {
+        self.owner.id() as u64
     }
 
     /// Acquire from outside any transaction: runs a small transaction that

@@ -1,0 +1,55 @@
+//! Minimal single-thread hot-path probe: mixed (90r/10w over 64 vars) and
+//! read-only (16-var scan) ops/sec. Used for A/B perf bisection and for
+//! measuring the observability layer's cost (`hotloop [ms] --obs` enables
+//! tracing; compare against a run without the flag).
+use ad_stm::{Runtime, TVar, TmConfig};
+use std::time::Instant;
+
+fn main() {
+    let ms: u128 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(500);
+    let rt = Runtime::new(TmConfig::stm());
+    rt.set_tracing(std::env::args().any(|a| a == "--obs"));
+    let vars: Vec<TVar<u64>> = (0..64).map(TVar::new).collect();
+
+    let mut x = 0x12345678u64;
+    let t0 = Instant::now();
+    let mut ops = 0u64;
+    while t0.elapsed().as_millis() < ms {
+        for _ in 0..1000 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let i = ((x >> 33) % 64) as usize;
+            if x.is_multiple_of(10) {
+                rt.atomically(|tx| tx.modify(&vars[i], |v| v.wrapping_add(1)));
+            } else {
+                std::hint::black_box(rt.atomically(|tx| tx.read(&vars[i])));
+            }
+            ops += 1;
+        }
+    }
+    println!("mixed {}", (ops as f64 / t0.elapsed().as_secs_f64()) as u64);
+
+    let t0 = Instant::now();
+    let mut ops = 0u64;
+    while t0.elapsed().as_millis() < ms {
+        for _ in 0..1000 {
+            let s = rt.atomically(|tx| {
+                let mut s = 0u64;
+                for v in vars.iter().take(16) {
+                    s = s.wrapping_add(tx.read(v)?);
+                }
+                Ok(s)
+            });
+            std::hint::black_box(s);
+            ops += 1;
+        }
+    }
+    println!(
+        "read_only {}",
+        (ops as f64 / t0.elapsed().as_secs_f64()) as u64
+    );
+}

@@ -18,7 +18,7 @@ static GLOBAL_CLOCK: AtomicU64 = AtomicU64::new(0);
 /// `Acquire` (not `SeqCst`) suffices, per TL2's own argument: correctness
 /// only needs `rv` to be a *lower bound* on the clock at the moment the
 /// transaction starts. `Acquire` synchronizes with the `SeqCst` RMW in
-/// [`tick`], so a transaction that reads `rv = t` sees every write-back of
+/// `tick`, so a transaction that reads `rv = t` sees every write-back of
 /// the commit that produced `t`. A stale (smaller) value is always safe:
 /// the transaction merely extends its snapshot (or aborts) more often.
 #[inline]

@@ -34,8 +34,8 @@ pub enum Mode {
 /// Parameters of the simulated HTM.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HtmConfig {
-    /// Maximum tracked footprint in bytes before a [`Capacity`]
-    /// (crate::StmError::Capacity) abort. Models the L1-bounded write set of
+    /// Maximum tracked footprint in bytes before a
+    /// [`Capacity`](crate::StmError::Capacity) abort. Models the L1-bounded write set of
     /// real best-effort HTM. Default 32 KiB.
     pub capacity_bytes: u64,
     /// Footprint charged per distinct transactional variable accessed

@@ -86,15 +86,29 @@ mod runtime;
 mod smallmap;
 mod snapshot;
 mod stats;
+mod trace;
 mod tx;
 mod var;
 
 pub use config::{HtmConfig, Mode, RetryPolicy, TmConfig};
 pub use error::{StmError, StmResult};
 pub use runtime::{atomically, synchronized, Runtime};
-pub use stats::StatsSnapshot;
+pub use stats::{StatsReport, StatsSnapshot};
+pub use trace::{EventKind, Trace, TraceEvent};
 pub use tx::{PostCommitFn, Tx};
 pub use var::TVar;
+
+/// Re-exported histogram snapshot type ([`StatsReport`]'s field type), so
+/// downstream crates can consume quantiles without naming `ad-support`.
+pub use ad_support::hist::HistogramSnapshot;
+
+/// Process-wide epoch-reclamation gauges: `(retired, freed)` value counts
+/// since process start. `retired - freed` approximates the deferred-free
+/// backlog (OBSERVABILITY.md); global across runtimes because reclamation
+/// itself is.
+pub fn reclaim_counters() -> (u64, u64) {
+    snapshot::reclaim_counters()
+}
 
 /// Re-exported internals used by sibling crates' benchmarks and tests.
 pub mod internals {

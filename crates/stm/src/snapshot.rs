@@ -107,6 +107,24 @@ static ORPHANS: Mutex<Vec<Retired>> = Mutex::new(Vec::new());
 /// or one extra periodic collection, nothing more).
 static HAS_ORPHANS: AtomicBool = AtomicBool::new(false);
 
+/// Process-wide observability counters: values retired into bags and values
+/// actually freed. `retired - freed` is the live deferred-reclamation
+/// backlog. Relaxed, diagnostics only; the retire side is batched through
+/// the thread-local [`Handle`] so the write-back hot path never touches a
+/// shared cache line for accounting.
+static RETIRED_TOTAL: AtomicU64 = AtomicU64::new(0);
+static FREED_TOTAL: AtomicU64 = AtomicU64::new(0);
+
+/// `(retired, freed)` totals since process start. The retired count is
+/// published at collection safe points, so it can briefly lag the freed
+/// count's precision — treat both as monotone gauges, not exact ledgers.
+pub(crate) fn reclaim_counters() -> (u64, u64) {
+    (
+        RETIRED_TOTAL.load(Ordering::Relaxed),
+        FREED_TOTAL.load(Ordering::Relaxed),
+    )
+}
+
 /// One per thread: the epoch this thread is pinned at, or [`INACTIVE`].
 struct Participant {
     epoch: AtomicU64,
@@ -138,6 +156,9 @@ struct Handle {
     /// Monotonic count of [`flush`] calls on this thread, used to trigger
     /// the periodic (below-threshold) collections.
     flushes: u32,
+    /// Retirements not yet added to [`RETIRED_TOTAL`] — published in
+    /// batches at collection points so retiring stays a local increment.
+    retired_unpublished: u64,
 }
 
 impl Handle {
@@ -152,6 +173,7 @@ impl Handle {
             depth: 0,
             free: Vec::new(),
             flushes: 0,
+            retired_unpublished: 0,
         }
     }
 
@@ -187,6 +209,9 @@ impl Drop for Handle {
             let mut orphans = ORPHANS.lock();
             orphans.append(&mut self.bag);
             HAS_ORPHANS.store(true, Ordering::Relaxed);
+        }
+        if self.retired_unpublished > 0 {
+            RETIRED_TOTAL.fetch_add(self.retired_unpublished, Ordering::Relaxed);
         }
         for p in self.free.drain(..) {
             // SAFETY: free-list entries are allocations whose contents were
@@ -230,7 +255,10 @@ impl Drop for EpochGuard {
 /// Allocate a slot for `value`, reusing a recycled allocation if one is
 /// available.
 fn alloc_value(value: Value) -> *mut Value {
-    let slot = HANDLE.try_with(|h| h.borrow_mut().free.pop()).ok().flatten();
+    let slot = HANDLE
+        .try_with(|h| h.borrow_mut().free.pop())
+        .ok()
+        .flatten();
     match slot {
         Some(p) => {
             // SAFETY: free-list entries point to valid, content-dropped
@@ -301,6 +329,7 @@ fn free_garbage(garbage: Vec<Retired>) {
     if garbage.is_empty() {
         return;
     }
+    FREED_TOTAL.fetch_add(garbage.len() as u64, Ordering::Relaxed);
     let mut ptrs: Vec<*mut Value> = Vec::with_capacity(garbage.len());
     for r in garbage {
         // SAFETY: `r.ptr` came from `alloc_value` (invariant 1) and the
@@ -360,6 +389,10 @@ pub(crate) fn flush() {
                 || (h.flushes % FLUSH_PERIOD == 0
                     && (!h.bag.is_empty() || HAS_ORPHANS.load(Ordering::Relaxed)));
             if due {
+                if h.retired_unpublished > 0 {
+                    RETIRED_TOTAL.fetch_add(h.retired_unpublished, Ordering::Relaxed);
+                    h.retired_unpublished = 0;
+                }
                 collect(&mut h.bag)
             } else {
                 Vec::new()
@@ -469,6 +502,7 @@ impl SnapshotCell {
             fence(Ordering::SeqCst);
             let epoch = EPOCH.load(Ordering::Relaxed);
             h.bag.push(Retired { ptr: old, epoch });
+            h.retired_unpublished += 1;
             h.unpin();
         });
         if retired.is_err() {
@@ -490,6 +524,7 @@ impl SnapshotCell {
                 orphans.push(Retired { ptr: old, epoch });
                 HAS_ORPHANS.store(true, Ordering::Relaxed);
             }
+            RETIRED_TOTAL.fetch_add(1, Ordering::Relaxed);
             part.epoch.store(INACTIVE, Ordering::Release);
             let mut parts = PARTICIPANTS.lock();
             if let Some(i) = parts.iter().position(|q| Arc::ptr_eq(q, &part)) {

@@ -1,15 +1,25 @@
-//! Per-runtime statistics counters.
+//! Per-runtime statistics: counters plus latency histograms.
 //!
 //! Every figure reproduction reports these alongside wall-clock time: they
 //! are how we verify that the *mechanism* behind a speedup matches the
 //! paper's story (e.g. "+DeferAll eliminates capacity serializations", or
-//! "irrevoc serializes every output transaction").
+//! "irrevoc serializes every output transaction"). The histograms extend
+//! the counters with distributions — a mean hides exactly the tail that
+//! quiescence and deferral exist to fix, so the motivation scenario's
+//! "readers stall behind the 50 ms op" is asserted on `quiesce_wait` p99,
+//! not on a sum.
+//!
+//! Field names here are the stable observability schema: the same
+//! snake_case names appear in [`StatsSnapshot`]'s `Display`, in
+//! [`StatsReport::to_json`], and in `OBSERVABILITY.md`.
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Live counters. All increments are relaxed: the numbers are diagnostics,
-/// not synchronization.
+use ad_support::hist::{Histogram, HistogramSnapshot};
+
+/// Live counters and histograms. All updates are relaxed: the numbers are
+/// diagnostics, not synchronization.
 #[derive(Default)]
 pub struct Stats {
     pub(crate) starts: AtomicU64,
@@ -20,9 +30,29 @@ pub struct Stats {
     pub(crate) retries: AtomicU64,
     pub(crate) serializations: AtomicU64,
     pub(crate) serial_commits: AtomicU64,
-    pub(crate) quiesce_waits: AtomicU64,
-    pub(crate) quiesce_ns: AtomicU64,
     pub(crate) deferred_ops: AtomicU64,
+    /// The latency histograms, boxed as one block: `Stats` lives inside the
+    /// runtime's hot `RtInner`, and keeping it counter-sized preserves the
+    /// cache layout of the fields around it (embedding the four histograms
+    /// inline measurably slowed uninstrumented transactions).
+    hists: Box<LatencyHists>,
+}
+
+/// The four latency histograms (see the field docs for when each fills).
+#[derive(Default)]
+struct LatencyHists {
+    /// Commit latency (begin of the committing attempt → commit done), ns.
+    /// Recorded only while the runtime's observability toggle is on — it
+    /// needs two `Instant::now()` calls per transaction.
+    commit: Histogram,
+    /// Quiescence wait per writer commit that actually waited, ns.
+    /// Always on: the wait is already being timed when it happens.
+    quiesce: Histogram,
+    /// Contention-manager backoff per failed attempt, ns. Toggle-gated.
+    backoff: Histogram,
+    /// Deferred operation queue-to-completion (enqueue inside the
+    /// transaction → post-commit execution finished), ns. Toggle-gated.
+    defer: Histogram,
 }
 
 macro_rules! bump {
@@ -51,12 +81,28 @@ impl Stats {
 
     #[inline]
     pub(crate) fn on_quiesce(&self, ns: u64) {
-        self.quiesce_waits.fetch_add(1, Ordering::Relaxed);
-        self.quiesce_ns.fetch_add(ns, Ordering::Relaxed);
+        self.hists.quiesce.record(ns);
     }
 
-    /// Copy the counters out.
+    #[inline]
+    pub(crate) fn on_commit_latency(&self, ns: u64) {
+        self.hists.commit.record(ns);
+    }
+
+    #[inline]
+    pub(crate) fn on_backoff(&self, ns: u64) {
+        self.hists.backoff.record(ns);
+    }
+
+    #[inline]
+    pub(crate) fn on_defer_latency(&self, ns: u64) {
+        self.hists.defer.record(ns);
+    }
+
+    /// Copy the counters out. (`quiesce_waits`/`quiesce_ns` are derived
+    /// from the quiescence histogram, which replaced the old running sum.)
     pub fn snapshot(&self) -> StatsSnapshot {
+        let q = self.hists.quiesce.snapshot();
         StatsSnapshot {
             starts: self.starts.load(Ordering::Relaxed),
             commits: self.commits.load(Ordering::Relaxed),
@@ -66,13 +112,24 @@ impl Stats {
             retries: self.retries.load(Ordering::Relaxed),
             serializations: self.serializations.load(Ordering::Relaxed),
             serial_commits: self.serial_commits.load(Ordering::Relaxed),
-            quiesce_waits: self.quiesce_waits.load(Ordering::Relaxed),
-            quiesce_ns: self.quiesce_ns.load(Ordering::Relaxed),
+            quiesce_waits: q.count(),
+            quiesce_ns: q.sum(),
             deferred_ops: self.deferred_ops.load(Ordering::Relaxed),
         }
     }
 
-    /// Zero all counters (between benchmark phases).
+    /// Copy counters *and* histograms out as one serializable report.
+    pub fn report(&self) -> StatsReport {
+        StatsReport {
+            counters: self.snapshot(),
+            commit_latency_ns: self.hists.commit.snapshot(),
+            quiesce_wait_ns: self.hists.quiesce.snapshot(),
+            retry_backoff_ns: self.hists.backoff.snapshot(),
+            defer_queue_to_done_ns: self.hists.defer.snapshot(),
+        }
+    }
+
+    /// Zero all counters and histograms (between benchmark phases).
     pub fn reset(&self) {
         for c in [
             &self.starts,
@@ -83,12 +140,14 @@ impl Stats {
             &self.retries,
             &self.serializations,
             &self.serial_commits,
-            &self.quiesce_waits,
-            &self.quiesce_ns,
             &self.deferred_ops,
         ] {
             c.store(0, Ordering::Relaxed);
         }
+        self.hists.commit.reset();
+        self.hists.quiesce.reset();
+        self.hists.backoff.reset();
+        self.hists.defer.reset();
     }
 }
 
@@ -147,14 +206,40 @@ impl StatsSnapshot {
             deferred_ops: self.deferred_ops - earlier.deferred_ops,
         }
     }
+
+    /// Counters as a JSON object, keys identical to the field names (the
+    /// same schema `Display` and `OBSERVABILITY.md` use).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"starts\":{},\"commits\":{},\"serial_commits\":{},\
+             \"aborts_conflict\":{},\"aborts_capacity\":{},\
+             \"aborts_unsupported\":{},\"retries\":{},\"serializations\":{},\
+             \"quiesce_waits\":{},\"quiesce_ns\":{},\"deferred_ops\":{}}}",
+            self.starts,
+            self.commits,
+            self.serial_commits,
+            self.aborts_conflict,
+            self.aborts_capacity,
+            self.aborts_unsupported,
+            self.retries,
+            self.serializations,
+            self.quiesce_waits,
+            self.quiesce_ns,
+            self.deferred_ops,
+        )
+    }
 }
 
 impl fmt::Display for StatsSnapshot {
+    /// Two labelled sections — counts first, then durations — so values of
+    /// different units never share a section. Every `name=` matches the
+    /// JSON key of the same quantity.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "commits={} (serial={}) aborts={} (conflict={} capacity={} unsupported={}) \
-             retries={} serializations={} quiesce={}x/{:.1}ms deferred_ops={}",
+            "counters[commits={} serial_commits={} aborts={} (aborts_conflict={} \
+             aborts_capacity={} aborts_unsupported={}) retries={} serializations={} \
+             quiesce_waits={} deferred_ops={}] durations[quiesce_ns={} ({:.1}ms)]",
             self.total_commits(),
             self.serial_commits,
             self.total_aborts(),
@@ -164,8 +249,81 @@ impl fmt::Display for StatsSnapshot {
             self.retries,
             self.serializations,
             self.quiesce_waits,
-            self.quiesce_ns as f64 / 1e6,
             self.deferred_ops,
+            self.quiesce_ns,
+            self.quiesce_ns as f64 / 1e6,
+        )
+    }
+}
+
+/// A full observability report: the counters plus the four latency
+/// histograms. Returned by `Runtime::snapshot_stats()`, serialized by the
+/// bench bins' `--stats-json` flag.
+#[derive(Debug, Clone, Default)]
+pub struct StatsReport {
+    /// The counter snapshot (same values as `Runtime::stats()`).
+    pub counters: StatsSnapshot,
+    /// Commit latency in nanoseconds (observability toggle required).
+    pub commit_latency_ns: HistogramSnapshot,
+    /// Quiescence wait in nanoseconds (always recorded when a wait occurs).
+    pub quiesce_wait_ns: HistogramSnapshot,
+    /// Contention-manager backoff in nanoseconds (toggle required).
+    pub retry_backoff_ns: HistogramSnapshot,
+    /// Deferred-op enqueue → execution-complete in nanoseconds (toggle
+    /// required).
+    pub defer_queue_to_done_ns: HistogramSnapshot,
+}
+
+impl StatsReport {
+    /// Serialize the whole report as one JSON object:
+    /// `{"counters":{..},"histograms":{"commit_latency_ns":{..},..}}`.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"counters\":{},\"histograms\":{{\
+             \"commit_latency_ns\":{},\"quiesce_wait_ns\":{},\
+             \"retry_backoff_ns\":{},\"defer_queue_to_done_ns\":{}}}}}",
+            self.counters.to_json(),
+            self.commit_latency_ns.to_json(),
+            self.quiesce_wait_ns.to_json(),
+            self.retry_backoff_ns.to_json(),
+            self.defer_queue_to_done_ns.to_json(),
+        )
+    }
+
+    /// Merge another report into this one (summing counters and histogram
+    /// buckets) — used to aggregate per-cell reports in the bench bins.
+    pub fn merge(&mut self, other: &StatsReport) {
+        let c = &mut self.counters;
+        let o = &other.counters;
+        c.starts += o.starts;
+        c.commits += o.commits;
+        c.aborts_conflict += o.aborts_conflict;
+        c.aborts_capacity += o.aborts_capacity;
+        c.aborts_unsupported += o.aborts_unsupported;
+        c.retries += o.retries;
+        c.serializations += o.serializations;
+        c.serial_commits += o.serial_commits;
+        c.quiesce_waits += o.quiesce_waits;
+        c.quiesce_ns += o.quiesce_ns;
+        c.deferred_ops += o.deferred_ops;
+        self.commit_latency_ns.merge(&other.commit_latency_ns);
+        self.quiesce_wait_ns.merge(&other.quiesce_wait_ns);
+        self.retry_backoff_ns.merge(&other.retry_backoff_ns);
+        self.defer_queue_to_done_ns
+            .merge(&other.defer_queue_to_done_ns);
+    }
+}
+
+impl fmt::Display for StatsReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.counters)?;
+        writeln!(f, "  commit_latency_ns:        {}", self.commit_latency_ns)?;
+        writeln!(f, "  quiesce_wait_ns:          {}", self.quiesce_wait_ns)?;
+        writeln!(f, "  retry_backoff_ns:         {}", self.retry_backoff_ns)?;
+        write!(
+            f,
+            "  defer_queue_to_done_ns:   {}",
+            self.defer_queue_to_done_ns
         )
     }
 }
@@ -206,8 +364,11 @@ mod tests {
         s.on_start();
         s.on_capacity();
         s.on_unsupported();
+        s.on_quiesce(500);
+        s.on_commit_latency(700);
         s.reset();
         assert_eq!(s.snapshot(), StatsSnapshot::default());
+        assert_eq!(s.report().commit_latency_ns.count(), 0);
     }
 
     #[test]
@@ -230,5 +391,70 @@ mod tests {
         let txt = s.snapshot().to_string();
         assert!(txt.contains("commits=1"));
         assert!(txt.contains("serializations=0"));
+        // Counters and durations live in separate sections.
+        assert!(txt.contains("counters["));
+        assert!(txt.contains("durations["));
+        let counters_end = txt.find(']').unwrap();
+        let durations_start = txt.find("durations[").unwrap();
+        assert!(counters_end < durations_start);
+        assert!(!txt[..counters_end].contains("_ns="));
+        assert!(txt[durations_start..].contains("quiesce_ns="));
+    }
+
+    #[test]
+    fn report_collects_all_four_histograms() {
+        let s = Stats::default();
+        s.on_commit_latency(1_000);
+        s.on_quiesce(2_000);
+        s.on_backoff(3_000);
+        s.on_defer_latency(4_000);
+        let r = s.report();
+        assert_eq!(r.commit_latency_ns.count(), 1);
+        assert_eq!(r.quiesce_wait_ns.count(), 1);
+        assert_eq!(r.retry_backoff_ns.count(), 1);
+        assert_eq!(r.defer_queue_to_done_ns.count(), 1);
+        assert_eq!(r.counters.quiesce_waits, 1);
+        assert_eq!(r.counters.quiesce_ns, 2_000);
+    }
+
+    #[test]
+    fn report_json_has_stable_schema() {
+        let s = Stats::default();
+        s.on_commit();
+        s.on_commit_latency(123);
+        let j = s.report().to_json();
+        for key in [
+            "\"counters\"",
+            "\"commits\":1",
+            "\"serializations\":0",
+            "\"histograms\"",
+            "\"commit_latency_ns\"",
+            "\"quiesce_wait_ns\"",
+            "\"retry_backoff_ns\"",
+            "\"defer_queue_to_done_ns\"",
+        ] {
+            assert!(j.contains(key), "missing {key} in {j}");
+        }
+        // Balanced braces (cheap well-formedness check).
+        assert_eq!(
+            j.matches('{').count(),
+            j.matches('}').count(),
+            "unbalanced JSON: {j}"
+        );
+    }
+
+    #[test]
+    fn merge_sums_counters_and_buckets() {
+        let a = Stats::default();
+        a.on_commit();
+        a.on_commit_latency(100);
+        let b = Stats::default();
+        b.on_commit();
+        b.on_commit();
+        b.on_commit_latency(200);
+        let mut r = a.report();
+        r.merge(&b.report());
+        assert_eq!(r.counters.commits, 3);
+        assert_eq!(r.commit_latency_ns.count(), 2);
     }
 }

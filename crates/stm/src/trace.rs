@@ -1,0 +1,503 @@
+//! Per-thread lock-free transaction event tracing.
+//!
+//! The paper's claims are *mechanistic* — "quiescence stalls unrelated
+//! threads behind the long operation", "capacity aborts force
+//! serialization" — and counters alone cannot witness ordering. This module
+//! records the transaction lifecycle as timestamped events in per-thread
+//! ring buffers, merged on demand into one timeline (`ad-bench --bin
+//! txtrace` dumps it; `tests/observability.rs` asserts on it).
+//!
+//! ## Design constraints
+//!
+//! * **Off must be free**: with tracing disabled the hot path pays exactly
+//!   one relaxed load + branch per attempt (the runner caches the flag into
+//!   the `Tx`), nothing per event.
+//! * **On must not serialize writers**: each thread owns a single-writer
+//!   ring buffer ([`TraceBuf`]); recording is three relaxed stores and one
+//!   release store, no locks, no shared cache line between threads.
+//! * **Readers tolerate racing writers**: every slot carries a sequence
+//!   word written last (release); the merger re-reads it after copying the
+//!   payload and discards slots that changed underneath it (a per-slot
+//!   seqlock). A wrapped ring overwrites oldest events — [`Trace::dropped`]
+//!   reports how many were lost rather than pretending completeness.
+//!
+//! Timestamps are nanoseconds of monotonic time since the first trace use
+//! in the process, so events from different threads and runtimes order
+//! correctly on one axis.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+use ad_support::sync::Mutex;
+
+use crate::fxhash::FxHashMap;
+
+/// Ring capacity per thread, in events. 2^14 events ≈ 393 KiB per traced
+/// thread; at a few million events/s this holds the most recent few
+/// milliseconds of very hot threads and the entire run of realistic ones.
+const RING_CAP: usize = 1 << 14;
+
+/// What happened. The discriminants are stable — they appear in JSON
+/// exports and `txtrace` output — so add variants only at the end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum EventKind {
+    /// A transaction attempt started; `arg` = its read version (`rv`).
+    Begin = 1,
+    /// The read set grew to a power-of-two size; `arg` = the new length.
+    /// (Power-of-two sampling keeps large read-only transactions from
+    /// flooding the ring with one event per read.)
+    ReadSetGrow = 2,
+    /// Snapshot extension or commit-time validation failed; `arg` = the
+    /// id of the variable that failed (0 when unknown).
+    ValidateFail = 3,
+    /// The attempt aborted; `arg` = cause (1 conflict, 2 capacity,
+    /// 3 unsupported — [`EventKind::abort_cause_name`]).
+    Abort = 4,
+    /// The attempt committed; `arg` = 0 speculative, 1 serial/irrevocable.
+    Commit = 5,
+    /// A writer commit entered quiescence (started waiting for older
+    /// transactions); `arg` = its write version.
+    QuiesceEnter = 6,
+    /// Quiescence finished; `arg` = nanoseconds spent waiting.
+    QuiesceExit = 7,
+    /// `defer_post_commit` queued a deferred operation inside the
+    /// transaction; `arg` = the operation's queue index within it.
+    DeferEnqueue = 8,
+    /// A deferred operation started executing post-commit; `arg` = its
+    /// queue index (pairs with the committing transaction's
+    /// [`EventKind::DeferEnqueue`] of the same index).
+    DeferExecStart = 9,
+    /// A deferred operation finished; `arg` = its queue index.
+    DeferExecEnd = 10,
+    /// A transaction subscribed to a `TxLock` (`ad-defer`); `arg` = the
+    /// lock's id (its owner `TVar`'s id).
+    LockSubscribe = 11,
+    /// A transaction buffered a `TxLock` acquisition; `arg` = the lock id.
+    LockAcquire = 12,
+    /// The runner backed off after a failed attempt; `arg` = nanoseconds.
+    Backoff = 13,
+}
+
+impl EventKind {
+    /// Stable lowercase name (JSON / txtrace output).
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::Begin => "begin",
+            EventKind::ReadSetGrow => "read_set_grow",
+            EventKind::ValidateFail => "validate_fail",
+            EventKind::Abort => "abort",
+            EventKind::Commit => "commit",
+            EventKind::QuiesceEnter => "quiesce_enter",
+            EventKind::QuiesceExit => "quiesce_exit",
+            EventKind::DeferEnqueue => "defer_enqueue",
+            EventKind::DeferExecStart => "defer_exec_start",
+            EventKind::DeferExecEnd => "defer_exec_end",
+            EventKind::LockSubscribe => "lock_subscribe",
+            EventKind::LockAcquire => "lock_acquire",
+            EventKind::Backoff => "backoff",
+        }
+    }
+
+    /// Name of an [`EventKind::Abort`] event's cause argument.
+    pub fn abort_cause_name(arg: u64) -> &'static str {
+        match arg {
+            1 => "conflict",
+            2 => "capacity",
+            3 => "unsupported",
+            _ => "unknown",
+        }
+    }
+
+    fn from_code(code: u8) -> Option<EventKind> {
+        Some(match code {
+            1 => EventKind::Begin,
+            2 => EventKind::ReadSetGrow,
+            3 => EventKind::ValidateFail,
+            4 => EventKind::Abort,
+            5 => EventKind::Commit,
+            6 => EventKind::QuiesceEnter,
+            7 => EventKind::QuiesceExit,
+            8 => EventKind::DeferEnqueue,
+            9 => EventKind::DeferExecStart,
+            10 => EventKind::DeferExecEnd,
+            11 => EventKind::LockSubscribe,
+            12 => EventKind::LockAcquire,
+            13 => EventKind::Backoff,
+            _ => return None,
+        })
+    }
+}
+
+/// Abort-cause codes for [`EventKind::Abort`] events (shared with
+/// `runtime.rs`).
+pub(crate) mod cause {
+    pub(crate) const CONFLICT: u64 = 1;
+    pub(crate) const CAPACITY: u64 = 2;
+    pub(crate) const UNSUPPORTED: u64 = 3;
+}
+
+/// Nanoseconds of monotonic time since the process's trace epoch.
+pub(crate) fn now_ns() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+/// One merged, decoded trace event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Nanoseconds since the process trace epoch.
+    pub ts_ns: u64,
+    /// Trace-local thread id (dense, assigned per runtime in registration
+    /// order; not an OS tid).
+    pub thread: u32,
+    /// Per-thread event sequence number (gap-free while the ring keeps up;
+    /// gaps mean the ring wrapped).
+    pub seq: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// Event argument (see each [`EventKind`] variant).
+    pub arg: u64,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:>12.3}us t{:<3} {:<16}",
+            self.ts_ns as f64 / 1e3,
+            self.thread,
+            self.kind.name(),
+        )?;
+        match self.kind {
+            EventKind::Abort => write!(f, " cause={}", EventKind::abort_cause_name(self.arg)),
+            EventKind::Commit => write!(
+                f,
+                " mode={}",
+                if self.arg == 1 {
+                    "serial"
+                } else {
+                    "speculative"
+                }
+            ),
+            EventKind::QuiesceExit | EventKind::Backoff => {
+                write!(f, " waited={:.1}us", self.arg as f64 / 1e3)
+            }
+            _ => write!(f, " arg={}", self.arg),
+        }
+    }
+}
+
+/// A drained trace: the merged timeline plus how many events the rings
+/// overwrote before they could be read.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// Events from every traced thread, sorted by timestamp (ties broken
+    /// by thread then sequence number).
+    pub events: Vec<TraceEvent>,
+    /// Events lost to ring wrap-around (oldest-first overwrite).
+    pub dropped: u64,
+}
+
+impl Trace {
+    /// Events of one thread, in order.
+    pub fn thread_events(&self, thread: u32) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| e.thread == thread)
+    }
+
+    /// Render the timeline as line-oriented text (one event per line).
+    pub fn render(&self) -> String {
+        let mut s = String::with_capacity(self.events.len() * 48);
+        for e in &self.events {
+            s.push_str(&e.to_string());
+            s.push('\n');
+        }
+        if self.dropped > 0 {
+            s.push_str(&format!("({} events dropped to ring wrap)\n", self.dropped));
+        }
+        s
+    }
+}
+
+/// One event slot: a per-slot seqlock. `seq` is 0 when empty, otherwise
+/// the event's 1-based per-thread sequence number, stored *last* with
+/// release ordering so a reader that observes `seq` also observes the
+/// payload stores it covers.
+struct Slot {
+    seq: AtomicU64,
+    ts: AtomicU64,
+    /// `kind` in the top byte, `arg` in the low 56 bits.
+    packed: AtomicU64,
+}
+
+const ARG_BITS: u32 = 56;
+const ARG_MASK: u64 = (1 << ARG_BITS) - 1;
+
+/// A single-writer ring buffer of trace events, owned by one thread and
+/// readable (racily but safely) by the merger.
+pub(crate) struct TraceBuf {
+    thread: u32,
+    /// Total events ever written by the owner (monotone).
+    head: AtomicU64,
+    slots: Box<[Slot]>,
+}
+
+impl TraceBuf {
+    fn new(thread: u32) -> Arc<TraceBuf> {
+        Arc::new(TraceBuf {
+            thread,
+            head: AtomicU64::new(0),
+            slots: (0..RING_CAP)
+                .map(|_| Slot {
+                    seq: AtomicU64::new(0),
+                    ts: AtomicU64::new(0),
+                    packed: AtomicU64::new(0),
+                })
+                .collect(),
+        })
+    }
+
+    /// Append one event. Owner thread only.
+    #[inline]
+    pub(crate) fn push(&self, kind: EventKind, arg: u64) {
+        let ts = now_ns();
+        let head = self.head.load(Ordering::Relaxed);
+        let slot = &self.slots[(head as usize) & (RING_CAP - 1)];
+        // Invalidate first so a concurrent reader can't pair the old seq
+        // with the new payload, then publish payload before the new seq.
+        slot.seq.store(0, Ordering::Relaxed);
+        slot.ts.store(ts, Ordering::Relaxed);
+        slot.packed.store(
+            ((kind as u64) << ARG_BITS) | (arg & ARG_MASK),
+            Ordering::Relaxed,
+        );
+        slot.seq.store(head + 1, Ordering::Release);
+        self.head.store(head + 1, Ordering::Release);
+    }
+
+    /// Copy out every readable event. Returns `(events, dropped)`.
+    fn drain_into(&self, out: &mut Vec<TraceEvent>) -> u64 {
+        let head = self.head.load(Ordering::Acquire);
+        let mut readable = 0u64;
+        for slot in self.slots.iter() {
+            let s1 = slot.seq.load(Ordering::Acquire);
+            if s1 == 0 {
+                continue;
+            }
+            let ts = slot.ts.load(Ordering::Relaxed);
+            let packed = slot.packed.load(Ordering::Relaxed);
+            let s2 = slot.seq.load(Ordering::Acquire);
+            if s1 != s2 {
+                continue; // overwritten mid-read; counts as dropped
+            }
+            let Some(kind) = EventKind::from_code((packed >> ARG_BITS) as u8) else {
+                continue;
+            };
+            readable += 1;
+            out.push(TraceEvent {
+                ts_ns: ts,
+                thread: self.thread,
+                seq: s1,
+                kind,
+                arg: packed & ARG_MASK,
+            });
+        }
+        head.saturating_sub(readable)
+    }
+
+    /// Clear all slots (merger side; racing writers may lose the event
+    /// they are writing, which is inherent to draining a live trace).
+    fn clear(&self) {
+        for slot in self.slots.iter() {
+            slot.seq.store(0, Ordering::Relaxed);
+        }
+        self.head.store(0, Ordering::Release);
+    }
+}
+
+/// Per-runtime trace state: the enable flag and every thread's ring.
+pub(crate) struct TraceSink {
+    enabled: AtomicBool,
+    next_thread: AtomicU32,
+    bufs: Mutex<Vec<Arc<TraceBuf>>>,
+}
+
+impl Default for TraceSink {
+    fn default() -> Self {
+        TraceSink {
+            enabled: AtomicBool::new(false),
+            next_thread: AtomicU32::new(0),
+            bufs: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+thread_local! {
+    /// runtime-id -> this thread's ring in that runtime's sink.
+    static MY_BUFS: RefCell<FxHashMap<u64, Arc<TraceBuf>>> =
+        RefCell::new(FxHashMap::default());
+}
+
+impl TraceSink {
+    /// Is tracing on? One relaxed load — the only cost the disabled hot
+    /// path ever pays.
+    #[inline]
+    pub(crate) fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Record one event for the calling thread (registering its ring on
+    /// first use). Callers must already have checked [`TraceSink::enabled`].
+    pub(crate) fn push(&self, runtime_id: u64, kind: EventKind, arg: u64) {
+        MY_BUFS
+            .try_with(|m| {
+                let mut m = m.borrow_mut();
+                let buf = m.entry(runtime_id).or_insert_with(|| {
+                    let buf = TraceBuf::new(self.next_thread.fetch_add(1, Ordering::Relaxed));
+                    self.bufs.lock().push(Arc::clone(&buf));
+                    buf
+                });
+                buf.push(kind, arg);
+            })
+            // Thread teardown: losing an event beats panicking in a Drop.
+            .ok();
+    }
+
+    /// Merge every thread's ring into one timeline and clear the rings.
+    pub(crate) fn take(&self) -> Trace {
+        let bufs = self.bufs.lock();
+        let mut events = Vec::new();
+        let mut dropped = 0u64;
+        for buf in bufs.iter() {
+            dropped += buf.drain_into(&mut events);
+            buf.clear();
+        }
+        drop(bufs);
+        events.sort_unstable_by_key(|e| (e.ts_ns, e.thread, e.seq));
+        Trace { events, dropped }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_drain_roundtrip() {
+        let sink = TraceSink::default();
+        sink.set_enabled(true);
+        sink.push(9001, EventKind::Begin, 42);
+        sink.push(9001, EventKind::Commit, 0);
+        let t = sink.take();
+        assert_eq!(t.events.len(), 2);
+        assert_eq!(t.dropped, 0);
+        assert_eq!(t.events[0].kind, EventKind::Begin);
+        assert_eq!(t.events[0].arg, 42);
+        assert_eq!(t.events[1].kind, EventKind::Commit);
+        assert!(t.events[0].ts_ns <= t.events[1].ts_ns);
+        // Drained: a second take is empty.
+        assert!(sink.take().events.is_empty());
+    }
+
+    #[test]
+    fn ring_wrap_reports_drops() {
+        let sink = TraceSink::default();
+        sink.set_enabled(true);
+        let n = (RING_CAP + 100) as u64;
+        for i in 0..n {
+            sink.push(9002, EventKind::ReadSetGrow, i);
+        }
+        let t = sink.take();
+        assert_eq!(t.events.len(), RING_CAP);
+        assert_eq!(t.dropped, n - RING_CAP as u64);
+        // The survivors are the newest events, in order.
+        let min_seq = t.events.iter().map(|e| e.seq).min().unwrap();
+        assert_eq!(min_seq, n - RING_CAP as u64 + 1);
+    }
+
+    #[test]
+    fn threads_get_distinct_ids_and_merge_sorted() {
+        let sink = Arc::new(TraceSink::default());
+        sink.set_enabled(true);
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let sink = Arc::clone(&sink);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100 {
+                    sink.push(9003, EventKind::Begin, i);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let t = sink.take();
+        assert_eq!(t.events.len(), 400);
+        let threads: std::collections::HashSet<u32> = t.events.iter().map(|e| e.thread).collect();
+        assert_eq!(threads.len(), 4);
+        assert!(t.events.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
+    }
+
+    #[test]
+    fn event_kind_codes_roundtrip() {
+        for k in [
+            EventKind::Begin,
+            EventKind::ReadSetGrow,
+            EventKind::ValidateFail,
+            EventKind::Abort,
+            EventKind::Commit,
+            EventKind::QuiesceEnter,
+            EventKind::QuiesceExit,
+            EventKind::DeferEnqueue,
+            EventKind::DeferExecStart,
+            EventKind::DeferExecEnd,
+            EventKind::LockSubscribe,
+            EventKind::LockAcquire,
+            EventKind::Backoff,
+        ] {
+            assert_eq!(EventKind::from_code(k as u8), Some(k));
+            assert!(!k.name().is_empty());
+        }
+        assert_eq!(EventKind::from_code(0), None);
+        assert_eq!(EventKind::from_code(200), None);
+    }
+
+    #[test]
+    fn display_renders_causes_and_modes() {
+        let e = TraceEvent {
+            ts_ns: 1500,
+            thread: 0,
+            seq: 1,
+            kind: EventKind::Abort,
+            arg: super::cause::CAPACITY,
+        };
+        assert!(e.to_string().contains("cause=capacity"));
+        let c = TraceEvent {
+            ts_ns: 1500,
+            thread: 0,
+            seq: 2,
+            kind: EventKind::Commit,
+            arg: 1,
+        };
+        assert!(c.to_string().contains("mode=serial"));
+    }
+
+    #[test]
+    fn trace_render_is_line_per_event() {
+        let sink = TraceSink::default();
+        sink.push(9004, EventKind::Begin, 0);
+        sink.push(9004, EventKind::Commit, 0);
+        let t = sink.take();
+        let text = t.render();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.contains("begin"));
+        assert!(text.contains("commit"));
+    }
+}

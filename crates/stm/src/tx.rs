@@ -54,6 +54,10 @@ enum ExecMode {
 pub(crate) struct CommitOutput {
     pub(crate) actions: Vec<PostCommitFn>,
     pub(crate) drops: Vec<Box<dyn Any + Send>>,
+    /// Observability: per-action enqueue timestamps (trace clock, ns),
+    /// index-aligned with `actions`. Empty when tracing was off during the
+    /// committing attempt; feeds the defer queue-to-completion histogram.
+    pub(crate) enqueue_ts: Vec<u64>,
 }
 
 /// The reusable allocations of a transaction descriptor. One bundle lives
@@ -70,6 +74,8 @@ pub(crate) struct TxBuffers {
     write_set: SmallMap<(Arc<VarCore>, Value)>,
     /// Deferred operations queued by `atomic_defer` (via ad-defer).
     post_commit: Vec<PostCommitFn>,
+    /// Enqueue timestamps aligned with `post_commit` (tracing only).
+    post_commit_ts: Vec<u64>,
     /// Deferred frees: values whose destruction is delayed until after the
     /// deferred operations have run.
     drops: Vec<Box<dyn Any + Send>>,
@@ -90,6 +96,7 @@ impl TxBuffers {
             read_cache: SmallMap::default(),
             write_set: SmallMap::default(),
             post_commit: Vec::new(),
+            post_commit_ts: Vec::new(),
             drops: Vec::new(),
             footprint_vars: FxHashSet::default(),
             entries: Vec::new(),
@@ -103,6 +110,7 @@ impl TxBuffers {
         self.read_cache.clear();
         self.write_set.clear();
         self.post_commit.clear();
+        self.post_commit_ts.clear();
         self.drops.clear();
         self.footprint_vars.clear();
         self.entries.clear();
@@ -157,6 +165,9 @@ pub struct Tx<'rt> {
     footprint: u64,
     /// Serial mode: has the closure performed (unrecoverable) writes?
     serial_wrote: bool,
+    /// Observability toggle, cached at attempt start so per-event checks
+    /// are a register test, not an atomic load.
+    obs: bool,
     slot: Arc<ActivitySlot>,
 }
 
@@ -166,10 +177,14 @@ impl<'rt> Tx<'rt> {
         bufs: &'rt mut TxBuffers,
         slot: Arc<ActivitySlot>,
         serial: bool,
+        obs: bool,
     ) -> Self {
         bufs.reset();
         let cfg = rt.config();
         let rv = clock::now();
+        if obs {
+            rt.trace_event(crate::trace::EventKind::Begin, rv);
+        }
         Tx {
             rt,
             mode: if serial {
@@ -183,6 +198,7 @@ impl<'rt> Tx<'rt> {
             bufs,
             footprint: 0,
             serial_wrote: false,
+            obs,
             slot,
         }
     }
@@ -238,6 +254,15 @@ impl<'rt> Tx<'rt> {
         }
         self.bufs.read_set.push((Arc::clone(core), v1));
         self.bufs.read_cache.insert(id, val.clone());
+        if self.obs {
+            // Sampled at power-of-two sizes so a large read-only scan
+            // leaves a growth curve, not one ring entry per read.
+            let n = self.bufs.read_set.len();
+            if n.is_power_of_two() {
+                self.rt
+                    .trace_event(crate::trace::EventKind::ReadSetGrow, n as u64);
+            }
+        }
         Ok(val)
     }
 
@@ -320,6 +345,7 @@ impl<'rt> Tx<'rt> {
             Err(StmError::Retry) => {
                 self.bufs.write_set = write_snapshot;
                 self.bufs.post_commit.truncate(post_commit_len);
+                self.bufs.post_commit_ts.truncate(post_commit_len);
                 self.bufs.drops.truncate(drops_len);
                 second(self)
             }
@@ -348,6 +374,12 @@ impl<'rt> Tx<'rt> {
     /// `atomic_defer`: `ad-defer` queues the deferred operation plus the
     /// release of its `TxLock`s here. Discarded if the transaction aborts.
     pub fn defer_post_commit(&mut self, f: PostCommitFn) {
+        if self.obs {
+            let idx = self.bufs.post_commit.len() as u64;
+            self.bufs.post_commit_ts.push(crate::trace::now_ns());
+            self.rt
+                .trace_event(crate::trace::EventKind::DeferEnqueue, idx);
+        }
         self.bufs.post_commit.push(f);
     }
 
@@ -403,6 +435,10 @@ impl<'rt> Tx<'rt> {
         for (core, seen) in &self.bufs.read_set {
             let cur = core.version();
             if clock::is_locked(cur) || cur != *seen {
+                if self.obs {
+                    self.rt
+                        .trace_event(crate::trace::EventKind::ValidateFail, core.id() as u64);
+                }
                 return Err(StmError::Conflict);
             }
         }
@@ -453,6 +489,8 @@ impl<'rt> Tx<'rt> {
             return Ok(self.take_output());
         }
 
+        let obs = self.obs;
+        let rt = self.rt;
         let TxBuffers {
             read_set,
             write_set,
@@ -472,6 +510,9 @@ impl<'rt> Tx<'rt> {
             match core.try_lock() {
                 Some(pre) => locked.push(pre),
                 None => {
+                    if obs {
+                        rt.trace_event(crate::trace::EventKind::ValidateFail, core.id() as u64);
+                    }
                     for (j, pre) in locked.iter().enumerate().take(i) {
                         entries[j].1.unlock_restore(*pre);
                     }
@@ -496,6 +537,9 @@ impl<'rt> Tx<'rt> {
                     }
                 };
                 if !ok {
+                    if obs {
+                        rt.trace_event(crate::trace::EventKind::ValidateFail, core.id() as u64);
+                    }
                     for (i, pre) in locked.iter().enumerate() {
                         entries[i].1.unlock_restore(*pre);
                     }
@@ -526,9 +570,15 @@ impl<'rt> Tx<'rt> {
         // transactions that started before wv. Simulated HTM skips this:
         // hardware transactions are never observed mid-cleanup.
         if self.cfg_quiesce {
+            if obs {
+                rt.trace_event(crate::trace::EventKind::QuiesceEnter, wv);
+            }
             let ns = self.rt.registry().quiesce(wv, &self.slot);
             if ns > 0 {
                 self.rt.stats_ref().on_quiesce(ns);
+            }
+            if obs {
+                rt.trace_event(crate::trace::EventKind::QuiesceExit, ns);
             }
         }
 
@@ -548,6 +598,19 @@ impl<'rt> Tx<'rt> {
         CommitOutput {
             actions: std::mem::take(&mut self.bufs.post_commit),
             drops: std::mem::take(&mut self.bufs.drops),
+            enqueue_ts: std::mem::take(&mut self.bufs.post_commit_ts),
+        }
+    }
+
+    /// Record a custom event on this runtime's observability timeline (a
+    /// no-op when tracing is off). This is how sibling crates put their own
+    /// lifecycle points next to the STM's — `ad-defer` uses it for
+    /// [`EventKind::LockSubscribe`](crate::EventKind::LockSubscribe) and
+    /// [`EventKind::LockAcquire`](crate::EventKind::LockAcquire).
+    #[inline]
+    pub fn trace(&self, kind: crate::trace::EventKind, arg: u64) {
+        if self.obs {
+            self.rt.trace_event(kind, arg);
         }
     }
 }

@@ -1,0 +1,411 @@
+//! Log-bucketed concurrent latency histograms.
+//!
+//! A vendored, dependency-free stand-in for `hdrhistogram`: values (in
+//! nanoseconds) are binned into power-of-two octaves, each split into
+//! `SUB_BUCKETS` (16) linear sub-buckets, giving a worst-case relative
+//! quantile error of `1/SUB_BUCKETS` (6.25%) across the full `u64` range.
+//! Recording is a single relaxed `fetch_add` on an atomic bucket counter —
+//! safe to call concurrently from every worker thread on a measurement
+//! path — plus relaxed updates of count/sum/max.
+//!
+//! This backs the `ad-stm` observability layer: commit latency, quiescence
+//! wait, retry backoff, and deferred-op queue-to-completion distributions
+//! (see `OBSERVABILITY.md` at the repo root).
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Linear sub-buckets per power-of-two octave.
+const SUB_BUCKETS: usize = 16;
+const SUB_BITS: u32 = 4; // log2(SUB_BUCKETS)
+
+/// Values below `2^SUB_BITS` get exact unit buckets; everything above is
+/// binned as (octave, sub-bucket).
+const EXACT: usize = 1 << SUB_BITS;
+
+/// Octaves covering `u64`: values in `[2^k, 2^(k+1))` for k in
+/// `SUB_BITS..64`.
+const OCTAVES: usize = 64 - SUB_BITS as usize;
+
+/// Total bucket count.
+const BUCKETS: usize = EXACT + OCTAVES * SUB_BUCKETS;
+
+/// Map a value to its bucket index.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v < EXACT as u64 {
+        return v as usize;
+    }
+    let octave = 63 - v.leading_zeros(); // >= SUB_BITS
+    let sub = (v >> (octave - SUB_BITS)) as usize & (SUB_BUCKETS - 1);
+    EXACT + (octave - SUB_BITS) as usize * SUB_BUCKETS + sub
+}
+
+/// Inclusive lower bound of a bucket.
+fn bucket_lower(i: usize) -> u64 {
+    if i < EXACT {
+        return i as u64;
+    }
+    let rel = i - EXACT;
+    let octave = rel / SUB_BUCKETS + SUB_BITS as usize;
+    let sub = rel % SUB_BUCKETS;
+    (1u64 << octave) + ((sub as u64) << (octave - SUB_BITS as usize))
+}
+
+/// Exclusive upper bound of a bucket (saturating at `u64::MAX`).
+fn bucket_upper(i: usize) -> u64 {
+    if i + 1 < BUCKETS {
+        bucket_lower(i + 1)
+    } else {
+        u64::MAX
+    }
+}
+
+/// A concurrent log-bucketed histogram of `u64` samples (nanoseconds by
+/// convention).
+pub struct Histogram {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// Create an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one sample. Lock-free; all orderings relaxed (the histogram
+    /// is diagnostics, not synchronization).
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Copy the counters out into an immutable snapshot.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        HistogramSnapshot {
+            buckets,
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zero every counter (between benchmark phases).
+    pub fn reset(&self) {
+        for b in self.buckets.iter() {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+/// An immutable copy of a [`Histogram`]'s state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            buckets: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded sample (exact, not bucketed). 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean of the recorded samples. 0 when empty.
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Value at quantile `q` in `[0, 1]` — the upper bound of the first
+    /// bucket whose cumulative count reaches `ceil(q * count)`, i.e. an
+    /// upper estimate with ≤ 6.25% relative error. 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Never report beyond the observed max.
+                return bucket_upper(i).saturating_sub(1).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Fold another snapshot into this one (per-runtime → aggregate).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += *b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Iterate the non-empty buckets as `(lower_inclusive, upper_exclusive,
+    /// count)` — the machine-readable distribution behind the JSON export.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c != 0)
+            .map(|(i, &c)| (bucket_lower(i), bucket_upper(i), c))
+    }
+
+    /// Render as a stable-schema JSON object:
+    /// `{"count":..,"sum":..,"max":..,"mean":..,"p50":..,"p90":..,"p99":..,
+    ///   "buckets":[[lo,hi,count],..]}` (non-empty buckets only).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(128);
+        s.push_str(&format!(
+            "{{\"count\": {}, \"sum\": {}, \"max\": {}, \"mean\": {}, \
+             \"p50\": {}, \"p90\": {}, \"p99\": {}, \"buckets\": [",
+            self.count,
+            self.sum,
+            self.max,
+            self.mean(),
+            self.quantile(0.50),
+            self.quantile(0.90),
+            self.quantile(0.99),
+        ));
+        for (i, (lo, hi, c)) in self.nonzero_buckets().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!("[{lo}, {hi}, {c}]"));
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+impl fmt::Display for HistogramSnapshot {
+    /// Human summary: `n=<count> mean=<..> p50=<..> p99=<..> max=<..>`,
+    /// durations scaled to the most readable unit.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn ns(v: u64) -> String {
+            match v {
+                0..=9_999 => format!("{v}ns"),
+                10_000..=9_999_999 => format!("{:.1}us", v as f64 / 1e3),
+                10_000_000..=9_999_999_999 => format!("{:.1}ms", v as f64 / 1e6),
+                _ => format!("{:.2}s", v as f64 / 1e9),
+            }
+        }
+        write!(
+            f,
+            "n={} mean={} p50={} p99={} max={}",
+            self.count,
+            ns(self.mean()),
+            ns(self.quantile(0.5)),
+            ns(self.quantile(0.99)),
+            ns(self.max),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_monotonic_and_in_range() {
+        let mut values: Vec<u64> = (0..64)
+            .flat_map(|shift| [0u64, 1, 3].map(|off| (1u64 << shift).saturating_add(off)))
+            .collect();
+        values.sort_unstable();
+        let mut last = 0usize;
+        for v in values {
+            let i = bucket_index(v);
+            assert!(i < BUCKETS, "index {i} out of range for {v}");
+            assert!(i >= last, "bucket index not monotonic at {v}");
+            last = i;
+        }
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn bucket_bounds_contain_their_values() {
+        for v in [0u64, 1, 15, 16, 17, 100, 1_000, 123_456_789, u64::MAX / 2] {
+            let i = bucket_index(v);
+            assert!(bucket_lower(i) <= v, "lower({i}) > {v}");
+            assert!(
+                v < bucket_upper(i) || bucket_upper(i) == u64::MAX,
+                "upper({i}) <= {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = Histogram::new();
+        for v in 0..16u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 16);
+        assert_eq!(s.sum(), (0..16).sum::<u64>());
+        for (lo, hi, c) in s.nonzero_buckets() {
+            assert_eq!(hi - lo, 1, "sub-16 buckets must be unit-width");
+            assert_eq!(c, 1);
+        }
+    }
+
+    #[test]
+    fn quantiles_bound_error() {
+        let h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let p50 = s.quantile(0.5);
+        let p99 = s.quantile(0.99);
+        assert!((4_700..=5_400).contains(&p50), "p50 = {p50}");
+        assert!((9_400..=10_000).contains(&p99), "p99 = {p99}");
+        assert_eq!(s.quantile(1.0), 10_000);
+        assert_eq!(s.max(), 10_000);
+    }
+
+    #[test]
+    fn quantile_never_exceeds_max() {
+        let h = Histogram::new();
+        h.record(1_000_003);
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.5), 1_000_003);
+        assert_eq!(s.quantile(0.999), 1_000_003);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeroes() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.quantile(0.99), 0);
+        assert_eq!(s.mean(), 0);
+        assert_eq!(s, HistogramSnapshot::default());
+        assert_eq!(s.nonzero_buckets().count(), 0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        a.record(10);
+        b.record(1_000);
+        b.record(2_000);
+        let mut sa = a.snapshot();
+        sa.merge(&b.snapshot());
+        assert_eq!(sa.count(), 3);
+        assert_eq!(sa.sum(), 3_010);
+        assert_eq!(sa.max(), 2_000);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let h = Histogram::new();
+        h.record(42);
+        h.reset();
+        assert_eq!(h.snapshot(), HistogramSnapshot::default());
+    }
+
+    #[test]
+    fn json_has_stable_schema() {
+        let h = Histogram::new();
+        h.record(100);
+        h.record(200);
+        let j = h.snapshot().to_json();
+        for key in [
+            "\"count\"",
+            "\"sum\"",
+            "\"max\"",
+            "\"mean\"",
+            "\"p50\"",
+            "\"p90\"",
+            "\"p99\"",
+            "\"buckets\"",
+        ] {
+            assert!(j.contains(key), "missing {key} in {j}");
+        }
+        assert!(j.starts_with('{') && j.ends_with('}'));
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = std::sync::Arc::new(Histogram::new());
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let h = std::sync::Arc::clone(&h);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..10_000u64 {
+                    h.record(t * 1_000 + i % 997);
+                }
+            }));
+        }
+        for x in handles {
+            x.join().unwrap();
+        }
+        assert_eq!(h.snapshot().count(), 40_000);
+    }
+
+    #[test]
+    fn display_scales_units() {
+        let h = Histogram::new();
+        h.record(5);
+        let s = format!("{}", h.snapshot());
+        assert!(s.contains("n=1"));
+        assert!(s.contains("ns"));
+        let h2 = Histogram::new();
+        h2.record(50_000_000);
+        assert!(format!("{}", h2.snapshot()).contains("ms"));
+    }
+}

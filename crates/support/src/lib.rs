@@ -16,6 +16,8 @@
 //!   (`criterion_group!` / `criterion_main!`, `bench_function`,
 //!   `iter`/`iter_custom`, benchmark groups) that prints per-iteration
 //!   timings and can emit machine-readable JSON.
+//! * [`hist`] — concurrent log-bucketed latency histograms (an
+//!   `hdrhistogram` stand-in) backing the `ad-stm` observability layer.
 //!
 //! Everything here is safe Rust with no dependencies, so it can never be the
 //! thing that breaks an offline build.
@@ -25,5 +27,6 @@
 
 pub mod channel;
 pub mod crit;
+pub mod hist;
 pub mod prng;
 pub mod sync;

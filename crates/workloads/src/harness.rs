@@ -6,6 +6,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Barrier;
 use std::time::{Duration, Instant};
 
+use ad_stm::StatsReport;
+
 /// Result of one (variant, thread-count) cell of a figure.
 #[derive(Debug, Clone)]
 pub struct Measurement {
@@ -17,6 +19,10 @@ pub struct Measurement {
     pub elapsed: Duration,
     /// Optional free-form diagnostics (stats counters etc.).
     pub note: String,
+    /// Full observability report for the cell's runtime, when the caller
+    /// collected one (`--stats-json` in the bench bins). `None` for
+    /// variants that don't run on the TM runtime (e.g. CGL baselines).
+    pub stats: Option<StatsReport>,
 }
 
 impl Measurement {
@@ -110,6 +116,30 @@ pub fn print_csv(results: &[Measurement]) {
     }
 }
 
+/// Serialize a result set as a JSON array of cells — the payload behind the
+/// bench bins' `--stats-json <path>` flag. Cells without a collected
+/// [`StatsReport`] get `"stats": null`, so the array always has one element
+/// per measurement.
+pub fn stats_json(results: &[Measurement]) -> String {
+    let mut out = String::from("[\n");
+    for (i, m) in results.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&format!(
+            "  {{\"series\":\"{}\",\"threads\":{},\"seconds\":{:.6},\"stats\":{}}}",
+            m.series.replace('"', "'"),
+            m.threads,
+            m.secs(),
+            m.stats
+                .as_ref()
+                .map_or_else(|| "null".to_string(), |s| s.to_json()),
+        ));
+    }
+    out.push_str("\n]\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -118,9 +148,7 @@ mod tests {
     #[test]
     fn fixed_work_executes_every_op_exactly_once() {
         let hits = AtomicU64::new(0);
-        let seen = (0..100)
-            .map(|_| AtomicU64::new(0))
-            .collect::<Vec<_>>();
+        let seen = (0..100).map(|_| AtomicU64::new(0)).collect::<Vec<_>>();
         run_fixed_work(4, 100, |_, i| {
             hits.fetch_add(1, Ordering::Relaxed);
             seen[i].fetch_add(1, Ordering::Relaxed);
@@ -149,8 +177,34 @@ mod tests {
             threads: 1,
             elapsed: Duration::from_millis(1500),
             note: String::new(),
+            stats: None,
         };
         assert!((m.secs() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stats_json_emits_one_cell_per_measurement() {
+        let results = vec![
+            Measurement {
+                series: "tm".into(),
+                threads: 2,
+                elapsed: Duration::from_millis(10),
+                note: String::new(),
+                stats: Some(StatsReport::default()),
+            },
+            Measurement {
+                series: "cgl".into(),
+                threads: 2,
+                elapsed: Duration::from_millis(20),
+                note: String::new(),
+                stats: None,
+            },
+        ];
+        let j = stats_json(&results);
+        assert!(j.contains("\"series\":\"tm\""));
+        assert!(j.contains("\"stats\":null"));
+        assert!(j.contains("\"quiesce_wait_ns\""));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
     }
 
     #[test]
@@ -161,12 +215,14 @@ mod tests {
                 threads: 1,
                 elapsed: Duration::from_millis(10),
                 note: "n".into(),
+                stats: None,
             },
             Measurement {
                 series: "B".into(),
                 threads: 2,
                 elapsed: Duration::from_millis(20),
                 note: String::new(),
+                stats: None,
             },
         ];
         print_time_table("t", &[1, 2], &results);

@@ -73,6 +73,10 @@ pub struct IoBenchConfig {
     /// Use the simulated-HTM runtime instead of STM for the TM variants
     /// ("trends for HTM are the same", §6.1).
     pub htm: bool,
+    /// Enable the observability layer (`Runtime::set_tracing`) on the TM
+    /// variants' runtime, so the returned [`Measurement::stats`] report has
+    /// commit-latency/backoff/defer histograms filled.
+    pub obs: bool,
 }
 
 impl IoBenchConfig {
@@ -85,7 +89,15 @@ impl IoBenchConfig {
             keep_open: false,
             dir: std::env::temp_dir(),
             htm: false,
+            obs: false,
         }
+    }
+
+    /// Enable observability (event tracing + full histograms) on the TM
+    /// variants.
+    pub fn with_obs(mut self, on: bool) -> Self {
+        self.obs = on;
+        self
     }
 
     /// Enable the Figure 2d keep-open mode.
@@ -179,10 +191,13 @@ pub fn run_iobench(cfg: &IoBenchConfig, variant: Variant, threads: usize) -> Mea
         let _ = std::fs::remove_file(p);
     }
 
-    let (elapsed, note) = match variant {
-        Variant::Cgl => (run_locked(cfg, &paths, threads, true), String::new()),
-        Variant::Fgl => (run_locked(cfg, &paths, threads, false), String::new()),
-        Variant::Irrevoc | Variant::Defer => run_tm(cfg, &paths, threads, variant),
+    let (elapsed, note, stats) = match variant {
+        Variant::Cgl => (run_locked(cfg, &paths, threads, true), String::new(), None),
+        Variant::Fgl => (run_locked(cfg, &paths, threads, false), String::new(), None),
+        Variant::Irrevoc | Variant::Defer => {
+            let (elapsed, note, report) = run_tm(cfg, &paths, threads, variant);
+            (elapsed, note, Some(report))
+        }
     };
 
     for p in &paths {
@@ -193,6 +208,7 @@ pub fn run_iobench(cfg: &IoBenchConfig, variant: Variant, threads: usize) -> Mea
         threads,
         elapsed,
         note,
+        stats,
     }
 }
 
@@ -227,12 +243,13 @@ fn run_tm(
     paths: &[PathBuf],
     threads: usize,
     variant: Variant,
-) -> (Duration, String) {
+) -> (Duration, String, ad_stm::StatsReport) {
     let rt = Runtime::new(if cfg.htm {
         TmConfig::htm()
     } else {
         TmConfig::stm()
     });
+    rt.set_tracing(cfg.obs);
     let files: Vec<TmFile> = paths
         .iter()
         .map(|p| TmFile {
@@ -286,7 +303,7 @@ fn run_tm(
             _ => unreachable!(),
         }
     });
-    (elapsed, format!("{}", rt.stats()))
+    (elapsed, format!("{}", rt.stats()), rt.snapshot_stats())
 }
 
 /// Count the records written across all benchmark files (verification
@@ -346,7 +363,7 @@ mod tests {
         for p in &paths {
             let _ = std::fs::remove_file(p);
         }
-        let (elapsed, _) = run_tm(&cfg, &paths, 3, Variant::Defer);
+        let (elapsed, _, _) = run_tm(&cfg, &paths, 3, Variant::Defer);
         assert!(elapsed > Duration::ZERO);
         assert_eq!(count_records(&paths), 100);
         for p in &paths {
@@ -362,9 +379,10 @@ mod tests {
         for p in &paths {
             let _ = std::fs::remove_file(p);
         }
-        let (_, note) = run_tm(&cfg, &paths, 2, Variant::Irrevoc);
+        let (_, note, report) = run_tm(&cfg, &paths, 2, Variant::Irrevoc);
         // Every op serialized: the note must show 50 serial commits.
-        assert!(note.contains("serial=50"), "stats: {note}");
+        assert!(note.contains("serial_commits=50"), "stats: {note}");
+        assert_eq!(report.counters.serial_commits, 50);
         assert_eq!(count_records(&paths), 50);
         for p in &paths {
             let _ = std::fs::remove_file(p);

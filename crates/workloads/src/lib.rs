@@ -12,7 +12,7 @@ pub mod iobench;
 pub mod logbench;
 pub mod poolbench;
 
-pub use harness::{print_csv, print_time_table, run_fixed_work, Measurement};
+pub use harness::{print_csv, print_time_table, run_fixed_work, stats_json, Measurement};
 pub use iobench::{run_iobench, IoBenchConfig, Variant};
 pub use logbench::{run_logbench, LogBenchConfig, LogVariant};
 pub use poolbench::{run_poolbench, PoolBenchConfig, PoolVariant};

@@ -69,6 +69,8 @@ pub struct LogBenchConfig {
     pub shared_vars: usize,
     /// Directory for the log file.
     pub dir: PathBuf,
+    /// Enable observability (tracing + full histograms) on the TM runtime.
+    pub obs: bool,
 }
 
 impl LogBenchConfig {
@@ -78,7 +80,14 @@ impl LogBenchConfig {
             total_ops,
             shared_vars: 8,
             dir: std::env::temp_dir(),
+            obs: false,
         }
+    }
+
+    /// Enable observability on the TM variants.
+    pub fn with_obs(mut self, on: bool) -> Self {
+        self.obs = on;
+        self
     }
 
     fn path(&self, tag: &str) -> PathBuf {
@@ -86,8 +95,10 @@ impl LogBenchConfig {
         // (e.g. parallel tests) from colliding on file names.
         static RUN: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
         let run = RUN.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        self.dir
-            .join(format!("ad_logbench_{}_{run}_{tag}.log", std::process::id()))
+        self.dir.join(format!(
+            "ad_logbench_{}_{run}_{tag}.log",
+            std::process::id()
+        ))
     }
 }
 
@@ -99,6 +110,7 @@ pub fn run_logbench(cfg: &LogBenchConfig, variant: LogVariant, threads: usize) -
     let file = File::create(&path).expect("create log file");
 
     let rt = Runtime::new(TmConfig::stm());
+    rt.set_tracing(cfg.obs);
     let vars: Vec<TVar<u64>> = (0..cfg.shared_vars).map(|_| TVar::new(0)).collect();
     let nvars = vars.len();
 
@@ -135,8 +147,7 @@ pub fn run_logbench(cfg: &LogBenchConfig, variant: LogVariant, threads: usize) -
                 rt.synchronized(|tx| {
                     let v = tx.read(&vars[slot])?;
                     tx.write(&vars[slot], v + 1)?;
-                    writeln!(file.lock(), "t{t} slot {slot} -> {}", v + 1)
-                        .expect("log write");
+                    writeln!(file.lock(), "t{t} slot {slot} -> {}", v + 1).expect("log write");
                     Ok(())
                 });
             });
@@ -176,11 +187,13 @@ pub fn run_logbench(cfg: &LogBenchConfig, variant: LogVariant, threads: usize) -
     }
     let _ = std::fs::remove_file(&path);
 
+    let stats = (variant != LogVariant::Mutex).then(|| rt.snapshot_stats());
     Measurement {
         series: variant.label().to_string(),
         threads,
         elapsed,
         note,
+        stats,
     }
 }
 
@@ -201,9 +214,31 @@ mod tests {
     fn irrevocable_variant_serializes_defer_does_not() {
         let cfg = LogBenchConfig::new(200);
         let irre = run_logbench(&cfg, LogVariant::Irrevoc, 2);
-        assert!(irre.note.contains("serial=200"), "stats: {}", irre.note);
+        assert!(
+            irre.note.contains("serial_commits=200"),
+            "stats: {}",
+            irre.note
+        );
         let defr = run_logbench(&cfg, LogVariant::Defer, 2);
-        assert!(defr.note.contains("serial=0"), "stats: {}", defr.note);
-        assert!(defr.note.contains("deferred_ops=200"), "stats: {}", defr.note);
+        assert!(
+            defr.note.contains("serial_commits=0"),
+            "stats: {}",
+            defr.note
+        );
+        assert!(
+            defr.note.contains("deferred_ops=200"),
+            "stats: {}",
+            defr.note
+        );
+    }
+
+    #[test]
+    fn obs_mode_fills_histograms() {
+        let cfg = LogBenchConfig::new(200).with_obs(true);
+        let m = run_logbench(&cfg, LogVariant::Defer, 2);
+        let r = m.stats.expect("TM variant collects stats");
+        assert_eq!(r.counters.deferred_ops, 200);
+        assert_eq!(r.commit_latency_ns.count(), r.counters.total_commits());
+        assert_eq!(r.defer_queue_to_done_ns.count(), 200);
     }
 }

@@ -334,13 +334,13 @@ pub fn run_poolbench(cfg: &PoolBenchConfig, variant: PoolVariant, threads: usize
     let payload = vec![b'x'; cfg.payload];
     let nfiles = cfg.files;
 
-    let (elapsed, note) = match variant {
+    let (elapsed, note, stats) = match variant {
         PoolVariant::Mutex => {
             let pool = MutexPool::new(paths.clone(), cfg.max_open);
             let e = run_fixed_work(threads, cfg.total_ops, |_, i| {
                 pool.append(i % nfiles, &payload);
             });
-            (e, String::new())
+            (e, String::new(), None)
         }
         PoolVariant::Irrevoc => {
             let rt = Runtime::new(TmConfig::stm());
@@ -348,7 +348,7 @@ pub fn run_poolbench(cfg: &PoolBenchConfig, variant: PoolVariant, threads: usize
             let e = run_fixed_work(threads, cfg.total_ops, |_, i| {
                 pool.append(&rt, i % nfiles, &payload);
             });
-            (e, format!("{}", rt.stats()))
+            (e, format!("{}", rt.stats()), Some(rt.snapshot_stats()))
         }
         PoolVariant::Defer => {
             let rt = Runtime::new(TmConfig::stm());
@@ -356,7 +356,7 @@ pub fn run_poolbench(cfg: &PoolBenchConfig, variant: PoolVariant, threads: usize
             let e = run_fixed_work(threads, cfg.total_ops, |_, i| {
                 pool.append(&rt, i % nfiles, &payload).expect("append");
             });
-            (e, format!("{}", rt.stats()))
+            (e, format!("{}", rt.stats()), Some(rt.snapshot_stats()))
         }
     };
 
@@ -379,6 +379,7 @@ pub fn run_poolbench(cfg: &PoolBenchConfig, variant: PoolVariant, threads: usize
         threads,
         elapsed,
         note,
+        stats,
     }
 }
 
