@@ -28,7 +28,7 @@
 //! * `contended`  — every thread increments the *same* variable (maximum
 //!   conflict; throughput is dominated by aborts and retries).
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use ad_support::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 

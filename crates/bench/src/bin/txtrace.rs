@@ -17,7 +17,7 @@
 //! (default 2), `--vars N` shared counters (default 2; fewer = more
 //! conflicts), `--stats` (append the runtime's full stats report).
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use ad_support::sync::atomic::{AtomicU64, Ordering};
 
 use ad_bench::{arg_flag, arg_num};
 use ad_defer::{atomic_defer, Defer};

@@ -10,9 +10,9 @@
 //! the "well-designed lock-based code" TM must catch up with.
 
 use std::ops::Range;
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
+use ad_support::sync::atomic::{AtomicBool, Ordering};
 use ad_support::sync::{Condvar, Mutex};
 
 use super::{Backend, BackendConfig, OutputSink, OutputStats, SinkTarget};

@@ -121,7 +121,7 @@ impl std::fmt::Debug for TxCondvar {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
     use ad_stm::{atomically, TmConfig};

@@ -109,7 +109,7 @@ where
     Ok(())
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
     use crate::deferrable::Defer;

@@ -117,7 +117,7 @@ impl<T: ?Sized> Deref for LockedRef<'_, T> {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
     use ad_stm::{atomically, Runtime, TVar};

@@ -127,7 +127,7 @@ where
     Ok(handle)
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
     use ad_stm::atomically;

@@ -138,7 +138,7 @@ pub fn durable_write(tx: &mut Tx, file: &DurableFile, buf: &DeferBuffer) -> StmR
     })
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
     use ad_stm::atomically;

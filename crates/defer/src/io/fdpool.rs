@@ -262,7 +262,7 @@ impl FdPool {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
     use ad_stm::Runtime;

@@ -105,7 +105,7 @@ impl Write for MemorySink {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
     use ad_stm::{atomically, TVar};

@@ -60,6 +60,12 @@ pub mod io;
 mod owner;
 mod txlock;
 
+/// Loom-style model of the TxLock subscribe/acquire visibility protocol.
+/// Compiled only under `RUSTFLAGS="--cfg loom"` test builds — see
+/// VERIFICATION.md for what the model proves and how to run it.
+#[cfg(all(test, loom))]
+mod verify;
+
 pub use condvar::TxCondvar;
 pub use defer::{atomic_defer, atomic_defer_unordered};
 pub use deferrable::{Defer, Deferrable, LockedRef};

@@ -189,7 +189,7 @@ impl std::fmt::Debug for TxLock {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
     use ad_stm::atomically;

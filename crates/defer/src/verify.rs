@@ -1,0 +1,137 @@
+//! Loom-style model of the TxLock subscribe/acquire protocol (paper §4).
+//!
+//! The serializability argument of atomic deferral rests on one visibility
+//! property: a transaction that *subscribes* to a deferrable object's lock
+//! (every transactional accessor does, via [`Defer::with`]) can never
+//! commit having observed the half-applied state of a deferred operation.
+//! The mechanism: `subscribe` reads the lock's `owner` `TVar`, so the
+//! owning transaction's commit-time acquisition — and the post-operation
+//! release — both invalidate the subscriber, which aborts and re-executes.
+//!
+//! Two scenarios, two threads each, run under `ad_support::model`'s
+//! controlled scheduler (`RUSTFLAGS="--cfg loom"`):
+//!
+//! * [`subscribe_vs_deferred_write`] — the green model. A writer commits a
+//!   transaction whose deferred operation increments the object's two
+//!   (non-transactional) counters one at a time — a torn state `a != b`
+//!   exists while the lock is held. A reader repeatedly runs a subscribing
+//!   transaction that loads both counters, and asserts `a == b` *after*
+//!   each commit (mid-attempt observations may legitimately be torn — the
+//!   commit-time validation is exactly what discards those attempts).
+//! * The regression variant drops the subscription: the reader peeks at
+//!   the fields through [`Defer::peek_unsynchronized`] with no transaction
+//!   — the unlisted-object data race of §4.1 — and
+//!   [`model_catches_unsubscribed_read`] asserts the model observes a torn
+//!   pair. This guards the green model's sensitivity: if torn states ever
+//!   stop being produced (or observed), the subscription model proves
+//!   nothing.
+//!
+//! The whole STM stack runs under the model scheduler here — TL2 reads,
+//! commit-time validation, quiescence, the post-commit deferral queue, and
+//! the release-time `atomically` — so an execution is hundreds of
+//! scheduling points; seed counts are sized accordingly.
+
+use std::sync::Arc;
+
+use ad_stm::{Runtime, TmConfig};
+use ad_support::model::{check, check_expect_violation, CheckOpts, Exec};
+use ad_support::sync::atomic::{AtomicU64, Ordering};
+
+use crate::defer::atomic_defer;
+use crate::deferrable::Defer;
+
+/// The shared object: two plain (facade) atomics a deferred operation
+/// updates non-atomically, one after the other. No `TVar`s on purpose —
+/// nothing protects a reader from tearing except the TxLock protocol
+/// under test.
+struct Pair {
+    a: AtomicU64,
+    b: AtomicU64,
+}
+
+fn scenario(e: &mut Exec, subscribe: bool) {
+    let rt = Arc::new(Runtime::new(TmConfig::stm()));
+    let obj = Arc::new(Defer::new(Pair {
+        a: AtomicU64::new(0),
+        b: AtomicU64::new(0),
+    }));
+
+    // Writer: one transaction deferring a two-step update of the pair.
+    // Between the deferred op's two stores the state is torn, but the
+    // object's lock is held from the commit point until after the second
+    // store — subscribers must never commit an observation of it.
+    let (w_rt, w_obj) = (Arc::clone(&rt), Arc::clone(&obj));
+    e.spawn(move || {
+        let inner = Arc::clone(&w_obj);
+        w_rt.atomically(move |tx| {
+            let op_obj = Arc::clone(&inner);
+            atomic_defer(tx, &[&*inner], move || {
+                let p = op_obj.locked();
+                let a = p.a.load(Ordering::SeqCst);
+                p.a.store(a + 1, Ordering::SeqCst);
+                let b = p.b.load(Ordering::SeqCst);
+                p.b.store(b + 1, Ordering::SeqCst);
+            })
+        });
+    });
+
+    // Reader: a few observations of the pair.
+    let (r_rt, r_obj) = (rt, obj);
+    e.spawn(move || {
+        for _ in 0..2 {
+            let (a, b) = if subscribe {
+                // Through the protocol: subscribe, then load. Only the
+                // *committed* observation is asserted on — aborted attempts
+                // are allowed to see anything.
+                let o = Arc::clone(&r_obj);
+                r_rt.atomically(move |tx| {
+                    o.with(tx, |p, _| {
+                        Ok((p.a.load(Ordering::SeqCst), p.b.load(Ordering::SeqCst)))
+                    })
+                })
+            } else {
+                // BUG (deliberate): raw access, no subscription, no
+                // transaction — the §4.1 data race.
+                let p = r_obj.peek_unsynchronized();
+                (p.a.load(Ordering::SeqCst), p.b.load(Ordering::SeqCst))
+            };
+            assert_eq!(
+                a, b,
+                "observed a deferred operation's intermediate state: ({a}, {b})"
+            );
+        }
+    });
+}
+
+/// Green model: subscribing readers never observe torn deferred updates.
+#[test]
+fn subscribe_vs_deferred_write() {
+    check(
+        "txlock-subscribe-vs-deferred-write",
+        CheckOpts {
+            seeds: 600,
+            max_steps: 500_000,
+        },
+        |e| scenario(e, true),
+    );
+}
+
+/// Regression model: without the subscription the torn state is
+/// observable, and the model must find it. If this fails, the green model
+/// above has rotted into always-green.
+#[test]
+fn model_catches_unsubscribed_read() {
+    let violation = check_expect_violation(
+        CheckOpts {
+            seeds: 600,
+            max_steps: 500_000,
+        },
+        |e| scenario(e, false),
+    );
+    let (seed, msg) = violation
+        .expect("the unsubscribed-reader variant no longer observes a torn pair; re-tune");
+    assert!(
+        msg.contains("intermediate state"),
+        "expected a torn-pair observation, got (seed {seed}): {msg}"
+    );
+}

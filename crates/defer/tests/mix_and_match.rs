@@ -1,3 +1,5 @@
+#![cfg(not(loom))]
+
 //! §4.2's selling point, tested: with transaction-friendly locks,
 //! "programmers can mix and match lock-based and transaction-based
 //! synchronization, using whichever is appropriate".

@@ -1,3 +1,5 @@
+#![cfg(not(loom))]
+
 //! Property tests for the deferral layer: lock invariants and deferral
 //! semantics under randomized schedules.
 //!

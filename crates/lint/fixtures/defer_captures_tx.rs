@@ -1,0 +1,19 @@
+//! Fixture: deferred closures capturing the transaction.
+//! Each `tx` mention inside a deferred op must be flagged as
+//! `defer-captures-tx`.
+
+fn ordered(o: Defer<Obj>, v: TVar<u64>) {
+    atomically(|tx| {
+        atomic_defer(tx, &[&o.clone()], move || {
+            let _ = tx.read(&v); // FLAG: tx is dead after commit
+        })
+    });
+}
+
+fn unordered(v: TVar<u64>) {
+    atomically(|tx| {
+        atomic_defer_unordered(tx, move || {
+            tx.write(&v, 1); // FLAG
+        })
+    });
+}

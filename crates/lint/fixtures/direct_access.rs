@@ -1,0 +1,18 @@
+//! Fixture: non-transactional accessors inside atomic closures.
+//! Every access below must be flagged as `direct-access-in-atomic`.
+
+fn counter_bump(v: TVar<u64>) {
+    atomically(|tx| {
+        let x = v.load(); // FLAG: bypasses the read set
+        v.store(x + 1); // FLAG: bypasses the write set
+        Ok(())
+    });
+}
+
+fn peeking(o: Defer<Obj>) {
+    synchronized(|tx| {
+        o.peek_unsynchronized(); // FLAG: unsubscribed raw access
+        o.locked().field.update_locked(|x| x + 1); // FLAG
+        Ok(())
+    });
+}

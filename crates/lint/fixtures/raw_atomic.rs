@@ -1,0 +1,12 @@
+//! Fixture: raw std::sync::atomic outside the allowlist — invisible to
+//! loom models, which only see accesses through the ad-support facade.
+//! All three paths (two `std`, one `core`) must be flagged as `raw-atomic`.
+
+use std::sync::atomic::AtomicBool; // FLAG
+
+fn spin(stop: &std::sync::atomic::AtomicBool) {
+    // FLAG (the path above)
+    while !stop.load(core::sync::atomic::Ordering::Acquire) {
+        std::hint::spin_loop();
+    }
+}

@@ -1,0 +1,14 @@
+//! Fixture: Ordering::SeqCst outside the fence-disciplined allowlist.
+//! Both uses must be flagged as `seqcst-outside-allowlist`.
+
+use ad_support::sync::atomic::{AtomicU64, Ordering};
+
+static COUNT: AtomicU64 = AtomicU64::new(0);
+
+fn bump() -> u64 {
+    COUNT.fetch_add(1, Ordering::SeqCst) // FLAG
+}
+
+fn read() -> u64 {
+    COUNT.load(Ordering::SeqCst) // FLAG
+}

@@ -1,0 +1,837 @@
+//! # ad-lint — a lexical TM-contract checker for this workspace
+//!
+//! The atomic-deferral API has contracts the Rust type system cannot see
+//! (paper §4; DESIGN.md §7.1, VERIFICATION.md):
+//!
+//! * Inside an `atomically`/`synchronized` closure, shared state must be
+//!   accessed through the transaction (`tx.read`/`tx.write` or subscribing
+//!   accessors), never through the non-transactional escape hatches —
+//!   `TVar::load()`/`TVar::store(v)`, `update_locked`,
+//!   `peek_unsynchronized`. Those compile fine and even work most of the
+//!   time; they silently break opacity/serializability.
+//! * A deferred operation runs *after* its transaction commits: capturing
+//!   the `Tx` (or reading through it) inside the deferred closure is
+//!   nonsensical and, were it expressible, unsound. (The borrow checker
+//!   stops most of this; the lint catches the lexical shapes that sneak
+//!   through via raw identifiers, e.g. a cloned handle named `tx`.)
+//! * `Ordering::SeqCst` and raw `std::sync::atomic` are reserved for the
+//!   fence-disciplined core (`snapshot.rs`, `registry.rs`, `clock.rs`) and
+//!   the `ad-support` facade/model layer. Everywhere else, atomics must go
+//!   through `ad_support::sync::atomic` (so loom models see them) with the
+//!   weakest ordering that is argued correct — stray `SeqCst` usually
+//!   marks an unanalyzed protocol.
+//!
+//! The checker is deliberately **lexical**: a hand-rolled scanner over the
+//! token stream (comments and string literals stripped), no `syn`, no
+//! dependencies — this workspace builds offline. That costs precision at
+//! the margins (macro-generated code is invisible; a local variable named
+//! `tx` inside a deferred closure is flagged even if it is not a `Tx`),
+//! which is the right trade for a CI tripwire: cheap, deterministic, and
+//! every intentional exception is visible in the diff as an
+//! `// ad-lint: allow(<rule>)` marker on the offending (or preceding)
+//! line.
+//!
+//! Test code (`#[cfg(test)]`-gated items, `#[test]` functions, `tests/`
+//! and `fixtures/` directories) is skipped: tests routinely use the
+//! non-transactional accessors to set up and observe state, and that is
+//! fine — the contracts above bind production code paths.
+
+#![forbid(unsafe_code)]
+
+use std::collections::HashMap;
+use std::fmt;
+use std::path::Path;
+
+/// Rule: non-transactional accessor lexically inside an
+/// `atomically`/`synchronized` closure (outside any deferred-op closure,
+/// where direct access under the held lock is the point).
+pub const RULE_DIRECT_ACCESS: &str = "direct-access-in-atomic";
+/// Rule: the deferred closure of an `atomic_defer*` call mentions `tx`/`Tx`.
+pub const RULE_DEFER_CAPTURES_TX: &str = "defer-captures-tx";
+/// Rule: `Ordering::SeqCst` outside the fence-disciplined allowlist.
+pub const RULE_SEQCST: &str = "seqcst-outside-allowlist";
+/// Rule: raw `std::sync::atomic` outside the allowlist (use the
+/// `ad_support::sync::atomic` facade so loom models instrument the access).
+pub const RULE_RAW_ATOMIC: &str = "raw-atomic";
+
+/// Files (path-suffix/substring match, `/`-normalized) where `SeqCst` and
+/// raw `std::sync::atomic` are part of the audited fence discipline:
+/// the epoch-reclamation core, the registry and clock protocols, the
+/// `ad-support` facade/model layer itself, and the `verify` model suites
+/// (compiled only under `--cfg loom` test builds).
+const ATOMICS_ALLOWLIST: &[&str] = &[
+    "crates/support/",
+    "crates/stm/src/snapshot.rs",
+    "crates/stm/src/registry.rs",
+    "crates/stm/src/clock.rs",
+    "src/verify",
+];
+
+/// One violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// `/`-normalized path as given to the scanner.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// One of the `RULE_*` constants.
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Phase A: strip comments and literals, collect allow-markers
+// ---------------------------------------------------------------------------
+
+/// Replace comments, string literals, and char literals with spaces
+/// (newlines preserved, so token line numbers survive), and collect
+/// `ad-lint: allow(rule, ...)` markers found in comments, keyed by line.
+fn preprocess(src: &str) -> (String, HashMap<usize, Vec<String>>) {
+    let bytes: Vec<char> = src.chars().collect();
+    let mut out = String::with_capacity(src.len());
+    let mut allows: HashMap<usize, Vec<String>> = HashMap::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+
+    let record_comment = |text: &str, line: usize, allows: &mut HashMap<usize, Vec<String>>| {
+        if let Some(pos) = text.find("ad-lint:") {
+            let rest = &text[pos + "ad-lint:".len()..];
+            if let Some(open) = rest.find("allow(") {
+                if let Some(close) = rest[open..].find(')') {
+                    for rule in rest[open + "allow(".len()..open + close].split(',') {
+                        allows
+                            .entry(line)
+                            .or_default()
+                            .push(rule.trim().to_string());
+                    }
+                }
+            }
+        }
+    };
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            '\n' => {
+                out.push('\n');
+                line += 1;
+                i += 1;
+            }
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == '/' => {
+                let start = i;
+                while i < bytes.len() && bytes[i] != '\n' {
+                    out.push(' ');
+                    i += 1;
+                }
+                let text: String = bytes[start..i].iter().collect();
+                record_comment(&text, line, &mut allows);
+            }
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == '*' => {
+                let start_line = line;
+                let start = i;
+                i += 2;
+                out.push_str("  ");
+                let mut depth = 1;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == '/' && i + 1 < bytes.len() && bytes[i + 1] == '*' {
+                        depth += 1;
+                        out.push_str("  ");
+                        i += 2;
+                    } else if bytes[i] == '*' && i + 1 < bytes.len() && bytes[i + 1] == '/' {
+                        depth -= 1;
+                        out.push_str("  ");
+                        i += 2;
+                    } else if bytes[i] == '\n' {
+                        out.push('\n');
+                        line += 1;
+                        i += 1;
+                    } else {
+                        out.push(' ');
+                        i += 1;
+                    }
+                }
+                let text: String = bytes[start..i].iter().collect();
+                record_comment(&text, start_line, &mut allows);
+            }
+            '"' => {
+                out.push(' ');
+                i += 1;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        '\\' if i + 1 < bytes.len() => {
+                            out.push_str("  ");
+                            i += 2;
+                        }
+                        '"' => {
+                            out.push(' ');
+                            i += 1;
+                            break;
+                        }
+                        '\n' => {
+                            out.push('\n');
+                            line += 1;
+                            i += 1;
+                        }
+                        _ => {
+                            out.push(' ');
+                            i += 1;
+                        }
+                    }
+                }
+            }
+            'r' if i + 1 < bytes.len() && (bytes[i + 1] == '"' || bytes[i + 1] == '#') => {
+                // Raw string literal r"..." / r#"..."# (any hash count).
+                let mut j = i + 1;
+                let mut hashes = 0;
+                while j < bytes.len() && bytes[j] == '#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if j < bytes.len() && bytes[j] == '"' {
+                    out.push(' ');
+                    for _ in i + 1..=j {
+                        out.push(' ');
+                    }
+                    i = j + 1;
+                    // Scan for `"` followed by `hashes` hash marks.
+                    'raw: while i < bytes.len() {
+                        if bytes[i] == '"' {
+                            let mut k = 0;
+                            while k < hashes && i + 1 + k < bytes.len() && bytes[i + 1 + k] == '#' {
+                                k += 1;
+                            }
+                            if k == hashes {
+                                for _ in 0..=hashes {
+                                    out.push(' ');
+                                }
+                                i += 1 + hashes;
+                                break 'raw;
+                            }
+                        }
+                        if bytes[i] == '\n' {
+                            out.push('\n');
+                            line += 1;
+                        } else {
+                            out.push(' ');
+                        }
+                        i += 1;
+                    }
+                } else {
+                    // `r` not starting a raw string (e.g. an identifier).
+                    out.push(c);
+                    i += 1;
+                }
+            }
+            '\'' => {
+                // Char literal vs. lifetime: a literal closes with `'`
+                // within a few chars; a lifetime has no closing quote.
+                let close = if i + 2 < bytes.len() && bytes[i + 1] == '\\' {
+                    // Escaped char: find the next quote (bounded).
+                    (i + 2..bytes.len().min(i + 8)).find(|&j| bytes[j] == '\'')
+                } else if i + 2 < bytes.len() && bytes[i + 2] == '\'' {
+                    Some(i + 2)
+                } else {
+                    None
+                };
+                match close {
+                    Some(end) => {
+                        for _ in i..=end {
+                            out.push(' ');
+                        }
+                        i = end + 1;
+                    }
+                    None => {
+                        // Lifetime: keep the tick so `'a` never merges
+                        // surrounding tokens, drop into normal handling.
+                        out.push(' ');
+                        i += 1;
+                    }
+                }
+            }
+            _ => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    (out, allows)
+}
+
+// ---------------------------------------------------------------------------
+// Phase B: lex into identifiers and punctuation
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    P(char),
+}
+
+fn lex(code: &str) -> Vec<(Tok, usize)> {
+    let mut toks = Vec::new();
+    let mut line = 1usize;
+    let mut it = code.chars().peekable();
+    while let Some(&c) = it.peek() {
+        if c == '\n' {
+            line += 1;
+            it.next();
+        } else if c.is_whitespace() {
+            it.next();
+        } else if c.is_alphanumeric() || c == '_' {
+            let mut s = String::new();
+            while let Some(&d) = it.peek() {
+                if d.is_alphanumeric() || d == '_' {
+                    s.push(d);
+                    it.next();
+                } else {
+                    break;
+                }
+            }
+            toks.push((Tok::Ident(s), line));
+        } else {
+            toks.push((Tok::P(c), line));
+            it.next();
+        }
+    }
+    toks
+}
+
+// ---------------------------------------------------------------------------
+// Phase C: region-tracking scan
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RegionKind {
+    /// Inside the parens of an `atomically(...)`/`synchronized(...)` call.
+    Atomic,
+    /// Inside an `atomic_defer*` call, before its deferred-closure argument.
+    DeferCall,
+    /// Inside the deferred-closure argument of an `atomic_defer*` call.
+    DeferOp,
+}
+
+struct Region {
+    kind: RegionKind,
+    /// Paren depth inside the call's argument list.
+    entry: usize,
+    /// For `DeferCall`: top-level commas seen / commas before the closure.
+    commas: usize,
+    threshold: usize,
+}
+
+fn ident(t: &Tok) -> Option<&str> {
+    match t {
+        Tok::Ident(s) => Some(s.as_str()),
+        Tok::P(_) => None,
+    }
+}
+
+fn is_p(t: &Tok, c: char) -> bool {
+    matches!(t, Tok::P(p) if *p == c)
+}
+
+/// Scan one file's source. `file` is used for reporting and for the
+/// atomics allowlist (match on `/`-normalized substrings).
+pub fn scan_source(file: &str, src: &str) -> Vec<Finding> {
+    let (code, allows) = preprocess(src);
+    let toks = lex(&code);
+    let atomics_allowed = ATOMICS_ALLOWLIST.iter().any(|p| file.contains(p));
+
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut regions: Vec<Region> = Vec::new();
+    let mut paren_depth = 0usize;
+    let mut brace_depth = 0usize;
+    let mut pending_test = false;
+    let mut test_skip_depth: Option<usize> = None;
+
+    let allowed = |allows: &HashMap<usize, Vec<String>>, line: usize, rule: &str| {
+        [line, line.saturating_sub(1)].iter().any(|l| {
+            allows
+                .get(l)
+                .is_some_and(|rs| rs.iter().any(|r| r == rule || r == "all"))
+        })
+    };
+    let push = |findings: &mut Vec<Finding>, line: usize, rule: &'static str, msg: String| {
+        if !allowed(&allows, line, rule) {
+            findings.push(Finding {
+                file: file.to_string(),
+                line,
+                rule,
+                message: msg,
+            });
+        }
+    };
+
+    let mut i = 0usize;
+    while i < toks.len() {
+        let (tok, line) = (&toks[i].0, toks[i].1);
+        let in_test = test_skip_depth.is_some();
+        match tok {
+            Tok::P('#') if i + 1 < toks.len() && is_p(&toks[i + 1].0, '[') => {
+                // Attribute: collect its tokens to the matching `]`.
+                let mut depth = 0usize;
+                let mut text = String::new();
+                let mut j = i + 1;
+                while j < toks.len() {
+                    match &toks[j].0 {
+                        Tok::P('[') => depth += 1,
+                        Tok::P(']') => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        Tok::Ident(s) => {
+                            text.push_str(s);
+                            text.push(' ');
+                        }
+                        Tok::P(c) => text.push(*c),
+                    }
+                    j += 1;
+                }
+                if !in_test && text.contains("test") && !text.contains("not(test") {
+                    pending_test = true;
+                }
+                i = j + 1;
+                continue;
+            }
+            Tok::P('{') => {
+                brace_depth += 1;
+                if pending_test && test_skip_depth.is_none() {
+                    test_skip_depth = Some(brace_depth);
+                    pending_test = false;
+                }
+            }
+            Tok::P('}') => {
+                if test_skip_depth == Some(brace_depth) {
+                    test_skip_depth = None;
+                }
+                brace_depth = brace_depth.saturating_sub(1);
+            }
+            Tok::P(';') if pending_test && test_skip_depth.is_none() && paren_depth == 0 => {
+                // `#[cfg(test)]` on a braceless item (e.g. a `use`).
+                pending_test = false;
+            }
+            Tok::P('(') => {
+                paren_depth += 1;
+                // Did an interesting identifier introduce this call?
+                if let Some(name) = i.checked_sub(1).and_then(|p| ident(&toks[p].0)) {
+                    let reg = match name {
+                        "atomically" | "synchronized" => Some((RegionKind::Atomic, 0)),
+                        "atomic_defer" | "atomic_defer_with_result" => {
+                            Some((RegionKind::DeferCall, 2))
+                        }
+                        "atomic_defer_unordered" => Some((RegionKind::DeferCall, 1)),
+                        _ => None,
+                    };
+                    if let Some((kind, threshold)) = reg {
+                        regions.push(Region {
+                            kind,
+                            entry: paren_depth,
+                            commas: 0,
+                            threshold,
+                        });
+                    }
+                }
+            }
+            Tok::P(')') => {
+                if regions.last().is_some_and(|r| r.entry == paren_depth) {
+                    regions.pop();
+                }
+                paren_depth = paren_depth.saturating_sub(1);
+            }
+            Tok::P(',') => {
+                if let Some(r) = regions.last_mut() {
+                    if r.kind == RegionKind::DeferCall && r.entry == paren_depth {
+                        r.commas += 1;
+                        if r.commas >= r.threshold {
+                            r.kind = RegionKind::DeferOp;
+                        }
+                    }
+                }
+            }
+            Tok::P('.') if !in_test => {
+                // Method call `.name(`?
+                let name = toks.get(i + 1).and_then(|t| ident(&t.0));
+                let is_call = toks.get(i + 2).is_some_and(|t| is_p(&t.0, '('));
+                if let (Some(name), true) = (name, is_call) {
+                    let innermost = regions.last().map(|r| r.kind);
+                    if innermost == Some(RegionKind::Atomic) {
+                        let bad = match name {
+                            "load" => toks.get(i + 3).is_some_and(|t| is_p(&t.0, ')')),
+                            "store" => !call_args_mention(&toks, i + 2, "Ordering"),
+                            "update_locked" | "peek_unsynchronized" => true,
+                            _ => false,
+                        };
+                        if bad {
+                            push(
+                                &mut findings,
+                                line,
+                                RULE_DIRECT_ACCESS,
+                                format!(
+                                    "non-transactional accessor `.{name}(...)` inside an \
+                                     atomic closure; go through the transaction \
+                                     (tx.read/tx.write or a subscribing accessor)"
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+            Tok::Ident(s) if !in_test => {
+                let innermost = regions.last().map(|r| r.kind);
+                if innermost == Some(RegionKind::DeferOp) && (s == "tx" || s == "Tx") {
+                    push(
+                        &mut findings,
+                        line,
+                        RULE_DEFER_CAPTURES_TX,
+                        "deferred closure mentions the transaction: deferred operations \
+                         run after commit and must not capture `Tx` (or anything read \
+                         through it)"
+                            .to_string(),
+                    );
+                }
+                if s == "SeqCst" && !atomics_allowed {
+                    push(
+                        &mut findings,
+                        line,
+                        RULE_SEQCST,
+                        "Ordering::SeqCst outside the fence-disciplined core; use the \
+                         weakest ordering that is argued correct, or move the protocol \
+                         into the audited allowlist"
+                            .to_string(),
+                    );
+                }
+                if (s == "std" || s == "core")
+                    && !atomics_allowed
+                    && path_follows(&toks, i, &["sync", "atomic"])
+                {
+                    push(
+                        &mut findings,
+                        line,
+                        RULE_RAW_ATOMIC,
+                        format!(
+                            "raw {s}::sync::atomic; use ad_support::sync::atomic so \
+                             loom models instrument the access"
+                        ),
+                    );
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    findings
+}
+
+/// Does the (balanced) argument list opening at `open` (index of `(`)
+/// mention `needle` as an identifier?
+fn call_args_mention(toks: &[(Tok, usize)], open: usize, needle: &str) -> bool {
+    let mut depth = 0usize;
+    for (t, _) in &toks[open..] {
+        match t {
+            Tok::P('(') => depth += 1,
+            Tok::P(')') => {
+                depth -= 1;
+                if depth == 0 {
+                    return false;
+                }
+            }
+            Tok::Ident(s) if s == needle => return true,
+            _ => {}
+        }
+    }
+    false
+}
+
+/// Is `toks[i]` followed by `::seg` for each segment in `path`?
+fn path_follows(toks: &[(Tok, usize)], i: usize, path: &[&str]) -> bool {
+    let mut j = i + 1;
+    for seg in path {
+        if !(toks.get(j).is_some_and(|t| is_p(&t.0, ':'))
+            && toks.get(j + 1).is_some_and(|t| is_p(&t.0, ':'))
+            && toks.get(j + 2).and_then(|t| ident(&t.0)) == Some(*seg))
+        {
+            return false;
+        }
+        j += 3;
+    }
+    true
+}
+
+// ---------------------------------------------------------------------------
+// Workspace walking
+// ---------------------------------------------------------------------------
+
+/// Directories never scanned: build output, VCS, test-only trees, and the
+/// lint's own deliberately-bad fixtures.
+const SKIP_DIRS: &[&str] = &["target", ".git", "tests", "benches", "fixtures"];
+
+/// Recursively scan every `.rs` file under `root` (skipping [`SKIP_DIRS`])
+/// and return all findings, sorted by file and line.
+pub fn scan_tree(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        if dir.is_file() {
+            scan_file(&dir, &mut findings)?;
+            continue;
+        }
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if !SKIP_DIRS.contains(&name.as_ref()) {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                scan_file(&path, &mut findings)?;
+            }
+        }
+    }
+    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(findings)
+}
+
+fn scan_file(path: &Path, findings: &mut Vec<Finding>) -> std::io::Result<()> {
+    let src = std::fs::read_to_string(path)?;
+    let file = path.to_string_lossy().replace('\\', "/");
+    findings.extend(scan_source(&file, &src));
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules(findings: &[Finding]) -> Vec<&'static str> {
+        findings.iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn direct_load_and_store_in_atomic_are_flagged() {
+        let src = r#"
+            fn f(v: TVar<u64>) {
+                atomically(|tx| {
+                    let x = v.load();
+                    v.store(x + 1);
+                    Ok(())
+                });
+            }
+        "#;
+        let f = scan_source("crates/demo/src/lib.rs", src);
+        assert_eq!(rules(&f), vec![RULE_DIRECT_ACCESS, RULE_DIRECT_ACCESS]);
+        assert_eq!(f[0].line, 4);
+        assert_eq!(f[1].line, 5);
+    }
+
+    #[test]
+    fn atomic_store_with_ordering_is_not_a_tvar_store() {
+        let src = "
+            fn f(flag: AtomicBool) {
+                atomically(|tx| { flag.store(true, Ordering::Release); Ok(()) });
+            }
+        ";
+        // The Ordering argument marks this as a (facade) atomic, not a
+        // TVar accessor — a different contract, not this rule's business.
+        let f = scan_source("crates/demo/src/lib.rs", src);
+        assert_eq!(rules(&f), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn update_locked_and_peek_in_atomic_are_flagged() {
+        let src = "
+            fn f(o: Defer<Obj>) {
+                synchronized(|tx| {
+                    o.peek_unsynchronized().a.update_locked(|x| x);
+                    Ok(())
+                });
+            }
+        ";
+        let f = scan_source("crates/demo/src/lib.rs", src);
+        assert_eq!(rules(&f), vec![RULE_DIRECT_ACCESS, RULE_DIRECT_ACCESS]);
+    }
+
+    #[test]
+    fn deferred_closure_is_exempt_from_direct_access() {
+        let src = "
+            fn f(o: Defer<Obj>) {
+                atomically(|tx| {
+                    let o2 = o.clone();
+                    atomic_defer(tx, &[&o.clone()], move || {
+                        o2.locked().a.store(1);
+                        o2.locked().b.update_locked(|x| x + 1);
+                    })
+                });
+            }
+        ";
+        // Direct access *is* the point of a deferred op (the lock is held);
+        // and the `tx` in argument position 1 is outside the closure.
+        let f = scan_source("crates/demo/src/lib.rs", src);
+        assert_eq!(rules(&f), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn deferred_closure_capturing_tx_is_flagged() {
+        let src = "
+            fn f(o: Defer<Obj>, v: TVar<u64>) {
+                atomically(|tx| {
+                    atomic_defer(tx, &[&o.clone()], move || {
+                        let _ = tx.read(&v);
+                    })
+                });
+            }
+        ";
+        let f = scan_source("crates/demo/src/lib.rs", src);
+        assert_eq!(rules(&f), vec![RULE_DEFER_CAPTURES_TX]);
+        assert_eq!(f[0].line, 5);
+    }
+
+    #[test]
+    fn unordered_defer_threshold_is_one_comma() {
+        let src = "
+            fn f() {
+                atomically(|tx| {
+                    atomic_defer_unordered(tx, move || {
+                        tx.commit();
+                    })
+                });
+            }
+        ";
+        let f = scan_source("crates/demo/src/lib.rs", src);
+        assert_eq!(rules(&f), vec![RULE_DEFER_CAPTURES_TX]);
+    }
+
+    #[test]
+    fn seqcst_flagged_outside_allowlist_only() {
+        let src = "fn f(a: AtomicU64) { a.load(Ordering::SeqCst); }";
+        assert_eq!(
+            rules(&scan_source("crates/demo/src/lib.rs", src)),
+            vec![RULE_SEQCST]
+        );
+        assert_eq!(
+            rules(&scan_source("crates/stm/src/snapshot.rs", src)),
+            Vec::<&str>::new()
+        );
+        assert_eq!(
+            rules(&scan_source("crates/support/src/model.rs", src)),
+            Vec::<&str>::new()
+        );
+    }
+
+    #[test]
+    fn raw_atomic_path_flagged_outside_allowlist_only() {
+        let src = "use std::sync::atomic::AtomicU64;";
+        assert_eq!(
+            rules(&scan_source("crates/stm/src/tx.rs", src)),
+            vec![RULE_RAW_ATOMIC]
+        );
+        assert_eq!(
+            rules(&scan_source("crates/support/src/sync.rs", src)),
+            Vec::<&str>::new()
+        );
+        // Unrelated std paths are fine.
+        assert_eq!(
+            rules(&scan_source(
+                "crates/stm/src/tx.rs",
+                "use std::sync::Arc;"
+            )),
+            Vec::<&str>::new()
+        );
+    }
+
+    #[test]
+    fn allow_marker_suppresses_on_same_or_previous_line() {
+        let src = "
+            fn f(a: AtomicU64) {
+                a.load(Ordering::SeqCst); // ad-lint: allow(seqcst-outside-allowlist)
+                // ad-lint: allow(seqcst-outside-allowlist)
+                a.load(Ordering::SeqCst);
+                a.load(Ordering::SeqCst);
+            }
+        ";
+        let f = scan_source("crates/demo/src/lib.rs", src);
+        assert_eq!(rules(&f), vec![RULE_SEQCST]);
+        assert_eq!(f[0].line, 6, "only the unannotated use survives");
+    }
+
+    #[test]
+    fn cfg_test_items_are_skipped() {
+        let src = "
+            fn prod(v: TVar<u64>) {
+                atomically(|tx| { v.load(); Ok(()) });
+            }
+            #[cfg(all(test, not(loom)))]
+            mod tests {
+                fn t(v: TVar<u64>) {
+                    atomically(|tx| { v.load(); Ok(()) });
+                    let x = Ordering::SeqCst;
+                }
+            }
+        ";
+        let f = scan_source("crates/demo/src/lib.rs", src);
+        assert_eq!(rules(&f), vec![RULE_DIRECT_ACCESS]);
+        assert_eq!(f[0].line, 3, "only the production occurrence");
+    }
+
+    #[test]
+    fn comments_and_strings_do_not_produce_findings() {
+        let src = r##"
+            // atomically(|tx| v.load());
+            /* Ordering::SeqCst */
+            fn f() {
+                let s = "atomically(|tx| v.load()) Ordering::SeqCst";
+                let r = r#"std::sync::atomic"#;
+            }
+        "##;
+        assert_eq!(
+            rules(&scan_source("crates/demo/src/lib.rs", src)),
+            Vec::<&str>::new()
+        );
+    }
+
+    #[test]
+    fn nested_transaction_inside_deferred_op_is_checked_again() {
+        // A deferred op may legitimately run its own transactions; direct
+        // accessors inside *that* nested atomic closure are violations
+        // again.
+        let src = "
+            fn f(o: Defer<Obj>, v: TVar<u64>) {
+                atomically(|tx| {
+                    atomic_defer(tx, &[&o.clone()], move || {
+                        atomically(|tx2| { v.load(); Ok(()) });
+                    })
+                });
+            }
+        ";
+        let f = scan_source("crates/demo/src/lib.rs", src);
+        assert_eq!(rules(&f), vec![RULE_DIRECT_ACCESS]);
+    }
+
+    #[test]
+    fn cfg_test_attribute_on_fn_is_skipped() {
+        let src = "
+            #[cfg(test)]
+            pub(crate) fn force(v: &V) {
+                v.version.store(1, Ordering::SeqCst);
+            }
+            fn prod() { let o = Ordering::SeqCst; }
+        ";
+        let f = scan_source("crates/demo/src/lib.rs", src);
+        assert_eq!(rules(&f), vec![RULE_SEQCST]);
+        assert_eq!(f[0].line, 6);
+    }
+}

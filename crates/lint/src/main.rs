@@ -1,0 +1,49 @@
+//! CLI for the ad-lint TM-contract checker.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p ad-lint                 # scan the workspace
+//! cargo run -p ad-lint -- PATH...      # scan specific files/directories
+//! ```
+//!
+//! Exits non-zero if any finding survives its `ad-lint: allow(...)`
+//! markers. Run it from anywhere inside the workspace; with no arguments
+//! it scans the workspace root (two levels up from this crate).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<PathBuf> = std::env::args_os().skip(1).map(PathBuf::from).collect();
+    let roots = if args.is_empty() {
+        let mut root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+        root.pop(); // crates/
+        root.pop(); // workspace root
+        vec![root]
+    } else {
+        args
+    };
+
+    let mut findings = Vec::new();
+    for root in &roots {
+        match ad_lint::scan_tree(root) {
+            Ok(fs) => findings.extend(fs),
+            Err(e) => {
+                eprintln!("ad-lint: failed to scan {}: {e}", root.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    for f in &findings {
+        println!("{f}");
+    }
+    if findings.is_empty() {
+        eprintln!("ad-lint: clean");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("ad-lint: {} finding(s)", findings.len());
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,62 @@
+//! The fixture files under `fixtures/` are deliberately-bad code the
+//! workspace walk skips (the directory is in `SKIP_DIRS`); here each one
+//! is scanned explicitly and must produce exactly its advertised findings.
+//! This is the CI acceptance check that the lint actually rejects the
+//! shapes it claims to — if a rule rots into always-clean, this fails.
+
+use std::path::Path;
+
+use ad_lint::{
+    scan_tree, RULE_DEFER_CAPTURES_TX, RULE_DIRECT_ACCESS, RULE_RAW_ATOMIC, RULE_SEQCST,
+};
+
+fn fixture(name: &str) -> Vec<&'static str> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name);
+    scan_tree(&path)
+        .expect("fixture readable")
+        .into_iter()
+        .map(|f| f.rule)
+        .collect()
+}
+
+#[test]
+fn direct_access_fixture_is_rejected() {
+    assert_eq!(fixture("direct_access.rs"), vec![RULE_DIRECT_ACCESS; 4]);
+}
+
+#[test]
+fn defer_captures_tx_fixture_is_rejected() {
+    assert_eq!(
+        fixture("defer_captures_tx.rs"),
+        vec![RULE_DEFER_CAPTURES_TX; 2]
+    );
+}
+
+#[test]
+fn seqcst_fixture_is_rejected() {
+    assert_eq!(fixture("seqcst.rs"), vec![RULE_SEQCST; 2]);
+}
+
+#[test]
+fn raw_atomic_fixture_is_rejected() {
+    assert_eq!(fixture("raw_atomic.rs"), vec![RULE_RAW_ATOMIC; 3]);
+}
+
+#[test]
+fn every_fixture_fails_the_scan() {
+    // The property CI relies on: pointing the binary at the fixture
+    // directory must exit non-zero, i.e. the scan finds something in
+    // every file.
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+    for entry in std::fs::read_dir(&dir).expect("fixtures dir") {
+        let path = entry.expect("entry").path();
+        let findings = scan_tree(&path).expect("fixture readable");
+        assert!(
+            !findings.is_empty(),
+            "fixture {} produced no findings",
+            path.display()
+        );
+    }
+}

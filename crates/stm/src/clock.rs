@@ -7,7 +7,7 @@
 //! all runtimes, so their version numbers must come from one totally ordered
 //! source.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use ad_support::sync::atomic::{AtomicU64, Ordering};
 
 static GLOBAL_CLOCK: AtomicU64 = AtomicU64::new(0);
 
@@ -39,7 +39,7 @@ pub fn is_locked(version: u64) -> bool {
     version & 1 == 1
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
 

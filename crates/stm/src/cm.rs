@@ -85,7 +85,7 @@ impl ContentionManager {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
 

@@ -68,6 +68,12 @@ pub struct TmConfig {
     pub retry_policy: RetryPolicy,
     /// Upper bound on contention-manager backoff spins (exponential from 64).
     pub max_backoff_spins: u32,
+    /// Capacity, in events, of each thread's trace ring (rounded up to a
+    /// power of two, minimum 2). Older events are overwritten once the ring
+    /// wraps between drains; `Trace::dropped` counts the overwritten ones.
+    /// Smaller rings cost less memory per thread, larger ones survive
+    /// longer gaps between `Runtime::take_trace` calls. Default 16384.
+    pub trace_ring_events: usize,
 }
 
 impl TmConfig {
@@ -80,6 +86,7 @@ impl TmConfig {
             quiesce: true,
             retry_policy: RetryPolicy::Spin,
             max_backoff_spins: 1 << 14,
+            trace_ring_events: 1 << 14,
         }
     }
 
@@ -92,6 +99,7 @@ impl TmConfig {
             quiesce: false,
             retry_policy: RetryPolicy::Spin,
             max_backoff_spins: 1 << 10,
+            trace_ring_events: 1 << 14,
         }
     }
 
@@ -122,6 +130,13 @@ impl TmConfig {
         self
     }
 
+    /// Builder-style override of the per-thread trace ring capacity (in
+    /// events; rounded up to a power of two, minimum 2, at ring creation).
+    pub fn with_trace_ring(mut self, events: usize) -> Self {
+        self.trace_ring_events = events;
+        self
+    }
+
     /// True when running as simulated HTM.
     pub fn is_htm(&self) -> bool {
         matches!(self.mode, Mode::HtmSim(_))
@@ -134,7 +149,7 @@ impl Default for TmConfig {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
 
@@ -160,10 +175,12 @@ mod tests {
             .with_serialize_after(5)
             .with_quiesce(true)
             .with_retry_policy(RetryPolicy::Park)
-            .with_htm_capacity(1024);
+            .with_htm_capacity(1024)
+            .with_trace_ring(256);
         assert_eq!(c.serialize_after, 5);
         assert!(c.quiesce);
         assert_eq!(c.retry_policy, RetryPolicy::Park);
+        assert_eq!(c.trace_ring_events, 256);
         match c.mode {
             Mode::HtmSim(h) => assert_eq!(h.capacity_bytes, 1024),
             _ => panic!("expected HTM mode"),

@@ -54,7 +54,7 @@ impl std::error::Error for StmError {}
 /// Result type returned by transactional closures.
 pub type StmResult<T> = Result<T, StmError>;
 
-#[cfg(test)]
+#[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
 

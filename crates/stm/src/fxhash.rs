@@ -60,7 +60,7 @@ pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
 /// `HashSet` specialized with FxHash.
 pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
 
-#[cfg(test)]
+#[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
 

@@ -90,6 +90,13 @@ mod trace;
 mod tx;
 mod var;
 
+/// Loom-style concurrency models of the crate's riskiest protocols
+/// (epoch retirement vs. pinned readers, quiescence vs. in-flight
+/// commits). Compiled only under `RUSTFLAGS="--cfg loom"` test builds —
+/// see VERIFICATION.md for what each model proves and how to run them.
+#[cfg(all(test, loom))]
+mod verify;
+
 pub use config::{HtmConfig, Mode, RetryPolicy, TmConfig};
 pub use error::{StmError, StmResult};
 pub use runtime::{atomically, synchronized, Runtime};

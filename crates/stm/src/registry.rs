@@ -20,7 +20,7 @@
 //! runtime for the quiescence ablation benchmark.
 
 use std::cell::RefCell;
-use std::sync::atomic::{AtomicU64, Ordering};
+use ad_support::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -190,7 +190,7 @@ impl Registry {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
     use std::time::Duration;

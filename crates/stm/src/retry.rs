@@ -11,7 +11,7 @@
 //! committer that writes one of them. The difference between the two is an
 //! ablation benchmark (`retry_ablation`).
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use ad_support::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::Thread;
 use std::time::Duration;
@@ -132,7 +132,7 @@ impl WatchList {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
     use crate::var::new_value;

@@ -2,7 +2,7 @@
 //! waiting, serial escalation, and post-commit (deferred-operation)
 //! execution.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use ad_support::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use ad_support::sync::RwLock;
@@ -94,7 +94,7 @@ impl Runtime {
                 serial: RwLock::new(()),
                 registry: Registry::default(),
                 stats: Stats::default(),
-                sink: TraceSink::default(),
+                sink: TraceSink::new(cfg.trace_ring_events),
             }),
         }
     }

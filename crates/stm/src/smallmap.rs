@@ -99,7 +99,7 @@ impl<V> SmallMap<V> {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
 

@@ -72,7 +72,7 @@
 #![allow(unsafe_code)]
 
 use std::cell::RefCell;
-use std::sync::atomic::{fence, AtomicBool, AtomicPtr, AtomicU64, Ordering};
+use ad_support::sync::atomic::{fence, AtomicBool, AtomicPtr, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use ad_support::sync::Mutex;
@@ -141,7 +141,9 @@ struct Retired {
 unsafe impl Send for Retired {}
 
 /// Cap on the per-thread free list of recycled `Value` allocations. Beyond
-/// this, reclaimed boxes are returned to the system allocator.
+/// this, reclaimed boxes are returned to the system allocator. (Model
+/// builds never recycle — freed values are poisoned and leaked instead.)
+#[cfg(not(loom))]
 const FREE_LIST_CAP: usize = 64;
 
 /// Thread-local reclamation state: the participant slot, the bag of
@@ -325,6 +327,25 @@ fn collect(bag: &mut Vec<Retired>) -> Vec<Retired> {
     free
 }
 
+/// Model-checking face of [`free_garbage`]: under `--cfg loom` a "free"
+/// registers the address in the poison registry and leaks the allocation
+/// (no drop, no recycling, no `dealloc`). A reader that dereferences a
+/// reclaimed pointer then fails a deterministic assertion inside the model
+/// instead of touching freed memory, and because nothing is ever returned
+/// to the allocator no address is reused, so stale poison entries cannot
+/// produce false positives.
+#[cfg(loom)]
+fn free_garbage(garbage: Vec<Retired>) {
+    if garbage.is_empty() {
+        return;
+    }
+    FREED_TOTAL.fetch_add(garbage.len() as u64, Ordering::Relaxed);
+    for r in garbage {
+        ad_support::model::poison(r.ptr as usize);
+    }
+}
+
+#[cfg(not(loom))]
 fn free_garbage(garbage: Vec<Retired>) {
     if garbage.is_empty() {
         return;
@@ -431,6 +452,15 @@ impl SnapshotCell {
                 let mut h = h.borrow_mut();
                 h.pin();
                 let p = self.ptr.load(Ordering::Acquire);
+                // Model builds: a scheduling point *between* the pointer
+                // load and the dereference (exactly the window the epoch
+                // pin must protect), then a use-after-free check against
+                // the poison registry. The `reader_window` turnstile is
+                // inert unless a staged regression scenario armed it.
+                #[cfg(loom)]
+                model_hooks::reader_window();
+                #[cfg(loom)]
+                ad_support::model::assert_not_poisoned(p as usize, "SnapshotCell::load");
                 // SAFETY: `p` was published by `new`/`store` (invariant 1)
                 // and this thread is pinned, so reclamation cannot have
                 // freed it (invariant 2, two-epoch rule).
@@ -454,6 +484,8 @@ impl SnapshotCell {
         part.epoch.store(e, Ordering::Relaxed);
         fence(Ordering::SeqCst);
         let p = self.ptr.load(Ordering::Acquire);
+        #[cfg(loom)]
+        ad_support::model::assert_not_poisoned(p as usize, "SnapshotCell::load_slow");
         // SAFETY: as in `load` — pinned via the temporary participant.
         let val = unsafe { (*p).clone() };
         part.epoch.store(INACTIVE, Ordering::Release);
@@ -506,9 +538,50 @@ impl SnapshotCell {
             h.unpin();
         });
         if retired.is_err() {
-            // Thread-local teardown (no Handle): unlink with the same
-            // fenced tag, using a one-shot participant as the pin, and
-            // donate straight to the orphan list.
+            self.store_teardown_path(new);
+        }
+    }
+
+    /// DELIBERATELY BUGGY store used only by tests: this is the exact PR-1
+    /// soundness bug (fixed in commit 0b01d8c) reintroduced behind
+    /// `cfg(test)` — the retirement tag is read *before* the unlink swap,
+    /// so a concurrent epoch advance between the tag read and the swap
+    /// produces a stale tag `E` smaller than a concurrent reader's pin
+    /// epoch, and the two-epoch rule frees the old value under that
+    /// reader. It exists so the `verify` loom model has a known-bad
+    /// implementation to catch: `verify::snapshot_model::
+    /// model_catches_stale_retirement_tag` asserts that the retire-vs-pin
+    /// model finds a use-after-free for this variant, guarding the model
+    /// itself against rotting into always-green.
+    #[cfg(test)]
+    pub(crate) fn store_weak_tag(&self, value: Value) {
+        let new = alloc_value(value);
+        let retired = HANDLE.try_with(|h| {
+            let mut h = h.borrow_mut();
+            h.pin();
+            // BUG (kept intentionally): tag read before the swap, no
+            // post-swap fence. Compare with `store` above.
+            let epoch = EPOCH.load(Ordering::Relaxed);
+            // The race window the early tag read opens. The turnstile is
+            // inert unless a staged regression scenario armed it.
+            #[cfg(loom)]
+            model_hooks::stale_tag_window();
+            let old = self.ptr.swap(new, Ordering::AcqRel);
+            h.bag.push(Retired { ptr: old, epoch });
+            h.retired_unpublished += 1;
+            h.unpin();
+        });
+        if retired.is_err() {
+            self.store_teardown_path(new);
+        }
+    }
+
+    /// Shared slow path for a store during thread-local teardown (no
+    /// `Handle`): unlink with the correctly fenced tag, using a one-shot
+    /// participant as the pin, and donate straight to the orphan list.
+    #[cold]
+    fn store_teardown_path(&self, new: *mut Value) {
+        {
             let part = Arc::new(Participant {
                 epoch: AtomicU64::new(INACTIVE),
             });
@@ -539,15 +612,141 @@ impl Drop for SnapshotCell {
         // `&mut self` proves no concurrent reader exists (a reader must
         // reach the cell through a live `Arc<VarCore>`), so the current
         // pointer can be freed directly without going through a bag.
-        let p = *self.ptr.get_mut();
-        // SAFETY: invariant 1; exclusive access per above.
-        unsafe {
-            drop(Box::from_raw(p));
+        //
+        // Model builds leak instead: returning memory to the allocator
+        // would let a later allocation land on a poisoned address and
+        // produce a false use-after-free (see the loom `free_garbage`).
+        #[cfg(not(loom))]
+        {
+            let p = *self.ptr.get_mut();
+            // SAFETY: invariant 1; exclusive access per above.
+            unsafe {
+                drop(Box::from_raw(p));
+            }
         }
     }
 }
 
-#[cfg(test)]
+/// Model-checking hooks: the `verify` suite needs to drive collection and
+/// epoch advancement at chosen scheduling points rather than through the
+/// `flush` threshold/period heuristics.
+#[cfg(loom)]
+// Driven by the `cfg(all(test, loom))` verify suite; a plain `--cfg loom`
+// build (no tests) compiles the hooks but calls only the turnstiles.
+#[allow(dead_code)]
+pub(crate) mod model_hooks {
+    use super::*;
+
+    /// Collect this thread's bag unconditionally (adopt orphans, attempt
+    /// one epoch advance, free — i.e. poison — everything past the
+    /// two-epoch horizon).
+    pub(crate) fn force_collect() {
+        let garbage = HANDLE
+            .try_with(|h| collect(&mut h.borrow_mut().bag))
+            .unwrap_or_default();
+        free_garbage(garbage);
+    }
+
+    /// Attempt one epoch advance; returns the (possibly advanced) epoch.
+    pub(crate) fn advance() -> u64 {
+        try_advance()
+    }
+
+    /// Current global epoch (for detecting a successful advance).
+    pub(crate) fn current_epoch() -> u64 {
+        EPOCH.load(Ordering::SeqCst)
+    }
+
+    // --- staging turnstiles for the stale-tag regression model ----------
+    //
+    // The use-after-free that `store_weak_tag` reintroduces needs a
+    // four-phase interleaving: the writer pauses *between* its early tag
+    // read and the unlink swap; the epoch advances past the tag; a reader
+    // pins in the new epoch and loads the doomed pointer; the writer then
+    // runs retire + collect, and the two-epoch rule frees the value under
+    // the reader. A random seed sweep essentially never lines those four
+    // phases up (two exact-step preemptions plus a thread order — measured
+    // well below one hit per 10^4 seeds), so the regression scenario
+    // *stages* the schedule with these spin-flags instead. Staging only
+    // forces the ordering; the violation itself is still produced by the
+    // real machinery — pins, retirement tags, `try_advance`, the two-epoch
+    // rule, and the poison registry. All gates are inert unless armed, so
+    // the unconstrained green model and every other test are unaffected.
+
+    /// Master switch; armed by the staged scenario for one execution.
+    static GATES_ARMED: AtomicBool = AtomicBool::new(false);
+    /// Writer sits in the stale-tag window (tag read, swap not yet done).
+    static WRITER_IN_WINDOW: AtomicBool = AtomicBool::new(false);
+    /// The epoch advanced past the writer's (now stale) tag.
+    static EPOCH_ADVANCED: AtomicBool = AtomicBool::new(false);
+    /// Reader loaded the doomed pointer and parked before dereferencing.
+    static READER_IN_WINDOW: AtomicBool = AtomicBool::new(false);
+    /// Writer finished retire + collect: the free (= poison) happened.
+    static FREED: AtomicBool = AtomicBool::new(false);
+
+    /// Arm the turnstiles for one staged execution (resets all phases).
+    /// Call from scenario setup (runs unscheduled, before threads spawn).
+    pub(crate) fn arm_gates() {
+        WRITER_IN_WINDOW.store(false, Ordering::SeqCst);
+        EPOCH_ADVANCED.store(false, Ordering::SeqCst);
+        READER_IN_WINDOW.store(false, Ordering::SeqCst);
+        FREED.store(false, Ordering::SeqCst);
+        GATES_ARMED.store(true, Ordering::SeqCst);
+    }
+
+    /// Disarm after a staged test so later models see inert gates. Pair
+    /// with an RAII guard in the test: a panicking `expect` must not leave
+    /// the gates armed for the next (serialized) verify test.
+    pub(crate) fn disarm_gates() {
+        GATES_ARMED.store(false, Ordering::SeqCst);
+    }
+
+    pub(crate) fn writer_in_window() -> bool {
+        WRITER_IN_WINDOW.load(Ordering::SeqCst)
+    }
+
+    pub(crate) fn epoch_advanced() -> bool {
+        EPOCH_ADVANCED.load(Ordering::SeqCst)
+    }
+
+    pub(crate) fn set_epoch_advanced() {
+        EPOCH_ADVANCED.store(true, Ordering::SeqCst);
+    }
+
+    pub(crate) fn set_freed() {
+        FREED.store(true, Ordering::SeqCst);
+    }
+
+    /// Called by `store_weak_tag` inside its buggy window: announce the
+    /// window and hold it open until the epoch has advanced and a reader
+    /// holds the doomed pointer. Every load is a scheduling point, so the
+    /// model scheduler keeps the other threads running meanwhile.
+    pub(crate) fn stale_tag_window() {
+        if !GATES_ARMED.load(Ordering::SeqCst) {
+            return;
+        }
+        WRITER_IN_WINDOW.store(true, Ordering::SeqCst);
+        while !(EPOCH_ADVANCED.load(Ordering::SeqCst) && READER_IN_WINDOW.load(Ordering::SeqCst)) {
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Called by `SnapshotCell::load` between the pointer load and the
+    /// poison check: park the reader (holding its pin and the loaded
+    /// pointer) until the writer has retired and collected. On release the
+    /// reader proceeds straight into `assert_not_poisoned`.
+    pub(crate) fn reader_window() {
+        if !GATES_ARMED.load(Ordering::SeqCst) {
+            return;
+        }
+        READER_IN_WINDOW.store(true, Ordering::SeqCst);
+        while !FREED.load(Ordering::SeqCst) {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+#[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
     use crate::var::new_value;
@@ -571,6 +770,18 @@ mod tests {
         assert_eq!(get_u64(&cell.load()), 7);
         cell.store(new_value(8u64));
         assert_eq!(get_u64(&cell.load()), 8);
+    }
+
+    #[test]
+    fn weak_tag_store_is_functionally_correct() {
+        // The deliberately-buggy variant is value-correct single-threaded —
+        // its bug is *only* visible to concurrent readers via a stale
+        // retirement tag, which is exactly why it needs a model checker
+        // (`verify::snapshot_model`) rather than a unit test to catch.
+        let cell = SnapshotCell::new(new_value(1u64));
+        cell.store_weak_tag(new_value(2u64));
+        assert_eq!(get_u64(&cell.load()), 2);
+        flush();
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! [`StatsReport::to_json`], and in `OBSERVABILITY.md`.
 
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use ad_support::sync::atomic::{AtomicU64, Ordering};
 
 use ad_support::hist::{Histogram, HistogramSnapshot};
 
@@ -328,7 +328,7 @@ impl fmt::Display for StatsReport {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
 

@@ -27,7 +27,7 @@
 
 use std::cell::RefCell;
 use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use ad_support::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
@@ -35,10 +35,12 @@ use ad_support::sync::Mutex;
 
 use crate::fxhash::FxHashMap;
 
-/// Ring capacity per thread, in events. 2^14 events ≈ 393 KiB per traced
-/// thread; at a few million events/s this holds the most recent few
-/// milliseconds of very hot threads and the entire run of realistic ones.
-const RING_CAP: usize = 1 << 14;
+/// Default ring capacity per thread, in events (see
+/// `TmConfig::trace_ring_events` for the runtime override). 2^14 events
+/// ≈ 393 KiB per traced thread; at a few million events/s this holds the
+/// most recent few milliseconds of very hot threads and the entire run of
+/// realistic ones.
+pub(crate) const DEFAULT_RING_CAP: usize = 1 << 14;
 
 /// What happened. The discriminants are stable — they appear in JSON
 /// exports and `txtrace` output — so add variants only at the end.
@@ -246,11 +248,14 @@ pub(crate) struct TraceBuf {
 }
 
 impl TraceBuf {
-    fn new(thread: u32) -> Arc<TraceBuf> {
+    /// `capacity` is rounded up to a power of two (minimum 2) so the ring
+    /// index stays a mask of the monotone head counter.
+    fn new(thread: u32, capacity: usize) -> Arc<TraceBuf> {
+        let cap = capacity.max(2).next_power_of_two();
         Arc::new(TraceBuf {
             thread,
             head: AtomicU64::new(0),
-            slots: (0..RING_CAP)
+            slots: (0..cap)
                 .map(|_| Slot {
                     seq: AtomicU64::new(0),
                     ts: AtomicU64::new(0),
@@ -265,7 +270,7 @@ impl TraceBuf {
     pub(crate) fn push(&self, kind: EventKind, arg: u64) {
         let ts = now_ns();
         let head = self.head.load(Ordering::Relaxed);
-        let slot = &self.slots[(head as usize) & (RING_CAP - 1)];
+        let slot = &self.slots[(head as usize) & (self.slots.len() - 1)];
         // Invalidate first so a concurrent reader can't pair the old seq
         // with the new payload, then publish payload before the new seq.
         slot.seq.store(0, Ordering::Relaxed);
@@ -318,18 +323,31 @@ impl TraceBuf {
     }
 }
 
-/// Per-runtime trace state: the enable flag and every thread's ring.
+/// Per-runtime trace state: the enable flag, the configured per-thread
+/// ring capacity, and every thread's ring.
 pub(crate) struct TraceSink {
     enabled: AtomicBool,
     next_thread: AtomicU32,
+    /// Per-thread ring capacity in events (already a power of two ≥ 2);
+    /// applied to each ring as it registers.
+    ring_cap: usize,
     bufs: Mutex<Vec<Arc<TraceBuf>>>,
 }
 
 impl Default for TraceSink {
     fn default() -> Self {
+        TraceSink::new(DEFAULT_RING_CAP)
+    }
+}
+
+impl TraceSink {
+    /// Create a sink whose per-thread rings hold `ring_cap` events
+    /// (rounded up to a power of two, minimum 2).
+    pub(crate) fn new(ring_cap: usize) -> Self {
         TraceSink {
             enabled: AtomicBool::new(false),
             next_thread: AtomicU32::new(0),
+            ring_cap: ring_cap.max(2).next_power_of_two(),
             bufs: Mutex::new(Vec::new()),
         }
     }
@@ -360,7 +378,10 @@ impl TraceSink {
             .try_with(|m| {
                 let mut m = m.borrow_mut();
                 let buf = m.entry(runtime_id).or_insert_with(|| {
-                    let buf = TraceBuf::new(self.next_thread.fetch_add(1, Ordering::Relaxed));
+                    let buf = TraceBuf::new(
+                        self.next_thread.fetch_add(1, Ordering::Relaxed),
+                        self.ring_cap,
+                    );
                     self.bufs.lock().push(Arc::clone(&buf));
                     buf
                 });
@@ -385,7 +406,7 @@ impl TraceSink {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
 
@@ -410,16 +431,55 @@ mod tests {
     fn ring_wrap_reports_drops() {
         let sink = TraceSink::default();
         sink.set_enabled(true);
-        let n = (RING_CAP + 100) as u64;
+        let n = (DEFAULT_RING_CAP + 100) as u64;
         for i in 0..n {
             sink.push(9002, EventKind::ReadSetGrow, i);
         }
         let t = sink.take();
-        assert_eq!(t.events.len(), RING_CAP);
-        assert_eq!(t.dropped, n - RING_CAP as u64);
+        assert_eq!(t.events.len(), DEFAULT_RING_CAP);
+        assert_eq!(t.dropped, n - DEFAULT_RING_CAP as u64);
         // The survivors are the newest events, in order.
         let min_seq = t.events.iter().map(|e| e.seq).min().unwrap();
-        assert_eq!(min_seq, n - RING_CAP as u64 + 1);
+        assert_eq!(min_seq, n - DEFAULT_RING_CAP as u64 + 1);
+    }
+
+    #[test]
+    fn tiny_ring_reports_dropped_exactly() {
+        // A configured 4-event ring receiving 10 events keeps the newest 4
+        // and reports the other 6 dropped — the runtime-configurable ring
+        // size must not break the drop accounting.
+        let sink = TraceSink::new(4);
+        sink.set_enabled(true);
+        for i in 0..10 {
+            sink.push(9005, EventKind::ReadSetGrow, i);
+        }
+        let t = sink.take();
+        assert_eq!(t.events.len(), 4);
+        assert_eq!(t.dropped, 6);
+        let seqs: Vec<u64> = t.events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![7, 8, 9, 10]);
+        let args: Vec<u64> = t.events.iter().map(|e| e.arg).collect();
+        assert_eq!(args, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn ring_capacity_rounds_up_to_power_of_two() {
+        // Requesting 3 events rounds the ring up to 4: pushing 4 must not
+        // drop anything, pushing a 5th drops exactly one.
+        let sink = TraceSink::new(3);
+        sink.set_enabled(true);
+        for i in 0..4 {
+            sink.push(9006, EventKind::Begin, i);
+        }
+        let t = sink.take();
+        assert_eq!(t.events.len(), 4);
+        assert_eq!(t.dropped, 0);
+        for i in 0..5 {
+            sink.push(9006, EventKind::Begin, i);
+        }
+        let t = sink.take();
+        assert_eq!(t.events.len(), 4);
+        assert_eq!(t.dropped, 1);
     }
 
     #[test]

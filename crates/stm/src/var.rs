@@ -20,7 +20,7 @@
 
 use std::any::Any;
 use std::marker::PhantomData;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use ad_support::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use ad_support::sync::Mutex;
@@ -301,7 +301,7 @@ pub(crate) fn downcast<T: Any + Send + Sync + Clone>(val: &Value) -> T {
         .clone()
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
 

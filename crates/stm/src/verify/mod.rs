@@ -1,0 +1,36 @@
+//! Loom-style concurrency models of `ad-stm`'s riskiest protocols.
+//!
+//! Each submodule is one scenario run through `ad_support::model`'s
+//! controlled scheduler under `RUSTFLAGS="--cfg loom"`:
+//!
+//! * [`snapshot_model`] — epoch retirement vs. pinned readers, the protocol
+//!   behind `SnapshotCell`. Includes the regression model that reintroduces
+//!   the PR-1 stale-retirement-tag bug (commit 0b01d8c's subject) and
+//!   asserts the model *catches* it.
+//! * [`quiesce_model`] — a committing writer's quiescence vs. an in-flight
+//!   older transaction's write-back, at the `Registry` protocol level.
+//!
+//! Run with:
+//!
+//! ```text
+//! RUSTFLAGS="--cfg loom" cargo test -p ad-stm --release verify
+//! ```
+//!
+//! See VERIFICATION.md for what each model does and does not prove.
+
+use std::sync::Mutex;
+
+mod quiesce_model;
+mod snapshot_model;
+
+/// The models exercise process-global state (the epoch counter, the
+/// participant registry), so two models exploring interleavings at once
+/// would perturb each other's schedules and pin sets. The test harness
+/// runs tests on multiple threads; this lock serializes the verify suite
+/// without requiring `--test-threads=1`.
+static VERIFY_LOCK: Mutex<()> = Mutex::new(());
+
+/// Serialize a model test against the other verify tests.
+fn serialize() -> std::sync::MutexGuard<'static, ()> {
+    VERIFY_LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}

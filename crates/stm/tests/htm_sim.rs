@@ -1,3 +1,5 @@
+#![cfg(not(loom))]
+
 //! Behavioural tests for the simulated best-effort HTM mode: capacity
 //! aborts, low retry budget, serial fallback, and the absence of
 //! quiescence. These are the properties Figure 3 of the paper depends on.

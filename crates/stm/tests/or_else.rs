@@ -1,3 +1,5 @@
+#![cfg(not(loom))]
+
 //! Tests for the `orElse` combinator (Harris et al.): alternative blocking
 //! branches inside one transaction.
 

@@ -1,3 +1,5 @@
+#![cfg(not(loom))]
+
 //! Property-based tests: random transactional programs must behave like
 //! their sequential interpretation.
 //!

@@ -1,3 +1,5 @@
+#![cfg(not(loom))]
+
 //! Stress tests for the lock-free snapshot read path.
 //!
 //! `VarCore` publishes values through an epoch-reclaimed atomic pointer

@@ -1,3 +1,5 @@
+#![cfg(not(loom))]
+
 //! Semantic tests for the STM engine: atomicity, isolation, opacity,
 //! retry, irrevocability, contention management, and post-commit hooks.
 
@@ -621,4 +623,43 @@ fn panicking_transaction_does_not_wedge_the_runtime() {
     // behind the panicked transaction's activity slot.
     rt.atomically(|tx| tx.write(&v, 2));
     assert_eq!(v.load(), 2);
+}
+
+#[test]
+fn configured_tiny_trace_ring_reports_drops() {
+    // `TmConfig::with_trace_ring` must actually size the per-thread rings:
+    // a 4-event ring cannot hold the ~3 events per committed transaction
+    // of this loop, so the drained trace must report drops, while a
+    // default-sized runtime tracing the same workload reports none.
+    let tiny = Runtime::new(TmConfig::stm().with_trace_ring(4));
+    tiny.set_tracing(true);
+    let v = TVar::new(0u64);
+    for _ in 0..50 {
+        let v2 = v.clone();
+        tiny.atomically(move |tx| {
+            let x = tx.read(&v2)?;
+            tx.write(&v2, x + 1)
+        });
+    }
+    let t = tiny.take_trace();
+    assert!(
+        t.dropped > 0,
+        "a 4-event ring kept all events of 50 transactions"
+    );
+    assert!(!t.events.is_empty());
+
+    let roomy = Runtime::new(TmConfig::stm());
+    roomy.set_tracing(true);
+    let w = TVar::new(0u64);
+    for _ in 0..50 {
+        let w2 = w.clone();
+        roomy.atomically(move |tx| {
+            let x = tx.read(&w2)?;
+            tx.write(&w2, x + 1)
+        });
+    }
+    let t = roomy.take_trace();
+    assert_eq!(t.dropped, 0);
+    assert_eq!(v.load(), 50);
+    assert_eq!(w.load(), 50);
 }

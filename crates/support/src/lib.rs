@@ -18,15 +18,27 @@
 //!   timings and can emit machine-readable JSON.
 //! * [`hist`] — concurrent log-bucketed latency histograms (an
 //!   `hdrhistogram` stand-in) backing the `ad-stm` observability layer.
+//! * [`model`] — a vendored loom-style concurrency model checker (token
+//!   scheduler, instrumented primitives, poison registry) backing the
+//!   `--cfg loom` face of [`sync`] and the `verify` model suites.
 //!
-//! Everything here is safe Rust with no dependencies, so it can never be the
-//! thing that breaks an offline build.
+//! Everything except the lock internals of [`model`] is safe Rust with no
+//! dependencies, so it can never be the thing that breaks an offline build.
+//!
+//! ## The `loom` cfg
+//!
+//! Building the workspace with `RUSTFLAGS="--cfg loom"` swaps the [`sync`]
+//! primitives (including [`sync::atomic`]) from thin `std` passthroughs to
+//! the instrumented [`model`] versions, so the `verify` model suites in
+//! `ad-stm`/`ad-defer` can explore interleavings of the real production
+//! code. Release builds without the cfg compile the facade away entirely.
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 
 pub mod channel;
 pub mod crit;
 pub mod hist;
+pub mod model;
 pub mod prng;
 pub mod sync;

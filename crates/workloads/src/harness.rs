@@ -2,8 +2,9 @@
 //! binaries and benches: run a fixed total amount of work across N threads
 //! behind a start barrier, time it, and print paper-style tables.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Barrier;
+
+use ad_support::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 use ad_stm::StatsReport;

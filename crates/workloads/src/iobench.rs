@@ -115,8 +115,8 @@ impl IoBenchConfig {
     fn paths(&self, tag: &str) -> Vec<PathBuf> {
         // A process-unique run id keeps concurrently running benchmarks
         // (e.g. parallel tests) from colliding on file names.
-        static RUN: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
-        let run = RUN.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        static RUN: ad_support::sync::atomic::AtomicU64 = ad_support::sync::atomic::AtomicU64::new(0);
+        let run = RUN.fetch_add(1, ad_support::sync::atomic::Ordering::Relaxed);
         (0..self.files)
             .map(|i| {
                 self.dir.join(format!(
@@ -278,6 +278,11 @@ fn run_tm(
                     let c = tx.read(&f.counter)?;
                     tx.write(&f.counter, c + 1)?;
                     let content = format!("op{}:{}", c + 1, idx);
+                    // Safe here only because `synchronized` runs serial and
+                    // irrevocable: no concurrent transaction can race the
+                    // raw access. Outside serial mode this would be §4.1's
+                    // unlisted-object data race.
+                    // ad-lint: allow(direct-access-in-atomic)
                     let io = f.file.peek_unsynchronized();
                     perform_io(&io.path, &mut io.handle.lock(), keep_open, &content);
                     Ok(())

@@ -81,8 +81,8 @@ impl PoolBenchConfig {
     fn paths(&self, tag: &str) -> Vec<PathBuf> {
         // A process-unique run id keeps concurrently running benchmarks
         // (e.g. parallel tests) from colliding on file names.
-        static RUN: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
-        let run = RUN.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        static RUN: ad_support::sync::atomic::AtomicU64 = ad_support::sync::atomic::AtomicU64::new(0);
+        let run = RUN.fetch_add(1, ad_support::sync::atomic::Ordering::Relaxed);
         (0..self.files)
             .map(|i| {
                 self.dir.join(format!(
