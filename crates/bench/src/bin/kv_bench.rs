@@ -1,0 +1,403 @@
+//! `kv_bench` — closed-loop throughput benchmark for the `ad-kv` durable
+//! store, and the tracked evidence that group commit earns its complexity.
+//!
+//! Emits `BENCH_kv.json` (at the repo root by default): ops/sec for
+//! YCSB-flavoured mixes at 1, 4 and 8 threads, with the WAL's coalescing
+//! counters alongside. The headline cells are `update_heavy` under
+//! `group` vs `percommit` at 8 threads: concurrent committers sharing
+//! fsyncs must beat one-fsync-per-commit by a wide margin (≥2× is the
+//! tracked floor; see EXPERIMENTS.md).
+//!
+//! ```text
+//! cargo run --release -p ad-bench --bin kv_bench                    # full grid
+//! cargo run --release -p ad-bench --bin kv_bench -- --ms 500
+//! cargo run --release -p ad-bench --bin kv_bench -- --smoke        # CI: quick + asserts
+//! cargo run --release -p ad-bench --bin kv_bench -- --stats-json /tmp/kv-stats.json
+//! cargo run --release -p ad-bench --bin kv_bench -- --trace-json /tmp/kv-trace.json
+//! ```
+//!
+//! * `--ms N` — steady-state milliseconds per cell (default 200). Each
+//!   cell also gets a warm-up of a quarter of that (min 50 ms) which is
+//!   *excluded* from the reported numbers via [`ad_stm::StatsReport::delta`]
+//!   interval snapshots.
+//! * `--dir PATH` — where WAL files go (default: the system temp dir).
+//!   Point it at a real disk: group commit's advantage is the fsync it
+//!   amortizes.
+//! * `--stats-json PATH` — enable the observability layer and dump each
+//!   cell's *steady-state* stats report (end snapshot minus warm-up
+//!   snapshot) as a JSON array. Tracing costs a few percent; don't compare
+//!   such a run against a tracked baseline.
+//! * `--trace-json PATH` — additionally capture the busiest cell
+//!   (`update_heavy`/`group`/8 threads) with tracing on and export its
+//!   timeline as chrome://tracing JSON (`wal_append`/`wal_fsync` instants
+//!   included).
+//! * `--smoke` — 50 ms cells, 4 threads only, plus correctness asserts:
+//!   recovery from the just-written WAL must reproduce the live store
+//!   exactly, group commit must have coalesced, and the per-TVar
+//!   contention report must show load spread across shards.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use ad_bench::{arg_flag, arg_num, arg_value};
+use ad_kv::{KvConfig, KvStore, SyncPolicy, WriteBatch};
+use ad_stm::StatsReport;
+use ad_support::prng::Rng;
+use ad_support::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+const KEYSPACE: usize = 10_000;
+const VALUE_LEN: usize = 64;
+const THREAD_COUNTS: [usize; 3] = [1, 4, 8];
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mix {
+    /// 95% get / 5% put.
+    ReadMostly,
+    /// 50% get / 50% put — the fsync-bound mix group commit targets.
+    UpdateHeavy,
+    /// 90% get / 5% short scan / 5% put.
+    ScanHeavy,
+}
+
+impl Mix {
+    fn name(self) -> &'static str {
+        match self {
+            Mix::ReadMostly => "read_mostly",
+            Mix::UpdateHeavy => "update_heavy",
+            Mix::ScanHeavy => "scan_mix",
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Persistence {
+    Volatile,
+    Group,
+    PerCommit,
+}
+
+impl Persistence {
+    fn name(self) -> &'static str {
+        match self {
+            Persistence::Volatile => "volatile",
+            Persistence::Group => "group",
+            Persistence::PerCommit => "percommit",
+        }
+    }
+}
+
+struct Row {
+    mix: Mix,
+    persistence: Persistence,
+    threads: usize,
+    ops_per_sec: f64,
+    wal_records: u64,
+    wal_batches: u64,
+    coalescing: f64,
+    steady_stats: Option<StatsReport>,
+}
+
+fn key(i: usize) -> String {
+    format!("key{i:05}")
+}
+
+fn open_store(persistence: Persistence, path: &Path) -> KvStore {
+    let config = match persistence {
+        Persistence::Volatile => KvConfig::volatile(),
+        Persistence::Group => KvConfig::durable(path, SyncPolicy::GroupCommit),
+        Persistence::PerCommit => KvConfig::durable(path, SyncPolicy::PerCommit),
+    };
+    KvStore::open(config).expect("opening store")
+}
+
+fn preload(store: &KvStore) {
+    // Batched so a durable preload pays hundreds of fsyncs, not 10k.
+    let mut batch = WriteBatch::new();
+    for i in 0..KEYSPACE {
+        batch = batch.put(key(i), vec![0u8; VALUE_LEN]);
+        if batch.len() == 256 {
+            store.write_batch(&batch);
+            batch = WriteBatch::new();
+        }
+    }
+    if !batch.is_empty() {
+        store.write_batch(&batch);
+    }
+}
+
+fn one_op(store: &KvStore, mix: Mix, rng: &mut Rng, op_seq: u64) {
+    let k = key(rng.random_range(0..KEYSPACE));
+    let write_chance = match mix {
+        Mix::ReadMostly => 0.05,
+        Mix::UpdateHeavy => 0.5,
+        Mix::ScanHeavy => 0.05,
+    };
+    if mix == Mix::ScanHeavy && rng.random_bool(0.05) {
+        std::hint::black_box(store.scan_from(&k, 20));
+    } else if rng.random_bool(write_chance) {
+        let mut value = vec![0u8; VALUE_LEN];
+        value[..8].copy_from_slice(&op_seq.to_le_bytes());
+        store.put(&k, &value);
+    } else {
+        std::hint::black_box(store.get(&k));
+    }
+}
+
+/// Closed loop: `threads` workers hammer the store; ops are counted only
+/// inside the steady window (after `warm`), delimited by shared-counter
+/// snapshots rather than stopping the world.
+fn run_cell(
+    store: &Arc<KvStore>,
+    mix: Mix,
+    threads: usize,
+    warm: Duration,
+    steady: Duration,
+    want_stats: bool,
+) -> (f64, Option<StatsReport>) {
+    let stop = Arc::new(AtomicBool::new(false));
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let counters: Arc<Vec<AtomicU64>> =
+        Arc::new((0..threads).map(|_| AtomicU64::new(0)).collect());
+
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let store = Arc::clone(store);
+            let stop = Arc::clone(&stop);
+            let barrier = Arc::clone(&barrier);
+            let counters = Arc::clone(&counters);
+            s.spawn(move || {
+                let mut rng = Rng::seed_from_u64(0x5EED_4B56 + t as u64);
+                let mut ops = 0u64;
+                barrier.wait();
+                while !stop.load(Ordering::Relaxed) {
+                    for _ in 0..8 {
+                        one_op(&store, mix, &mut rng, ops);
+                        ops += 1;
+                    }
+                    counters[t].store(ops, Ordering::Relaxed);
+                }
+            });
+        }
+
+        barrier.wait();
+        std::thread::sleep(warm);
+        let warm_stats = want_stats.then(|| store.runtime().snapshot_stats());
+        let ops0: u64 = counters.iter().map(|c| c.load(Ordering::Relaxed)).sum();
+        let t0 = Instant::now();
+        std::thread::sleep(steady);
+        let ops1: u64 = counters.iter().map(|c| c.load(Ordering::Relaxed)).sum();
+        let elapsed = t0.elapsed();
+        stop.store(true, Ordering::Relaxed);
+        let steady_stats = warm_stats.map(|w| store.runtime().snapshot_stats().delta(&w));
+        ((ops1 - ops0) as f64 / elapsed.as_secs_f64(), steady_stats)
+    })
+}
+
+fn smoke(dir: &Path) {
+    let path = dir.join("kv-smoke.wal");
+    let _ = std::fs::remove_file(&path);
+    let store = Arc::new(open_store(Persistence::Group, &path));
+    store.runtime().set_tracing(true);
+    preload(&store);
+    let (ops_per_sec, _) = run_cell(
+        &store,
+        Mix::UpdateHeavy,
+        4,
+        Duration::from_millis(25),
+        Duration::from_millis(50),
+        false,
+    );
+    let wal = store.wal_stats().expect("durable store has WAL stats");
+    assert!(wal.records > 0, "smoke ran no durable writes");
+    assert!(
+        wal.coalescing() >= 1.0,
+        "coalescing below 1: {:.2}",
+        wal.coalescing()
+    );
+
+    // Shard balance: bucket contention must be spread, not concentrated on
+    // one variable — the contention report is the tool that shows it. A
+    // handful of failures carries no signal (one failure is always 100% of
+    // itself), so only judge the share once there are enough to spread.
+    let trace = store.runtime().take_trace();
+    let report = trace.contention_report(8);
+    println!("contention (top 8 of the smoke run):");
+    print!("{report}");
+    assert!(
+        report.total_fails < 20 || report.top_share() < 0.9,
+        "one TVar absorbs {:.0}% of {} validation failures — shard count too low?",
+        report.top_share() * 100.0,
+        report.total_fails
+    );
+
+    // The durability contract end to end: recovery from the WAL we just
+    // wrote must reproduce the live store exactly.
+    let live: BTreeMap<String, Vec<u8>> = store.dump();
+    drop(store);
+    let reopened = open_store(Persistence::Group, &path);
+    let report = reopened
+        .recovery_report()
+        .expect("reopened store has a recovery report")
+        .clone();
+    assert!(!report.torn(), "clean shutdown left a torn WAL");
+    assert_eq!(reopened.dump(), live, "recovered state differs from live state");
+    let _ = std::fs::remove_file(&path);
+    println!(
+        "smoke ok: {ops_per_sec:.0} ops/s, {} records in {} batches (coalescing {:.2}), \
+         recovery of {} records reproduced {} keys",
+        wal.records,
+        wal.batches,
+        wal.coalescing(),
+        report.records,
+        live.len()
+    );
+}
+
+fn main() {
+    let ms: u64 = arg_num("--ms", 200);
+    let out = arg_value("--out").unwrap_or_else(|| "BENCH_kv.json".to_string());
+    let dir = arg_value("--dir")
+        .map(PathBuf::from)
+        .unwrap_or_else(std::env::temp_dir);
+    std::fs::create_dir_all(&dir).expect("creating WAL dir");
+    let stats_out = arg_value("--stats-json");
+    let trace_out = arg_value("--trace-json");
+
+    if arg_flag("--smoke") {
+        smoke(&dir);
+        return;
+    }
+
+    let steady = Duration::from_millis(ms);
+    let warm = Duration::from_millis((ms / 4).max(50));
+
+    let cells: Vec<(Mix, Persistence)> = vec![
+        (Mix::ReadMostly, Persistence::Group),
+        (Mix::UpdateHeavy, Persistence::Volatile),
+        (Mix::UpdateHeavy, Persistence::Group),
+        (Mix::UpdateHeavy, Persistence::PerCommit),
+        (Mix::ScanHeavy, Persistence::Group),
+    ];
+
+    let mut rows: Vec<Row> = Vec::new();
+    for (mix, persistence) in cells {
+        for &threads in &THREAD_COUNTS {
+            let path = dir.join(format!(
+                "kv-{}-{}-{threads}.wal",
+                mix.name(),
+                persistence.name()
+            ));
+            let _ = std::fs::remove_file(&path);
+            let store = Arc::new(open_store(persistence, &path));
+            // The busiest durable cell doubles as the trace capture when
+            // --trace-json is given; stats snapshots need tracing too.
+            let capture_trace = trace_out.is_some()
+                && mix == Mix::UpdateHeavy
+                && persistence == Persistence::Group
+                && threads == *THREAD_COUNTS.last().unwrap();
+            store
+                .runtime()
+                .set_tracing(stats_out.is_some() || capture_trace);
+            preload(&store);
+            let (ops_per_sec, steady_stats) =
+                run_cell(&store, mix, threads, warm, steady, stats_out.is_some());
+            let wal = store.wal_stats();
+            println!(
+                "{:<12} {:<9} threads={threads}  {ops_per_sec:>12.0} ops/s{}",
+                mix.name(),
+                persistence.name(),
+                wal.as_ref().map_or_else(String::new, |w| format!(
+                    "  ({} recs / {} fsyncs, coalescing {:.2})",
+                    w.records,
+                    w.batches,
+                    w.coalescing()
+                ))
+            );
+            if capture_trace {
+                let path = trace_out.as_ref().unwrap();
+                std::fs::write(path, store.runtime().take_trace().to_chrome_json())
+                    .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+                println!("wrote chrome trace to {path}");
+            }
+            rows.push(Row {
+                mix,
+                persistence,
+                threads,
+                ops_per_sec,
+                wal_records: wal.as_ref().map_or(0, |w| w.records),
+                wal_batches: wal.as_ref().map_or(0, |w| w.batches),
+                coalescing: wal.as_ref().map_or(0.0, |w| w.coalescing()),
+                steady_stats,
+            });
+            drop(store);
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+
+    // The tracked claim: at max threads, group commit beats
+    // fsync-per-commit by a wide margin on the update-heavy mix.
+    let at = |p: Persistence| {
+        rows.iter()
+            .find(|r| {
+                r.mix == Mix::UpdateHeavy
+                    && r.persistence == p
+                    && r.threads == *THREAD_COUNTS.last().unwrap()
+            })
+            .map(|r| r.ops_per_sec)
+            .unwrap_or(0.0)
+    };
+    let speedup = at(Persistence::Group) / at(Persistence::PerCommit).max(1.0);
+    println!("group-commit speedup over percommit @8t (update_heavy): {speedup:.2}x");
+
+    let mut json = String::from("{\n  \"bench\": \"kv_store\",\n");
+    json.push_str(&format!("  \"duration_ms_per_cell\": {ms},\n"));
+    json.push_str(&format!("  \"keyspace\": {KEYSPACE},\n"));
+    json.push_str(&format!("  \"value_len\": {VALUE_LEN},\n"));
+    json.push_str(&format!(
+        "  \"group_commit_speedup_at_max_threads\": {speedup:.2},\n"
+    ));
+    json.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"sync\": \"{}\", \"threads\": {}, \
+             \"ops_per_sec\": {:.0}, \"wal_records\": {}, \"wal_batches\": {}, \
+             \"coalescing\": {:.2}}}{}\n",
+            r.mix.name(),
+            r.persistence.name(),
+            r.threads,
+            r.ops_per_sec,
+            r.wal_records,
+            r.wal_batches,
+            r.coalescing,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out, json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    println!("wrote {out}");
+
+    if let Some(path) = stats_out {
+        let mut sj = String::from("[\n");
+        for (i, r) in rows.iter().enumerate() {
+            if i > 0 {
+                sj.push_str(",\n");
+            }
+            sj.push_str(&format!(
+                "  {{\"workload\":\"{}\",\"sync\":\"{}\",\"threads\":{},\
+                 \"ops_per_sec\":{:.0},\"steady_stats\":{}}}",
+                r.mix.name(),
+                r.persistence.name(),
+                r.threads,
+                r.ops_per_sec,
+                r.steady_stats
+                    .as_ref()
+                    .map_or_else(|| "null".to_string(), |s| s.to_json()),
+            ));
+        }
+        sj.push_str("\n]\n");
+        std::fs::write(&path, sj).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("wrote {path}");
+    }
+}

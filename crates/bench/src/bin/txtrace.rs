@@ -15,11 +15,19 @@
 //!
 //! Options: `--ops N` total transactions (default 64), `--threads N`
 //! (default 2), `--vars N` shared counters (default 2; fewer = more
-//! conflicts), `--stats` (append the runtime's full stats report).
+//! conflicts), `--stats` (append the runtime's full stats report),
+//! `--trace-json PATH` (additionally export the timeline as
+//! chrome://tracing / Perfetto trace-event JSON — load the file in
+//! `about:tracing` or <https://ui.perfetto.dev>).
+//!
+//! After the timeline, the per-TVar contention report
+//! ([`ad_stm::Trace::contention_report`]) ranks the variables whose
+//! commit-time validation failures caused the aborts — the quickest answer
+//! to "which variable is my bottleneck?".
 
 use ad_support::sync::atomic::{AtomicU64, Ordering};
 
-use ad_bench::{arg_flag, arg_num};
+use ad_bench::{arg_flag, arg_num, arg_value};
 use ad_defer::{atomic_defer, Defer};
 use ad_stm::{Runtime, TVar, TmConfig};
 use ad_workloads::run_fixed_work;
@@ -66,6 +74,19 @@ fn main() {
     );
     println!();
     print!("{}", trace.render());
+
+    let contention = trace.contention_report(8);
+    if contention.total_fails > 0 {
+        println!();
+        print!("{contention}");
+    }
+
+    if let Some(path) = arg_value("--trace-json") {
+        std::fs::write(&path, trace.to_chrome_json())
+            .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!();
+        println!("wrote chrome trace to {path} (open in about:tracing or ui.perfetto.dev)");
+    }
 
     if arg_flag("--stats") {
         println!();

@@ -1,0 +1,63 @@
+//! # ad-kv — a durable transactional key-value store built on atomic deferral
+//!
+//! The paper's headline use case (§5.2, "transactional I/O") turned into a
+//! working subsystem: a sharded in-memory KV store whose mutating
+//! transactions are made **durable** with `atomic_defer` instead of
+//! irrevocability.
+//!
+//! ## How a write becomes durable
+//!
+//! 1. The client's transaction updates the `TVar` buckets of the shards it
+//!    touches (each shard is a [`ad_defer::Defer`]-wrapped object, so every
+//!    access subscribes to the shard's implicit `TxLock`).
+//! 2. The same transaction calls `atomic_defer` over the touched shards
+//!    with an operation that appends the pre-encoded redo record to the
+//!    write-ahead log and waits for the covering `fsync`.
+//! 3. At commit the shard locks become visible atomically with the
+//!    updates; the deferred append then runs *outside* the transaction —
+//!    no quiescence stall, no serial-mode irrevocability — while the locks
+//!    keep every other transaction from observing the not-yet-durable
+//!    state. The client call returns only after the deferred operation
+//!    (and hence the fsync) completed: **ack implies durable**.
+//!
+//! Concurrent committers coalesce: the WAL's group-commit protocol batches
+//! all records pending at the moment a leader syncs, so N concurrent
+//! commits cost one `fsync`, not N ([`wal`]).
+//!
+//! ## Crash recovery
+//!
+//! [`KvStore::open`] scans the log, truncates the torn tail (checksums +
+//! contiguous sequence numbers decide validity), and replays the surviving
+//! prefix. One redo record is one transaction, so recovery can never
+//! resurrect half of a multi-key write — see [`recover`] and the
+//! crash-matrix tests in `tests/recovery.rs`.
+//!
+//! ## Example
+//!
+//! ```
+//! use ad_kv::{KvConfig, KvStore, WriteBatch};
+//!
+//! let store = KvStore::open(KvConfig::volatile()).unwrap();
+//! store.put("alice", b"100");
+//! store.write_batch(&WriteBatch::new().put("bob", b"50").delete("alice"));
+//! assert_eq!(store.get("bob").as_deref(), Some(&b"50"[..]));
+//! assert_eq!(store.get("alice"), None);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod recover;
+pub mod store;
+pub mod wal;
+
+/// Loom-style model of the durability protocol: concurrent group-commit
+/// appenders vs. a crash-point observer recovering arbitrary disk images.
+/// Compiled only under `RUSTFLAGS="--cfg loom"` test builds — see
+/// VERIFICATION.md.
+#[cfg(all(test, loom))]
+mod verify;
+
+pub use recover::{RecoveryReport, RedoOps, RedoRecord, ScanEnd};
+pub use store::{Durability, KvConfig, KvStore, WriteBatch};
+pub use wal::{FileMedium, MemMedium, SyncPolicy, Wal, WalMedium, WalStats};

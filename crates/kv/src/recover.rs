@@ -1,0 +1,334 @@
+//! Crash recovery: scanning the WAL, truncating the torn tail, decoding
+//! redo records.
+//!
+//! The durability contract (DESIGN.md §9): a transaction is acked only
+//! after its deferred fsync returned, so after a crash the store must
+//! come back as *exactly* the set of transactions whose records survive
+//! as a valid WAL prefix — which is a superset of the acked ones (bytes
+//! written but not yet synced may happen to survive) and never includes
+//! a partial transaction (one redo record is one transaction; a record
+//! either passes its checksum or is truncated away with everything after
+//! it).
+//!
+//! The scan accepts records while: the header is complete, the magic
+//! matches, the length is sane, the payload is complete, the CRC matches,
+//! and the sequence number continues the chain. The first failure marks
+//! the torn tail; everything from that offset on is discarded. This is
+//! deliberately prefix-only — a record *after* a corrupt one may well be
+//! intact, but replaying across a hole would reorder same-key updates.
+
+use ad_support::crc32::crc32;
+
+use crate::wal::{HEADER_LEN, MAGIC, MAX_PAYLOAD};
+
+/// A batch's writes in application order: `Some(value)` is a put, `None`
+/// a delete.
+pub type RedoOps = Vec<(String, Option<Vec<u8>>)>;
+
+/// One decoded redo record: a committed transaction's writes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RedoRecord {
+    /// WAL sequence number (contiguous from 1).
+    pub seq: u64,
+    /// The writing transaction's id (diagnostic; not required for replay).
+    pub txid: u64,
+    /// The writes, in application order: `Some(value)` is a put, `None`
+    /// a delete.
+    pub ops: RedoOps,
+}
+
+/// Why the scan stopped where it did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScanEnd {
+    /// The log ended exactly on a record boundary.
+    Clean,
+    /// Fewer bytes than a header (or than the promised payload) remained —
+    /// the classic torn tail of a crashed append.
+    TruncatedRecord,
+    /// Magic mismatch at a record boundary (garbage or overwritten tail).
+    BadMagic,
+    /// Payload checksum mismatch (partially-persisted or corrupted write).
+    BadChecksum,
+    /// Implausible length field (> [`MAX_PAYLOAD`]).
+    BadLength,
+    /// Sequence number did not continue the chain.
+    BadSequence,
+    /// The frame was intact but the redo payload didn't parse.
+    BadPayload,
+}
+
+/// The outcome of a recovery scan (and, when produced by
+/// [`KvStore::open`](crate::KvStore::open), the replay).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Records accepted and replayed.
+    pub records: u64,
+    /// Individual key operations replayed.
+    pub ops: u64,
+    /// Bytes of valid WAL prefix kept.
+    pub valid_bytes: u64,
+    /// Bytes discarded as the torn tail.
+    pub truncated_bytes: u64,
+    /// Sequence number of the last accepted record (0 if none).
+    pub last_seq: u64,
+    /// Why the scan stopped.
+    pub end: ScanEnd,
+}
+
+impl RecoveryReport {
+    /// True when the log needed truncation (i.e. a crash tore the tail).
+    pub fn torn(&self) -> bool {
+        self.truncated_bytes > 0
+    }
+}
+
+/// Encode a redo payload: `txid: u64 | nops: u32 | ops*`, each op
+/// `klen: u32 | key | tag: u8 (0 delete, 1 put) | [vlen: u32 | value]`.
+pub fn encode_redo(txid: u64, ops: &[(String, Option<Vec<u8>>)]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(
+        12 + ops
+            .iter()
+            .map(|(k, v)| 9 + k.len() + v.as_ref().map_or(0, |v| 4 + v.len()))
+            .sum::<usize>(),
+    );
+    out.extend_from_slice(&txid.to_le_bytes());
+    out.extend_from_slice(&(ops.len() as u32).to_le_bytes());
+    for (key, value) in ops {
+        out.extend_from_slice(&(key.len() as u32).to_le_bytes());
+        out.extend_from_slice(key.as_bytes());
+        match value {
+            Some(v) => {
+                out.push(1);
+                out.extend_from_slice(&(v.len() as u32).to_le_bytes());
+                out.extend_from_slice(v);
+            }
+            None => out.push(0),
+        }
+    }
+    out
+}
+
+/// Decode a redo payload produced by [`encode_redo`]. `None` on any
+/// structural error (recovery treats that record as the torn tail).
+pub fn decode_redo(payload: &[u8]) -> Option<(u64, RedoOps)> {
+    fn take<'a>(b: &mut &'a [u8], n: usize) -> Option<&'a [u8]> {
+        if b.len() < n {
+            return None;
+        }
+        let (head, tail) = b.split_at(n);
+        *b = tail;
+        Some(head)
+    }
+
+    let mut b = payload;
+    let txid = u64::from_le_bytes(take(&mut b, 8)?.try_into().ok()?);
+    let nops = u32::from_le_bytes(take(&mut b, 4)?.try_into().ok()?) as usize;
+    let mut ops = Vec::with_capacity(nops.min(1024));
+    for _ in 0..nops {
+        let klen = u32::from_le_bytes(take(&mut b, 4)?.try_into().ok()?) as usize;
+        let key = String::from_utf8(take(&mut b, klen)?.to_vec()).ok()?;
+        let tag = take(&mut b, 1)?[0];
+        let value = match tag {
+            0 => None,
+            1 => {
+                let vlen = u32::from_le_bytes(take(&mut b, 4)?.try_into().ok()?) as usize;
+                Some(take(&mut b, vlen)?.to_vec())
+            }
+            _ => return None,
+        };
+        ops.push((key, value));
+    }
+    if !b.is_empty() {
+        return None; // trailing garbage inside a checksummed frame
+    }
+    Some((txid, ops))
+}
+
+/// Scan `bytes` as a WAL image: return the decoded records of the longest
+/// valid prefix, plus a report describing where and why the scan stopped.
+/// `first_seq` is 1 for a whole log (the only case the store produces;
+/// the parameter exists for scanning fixtures).
+pub fn scan(bytes: &[u8], first_seq: u64) -> (Vec<RedoRecord>, RecoveryReport) {
+    let mut records = Vec::new();
+    let mut ops = 0u64;
+    let mut off = 0usize;
+    let mut expect_seq = first_seq;
+    let end;
+    loop {
+        let rest = &bytes[off..];
+        if rest.is_empty() {
+            end = ScanEnd::Clean;
+            break;
+        }
+        if rest.len() < HEADER_LEN {
+            end = ScanEnd::TruncatedRecord;
+            break;
+        }
+        let magic = u32::from_le_bytes(rest[0..4].try_into().unwrap());
+        if magic != MAGIC {
+            end = ScanEnd::BadMagic;
+            break;
+        }
+        let len = u32::from_le_bytes(rest[4..8].try_into().unwrap()) as usize;
+        if len > MAX_PAYLOAD {
+            end = ScanEnd::BadLength;
+            break;
+        }
+        let seq = u64::from_le_bytes(rest[8..16].try_into().unwrap());
+        let crc = u32::from_le_bytes(rest[16..20].try_into().unwrap());
+        if rest.len() < HEADER_LEN + len {
+            end = ScanEnd::TruncatedRecord;
+            break;
+        }
+        let payload = &rest[HEADER_LEN..HEADER_LEN + len];
+        if crc32(payload) != crc {
+            end = ScanEnd::BadChecksum;
+            break;
+        }
+        if seq != expect_seq {
+            end = ScanEnd::BadSequence;
+            break;
+        }
+        let Some((txid, rec_ops)) = decode_redo(payload) else {
+            end = ScanEnd::BadPayload;
+            break;
+        };
+        ops += rec_ops.len() as u64;
+        records.push(RedoRecord {
+            seq,
+            txid,
+            ops: rec_ops,
+        });
+        expect_seq += 1;
+        off += HEADER_LEN + len;
+    }
+    let report = RecoveryReport {
+        records: records.len() as u64,
+        ops,
+        valid_bytes: off as u64,
+        truncated_bytes: (bytes.len() - off) as u64,
+        last_seq: expect_seq - 1,
+        end,
+    };
+    (records, report)
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+    use crate::wal::frame_record;
+
+    fn record(seq: u64, txid: u64, ops: &[(&str, Option<&[u8]>)]) -> Vec<u8> {
+        let ops: Vec<(String, Option<Vec<u8>>)> = ops
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.map(|v| v.to_vec())))
+            .collect();
+        let mut out = Vec::new();
+        frame_record(&mut out, seq, &encode_redo(txid, &ops));
+        out
+    }
+
+    #[test]
+    fn redo_roundtrip() {
+        let ops = vec![
+            ("alpha".to_string(), Some(b"1".to_vec())),
+            ("beta".to_string(), None),
+            (String::new(), Some(Vec::new())),
+        ];
+        let enc = encode_redo(99, &ops);
+        assert_eq!(decode_redo(&enc), Some((99, ops)));
+    }
+
+    #[test]
+    fn decode_rejects_truncation_and_garbage() {
+        let enc = encode_redo(1, &[("k".to_string(), Some(b"v".to_vec()))]);
+        for cut in 0..enc.len() {
+            assert_eq!(decode_redo(&enc[..cut]), None, "accepted prefix {cut}");
+        }
+        let mut trailing = enc.clone();
+        trailing.push(0);
+        assert_eq!(decode_redo(&trailing), None);
+        let mut bad_tag = enc;
+        let tag_pos = 8 + 4 + 4 + 1; // txid + nops + klen + "k"
+        bad_tag[tag_pos] = 7;
+        assert_eq!(decode_redo(&bad_tag), None);
+    }
+
+    #[test]
+    fn scan_clean_log() {
+        let mut log = record(1, 10, &[("a", Some(b"1"))]);
+        log.extend(record(2, 11, &[("b", None)]));
+        let (recs, rep) = scan(&log, 1);
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].txid, 10);
+        assert_eq!(recs[1].ops, vec![("b".to_string(), None)]);
+        assert_eq!(rep.end, ScanEnd::Clean);
+        assert!(!rep.torn());
+        assert_eq!(rep.last_seq, 2);
+        assert_eq!(rep.valid_bytes, log.len() as u64);
+    }
+
+    #[test]
+    fn scan_truncates_torn_tail_at_every_cut_point() {
+        let r1 = record(1, 1, &[("a", Some(b"one"))]);
+        let r2 = record(2, 2, &[("b", Some(b"two")), ("c", None)]);
+        let mut log = r1.clone();
+        log.extend(&r2);
+        // Cut anywhere strictly inside r2: exactly r1 survives.
+        for cut in r1.len() + 1..log.len() {
+            let (recs, rep) = scan(&log[..cut], 1);
+            assert_eq!(recs.len(), 1, "cut at {cut}");
+            assert_eq!(rep.last_seq, 1);
+            assert!(rep.torn());
+            assert_eq!(rep.valid_bytes, r1.len() as u64);
+        }
+        // Cut inside r1: nothing survives.
+        for cut in 1..r1.len() {
+            let (recs, rep) = scan(&log[..cut], 1);
+            assert!(recs.is_empty(), "cut at {cut}");
+            assert!(rep.torn());
+        }
+    }
+
+    #[test]
+    fn scan_rejects_corrupt_payload_byte() {
+        let r1 = record(1, 1, &[("a", Some(b"one"))]);
+        let mut log = r1.clone();
+        log.extend(record(2, 2, &[("b", Some(b"two"))]));
+        log.extend(record(3, 3, &[("c", Some(b"three"))]));
+        // Flip one payload byte of record 2: records 1 survives, 2 and 3
+        // are gone (prefix-only recovery).
+        let flip = r1.len() + HEADER_LEN + 2;
+        log[flip] ^= 0xFF;
+        let (recs, rep) = scan(&log, 1);
+        assert_eq!(recs.len(), 1);
+        assert_eq!(rep.end, ScanEnd::BadChecksum);
+        assert_eq!(rep.truncated_bytes as usize, log.len() - r1.len());
+    }
+
+    #[test]
+    fn scan_rejects_bad_magic_and_sequence_gap() {
+        let mut log = record(1, 1, &[("a", Some(b"1"))]);
+        let r1_len = log.len();
+        log.extend(record(3, 3, &[("c", Some(b"3"))])); // gap: 2 missing
+        let (recs, rep) = scan(&log, 1);
+        assert_eq!(recs.len(), 1);
+        assert_eq!(rep.end, ScanEnd::BadSequence);
+        assert_eq!(rep.valid_bytes as usize, r1_len);
+
+        let mut garbage = record(1, 1, &[("a", Some(b"1"))]);
+        garbage.extend(b"not a record at all......");
+        let (recs, rep) = scan(&garbage, 1);
+        assert_eq!(recs.len(), 1);
+        assert_eq!(rep.end, ScanEnd::BadMagic);
+    }
+
+    #[test]
+    fn scan_empty_is_clean() {
+        let (recs, rep) = scan(&[], 1);
+        assert!(recs.is_empty());
+        assert_eq!(rep.end, ScanEnd::Clean);
+        assert_eq!(rep.last_seq, 0);
+        assert!(!rep.torn());
+    }
+}

@@ -1,0 +1,625 @@
+//! The store: sharded `TVar` buckets behind `Defer` handles, with WAL
+//! durability via `atomic_defer`.
+//!
+//! ## Data layout
+//!
+//! Keys hash (FNV-1a) to one of `shards` shards; within a shard, to one of
+//! `buckets_per_shard` buckets. A bucket is an immutable sorted
+//! `Arc<Vec<(key, value)>>` held in a `TVar` — updates clone-and-replace
+//! the vector, which keeps `TVar`'s `Clone` cheap (an `Arc` bump) for
+//! readers and gives point lookups a binary search.
+//!
+//! Each shard (not each bucket) is a [`Defer`]-wrapped object: transactions
+//! reach the bucket `TVar`s through [`Defer::with`], which subscribes to
+//! the shard's implicit `TxLock`. That is the granularity at which deferred
+//! WAL appends exclude observers — fine enough that writers to different
+//! shards coalesce their fsyncs concurrently, coarse enough that the lock
+//! table stays small. `trace::contention_report` on a traced run shows
+//! whether the default shard count spreads load (see `kv_bench`).
+//!
+//! ## Write protocol
+//!
+//! [`KvStore::write_batch`] encodes the redo record *before* entering the
+//! transaction (re-execution on conflict must not re-serialize), then in
+//! one transaction: `atomic_defer` over the touched shards (first, per the
+//! ordering discipline for potentially-irrevocable transactions), then the
+//! bucket updates. The deferred operation appends to the WAL and blocks
+//! until its covering fsync returns — so `write_batch` acks only durable
+//! writes, and the shard locks make commit + durability one atomic step as
+//! far as any other transaction can tell.
+
+use std::collections::BTreeMap;
+use std::fs::OpenOptions;
+use std::io::{self, Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use ad_defer::{atomic_defer, Defer, Deferrable};
+use ad_stm::{Runtime, StmResult, TVar, TmConfig, Tx};
+use ad_support::sync::atomic::{AtomicU64, Ordering};
+
+use crate::recover::{encode_redo, scan, RecoveryReport, RedoRecord};
+use crate::wal::{FileMedium, SyncPolicy, Wal, WalMedium, WalStats};
+
+/// Whether (and how) the store persists writes.
+#[derive(Debug, Clone)]
+pub enum Durability {
+    /// No WAL: pure in-memory transactional store. The baseline that
+    /// isolates STM cost from I/O cost in `kv_bench`.
+    Volatile,
+    /// Write-ahead log at `path`, recovered on open, synced per `sync`.
+    Durable {
+        /// WAL file path (created if absent, recovered if present).
+        path: PathBuf,
+        /// Group-commit or fsync-per-commit.
+        sync: SyncPolicy,
+    },
+}
+
+/// Store configuration.
+#[derive(Debug, Clone)]
+pub struct KvConfig {
+    /// Number of shards — the lock granularity for deferred WAL appends.
+    pub shards: usize,
+    /// Hash buckets per shard.
+    pub buckets_per_shard: usize,
+    /// Persistence mode.
+    pub durability: Durability,
+}
+
+impl Default for KvConfig {
+    fn default() -> Self {
+        KvConfig {
+            shards: 16,
+            buckets_per_shard: 64,
+            durability: Durability::Volatile,
+        }
+    }
+}
+
+impl KvConfig {
+    /// In-memory store with default sharding.
+    pub fn volatile() -> Self {
+        Self::default()
+    }
+
+    /// Durable store with default sharding.
+    pub fn durable(path: impl Into<PathBuf>, sync: SyncPolicy) -> Self {
+        KvConfig {
+            durability: Durability::Durable {
+                path: path.into(),
+                sync,
+            },
+            ..Self::default()
+        }
+    }
+
+    /// Override the shard count (and proportionally the bucket count).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+}
+
+/// An atomic multi-key write: puts and deletes that commit — and become
+/// durable — together or not at all.
+#[derive(Debug, Clone, Default)]
+pub struct WriteBatch {
+    pub(crate) ops: Vec<(String, Option<Vec<u8>>)>,
+}
+
+impl WriteBatch {
+    /// Empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a put. Later ops on the same key win.
+    pub fn put(mut self, key: impl Into<String>, value: impl Into<Vec<u8>>) -> Self {
+        self.ops.push((key.into(), Some(value.into())));
+        self
+    }
+
+    /// Add a delete.
+    pub fn delete(mut self, key: impl Into<String>) -> Self {
+        self.ops.push((key.into(), None));
+        self
+    }
+
+    /// Number of operations in the batch.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when the batch holds no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+/// A sorted immutable bucket; updates clone-and-replace.
+type Bucket = Arc<Vec<(Arc<str>, Arc<[u8]>)>>;
+
+/// One shard: the deferrable unit. Its implicit `TxLock` (via `Defer`)
+/// is what deferred WAL appends hold.
+struct Shard {
+    buckets: Vec<TVar<Bucket>>,
+}
+
+/// The durable transactional KV store. Clone-free: share it via `Arc`.
+pub struct KvStore {
+    rt: Arc<Runtime>,
+    shards: Vec<Defer<Shard>>,
+    buckets_per_shard: usize,
+    wal: Option<Arc<Wal>>,
+    next_txid: AtomicU64,
+    recovery: Option<RecoveryReport>,
+}
+
+fn fnv1a64(data: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in data {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+impl KvStore {
+    /// Open a store: fresh for [`Durability::Volatile`]; for
+    /// [`Durability::Durable`], recover the WAL at `path` (scan, truncate
+    /// the torn tail, replay) and continue appending after it.
+    pub fn open(config: KvConfig) -> io::Result<KvStore> {
+        match &config.durability {
+            Durability::Volatile => Ok(Self::build(
+                config.shards,
+                config.buckets_per_shard,
+                None,
+                &[],
+                None,
+            )),
+            Durability::Durable { path, sync } => {
+                Self::open_durable(path, *sync, config.shards, config.buckets_per_shard)
+            }
+        }
+    }
+
+    fn open_durable(
+        path: &Path,
+        sync: SyncPolicy,
+        shards: usize,
+        buckets_per_shard: usize,
+    ) -> io::Result<KvStore> {
+        let bytes = match std::fs::read(path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(e),
+        };
+        let (records, report) = scan(&bytes, 1);
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        if report.torn() {
+            // Cut the torn tail so the next append continues a valid log,
+            // and make the truncation itself durable before accepting
+            // writes.
+            file.set_len(report.valid_bytes)?;
+            file.sync_data()?;
+        }
+        file.seek(SeekFrom::End(0))?;
+        let wal = Arc::new(Wal::new(
+            Box::new(FileMedium::new(file)),
+            sync,
+            report.last_seq + 1,
+        ));
+        Ok(Self::build(
+            shards,
+            buckets_per_shard,
+            Some(wal),
+            &records,
+            Some(report),
+        ))
+    }
+
+    /// Open over an explicit [`WalMedium`], recovering from `existing`
+    /// (a crash image) first. The testing/bench entry point: `MemMedium`
+    /// here gives byte-exact crash injection without touching disk.
+    pub fn open_on_medium(
+        config: &KvConfig,
+        sync: SyncPolicy,
+        medium: Box<dyn WalMedium>,
+        existing: &[u8],
+    ) -> (KvStore, RecoveryReport) {
+        let (records, report) = scan(existing, 1);
+        let wal = Arc::new(Wal::new(medium, sync, report.last_seq + 1));
+        let store = Self::build(
+            config.shards,
+            config.buckets_per_shard,
+            Some(wal),
+            &records,
+            Some(report.clone()),
+        );
+        (store, report)
+    }
+
+    fn build(
+        shards: usize,
+        buckets_per_shard: usize,
+        wal: Option<Arc<Wal>>,
+        records: &[RedoRecord],
+        recovery: Option<RecoveryReport>,
+    ) -> KvStore {
+        assert!(shards >= 1 && buckets_per_shard >= 1);
+        let store = KvStore {
+            rt: Arc::new(Runtime::new(TmConfig::stm())),
+            shards: (0..shards)
+                .map(|_| {
+                    Defer::new(Shard {
+                        buckets: (0..buckets_per_shard)
+                            .map(|_| TVar::new(Bucket::default()))
+                            .collect(),
+                    })
+                })
+                .collect(),
+            buckets_per_shard,
+            wal,
+            next_txid: AtomicU64::new(1),
+            recovery,
+        };
+        let mut max_txid = 0;
+        for rec in records {
+            max_txid = max_txid.max(rec.txid);
+            store.rt.atomically(|tx| {
+                for (key, value) in &rec.ops {
+                    store.apply_in_tx(tx, key, value.as_deref())?;
+                }
+                Ok(())
+            });
+        }
+        store.next_txid.store(max_txid + 1, Ordering::Relaxed);
+        store
+    }
+
+    fn locate(&self, key: &str) -> (usize, usize) {
+        let h = fnv1a64(key.as_bytes());
+        (
+            (h as u32 as usize) % self.shards.len(),
+            ((h >> 32) as usize) % self.buckets_per_shard,
+        )
+    }
+
+    fn read_in_tx(&self, tx: &mut Tx, key: &str) -> StmResult<Option<Arc<[u8]>>> {
+        let (si, bi) = self.locate(key);
+        self.shards[si].with(tx, |shard, tx| {
+            let bucket = tx.read(&shard.buckets[bi])?;
+            Ok(bucket
+                .binary_search_by(|(k, _)| (**k).cmp(key))
+                .ok()
+                .map(|pos| Arc::clone(&bucket[pos].1)))
+        })
+    }
+
+    fn apply_in_tx(&self, tx: &mut Tx, key: &str, value: Option<&[u8]>) -> StmResult<()> {
+        let (si, bi) = self.locate(key);
+        self.shards[si].with(tx, |shard, tx| {
+            let var = &shard.buckets[bi];
+            let bucket = tx.read(var)?;
+            let mut entries = (*bucket).clone();
+            match entries.binary_search_by(|(k, _)| (**k).cmp(key)) {
+                Ok(pos) => match value {
+                    Some(v) => entries[pos].1 = Arc::from(v),
+                    None => {
+                        entries.remove(pos);
+                    }
+                },
+                Err(pos) => {
+                    if let Some(v) = value {
+                        entries.insert(pos, (Arc::from(key), Arc::from(v)));
+                    }
+                }
+            }
+            tx.write(var, Arc::new(entries))
+        })
+    }
+
+    /// Point lookup (one transaction, subscribes to the key's shard — so a
+    /// concurrent writer's not-yet-durable update is never returned).
+    pub fn get(&self, key: &str) -> Option<Arc<[u8]>> {
+        self.rt.atomically(|tx| self.read_in_tx(tx, key))
+    }
+
+    /// Consistent multi-key lookup: all keys read in one transaction, so
+    /// the result is a serializable snapshot even across shards.
+    pub fn get_many(&self, keys: &[&str]) -> Vec<Option<Arc<[u8]>>> {
+        self.rt.atomically(|tx| {
+            let mut out = Vec::with_capacity(keys.len());
+            for key in keys {
+                out.push(self.read_in_tx(tx, key)?);
+            }
+            Ok(out)
+        })
+    }
+
+    /// Insert or overwrite one key. Returns after the write is durable
+    /// (for durable stores).
+    pub fn put(&self, key: &str, value: &[u8]) {
+        self.write_batch(&WriteBatch::new().put(key, value));
+    }
+
+    /// Delete one key (no-op if absent — the delete is still logged).
+    pub fn delete(&self, key: &str) {
+        self.write_batch(&WriteBatch::new().delete(key));
+    }
+
+    /// Apply an atomic multi-key batch. For durable stores, returns only
+    /// after the batch's single redo record is fsync-covered; the touched
+    /// shards stay locked from commit to durability, so no transaction
+    /// ever observes an acked-but-volatile (or partially applied) batch.
+    pub fn write_batch(&self, batch: &WriteBatch) {
+        if batch.ops.is_empty() {
+            return;
+        }
+        let txid = self.next_txid.fetch_add(1, Ordering::Relaxed);
+        // Encode once, outside the transaction: conflict re-execution must
+        // not redo the serialization work (zero-allocation retry
+        // discipline), and the deferred closure clones only an Arc.
+        let payload: Option<Arc<[u8]>> = self
+            .wal
+            .as_ref()
+            .map(|_| Arc::from(encode_redo(txid, &batch.ops).into_boxed_slice()));
+        let mut touched: Vec<usize> = batch.ops.iter().map(|(k, _)| self.locate(k).0).collect();
+        touched.sort_unstable();
+        touched.dedup();
+        let handles: Vec<Defer<Shard>> = touched.iter().map(|&i| self.shards[i].clone()).collect();
+
+        self.rt.atomically(|tx| {
+            // Deferral first (lock acquisitions are transactional writes on
+            // the TxLocks, but must precede data writes: if the contention
+            // manager escalates this transaction to irrevocable, blocking
+            // lock acquisition after an eager write would be fatal).
+            if let (Some(wal), Some(payload)) = (&self.wal, &payload) {
+                let refs: Vec<&dyn Deferrable> =
+                    handles.iter().map(|s| s as &dyn Deferrable).collect();
+                let wal2 = Arc::clone(wal);
+                let bytes = Arc::clone(payload);
+                let runtime = Arc::clone(&self.rt);
+                atomic_defer(tx, &refs, move || {
+                    wal2.append_durable(&bytes, &runtime);
+                })?;
+            }
+            for (key, value) in &batch.ops {
+                self.apply_in_tx(tx, key, value.as_deref())?;
+            }
+            Ok(())
+        });
+    }
+
+    /// Range scan: all `(key, value)` pairs with `key >= start`, in key
+    /// order, at most `limit` of them — one consistent snapshot across
+    /// every shard.
+    pub fn scan_from(&self, start: &str, limit: usize) -> Vec<(Arc<str>, Arc<[u8]>)> {
+        self.rt.atomically(|tx| {
+            let mut all = Vec::new();
+            for shard in &self.shards {
+                shard.with(tx, |s, tx| {
+                    for var in &s.buckets {
+                        let bucket = tx.read(var)?;
+                        for (k, v) in bucket.iter() {
+                            if k.as_ref() >= start {
+                                all.push((Arc::clone(k), Arc::clone(v)));
+                            }
+                        }
+                    }
+                    Ok(())
+                })?;
+            }
+            all.sort_by(|a, b| a.0.cmp(&b.0));
+            all.truncate(limit);
+            Ok(std::mem::take(&mut all))
+        })
+    }
+
+    /// Full contents as an ordered map — one consistent snapshot. Test and
+    /// recovery-verification helper; O(store size).
+    pub fn dump(&self) -> BTreeMap<String, Vec<u8>> {
+        self.rt.atomically(|tx| {
+            let mut out = BTreeMap::new();
+            for shard in &self.shards {
+                shard.with(tx, |s, tx| {
+                    for var in &s.buckets {
+                        let bucket = tx.read(var)?;
+                        for (k, v) in bucket.iter() {
+                            out.insert(k.to_string(), v.to_vec());
+                        }
+                    }
+                    Ok(())
+                })?;
+            }
+            Ok(std::mem::take(&mut out))
+        })
+    }
+
+    /// Number of live keys (consistent snapshot).
+    pub fn len(&self) -> usize {
+        self.rt.atomically(|tx| {
+            let mut n = 0;
+            for shard in &self.shards {
+                shard.with(tx, |s, tx| {
+                    for var in &s.buckets {
+                        n += tx.read(var)?.len();
+                    }
+                    Ok(())
+                })?;
+            }
+            Ok(std::mem::replace(&mut n, 0))
+        })
+    }
+
+    /// True when the store holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The store's STM runtime — for `set_tracing`, `snapshot_stats`,
+    /// `take_trace`.
+    pub fn runtime(&self) -> &Arc<Runtime> {
+        &self.rt
+    }
+
+    /// Shard count (the deferred-lock granularity).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// WAL counters, if durable.
+    pub fn wal_stats(&self) -> Option<WalStats> {
+        self.wal.as_ref().map(|w| w.stats())
+    }
+
+    /// What recovery found on open, if this store was opened from a log.
+    pub fn recovery_report(&self) -> Option<&RecoveryReport> {
+        self.recovery.as_ref()
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+    use crate::wal::MemMedium;
+
+    #[test]
+    fn put_get_delete_roundtrip() {
+        let store = KvStore::open(KvConfig::volatile()).unwrap();
+        assert_eq!(store.get("k"), None);
+        store.put("k", b"v1");
+        assert_eq!(store.get("k").as_deref(), Some(&b"v1"[..]));
+        store.put("k", b"v2");
+        assert_eq!(store.get("k").as_deref(), Some(&b"v2"[..]));
+        store.delete("k");
+        assert_eq!(store.get("k"), None);
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn batch_is_atomic_and_scan_is_ordered() {
+        let store = KvStore::open(KvConfig::volatile()).unwrap();
+        store.write_batch(
+            &WriteBatch::new()
+                .put("c", b"3")
+                .put("a", b"1")
+                .put("b", b"2")
+                .delete("a"),
+        );
+        assert_eq!(store.len(), 2);
+        let scanned = store.scan_from("", 10);
+        let keys: Vec<&str> = scanned.iter().map(|(k, _)| k.as_ref()).collect();
+        assert_eq!(keys, vec!["b", "c"]);
+        assert_eq!(store.scan_from("c", 10).len(), 1);
+        assert_eq!(store.scan_from("b", 1).len(), 1);
+    }
+
+    #[test]
+    fn later_ops_in_a_batch_win() {
+        let store = KvStore::open(KvConfig::volatile()).unwrap();
+        store.write_batch(&WriteBatch::new().put("k", b"first").put("k", b"second"));
+        assert_eq!(store.get("k").as_deref(), Some(&b"second"[..]));
+    }
+
+    #[test]
+    fn durable_put_is_synced_before_ack() {
+        let mem = MemMedium::new();
+        let (store, report) = KvStore::open_on_medium(
+            &KvConfig::default(),
+            SyncPolicy::GroupCommit,
+            Box::new(mem.clone()),
+            &[],
+        );
+        assert_eq!(report.records, 0);
+        store.put("k", b"v");
+        // The ack contract: by the time put() returned, the record is in
+        // the *synced* prefix, not merely written.
+        assert!(!mem.synced().is_empty());
+        assert_eq!(mem.synced().len(), mem.written().len());
+        let stats = store.wal_stats().unwrap();
+        assert_eq!(stats.records, 1);
+    }
+
+    #[test]
+    fn reopen_recovers_committed_state() {
+        let mem = MemMedium::new();
+        let cfg = KvConfig::default();
+        let (store, _) = KvStore::open_on_medium(
+            &cfg,
+            SyncPolicy::GroupCommit,
+            Box::new(mem.clone()),
+            &[],
+        );
+        store.put("a", b"1");
+        store.write_batch(&WriteBatch::new().put("b", b"2").put("c", b"3"));
+        store.delete("a");
+        let before = store.dump();
+        drop(store);
+
+        let image = mem.synced();
+        let (reopened, report) = KvStore::open_on_medium(
+            &cfg,
+            SyncPolicy::GroupCommit,
+            Box::new(MemMedium::new()),
+            &image,
+        );
+        assert_eq!(report.records, 3);
+        assert!(!report.torn());
+        assert_eq!(reopened.dump(), before);
+        // And the store is writable with continuing sequence numbers.
+        reopened.put("d", b"4");
+        assert_eq!(reopened.len(), 3);
+    }
+
+    #[test]
+    fn file_backed_open_recovers_across_process_style_reopen() {
+        let dir = std::env::temp_dir().join(format!("ad-kv-store-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store.wal");
+        let _ = std::fs::remove_file(&path);
+
+        let cfg = KvConfig::durable(&path, SyncPolicy::GroupCommit);
+        let store = KvStore::open(cfg.clone()).unwrap();
+        store.put("x", b"1");
+        store.put("y", b"2");
+        let before = store.dump();
+        drop(store);
+
+        let reopened = KvStore::open(cfg).unwrap();
+        assert_eq!(reopened.dump(), before);
+        assert_eq!(reopened.recovery_report().unwrap().records, 2);
+        drop(reopened);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn get_many_is_a_consistent_snapshot_shape() {
+        let store = KvStore::open(KvConfig::volatile()).unwrap();
+        store.write_batch(&WriteBatch::new().put("a", b"1").put("z", b"26"));
+        let got = store.get_many(&["a", "missing", "z"]);
+        assert_eq!(got[0].as_deref(), Some(&b"1"[..]));
+        assert_eq!(got[1], None);
+        assert_eq!(got[2].as_deref(), Some(&b"26"[..]));
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop_and_logs_nothing() {
+        let mem = MemMedium::new();
+        let (store, _) = KvStore::open_on_medium(
+            &KvConfig::default(),
+            SyncPolicy::PerCommit,
+            Box::new(mem.clone()),
+            &[],
+        );
+        store.write_batch(&WriteBatch::new());
+        assert!(mem.written().is_empty());
+        assert_eq!(store.wal_stats().unwrap().records, 0);
+    }
+}

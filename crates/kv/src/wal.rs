@@ -1,0 +1,483 @@
+//! The write-ahead log: record framing, storage media, and the
+//! group-commit coalescer.
+//!
+//! ## Framing
+//!
+//! Every redo record is framed as
+//!
+//! ```text
+//! magic: u32 ("ADKV") | len: u32 | seq: u64 | crc: u32 | payload[len]
+//! ```
+//!
+//! (little-endian, 20-byte header). `seq` numbers records contiguously
+//! from 1; `crc` is CRC-32 (IEEE) over the payload. Recovery accepts the
+//! longest prefix of well-formed, checksummed, contiguously-numbered
+//! records and truncates the rest as the torn tail of a crashed append —
+//! see [`crate::recover`].
+//!
+//! ## Group commit
+//!
+//! [`Wal::append_durable`] is called from *deferred operations*
+//! (`atomic_defer`), after the calling transaction has committed, while
+//! the shards it touched are still locked. Under
+//! [`SyncPolicy::GroupCommit`] concurrent callers frame their records into
+//! one shared pending buffer; the first to need durability becomes the
+//! *leader*, takes the whole buffer, writes it as a single `write` +
+//! `fsync`, and wakes the others — so N concurrently-committing
+//! transactions cost one fsync, not N. Records enter the buffer in
+//! `seq` order under the state lock, which also means WAL order agrees
+//! with commit order for any two transactions that touched a common shard
+//! (their deferred appends are serialized by the shard's `TxLock`).
+//! [`SyncPolicy::PerCommit`] is the ablation baseline: every append pays
+//! its own write + fsync, fully serialized.
+
+use std::fs::File;
+use std::io::Write;
+use std::time::Instant;
+
+use ad_stm::{EventKind, Runtime};
+use ad_support::crc32::crc32;
+use ad_support::hist::{Histogram, HistogramSnapshot};
+use ad_support::sync::atomic::{AtomicU64, Ordering};
+use ad_support::sync::{Condvar, Mutex};
+
+/// Frame magic: `b"ADKV"` little-endian.
+pub const MAGIC: u32 = u32::from_le_bytes(*b"ADKV");
+/// Frame header size in bytes (magic + len + seq + crc).
+pub const HEADER_LEN: usize = 4 + 4 + 8 + 4;
+/// Upper bound on a record payload (sanity check during recovery scan:
+/// a torn length field must not make the scanner index gigabytes away).
+pub const MAX_PAYLOAD: usize = 1 << 28;
+
+/// When the WAL calls `fsync`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncPolicy {
+    /// Coalesce concurrently-committing transactions into one write +
+    /// fsync (the default).
+    GroupCommit,
+    /// One write + fsync per record, fully serialized — the baseline that
+    /// group commit is measured against.
+    PerCommit,
+}
+
+/// Where WAL bytes go. `File` is the real medium; tests and the loom
+/// model substitute [`MemMedium`] so crash points can be injected
+/// deterministically.
+pub trait WalMedium: Send {
+    /// Append `data` at the end of the log. Must not tear *observably*
+    /// on return (the write call returns after the kernel accepted all
+    /// bytes) — durability still requires [`WalMedium::sync`].
+    fn append(&mut self, data: &[u8]);
+    /// Block until every appended byte is durable.
+    fn sync(&mut self);
+}
+
+/// The real thing: an append-mode file, synced with `fsync`.
+pub struct FileMedium {
+    file: File,
+}
+
+impl FileMedium {
+    /// Wrap an already-positioned append-mode file.
+    pub fn new(file: File) -> Self {
+        FileMedium { file }
+    }
+}
+
+impl WalMedium for FileMedium {
+    fn append(&mut self, data: &[u8]) {
+        self.file.write_all(data).expect("WAL append failed");
+    }
+
+    fn sync(&mut self) {
+        self.file.sync_data().expect("WAL fsync failed");
+    }
+}
+
+/// An in-memory medium with crash-point injection: it remembers which
+/// prefix has been synced, so a test can ask "what would the disk hold if
+/// we crashed right now?" — synced bytes survive for sure, unsynced bytes
+/// survive only as the prefix the test chooses to keep.
+#[derive(Clone, Default)]
+pub struct MemMedium {
+    inner: std::sync::Arc<Mutex<MemMediumInner>>,
+}
+
+#[derive(Default)]
+struct MemMediumInner {
+    written: Vec<u8>,
+    synced_len: usize,
+    syncs: u64,
+}
+
+impl MemMedium {
+    /// New empty medium.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Everything appended so far (synced or not).
+    pub fn written(&self) -> Vec<u8> {
+        self.inner.lock().written.clone()
+    }
+
+    /// The durable prefix: what survives a crash for certain.
+    pub fn synced(&self) -> Vec<u8> {
+        let g = self.inner.lock();
+        g.written[..g.synced_len].to_vec()
+    }
+
+    /// Number of [`WalMedium::sync`] calls so far.
+    pub fn sync_count(&self) -> u64 {
+        self.inner.lock().syncs
+    }
+
+    /// A crash image: the synced prefix plus the first `extra_unsynced`
+    /// bytes of the unsynced tail (bytes handed to the kernel may or may
+    /// not reach the platter before power loss — the test picks).
+    pub fn crash_image(&self, extra_unsynced: usize) -> Vec<u8> {
+        let g = self.inner.lock();
+        let keep = (g.synced_len + extra_unsynced).min(g.written.len());
+        g.written[..keep].to_vec()
+    }
+}
+
+impl WalMedium for MemMedium {
+    fn append(&mut self, data: &[u8]) {
+        self.inner.lock().written.extend_from_slice(data);
+    }
+
+    fn sync(&mut self) {
+        let mut g = self.inner.lock();
+        g.synced_len = g.written.len();
+        g.syncs += 1;
+    }
+}
+
+/// Frame one record (header + payload) into `out`; returns the framed
+/// length in bytes.
+pub fn frame_record(out: &mut Vec<u8>, seq: u64, payload: &[u8]) -> usize {
+    assert!(payload.len() <= MAX_PAYLOAD, "WAL payload too large");
+    out.extend_from_slice(&MAGIC.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&seq.to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    HEADER_LEN + payload.len()
+}
+
+/// Group-commit state shared by all appenders (guarded by one mutex; the
+/// condvar wakes waiters when `durable_seq` advances).
+struct WalState {
+    /// Framed records awaiting the next batch write.
+    pending: Vec<u8>,
+    /// Records currently framed into `pending`.
+    pending_records: u64,
+    /// Next sequence number to assign (first record is seq 1).
+    next_seq: u64,
+    /// Highest sequence number known durable.
+    durable_seq: u64,
+    /// A leader is currently writing + syncing a batch.
+    leader_active: bool,
+}
+
+/// Cumulative WAL counters and latency histograms (all relaxed:
+/// diagnostics, not synchronization).
+#[derive(Default)]
+struct WalCounters {
+    records: AtomicU64,
+    batches: AtomicU64,
+    bytes: AtomicU64,
+    /// `append_durable` total latency: framing + queueing + fsync wait, ns.
+    append_ns: Histogram,
+    /// Leader-side `write` + `fsync` latency per batch, ns.
+    fsync_ns: Histogram,
+}
+
+/// A snapshot of the WAL's counters ([`Wal::stats`]), serializable with
+/// the same hand-rolled JSON the rest of the workspace uses.
+#[derive(Debug, Clone, Default)]
+pub struct WalStats {
+    /// Records made durable.
+    pub records: u64,
+    /// fsync batches issued (== fsync calls).
+    pub batches: u64,
+    /// Bytes written to the medium.
+    pub bytes: u64,
+    /// `append_durable` call latency (enqueue → durable ack), ns.
+    pub append_ns: HistogramSnapshot,
+    /// Batch write+fsync latency, ns.
+    pub fsync_ns: HistogramSnapshot,
+}
+
+impl WalStats {
+    /// Average records per fsync — the group-commit coalescing factor
+    /// (1.0 means no coalescing happened).
+    pub fn coalescing(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.records as f64 / self.batches as f64
+        }
+    }
+
+    /// Stable-schema JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"records\":{},\"batches\":{},\"bytes\":{},\"coalescing\":{:.2},\
+             \"append_ns\":{},\"fsync_ns\":{}}}",
+            self.records,
+            self.batches,
+            self.bytes,
+            self.coalescing(),
+            self.append_ns.to_json(),
+            self.fsync_ns.to_json(),
+        )
+    }
+}
+
+/// The write-ahead log. Shared by every shard's deferred operations;
+/// see the module docs for the coalescing protocol.
+pub struct Wal {
+    medium: Mutex<Box<dyn WalMedium>>,
+    state: Mutex<WalState>,
+    durable_cv: Condvar,
+    sync_policy: SyncPolicy,
+    counters: WalCounters,
+}
+
+impl Wal {
+    /// Create a WAL over `medium`. `next_seq` is 1 for a fresh log, or
+    /// `last_recovered_seq + 1` when appending after recovery.
+    pub fn new(medium: Box<dyn WalMedium>, sync_policy: SyncPolicy, next_seq: u64) -> Self {
+        assert!(next_seq >= 1);
+        Wal {
+            medium: Mutex::new(medium),
+            state: Mutex::new(WalState {
+                pending: Vec::new(),
+                pending_records: 0,
+                next_seq,
+                durable_seq: next_seq - 1,
+                leader_active: false,
+            }),
+            durable_cv: Condvar::new(),
+            sync_policy,
+            counters: WalCounters::default(),
+        }
+    }
+
+    /// The configured sync policy.
+    pub fn sync_policy(&self) -> SyncPolicy {
+        self.sync_policy
+    }
+
+    /// Append `payload` as the next record and block until it is durable
+    /// (its covering fsync returned). Returns the record's sequence
+    /// number. `rt` is the runtime whose observability timeline receives
+    /// the `wal_append`/`wal_fsync` events.
+    ///
+    /// Called from deferred operations while the deferring transaction's
+    /// shard locks are held — which is exactly what makes "ack after
+    /// deferred fsync" atomic: no subscriber can observe the shard between
+    /// the commit and the moment its redo record is on disk.
+    pub fn append_durable(&self, payload: &[u8], rt: &Runtime) -> u64 {
+        let t0 = Instant::now();
+        let mut st = self.state.lock();
+        let seq = st.next_seq;
+        st.next_seq += 1;
+        let framed = frame_record(&mut st.pending, seq, payload);
+        st.pending_records += 1;
+        rt.trace_app(EventKind::WalAppend, framed as u64);
+
+        match self.sync_policy {
+            SyncPolicy::PerCommit => {
+                // Serial baseline: write + sync our own record while
+                // holding the state lock (state → medium lock order, same
+                // as the group path's leader).
+                let batch = std::mem::take(&mut st.pending);
+                let records = std::mem::take(&mut st.pending_records);
+                let ts = Instant::now();
+                {
+                    let mut m = self.medium.lock();
+                    m.append(&batch);
+                    m.sync();
+                }
+                self.note_batch(records, batch.len(), ts, rt);
+                st.durable_seq = seq;
+            }
+            SyncPolicy::GroupCommit => loop {
+                if st.durable_seq >= seq {
+                    break;
+                }
+                if !st.leader_active {
+                    // Become leader: take everything framed so far (our
+                    // record plus any concurrent appenders'), write and
+                    // sync it as one batch.
+                    st.leader_active = true;
+                    let batch = std::mem::take(&mut st.pending);
+                    let records = std::mem::take(&mut st.pending_records);
+                    let batch_hi = st.next_seq - 1;
+                    drop(st);
+                    let ts = Instant::now();
+                    {
+                        let mut m = self.medium.lock();
+                        m.append(&batch);
+                        m.sync();
+                    }
+                    self.note_batch(records, batch.len(), ts, rt);
+                    st = self.state.lock();
+                    st.durable_seq = batch_hi;
+                    st.leader_active = false;
+                    self.durable_cv.notify_all();
+                } else {
+                    // A leader's batch is in flight; it may or may not
+                    // include our record. Wait for durable_seq to move.
+                    self.durable_cv.wait(&mut st);
+                }
+            },
+        }
+        drop(st);
+        self.counters
+            .append_ns
+            .record(t0.elapsed().as_nanos() as u64);
+        seq
+    }
+
+    fn note_batch(&self, records: u64, bytes: usize, started: Instant, rt: &Runtime) {
+        self.counters
+            .fsync_ns
+            .record(started.elapsed().as_nanos() as u64);
+        self.counters.records.fetch_add(records, Ordering::Relaxed);
+        self.counters.batches.fetch_add(1, Ordering::Relaxed);
+        self.counters.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        rt.trace_app(EventKind::WalFsync, records);
+    }
+
+    /// Highest sequence number known durable.
+    pub fn durable_seq(&self) -> u64 {
+        self.state.lock().durable_seq
+    }
+
+    /// Snapshot the WAL counters and latency histograms.
+    pub fn stats(&self) -> WalStats {
+        WalStats {
+            records: self.counters.records.load(Ordering::Relaxed),
+            batches: self.counters.batches.load(Ordering::Relaxed),
+            bytes: self.counters.bytes.load(Ordering::Relaxed),
+            append_ns: self.counters.append_ns.snapshot(),
+            fsync_ns: self.counters.fsync_ns.snapshot(),
+        }
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+    use ad_stm::{Runtime, TmConfig};
+    use std::sync::Arc;
+
+    #[test]
+    fn frame_layout_is_as_documented() {
+        let mut buf = Vec::new();
+        let n = frame_record(&mut buf, 7, b"payload");
+        assert_eq!(n, HEADER_LEN + 7);
+        assert_eq!(buf.len(), n);
+        assert_eq!(&buf[0..4], b"ADKV");
+        assert_eq!(u32::from_le_bytes(buf[4..8].try_into().unwrap()), 7);
+        assert_eq!(u64::from_le_bytes(buf[8..16].try_into().unwrap()), 7);
+        assert_eq!(
+            u32::from_le_bytes(buf[16..20].try_into().unwrap()),
+            crc32(b"payload")
+        );
+        assert_eq!(&buf[20..], b"payload");
+    }
+
+    #[test]
+    fn append_durable_syncs_before_returning() {
+        let mem = MemMedium::new();
+        let wal = Wal::new(Box::new(mem.clone()), SyncPolicy::GroupCommit, 1);
+        let rt = Runtime::new(TmConfig::stm());
+        let seq = wal.append_durable(b"rec-1", &rt);
+        assert_eq!(seq, 1);
+        // Durability, not just buffering: the synced prefix contains the
+        // whole record by the time the call returns.
+        let synced = mem.synced();
+        assert_eq!(synced.len(), HEADER_LEN + 5);
+        assert_eq!(wal.durable_seq(), 1);
+        assert_eq!(wal.stats().records, 1);
+        assert_eq!(wal.stats().batches, 1);
+    }
+
+    #[test]
+    fn per_commit_pays_one_sync_per_record() {
+        let mem = MemMedium::new();
+        let wal = Wal::new(Box::new(mem.clone()), SyncPolicy::PerCommit, 1);
+        let rt = Runtime::new(TmConfig::stm());
+        for i in 0..5u64 {
+            assert_eq!(wal.append_durable(format!("r{i}").as_bytes(), &rt), i + 1);
+        }
+        assert_eq!(mem.sync_count(), 5);
+        let s = wal.stats();
+        assert_eq!(s.records, 5);
+        assert_eq!(s.batches, 5);
+        assert!((s.coalescing() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn group_commit_coalesces_concurrent_appends() {
+        // A medium whose sync dawdles long enough that concurrent
+        // appenders pile up behind the in-flight leader — forcing at
+        // least one multi-record batch.
+        struct SlowSync(MemMedium);
+        impl WalMedium for SlowSync {
+            fn append(&mut self, data: &[u8]) {
+                self.0.append(data);
+            }
+            fn sync(&mut self) {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                self.0.sync();
+            }
+        }
+
+        let mem = MemMedium::new();
+        let wal = Arc::new(Wal::new(
+            Box::new(SlowSync(mem.clone())),
+            SyncPolicy::GroupCommit,
+            1,
+        ));
+        let rt = Arc::new(Runtime::new(TmConfig::stm()));
+        let threads = 8;
+        let per = 10u64;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let wal = Arc::clone(&wal);
+                let rt = Arc::clone(&rt);
+                s.spawn(move || {
+                    for i in 0..per {
+                        wal.append_durable(format!("t{t}i{i}").as_bytes(), &rt);
+                    }
+                });
+            }
+        });
+        let stats = wal.stats();
+        assert_eq!(stats.records, threads * per);
+        assert!(
+            stats.batches < stats.records,
+            "no coalescing: {} batches for {} records",
+            stats.batches,
+            stats.records
+        );
+        assert_eq!(mem.sync_count(), stats.batches);
+        // All bytes are durable.
+        assert_eq!(mem.synced().len(), mem.written().len());
+        assert_eq!(wal.durable_seq(), threads * per);
+    }
+
+    #[test]
+    fn seq_numbers_resume_after_recovery_point() {
+        let wal = Wal::new(Box::new(MemMedium::new()), SyncPolicy::GroupCommit, 42);
+        let rt = Runtime::new(TmConfig::stm());
+        assert_eq!(wal.durable_seq(), 41);
+        assert_eq!(wal.append_durable(b"x", &rt), 42);
+    }
+}

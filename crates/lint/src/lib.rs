@@ -578,7 +578,7 @@ fn path_follows(toks: &[(Tok, usize)], i: usize, path: &[&str]) -> bool {
 /// lint's own deliberately-bad fixtures.
 const SKIP_DIRS: &[&str] = &["target", ".git", "tests", "benches", "fixtures"];
 
-/// Recursively scan every `.rs` file under `root` (skipping [`SKIP_DIRS`])
+/// Recursively scan every `.rs` file under `root` (skipping `SKIP_DIRS`)
 /// and return all findings, sorted by file and line.
 pub fn scan_tree(root: &Path) -> std::io::Result<Vec<Finding>> {
     let mut findings = Vec::new();

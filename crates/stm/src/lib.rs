@@ -101,7 +101,7 @@ pub use config::{HtmConfig, Mode, RetryPolicy, TmConfig};
 pub use error::{StmError, StmResult};
 pub use runtime::{atomically, synchronized, Runtime};
 pub use stats::{StatsReport, StatsSnapshot};
-pub use trace::{EventKind, Trace, TraceEvent};
+pub use trace::{ContentionEntry, ContentionReport, EventKind, Trace, TraceEvent};
 pub use tx::{PostCommitFn, Tx};
 pub use var::TVar;
 

@@ -177,6 +177,19 @@ impl Runtime {
         self.inner.sink.push(self.inner.id, kind, arg);
     }
 
+    /// Record an application-level event on this runtime's timeline from
+    /// *outside* any transaction — deferred operations, I/O helper threads.
+    /// A no-op (one relaxed load) when tracing is off. This is how `ad-kv`
+    /// puts its [`EventKind::WalAppend`]/[`EventKind::WalFsync`] points
+    /// next to the STM lifecycle events; inside a transaction use
+    /// [`Tx::trace`] instead, which caches the toggle.
+    #[inline]
+    pub fn trace_app(&self, kind: EventKind, arg: u64) {
+        if self.inner.sink.enabled() {
+            self.trace_event(kind, arg);
+        }
+    }
+
     /// Run `f` as an atomic transaction, re-executing on conflicts and
     /// blocking on [`retry`](Tx::retry), until it commits; returns the
     /// closure's result.

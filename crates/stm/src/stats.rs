@@ -290,6 +290,24 @@ impl StatsReport {
         )
     }
 
+    /// The interval report between `earlier` and `self` — two reports from
+    /// the *same* runtime, `earlier` taken first. Counters subtract via
+    /// [`StatsSnapshot::delta_since`]; histograms subtract per bucket (their
+    /// `max` stays the whole-run max, an upper bound for the interval).
+    /// This is how `kv_bench` separates warm-up from steady state without
+    /// resetting the runtime mid-run.
+    pub fn delta(&self, earlier: &StatsReport) -> StatsReport {
+        StatsReport {
+            counters: self.counters.delta_since(&earlier.counters),
+            commit_latency_ns: self.commit_latency_ns.delta_since(&earlier.commit_latency_ns),
+            quiesce_wait_ns: self.quiesce_wait_ns.delta_since(&earlier.quiesce_wait_ns),
+            retry_backoff_ns: self.retry_backoff_ns.delta_since(&earlier.retry_backoff_ns),
+            defer_queue_to_done_ns: self
+                .defer_queue_to_done_ns
+                .delta_since(&earlier.defer_queue_to_done_ns),
+        }
+    }
+
     /// Merge another report into this one (summing counters and histogram
     /// buckets) — used to aggregate per-cell reports in the bench bins.
     pub fn merge(&mut self, other: &StatsReport) {
@@ -441,6 +459,31 @@ mod tests {
             j.matches('}').count(),
             "unbalanced JSON: {j}"
         );
+    }
+
+    #[test]
+    fn report_delta_subtracts_counters_and_histograms() {
+        let s = Stats::default();
+        s.on_commit();
+        s.on_commit_latency(100);
+        s.on_quiesce(1_000);
+        let warmup = s.report();
+        s.on_commit();
+        s.on_commit();
+        s.on_commit_latency(200);
+        s.on_commit_latency(300);
+        s.on_defer_latency(50);
+        let total = s.report();
+        let steady = total.delta(&warmup);
+        assert_eq!(steady.counters.commits, 2);
+        assert_eq!(steady.commit_latency_ns.count(), 2);
+        assert_eq!(steady.commit_latency_ns.sum(), 500);
+        // The warm-up-only quiescence wait is excluded from the interval.
+        assert_eq!(steady.counters.quiesce_waits, 0);
+        assert_eq!(steady.quiesce_wait_ns.count(), 0);
+        assert_eq!(steady.defer_queue_to_done_ns.count(), 1);
+        // The delta serializes like any report.
+        assert!(steady.to_json().contains("\"commits\":2"));
     }
 
     #[test]

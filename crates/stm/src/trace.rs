@@ -82,6 +82,16 @@ pub enum EventKind {
     LockAcquire = 12,
     /// The runner backed off after a failed attempt; `arg` = nanoseconds.
     Backoff = 13,
+    /// A WAL record was framed into the group-commit buffer (`ad-kv`,
+    /// recorded from the deferred operation via [`Runtime::trace_app`]);
+    /// `arg` = the framed record's size in bytes.
+    ///
+    /// [`Runtime::trace_app`]: crate::Runtime::trace_app
+    WalAppend = 14,
+    /// A WAL fsync batch completed; `arg` = the number of records the
+    /// batch made durable (1 under fsync-per-commit; >1 means group commit
+    /// coalesced concurrent transactions into one sync).
+    WalFsync = 15,
 }
 
 impl EventKind {
@@ -101,6 +111,8 @@ impl EventKind {
             EventKind::LockSubscribe => "lock_subscribe",
             EventKind::LockAcquire => "lock_acquire",
             EventKind::Backoff => "backoff",
+            EventKind::WalAppend => "wal_append",
+            EventKind::WalFsync => "wal_fsync",
         }
     }
 
@@ -129,6 +141,8 @@ impl EventKind {
             11 => EventKind::LockSubscribe,
             12 => EventKind::LockAcquire,
             13 => EventKind::Backoff,
+            14 => EventKind::WalAppend,
+            15 => EventKind::WalFsync,
             _ => return None,
         })
     }
@@ -188,6 +202,8 @@ impl fmt::Display for TraceEvent {
             EventKind::QuiesceExit | EventKind::Backoff => {
                 write!(f, " waited={:.1}us", self.arg as f64 / 1e3)
             }
+            EventKind::WalAppend => write!(f, " bytes={}", self.arg),
+            EventKind::WalFsync => write!(f, " records={}", self.arg),
             _ => write!(f, " arg={}", self.arg),
         }
     }
@@ -221,6 +237,244 @@ impl Trace {
             s.push_str(&format!("({} events dropped to ring wrap)\n", self.dropped));
         }
         s
+    }
+
+    /// Render the timeline as chrome://tracing trace-event JSON
+    /// (`{"traceEvents":[..]}`), loadable in Perfetto / `chrome://tracing`.
+    ///
+    /// Paired lifecycle events become complete (`"ph":"X"`) duration slices
+    /// — `begin`→`commit`/`abort` as a `txn` slice, `quiesce_enter`→
+    /// `quiesce_exit` as `quiesce`, `defer_exec_start`→`defer_exec_end`
+    /// (matched by queue index) as `defer_op` — and everything else is an
+    /// instant (`"ph":"i"`). Timestamps are microseconds since the process
+    /// trace epoch; `tid` is the trace-local thread id.
+    pub fn to_chrome_json(&self) -> String {
+        // Comma placement between events needs one bit of state; carrying
+        // it with the buffer keeps every call site a plain `w.push(..)`.
+        struct EventSink {
+            out: String,
+            first: bool,
+        }
+        impl EventSink {
+            fn push(
+                &mut self,
+                name: &str,
+                ph: char,
+                thread: u32,
+                ts_ns: u64,
+                dur_ns: Option<u64>,
+                args: &[(&str, String)],
+            ) {
+                let out = &mut self.out;
+                if !self.first {
+                    out.push_str(",\n");
+                }
+                self.first = false;
+                out.push_str(&format!(
+                    "  {{\"name\":\"{name}\",\"ph\":\"{ph}\",\"pid\":0,\"tid\":{thread},\
+                     \"ts\":{:.3}",
+                    ts_ns as f64 / 1e3,
+                ));
+                if let Some(d) = dur_ns {
+                    out.push_str(&format!(",\"dur\":{:.3}", d as f64 / 1e3));
+                }
+                if ph == 'i' {
+                    // Thread-scoped instants render as small arrows on the row.
+                    out.push_str(",\"s\":\"t\"");
+                }
+                if !args.is_empty() {
+                    out.push_str(",\"args\":{");
+                    for (i, (k, v)) in args.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        out.push_str(&format!("\"{k}\":{v}"));
+                    }
+                    out.push('}');
+                }
+                out.push('}');
+            }
+        }
+
+        let mut w = EventSink {
+            out: String::with_capacity(64 + self.events.len() * 96),
+            first: true,
+        };
+        w.out.push_str("{\"traceEvents\":[\n");
+        // Open-slice state per thread: transaction begin, quiescence entry,
+        // and in-flight deferred ops keyed by queue index.
+        let mut open_txn: FxHashMap<u32, u64> = FxHashMap::default();
+        let mut open_quiesce: FxHashMap<u32, u64> = FxHashMap::default();
+        let mut open_defer: FxHashMap<(u32, u64), u64> = FxHashMap::default();
+        for e in &self.events {
+            match e.kind {
+                EventKind::Begin => {
+                    // A begin with no matching end (ring wrap, still
+                    // running) is replaced by the next begin; emit nothing.
+                    open_txn.insert(e.thread, e.ts_ns);
+                }
+                EventKind::Commit | EventKind::Abort => {
+                    let label = if e.kind == EventKind::Commit {
+                        ("mode", format!("\"{}\"", if e.arg == 1 { "serial" } else { "speculative" }))
+                    } else {
+                        ("cause", format!("\"{}\"", EventKind::abort_cause_name(e.arg)))
+                    };
+                    match open_txn.remove(&e.thread) {
+                        Some(start) => w.push(
+                            if e.kind == EventKind::Commit { "txn" } else { "txn_abort" },
+                            'X',
+                            e.thread,
+                            start,
+                            Some(e.ts_ns.saturating_sub(start)),
+                            &[label],
+                        ),
+                        None => w.push(e.kind.name(), 'i', e.thread, e.ts_ns, None, &[label]),
+                    }
+                }
+                EventKind::QuiesceEnter => {
+                    open_quiesce.insert(e.thread, e.ts_ns);
+                }
+                EventKind::QuiesceExit => match open_quiesce.remove(&e.thread) {
+                    Some(start) => w.push(
+                        "quiesce",
+                        'X',
+                        e.thread,
+                        start,
+                        Some(e.ts_ns.saturating_sub(start)),
+                        &[("waited_ns", e.arg.to_string())],
+                    ),
+                    None => w.push(
+                        "quiesce_exit",
+                        'i',
+                        e.thread,
+                        e.ts_ns,
+                        None,
+                        &[("waited_ns", e.arg.to_string())],
+                    ),
+                },
+                EventKind::DeferExecStart => {
+                    open_defer.insert((e.thread, e.arg), e.ts_ns);
+                }
+                EventKind::DeferExecEnd => match open_defer.remove(&(e.thread, e.arg)) {
+                    Some(start) => w.push(
+                        "defer_op",
+                        'X',
+                        e.thread,
+                        start,
+                        Some(e.ts_ns.saturating_sub(start)),
+                        &[("index", e.arg.to_string())],
+                    ),
+                    None => w.push(
+                        "defer_exec_end",
+                        'i',
+                        e.thread,
+                        e.ts_ns,
+                        None,
+                        &[("index", e.arg.to_string())],
+                    ),
+                },
+                _ => w.push(
+                    e.kind.name(),
+                    'i',
+                    e.thread,
+                    e.ts_ns,
+                    None,
+                    &[("arg", e.arg.to_string())],
+                ),
+            }
+        }
+        w.out.push_str("\n]}\n");
+        w.out
+    }
+
+    /// Aggregate `validate_fail` events into a per-`TVar` contention
+    /// report: the top-`n` hottest variables by failed-validation count.
+    /// `validate_fail` carries the offending variable's id (0 when the
+    /// failure could not be attributed), so this table pinpoints which
+    /// shared variables cause aborts — `kv_bench` uses it to validate its
+    /// shard count, `txtrace` prints it after the timeline.
+    pub fn contention_report(&self, n: usize) -> ContentionReport {
+        let mut by_var: FxHashMap<u64, u64> = FxHashMap::default();
+        let mut total = 0u64;
+        for e in &self.events {
+            if e.kind == EventKind::ValidateFail {
+                total += 1;
+                *by_var.entry(e.arg).or_insert(0) += 1;
+            }
+        }
+        let mut entries: Vec<ContentionEntry> = by_var
+            .into_iter()
+            .map(|(var, fails)| ContentionEntry { var, fails })
+            .collect();
+        entries.sort_unstable_by_key(|e| (std::cmp::Reverse(e.fails), e.var));
+        entries.truncate(n);
+        ContentionReport {
+            entries,
+            total_fails: total,
+        }
+    }
+}
+
+/// One row of a [`ContentionReport`]: a variable id and how many failed
+/// validations it caused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ContentionEntry {
+    /// The `TVar` id (`TVar::id`), or 0 for unattributed failures.
+    pub var: u64,
+    /// Number of `validate_fail` events carrying this id.
+    pub fails: u64,
+}
+
+/// Top-N "hottest TVars" table aggregated from a [`Trace`]'s
+/// `validate_fail` events (see [`Trace::contention_report`]).
+#[derive(Debug, Clone, Default)]
+pub struct ContentionReport {
+    /// Hottest variables, most-contended first (ties broken by id).
+    pub entries: Vec<ContentionEntry>,
+    /// All `validate_fail` events in the trace, including ones whose
+    /// variable fell outside the top N.
+    pub total_fails: u64,
+}
+
+impl ContentionReport {
+    /// The share of all validation failures attributed to the single
+    /// hottest variable, in `[0, 1]`; 0 when the trace has none. A value
+    /// near 1 on a sharded structure means the sharding is not spreading
+    /// conflicts.
+    pub fn top_share(&self) -> f64 {
+        match self.entries.first() {
+            Some(e) if self.total_fails > 0 => e.fails as f64 / self.total_fails as f64,
+            _ => 0.0,
+        }
+    }
+}
+
+impl fmt::Display for ContentionReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.total_fails == 0 {
+            return writeln!(f, "contention: no validate_fail events in trace");
+        }
+        writeln!(
+            f,
+            "hottest TVars by validate_fail ({} failures total):",
+            self.total_fails
+        )?;
+        writeln!(f, "  {:>12}  {:>8}  share", "var", "fails")?;
+        for e in &self.entries {
+            let var = if e.var == 0 {
+                "(unattributed)".to_string()
+            } else {
+                format!("var#{}", e.var)
+            };
+            writeln!(
+                f,
+                "  {:>12}  {:>8}  {:>5.1}%",
+                var,
+                e.fails,
+                e.fails as f64 * 100.0 / self.total_fails as f64
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -521,6 +775,8 @@ mod tests {
             EventKind::LockSubscribe,
             EventKind::LockAcquire,
             EventKind::Backoff,
+            EventKind::WalAppend,
+            EventKind::WalFsync,
         ] {
             assert_eq!(EventKind::from_code(k as u8), Some(k));
             assert!(!k.name().is_empty());
@@ -547,6 +803,83 @@ mod tests {
             arg: 1,
         };
         assert!(c.to_string().contains("mode=serial"));
+    }
+
+    #[test]
+    fn chrome_json_pairs_lifecycle_events_into_slices() {
+        let sink = TraceSink::default();
+        sink.set_enabled(true);
+        sink.push(9100, EventKind::Begin, 4);
+        sink.push(9100, EventKind::QuiesceEnter, 6);
+        sink.push(9100, EventKind::QuiesceExit, 10);
+        sink.push(9100, EventKind::DeferEnqueue, 0);
+        sink.push(9100, EventKind::Commit, 0);
+        sink.push(9100, EventKind::DeferExecStart, 0);
+        sink.push(9100, EventKind::WalAppend, 64);
+        sink.push(9100, EventKind::WalFsync, 3);
+        sink.push(9100, EventKind::DeferExecEnd, 0);
+        let j = sink.take().to_chrome_json();
+        assert!(j.starts_with("{\"traceEvents\":["), "bad envelope: {j}");
+        // The three pairs became complete slices...
+        assert!(j.contains("\"name\":\"txn\",\"ph\":\"X\""), "{j}");
+        assert!(j.contains("\"name\":\"quiesce\",\"ph\":\"X\""), "{j}");
+        assert!(j.contains("\"name\":\"defer_op\",\"ph\":\"X\""), "{j}");
+        // ...the paired raw events are consumed by those slices...
+        assert!(!j.contains("\"name\":\"begin\""), "{j}");
+        assert!(!j.contains("\"name\":\"commit\""), "{j}");
+        // ...and unpaired events stay as instants.
+        assert!(j.contains("\"name\":\"defer_enqueue\",\"ph\":\"i\""), "{j}");
+        assert!(j.contains("\"name\":\"wal_append\",\"ph\":\"i\""), "{j}");
+        assert!(j.contains("\"name\":\"wal_fsync\",\"ph\":\"i\""), "{j}");
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn chrome_json_keeps_unpaired_ends_as_instants() {
+        // A commit whose begin was lost to ring wrap degrades to an
+        // instant rather than fabricating a slice.
+        let sink = TraceSink::default();
+        sink.set_enabled(true);
+        sink.push(9101, EventKind::Commit, 1);
+        sink.push(9101, EventKind::QuiesceExit, 5);
+        let j = sink.take().to_chrome_json();
+        assert!(j.contains("\"name\":\"commit\",\"ph\":\"i\""), "{j}");
+        assert!(j.contains("\"name\":\"quiesce_exit\",\"ph\":\"i\""), "{j}");
+        assert!(!j.contains("\"ph\":\"X\""), "{j}");
+    }
+
+    #[test]
+    fn contention_report_ranks_hottest_vars() {
+        let sink = TraceSink::default();
+        sink.set_enabled(true);
+        for _ in 0..5 {
+            sink.push(9102, EventKind::ValidateFail, 77);
+        }
+        for _ in 0..2 {
+            sink.push(9102, EventKind::ValidateFail, 31);
+        }
+        sink.push(9102, EventKind::ValidateFail, 99);
+        sink.push(9102, EventKind::Begin, 0); // noise, not counted
+        let t = sink.take();
+        let r = t.contention_report(2);
+        assert_eq!(r.total_fails, 8);
+        assert_eq!(r.entries.len(), 2);
+        assert_eq!((r.entries[0].var, r.entries[0].fails), (77, 5));
+        assert_eq!((r.entries[1].var, r.entries[1].fails), (31, 2));
+        assert!((r.top_share() - 5.0 / 8.0).abs() < 1e-9);
+        let txt = r.to_string();
+        assert!(txt.contains("var#77"), "{txt}");
+        assert!(txt.contains("8 failures total"), "{txt}");
+    }
+
+    #[test]
+    fn contention_report_empty_trace() {
+        let r = Trace::default().contention_report(5);
+        assert_eq!(r.total_fails, 0);
+        assert!(r.entries.is_empty());
+        assert_eq!(r.top_share(), 0.0);
+        assert!(r.to_string().contains("no validate_fail"));
     }
 
     #[test]

@@ -183,6 +183,26 @@ impl HistogramSnapshot {
         self.max
     }
 
+    /// The samples recorded between `earlier` and `self` (two snapshots of
+    /// the *same* histogram, `earlier` taken first): per-bucket counts,
+    /// `count` and `sum` are subtracted (saturating, so a reset between the
+    /// snapshots degrades to zeros rather than wrapping). `max` is not
+    /// derivable from two cumulative snapshots — the reported value is the
+    /// whole-run max, an upper bound for the interval.
+    pub fn delta_since(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .zip(earlier.buckets.iter())
+                .map(|(a, b)| a.saturating_sub(*b))
+                .collect(),
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.saturating_sub(earlier.sum),
+            max: self.max,
+        }
+    }
+
     /// Fold another snapshot into this one (per-runtime → aggregate).
     pub fn merge(&mut self, other: &HistogramSnapshot) {
         for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
@@ -395,6 +415,31 @@ mod tests {
             x.join().unwrap();
         }
         assert_eq!(h.snapshot().count(), 40_000);
+    }
+
+    #[test]
+    fn delta_since_isolates_the_interval() {
+        let h = Histogram::new();
+        h.record(100);
+        h.record(2_000);
+        let warmup = h.snapshot();
+        h.record(2_000);
+        h.record(40_000);
+        h.record(40_000);
+        let total = h.snapshot();
+        let steady = total.delta_since(&warmup);
+        assert_eq!(steady.count(), 3);
+        assert_eq!(steady.sum(), 82_000);
+        // Buckets subtract too: the 100ns sample belongs to warm-up only.
+        let bucket_sum: u64 = steady.nonzero_buckets().map(|(_, _, c)| c).sum();
+        assert_eq!(bucket_sum, 3);
+        // max is the whole-run upper bound, documented as such.
+        assert_eq!(steady.max(), 40_000);
+        // A reset between snapshots saturates instead of wrapping.
+        h.reset();
+        let after_reset = h.snapshot().delta_since(&total);
+        assert_eq!(after_reset.count(), 0);
+        assert_eq!(after_reset.sum(), 0);
     }
 
     #[test]

@@ -18,6 +18,8 @@
 //!   timings and can emit machine-readable JSON.
 //! * [`hist`] — concurrent log-bucketed latency histograms (an
 //!   `hdrhistogram` stand-in) backing the `ad-stm` observability layer.
+//! * [`crc32`] — table-driven CRC-32 (IEEE), the `ad-kv` WAL record
+//!   checksum (a `crc32fast` stand-in).
 //! * [`model`] — a vendored loom-style concurrency model checker (token
 //!   scheduler, instrumented primitives, poison registry) backing the
 //!   `--cfg loom` face of [`sync`] and the `verify` model suites.
@@ -37,6 +39,7 @@
 #![deny(unsafe_code)]
 
 pub mod channel;
+pub mod crc32;
 pub mod crit;
 pub mod hist;
 pub mod model;
