@@ -10,10 +10,14 @@
 //! Options: `--ops N` (default 100000; paper uses 1M), `--max-threads N`
 //! (default 8), `--htm` (run TM variants on the simulated-HTM runtime),
 //! `--csv` (machine-readable output), `--stats-json PATH` (per-cell
-//! observability reports; enables tracing on the TM runtimes).
+//! observability reports; enables tracing on the TM runtimes),
+//! `--trace-json PATH` (capture the Defer cell at max threads with tracing
+//! on and export its event timeline as chrome://tracing JSON).
 
 use ad_bench::{arg_flag, arg_num, arg_value};
-use ad_workloads::{print_csv, print_time_table, run_iobench, stats_json, IoBenchConfig, Variant};
+use ad_workloads::{
+    print_csv, print_time_table, run_iobench_traced, stats_json, IoBenchConfig, Variant,
+};
 
 fn main() {
     let files: usize = arg_num("--files", 1);
@@ -22,6 +26,7 @@ fn main() {
     let keep_open = arg_flag("--keep-open");
     let htm = arg_flag("--htm");
     let stats_out = arg_value("--stats-json");
+    let trace_out = arg_value("--trace-json");
 
     let cfg = IoBenchConfig::new(files, total_ops)
         .with_keep_open(keep_open)
@@ -52,7 +57,16 @@ fn main() {
     let mut results = Vec::new();
     for &variant in &variants {
         for &t in &threads {
-            let m = run_iobench(&cfg, variant, t);
+            let capture =
+                trace_out.is_some() && variant == Variant::Defer && t == max_threads;
+            let (m, trace) = run_iobench_traced(&cfg, variant, t, capture);
+            if capture {
+                let path = trace_out.as_ref().unwrap();
+                let trace = trace.expect("TM variants produce a trace");
+                std::fs::write(path, trace.to_chrome_json())
+                    .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+                eprintln!("  wrote chrome trace to {path}");
+            }
             eprintln!(
                 "  {:<8} {:>2}t: {:>8.3}s  {}",
                 m.series,

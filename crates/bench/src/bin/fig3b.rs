@@ -5,16 +5,21 @@
 //!
 //! ```text
 //! cargo run --release -p ad-bench --bin fig3b \
-//!     [-- --size BYTES --max-threads N --csv --stats-json PATH]
+//!     [-- --size BYTES --max-threads N --csv --stats-json PATH --trace-json PATH]
 //! ```
+//!
+//! `--trace-json PATH` captures the busiest deferral cell (`STM-Best` at
+//! the highest thread count) with tracing enabled and exports its event
+//! timeline as chrome://tracing JSON.
 
 use ad_bench::{
-    arg_flag, arg_num, arg_value, make_corpus, run_dedup_cell, DedupRunParams, DedupSeries,
+    arg_flag, arg_num, arg_value, make_corpus, run_dedup_cell_traced, DedupRunParams, DedupSeries,
 };
 use ad_workloads::{print_csv, print_time_table, stats_json};
 
 fn main() {
     let stats_out = arg_value("--stats-json");
+    let trace_out = arg_value("--trace-json");
     let params = DedupRunParams {
         corpus_size: arg_num("--size", 8 << 20),
         dup_ratio: 0.5,
@@ -39,7 +44,22 @@ fn main() {
     let mut results = Vec::new();
     for series in DedupSeries::fig3b() {
         for &t in &threads {
-            let m = run_dedup_cell(series, t, &corpus, &params, series.fig3b_label());
+            let capture = trace_out.is_some()
+                && series == DedupSeries::StmDeferAll
+                && Some(&t) == threads.last();
+            let cell_params = DedupRunParams {
+                obs: params.obs || capture,
+                ..params.clone()
+            };
+            let (m, trace) =
+                run_dedup_cell_traced(series, t, &corpus, &cell_params, series.fig3b_label());
+            if capture {
+                let path = trace_out.as_ref().unwrap();
+                let trace = trace.expect("TM backends produce a trace");
+                std::fs::write(path, trace.to_chrome_json())
+                    .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+                eprintln!("  wrote chrome trace to {path}");
+            }
             eprintln!(
                 "  {:<10} {:>2}t: {:>8.3}s  {}",
                 m.series,

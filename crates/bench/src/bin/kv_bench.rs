@@ -3,7 +3,9 @@
 //!
 //! Emits `BENCH_kv.json` (at the repo root by default): ops/sec for
 //! YCSB-flavoured mixes at 1, 4 and 8 threads, with the WAL's coalescing
-//! counters alongside. The headline cells are `update_heavy` under
+//! counters and per-append latency quantiles (p50/p99/max of
+//! [`ad_kv::WalStats`]'s `append_ns` histogram — enqueue to covering
+//! fsync) alongside. The headline cells are `update_heavy` under
 //! `group` vs `percommit` at 8 threads: concurrent committers sharing
 //! fsyncs must beat one-fsync-per-commit by a wide margin (≥2× is the
 //! tracked floor; see EXPERIMENTS.md).
@@ -34,7 +36,9 @@
 //! * `--smoke` — 50 ms cells, 4 threads only, plus correctness asserts:
 //!   recovery from the just-written WAL must reproduce the live store
 //!   exactly, group commit must have coalesced, and the per-TVar
-//!   contention report must show load spread across shards.
+//!   contention report must show load spread across shards. Add `--async`
+//!   to run the same smoke on `SyncPolicy::Async`, i.e. with deferred WAL
+//!   appends on the pooled executor (CI runs both).
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -96,6 +100,12 @@ struct Row {
     wal_records: u64,
     wal_batches: u64,
     coalescing: f64,
+    /// Per-append WAL latency quantiles (`WalStats::append_ns`), i.e. what
+    /// a durable write pays end to end: enqueue + wait for the covering
+    /// fsync. 0 for volatile cells.
+    append_p50_ns: u64,
+    append_p99_ns: u64,
+    append_max_ns: u64,
     steady_stats: Option<StatsReport>,
 }
 
@@ -195,10 +205,21 @@ fn run_cell(
     })
 }
 
-fn smoke(dir: &Path) {
-    let path = dir.join("kv-smoke.wal");
+fn smoke(dir: &Path, use_async: bool) {
+    let path = dir.join(if use_async {
+        "kv-smoke-async.wal"
+    } else {
+        "kv-smoke.wal"
+    });
     let _ = std::fs::remove_file(&path);
-    let store = Arc::new(open_store(Persistence::Group, &path));
+    // `--async` runs the same smoke on `SyncPolicy::Async`, whose store
+    // runs deferred WAL appends on the pooled executor — CI covers both
+    // executors through the same asserts.
+    let store = if use_async {
+        Arc::new(KvStore::open(KvConfig::durable(&path, SyncPolicy::Async)).expect("opening store"))
+    } else {
+        Arc::new(open_store(Persistence::Group, &path))
+    };
     store.runtime().set_tracing(true);
     preload(&store);
     let (ops_per_sec, _) = run_cell(
@@ -209,6 +230,9 @@ fn smoke(dir: &Path) {
         Duration::from_millis(50),
         false,
     );
+    // Durability barrier: under Async, acked writes may still be queued on
+    // the pool; the stats/recovery asserts below need them on disk.
+    store.sync();
     let wal = store.wal_stats().expect("durable store has WAL stats");
     assert!(wal.records > 0, "smoke ran no durable writes");
     assert!(
@@ -266,7 +290,7 @@ fn main() {
     let trace_out = arg_value("--trace-json");
 
     if arg_flag("--smoke") {
-        smoke(&dir);
+        smoke(&dir, arg_flag("--async"));
         return;
     }
 
@@ -329,6 +353,9 @@ fn main() {
                 wal_records: wal.as_ref().map_or(0, |w| w.records),
                 wal_batches: wal.as_ref().map_or(0, |w| w.batches),
                 coalescing: wal.as_ref().map_or(0.0, |w| w.coalescing()),
+                append_p50_ns: wal.as_ref().map_or(0, |w| w.append_ns.quantile(0.50)),
+                append_p99_ns: wal.as_ref().map_or(0, |w| w.append_ns.quantile(0.99)),
+                append_max_ns: wal.as_ref().map_or(0, |w| w.append_ns.max()),
                 steady_stats,
             });
             drop(store);
@@ -363,7 +390,8 @@ fn main() {
         json.push_str(&format!(
             "    {{\"workload\": \"{}\", \"sync\": \"{}\", \"threads\": {}, \
              \"ops_per_sec\": {:.0}, \"wal_records\": {}, \"wal_batches\": {}, \
-             \"coalescing\": {:.2}}}{}\n",
+             \"coalescing\": {:.2}, \"append_p50_ns\": {}, \"append_p99_ns\": {}, \
+             \"append_max_ns\": {}}}{}\n",
             r.mix.name(),
             r.persistence.name(),
             r.threads,
@@ -371,6 +399,9 @@ fn main() {
             r.wal_records,
             r.wal_batches,
             r.coalescing,
+            r.append_p50_ns,
+            r.append_p99_ns,
+            r.append_max_ns,
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }

@@ -184,6 +184,20 @@ pub fn run_dedup_cell(
     params: &DedupRunParams,
     label: &str,
 ) -> Measurement {
+    run_dedup_cell_traced(series, threads, corpus, params, label).0
+}
+
+/// Like [`run_dedup_cell`], additionally draining the backend's event
+/// timeline (for the figure bins' `--trace-json` export). The trace is
+/// `None` for lock-based backends and empty unless `params.obs` enabled
+/// tracing on the cell's runtime.
+pub fn run_dedup_cell_traced(
+    series: DedupSeries,
+    threads: usize,
+    corpus: &Arc<Vec<u8>>,
+    params: &DedupRunParams,
+    label: &str,
+) -> (Measurement, Option<ad_stm::Trace>) {
     let target = if params.file_output {
         let mut path = std::env::temp_dir();
         path.push(format!(
@@ -219,7 +233,8 @@ pub fn run_dedup_cell(
     if let Some(path) = backend_sink_path(backend.as_ref()) {
         let _ = std::fs::remove_file(path);
     }
-    Measurement {
+    let trace = backend.take_trace();
+    let m = Measurement {
         series: label.to_string(),
         threads,
         elapsed: report.elapsed,
@@ -231,7 +246,8 @@ pub fn run_dedup_cell(
             report.diagnostics
         ),
         stats: backend.stats_report(),
-    }
+    };
+    (m, trace)
 }
 
 fn backend_sink_path(_b: &dyn Backend) -> Option<std::path::PathBuf> {
@@ -270,6 +286,9 @@ pub struct MotivationArm {
     /// Full observability report of the arm's runtime (histograms filled
     /// when `obs` was requested).
     pub stats: ad_stm::StatsReport,
+    /// The arm's event timeline (filled when `obs` was requested; feeds
+    /// the `motivation` bin's `--trace-json` export).
+    pub trace: ad_stm::Trace,
 }
 
 /// The Figure 1 motivation experiment: measure how long unrelated
@@ -356,6 +375,7 @@ pub fn motivation_arms(
         MotivationArm {
             mean_stall: total_stall / (rounds as u32 * 2),
             stats: rt.snapshot_stats(),
+            trace: rt.take_trace(),
         }
     }
 

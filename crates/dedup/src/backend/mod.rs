@@ -56,6 +56,14 @@ pub trait Backend: Send + Sync {
     fn stats_report(&self) -> Option<ad_stm::StatsReport> {
         None
     }
+
+    /// Drain the backend's TM runtime event timeline, if it has one.
+    /// `None` for lock-based backends; empty unless the runtime's tracing
+    /// was enabled ([`BackendConfig::obs`]). Feeds the bench bins'
+    /// `--trace-json` export.
+    fn take_trace(&self) -> Option<ad_stm::Trace> {
+        None
+    }
 }
 
 /// Counters accumulated by the output stage.

@@ -381,6 +381,10 @@ impl Backend for TmBackend {
     fn stats_report(&self) -> Option<ad_stm::StatsReport> {
         Some(self.rt.snapshot_stats())
     }
+
+    fn take_trace(&self) -> Option<ad_stm::Trace> {
+        Some(self.rt.take_trace())
+    }
 }
 
 #[cfg(test)]

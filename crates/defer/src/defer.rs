@@ -29,9 +29,12 @@
 //! queue-to-completion latency lands in the `defer_queue_to_done_ns`
 //! histogram of `Runtime::snapshot_stats()`. See `OBSERVABILITY.md`.
 
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
 use ad_stm::{StmResult, Tx};
 
 use crate::deferrable::Deferrable;
+use crate::owner::{self, OwnerId};
 use crate::txlock::TxLock;
 
 /// Atomically defer `op` until after the enclosing transaction commits,
@@ -76,21 +79,38 @@ pub fn atomic_defer<F>(tx: &mut Tx, objs: &[&dyn Deferrable], op: F) -> StmResul
 where
     F: FnOnce() + Send + 'static,
 {
+    // Under the pooled executor the operation may run on a worker thread,
+    // so the locks are acquired under the transaction's batch owner rather
+    // than the committing thread's identity; the runner impersonates that
+    // owner. Inline (the default), `batch_owner` is `None` and the locks
+    // belong to the committing thread, exactly as before.
+    let batch_owner = tx.defer_batch_token().map(OwnerId::batch);
+
     // Growing phase: acquire every lock inside the transaction. A lock held
-    // by another thread makes the whole transaction retry — "use transaction
+    // by another owner makes the whole transaction retry — "use transaction
     // to acquire locks without deadlock" (Listing 1).
     let mut locks: Vec<TxLock> = Vec::with_capacity(objs.len());
     for obj in objs {
-        obj.txlock().acquire(tx)?;
+        match batch_owner {
+            Some(owner) => obj.txlock().acquire_as(tx, owner)?,
+            None => obj.txlock().acquire(tx)?,
+        }
         locks.push(obj.txlock().clone());
     }
     tx.defer_post_commit(Box::new(move |rt| {
-        op();
+        let _scope = batch_owner.map(owner::impersonate);
+        // A panicking operation must not leak its locks forever — that
+        // would wedge every later subscriber. Release first, then let the
+        // panic continue (the pool counts it; inline it propagates).
+        let outcome = catch_unwind(AssertUnwindSafe(op));
         // Shrinking phase: release this operation's locks. Reentrancy means
         // an object shared with a later deferred operation stays held until
         // that operation's own release.
         for lock in locks {
             lock.release_now(rt);
+        }
+        if let Err(panic) = outcome {
+            resume_unwind(panic);
         }
     }));
     Ok(())

@@ -11,7 +11,7 @@
 
 use std::any::Any;
 
-use ad_stm::{StmResult, TVar, Tx};
+use ad_stm::{Runtime, StmResult, TVar, Tx};
 
 use crate::defer::atomic_defer;
 use crate::deferrable::{Defer, Deferrable};
@@ -62,6 +62,30 @@ impl<T: Any + Send + Sync + Clone> DeferHandle<T> {
     /// Has the deferred operation completed (committed view)?
     pub fn is_ready(&self) -> bool {
         self.peek().is_some()
+    }
+
+    /// Block the calling thread, outside any transaction, until the
+    /// deferred operation has completed, and return its result. With the
+    /// pooled executor this is the synchronization point a caller uses
+    /// after its commit returned early; inline the result is already
+    /// published and `wait` returns immediately.
+    pub fn wait(&self, rt: &Runtime) -> T {
+        rt.atomically(|tx| self.get(tx))
+    }
+
+    /// Non-blocking completion check: `Some(result)` once the deferred
+    /// operation has finished, `None` while it is still queued or running.
+    pub fn poll(&self) -> Option<T> {
+        self.peek()
+    }
+
+    /// Has the deferred operation completed? Alias of [`is_ready`]
+    /// (`is_ready` reads as "result available", `is_done` as "work
+    /// finished" — both are the same instant under the deferral locks).
+    ///
+    /// [`is_ready`]: DeferHandle::is_ready
+    pub fn is_done(&self) -> bool {
+        self.is_ready()
     }
 }
 
@@ -125,6 +149,24 @@ where
         publish.cell.locked().value.store(Some(result));
     })?;
     Ok(handle)
+}
+
+/// Like [`atomic_defer`](crate::atomic_defer), but returns a
+/// [`DeferHandle<()>`] tracking the operation's *completion* (rather than a
+/// result). This is the natural commit API under the pooled executor:
+/// commit returns as soon as the transaction is durable in memory, and the
+/// caller holds a handle it can [`wait`](DeferHandle::wait) on — or
+/// [`poll`](DeferHandle::poll) / [`is_done`](DeferHandle::is_done) — when
+/// it actually needs the deferred effect (an fsync, say) to have happened.
+pub fn atomic_defer_tracked<F>(
+    tx: &mut Tx,
+    objs: &[&dyn Deferrable],
+    op: F,
+) -> StmResult<DeferHandle<()>>
+where
+    F: FnOnce() + Send + 'static,
+{
+    atomic_defer_with_result(tx, objs, op)
 }
 
 #[cfg(all(test, not(loom)))]

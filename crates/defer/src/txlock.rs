@@ -53,7 +53,15 @@ impl TxLock {
     /// * Held by another thread: the transaction blocks via `retry` (the
     ///   paper's `spin(); retry`), re-executing once the owner releases.
     pub fn acquire(&self, tx: &mut Tx) -> StmResult<()> {
-        let me = OwnerId::me();
+        self.acquire_as(tx, OwnerId::me())
+    }
+
+    /// Acquire the lock within a transaction on behalf of `me` — usually
+    /// the calling thread, but for pooled deferrals the batch owner
+    /// (`OwnerId::batch`), so that a pool worker impersonating that owner
+    /// can run the operation and release. Reentrancy is judged against
+    /// `me`, preserving the same-transaction reentrant-acquire behavior.
+    pub(crate) fn acquire_as(&self, tx: &mut Tx, me: OwnerId) -> StmResult<()> {
         match tx.read(&self.owner)? {
             None => {
                 // On the shared timeline (txtrace) this event marks the
@@ -99,18 +107,26 @@ impl TxLock {
     }
 
     /// Subscribe to the lock (`TxLock.Subscribe`): block (via `retry`) until
-    /// the lock is unheld or held by the calling thread. Reading `owner`
+    /// the lock is unheld or held by the calling context. Reading `owner`
     /// puts it in the transaction's read set, so a subsequent acquisition by
     /// any other thread aborts this transaction — even after `subscribe`
     /// returns, up to commit.
+    ///
+    /// "Held by the calling context" covers the calling thread (or the
+    /// impersonated batch owner, inside a pooled deferred op) *and* the
+    /// transaction's own batch owner: under the pooled executor an earlier
+    /// `atomic_defer` in this very transaction buffers the acquisition
+    /// under the batch owner, and a subscribe after it must not block the
+    /// transaction on its own uncommitted write.
     pub fn subscribe(&self, tx: &mut Tx) -> StmResult<()> {
         let me = OwnerId::me();
+        let my_batch = tx.defer_batch_token_peek().map(OwnerId::batch);
         match tx.read(&self.owner)? {
             None => {
                 tx.trace(EventKind::LockSubscribe, self.id());
                 Ok(())
             }
-            Some(o) if o == me => {
+            Some(o) if o == me || Some(o) == my_batch => {
                 tx.trace(EventKind::LockSubscribe, self.id());
                 Ok(())
             }

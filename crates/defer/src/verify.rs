@@ -26,6 +26,28 @@
 //!   stop being produced (or observed), the subscription model proves
 //!   nothing.
 //!
+//! Three further models cover the pooled-executor hand-off and multi-object
+//! deferral (the pool itself — OS threads, condvars — cannot run under the
+//! model scheduler, so the hand-off protocol is reconstructed from the same
+//! crate-internal pieces the pool path uses: `acquire_as` under a batch
+//! owner, and `impersonate` on the runner):
+//!
+//! * [`deferred_locks_span_thread_handoff`] — green. A committer acquires
+//!   the object's lock under a *batch owner*, atomically with its commit; a
+//!   separate worker thread impersonates that owner, performs the two-step
+//!   (torn-in-between) update, and only then releases. Subscribing readers
+//!   must never commit a torn observation even though commit and operation
+//!   happen on different threads.
+//! * [`model_catches_release_before_op_done`] — regression. The worker
+//!   releases *before* running the op (the shrinking phase misordered —
+//!   exactly the bug an executor refactor could introduce), and the model
+//!   must observe a torn pair through a subscribing reader.
+//! * [`multi_object_defer_is_deadlock_free`] — two transactions defer over
+//!   the same two objects listed in opposite orders. With ordinary mutexes
+//!   this interleaving deadlocks; transactional acquisition aborts and
+//!   re-executes instead, so both executions must complete within the step
+//!   budget (a deadlock or livelock blows it and fails the model).
+//!
 //! The whole STM stack runs under the model scheduler here — TL2 reads,
 //! commit-time validation, quiescence, the post-commit deferral queue, and
 //! the release-time `atomically` — so an execution is hundreds of
@@ -34,11 +56,12 @@
 use std::sync::Arc;
 
 use ad_stm::{Runtime, TmConfig};
-use ad_support::model::{check, check_expect_violation, CheckOpts, Exec};
+use ad_support::model::{check, check_expect_violation, yield_point, CheckOpts, Exec};
 use ad_support::sync::atomic::{AtomicU64, Ordering};
 
 use crate::defer::atomic_defer;
-use crate::deferrable::Defer;
+use crate::deferrable::{Defer, Deferrable};
+use crate::owner::{self, OwnerId};
 
 /// The shared object: two plain (facade) atomics a deferred operation
 /// updates non-atomically, one after the other. No `TVar`s on purpose —
@@ -133,5 +156,167 @@ fn model_catches_unsubscribed_read() {
     assert!(
         msg.contains("intermediate state"),
         "expected a torn-pair observation, got (seed {seed}): {msg}"
+    );
+}
+
+/// The pooled-executor hand-off, reconstructed from its crate-internal
+/// pieces: a committer acquires the object's lock under a batch owner
+/// (atomically with its commit, as `atomic_defer` does in pool mode), and a
+/// separate worker thread impersonates that owner to run the two-step
+/// update and release. The pool's queue/condvar machinery is replaced by a
+/// post-commit hand-off flag so the whole protocol runs under the model
+/// scheduler.
+///
+/// `release_before_op` misorders the worker's shrinking phase — release
+/// first, then the op — which is the lock-leak-free-but-unserializable bug
+/// an executor refactor could introduce. The green variant must never show
+/// a torn pair to a subscribing reader; the buggy variant must.
+fn handoff_scenario(e: &mut Exec, release_before_op: bool) {
+    let rt = Arc::new(Runtime::new(TmConfig::stm()));
+    let obj = Arc::new(Defer::new(Pair {
+        a: AtomicU64::new(0),
+        b: AtomicU64::new(0),
+    }));
+    let batch = OwnerId::batch(1);
+
+    fn two_step(p: &Pair) {
+        let a = p.a.load(Ordering::SeqCst);
+        p.a.store(a + 1, Ordering::SeqCst);
+        let b = p.b.load(Ordering::SeqCst);
+        p.b.store(b + 1, Ordering::SeqCst);
+    }
+
+    // The hand-off signal. Submission to the pool happens in
+    // `run_post_commit`, *after* `commit()` has returned — write-back AND
+    // quiescence both done. Modeling the hand-off as "worker sees the lock
+    // write-back" would be wrong (and the model catches it): between
+    // write-back and quiescence-end, a read-only transaction whose snapshot
+    // predates the acquisition can still be live, and running the op that
+    // early lets it observe the torn state. Quiescence is what retires
+    // those snapshots before any deferred op may run.
+    let handed_off = Arc::new(AtomicU64::new(0));
+
+    // Committer: the growing phase. The lock becomes owned by the batch —
+    // not this thread — at the commit point, and this thread never touches
+    // the object again. The hand-off flag flips only once `atomically`
+    // has returned (post-quiescence), mirroring `run_post_commit`.
+    let (c_rt, c_obj, c_flag) = (Arc::clone(&rt), Arc::clone(&obj), Arc::clone(&handed_off));
+    e.spawn(move || {
+        c_rt.atomically(|tx| c_obj.txlock().acquire_as(tx, batch));
+        c_flag.store(1, Ordering::SeqCst);
+    });
+
+    // Worker: waits for the hand-off, then impersonates the batch owner
+    // for the op + release (the shrinking phase, on a different thread
+    // than the commit).
+    let (w_rt, w_obj, w_flag) = (Arc::clone(&rt), Arc::clone(&obj), handed_off);
+    e.spawn(move || {
+        while w_flag.load(Ordering::SeqCst) == 0 {
+            yield_point();
+        }
+        assert_eq!(w_obj.txlock().holder(), Some(batch));
+        let _scope = owner::impersonate(batch);
+        if release_before_op {
+            // BUG (deliberate): shrinking phase completes before the op.
+            w_rt.atomically(|tx| w_obj.txlock().release(tx));
+            two_step(w_obj.peek_unsynchronized());
+        } else {
+            two_step(&w_obj.locked());
+            w_rt.atomically(|tx| w_obj.txlock().release(tx));
+        }
+    });
+
+    // Reader: committed subscribing observations must never be torn.
+    let (r_rt, r_obj) = (rt, obj);
+    e.spawn(move || {
+        for _ in 0..2 {
+            let o = Arc::clone(&r_obj);
+            let (a, b) = r_rt.atomically(move |tx| {
+                o.with(tx, |p, _| {
+                    Ok((p.a.load(Ordering::SeqCst), p.b.load(Ordering::SeqCst)))
+                })
+            });
+            assert_eq!(
+                a, b,
+                "observed a deferred operation's intermediate state: ({a}, {b})"
+            );
+        }
+    });
+}
+
+/// Green model: the lock stays held from the committer's commit through
+/// the worker's op completion, so the cross-thread hand-off is invisible
+/// to subscribers.
+#[test]
+fn deferred_locks_span_thread_handoff() {
+    check(
+        "defer-locks-span-thread-handoff",
+        CheckOpts {
+            seeds: 400,
+            max_steps: 500_000,
+        },
+        |e| handoff_scenario(e, false),
+    );
+}
+
+/// Regression model: a worker that releases before finishing the op
+/// exposes the torn state, and the model must catch it.
+#[test]
+fn model_catches_release_before_op_done() {
+    let violation = check_expect_violation(
+        CheckOpts {
+            seeds: 400,
+            max_steps: 500_000,
+        },
+        |e| handoff_scenario(e, true),
+    );
+    let (seed, msg) = violation
+        .expect("the release-before-op variant no longer exposes a torn pair; re-tune");
+    assert!(
+        msg.contains("intermediate state"),
+        "expected a torn-pair observation, got (seed {seed}): {msg}"
+    );
+}
+
+/// Multi-object deferral is deadlock-free by construction: `atomic_defer`
+/// acquires its locks *transactionally*, so two transactions listing the
+/// same objects in opposite orders — the classic lock-order deadlock —
+/// abort and re-execute instead of waiting on each other. A deadlock (or
+/// livelock) here would exhaust the step budget and fail the model.
+#[test]
+fn multi_object_defer_is_deadlock_free() {
+    check(
+        "defer-multi-object-opposite-order",
+        CheckOpts {
+            seeds: 400,
+            max_steps: 500_000,
+        },
+        |e| {
+            let rt = Arc::new(Runtime::new(TmConfig::stm()));
+            let x = Arc::new(Defer::new(AtomicU64::new(0)));
+            let y = Arc::new(Defer::new(AtomicU64::new(0)));
+            for flip in [false, true] {
+                let (rt, x, y) = (Arc::clone(&rt), Arc::clone(&x), Arc::clone(&y));
+                e.spawn(move || {
+                    let (ox, oy) = (Arc::clone(&x), Arc::clone(&y));
+                    rt.atomically(move |tx| {
+                        let (ix, iy) = (Arc::clone(&ox), Arc::clone(&oy));
+                        let op = move || {
+                            ix.locked().fetch_add(1, Ordering::SeqCst);
+                            iy.locked().fetch_add(1, Ordering::SeqCst);
+                        };
+                        if flip {
+                            atomic_defer(tx, &[&*oy, &*ox], op)
+                        } else {
+                            atomic_defer(tx, &[&*ox, &*oy], op)
+                        }
+                    });
+                    // Inline executor: the op ran before `atomically`
+                    // returned, with both locks held.
+                    assert!(x.peek_unsynchronized().load(Ordering::SeqCst) >= 1);
+                    assert!(y.peek_unsynchronized().load(Ordering::SeqCst) >= 1);
+                });
+            }
+        },
     );
 }

@@ -1,0 +1,370 @@
+//! Atomic deferral under the pooled executor (`DeferExecCfg::Pool`).
+//!
+//! These tests exercise the full cross-thread hand-off: the committing
+//! thread acquires the deferral locks under the transaction's *batch
+//! owner*, returns as soon as write-back and quiescence finish, and a pool
+//! worker impersonates the batch owner to run the operation and release.
+//! The serializability guarantee (no observable intermediate state) must be
+//! exactly as strong as inline — it rests on two-phase locking, not on
+//! which thread runs the operation.
+
+#![cfg(not(loom))]
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ad_defer::{
+    atomic_defer, atomic_defer_tracked, atomic_defer_with_result, Defer, Deferrable, TxCondvar,
+};
+use ad_stm::{Runtime, TVar, TmConfig};
+
+struct Obj {
+    a: TVar<u64>,
+    b: TVar<u64>,
+}
+
+fn obj() -> Defer<Obj> {
+    Defer::new(Obj {
+        a: TVar::new(0),
+        b: TVar::new(0),
+    })
+}
+
+fn pool_rt() -> Runtime {
+    Runtime::new(TmConfig::stm().with_defer_pool(2, 16))
+}
+
+#[test]
+fn deferred_op_runs_on_a_worker_with_locks_held() {
+    let rt = pool_rt();
+    let o = obj();
+    let committer = std::thread::current().id();
+    let ran_on = Arc::new(ad_support::sync::Mutex::new(None));
+    let (o2, r2) = (o.clone(), Arc::clone(&ran_on));
+    rt.atomically(move |tx| {
+        let (o3, r3) = (o2.clone(), Arc::clone(&r2));
+        atomic_defer(tx, &[&o2.clone()], move || {
+            // `locked()` works on the worker because it impersonates the
+            // batch owner that holds the lock.
+            o3.locked().a.store(1);
+            *r3.lock() = Some(std::thread::current().id());
+        })
+    });
+    rt.drain_deferred();
+    let worker = ran_on.lock().expect("op ran");
+    assert_ne!(worker, committer, "pool mode must offload to a worker");
+    assert_eq!(o.peek_unsynchronized().a.load(), 1);
+    assert_eq!(o.txlock().holder(), None, "locks released after the op");
+}
+
+#[test]
+fn commit_returns_before_long_op_finishes() {
+    // The whole point of the executor: a commit with a slow deferred op
+    // returns to the caller immediately; the op completes later.
+    let rt = pool_rt();
+    let o = obj();
+    let done = Arc::new(AtomicBool::new(false));
+    let (o2, d2) = (o.clone(), Arc::clone(&done));
+    let t0 = Instant::now();
+    rt.atomically(move |tx| {
+        let d3 = Arc::clone(&d2);
+        atomic_defer(tx, &[&o2.clone()], move || {
+            std::thread::sleep(Duration::from_millis(100));
+            d3.store(true, Ordering::Release);
+        })
+    });
+    let commit_latency = t0.elapsed();
+    assert!(
+        commit_latency < Duration::from_millis(50),
+        "commit should not wait for the 100ms op (took {commit_latency:?})"
+    );
+    assert!(!done.load(Ordering::Acquire));
+    rt.drain_deferred();
+    assert!(done.load(Ordering::Acquire));
+}
+
+#[test]
+fn no_intermediate_state_is_observable_under_pool() {
+    // Same serializability check as the inline test in defer.rs, but the
+    // long op runs on a worker while the committer keeps going.
+    let rt = pool_rt();
+    let o = obj();
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let (o2, stop2, rt2) = (o.clone(), Arc::clone(&stop), rt.clone());
+    let observer = std::thread::spawn(move || {
+        let mut observations = Vec::new();
+        while !stop2.load(Ordering::Relaxed) {
+            let pair = rt2.atomically(|tx| {
+                o2.with(tx, |f, tx| {
+                    let a = tx.read(&f.a)?;
+                    let b = tx.read(&f.b)?;
+                    Ok((a, b))
+                })
+            });
+            observations.push(pair);
+        }
+        observations
+    });
+
+    std::thread::sleep(Duration::from_millis(10));
+    let o3 = o.clone();
+    rt.atomically(move |tx| {
+        o3.with(tx, |f, tx| tx.write(&f.a, 1))?;
+        let o4 = o3.clone();
+        atomic_defer(tx, &[&o3.clone()], move || {
+            std::thread::sleep(Duration::from_millis(50));
+            o4.locked().b.store(1);
+        })
+    });
+    rt.drain_deferred();
+    std::thread::sleep(Duration::from_millis(10));
+    stop.store(true, Ordering::Relaxed);
+    for (a, b) in observer.join().unwrap() {
+        assert_eq!(a, b, "observed intermediate state ({a}, {b})");
+    }
+}
+
+#[test]
+fn ops_of_one_txn_run_in_call_order_and_share_locks() {
+    let rt = pool_rt();
+    let o = obj();
+    let order = Arc::new(ad_support::sync::Mutex::new(Vec::new()));
+    let (o1, ordr) = (o.clone(), Arc::clone(&order));
+    rt.atomically(move |tx| {
+        let (oa, la) = (o1.clone(), Arc::clone(&ordr));
+        atomic_defer(tx, &[&o1.clone()], move || {
+            // Both ops of the batch hold the object: depth 2 here.
+            assert_eq!(oa.txlock().depth(), 2);
+            oa.locked().a.store(10);
+            la.lock().push(1);
+        })?;
+        let (ob, lb) = (o1.clone(), Arc::clone(&ordr));
+        atomic_defer(tx, &[&o1.clone()], move || {
+            assert_eq!(ob.locked().a.load(), 10, "must see prior op's effect");
+            assert_eq!(ob.txlock().depth(), 1);
+            lb.lock().push(2);
+        })
+    });
+    rt.drain_deferred();
+    assert_eq!(*order.lock(), vec![1, 2]);
+    assert_eq!(o.txlock().holder(), None);
+    assert_eq!(o.txlock().depth(), 0);
+}
+
+#[test]
+fn lock_sharing_batches_serialize_in_lock_order() {
+    // Two transactions defer on the same object. Whichever commits first
+    // acquires the lock first; the second transaction's acquire blocks
+    // (retries) until the first batch's release — so batches that share a
+    // lock serialize through the lock protocol even though the worker pool
+    // itself imposes no order.
+    let rt = pool_rt();
+    let o = obj();
+    for round in 0..20u64 {
+        let (oa, ob) = (o.clone(), o.clone());
+        rt.atomically(move |tx| {
+            let oa2 = oa.clone();
+            atomic_defer(tx, &[&oa.clone()], move || {
+                oa2.locked().a.update_locked(|v| v + 1);
+            })
+        });
+        let rt2 = rt.clone();
+        std::thread::spawn(move || {
+            rt2.atomically(move |tx| {
+                let ob2 = ob.clone();
+                atomic_defer(tx, &[&ob.clone()], move || {
+                    ob2.locked().b.update_locked(|v| v + 1);
+                })
+            });
+        })
+        .join()
+        .unwrap();
+        let _ = round;
+    }
+    rt.drain_deferred();
+    assert_eq!(o.peek_unsynchronized().a.load(), 20);
+    assert_eq!(o.peek_unsynchronized().b.load(), 20);
+    assert_eq!(o.txlock().holder(), None);
+}
+
+#[test]
+fn committer_reacquiring_its_own_deferred_lock_blocks_until_batch_done() {
+    // After commit the locks belong to the *batch*, not the committing
+    // thread — so the committer's next transaction on the same object
+    // waits for its own deferred op like any other subscriber would.
+    let rt = pool_rt();
+    let o = obj();
+    let o2 = o.clone();
+    rt.atomically(move |tx| {
+        let o3 = o2.clone();
+        atomic_defer(tx, &[&o2.clone()], move || {
+            std::thread::sleep(Duration::from_millis(40));
+            o3.locked().a.store(7);
+        })
+    });
+    // Subscribing read from the committing thread: must see the op's final
+    // state, never the pre-op state after commit.
+    let o4 = o.clone();
+    let a = rt.atomically(move |tx| o4.with(tx, |f, tx| tx.read(&f.a)));
+    assert_eq!(a, 7);
+    rt.drain_deferred();
+}
+
+#[test]
+fn subscribe_after_defer_in_same_txn_does_not_self_block() {
+    // The ad-kv write pattern: atomic_defer first (per the irrevocability
+    // ordering discipline), then transactional writes through the
+    // subscribing accessor. Under the pooled executor the deferral
+    // buffers the lock's owner as the *batch* owner; subscribe must
+    // recognize that as the transaction's own acquisition, not block on
+    // its own uncommitted write.
+    let rt = pool_rt();
+    let o = obj();
+    let o2 = o.clone();
+    rt.atomically(move |tx| {
+        let o3 = o2.clone();
+        atomic_defer(tx, &[&o2.clone()], move || {
+            assert_eq!(o3.locked().a.load(), 5, "op sees the txn's writes");
+            o3.locked().b.store(1);
+        })?;
+        o2.with(tx, |f, tx| tx.write(&f.a, 5))
+    });
+    rt.drain_deferred();
+    assert_eq!(o.peek_unsynchronized().a.load(), 5);
+    assert_eq!(o.peek_unsynchronized().b.load(), 1);
+    assert_eq!(o.txlock().holder(), None);
+}
+
+#[test]
+fn panicking_op_releases_locks_and_is_counted() {
+    let rt = pool_rt();
+    let o = obj();
+    let o2 = o.clone();
+    rt.atomically(move |tx| {
+        atomic_defer(tx, &[&o2.clone()], move || {
+            panic!("deferred op failed");
+        })
+    });
+    rt.drain_deferred();
+    assert_eq!(
+        o.txlock().holder(),
+        None,
+        "a panicking deferred op must not leak its locks"
+    );
+    // The object stays usable afterwards.
+    let o3 = o.clone();
+    rt.atomically(move |tx| o3.with(tx, |f, tx| tx.write(&f.a, 3)));
+    assert_eq!(o.peek_unsynchronized().a.load(), 3);
+}
+
+#[test]
+fn tracked_handle_wait_poll_is_done() {
+    let rt = pool_rt();
+    let o = obj();
+    let o2 = o.clone();
+    let handle = rt.atomically(move |tx| {
+        let o3 = o2.clone();
+        atomic_defer_tracked(tx, &[&o2.clone()], move || {
+            std::thread::sleep(Duration::from_millis(30));
+            o3.locked().a.store(9);
+        })
+    });
+    // Commit returned early; completion is tracked by the handle.
+    handle.wait(&rt);
+    assert!(handle.is_done());
+    assert_eq!(handle.poll(), Some(()));
+    assert_eq!(o.peek_unsynchronized().a.load(), 9);
+}
+
+#[test]
+fn result_handle_publishes_from_worker() {
+    let rt = pool_rt();
+    let o = obj();
+    let o2 = o.clone();
+    let handle = rt.atomically(move |tx| {
+        let o3 = o2.clone();
+        atomic_defer_with_result(tx, &[&o2.clone()], move || {
+            o3.locked().a.store(4);
+            "worker-done"
+        })
+    });
+    assert_eq!(handle.wait(&rt), "worker-done");
+    assert_eq!(o.peek_unsynchronized().a.load(), 4);
+}
+
+#[test]
+fn condvar_notify_from_worker_wakes_waiter() {
+    // The TxCondvar notify-from-deferred pattern must keep working when the
+    // deferred op runs on a pool worker: `notify_all_now` runs its own
+    // transaction on the worker thread.
+    let rt = pool_rt();
+    let o = obj();
+    let cv = TxCondvar::new();
+    let woke = Arc::new(AtomicBool::new(false));
+
+    let (cv2, rt2, w2, ow) = (cv.clone(), rt.clone(), Arc::clone(&woke), o.clone());
+    let waiter = std::thread::spawn(move || {
+        let v = cv2.await_value(&rt2, |tx| {
+            ow.with(tx, |f, tx| {
+                let a = tx.read(&f.a)?;
+                Ok(if a == 1 { Some(a) } else { None })
+            })
+        });
+        assert_eq!(v, 1);
+        w2.store(true, Ordering::Release);
+    });
+
+    std::thread::sleep(Duration::from_millis(20));
+    assert!(!woke.load(Ordering::Acquire));
+    let (o2, cv3) = (o.clone(), cv.clone());
+    rt.atomically(move |tx| {
+        let (o3, cv4) = (o2.clone(), cv3.clone());
+        atomic_defer(tx, &[&o2.clone()], move || {
+            o3.locked().a.store(1);
+            cv4.notify_all_now();
+        })
+    });
+    waiter.join().unwrap();
+    assert!(woke.load(Ordering::Acquire));
+    rt.drain_deferred();
+}
+
+#[test]
+fn many_transactions_many_objects_stress() {
+    // 4 committer threads × 50 txns, each deferring on one of 4 shared
+    // objects; counts must balance and every lock must end free.
+    let rt = pool_rt();
+    let objs: Vec<Defer<Obj>> = (0..4).map(|_| obj()).collect();
+    let total = Arc::new(AtomicUsize::new(0));
+    let mut handles = Vec::new();
+    for t in 0..4usize {
+        let rt = rt.clone();
+        let objs = objs.clone();
+        let total = Arc::clone(&total);
+        handles.push(std::thread::spawn(move || {
+            for i in 0..50usize {
+                let ob = objs[(t + i) % objs.len()].clone();
+                let total = Arc::clone(&total);
+                rt.atomically(move |tx| {
+                    let (ob2, t2) = (ob.clone(), Arc::clone(&total));
+                    atomic_defer(tx, &[&ob.clone()], move || {
+                        ob2.locked().a.update_locked(|v| v + 1);
+                        t2.fetch_add(1, Ordering::Relaxed);
+                    })
+                });
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    rt.drain_deferred();
+    assert_eq!(total.load(Ordering::Relaxed), 200);
+    let sum: u64 = objs.iter().map(|o| o.peek_unsynchronized().a.load()).sum();
+    assert_eq!(sum, 200);
+    for o in &objs {
+        assert_eq!(o.txlock().holder(), None);
+    }
+}

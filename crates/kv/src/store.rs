@@ -34,7 +34,7 @@ use std::io::{self, Seek, SeekFrom};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-use ad_defer::{atomic_defer, Defer, Deferrable};
+use ad_defer::{atomic_defer, atomic_defer_tracked, Defer, DeferHandle, Deferrable};
 use ad_stm::{Runtime, StmResult, TVar, TmConfig, Tx};
 use ad_support::sync::atomic::{AtomicU64, Ordering};
 
@@ -253,8 +253,21 @@ impl KvStore {
         recovery: Option<RecoveryReport>,
     ) -> KvStore {
         assert!(shards >= 1 && buckets_per_shard >= 1);
+        // Under SyncPolicy::Async the store's runtime gets a pooled
+        // deferred executor: commits return after write-back + quiescence
+        // and the WAL append (including the group-commit leader's fsync)
+        // runs on a pool worker while the shard locks are held by the
+        // transaction's batch owner. Every other policy keeps the default
+        // inline executor — the deferred fsync blocks the committer, which
+        // is exactly the ack-after-durability contract of `write_batch`.
+        let tm_cfg = match &wal {
+            Some(w) if w.sync_policy() == SyncPolicy::Async => {
+                TmConfig::stm().with_defer_pool(4, 256)
+            }
+            _ => TmConfig::stm(),
+        };
         let store = KvStore {
-            rt: Arc::new(Runtime::new(TmConfig::stm())),
+            rt: Arc::new(Runtime::new(tm_cfg)),
             shards: (0..shards)
                 .map(|_| {
                     Defer::new(Shard {
@@ -354,13 +367,33 @@ impl KvStore {
         self.write_batch(&WriteBatch::new().delete(key));
     }
 
-    /// Apply an atomic multi-key batch. For durable stores, returns only
-    /// after the batch's single redo record is fsync-covered; the touched
-    /// shards stay locked from commit to durability, so no transaction
-    /// ever observes an acked-but-volatile (or partially applied) batch.
+    /// Apply an atomic multi-key batch. With an inline executor (every
+    /// policy but [`SyncPolicy::Async`]), returns only after the batch's
+    /// single redo record is fsync-covered. Under `Async` it returns at
+    /// commit, with durability pending on the executor — the touched
+    /// shards stay locked from commit to durability either way, so no
+    /// transaction ever observes an acked-but-volatile (or partially
+    /// applied) batch. Use [`write_batch_async`](Self::write_batch_async)
+    /// when the caller needs to know when durability lands.
     pub fn write_batch(&self, batch: &WriteBatch) {
+        self.write_batch_inner(batch, false);
+    }
+
+    /// Like [`write_batch`](Self::write_batch), but returns a handle
+    /// tracking the batch's deferred durability work: `Some(handle)` for a
+    /// durable store ([`DeferHandle::wait`] blocks until the redo record's
+    /// covering fsync returned; `poll`/`is_done` check without blocking),
+    /// `None` when there is nothing to wait for (volatile store or empty
+    /// batch). Most useful under [`SyncPolicy::Async`], where commit and
+    /// durability are decoupled; with an inline executor the returned
+    /// handle is already complete.
+    pub fn write_batch_async(&self, batch: &WriteBatch) -> Option<DeferHandle<()>> {
+        self.write_batch_inner(batch, true)
+    }
+
+    fn write_batch_inner(&self, batch: &WriteBatch, tracked: bool) -> Option<DeferHandle<()>> {
         if batch.ops.is_empty() {
-            return;
+            return None;
         }
         let txid = self.next_txid.fetch_add(1, Ordering::Relaxed);
         // Encode once, outside the transaction: conflict re-execution must
@@ -380,21 +413,41 @@ impl KvStore {
             // the TxLocks, but must precede data writes: if the contention
             // manager escalates this transaction to irrevocable, blocking
             // lock acquisition after an eager write would be fatal).
+            let mut handle = None;
             if let (Some(wal), Some(payload)) = (&self.wal, &payload) {
                 let refs: Vec<&dyn Deferrable> =
                     handles.iter().map(|s| s as &dyn Deferrable).collect();
                 let wal2 = Arc::clone(wal);
                 let bytes = Arc::clone(payload);
                 let runtime = Arc::clone(&self.rt);
-                atomic_defer(tx, &refs, move || {
+                let op = move || {
                     wal2.append_durable(&bytes, &runtime);
-                })?;
+                };
+                if tracked {
+                    handle = Some(atomic_defer_tracked(tx, &refs, op)?);
+                } else {
+                    atomic_defer(tx, &refs, op)?;
+                }
             }
             for (key, value) in &batch.ops {
                 self.apply_in_tx(tx, key, value.as_deref())?;
             }
-            Ok(())
-        });
+            Ok(handle)
+        })
+    }
+
+    /// Insert or overwrite one key, returning a durability handle — see
+    /// [`write_batch_async`](Self::write_batch_async).
+    pub fn put_async(&self, key: &str, value: &[u8]) -> Option<DeferHandle<()>> {
+        self.write_batch_async(&WriteBatch::new().put(key, value))
+    }
+
+    /// Block until every deferred durability operation issued so far has
+    /// completed. A no-op for inline-executor stores (their writes are
+    /// durable at ack); under [`SyncPolicy::Async`] this is the barrier a
+    /// caller uses before e.g. reporting a checkpoint.
+    pub fn sync(&self) {
+        self.rt.drain_deferred();
     }
 
     /// Range scan: all `(key, value)` pairs with `key >= start`, in key

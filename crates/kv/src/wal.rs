@@ -58,6 +58,13 @@ pub enum SyncPolicy {
     /// One write + fsync per record, fully serialized — the baseline that
     /// group commit is measured against.
     PerCommit,
+    /// Group commit on a pooled deferred executor: the WAL side behaves
+    /// exactly like [`SyncPolicy::GroupCommit`] (the blocking
+    /// `append_durable` call simply runs on a pool worker, which becomes
+    /// the group-commit leader), but the *store* built with this policy
+    /// acks writes at commit and exposes durability through handles —
+    /// see `KvStore::put_async` / `write_batch_async`.
+    Async,
 }
 
 /// Where WAL bytes go. `File` is the real medium; tests and the loom
@@ -305,7 +312,7 @@ impl Wal {
                 self.note_batch(records, batch.len(), ts, rt);
                 st.durable_seq = seq;
             }
-            SyncPolicy::GroupCommit => loop {
+            SyncPolicy::GroupCommit | SyncPolicy::Async => loop {
                 if st.durable_seq >= seq {
                     break;
                 }

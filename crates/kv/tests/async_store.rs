@@ -1,0 +1,188 @@
+//! `SyncPolicy::Async`: commit/durability decoupling on the pooled
+//! deferred executor.
+//!
+//! Under `Async` the store's runtime runs deferred WAL appends on a worker
+//! pool: `put`/`write_batch` return at commit, and the group-commit leader
+//! that pays the fsync is a pool worker. The shard locks are held by the
+//! transaction's batch owner from commit until the append completes, so
+//! the reader-visible contract is unchanged — a subscribing read never
+//! observes an acked-but-volatile write. What changes is who waits:
+//! callers that need durability block on a [`DeferHandle`] (or the
+//! store-wide [`KvStore::sync`] barrier) instead of inside every write.
+
+#![cfg(not(loom))]
+
+use ad_kv::{KvConfig, KvStore, MemMedium, SyncPolicy, WriteBatch};
+use std::sync::Arc;
+
+fn async_store() -> (KvStore, MemMedium) {
+    let mem = MemMedium::new();
+    let (store, _) = KvStore::open_on_medium(
+        &KvConfig::default(),
+        SyncPolicy::Async,
+        Box::new(mem.clone()),
+        &[],
+    );
+    (store, mem)
+}
+
+#[test]
+fn handle_wait_means_durable() {
+    let (store, mem) = async_store();
+    let handle = store.put_async("k", b"v").expect("durable store");
+    handle.wait(store.runtime());
+    assert!(handle.is_done());
+    // Durability, not just buffering: the record is inside the synced
+    // prefix by the time the handle completes.
+    assert!(!mem.synced().is_empty());
+    assert_eq!(mem.synced().len(), mem.written().len());
+    assert_eq!(store.wal_stats().unwrap().records, 1);
+}
+
+#[test]
+fn reads_never_observe_acked_but_volatile_state() {
+    // `get` subscribes to the key's shard, whose lock the deferred append
+    // holds until the fsync lands — so a successful read implies the
+    // write it saw is durable.
+    let (store, mem) = async_store();
+    store.put("k", b"v");
+    assert_eq!(store.get("k").as_deref(), Some(&b"v"[..]));
+    let stats = store.wal_stats().unwrap();
+    assert_eq!(stats.records, 1, "read completed before durability");
+    assert!(!mem.synced().is_empty());
+}
+
+#[test]
+fn sync_is_a_durability_barrier() {
+    let (store, mem) = async_store();
+    for i in 0..20 {
+        store.put(&format!("k{i}"), b"v");
+    }
+    store.sync();
+    let stats = store.wal_stats().unwrap();
+    assert_eq!(stats.records, 20);
+    assert_eq!(mem.synced().len(), mem.written().len());
+}
+
+#[test]
+fn batch_handle_tracks_the_whole_batch() {
+    let (store, mem) = async_store();
+    let handle = store
+        .write_batch_async(&WriteBatch::new().put("a", b"1").put("b", b"2").delete("a"))
+        .expect("durable store");
+    handle.wait(store.runtime());
+    assert_eq!(store.wal_stats().unwrap().records, 1, "one redo record");
+    assert!(!mem.synced().is_empty());
+    assert_eq!(store.get("b").as_deref(), Some(&b"2"[..]));
+    assert_eq!(store.get("a"), None);
+}
+
+#[test]
+fn empty_or_volatile_writes_have_no_handle() {
+    let (store, _) = async_store();
+    assert!(store.write_batch_async(&WriteBatch::new()).is_none());
+    let volatile = KvStore::open(KvConfig::volatile()).unwrap();
+    assert!(volatile.put_async("k", b"v").is_none());
+    assert_eq!(volatile.get("k").as_deref(), Some(&b"v"[..]));
+    volatile.sync(); // no-op, must not block
+}
+
+#[test]
+fn concurrent_async_writers_coalesce_fsyncs() {
+    // Worker-led group commit still coalesces: a slow sync makes appends
+    // pile up behind the in-flight leader.
+    struct SlowSync(MemMedium);
+    impl ad_kv::WalMedium for SlowSync {
+        fn append(&mut self, data: &[u8]) {
+            self.0.append(data);
+        }
+        fn sync(&mut self) {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            self.0.sync();
+        }
+    }
+
+    let mem = MemMedium::new();
+    let (store, _) = KvStore::open_on_medium(
+        &KvConfig::default(),
+        SyncPolicy::Async,
+        Box::new(SlowSync(mem.clone())),
+        &[],
+    );
+    let store = Arc::new(store);
+    std::thread::scope(|s| {
+        for t in 0..8 {
+            let store = Arc::clone(&store);
+            s.spawn(move || {
+                for i in 0..10 {
+                    store.put(&format!("t{t}k{i}"), b"v");
+                }
+            });
+        }
+    });
+    store.sync();
+    let stats = store.wal_stats().unwrap();
+    assert_eq!(stats.records, 80);
+    assert!(
+        stats.batches < stats.records,
+        "no coalescing: {} batches for {} records",
+        stats.batches,
+        stats.records
+    );
+    assert_eq!(mem.synced().len(), mem.written().len());
+}
+
+#[test]
+fn reopen_after_sync_recovers_everything() {
+    let (store, mem) = async_store();
+    store.put("a", b"1");
+    store.write_batch(&WriteBatch::new().put("b", b"2").put("c", b"3"));
+    store.delete("a");
+    store.sync();
+    let before = store.dump();
+    drop(store);
+
+    let (reopened, report) = KvStore::open_on_medium(
+        &KvConfig::default(),
+        SyncPolicy::Async,
+        Box::new(MemMedium::new()),
+        &mem.synced(),
+    );
+    assert_eq!(report.records, 3);
+    assert!(!report.torn());
+    assert_eq!(reopened.dump(), before);
+}
+
+#[test]
+fn commit_latency_does_not_include_fsync() {
+    // The headline behavior: with a slow medium, the async ack is fast and
+    // the handle wait absorbs the fsync time.
+    struct VerySlowSync(MemMedium);
+    impl ad_kv::WalMedium for VerySlowSync {
+        fn append(&mut self, data: &[u8]) {
+            self.0.append(data);
+        }
+        fn sync(&mut self) {
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            self.0.sync();
+        }
+    }
+
+    let mem = MemMedium::new();
+    let (store, _) = KvStore::open_on_medium(
+        &KvConfig::default(),
+        SyncPolicy::Async,
+        Box::new(VerySlowSync(mem.clone())),
+        &[],
+    );
+    let t0 = std::time::Instant::now();
+    let handle = store.put_async("k", b"v").unwrap();
+    let ack = t0.elapsed();
+    handle.wait(store.runtime());
+    let durable = t0.elapsed();
+    assert!(
+        ack < std::time::Duration::from_millis(25),
+        "async ack should not pay the 50ms fsync (took {ack:?})"
+    );
+    assert!(durable >= std::time::Duration::from_millis(50));
+}

@@ -1,0 +1,39 @@
+//! Fixture: deferred closures capturing non-`Send` shapes.
+//! Deferred operations may run on a pool worker thread
+//! (`DeferExecCfg::Pool`); each `Rc`/`RefCell`/raw-pointer mention inside a
+//! deferred op must be flagged as `non-send-capture`.
+
+fn rc_capture(o: Defer<Obj>, counter: Rc<u64>) {
+    atomically(|tx| {
+        atomic_defer(tx, &[&o.clone()], move || {
+            let _ = Rc::strong_count(&counter); // FLAG: Rc is not Send
+        })
+    });
+}
+
+fn refcell_capture(o: Defer<Obj>, cell: RefCell<u64>) {
+    atomically(|tx| {
+        atomic_defer_tracked(tx, &[&o.clone()], move || {
+            *RefCell::borrow_mut(&cell) += 1; // FLAG: RefCell is not Send/Sync
+        })
+    });
+}
+
+fn raw_pointer_capture(o: Defer<Obj>, p: usize) {
+    atomically(|tx| {
+        atomic_defer_unordered(tx, move || {
+            let q = p as *mut u64; // FLAG: raw pointers are never Send
+            let r = q as *const u64; // FLAG
+            drop((q, r));
+        })
+    });
+}
+
+fn allowed_escape(o: Defer<Obj>, counter: Rc<u64>) {
+    atomically(|tx| {
+        atomic_defer(tx, &[&o.clone()], move || {
+            // ad-lint: allow(non-send-capture) — Inline-executor-only path
+            let _ = Rc::strong_count(&counter);
+        })
+    });
+}

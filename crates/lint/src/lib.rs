@@ -48,6 +48,13 @@ use std::path::Path;
 pub const RULE_DIRECT_ACCESS: &str = "direct-access-in-atomic";
 /// Rule: the deferred closure of an `atomic_defer*` call mentions `tx`/`Tx`.
 pub const RULE_DEFER_CAPTURES_TX: &str = "defer-captures-tx";
+/// Rule: the deferred closure of an `atomic_defer*` call mentions a
+/// non-`Send` shape — `Rc`, `RefCell`, or a raw-pointer type. Deferred
+/// operations may run on a pool worker thread (`DeferExecCfg::Pool`); the
+/// `Send` bound catches direct captures, but `unsafe impl Send` wrappers
+/// and pointer laundering compile fine — the lint keeps the contract
+/// visible lexically either way.
+pub const RULE_NON_SEND_CAPTURE: &str = "non-send-capture";
 /// Rule: `Ordering::SeqCst` outside the fence-disciplined allowlist.
 pub const RULE_SEQCST: &str = "seqcst-outside-allowlist";
 /// Rule: raw `std::sync::atomic` outside the allowlist (use the
@@ -429,7 +436,7 @@ pub fn scan_source(file: &str, src: &str) -> Vec<Finding> {
                 if let Some(name) = i.checked_sub(1).and_then(|p| ident(&toks[p].0)) {
                     let reg = match name {
                         "atomically" | "synchronized" => Some((RegionKind::Atomic, 0)),
-                        "atomic_defer" | "atomic_defer_with_result" => {
+                        "atomic_defer" | "atomic_defer_with_result" | "atomic_defer_tracked" => {
                             Some((RegionKind::DeferCall, 2))
                         }
                         "atomic_defer_unordered" => Some((RegionKind::DeferCall, 1)),
@@ -489,8 +496,42 @@ pub fn scan_source(file: &str, src: &str) -> Vec<Finding> {
                     }
                 }
             }
+            Tok::P('*') if !in_test => {
+                // Raw-pointer type `*const T` / `*mut T` — `const`/`mut`
+                // after `*` cannot be an expression, so this is
+                // unambiguously a pointer type, which is never `Send`.
+                let innermost = regions.last().map(|r| r.kind);
+                let kw = toks.get(i + 1).and_then(|t| ident(&t.0));
+                if innermost == Some(RegionKind::DeferOp)
+                    && matches!(kw, Some("const") | Some("mut"))
+                {
+                    push(
+                        &mut findings,
+                        line,
+                        RULE_NON_SEND_CAPTURE,
+                        format!(
+                            "raw pointer type `*{} _` in a deferred closure: deferred \
+                             operations may run on a pool worker thread and their \
+                             captures must be Send; pass an owning handle (Arc) instead",
+                            kw.unwrap_or_default()
+                        ),
+                    );
+                }
+            }
             Tok::Ident(s) if !in_test => {
                 let innermost = regions.last().map(|r| r.kind);
+                if innermost == Some(RegionKind::DeferOp) && (s == "Rc" || s == "RefCell") {
+                    push(
+                        &mut findings,
+                        line,
+                        RULE_NON_SEND_CAPTURE,
+                        format!(
+                            "deferred closure mentions `{s}`, which is not Send: deferred \
+                             operations may run on a pool worker thread; use Arc (and \
+                             Mutex/atomics for interior mutability) instead"
+                        ),
+                    );
+                }
                 if innermost == Some(RegionKind::DeferOp) && (s == "tx" || s == "Tx") {
                     push(
                         &mut findings,
@@ -706,6 +747,61 @@ mod tests {
             fn f() {
                 atomically(|tx| {
                     atomic_defer_unordered(tx, move || {
+                        tx.commit();
+                    })
+                });
+            }
+        ";
+        let f = scan_source("crates/demo/src/lib.rs", src);
+        assert_eq!(rules(&f), vec![RULE_DEFER_CAPTURES_TX]);
+    }
+
+    #[test]
+    fn non_send_shapes_in_deferred_closure_are_flagged() {
+        let src = "
+            fn f(o: Defer<Obj>, n: Rc<u64>) {
+                atomically(|tx| {
+                    atomic_defer(tx, &[&o.clone()], move || {
+                        let _ = Rc::strong_count(&n);
+                        let p = 0usize as *mut u64;
+                        let q = p as *const u64;
+                        drop(q);
+                    })
+                });
+            }
+        ";
+        let f = scan_source("crates/demo/src/lib.rs", src);
+        assert_eq!(rules(&f), vec![RULE_NON_SEND_CAPTURE; 3]);
+        assert_eq!(f[0].line, 5);
+    }
+
+    #[test]
+    fn non_send_shapes_outside_deferred_closures_are_fine() {
+        // `Rc` in ordinary code, in an atomic closure, or in the defer
+        // call's argument list (before the closure) is not this rule's
+        // business — only the deferred op itself crosses threads. And a
+        // multiplication is not a raw-pointer type.
+        let src = "
+            fn f(o: Defer<Obj>, n: Rc<u64>, k: usize) {
+                let _ = Rc::strong_count(&n);
+                atomically(|tx| {
+                    let m = Rc::clone(&n);
+                    atomic_defer_tracked(tx, &[&o.clone()], move || {
+                        let _ = k * 2;
+                    })
+                });
+            }
+        ";
+        let f = scan_source("crates/demo/src/lib.rs", src);
+        assert_eq!(rules(&f), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn tracked_defer_threshold_is_two_commas() {
+        let src = "
+            fn f(o: Defer<Obj>) {
+                atomically(|tx| {
+                    atomic_defer_tracked(tx, &[&o.clone()], move || {
                         tx.commit();
                     })
                 });

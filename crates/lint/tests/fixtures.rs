@@ -7,7 +7,8 @@
 use std::path::Path;
 
 use ad_lint::{
-    scan_tree, RULE_DEFER_CAPTURES_TX, RULE_DIRECT_ACCESS, RULE_RAW_ATOMIC, RULE_SEQCST,
+    scan_tree, RULE_DEFER_CAPTURES_TX, RULE_DIRECT_ACCESS, RULE_NON_SEND_CAPTURE,
+    RULE_RAW_ATOMIC, RULE_SEQCST,
 };
 
 fn fixture(name: &str) -> Vec<&'static str> {
@@ -31,6 +32,16 @@ fn defer_captures_tx_fixture_is_rejected() {
     assert_eq!(
         fixture("defer_captures_tx.rs"),
         vec![RULE_DEFER_CAPTURES_TX; 2]
+    );
+}
+
+#[test]
+fn non_send_capture_fixture_is_rejected() {
+    // Rc, RefCell, `*mut`, `*const` — and the final, allow-annotated Rc
+    // use must be suppressed.
+    assert_eq!(
+        fixture("non_send_capture.rs"),
+        vec![RULE_NON_SEND_CAPTURE; 4]
     );
 }
 

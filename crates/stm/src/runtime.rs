@@ -66,6 +66,12 @@ pub(crate) struct RtInner {
     /// toggle that also gates the optional hot-path timing (commit latency,
     /// backoff). One relaxed load per attempt when off.
     sink: TraceSink,
+    /// The worker pool behind [`DeferExecCfg::Pool`]; `None` under the
+    /// default `Inline` executor. Not built under `--cfg loom` (the pool
+    /// spawns real OS threads; the executor hand-off protocol is modeled
+    /// directly in the `verify` suites instead).
+    #[cfg(not(loom))]
+    defer_pool: Option<ad_support::pool::Pool>,
 }
 
 /// A TM runtime: a policy configuration plus the machinery (serial lock,
@@ -87,6 +93,11 @@ pub struct Runtime {
 impl Runtime {
     /// Create a runtime with the given policy configuration.
     pub fn new(cfg: TmConfig) -> Self {
+        #[cfg(loom)]
+        assert!(
+            !cfg.defer_exec.is_pool(),
+            "DeferExecCfg::Pool spawns OS threads and is not available under --cfg loom"
+        );
         Runtime {
             inner: Arc::new(RtInner {
                 id: NEXT_RUNTIME_ID.fetch_add(1, Ordering::Relaxed),
@@ -95,6 +106,13 @@ impl Runtime {
                 registry: Registry::default(),
                 stats: Stats::default(),
                 sink: TraceSink::new(cfg.trace_ring_events),
+                #[cfg(not(loom))]
+                defer_pool: match cfg.defer_exec {
+                    crate::config::DeferExecCfg::Inline => None,
+                    crate::config::DeferExecCfg::Pool { workers, queue_cap } => {
+                        Some(ad_support::pool::Pool::new(workers, queue_cap))
+                    }
+                },
             }),
         }
     }
@@ -384,11 +402,50 @@ impl Runtime {
         }
     }
 
-    /// Execute deferred operations in queue order, then deferred frees —
-    /// the tail of the paper's `TxEnd` (Listing 1). Runs with no locks held
-    /// (the serial guard is released), so deferred operations may start
-    /// transactions of their own.
+    /// Hand one committed transaction's post-commit work to the configured
+    /// executor — the tail of the paper's `TxEnd` (Listing 1). Runs with no
+    /// locks held (the serial guard is released).
+    ///
+    /// `Inline` (default): the batch runs here, on the committing thread, in
+    /// commit order, before `atomically` returns. `Pool`: the batch is
+    /// queued to the worker pool and `atomically` returns immediately; a
+    /// worker runs the ops and their closing `TxLock` releases. Either way
+    /// the ops of one transaction run sequentially in call order, and ops of
+    /// different transactions that share a `TxLock` serialize in
+    /// lock-acquisition order — the later committer's lock acquisition
+    /// conflicts until the earlier batch releases, wherever it runs.
     fn run_post_commit(&self, output: CommitOutput) {
+        if output.is_empty() {
+            // The common no-defer transaction never touches the executor.
+            return;
+        }
+        #[cfg(not(loom))]
+        if let Some(pool) = &self.inner.defer_pool {
+            let obs = self.inner.sink.enabled();
+            let t_submit = if obs { Some(crate::trace::now_ns()) } else { None };
+            let rt = self.clone();
+            let depth = pool.submit(Box::new(move || {
+                if let Some(t0) = t_submit {
+                    let waited = crate::trace::now_ns().saturating_sub(t0);
+                    rt.inner.stats.on_defer_queue_wait(waited);
+                }
+                rt.run_batch(output);
+            }));
+            self.inner.stats.on_defer_offload();
+            if obs {
+                self.trace_event(EventKind::DeferOffload, depth as u64);
+            }
+            return;
+        }
+        self.run_batch(output);
+    }
+
+    /// Execute one committed batch: deferred operations in call order, then
+    /// deferred frees. Called on the committing thread (`Inline`) or on a
+    /// pool worker (`Pool`); deferred operations may start transactions of
+    /// their own in either venue (workers are ordinary threads with no
+    /// transaction in flight).
+    fn run_batch(&self, output: CommitOutput) {
         let CommitOutput {
             actions,
             drops,
@@ -415,6 +472,29 @@ impl Runtime {
             }
         }
         drop(drops);
+    }
+
+    /// Block until every deferred-op batch handed to the `Pool` executor so
+    /// far has completed (ops run, locks released). A no-op under `Inline`,
+    /// where `atomically` only returns after its batch ran. Useful at
+    /// shutdown and in tests/benchmarks that need an "all quiet" point;
+    /// per-operation completion is better served by an `ad-defer`
+    /// `DeferHandle`.
+    pub fn drain_deferred(&self) {
+        #[cfg(not(loom))]
+        if let Some(pool) = &self.inner.defer_pool {
+            pool.drain();
+        }
+    }
+
+    /// Deferred-op batches currently queued or running on the `Pool`
+    /// executor (always 0 under `Inline`).
+    pub fn deferred_pending(&self) -> usize {
+        #[cfg(not(loom))]
+        if let Some(pool) = &self.inner.defer_pool {
+            return pool.pending();
+        }
+        0
     }
 
     /// Internal identifier (stable for the lifetime of the runtime).

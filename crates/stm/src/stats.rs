@@ -31,14 +31,15 @@ pub struct Stats {
     pub(crate) serializations: AtomicU64,
     pub(crate) serial_commits: AtomicU64,
     pub(crate) deferred_ops: AtomicU64,
+    pub(crate) defer_offloads: AtomicU64,
     /// The latency histograms, boxed as one block: `Stats` lives inside the
     /// runtime's hot `RtInner`, and keeping it counter-sized preserves the
-    /// cache layout of the fields around it (embedding the four histograms
+    /// cache layout of the fields around it (embedding the histograms
     /// inline measurably slowed uninstrumented transactions).
     hists: Box<LatencyHists>,
 }
 
-/// The four latency histograms (see the field docs for when each fills).
+/// The five latency histograms (see the field docs for when each fills).
 #[derive(Default)]
 struct LatencyHists {
     /// Commit latency (begin of the committing attempt → commit done), ns.
@@ -53,6 +54,10 @@ struct LatencyHists {
     /// Deferred operation queue-to-completion (enqueue inside the
     /// transaction → post-commit execution finished), ns. Toggle-gated.
     defer: Histogram,
+    /// Executor queue wait under `DeferExecCfg::Pool` (batch submitted by
+    /// the committing thread → a worker picked it up), ns. Toggle-gated;
+    /// always empty under the `Inline` executor.
+    queue_wait: Histogram,
 }
 
 macro_rules! bump {
@@ -77,6 +82,7 @@ impl Stats {
         on_serialization => serializations,
         on_serial_commit => serial_commits,
         on_deferred_op => deferred_ops,
+        on_defer_offload => defer_offloads,
     }
 
     #[inline]
@@ -99,6 +105,11 @@ impl Stats {
         self.hists.defer.record(ns);
     }
 
+    #[inline]
+    pub(crate) fn on_defer_queue_wait(&self, ns: u64) {
+        self.hists.queue_wait.record(ns);
+    }
+
     /// Copy the counters out. (`quiesce_waits`/`quiesce_ns` are derived
     /// from the quiescence histogram, which replaced the old running sum.)
     pub fn snapshot(&self) -> StatsSnapshot {
@@ -115,6 +126,7 @@ impl Stats {
             quiesce_waits: q.count(),
             quiesce_ns: q.sum(),
             deferred_ops: self.deferred_ops.load(Ordering::Relaxed),
+            defer_offloads: self.defer_offloads.load(Ordering::Relaxed),
         }
     }
 
@@ -126,6 +138,7 @@ impl Stats {
             quiesce_wait_ns: self.hists.quiesce.snapshot(),
             retry_backoff_ns: self.hists.backoff.snapshot(),
             defer_queue_to_done_ns: self.hists.defer.snapshot(),
+            defer_queue_wait_ns: self.hists.queue_wait.snapshot(),
         }
     }
 
@@ -141,6 +154,7 @@ impl Stats {
             &self.serializations,
             &self.serial_commits,
             &self.deferred_ops,
+            &self.defer_offloads,
         ] {
             c.store(0, Ordering::Relaxed);
         }
@@ -148,6 +162,7 @@ impl Stats {
         self.hists.quiesce.reset();
         self.hists.backoff.reset();
         self.hists.defer.reset();
+        self.hists.queue_wait.reset();
     }
 }
 
@@ -177,6 +192,9 @@ pub struct StatsSnapshot {
     pub quiesce_ns: u64,
     /// Post-commit deferred operations executed.
     pub deferred_ops: u64,
+    /// Deferred-op batches handed to the `Pool` executor instead of running
+    /// inline (0 under the default `Inline` executor).
+    pub defer_offloads: u64,
 }
 
 impl StatsSnapshot {
@@ -204,6 +222,7 @@ impl StatsSnapshot {
             quiesce_waits: self.quiesce_waits - earlier.quiesce_waits,
             quiesce_ns: self.quiesce_ns - earlier.quiesce_ns,
             deferred_ops: self.deferred_ops - earlier.deferred_ops,
+            defer_offloads: self.defer_offloads - earlier.defer_offloads,
         }
     }
 
@@ -214,7 +233,8 @@ impl StatsSnapshot {
             "{{\"starts\":{},\"commits\":{},\"serial_commits\":{},\
              \"aborts_conflict\":{},\"aborts_capacity\":{},\
              \"aborts_unsupported\":{},\"retries\":{},\"serializations\":{},\
-             \"quiesce_waits\":{},\"quiesce_ns\":{},\"deferred_ops\":{}}}",
+             \"quiesce_waits\":{},\"quiesce_ns\":{},\"deferred_ops\":{},\
+             \"defer_offloads\":{}}}",
             self.starts,
             self.commits,
             self.serial_commits,
@@ -226,6 +246,7 @@ impl StatsSnapshot {
             self.quiesce_waits,
             self.quiesce_ns,
             self.deferred_ops,
+            self.defer_offloads,
         )
     }
 }
@@ -239,7 +260,8 @@ impl fmt::Display for StatsSnapshot {
             f,
             "counters[commits={} serial_commits={} aborts={} (aborts_conflict={} \
              aborts_capacity={} aborts_unsupported={}) retries={} serializations={} \
-             quiesce_waits={} deferred_ops={}] durations[quiesce_ns={} ({:.1}ms)]",
+             quiesce_waits={} deferred_ops={} defer_offloads={}] \
+             durations[quiesce_ns={} ({:.1}ms)]",
             self.total_commits(),
             self.serial_commits,
             self.total_aborts(),
@@ -250,6 +272,7 @@ impl fmt::Display for StatsSnapshot {
             self.serializations,
             self.quiesce_waits,
             self.deferred_ops,
+            self.defer_offloads,
             self.quiesce_ns,
             self.quiesce_ns as f64 / 1e6,
         )
@@ -272,6 +295,10 @@ pub struct StatsReport {
     /// Deferred-op enqueue → execution-complete in nanoseconds (toggle
     /// required).
     pub defer_queue_to_done_ns: HistogramSnapshot,
+    /// Executor queue wait under `DeferExecCfg::Pool` — batch submission by
+    /// the committing thread → worker pickup — in nanoseconds (toggle
+    /// required; always empty under `Inline`).
+    pub defer_queue_wait_ns: HistogramSnapshot,
 }
 
 impl StatsReport {
@@ -281,12 +308,14 @@ impl StatsReport {
         format!(
             "{{\"counters\":{},\"histograms\":{{\
              \"commit_latency_ns\":{},\"quiesce_wait_ns\":{},\
-             \"retry_backoff_ns\":{},\"defer_queue_to_done_ns\":{}}}}}",
+             \"retry_backoff_ns\":{},\"defer_queue_to_done_ns\":{},\
+             \"defer_queue_wait_ns\":{}}}}}",
             self.counters.to_json(),
             self.commit_latency_ns.to_json(),
             self.quiesce_wait_ns.to_json(),
             self.retry_backoff_ns.to_json(),
             self.defer_queue_to_done_ns.to_json(),
+            self.defer_queue_wait_ns.to_json(),
         )
     }
 
@@ -305,6 +334,9 @@ impl StatsReport {
             defer_queue_to_done_ns: self
                 .defer_queue_to_done_ns
                 .delta_since(&earlier.defer_queue_to_done_ns),
+            defer_queue_wait_ns: self
+                .defer_queue_wait_ns
+                .delta_since(&earlier.defer_queue_wait_ns),
         }
     }
 
@@ -324,11 +356,13 @@ impl StatsReport {
         c.quiesce_waits += o.quiesce_waits;
         c.quiesce_ns += o.quiesce_ns;
         c.deferred_ops += o.deferred_ops;
+        c.defer_offloads += o.defer_offloads;
         self.commit_latency_ns.merge(&other.commit_latency_ns);
         self.quiesce_wait_ns.merge(&other.quiesce_wait_ns);
         self.retry_backoff_ns.merge(&other.retry_backoff_ns);
         self.defer_queue_to_done_ns
             .merge(&other.defer_queue_to_done_ns);
+        self.defer_queue_wait_ns.merge(&other.defer_queue_wait_ns);
     }
 }
 
@@ -338,11 +372,12 @@ impl fmt::Display for StatsReport {
         writeln!(f, "  commit_latency_ns:        {}", self.commit_latency_ns)?;
         writeln!(f, "  quiesce_wait_ns:          {}", self.quiesce_wait_ns)?;
         writeln!(f, "  retry_backoff_ns:         {}", self.retry_backoff_ns)?;
-        write!(
+        writeln!(
             f,
             "  defer_queue_to_done_ns:   {}",
             self.defer_queue_to_done_ns
-        )
+        )?;
+        write!(f, "  defer_queue_wait_ns:      {}", self.defer_queue_wait_ns)
     }
 }
 
@@ -384,9 +419,12 @@ mod tests {
         s.on_unsupported();
         s.on_quiesce(500);
         s.on_commit_latency(700);
+        s.on_defer_offload();
+        s.on_defer_queue_wait(900);
         s.reset();
         assert_eq!(s.snapshot(), StatsSnapshot::default());
         assert_eq!(s.report().commit_latency_ns.count(), 0);
+        assert_eq!(s.report().defer_queue_wait_ns.count(), 0);
     }
 
     #[test]
@@ -420,17 +458,19 @@ mod tests {
     }
 
     #[test]
-    fn report_collects_all_four_histograms() {
+    fn report_collects_all_five_histograms() {
         let s = Stats::default();
         s.on_commit_latency(1_000);
         s.on_quiesce(2_000);
         s.on_backoff(3_000);
         s.on_defer_latency(4_000);
+        s.on_defer_queue_wait(5_000);
         let r = s.report();
         assert_eq!(r.commit_latency_ns.count(), 1);
         assert_eq!(r.quiesce_wait_ns.count(), 1);
         assert_eq!(r.retry_backoff_ns.count(), 1);
         assert_eq!(r.defer_queue_to_done_ns.count(), 1);
+        assert_eq!(r.defer_queue_wait_ns.count(), 1);
         assert_eq!(r.counters.quiesce_waits, 1);
         assert_eq!(r.counters.quiesce_ns, 2_000);
     }
@@ -450,6 +490,8 @@ mod tests {
             "\"quiesce_wait_ns\"",
             "\"retry_backoff_ns\"",
             "\"defer_queue_to_done_ns\"",
+            "\"defer_queue_wait_ns\"",
+            "\"defer_offloads\":0",
         ] {
             assert!(j.contains(key), "missing {key} in {j}");
         }

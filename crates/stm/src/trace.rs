@@ -92,6 +92,14 @@ pub enum EventKind {
     /// batch made durable (1 under fsync-per-commit; >1 means group commit
     /// coalesced concurrent transactions into one sync).
     WalFsync = 15,
+    /// A committed transaction's deferred-op batch was handed to the
+    /// `Pool` executor instead of running inline (`DeferExecCfg::Pool`);
+    /// `arg` = the executor queue depth at submission (batches already
+    /// waiting — a persistent non-zero depth means the workers are not
+    /// keeping up and commits are about to feel backpressure). Emitted by
+    /// the committing thread; the matching `defer_exec_start`/`_end` pair
+    /// appears on the worker's timeline row.
+    DeferOffload = 16,
 }
 
 impl EventKind {
@@ -113,6 +121,7 @@ impl EventKind {
             EventKind::Backoff => "backoff",
             EventKind::WalAppend => "wal_append",
             EventKind::WalFsync => "wal_fsync",
+            EventKind::DeferOffload => "defer_offload",
         }
     }
 
@@ -143,6 +152,7 @@ impl EventKind {
             13 => EventKind::Backoff,
             14 => EventKind::WalAppend,
             15 => EventKind::WalFsync,
+            16 => EventKind::DeferOffload,
             _ => return None,
         })
     }
@@ -204,6 +214,7 @@ impl fmt::Display for TraceEvent {
             }
             EventKind::WalAppend => write!(f, " bytes={}", self.arg),
             EventKind::WalFsync => write!(f, " records={}", self.arg),
+            EventKind::DeferOffload => write!(f, " queue_depth={}", self.arg),
             _ => write!(f, " arg={}", self.arg),
         }
     }
@@ -373,6 +384,14 @@ impl Trace {
                         &[("index", e.arg.to_string())],
                     ),
                 },
+                EventKind::DeferOffload => w.push(
+                    "defer_offload",
+                    'i',
+                    e.thread,
+                    e.ts_ns,
+                    None,
+                    &[("queue_depth", e.arg.to_string())],
+                ),
                 _ => w.push(
                     e.kind.name(),
                     'i',
@@ -777,6 +796,7 @@ mod tests {
             EventKind::Backoff,
             EventKind::WalAppend,
             EventKind::WalFsync,
+            EventKind::DeferOffload,
         ] {
             assert_eq!(EventKind::from_code(k as u8), Some(k));
             assert!(!k.name().is_empty());

@@ -58,6 +58,17 @@ pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
 }
 
 impl<T> Sender<T> {
+    /// Number of messages currently queued (racy snapshot — by the time the
+    /// caller looks at it the queue may have moved; fine for telemetry).
+    pub fn len(&self) -> usize {
+        self.0.queue.lock().items.len()
+    }
+
+    /// Whether the queue is empty right now (same caveat as [`Sender::len`]).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
     /// Send a message, blocking while the queue is full. Fails (returning
     /// the message) only when every receiver has been dropped.
     pub fn send(&self, value: T) -> Result<(), SendError<T>> {

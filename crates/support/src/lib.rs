@@ -23,6 +23,11 @@
 //! * [`model`] — a vendored loom-style concurrency model checker (token
 //!   scheduler, instrumented primitives, poison registry) backing the
 //!   `--cfg loom` face of [`sync`] and the `verify` model suites.
+//! * [`pool`] — a bounded-queue worker pool (blocking submit, panic
+//!   isolation, drain), the execution substrate for the `ad-stm` `Pool`
+//!   deferred-op executor. Not built under `--cfg loom`: it spawns real OS
+//!   threads, and the executor models exercise the hand-off protocol
+//!   directly with model threads instead.
 //!
 //! Everything except the lock internals of [`model`] is safe Rust with no
 //! dependencies, so it can never be the thing that breaks an offline build.
@@ -43,5 +48,7 @@ pub mod crc32;
 pub mod crit;
 pub mod hist;
 pub mod model;
+#[cfg(not(loom))]
+pub mod pool;
 pub mod prng;
 pub mod sync;

@@ -1,0 +1,290 @@
+//! A small bounded-queue worker pool.
+//!
+//! This is the execution substrate for the `ad-stm` `Pool` deferred-op
+//! executor: the committing thread hands a post-commit batch to the pool and
+//! returns immediately; a worker runs the batch (and releases its `TxLock`s
+//! on completion — the two-phase-locking shrinking phase happens on the
+//! worker, which is safe because 2PL cares about *who holds which locks*,
+//! never about which OS thread executes the critical work).
+//!
+//! Design points:
+//!
+//! * **Bounded queue, blocking submit.** [`Pool::submit`] blocks while the
+//!   queue is full. That backpressure is load-bearing: a committer that
+//!   produces deferred work faster than the workers can retire it degrades
+//!   gracefully toward inline execution cost instead of queueing unbounded
+//!   memory (and unbounded lock-hold time).
+//! * **Panic isolation.** A panicking job is caught with `catch_unwind`,
+//!   counted, and the worker keeps serving. Callers that need lock-release
+//!   on panic must arrange it *inside* the job (`ad-defer` does).
+//! * **Self-drop safety.** The pool may be dropped *from one of its own
+//!   workers* (the last `Runtime` handle can die inside a queued job). Drop
+//!   joins every worker except the current thread, which is detached —
+//!   joining yourself would deadlock.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crate::sync::{Condvar, Mutex};
+
+/// A unit of work. Jobs must be `Send` (they hop to a worker thread) and
+/// `'static` (the pool outlives any borrow the submitter could prove).
+pub type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct State {
+    queue: VecDeque<Job>,
+    /// Jobs submitted but not yet completed (queued + running).
+    pending: usize,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Signals workers: queue non-empty or shutdown.
+    work: Condvar,
+    /// Signals submitters: queue has room.
+    room: Condvar,
+    /// Signals drainers: pending hit zero.
+    idle: Condvar,
+    capacity: usize,
+    panics: AtomicU64,
+}
+
+/// A fixed-size worker pool over a bounded FIFO job queue.
+pub struct Pool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Pool {
+    /// Spawn `workers` threads (clamped to at least 1) serving a queue with
+    /// room for `queue_cap` waiting jobs (clamped to at least 1).
+    pub fn new(workers: usize, queue_cap: usize) -> Pool {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                pending: 0,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            room: Condvar::new(),
+            idle: Condvar::new(),
+            capacity: queue_cap.max(1),
+            panics: AtomicU64::new(0),
+        });
+        let workers = (0..workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("ad-defer-pool-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawning pool worker")
+            })
+            .collect();
+        Pool { shared, workers }
+    }
+
+    /// Queue a job, blocking while the queue is at capacity. Returns the
+    /// queue depth *before* this job was added (telemetry for the
+    /// `DeferOffload` trace event).
+    pub fn submit(&self, job: Job) -> usize {
+        let mut st = self.shared.state.lock();
+        while st.queue.len() >= self.shared.capacity {
+            self.shared.room.wait(&mut st);
+        }
+        let depth = st.queue.len();
+        st.queue.push_back(job);
+        st.pending += 1;
+        drop(st);
+        self.shared.work.notify_one();
+        depth
+    }
+
+    /// Number of jobs waiting in the queue right now (racy snapshot).
+    pub fn queue_len(&self) -> usize {
+        self.shared.state.lock().queue.len()
+    }
+
+    /// Jobs submitted but not yet completed (queued + currently running).
+    pub fn pending(&self) -> usize {
+        self.shared.state.lock().pending
+    }
+
+    /// Block until every job submitted so far has completed. New jobs may be
+    /// submitted concurrently; this returns at a moment when `pending == 0`.
+    pub fn drain(&self) {
+        let mut st = self.shared.state.lock();
+        while st.pending > 0 {
+            self.shared.idle.wait(&mut st);
+        }
+    }
+
+    /// Number of jobs that panicked (the panic is caught, counted, and the
+    /// worker keeps serving).
+    pub fn panic_count(&self) -> u64 {
+        self.shared.panics.load(Ordering::Relaxed)
+    }
+
+    /// Number of worker threads.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut st = shared.state.lock();
+            loop {
+                if let Some(job) = st.queue.pop_front() {
+                    break job;
+                }
+                if st.shutdown {
+                    return;
+                }
+                shared.work.wait(&mut st);
+            }
+        };
+        // A slot opened up; wake one blocked submitter.
+        shared.room.notify_one();
+        if catch_unwind(AssertUnwindSafe(job)).is_err() {
+            shared.panics.fetch_add(1, Ordering::Relaxed);
+        }
+        let mut st = shared.state.lock();
+        st.pending -= 1;
+        let idle = st.pending == 0;
+        drop(st);
+        if idle {
+            shared.idle.notify_all();
+        }
+    }
+}
+
+impl Drop for Pool {
+    /// Shut down after draining: workers finish every queued job, then exit.
+    /// Joins every worker except the current thread — the pool can be
+    /// dropped from inside one of its own jobs (the job held the last
+    /// `Runtime` handle), and a thread cannot join itself.
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock();
+            st.shutdown = true;
+        }
+        self.shared.work.notify_all();
+        let me = std::thread::current().id();
+        for h in self.workers.drain(..) {
+            if h.thread().id() != me {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool")
+            .field("workers", &self.workers.len())
+            .field("capacity", &self.shared.capacity)
+            .field("queue_len", &self.queue_len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    #[test]
+    fn runs_every_job() {
+        let pool = Pool::new(4, 8);
+        let n = Arc::new(AtomicUsize::new(0));
+        for _ in 0..100 {
+            let n = Arc::clone(&n);
+            pool.submit(Box::new(move || {
+                n.fetch_add(1, Ordering::Relaxed);
+            }));
+        }
+        pool.drain();
+        assert_eq!(n.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn bounded_submit_blocks_then_completes() {
+        let pool = Pool::new(1, 1);
+        let n = Arc::new(AtomicUsize::new(0));
+        // First job occupies the worker; second fills the queue; third must
+        // block in submit until the worker frees a slot.
+        for _ in 0..3 {
+            let n = Arc::clone(&n);
+            pool.submit(Box::new(move || {
+                std::thread::sleep(Duration::from_millis(5));
+                n.fetch_add(1, Ordering::Relaxed);
+            }));
+        }
+        pool.drain();
+        assert_eq!(n.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn panicking_job_is_counted_and_worker_survives() {
+        let pool = Pool::new(1, 4);
+        pool.submit(Box::new(|| panic!("job goes boom")));
+        let n = Arc::new(AtomicUsize::new(0));
+        let n2 = Arc::clone(&n);
+        pool.submit(Box::new(move || {
+            n2.fetch_add(1, Ordering::Relaxed);
+        }));
+        pool.drain();
+        assert_eq!(pool.panic_count(), 1);
+        assert_eq!(n.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn drop_drains_queued_jobs() {
+        let n = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = Pool::new(2, 16);
+            for _ in 0..32 {
+                let n = Arc::clone(&n);
+                pool.submit(Box::new(move || {
+                    n.fetch_add(1, Ordering::Relaxed);
+                }));
+            }
+        }
+        assert_eq!(n.load(Ordering::Relaxed), 32);
+    }
+
+    #[test]
+    fn drop_from_inside_a_job_does_not_deadlock() {
+        let pool = Arc::new(Pool::new(2, 4));
+        let (tx, rx) = std::sync::mpsc::channel();
+        let p2 = Arc::clone(&pool);
+        pool.submit(Box::new(move || {
+            // This job owns the last other handle; dropping it here makes
+            // the worker run Pool::drop, which must skip joining itself.
+            drop(p2);
+            tx.send(()).unwrap();
+        }));
+        drop(pool);
+        rx.recv_timeout(Duration::from_secs(10)).unwrap();
+    }
+
+    #[test]
+    fn fifo_order_single_worker() {
+        let pool = Pool::new(1, 64);
+        let order = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..20 {
+            let order = Arc::clone(&order);
+            pool.submit(Box::new(move || {
+                order.lock().push(i);
+            }));
+        }
+        pool.drain();
+        assert_eq!(*order.lock(), (0..20).collect::<Vec<_>>());
+    }
+}

@@ -185,31 +185,55 @@ fn perform_io(path: &PathBuf, handle: &mut Option<File>, keep_open: bool, conten
 /// the fixed workload, removes the files, and returns the wall time plus a
 /// stats note for TM variants.
 pub fn run_iobench(cfg: &IoBenchConfig, variant: Variant, threads: usize) -> Measurement {
+    run_iobench_traced(cfg, variant, threads, false).0
+}
+
+/// Like [`run_iobench`], with `capture_trace` forcing tracing on the TM
+/// runtime and draining its event timeline afterwards (the `fig2` bin's
+/// `--trace-json` export). The trace is `None` for the lock-based variants.
+pub fn run_iobench_traced(
+    cfg: &IoBenchConfig,
+    variant: Variant,
+    threads: usize,
+    capture_trace: bool,
+) -> (Measurement, Option<ad_stm::Trace>) {
     let tag = format!("{}_{threads}_{}", variant.label(), cfg.files);
     let paths = cfg.paths(&tag);
     for p in &paths {
         let _ = std::fs::remove_file(p);
     }
 
-    let (elapsed, note, stats) = match variant {
-        Variant::Cgl => (run_locked(cfg, &paths, threads, true), String::new(), None),
-        Variant::Fgl => (run_locked(cfg, &paths, threads, false), String::new(), None),
+    let (elapsed, note, stats, trace) = match variant {
+        Variant::Cgl => (
+            run_locked(cfg, &paths, threads, true),
+            String::new(),
+            None,
+            None,
+        ),
+        Variant::Fgl => (
+            run_locked(cfg, &paths, threads, false),
+            String::new(),
+            None,
+            None,
+        ),
         Variant::Irrevoc | Variant::Defer => {
-            let (elapsed, note, report) = run_tm(cfg, &paths, threads, variant);
-            (elapsed, note, Some(report))
+            let (elapsed, note, report, trace) =
+                run_tm(cfg, &paths, threads, variant, capture_trace);
+            (elapsed, note, Some(report), trace)
         }
     };
 
     for p in &paths {
         let _ = std::fs::remove_file(p);
     }
-    Measurement {
+    let m = Measurement {
         series: variant.label().to_string(),
         threads,
         elapsed,
         note,
         stats,
-    }
+    };
+    (m, trace)
 }
 
 fn run_locked(cfg: &IoBenchConfig, paths: &[PathBuf], threads: usize, coarse: bool) -> Duration {
@@ -243,13 +267,14 @@ fn run_tm(
     paths: &[PathBuf],
     threads: usize,
     variant: Variant,
-) -> (Duration, String, ad_stm::StatsReport) {
+    capture_trace: bool,
+) -> (Duration, String, ad_stm::StatsReport, Option<ad_stm::Trace>) {
     let rt = Runtime::new(if cfg.htm {
         TmConfig::htm()
     } else {
         TmConfig::stm()
     });
-    rt.set_tracing(cfg.obs);
+    rt.set_tracing(cfg.obs || capture_trace);
     let files: Vec<TmFile> = paths
         .iter()
         .map(|p| TmFile {
@@ -308,7 +333,8 @@ fn run_tm(
             _ => unreachable!(),
         }
     });
-    (elapsed, format!("{}", rt.stats()), rt.snapshot_stats())
+    let trace = capture_trace.then(|| rt.take_trace());
+    (elapsed, format!("{}", rt.stats()), rt.snapshot_stats(), trace)
 }
 
 /// Count the records written across all benchmark files (verification
@@ -368,7 +394,7 @@ mod tests {
         for p in &paths {
             let _ = std::fs::remove_file(p);
         }
-        let (elapsed, _, _) = run_tm(&cfg, &paths, 3, Variant::Defer);
+        let (elapsed, _, _, _) = run_tm(&cfg, &paths, 3, Variant::Defer, false);
         assert!(elapsed > Duration::ZERO);
         assert_eq!(count_records(&paths), 100);
         for p in &paths {
@@ -384,7 +410,7 @@ mod tests {
         for p in &paths {
             let _ = std::fs::remove_file(p);
         }
-        let (_, note, report) = run_tm(&cfg, &paths, 2, Variant::Irrevoc);
+        let (_, note, report, _) = run_tm(&cfg, &paths, 2, Variant::Irrevoc, false);
         // Every op serialized: the note must show 50 serial commits.
         assert!(note.contains("serial_commits=50"), "stats: {note}");
         assert_eq!(report.counters.serial_commits, 50);

@@ -13,6 +13,6 @@ pub mod logbench;
 pub mod poolbench;
 
 pub use harness::{print_csv, print_time_table, run_fixed_work, stats_json, Measurement};
-pub use iobench::{run_iobench, IoBenchConfig, Variant};
+pub use iobench::{run_iobench, run_iobench_traced, IoBenchConfig, Variant};
 pub use logbench::{run_logbench, LogBenchConfig, LogVariant};
 pub use poolbench::{run_poolbench, PoolBenchConfig, PoolVariant};
