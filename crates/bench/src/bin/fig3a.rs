@@ -48,6 +48,7 @@ fn main() {
             if capture {
                 let path = trace_out.as_ref().unwrap();
                 let trace = trace.expect("TM backends produce a trace");
+                eprint!("{}", trace.contention_report(8));
                 std::fs::write(path, trace.to_chrome_json())
                     .unwrap_or_else(|e| panic!("writing {path}: {e}"));
                 eprintln!("  wrote chrome trace to {path}");

@@ -234,16 +234,33 @@ pub fn run_dedup_cell_traced(
         let _ = std::fs::remove_file(path);
     }
     let trace = backend.take_trace();
+    // Attribute validation-failure hotspots: with `obs` on, summarize the
+    // trace's contention report in the note, splitting failures on the
+    // fingerprint table from the reorder/output conflicts.
+    let contention = match &trace {
+        Some(t) if params.obs => {
+            let r = t.contention_report(8);
+            let table_fails: u64 = r
+                .entries
+                .iter()
+                .filter(|e| backend.is_table_var(e.var))
+                .map(|e| e.fails)
+                .sum();
+            format!(" validate_fails={} fp_table_fails={table_fails}", r.total_fails)
+        }
+        _ => String::new(),
+    };
     let m = Measurement {
         series: label.to_string(),
         threads,
         elapsed: report.elapsed,
         note: format!(
-            "chunks={} unique={} ratio={:.2} {}",
+            "chunks={} unique={} ratio={:.2} {}{}",
             report.total_chunks,
             report.unique_chunks,
             report.ratio(),
-            report.diagnostics
+            report.diagnostics,
+            contention
         ),
         stats: backend.stats_report(),
     };
@@ -416,6 +433,15 @@ mod tests {
             let m = run_dedup_cell(series, 2, &corpus, &params, series.label());
             assert!(m.elapsed > Duration::ZERO);
             assert!(m.note.contains("chunks="));
+            if series == DedupSeries::StmDeferAll {
+                // Obs runs summarize the trace's contention report,
+                // attributing validate-failures to the fingerprint table.
+                assert!(
+                    m.note.contains("validate_fails=") && m.note.contains("fp_table_fails="),
+                    "obs note missing contention summary: {}",
+                    m.note
+                );
+            }
         }
     }
 

@@ -64,6 +64,15 @@ pub trait Backend: Send + Sync {
     fn take_trace(&self) -> Option<ad_stm::Trace> {
         None
     }
+
+    /// Whether the trace-event variable id `var` (a `TVar::id`) belongs to
+    /// this backend's chunk-fingerprint table. Lets callers split a
+    /// `Trace::contention_report`'s hot entries into table conflicts
+    /// versus reorder/output conflicts. Lock backends have no
+    /// transactional variables, so the default is `false`.
+    fn is_table_var(&self, _var: u64) -> bool {
+        false
+    }
 }
 
 /// Counters accumulated by the output stage.

@@ -385,6 +385,10 @@ impl Backend for TmBackend {
     fn take_trace(&self) -> Option<ad_stm::Trace> {
         Some(self.rt.take_trace())
     }
+
+    fn is_table_var(&self, var: u64) -> bool {
+        self.buckets.iter().any(|b| b.id() as u64 == var)
+    }
 }
 
 #[cfg(test)]
@@ -521,6 +525,57 @@ mod tests {
         let stats = b.output_stats();
         assert!(stats.reference_records > 0);
         check_reconstruction(&b, &corpus);
+    }
+
+    #[test]
+    fn contention_report_attributes_table_conflicts() {
+        // Race every thread over the same sequence of fresh fingerprints:
+        // each first occurrence writes a bucket, so concurrent probes of
+        // the same key conflict on fingerprint-table TVars and the trace's
+        // contention report must attribute the failures there. Conflicts
+        // are probabilistic per round (a scheduler can serialize a round),
+        // so retry with fresh keys until one lands.
+        let backend = TmBackend::new(
+            Runtime::new(TmConfig::stm()),
+            TmFlavor::DeferAll,
+            BackendConfig {
+                obs: true,
+                ..BackendConfig::default()
+            },
+            SinkTarget::Memory,
+        )
+        .unwrap();
+        for round in 0..20u64 {
+            let fps: Vec<Digest> = (0..1024u64)
+                .map(|i| sha256(&(round << 32 | i).to_le_bytes()))
+                .collect();
+            let start = std::sync::Barrier::new(4);
+            std::thread::scope(|s| {
+                for _ in 0..4 {
+                    s.spawn(|| {
+                        // All threads walk the same key sequence in lockstep
+                        // from the barrier, so reserves of the same key race.
+                        start.wait();
+                        for fp in &fps {
+                            backend
+                                .rt
+                                .atomically(|tx| backend.lookup_or_reserve(tx, *fp).map(|_| ()));
+                        }
+                    });
+                }
+            });
+            let report = backend.take_trace().unwrap().contention_report(8);
+            let table_fails: u64 = report
+                .entries
+                .iter()
+                .filter(|e| backend.is_table_var(e.var))
+                .map(|e| e.fails)
+                .sum();
+            if table_fails > 0 {
+                return;
+            }
+        }
+        panic!("racing reserves never produced a table-attributed validate_fail");
     }
 
     #[test]

@@ -79,6 +79,21 @@ impl<T: Any + Send + Sync + Clone> DeferHandle<T> {
         self.peek()
     }
 
+    /// Block the calling thread until *every* handle has a result, and
+    /// return the results in `handles` order.
+    ///
+    /// One transaction reads all the handles, so a fan-out of N deferred
+    /// operations (say, a burst of `ad-kv` `put_async` writes under its
+    /// `Async` sync policy) resolves through a single blocking call
+    /// instead of N sequential [`wait`](DeferHandle::wait)s: while any
+    /// handle is still empty the transaction parks on its `retry` watch
+    /// list — which covers every handle's cell — wakes as publications
+    /// land, and commits once the last one is in. Handles that are
+    /// already complete cost one transactional read each.
+    pub fn wait_all(rt: &Runtime, handles: &[DeferHandle<T>]) -> Vec<T> {
+        rt.atomically(|tx| handles.iter().map(|h| h.get(tx)).collect())
+    }
+
     /// Has the deferred operation completed? Alias of [`is_ready`]
     /// (`is_ready` reads as "result available", `is_done` as "work
     /// finished" — both are the same instant under the deferral locks).
@@ -240,6 +255,41 @@ mod tests {
         // After `atomically` returns, deferred ops have completed.
         let got = atomically(|tx| handle.try_get(tx));
         assert_eq!(got, Some(1));
+    }
+
+    #[test]
+    fn wait_all_collects_a_fanout_in_order() {
+        use ad_stm::{Runtime, TmConfig};
+        // Pooled executor so some ops are genuinely still in flight when
+        // wait_all is called; each op bumps the shared counter under its
+        // lock, so the final count proves all of them ran.
+        let rt = Runtime::new(TmConfig::stm().with_defer_pool(2, 16));
+        let obj = Defer::new(Obj { v: TVar::new(0) });
+        let mut handles = Vec::new();
+        for i in 0..8u64 {
+            let o = obj.clone();
+            let h = rt.atomically(move |tx| {
+                let o2 = o.clone();
+                atomic_defer_with_result(tx, &[&o.clone()], move || {
+                    std::thread::sleep(Duration::from_millis(1));
+                    o2.locked().v.update_locked(|v| v + 1);
+                    i * 10
+                })
+            });
+            handles.push(h);
+        }
+        let results = DeferHandle::wait_all(&rt, &handles);
+        assert_eq!(results, (0..8).map(|i| i * 10).collect::<Vec<_>>());
+        assert!(handles.iter().all(DeferHandle::is_done));
+        assert_eq!(obj.peek_unsynchronized().v.load(), 8);
+    }
+
+    #[test]
+    fn wait_all_on_no_handles_returns_immediately() {
+        use ad_stm::{Runtime, TmConfig};
+        let rt = Runtime::new(TmConfig::stm());
+        let none: Vec<DeferHandle<u32>> = Vec::new();
+        assert_eq!(DeferHandle::wait_all(&rt, &none), Vec::<u32>::new());
     }
 
     #[test]

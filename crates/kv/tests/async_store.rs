@@ -78,6 +78,26 @@ fn batch_handle_tracks_the_whole_batch() {
 }
 
 #[test]
+fn fanout_of_async_puts_resolves_via_one_wait_all() {
+    // A burst of independent async puts yields N handles; one `wait_all`
+    // call is the durability barrier for the whole fan-out.
+    let (store, mem) = async_store();
+    let handles: Vec<_> = (0..10)
+        .map(|i| {
+            store
+                .put_async(&format!("k{i}"), b"v")
+                .expect("durable store")
+        })
+        .collect();
+    let results = ad_defer::DeferHandle::wait_all(store.runtime(), &handles);
+    assert_eq!(results.len(), 10);
+    assert!(handles.iter().all(|h| h.is_done()));
+    assert_eq!(store.wal_stats().unwrap().records, 10);
+    // Durability, not just buffering: every appended byte is synced.
+    assert_eq!(mem.synced().len(), mem.written().len());
+}
+
+#[test]
 fn empty_or_volatile_writes_have_no_handle() {
     let (store, _) = async_store();
     assert!(store.write_batch_async(&WriteBatch::new()).is_none());

@@ -3,8 +3,11 @@
 //! A [`TmConfig`] captures the knobs the paper's evaluation varies: STM vs
 //! (simulated) HTM execution, the contention manager's serialization
 //! threshold (GCC defaults: 100 for STM, 2 for HTM — paper §2), whether
-//! writers quiesce for privatization safety (§2), and how `retry` waits
-//! (§4.2).
+//! writers quiesce for privatization safety (§2), how `retry` waits
+//! (§4.2), and which commit-clock policy stamps write versions
+//! ([`ClockPolicy`], DESIGN.md §11).
+
+pub use crate::clock::ClockPolicy;
 
 /// How a transaction waits after `retry`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,8 +71,10 @@ pub enum DeferExecCfg {
     /// (`ad_support::pool`). The committing thread returns right after
     /// write-back + quiescence; a worker runs the ops and releases their
     /// `TxLock`s on completion, preserving the 2PL shrinking phase. When
-    /// the queue is full, commit blocks in submit (backpressure degrades
-    /// toward inline cost rather than queueing unbounded lock-hold time).
+    /// the queue is full, the committer runs the batch inline instead of
+    /// blocking (counted in `defer_inline_fallbacks`): under saturation
+    /// the executor degrades to inline cost rather than stacking
+    /// queue-wait on top of it (DESIGN.md §10 "Backpressure").
     Pool {
         /// Worker threads (clamped to at least 1).
         workers: usize,
@@ -110,6 +115,11 @@ pub struct TmConfig {
     /// Where deferred operations run after commit: inline on the committing
     /// thread (default) or offloaded to a bounded worker pool.
     pub defer_exec: DeferExecCfg,
+    /// Commit-clock policy: how writer commits acquire version timestamps.
+    /// `Gv2` (default) is the paper-faithful TL2 clock; `Sloppy` and
+    /// `Sharded` trade timestamp uniqueness for commit-path scalability
+    /// (DESIGN.md §11).
+    pub clock: ClockPolicy,
 }
 
 impl TmConfig {
@@ -124,6 +134,7 @@ impl TmConfig {
             max_backoff_spins: 1 << 14,
             trace_ring_events: 1 << 14,
             defer_exec: DeferExecCfg::Inline,
+            clock: ClockPolicy::Gv2,
         }
     }
 
@@ -138,6 +149,7 @@ impl TmConfig {
             max_backoff_spins: 1 << 10,
             trace_ring_events: 1 << 14,
             defer_exec: DeferExecCfg::Inline,
+            clock: ClockPolicy::Gv2,
         }
     }
 
@@ -188,6 +200,12 @@ impl TmConfig {
         self
     }
 
+    /// Builder-style override of the commit-clock policy.
+    pub fn with_clock(mut self, clock: ClockPolicy) -> Self {
+        self.clock = clock;
+        self
+    }
+
     /// True when running as simulated HTM.
     pub fn is_htm(&self) -> bool {
         matches!(self.mode, Mode::HtmSim(_))
@@ -211,6 +229,7 @@ mod tests {
         assert!(c.quiesce);
         assert!(!c.is_htm());
         assert_eq!(c.defer_exec, DeferExecCfg::Inline, "Inline must stay the default");
+        assert_eq!(c.clock, ClockPolicy::Gv2, "Gv2 must stay the default");
     }
 
     #[test]
@@ -229,8 +248,10 @@ mod tests {
             .with_retry_policy(RetryPolicy::Park)
             .with_htm_capacity(1024)
             .with_trace_ring(256)
-            .with_defer_pool(2, 32);
+            .with_defer_pool(2, 32)
+            .with_clock(ClockPolicy::Sloppy);
         assert_eq!(c.serialize_after, 5);
+        assert_eq!(c.clock, ClockPolicy::Sloppy);
         assert!(c.quiesce);
         assert_eq!(c.retry_policy, RetryPolicy::Park);
         assert_eq!(c.trace_ring_events, 256);

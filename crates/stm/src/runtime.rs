@@ -98,6 +98,9 @@ impl Runtime {
             !cfg.defer_exec.is_pool(),
             "DeferExecCfg::Pool spawns OS threads and is not available under --cfg loom"
         );
+        // Non-transactional stamps must merge the shard cells once any
+        // sharded runtime exists (TVars are shared across runtimes).
+        clock::note_policy_in_use(cfg.clock);
         Runtime {
             inner: Arc::new(RtInner {
                 id: NEXT_RUNTIME_ID.fetch_add(1, Ordering::Relaxed),
@@ -192,7 +195,20 @@ impl Runtime {
     #[cold]
     #[inline(never)]
     pub(crate) fn trace_event(&self, kind: EventKind, arg: u64) {
-        self.inner.sink.push(self.inner.id, kind, arg);
+        self.inner
+            .sink
+            .push(self.inner.id, crate::trace::now_ns(), kind, arg);
+    }
+
+    /// [`trace_event`](Self::trace_event) with a caller-supplied timestamp,
+    /// for the two per-attempt events (`Begin`, `Commit`) whose emission
+    /// sites already read the clock for latency accounting — reusing the
+    /// stamp halves the clock reads on a traced commit. `#[inline]` unlike
+    /// [`trace_event`](Self::trace_event): every call site is already
+    /// behind a tracing-on branch, so the tracing-off path never sees it.
+    #[inline]
+    pub(crate) fn trace_event_at(&self, ts: u64, kind: EventKind, arg: u64) {
+        self.inner.sink.push(self.inner.id, ts, kind, arg);
     }
 
     /// Record an application-level event on this runtime's timeline from
@@ -247,17 +263,20 @@ impl Runtime {
 
             // The whole observability layer hangs off this one relaxed
             // load: when off, no event is recorded and no clock is read.
+            // Timing uses the coarse TSC source: two clock_gettime calls
+            // per attempt were most of tracing's ~2× cost on 200 ns
+            // transactions (OBSERVABILITY.md "Tracing overhead").
             let obs = self.inner.sink.enabled();
             let started = if obs {
-                Some(std::time::Instant::now())
+                Some(crate::trace::now_ns())
             } else {
                 None
             };
 
             let outcome = if serial {
-                self.attempt_serial(&mut f, &slot, &mut bufs, obs)
+                self.attempt_serial(&mut f, &slot, &mut bufs, started)
             } else {
-                self.attempt_speculative(&mut f, &slot, &mut bufs, obs)
+                self.attempt_speculative(&mut f, &slot, &mut bufs, started)
             };
 
             match outcome {
@@ -268,10 +287,9 @@ impl Runtime {
                         self.inner.stats.on_commit();
                     }
                     if let Some(t0) = started {
-                        self.inner
-                            .stats
-                            .on_commit_latency(t0.elapsed().as_nanos() as u64);
-                        self.trace_event(EventKind::Commit, serial as u64);
+                        let end = crate::trace::now_ns();
+                        self.inner.stats.on_commit_latency(end.saturating_sub(t0));
+                        self.trace_event_at(end, EventKind::Commit, serial as u64);
                     }
                     // Pool the buffers before running post-commit actions:
                     // a deferred operation may start its own transaction on
@@ -318,9 +336,9 @@ impl Runtime {
                         // No point re-speculating: go straight to serial.
                         cm.on_unsupported();
                     } else if obs {
-                        let b0 = std::time::Instant::now();
+                        let b0 = crate::trace::now_ns();
                         cm.on_failure();
-                        let ns = b0.elapsed().as_nanos() as u64;
+                        let ns = crate::trace::now_ns().saturating_sub(b0);
                         self.inner.stats.on_backoff(ns);
                         self.trace_event(EventKind::Backoff, ns);
                     } else {
@@ -336,7 +354,7 @@ impl Runtime {
         f: &mut impl FnMut(&mut Tx) -> StmResult<T>,
         slot: &Arc<ActivitySlot>,
         bufs: &mut TxBuffers,
-        obs: bool,
+        started: Option<u64>,
     ) -> AttemptOutcome<T> {
         let _in_tx = InTxGuard::enter("atomically");
         // Hold the serial lock's read side for the whole attempt, commit
@@ -349,7 +367,7 @@ impl Runtime {
         // guard drops before any retry wait, so parked threads never stall
         // reclamation.
         let _epoch = crate::snapshot::pin_scope();
-        let mut tx = Tx::new(self, bufs, Arc::clone(slot), false, obs);
+        let mut tx = Tx::new(self, bufs, Arc::clone(slot), false, started);
         slot.begin(tx.read_version());
 
         match f(&mut tx) {
@@ -367,13 +385,13 @@ impl Runtime {
         f: &mut impl FnMut(&mut Tx) -> StmResult<T>,
         slot: &Arc<ActivitySlot>,
         bufs: &mut TxBuffers,
-        obs: bool,
+        started: Option<u64>,
     ) -> AttemptOutcome<T> {
         let _in_tx = InTxGuard::enter("synchronized/serial execution");
         let _guard = self.inner.serial.write();
         let _slot_guard = SlotGuard(slot);
         let _epoch = crate::snapshot::pin_scope();
-        let mut tx = Tx::new(self, bufs, Arc::clone(slot), true, obs);
+        let mut tx = Tx::new(self, bufs, Arc::clone(slot), true, started);
         slot.begin(clock::now());
 
         match f(&mut tx) {
@@ -409,11 +427,16 @@ impl Runtime {
     /// `Inline` (default): the batch runs here, on the committing thread, in
     /// commit order, before `atomically` returns. `Pool`: the batch is
     /// queued to the worker pool and `atomically` returns immediately; a
-    /// worker runs the ops and their closing `TxLock` releases. Either way
-    /// the ops of one transaction run sequentially in call order, and ops of
-    /// different transactions that share a `TxLock` serialize in
+    /// worker runs the ops and their closing `TxLock` releases. If the
+    /// pool's bounded queue is full, the batch falls back to running inline
+    /// — blocking the committer on a saturated pool would only add
+    /// queue-wait latency on top of work it could already be doing itself
+    /// (the `defer_inline_fallbacks` counter reports how often). Wherever
+    /// it runs, the ops of one transaction run sequentially in call order,
+    /// and ops of different transactions that share a `TxLock` serialize in
     /// lock-acquisition order — the later committer's lock acquisition
-    /// conflicts until the earlier batch releases, wherever it runs.
+    /// conflicts until the earlier batch releases — so the fallback running
+    /// ahead of still-queued batches cannot reorder conflicting ops.
     fn run_post_commit(&self, output: CommitOutput) {
         if output.is_empty() {
             // The common no-defer transaction never touches the executor.
@@ -424,16 +447,25 @@ impl Runtime {
             let obs = self.inner.sink.enabled();
             let t_submit = if obs { Some(crate::trace::now_ns()) } else { None };
             let rt = self.clone();
-            let depth = pool.submit(Box::new(move || {
+            let job = Box::new(move || {
                 if let Some(t0) = t_submit {
                     let waited = crate::trace::now_ns().saturating_sub(t0);
                     rt.inner.stats.on_defer_queue_wait(waited);
                 }
                 rt.run_batch(output);
-            }));
-            self.inner.stats.on_defer_offload();
-            if obs {
-                self.trace_event(EventKind::DeferOffload, depth as u64);
+            });
+            match pool.try_submit(job) {
+                Ok(depth) => {
+                    self.inner.stats.on_defer_offload();
+                    if obs {
+                        self.trace_event(EventKind::DeferOffload, depth as u64);
+                    }
+                }
+                Err(job) => {
+                    // Queue full: degrade to inline execution.
+                    self.inner.stats.on_defer_inline_fallback();
+                    job();
+                }
             }
             return;
         }

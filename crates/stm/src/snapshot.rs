@@ -46,6 +46,23 @@
 //!   when a bag exceeds a threshold, or periodically for below-threshold
 //!   bags and the orphan list. A thread that exits donates its bag to the
 //!   global orphan list that other threads drain.
+//! * The bag is an **epoch-ordered deque**: within a thread, retirement
+//!   tags are monotone (each is the global epoch read after a fence, and
+//!   the global epoch only grows), so pushes at the back keep the deque
+//!   sorted by tag and collection frees from the front only, stopping at
+//!   the first entry that has not aged past the two-epoch horizon. When
+//!   the epoch is stuck (a long-pinned reader), a collection is O(1) —
+//!   it inspects the front and gives up — instead of re-scanning the whole
+//!   bag, which used to dominate multi-thread write cost once bags grew.
+//!   Adopting orphans is the one path that can break the ordering, so it
+//!   re-sorts (rare: thread exit only). Failed epoch-advance attempts are
+//!   also memoized: while the global epoch still has the value at which
+//!   this thread's last advance attempt failed, threshold-triggered
+//!   collections skip the participant scan entirely; the periodic
+//!   ([`FLUSH_PERIOD`]) safe points always retry, so a cleared blocker is
+//!   noticed promptly. Frees per flush are capped ([`FREE_BATCH_CAP`]) so
+//!   a commit safe point never runs an unbounded amount of user `Drop`
+//!   code at once.
 //!
 //! ## Safety invariants (everything `unsafe` here relies on these)
 //!
@@ -72,6 +89,7 @@
 #![allow(unsafe_code)]
 
 use std::cell::RefCell;
+use std::collections::VecDeque;
 use ad_support::sync::atomic::{fence, AtomicBool, AtomicPtr, AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -84,6 +102,14 @@ const INACTIVE: u64 = u64::MAX;
 
 /// Bag size at which a [`flush`] attempts collection.
 const COLLECT_THRESHOLD: usize = 64;
+
+/// Cap on values freed at a single [`flush`] safe point. Freeing runs
+/// arbitrary user `Drop` code, so this bounds the pause one commit can
+/// absorb when a long-stuck epoch finally clears over a large backlog.
+const FREE_BATCH_CAP: usize = 128;
+
+/// Sentinel for [`Handle::advance_failed_at`]: no failed advance memoized.
+const NO_FAILED_ADVANCE: u64 = u64::MAX;
 
 /// Every this-many [`flush`] calls, a collection is attempted even with a
 /// below-threshold bag (and for stranded orphans), so a churn-then-quiet
@@ -152,7 +178,9 @@ const FREE_LIST_CAP: usize = 64;
 /// list of recycled allocations so steady-state write-backs don't malloc.
 struct Handle {
     part: Arc<Participant>,
-    bag: Vec<Retired>,
+    /// Retired pointers in epoch-tag order (module docs): pushed at the
+    /// back with monotone tags, freed from the front only.
+    bag: VecDeque<Retired>,
     depth: u32,
     free: Vec<*mut Value>,
     /// Monotonic count of [`flush`] calls on this thread, used to trigger
@@ -161,6 +189,12 @@ struct Handle {
     /// Retirements not yet added to [`RETIRED_TOTAL`] — published in
     /// batches at collection points so retiring stays a local increment.
     retired_unpublished: u64,
+    /// Global epoch value at which this thread's last `try_advance`
+    /// attempt failed (a participant was pinned in an older epoch), or
+    /// [`NO_FAILED_ADVANCE`]. While the global epoch still equals this,
+    /// threshold-triggered collections skip the participant scan; the
+    /// periodic safe points reset it so advancement is retried.
+    advance_failed_at: u64,
 }
 
 impl Handle {
@@ -171,11 +205,12 @@ impl Handle {
         PARTICIPANTS.lock().push(Arc::clone(&part));
         Handle {
             part,
-            bag: Vec::new(),
+            bag: VecDeque::new(),
             depth: 0,
             free: Vec::new(),
             flushes: 0,
             retired_unpublished: 0,
+            advance_failed_at: NO_FAILED_ADVANCE,
         }
     }
 
@@ -209,7 +244,7 @@ impl Drop for Handle {
         // neither leak its bag nor block epoch advancement forever.
         if !self.bag.is_empty() {
             let mut orphans = ORPHANS.lock();
-            orphans.append(&mut self.bag);
+            orphans.extend(self.bag.drain(..));
             HAS_ORPHANS.store(true, Ordering::Relaxed);
         }
         if self.retired_unpublished > 0 {
@@ -303,25 +338,56 @@ fn try_advance() -> u64 {
     }
 }
 
-/// Split `bag` into (free-now, keep) according to the two-epoch rule,
-/// after attempting to advance the epoch and adopting any orphans.
+/// Adopt donated orphans into `bag`. Orphan tags need not follow this
+/// thread's monotone push order, so adoption re-sorts the deque to restore
+/// the epoch-ordered invariant the pop-front rule relies on (cheap: runs
+/// only after a thread exit donated garbage).
+fn adopt_orphans(bag: &mut VecDeque<Retired>) {
+    if !HAS_ORPHANS.load(Ordering::Relaxed) {
+        return;
+    }
+    {
+        let mut orphans = ORPHANS.lock();
+        bag.extend(orphans.drain(..));
+        HAS_ORPHANS.store(false, Ordering::Relaxed);
+    }
+    bag.make_contiguous().sort_by_key(|r| r.epoch);
+}
+
+/// Pop the freeable prefix of the bag (two-epoch rule, front-only — the
+/// deque is epoch-ordered) after adopting any orphans and, if needed,
+/// attempting one epoch advance. Returns at most [`FREE_BATCH_CAP`]
+/// entries.
+///
+/// When the epoch is stuck this is O(1): the front entry has not aged
+/// past the horizon, and — if the epoch still has the value at which the
+/// previous advance attempt failed — the participant scan is skipped too.
 ///
 /// The caller must drop the returned garbage *outside* any thread-local
 /// borrow (invariant 4): freeing a `Value` runs arbitrary user `Drop` code.
-fn collect(bag: &mut Vec<Retired>) -> Vec<Retired> {
-    {
-        let mut orphans = ORPHANS.lock();
-        bag.append(&mut orphans);
-        HAS_ORPHANS.store(false, Ordering::Relaxed);
-    }
-    let global = try_advance();
+fn collect(h: &mut Handle) -> Vec<Retired> {
+    adopt_orphans(&mut h.bag);
+    let horizon = |r: &Retired| r.epoch.saturating_add(2);
+    let cur = EPOCH.load(Ordering::Relaxed);
+    let global = match h.bag.front() {
+        None => return Vec::new(),
+        // Front already aged out: no advance needed to make progress.
+        Some(r) if cur >= horizon(r) => cur,
+        // Epoch unchanged since our last failed advance: the blocker was
+        // pinned then and nothing has moved; skip the participant scan.
+        // Periodic flushes clear the memo so this cannot skip forever.
+        Some(_) if cur == h.advance_failed_at => return Vec::new(),
+        Some(_) => {
+            let g = try_advance();
+            h.advance_failed_at = if g == cur { cur } else { NO_FAILED_ADVANCE };
+            g
+        }
+    };
     let mut free = Vec::new();
-    let mut i = 0;
-    while i < bag.len() {
-        if global >= bag[i].epoch.saturating_add(2) {
-            free.push(bag.swap_remove(i));
-        } else {
-            i += 1;
+    while free.len() < FREE_BATCH_CAP {
+        match h.bag.front() {
+            Some(r) if global >= horizon(r) => free.push(h.bag.pop_front().expect("front exists")),
+            _ => break,
         }
     }
     free
@@ -406,15 +472,21 @@ pub(crate) fn flush() {
         .try_with(|h| {
             let mut h = h.borrow_mut();
             h.flushes = h.flushes.wrapping_add(1);
+            let periodic = h.flushes % FLUSH_PERIOD == 0;
             let due = h.bag.len() >= COLLECT_THRESHOLD
-                || (h.flushes % FLUSH_PERIOD == 0
-                    && (!h.bag.is_empty() || HAS_ORPHANS.load(Ordering::Relaxed)));
+                || (periodic && (!h.bag.is_empty() || HAS_ORPHANS.load(Ordering::Relaxed)));
             if due {
                 if h.retired_unpublished > 0 {
                     RETIRED_TOTAL.fetch_add(h.retired_unpublished, Ordering::Relaxed);
                     h.retired_unpublished = 0;
                 }
-                collect(&mut h.bag)
+                if periodic {
+                    // Periodic safe points always retry the epoch advance,
+                    // so a blocker that unpinned is noticed even while the
+                    // threshold path skips re-scans.
+                    h.advance_failed_at = NO_FAILED_ADVANCE;
+                }
+                collect(&mut h)
             } else {
                 Vec::new()
             }
@@ -533,7 +605,7 @@ impl SnapshotCell {
             //   E could lag e_r and the free could land under R.
             fence(Ordering::SeqCst);
             let epoch = EPOCH.load(Ordering::Relaxed);
-            h.bag.push(Retired { ptr: old, epoch });
+            h.bag.push_back(Retired { ptr: old, epoch });
             h.retired_unpublished += 1;
             h.unpin();
         });
@@ -567,7 +639,7 @@ impl SnapshotCell {
             #[cfg(loom)]
             model_hooks::stale_tag_window();
             let old = self.ptr.swap(new, Ordering::AcqRel);
-            h.bag.push(Retired { ptr: old, epoch });
+            h.bag.push_back(Retired { ptr: old, epoch });
             h.retired_unpublished += 1;
             h.unpin();
         });
@@ -642,7 +714,11 @@ pub(crate) mod model_hooks {
     /// two-epoch horizon).
     pub(crate) fn force_collect() {
         let garbage = HANDLE
-            .try_with(|h| collect(&mut h.borrow_mut().bag))
+            .try_with(|h| {
+                let mut h = h.borrow_mut();
+                h.advance_failed_at = NO_FAILED_ADVANCE;
+                collect(&mut h)
+            })
             .unwrap_or_default();
         free_garbage(garbage);
     }
@@ -759,7 +835,11 @@ mod tests {
     /// threshold/period heuristics of `flush`).
     fn force_collect() {
         let garbage = HANDLE
-            .try_with(|h| collect(&mut h.borrow_mut().bag))
+            .try_with(|h| {
+                let mut h = h.borrow_mut();
+                h.advance_failed_at = NO_FAILED_ADVANCE;
+                collect(&mut h)
+            })
             .unwrap_or_default();
         free_garbage(garbage);
     }
@@ -859,6 +939,45 @@ mod tests {
         assert!(
             dropped >= n / 4,
             "reclamation never freed anything: {dropped}"
+        );
+    }
+
+    #[test]
+    fn single_collect_frees_at_most_one_batch() {
+        // A huge aged backlog must drain in FREE_BATCH_CAP-sized slices,
+        // never all at one safe point (bounded pause), while still fully
+        // draining across repeated collections (progress).
+        use std::sync::atomic::AtomicUsize;
+        struct Counted(Arc<AtomicUsize>);
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let drops = Arc::new(AtomicUsize::new(0));
+        let cell = SnapshotCell::new(new_value(Counted(Arc::clone(&drops))));
+        let n = FREE_BATCH_CAP * 3;
+        for _ in 0..n {
+            cell.store(new_value(Counted(Arc::clone(&drops))));
+        }
+        // Each collect frees a bounded slice; other tests' transient pins
+        // may stall some epoch advances, so iterate generously and check
+        // both the per-collect bound and overall progress.
+        let mut max_delta = 0usize;
+        for _ in 0..64 {
+            let before = drops.load(Ordering::SeqCst);
+            force_collect();
+            let delta = drops.load(Ordering::SeqCst) - before;
+            max_delta = max_delta.max(delta);
+        }
+        assert!(
+            max_delta <= FREE_BATCH_CAP,
+            "one collect freed {max_delta} > cap {FREE_BATCH_CAP}"
+        );
+        assert!(
+            drops.load(Ordering::SeqCst) >= n / 2,
+            "capped collection stopped making progress: {} of {n} freed",
+            drops.load(Ordering::SeqCst)
         );
     }
 

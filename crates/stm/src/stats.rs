@@ -32,6 +32,9 @@ pub struct Stats {
     pub(crate) serial_commits: AtomicU64,
     pub(crate) deferred_ops: AtomicU64,
     pub(crate) defer_offloads: AtomicU64,
+    pub(crate) defer_inline_fallbacks: AtomicU64,
+    pub(crate) clock_bumps: AtomicU64,
+    pub(crate) validation_extends: AtomicU64,
     /// The latency histograms, boxed as one block: `Stats` lives inside the
     /// runtime's hot `RtInner`, and keeping it counter-sized preserves the
     /// cache layout of the fields around it (embedding the histograms
@@ -83,6 +86,9 @@ impl Stats {
         on_serial_commit => serial_commits,
         on_deferred_op => deferred_ops,
         on_defer_offload => defer_offloads,
+        on_defer_inline_fallback => defer_inline_fallbacks,
+        on_clock_bump => clock_bumps,
+        on_validation_extend => validation_extends,
     }
 
     #[inline]
@@ -127,6 +133,9 @@ impl Stats {
             quiesce_ns: q.sum(),
             deferred_ops: self.deferred_ops.load(Ordering::Relaxed),
             defer_offloads: self.defer_offloads.load(Ordering::Relaxed),
+            defer_inline_fallbacks: self.defer_inline_fallbacks.load(Ordering::Relaxed),
+            clock_bumps: self.clock_bumps.load(Ordering::Relaxed),
+            validation_extends: self.validation_extends.load(Ordering::Relaxed),
         }
     }
 
@@ -155,6 +164,9 @@ impl Stats {
             &self.serial_commits,
             &self.deferred_ops,
             &self.defer_offloads,
+            &self.defer_inline_fallbacks,
+            &self.clock_bumps,
+            &self.validation_extends,
         ] {
             c.store(0, Ordering::Relaxed);
         }
@@ -195,6 +207,17 @@ pub struct StatsSnapshot {
     /// Deferred-op batches handed to the `Pool` executor instead of running
     /// inline (0 under the default `Inline` executor).
     pub defer_offloads: u64,
+    /// Deferred-op batches that found the `Pool` executor's queue full and
+    /// ran inline on the committing thread instead (backpressure fallback;
+    /// a nonzero rate means the pool's workers are saturated).
+    pub defer_inline_fallbacks: u64,
+    /// Shared clock-word advances forced by snapshot extensions under the
+    /// `Sloppy` commit-clock policy (always 0 under `Gv2`/`Sharded`): how
+    /// often a reader had to pay the CAS the writers skipped.
+    pub clock_bumps: u64,
+    /// Successful snapshot extensions (a read witnessed a version above
+    /// `rv` and the whole read set revalidated at a fresher timestamp).
+    pub validation_extends: u64,
 }
 
 impl StatsSnapshot {
@@ -223,6 +246,9 @@ impl StatsSnapshot {
             quiesce_ns: self.quiesce_ns - earlier.quiesce_ns,
             deferred_ops: self.deferred_ops - earlier.deferred_ops,
             defer_offloads: self.defer_offloads - earlier.defer_offloads,
+            defer_inline_fallbacks: self.defer_inline_fallbacks - earlier.defer_inline_fallbacks,
+            clock_bumps: self.clock_bumps - earlier.clock_bumps,
+            validation_extends: self.validation_extends - earlier.validation_extends,
         }
     }
 
@@ -234,7 +260,9 @@ impl StatsSnapshot {
              \"aborts_conflict\":{},\"aborts_capacity\":{},\
              \"aborts_unsupported\":{},\"retries\":{},\"serializations\":{},\
              \"quiesce_waits\":{},\"quiesce_ns\":{},\"deferred_ops\":{},\
-             \"defer_offloads\":{}}}",
+             \"defer_offloads\":{},\"defer_inline_fallbacks\":{},\
+             \"clock_bumps\":{},\
+             \"validation_extends\":{}}}",
             self.starts,
             self.commits,
             self.serial_commits,
@@ -247,6 +275,9 @@ impl StatsSnapshot {
             self.quiesce_ns,
             self.deferred_ops,
             self.defer_offloads,
+            self.defer_inline_fallbacks,
+            self.clock_bumps,
+            self.validation_extends,
         )
     }
 }
@@ -260,7 +291,8 @@ impl fmt::Display for StatsSnapshot {
             f,
             "counters[commits={} serial_commits={} aborts={} (aborts_conflict={} \
              aborts_capacity={} aborts_unsupported={}) retries={} serializations={} \
-             quiesce_waits={} deferred_ops={} defer_offloads={}] \
+             quiesce_waits={} deferred_ops={} defer_offloads={} \
+             defer_inline_fallbacks={} clock_bumps={} validation_extends={}] \
              durations[quiesce_ns={} ({:.1}ms)]",
             self.total_commits(),
             self.serial_commits,
@@ -273,6 +305,9 @@ impl fmt::Display for StatsSnapshot {
             self.quiesce_waits,
             self.deferred_ops,
             self.defer_offloads,
+            self.defer_inline_fallbacks,
+            self.clock_bumps,
+            self.validation_extends,
             self.quiesce_ns,
             self.quiesce_ns as f64 / 1e6,
         )
@@ -357,6 +392,9 @@ impl StatsReport {
         c.quiesce_ns += o.quiesce_ns;
         c.deferred_ops += o.deferred_ops;
         c.defer_offloads += o.defer_offloads;
+        c.defer_inline_fallbacks += o.defer_inline_fallbacks;
+        c.clock_bumps += o.clock_bumps;
+        c.validation_extends += o.validation_extends;
         self.commit_latency_ns.merge(&other.commit_latency_ns);
         self.quiesce_wait_ns.merge(&other.quiesce_wait_ns);
         self.retry_backoff_ns.merge(&other.retry_backoff_ns);
@@ -492,6 +530,9 @@ mod tests {
             "\"defer_queue_to_done_ns\"",
             "\"defer_queue_wait_ns\"",
             "\"defer_offloads\":0",
+            "\"defer_inline_fallbacks\":0",
+            "\"clock_bumps\":0",
+            "\"validation_extends\":0",
         ] {
             assert!(j.contains(key), "missing {key} in {j}");
         }

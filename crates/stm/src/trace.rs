@@ -23,13 +23,15 @@
 //!
 //! Timestamps are nanoseconds of monotonic time since the first trace use
 //! in the process, so events from different threads and runtimes order
-//! correctly on one axis.
+//! on one common axis. They come from the coarse TSC source
+//! (`ad_support::tsc`): cheap enough for 200 ns transactions, accurate to
+//! ~0.1 %, with possible tiny cross-core skew — the merge therefore keys
+//! strict ordering on per-thread sequence numbers, not timestamps.
 
 use std::cell::RefCell;
 use std::fmt;
 use ad_support::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock};
-use std::time::Instant;
+use std::sync::Arc;
 
 use ad_support::sync::Mutex;
 
@@ -61,8 +63,9 @@ pub enum EventKind {
     Abort = 4,
     /// The attempt committed; `arg` = 0 speculative, 1 serial/irrevocable.
     Commit = 5,
-    /// A writer commit entered quiescence (started waiting for older
-    /// transactions); `arg` = its write version.
+    /// A writer commit entered quiescence and actually waited for older
+    /// transactions; `arg` = its write version. Zero-wait quiescence (no
+    /// older transaction in flight) emits no enter/exit pair.
     QuiesceEnter = 6,
     /// Quiescence finished; `arg` = nanoseconds spent waiting.
     QuiesceExit = 7,
@@ -100,6 +103,13 @@ pub enum EventKind {
     /// the committing thread; the matching `defer_exec_start`/`_end` pair
     /// appears on the worker's timeline row.
     DeferOffload = 16,
+    /// A snapshot extension advanced the shared clock word under the
+    /// `Sloppy` commit-clock policy (the reader paid the CAS the writers
+    /// skipped); `arg` = the new clock value.
+    ClockBump = 17,
+    /// A snapshot extension succeeded: the whole read set revalidated at a
+    /// fresher timestamp; `arg` = the new read version.
+    ValidationExtend = 18,
 }
 
 impl EventKind {
@@ -122,6 +132,8 @@ impl EventKind {
             EventKind::WalAppend => "wal_append",
             EventKind::WalFsync => "wal_fsync",
             EventKind::DeferOffload => "defer_offload",
+            EventKind::ClockBump => "clock_bump",
+            EventKind::ValidationExtend => "validation_extend",
         }
     }
 
@@ -153,6 +165,8 @@ impl EventKind {
             14 => EventKind::WalAppend,
             15 => EventKind::WalFsync,
             16 => EventKind::DeferOffload,
+            17 => EventKind::ClockBump,
+            18 => EventKind::ValidationExtend,
             _ => return None,
         })
     }
@@ -167,9 +181,15 @@ pub(crate) mod cause {
 }
 
 /// Nanoseconds of monotonic time since the process's trace epoch.
+///
+/// Backed by `ad_support::tsc` — a calibrated `rdtsc` read (~6-10 ns)
+/// where an invariant TSC is available, `Instant` otherwise — because two
+/// of these stamps land on every traced transaction attempt and a
+/// `clock_gettime` pair roughly doubles a ~200 ns transaction
+/// (OBSERVABILITY.md "Tracing overhead").
+#[inline]
 pub(crate) fn now_ns() -> u64 {
-    static EPOCH: OnceLock<Instant> = OnceLock::new();
-    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+    ad_support::tsc::now_ns()
 }
 
 /// One merged, decoded trace event.
@@ -538,10 +558,13 @@ impl TraceBuf {
         })
     }
 
-    /// Append one event. Owner thread only.
+    /// Append one event stamped `ts`. Owner thread only. The caller
+    /// supplies the timestamp so emission sites that already read the
+    /// clock (attempt start, commit latency end) don't pay for a second
+    /// read — on a ~200 ns transaction every stamp shows up in the
+    /// tracing-on overhead budget.
     #[inline]
-    pub(crate) fn push(&self, kind: EventKind, arg: u64) {
-        let ts = now_ns();
+    pub(crate) fn push(&self, ts: u64, kind: EventKind, arg: u64) {
         let head = self.head.load(Ordering::Relaxed);
         let slot = &self.slots[(head as usize) & (self.slots.len() - 1)];
         // Invalidate first so a concurrent reader can't pair the old seq
@@ -626,10 +649,18 @@ impl TraceSink {
     }
 }
 
+/// This thread's rings, one per runtime, with a one-entry cache in front:
+/// nearly every thread traces into a single runtime, so the common path is
+/// one id compare instead of a hash-map probe per event.
+#[derive(Default)]
+struct BufCache {
+    last: Option<(u64, Arc<TraceBuf>)>,
+    map: FxHashMap<u64, Arc<TraceBuf>>,
+}
+
 thread_local! {
     /// runtime-id -> this thread's ring in that runtime's sink.
-    static MY_BUFS: RefCell<FxHashMap<u64, Arc<TraceBuf>>> =
-        RefCell::new(FxHashMap::default());
+    static MY_BUFS: RefCell<BufCache> = RefCell::new(BufCache::default());
 }
 
 impl TraceSink {
@@ -644,13 +675,20 @@ impl TraceSink {
         self.enabled.store(on, Ordering::Relaxed);
     }
 
-    /// Record one event for the calling thread (registering its ring on
-    /// first use). Callers must already have checked [`TraceSink::enabled`].
-    pub(crate) fn push(&self, runtime_id: u64, kind: EventKind, arg: u64) {
+    /// Record one event, stamped `ts`, for the calling thread (registering
+    /// its ring on first use). Callers must already have checked
+    /// [`TraceSink::enabled`].
+    pub(crate) fn push(&self, runtime_id: u64, ts: u64, kind: EventKind, arg: u64) {
         MY_BUFS
             .try_with(|m| {
-                let mut m = m.borrow_mut();
-                let buf = m.entry(runtime_id).or_insert_with(|| {
+                let mut cache = m.borrow_mut();
+                if let Some((id, buf)) = &cache.last {
+                    if *id == runtime_id {
+                        buf.push(ts, kind, arg);
+                        return;
+                    }
+                }
+                let buf = cache.map.entry(runtime_id).or_insert_with(|| {
                     let buf = TraceBuf::new(
                         self.next_thread.fetch_add(1, Ordering::Relaxed),
                         self.ring_cap,
@@ -658,7 +696,9 @@ impl TraceSink {
                     self.bufs.lock().push(Arc::clone(&buf));
                     buf
                 });
-                buf.push(kind, arg);
+                buf.push(ts, kind, arg);
+                let buf = Arc::clone(buf);
+                cache.last = Some((runtime_id, buf));
             })
             // Thread teardown: losing an event beats panicking in a Drop.
             .ok();
@@ -687,8 +727,8 @@ mod tests {
     fn push_and_drain_roundtrip() {
         let sink = TraceSink::default();
         sink.set_enabled(true);
-        sink.push(9001, EventKind::Begin, 42);
-        sink.push(9001, EventKind::Commit, 0);
+        sink.push(9001, now_ns(), EventKind::Begin, 42);
+        sink.push(9001, now_ns(), EventKind::Commit, 0);
         let t = sink.take();
         assert_eq!(t.events.len(), 2);
         assert_eq!(t.dropped, 0);
@@ -706,7 +746,7 @@ mod tests {
         sink.set_enabled(true);
         let n = (DEFAULT_RING_CAP + 100) as u64;
         for i in 0..n {
-            sink.push(9002, EventKind::ReadSetGrow, i);
+            sink.push(9002, now_ns(), EventKind::ReadSetGrow, i);
         }
         let t = sink.take();
         assert_eq!(t.events.len(), DEFAULT_RING_CAP);
@@ -724,7 +764,7 @@ mod tests {
         let sink = TraceSink::new(4);
         sink.set_enabled(true);
         for i in 0..10 {
-            sink.push(9005, EventKind::ReadSetGrow, i);
+            sink.push(9005, now_ns(), EventKind::ReadSetGrow, i);
         }
         let t = sink.take();
         assert_eq!(t.events.len(), 4);
@@ -742,13 +782,13 @@ mod tests {
         let sink = TraceSink::new(3);
         sink.set_enabled(true);
         for i in 0..4 {
-            sink.push(9006, EventKind::Begin, i);
+            sink.push(9006, now_ns(), EventKind::Begin, i);
         }
         let t = sink.take();
         assert_eq!(t.events.len(), 4);
         assert_eq!(t.dropped, 0);
         for i in 0..5 {
-            sink.push(9006, EventKind::Begin, i);
+            sink.push(9006, now_ns(), EventKind::Begin, i);
         }
         let t = sink.take();
         assert_eq!(t.events.len(), 4);
@@ -764,7 +804,7 @@ mod tests {
             let sink = Arc::clone(&sink);
             handles.push(std::thread::spawn(move || {
                 for i in 0..100 {
-                    sink.push(9003, EventKind::Begin, i);
+                    sink.push(9003, now_ns(), EventKind::Begin, i);
                 }
             }));
         }
@@ -797,6 +837,8 @@ mod tests {
             EventKind::WalAppend,
             EventKind::WalFsync,
             EventKind::DeferOffload,
+            EventKind::ClockBump,
+            EventKind::ValidationExtend,
         ] {
             assert_eq!(EventKind::from_code(k as u8), Some(k));
             assert!(!k.name().is_empty());
@@ -829,15 +871,15 @@ mod tests {
     fn chrome_json_pairs_lifecycle_events_into_slices() {
         let sink = TraceSink::default();
         sink.set_enabled(true);
-        sink.push(9100, EventKind::Begin, 4);
-        sink.push(9100, EventKind::QuiesceEnter, 6);
-        sink.push(9100, EventKind::QuiesceExit, 10);
-        sink.push(9100, EventKind::DeferEnqueue, 0);
-        sink.push(9100, EventKind::Commit, 0);
-        sink.push(9100, EventKind::DeferExecStart, 0);
-        sink.push(9100, EventKind::WalAppend, 64);
-        sink.push(9100, EventKind::WalFsync, 3);
-        sink.push(9100, EventKind::DeferExecEnd, 0);
+        sink.push(9100, now_ns(), EventKind::Begin, 4);
+        sink.push(9100, now_ns(), EventKind::QuiesceEnter, 6);
+        sink.push(9100, now_ns(), EventKind::QuiesceExit, 10);
+        sink.push(9100, now_ns(), EventKind::DeferEnqueue, 0);
+        sink.push(9100, now_ns(), EventKind::Commit, 0);
+        sink.push(9100, now_ns(), EventKind::DeferExecStart, 0);
+        sink.push(9100, now_ns(), EventKind::WalAppend, 64);
+        sink.push(9100, now_ns(), EventKind::WalFsync, 3);
+        sink.push(9100, now_ns(), EventKind::DeferExecEnd, 0);
         let j = sink.take().to_chrome_json();
         assert!(j.starts_with("{\"traceEvents\":["), "bad envelope: {j}");
         // The three pairs became complete slices...
@@ -861,8 +903,8 @@ mod tests {
         // instant rather than fabricating a slice.
         let sink = TraceSink::default();
         sink.set_enabled(true);
-        sink.push(9101, EventKind::Commit, 1);
-        sink.push(9101, EventKind::QuiesceExit, 5);
+        sink.push(9101, now_ns(), EventKind::Commit, 1);
+        sink.push(9101, now_ns(), EventKind::QuiesceExit, 5);
         let j = sink.take().to_chrome_json();
         assert!(j.contains("\"name\":\"commit\",\"ph\":\"i\""), "{j}");
         assert!(j.contains("\"name\":\"quiesce_exit\",\"ph\":\"i\""), "{j}");
@@ -874,13 +916,13 @@ mod tests {
         let sink = TraceSink::default();
         sink.set_enabled(true);
         for _ in 0..5 {
-            sink.push(9102, EventKind::ValidateFail, 77);
+            sink.push(9102, now_ns(), EventKind::ValidateFail, 77);
         }
         for _ in 0..2 {
-            sink.push(9102, EventKind::ValidateFail, 31);
+            sink.push(9102, now_ns(), EventKind::ValidateFail, 31);
         }
-        sink.push(9102, EventKind::ValidateFail, 99);
-        sink.push(9102, EventKind::Begin, 0); // noise, not counted
+        sink.push(9102, now_ns(), EventKind::ValidateFail, 99);
+        sink.push(9102, now_ns(), EventKind::Begin, 0); // noise, not counted
         let t = sink.take();
         let r = t.contention_report(2);
         assert_eq!(r.total_fails, 8);
@@ -905,8 +947,8 @@ mod tests {
     #[test]
     fn trace_render_is_line_per_event() {
         let sink = TraceSink::default();
-        sink.push(9004, EventKind::Begin, 0);
-        sink.push(9004, EventKind::Commit, 0);
+        sink.push(9004, now_ns(), EventKind::Begin, 0);
+        sink.push(9004, now_ns(), EventKind::Commit, 0);
         let t = sink.take();
         let text = t.render();
         assert_eq!(text.lines().count(), 2);

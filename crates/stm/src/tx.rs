@@ -25,6 +25,7 @@ use std::cell::RefCell;
 use std::sync::Arc;
 
 use crate::clock;
+use crate::clock::ClockPolicy;
 use crate::config::Mode;
 use crate::error::{StmError, StmResult};
 use crate::fxhash::FxHashSet;
@@ -165,6 +166,9 @@ pub struct Tx<'rt> {
     cfg_mode: Mode,
     /// Quiescence policy, cached likewise for commit.
     cfg_quiesce: bool,
+    /// Commit-clock policy, cached likewise: decides how `rv`/`wv` are
+    /// acquired and whether the `wv == rv + 2` validation skip is sound.
+    cfg_clock: ClockPolicy,
     /// Read version: the snapshot timestamp (TL2 `rv`).
     rv: u64,
     /// Pooled collections (see [`TxBuffers`]).
@@ -187,18 +191,29 @@ pub struct Tx<'rt> {
 }
 
 impl<'rt> Tx<'rt> {
+    /// `started`: the attempt-start timestamp when tracing is on (`None`
+    /// exactly when tracing is off) — reused as the `Begin` event's stamp
+    /// so a traced attempt doesn't pay a second clock read here.
     pub(crate) fn new(
         rt: &'rt Runtime,
         bufs: &'rt mut TxBuffers,
         slot: Arc<ActivitySlot>,
         serial: bool,
-        obs: bool,
+        started: Option<u64>,
     ) -> Self {
         bufs.reset();
+        let obs = started.is_some();
         let cfg = rt.config();
-        let rv = clock::now();
-        if obs {
-            rt.trace_event(crate::trace::EventKind::Begin, rv);
+        // Serial transactions access memory directly and only use `rv` for
+        // quiescence bookkeeping; the shared word is a safe (stale-low)
+        // bound under every policy.
+        let rv = if serial {
+            clock::now()
+        } else {
+            clock::begin(cfg.clock)
+        };
+        if let Some(t0) = started {
+            rt.trace_event_at(t0, crate::trace::EventKind::Begin, rv);
         }
         Tx {
             rt,
@@ -209,6 +224,7 @@ impl<'rt> Tx<'rt> {
             },
             cfg_mode: cfg.mode,
             cfg_quiesce: cfg.quiesce,
+            cfg_clock: cfg.clock,
             rv,
             bufs,
             footprint: 0,
@@ -266,16 +282,20 @@ impl<'rt> Tx<'rt> {
         }
         let (v1, val) = core.read_consistent();
         if v1 > self.rv {
-            self.extend_snapshot()?;
+            self.extend_snapshot(v1)?;
             debug_assert!(v1 <= self.rv);
         }
         self.bufs.read_set.push((Arc::clone(core), v1));
         self.bufs.read_cache.insert(id, val.clone());
         if self.obs {
-            // Sampled at power-of-two sizes so a large read-only scan
-            // leaves a growth curve, not one ring entry per read.
+            // Sampled at power-of-two sizes from 32 up: a large read-only
+            // scan leaves a growth curve, while short transactions — whose
+            // read sets are visible from their shape anyway — don't pay an
+            // event per read (n=1 is a power of two; emitting there added
+            // a third ring entry to every single-read transaction, a
+            // measurable slice of the tracing-on budget).
             let n = self.bufs.read_set.len();
-            if n.is_power_of_two() {
+            if n >= 32 && n.is_power_of_two() {
                 self.rt
                     .trace_event(crate::trace::EventKind::ReadSetGrow, n as u64);
             }
@@ -483,11 +503,20 @@ impl<'rt> Tx<'rt> {
         Ok(())
     }
 
-    /// Snapshot extension: move `rv` forward to `now` if the entire read set
-    /// still validates; otherwise the snapshot is broken and the transaction
-    /// conflicts.
-    fn extend_snapshot(&mut self) -> StmResult<()> {
-        let new_rv = clock::now();
+    /// Snapshot extension: move `rv` forward if the entire read set still
+    /// validates; otherwise the snapshot is broken and the transaction
+    /// conflicts. `witness` is the version that exceeded the old `rv`; the
+    /// clock policy guarantees the refreshed `rv` covers it (under `Sloppy`
+    /// by bumping the shared clock word — the policy's lazy progress).
+    fn extend_snapshot(&mut self, witness: u64) -> StmResult<()> {
+        let (new_rv, bumped) = clock::refresh(self.cfg_clock, witness);
+        if bumped {
+            self.rt.stats_ref().on_clock_bump();
+            if self.obs {
+                self.rt
+                    .trace_event(crate::trace::EventKind::ClockBump, new_rv);
+            }
+        }
         for (core, seen) in &self.bufs.read_set {
             let cur = core.version();
             if clock::is_locked(cur) || cur != *seen {
@@ -500,6 +529,11 @@ impl<'rt> Tx<'rt> {
         }
         self.rv = new_rv;
         self.slot.extend(new_rv);
+        self.rt.stats_ref().on_validation_extend();
+        if self.obs {
+            self.rt
+                .trace_event(crate::trace::EventKind::ValidationExtend, new_rv);
+        }
         Ok(())
     }
 
@@ -562,9 +596,15 @@ impl<'rt> Tx<'rt> {
         entries.sort_unstable_by_key(|(id, _, _)| *id);
 
         locked.clear();
+        let mut max_pre = 0u64;
         for (i, (_, core, _)) in entries.iter().enumerate() {
             match core.try_lock() {
-                Some(pre) => locked.push(pre),
+                Some(pre) => {
+                    if pre > max_pre {
+                        max_pre = pre;
+                    }
+                    locked.push(pre)
+                }
                 None => {
                     if obs {
                         rt.trace_event(crate::trace::EventKind::ValidateFail, core.id() as u64);
@@ -577,12 +617,16 @@ impl<'rt> Tx<'rt> {
             }
         }
 
-        // Phase 2: acquire a write version.
-        let wv = clock::tick();
+        // Phase 2: acquire a write version under the configured clock
+        // policy (after locking: sloppy/sharded stamps must cover the
+        // locked cells' pre-lock versions to stay per-variable monotone).
+        let wv = clock::tick(self.cfg_clock, self.rv, max_pre);
 
         // Phase 3: validate the read set (unless nobody else committed
-        // since our snapshot — the TL2 fast path).
-        if wv != self.rv + 2 {
+        // since our snapshot — the TL2 fast path). `wv == rv + 2` only
+        // implies that under Gv2, whose RMW makes timestamps unique;
+        // sloppy/sharded writers may share `wv` and must always validate.
+        if self.cfg_clock != ClockPolicy::Gv2 || wv != self.rv + 2 {
             for (core, seen) in read_set.iter() {
                 let ok = match entries.binary_search_by_key(&core.id(), |(id, _, _)| *id) {
                     // We hold this lock: compare against its pre-lock version.
@@ -615,6 +659,9 @@ impl<'rt> Tx<'rt> {
         // privatizers, so clear the activity slot *before* quiescing (also
         // prevents two quiescing writers from waiting on each other).
         self.slot.end();
+        // Sharded policy: this thread's next transactions may begin at wv
+        // without scanning (sound — clock.rs module docs).
+        clock::note_commit(self.cfg_clock, wv);
 
         // Phase 5: wake retry-waiters watching the written variables.
         for (_, core, _) in entries.iter() {
@@ -626,15 +673,23 @@ impl<'rt> Tx<'rt> {
         // transactions that started before wv. Simulated HTM skips this:
         // hardware transactions are never observed mid-cleanup.
         if self.cfg_quiesce {
-            if obs {
-                rt.trace_event(crate::trace::EventKind::QuiesceEnter, wv);
-            }
             let ns = self.rt.registry().quiesce(wv, &self.slot);
+            // Zero-wait quiescence (no older transaction in flight) records
+            // nothing: the enter/exit pair exists to witness actual stalls,
+            // and on the uncontended fast path two events + stamps would be
+            // most of a short writer's tracing cost. When a wait did
+            // happen, the pair is reconstructed from its measured duration.
             if ns > 0 {
                 self.rt.stats_ref().on_quiesce(ns);
-            }
-            if obs {
-                rt.trace_event(crate::trace::EventKind::QuiesceExit, ns);
+                if obs {
+                    let end = crate::trace::now_ns();
+                    rt.trace_event_at(
+                        end.saturating_sub(ns),
+                        crate::trace::EventKind::QuiesceEnter,
+                        wv,
+                    );
+                    rt.trace_event_at(end, crate::trace::EventKind::QuiesceExit, ns);
+                }
             }
         }
 

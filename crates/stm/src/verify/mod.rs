@@ -9,6 +9,10 @@
 //!   asserts the model *catches* it.
 //! * [`quiesce_model`] — a committing writer's quiescence vs. an in-flight
 //!   older transaction's write-back, at the `Registry` protocol level.
+//! * [`clock_model`] — the sloppy and sharded commit clocks'
+//!   publish-before-stamp / merge-covers-witness ordering, plus the seeded
+//!   clock-skew regression (a merge that skips the writer's shard) the
+//!   checker must catch.
 //!
 //! Run with:
 //!
@@ -20,6 +24,7 @@
 
 use std::sync::Mutex;
 
+mod clock_model;
 mod quiesce_model;
 mod snapshot_model;
 

@@ -65,7 +65,6 @@ fn bucket_upper(i: usize) -> u64 {
 /// convention).
 pub struct Histogram {
     buckets: Box<[AtomicU64]>,
-    count: AtomicU64,
     sum: AtomicU64,
     max: AtomicU64,
 }
@@ -81,7 +80,6 @@ impl Histogram {
     pub fn new() -> Self {
         Histogram {
             buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
-            count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
             max: AtomicU64::new(0),
         }
@@ -89,12 +87,19 @@ impl Histogram {
 
     /// Record one sample. Lock-free; all orderings relaxed (the histogram
     /// is diagnostics, not synchronization).
+    ///
+    /// Kept to two RMWs — `record` runs per traced commit, so it is part
+    /// of the tracing-on overhead budget. The sample count is derived from
+    /// the buckets at snapshot time (each sample is exactly one bucket
+    /// increment), and the max update short-circuits to a plain load in
+    /// steady state, where most samples don't exceed the current max.
     #[inline]
     pub fn record(&self, v: u64) {
         self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(v, Ordering::Relaxed);
-        self.max.fetch_max(v, Ordering::Relaxed);
+        if v > self.max.load(Ordering::Relaxed) {
+            self.max.fetch_max(v, Ordering::Relaxed);
+        }
     }
 
     /// Copy the counters out into an immutable snapshot.
@@ -104,9 +109,10 @@ impl Histogram {
             .iter()
             .map(|b| b.load(Ordering::Relaxed))
             .collect();
+        let count = buckets.iter().sum();
         HistogramSnapshot {
             buckets,
-            count: self.count.load(Ordering::Relaxed),
+            count,
             sum: self.sum.load(Ordering::Relaxed),
             max: self.max.load(Ordering::Relaxed),
         }
@@ -117,7 +123,6 @@ impl Histogram {
         for b in self.buckets.iter() {
             b.store(0, Ordering::Relaxed);
         }
-        self.count.store(0, Ordering::Relaxed);
         self.sum.store(0, Ordering::Relaxed);
         self.max.store(0, Ordering::Relaxed);
     }

@@ -28,9 +28,13 @@
 //!   deferred-op executor. Not built under `--cfg loom`: it spawns real OS
 //!   threads, and the executor models exercise the hand-off protocol
 //!   directly with model threads instead.
+//! * [`tsc`] — a coarse, cheap monotonic nanosecond source (calibrated
+//!   x86 `rdtsc` with an `Instant` fallback) for hot-path trace
+//!   timestamps (a `quanta`-style stand-in).
 //!
-//! Everything except the lock internals of [`model`] is safe Rust with no
-//! dependencies, so it can never be the thing that breaks an offline build.
+//! Everything except the lock internals of [`model`] and the two
+//! register-read intrinsics in [`tsc`] is safe Rust with no dependencies,
+//! so it can never be the thing that breaks an offline build.
 //!
 //! ## The `loom` cfg
 //!
@@ -52,3 +56,4 @@ pub mod model;
 pub mod pool;
 pub mod prng;
 pub mod sync;
+pub mod tsc;

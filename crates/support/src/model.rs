@@ -615,6 +615,13 @@ pub mod atomic {
                     self.0.fetch_sub(v, Ordering::SeqCst)
                 }
 
+                /// Instrumented fetch_max.
+                #[inline]
+                pub fn fetch_max(&self, v: $ty, _o: Ordering) -> $ty {
+                    yield_point();
+                    self.0.fetch_max(v, Ordering::SeqCst)
+                }
+
                 /// Instrumented compare_exchange.
                 #[inline]
                 pub fn compare_exchange(

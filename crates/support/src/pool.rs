@@ -9,11 +9,12 @@
 //!
 //! Design points:
 //!
-//! * **Bounded queue, blocking submit.** [`Pool::submit`] blocks while the
-//!   queue is full. That backpressure is load-bearing: a committer that
-//!   produces deferred work faster than the workers can retire it degrades
-//!   gracefully toward inline execution cost instead of queueing unbounded
-//!   memory (and unbounded lock-hold time).
+//! * **Bounded queue with two submit flavors.** [`Pool::submit`] blocks
+//!   while the queue is full; [`Pool::try_submit`] hands the job back
+//!   instead. Either way the backpressure is load-bearing: a committer
+//!   that produces deferred work faster than the workers can retire it
+//!   degrades gracefully toward inline execution cost instead of queueing
+//!   unbounded memory (and unbounded lock-hold time).
 //! * **Panic isolation.** A panicking job is caught with `catch_unwind`,
 //!   counted, and the worker keeps serving. Callers that need lock-release
 //!   on panic must arrange it *inside* the job (`ad-defer` does).
@@ -101,6 +102,26 @@ impl Pool {
         drop(st);
         self.shared.work.notify_one();
         depth
+    }
+
+    /// Queue a job without blocking. If the queue is at capacity the job is
+    /// handed back in `Err`, so the caller can degrade to running it inline
+    /// instead of stalling (the `ad-stm` commit path does exactly that —
+    /// a full queue means the workers are saturated, and blocking the
+    /// committing thread would only add queue-wait latency on top of the
+    /// work it could already be doing itself). On success, returns the
+    /// queue depth *before* this job was added, as [`Pool::submit`] does.
+    pub fn try_submit(&self, job: Job) -> Result<usize, Job> {
+        let mut st = self.shared.state.lock();
+        if st.queue.len() >= self.shared.capacity {
+            return Err(job);
+        }
+        let depth = st.queue.len();
+        st.queue.push_back(job);
+        st.pending += 1;
+        drop(st);
+        self.shared.work.notify_one();
+        Ok(depth)
     }
 
     /// Number of jobs waiting in the queue right now (racy snapshot).
@@ -228,6 +249,46 @@ mod tests {
         }
         pool.drain();
         assert_eq!(n.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn try_submit_returns_job_when_queue_is_full() {
+        let pool = Pool::new(1, 1);
+        let (gate_tx, gate_rx) = std::sync::mpsc::channel::<()>();
+        let (started_tx, started_rx) = std::sync::mpsc::channel::<()>();
+        // Park the only worker so the queue cannot drain, and wait until it
+        // has actually dequeued this job (otherwise it still occupies the
+        // queue slot the next submit expects to find free).
+        pool.submit(Box::new(move || {
+            started_tx.send(()).unwrap();
+            gate_rx.recv().unwrap();
+        }));
+        started_rx.recv().unwrap();
+        // Fill the one queue slot.
+        let queued = Arc::new(AtomicUsize::new(0));
+        let q2 = Arc::clone(&queued);
+        let depth = pool
+            .try_submit(Box::new(move || {
+                q2.fetch_add(1, Ordering::Relaxed);
+            }))
+            .unwrap_or_else(|_| panic!("one slot free"));
+        assert_eq!(depth, 0);
+        // Queue now full: the job must come back intact, not run or drop.
+        let inline = Arc::new(AtomicUsize::new(0));
+        let i2 = Arc::clone(&inline);
+        let rejected = match pool.try_submit(Box::new(move || {
+            i2.fetch_add(1, Ordering::Relaxed);
+        })) {
+            Err(job) => job,
+            Ok(_) => panic!("queue should be full"),
+        };
+        assert_eq!(inline.load(Ordering::Relaxed), 0);
+        // The caller degrades to running it inline.
+        rejected();
+        assert_eq!(inline.load(Ordering::Relaxed), 1);
+        gate_tx.send(()).unwrap();
+        pool.drain();
+        assert_eq!(queued.load(Ordering::Relaxed), 1);
     }
 
     #[test]
