@@ -61,3 +61,7 @@ mod verify;
 pub use recover::{RecoveryReport, RedoOps, RedoRecord, ScanEnd};
 pub use store::{Durability, KvConfig, KvStore, WriteBatch};
 pub use wal::{FileMedium, MemMedium, SyncPolicy, Wal, WalMedium, WalStats};
+
+// Re-exported so connection-facing callers (`ad-net`) can name the handle
+// the `*_async` write methods return without depending on `ad-defer`.
+pub use ad_defer::DeferHandle;

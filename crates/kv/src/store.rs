@@ -131,6 +131,13 @@ impl WriteBatch {
         self.ops.len()
     }
 
+    /// The operations in application order: `(key, Some(value))` for a put,
+    /// `(key, None)` for a delete. This is the accessor the `ad-net` wire
+    /// codec uses to frame a BATCH request without re-modelling the batch.
+    pub fn ops(&self) -> impl Iterator<Item = (&str, Option<&[u8]>)> {
+        self.ops.iter().map(|(k, v)| (k.as_str(), v.as_deref()))
+    }
+
     /// True when the batch holds no operations.
     pub fn is_empty(&self) -> bool {
         self.ops.is_empty()
@@ -442,6 +449,20 @@ impl KvStore {
         self.write_batch_async(&WriteBatch::new().put(key, value))
     }
 
+    /// Delete one key, returning a durability handle — see
+    /// [`write_batch_async`](Self::write_batch_async).
+    pub fn delete_async(&self, key: &str) -> Option<DeferHandle<()>> {
+        self.write_batch_async(&WriteBatch::new().delete(key))
+    }
+
+    /// Block until `handle` (from one of the `*_async` methods) resolves,
+    /// i.e. until that batch's redo record is fsync-covered. Connection
+    /// handlers use this as the ack gate: respond to the client only after
+    /// `wait_durable` returns (see `ad-net` and PROTOCOL.md §6).
+    pub fn wait_durable(&self, handle: &DeferHandle<()>) {
+        handle.wait(&self.rt);
+    }
+
     /// Block until every deferred durability operation issued so far has
     /// completed. A no-op for inline-executor stores (their writes are
     /// durable at ack); under [`SyncPolicy::Async`] this is the barrier a
@@ -530,6 +551,28 @@ impl KvStore {
     /// WAL counters, if durable.
     pub fn wal_stats(&self) -> Option<WalStats> {
         self.wal.as_ref().map(|w| w.stats())
+    }
+
+    /// The WAL's sync policy, or `None` for a volatile store.
+    pub fn sync_policy(&self) -> Option<SyncPolicy> {
+        self.wal.as_ref().map(|w| w.sync_policy())
+    }
+
+    /// One JSON object with everything a monitoring endpoint wants:
+    /// `{"shards":..,"keys":..,"wal":{..}|null,"stm":{..}}` — the WAL
+    /// counters ([`WalStats::to_json`]) and the runtime's full stats report
+    /// ([`ad_stm::StatsReport::to_json`]). This is the payload of the
+    /// `ad-net` STATS response (PROTOCOL.md §5.6), kept here so library
+    /// embedders and the wire protocol serve identical schemas.
+    pub fn stats_json(&self) -> String {
+        format!(
+            "{{\"shards\":{},\"keys\":{},\"wal\":{},\"stm\":{}}}",
+            self.shards.len(),
+            self.len(),
+            self.wal_stats()
+                .map_or_else(|| "null".to_string(), |w| w.to_json()),
+            self.rt.snapshot_stats().to_json(),
+        )
     }
 
     /// What recovery found on open, if this store was opened from a log.
@@ -660,6 +703,35 @@ mod tests {
         assert_eq!(got[0].as_deref(), Some(&b"1"[..]));
         assert_eq!(got[1], None);
         assert_eq!(got[2].as_deref(), Some(&b"26"[..]));
+    }
+
+    #[test]
+    fn async_handles_resolve_and_stats_json_is_balanced() {
+        let mem = MemMedium::new();
+        let (store, _) = KvStore::open_on_medium(
+            &KvConfig::default(),
+            SyncPolicy::GroupCommit,
+            Box::new(mem.clone()),
+            &[],
+        );
+        let h = store.put_async("k", b"v").expect("durable put yields a handle");
+        store.wait_durable(&h);
+        assert!(!mem.synced().is_empty());
+        let h = store.delete_async("k").expect("durable delete yields a handle");
+        store.wait_durable(&h);
+        assert!(store.is_empty());
+        assert_eq!(store.sync_policy(), Some(SyncPolicy::GroupCommit));
+
+        let j = store.stats_json();
+        for key in ["\"shards\":", "\"keys\":0", "\"wal\":{", "\"stm\":{", "\"records\":2"] {
+            assert!(j.contains(key), "missing {key} in {j}");
+        }
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+
+        let volatile = KvStore::open(KvConfig::volatile()).unwrap();
+        assert_eq!(volatile.sync_policy(), None);
+        assert!(volatile.put_async("k", b"v").is_none());
+        assert!(volatile.stats_json().contains("\"wal\":null"));
     }
 
     #[test]

@@ -1,0 +1,93 @@
+//! `ad-kv-server` — serve an `ad-kv` store over TCP.
+//!
+//! ```text
+//! cargo run --release -p ad-net --bin ad-kv-server -- \
+//!     --wal /tmp/ad.wal --sync group --workers 8
+//! ```
+//!
+//! Flags:
+//!
+//! * `--addr HOST:PORT` — bind address (default `127.0.0.1:4790`).
+//! * `--workers N` — connection-handler workers, i.e. the maximum number
+//!   of concurrent connections (default 4).
+//! * `--wal PATH` — write-ahead log file; without it the store is
+//!   volatile (no durability, mutating requests ack immediately).
+//! * `--sync group|percommit|async` — WAL sync policy when `--wal` is
+//!   given (default `group`). See DESIGN.md §9.
+//! * `--shards N` — store shard count (default 16).
+//! * `--trace` — enable the runtime event ring (OBSERVABILITY.md); the
+//!   STATS opcode then returns filled histograms.
+//!
+//! The wire protocol is specified in `PROTOCOL.md`; with a WAL the server
+//! acks a mutating request only after its redo record is fsync-covered
+//! (PROTOCOL.md §6).
+
+use std::sync::Arc;
+
+use ad_bench::{arg_flag, arg_num, arg_value};
+use ad_kv::{KvConfig, KvStore, SyncPolicy};
+use ad_net::{Server, ServerConfig};
+
+fn main() {
+    let addr = arg_value("--addr").unwrap_or_else(|| "127.0.0.1:4790".to_string());
+    let workers: usize = arg_num("--workers", 4);
+    let shards: usize = arg_num("--shards", 16);
+    let sync = match arg_value("--sync").as_deref() {
+        None | Some("group") => SyncPolicy::GroupCommit,
+        Some("percommit") => SyncPolicy::PerCommit,
+        Some("async") => SyncPolicy::Async,
+        Some(other) => {
+            eprintln!("unknown --sync {other:?} (expected group|percommit|async)");
+            std::process::exit(2);
+        }
+    };
+
+    let config = match arg_value("--wal") {
+        Some(path) => KvConfig::durable(path, sync).with_shards(shards),
+        None => KvConfig::volatile().with_shards(shards),
+    };
+    let durable = !matches!(config.durability, ad_kv::Durability::Volatile);
+    let store = Arc::new(KvStore::open(config).unwrap_or_else(|e| {
+        eprintln!("opening store: {e}");
+        std::process::exit(1);
+    }));
+    if let Some(report) = store.recovery_report() {
+        println!(
+            "recovered {} records (last seq {})",
+            report.records, report.last_seq
+        );
+    }
+    if arg_flag("--trace") {
+        store.runtime().set_tracing(true);
+    }
+
+    let server = Server::start(
+        store,
+        addr.as_str(),
+        ServerConfig {
+            workers: workers.max(1),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("binding {addr}: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "ad-kv-server listening on {} ({} workers, {})",
+        server.local_addr(),
+        workers.max(1),
+        if durable {
+            "durable: ack implies fsynced"
+        } else {
+            "volatile"
+        }
+    );
+
+    // Serve until killed. The accept loop and handlers run on their own
+    // threads; parking the main thread keeps the process alive without
+    // spinning.
+    loop {
+        std::thread::park();
+    }
+}

@@ -1,0 +1,354 @@
+//! The frame codec: length-prefixed, CRC-guarded envelopes.
+//!
+//! This module implements PROTOCOL.md §2–§3 (the normative spec — keep the
+//! two in sync; `tests/codec.rs` cross-checks the opcode table). A frame on
+//! the wire is:
+//!
+//! ```text
+//! offset  size      field
+//! 0       4         len      u32 LE — bytes that follow this prefix
+//! 4       1         ver      protocol version (1)
+//! 5       1         opcode   see [`crate::proto::Opcode`]
+//! 6       2         flags    reserved, must be zero in version 1
+//! 8       4         req_id   u32 LE, echoed verbatim in the response
+//! 12      len-12    payload  opcode-specific (PROTOCOL.md §5)
+//! 4+len-4 4         crc      u32 LE CRC-32 over bytes [4, 4+len-4)
+//! ```
+//!
+//! The codec validates *structure* — length bounds, reserved flags, the
+//! checksum — and leaves *semantics* (version, opcode, payload shape) to
+//! [`crate::proto`]: a structurally broken stream cannot be re-synchronized
+//! (the next length prefix is untrusted), so every [`FrameError`] is
+//! connection-fatal, while a semantically bad frame still has a trustworthy
+//! envelope to carry an error response back in.
+//!
+//! [`Decoder`] is incremental: feed it whatever the socket returned —
+//! including single bytes — and pop complete frames as they materialize.
+//! `tests/codec.rs` replays a valid stream split at every byte boundary to
+//! pin that property.
+
+use std::fmt;
+
+use ad_support::crc32::crc32;
+
+/// The protocol version this build speaks (PROTOCOL.md §4).
+pub const VERSION: u8 = 1;
+
+/// Bytes in the fixed header that follows the length prefix
+/// (`ver + opcode + flags + req_id`).
+pub const HEADER_LEN: usize = 8;
+
+/// Bytes in the trailing checksum.
+pub const CRC_LEN: usize = 4;
+
+/// Smallest legal `len` value: a header and a CRC with an empty payload.
+pub const MIN_FRAME_LEN: u32 = (HEADER_LEN + CRC_LEN) as u32;
+
+/// Largest legal `len` value (16 MiB). A length prefix above this is
+/// rejected *before* any buffering, so a corrupt or hostile prefix cannot
+/// make the server allocate unboundedly.
+pub const MAX_FRAME_LEN: u32 = 16 * 1024 * 1024;
+
+/// One decoded frame (request or response — the envelope is symmetric).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Protocol version byte as received. The codec does not reject
+    /// unknown versions: the server answers them with `ERR_BAD_VERSION`
+    /// (PROTOCOL.md §4), which needs the frame delivered, not dropped.
+    pub version: u8,
+    /// Opcode byte (semantic validation happens in [`crate::proto`]).
+    pub opcode: u8,
+    /// Request id, echoed by responses so clients can pipeline.
+    pub req_id: u32,
+    /// Opcode-specific payload.
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// A version-1 frame.
+    pub fn new(opcode: u8, req_id: u32, payload: Vec<u8>) -> Frame {
+        Frame {
+            version: VERSION,
+            opcode,
+            req_id,
+            payload,
+        }
+    }
+
+    /// Total encoded size on the wire, including the length prefix.
+    pub fn wire_len(&self) -> usize {
+        4 + HEADER_LEN + self.payload.len() + CRC_LEN
+    }
+
+    /// Append the encoded frame to `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        let len = (HEADER_LEN + self.payload.len() + CRC_LEN) as u32;
+        out.reserve(4 + len as usize);
+        out.extend_from_slice(&len.to_le_bytes());
+        let body_start = out.len();
+        out.push(self.version);
+        out.push(self.opcode);
+        out.extend_from_slice(&[0, 0]); // flags: reserved, zero in v1
+        out.extend_from_slice(&self.req_id.to_le_bytes());
+        out.extend_from_slice(&self.payload);
+        let crc = crc32(&out[body_start..]);
+        out.extend_from_slice(&crc.to_le_bytes());
+    }
+
+    /// The encoded frame as a fresh buffer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.wire_len());
+        self.encode_into(&mut out);
+        out
+    }
+}
+
+/// Why a stream stopped being parseable. Every variant is
+/// connection-fatal: once the framing is untrustworthy there is no way to
+/// find the next frame boundary, so the peer must close (PROTOCOL.md §3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// The length prefix exceeds [`MAX_FRAME_LEN`] (or the decoder's
+    /// configured limit). Carries the claimed length.
+    Oversize(u32),
+    /// The length prefix is below [`MIN_FRAME_LEN`] — too short to hold
+    /// even an empty-payload frame. Carries the claimed length.
+    Undersize(u32),
+    /// The trailing CRC-32 did not match the received bytes:
+    /// `{ got (from the wire), want (recomputed) }`.
+    BadCrc {
+        /// Checksum carried by the frame.
+        got: u32,
+        /// Checksum recomputed over the received header + payload.
+        want: u32,
+    },
+    /// The reserved flags bytes were non-zero. In version 1 flags would
+    /// change frame-layout semantics, so an unknown flag means the rest of
+    /// the frame cannot be interpreted.
+    BadFlags(u16),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Oversize(len) => {
+                write!(f, "frame length {len} exceeds the {MAX_FRAME_LEN}-byte cap")
+            }
+            FrameError::Undersize(len) => {
+                write!(
+                    f,
+                    "frame length {len} below the {MIN_FRAME_LEN}-byte minimum"
+                )
+            }
+            FrameError::BadCrc { got, want } => {
+                write!(
+                    f,
+                    "frame CRC mismatch: wire says {got:#010x}, bytes hash to {want:#010x}"
+                )
+            }
+            FrameError::BadFlags(flags) => {
+                write!(f, "reserved frame flags set: {flags:#06x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Incremental frame parser: buffer bytes as they arrive, pop frames as
+/// they complete. One decoder per connection per direction.
+#[derive(Debug)]
+pub struct Decoder {
+    buf: Vec<u8>,
+    /// Bytes of `buf` already consumed by returned frames; compacted
+    /// lazily so a burst of small frames doesn't memmove per frame.
+    consumed: usize,
+    limit: u32,
+}
+
+impl Default for Decoder {
+    fn default() -> Self {
+        Decoder::new()
+    }
+}
+
+impl Decoder {
+    /// A decoder enforcing the protocol-wide [`MAX_FRAME_LEN`].
+    pub fn new() -> Decoder {
+        Decoder::with_limit(MAX_FRAME_LEN)
+    }
+
+    /// A decoder with a tighter frame cap (servers that want to bound
+    /// per-connection memory below the protocol maximum).
+    pub fn with_limit(limit: u32) -> Decoder {
+        Decoder {
+            buf: Vec::new(),
+            consumed: 0,
+            limit: limit.clamp(MIN_FRAME_LEN, MAX_FRAME_LEN),
+        }
+    }
+
+    /// Buffer `bytes` (a read of any size, down to one byte).
+    pub fn feed(&mut self, bytes: &[u8]) {
+        // Compact before growing: everything before `consumed` is dead.
+        if self.consumed > 0 && self.consumed == self.buf.len() {
+            self.buf.clear();
+            self.consumed = 0;
+        } else if self.consumed > 4096 {
+            self.buf.drain(..self.consumed);
+            self.consumed = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet returned as frames.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.consumed
+    }
+
+    /// Pop the next complete frame, `Ok(None)` if more bytes are needed.
+    /// After an `Err` the stream is poisoned: the caller must stop feeding
+    /// and close the connection (see [`FrameError`]).
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, FrameError> {
+        let avail = &self.buf[self.consumed..];
+        if avail.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(avail[..4].try_into().unwrap());
+        if len < MIN_FRAME_LEN {
+            return Err(FrameError::Undersize(len));
+        }
+        if len > self.limit {
+            return Err(FrameError::Oversize(len));
+        }
+        let total = 4 + len as usize;
+        if avail.len() < total {
+            return Ok(None);
+        }
+        let body = &avail[4..total];
+        let (covered, crc_bytes) = body.split_at(body.len() - CRC_LEN);
+        let got = u32::from_le_bytes(crc_bytes.try_into().unwrap());
+        let want = crc32(covered);
+        if got != want {
+            return Err(FrameError::BadCrc { got, want });
+        }
+        let flags = u16::from_le_bytes(covered[2..4].try_into().unwrap());
+        if flags != 0 {
+            return Err(FrameError::BadFlags(flags));
+        }
+        let frame = Frame {
+            version: covered[0],
+            opcode: covered[1],
+            req_id: u32::from_le_bytes(covered[4..8].try_into().unwrap()),
+            payload: covered[HEADER_LEN..].to_vec(),
+        };
+        self.consumed += total;
+        Ok(Some(frame))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let frame = Frame::new(2, 77, b"hello payload".to_vec());
+        let wire = frame.encode();
+        assert_eq!(wire.len(), frame.wire_len());
+        let mut dec = Decoder::new();
+        dec.feed(&wire);
+        let got = dec.next_frame().unwrap().unwrap();
+        assert_eq!(got, frame);
+        assert_eq!(dec.pending(), 0);
+        assert!(dec.next_frame().unwrap().is_none());
+    }
+
+    #[test]
+    fn empty_payload_is_legal() {
+        let frame = Frame::new(5, 0, Vec::new());
+        let mut dec = Decoder::new();
+        dec.feed(&frame.encode());
+        assert_eq!(dec.next_frame().unwrap().unwrap(), frame);
+    }
+
+    #[test]
+    fn back_to_back_frames_in_one_feed() {
+        let a = Frame::new(1, 1, b"a".to_vec());
+        let b = Frame::new(3, 2, b"bb".to_vec());
+        let mut wire = a.encode();
+        wire.extend_from_slice(&b.encode());
+        let mut dec = Decoder::new();
+        dec.feed(&wire);
+        assert_eq!(dec.next_frame().unwrap().unwrap(), a);
+        assert_eq!(dec.next_frame().unwrap().unwrap(), b);
+        assert!(dec.next_frame().unwrap().is_none());
+    }
+
+    #[test]
+    fn oversize_length_rejected_before_buffering_payload() {
+        let mut dec = Decoder::new();
+        dec.feed(&(MAX_FRAME_LEN + 1).to_le_bytes());
+        assert_eq!(
+            dec.next_frame(),
+            Err(FrameError::Oversize(MAX_FRAME_LEN + 1))
+        );
+    }
+
+    #[test]
+    fn undersize_length_rejected() {
+        let mut dec = Decoder::new();
+        dec.feed(&(MIN_FRAME_LEN - 1).to_le_bytes());
+        assert_eq!(
+            dec.next_frame(),
+            Err(FrameError::Undersize(MIN_FRAME_LEN - 1))
+        );
+    }
+
+    #[test]
+    fn flipped_bit_fails_crc() {
+        let mut wire = Frame::new(2, 9, b"payload".to_vec()).encode();
+        let mid = wire.len() / 2;
+        wire[mid] ^= 0x40;
+        let mut dec = Decoder::new();
+        dec.feed(&wire);
+        assert!(matches!(dec.next_frame(), Err(FrameError::BadCrc { .. })));
+    }
+
+    #[test]
+    fn nonzero_flags_rejected() {
+        let mut wire = Frame::new(2, 9, b"p".to_vec()).encode();
+        wire[6] = 1; // flags low byte
+                     // Fix the CRC so only the flags rule fires.
+        let body_end = wire.len() - CRC_LEN;
+        let crc = crc32(&wire[4..body_end]);
+        wire[body_end..].copy_from_slice(&crc.to_le_bytes());
+        let mut dec = Decoder::new();
+        dec.feed(&wire);
+        assert_eq!(dec.next_frame(), Err(FrameError::BadFlags(1)));
+    }
+
+    #[test]
+    fn custom_limit_clamps_between_min_and_protocol_max() {
+        let dec = Decoder::with_limit(0);
+        assert_eq!(dec.limit, MIN_FRAME_LEN);
+        let dec = Decoder::with_limit(u32::MAX);
+        assert_eq!(dec.limit, MAX_FRAME_LEN);
+    }
+
+    #[test]
+    fn byte_at_a_time_feed_produces_the_frame_exactly_once() {
+        let frame = Frame::new(4, 123, vec![7u8; 50]);
+        let wire = frame.encode();
+        let mut dec = Decoder::new();
+        let mut seen = 0;
+        for &b in &wire {
+            dec.feed(&[b]);
+            while let Some(f) = dec.next_frame().unwrap() {
+                assert_eq!(f, frame);
+                seen += 1;
+            }
+        }
+        assert_eq!(seen, 1);
+    }
+}

@@ -1,0 +1,499 @@
+//! Request/response semantics on top of the frame envelope.
+//!
+//! Implements PROTOCOL.md §4–§5: the opcode table, payload encodings, and
+//! status codes. The split from [`crate::frame`] is deliberate — a frame
+//! that parses but carries an unknown opcode, an unsupported version, or a
+//! malformed payload still has a trustworthy envelope, so the server
+//! answers it with a status-error response *on the same connection*
+//! instead of closing (only [`crate::frame::FrameError`]s are fatal).
+//!
+//! Payload primitives: keys are `u16 LE length + UTF-8 bytes`, values are
+//! `u32 LE length + bytes`, counts are `u32 LE`. Response payloads always
+//! begin with one status byte ([`status`]); the rest of the payload is
+//! present only when the status is [`status::OK`].
+
+use std::fmt;
+
+use ad_kv::WriteBatch;
+
+/// Request opcodes the server implements. The discriminants are wire-stable
+/// (PROTOCOL.md §4 — `tests/codec.rs` asserts the doc's table matches this
+/// enum); new opcodes append, existing ones never renumber.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Opcode {
+    /// Point lookup; response carries the value if the key is present.
+    Get = 1,
+    /// Insert/overwrite one key; acked only once durable (PROTOCOL.md §6).
+    Put = 2,
+    /// Delete one key; acked only once durable.
+    Del = 3,
+    /// Atomic multi-key batch of puts/deletes; one ack for the whole batch,
+    /// emitted only once the batch's single redo record is durable.
+    Batch = 4,
+    /// Durability barrier: acked once every deferred durability operation
+    /// issued before it has completed (`KvStore::sync`).
+    Sync = 5,
+    /// Server observability snapshot: net + store counters as JSON.
+    Stats = 6,
+}
+
+impl Opcode {
+    /// Every opcode, in wire order — the table the protocol doc must cover.
+    pub const ALL: [Opcode; 6] = [
+        Opcode::Get,
+        Opcode::Put,
+        Opcode::Del,
+        Opcode::Batch,
+        Opcode::Sync,
+        Opcode::Stats,
+    ];
+
+    /// Stable uppercase wire name (as it appears in PROTOCOL.md §4).
+    pub fn name(self) -> &'static str {
+        match self {
+            Opcode::Get => "GET",
+            Opcode::Put => "PUT",
+            Opcode::Del => "DEL",
+            Opcode::Batch => "BATCH",
+            Opcode::Sync => "SYNC",
+            Opcode::Stats => "STATS",
+        }
+    }
+
+    /// Decode an opcode byte.
+    pub fn from_code(code: u8) -> Option<Opcode> {
+        Some(match code {
+            1 => Opcode::Get,
+            2 => Opcode::Put,
+            3 => Opcode::Del,
+            4 => Opcode::Batch,
+            5 => Opcode::Sync,
+            6 => Opcode::Stats,
+            _ => return None,
+        })
+    }
+}
+
+/// Response status codes (first payload byte of every response,
+/// PROTOCOL.md §5). `0` is success; everything else is a semantic error
+/// that leaves the connection usable.
+pub mod status {
+    /// Request succeeded; opcode-specific body follows.
+    pub const OK: u8 = 0;
+    /// The payload did not parse under the opcode's schema.
+    pub const ERR_MALFORMED: u8 = 1;
+    /// The opcode byte is not in the server's table.
+    pub const ERR_UNKNOWN_OPCODE: u8 = 2;
+    /// The frame's version byte is not supported by this server.
+    pub const ERR_BAD_VERSION: u8 = 3;
+
+    /// Stable lowercase name for a status code.
+    pub fn name(code: u8) -> &'static str {
+        match code {
+            OK => "ok",
+            ERR_MALFORMED => "err_malformed",
+            ERR_UNKNOWN_OPCODE => "err_unknown_opcode",
+            ERR_BAD_VERSION => "err_bad_version",
+            _ => "err_unknown",
+        }
+    }
+}
+
+/// A decoded request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// `GET key`.
+    Get {
+        /// Key to look up.
+        key: String,
+    },
+    /// `PUT key value`.
+    Put {
+        /// Key to insert or overwrite.
+        key: String,
+        /// Value bytes.
+        value: Vec<u8>,
+    },
+    /// `DEL key`.
+    Del {
+        /// Key to delete.
+        key: String,
+    },
+    /// `BATCH ops` — applied (and made durable) atomically.
+    Batch {
+        /// `(key, Some(value))` puts and `(key, None)` deletes, in order.
+        ops: Vec<(String, Option<Vec<u8>>)>,
+    },
+    /// `SYNC` durability barrier.
+    Sync,
+    /// `STATS` snapshot.
+    Stats,
+}
+
+impl Request {
+    /// The opcode this request travels under.
+    pub fn opcode(&self) -> Opcode {
+        match self {
+            Request::Get { .. } => Opcode::Get,
+            Request::Put { .. } => Opcode::Put,
+            Request::Del { .. } => Opcode::Del,
+            Request::Batch { .. } => Opcode::Batch,
+            Request::Sync => Opcode::Sync,
+            Request::Stats => Opcode::Stats,
+        }
+    }
+
+    /// A BATCH request from an [`ad_kv::WriteBatch`] (the connection-facing
+    /// batch API: clients build batches with the store's own builder).
+    pub fn from_write_batch(batch: &WriteBatch) -> Request {
+        Request::Batch {
+            ops: batch
+                .ops()
+                .map(|(k, v)| (k.to_string(), v.map(<[u8]>::to_vec)))
+                .collect(),
+        }
+    }
+
+    /// Encode the opcode-specific payload (PROTOCOL.md §5).
+    pub fn encode_payload(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Request::Get { key } | Request::Del { key } => put_key(&mut out, key),
+            Request::Put { key, value } => {
+                put_key(&mut out, key);
+                put_value(&mut out, value);
+            }
+            Request::Batch { ops } => {
+                out.extend_from_slice(&(ops.len() as u32).to_le_bytes());
+                for (key, value) in ops {
+                    out.push(if value.is_some() { 0 } else { 1 });
+                    put_key(&mut out, key);
+                    if let Some(v) = value {
+                        put_value(&mut out, v);
+                    }
+                }
+            }
+            Request::Sync | Request::Stats => {}
+        }
+        out
+    }
+
+    /// Decode a request from its opcode byte and payload. `Err` carries the
+    /// status code to answer with ([`status::ERR_UNKNOWN_OPCODE`] or
+    /// [`status::ERR_MALFORMED`]).
+    pub fn decode(opcode: u8, payload: &[u8]) -> Result<Request, u8> {
+        let opcode = Opcode::from_code(opcode).ok_or(status::ERR_UNKNOWN_OPCODE)?;
+        let mut cur = Cursor {
+            buf: payload,
+            at: 0,
+        };
+        let req = match opcode {
+            Opcode::Get => Request::Get { key: cur.key()? },
+            Opcode::Put => Request::Put {
+                key: cur.key()?,
+                value: cur.value()?,
+            },
+            Opcode::Del => Request::Del { key: cur.key()? },
+            Opcode::Batch => {
+                let count = cur.u32()?;
+                // Each op is at least 1 (tag) + 2 (key len) bytes; a count
+                // the remaining bytes cannot possibly hold is malformed,
+                // not a cue to pre-allocate.
+                if count as usize > cur.remaining() {
+                    return Err(status::ERR_MALFORMED);
+                }
+                let mut ops = Vec::with_capacity(count as usize);
+                for _ in 0..count {
+                    let tag = cur.u8()?;
+                    let key = cur.key()?;
+                    let value = match tag {
+                        0 => Some(cur.value()?),
+                        1 => None,
+                        _ => return Err(status::ERR_MALFORMED),
+                    };
+                    ops.push((key, value));
+                }
+                Request::Batch { ops }
+            }
+            Opcode::Sync => Request::Sync,
+            Opcode::Stats => Request::Stats,
+        };
+        if cur.remaining() > 0 {
+            // Trailing garbage would silently change meaning in a future
+            // version; v1 rejects it (PROTOCOL.md §4 compat rules).
+            return Err(status::ERR_MALFORMED);
+        }
+        Ok(req)
+    }
+}
+
+/// A decoded response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// GET result: the value, or `None` for an absent key (both are
+    /// [`status::OK`] — absence is an answer, not an error).
+    Value(Option<Vec<u8>>),
+    /// PUT/DEL/BATCH result: number of operations applied, acked only
+    /// after the batch is durable (per the store's sync policy —
+    /// PROTOCOL.md §6).
+    Applied(u32),
+    /// SYNC result: the barrier completed.
+    Synced,
+    /// STATS result: one JSON object (`{"net":{..},"store":{..}}`).
+    Stats(String),
+    /// A semantic error ([`status`] code != OK). The connection remains
+    /// usable.
+    Err(u8),
+}
+
+impl Response {
+    /// The status byte this response carries.
+    pub fn status(&self) -> u8 {
+        match self {
+            Response::Err(code) => *code,
+            _ => status::OK,
+        }
+    }
+
+    /// Encode the response payload (status byte first, PROTOCOL.md §5).
+    pub fn encode_payload(&self) -> Vec<u8> {
+        let mut out = vec![self.status()];
+        match self {
+            Response::Value(None) => out.push(0),
+            Response::Value(Some(v)) => {
+                out.push(1);
+                put_value(&mut out, v);
+            }
+            Response::Applied(n) => out.extend_from_slice(&n.to_le_bytes()),
+            Response::Synced | Response::Err(_) => {}
+            Response::Stats(json) => put_value(&mut out, json.as_bytes()),
+        }
+        out
+    }
+
+    /// Decode a response payload in the context of the request's opcode.
+    /// `None` means the payload violates the schema (a broken peer —
+    /// clients surface it as an I/O error and close).
+    pub fn decode(opcode: Opcode, payload: &[u8]) -> Option<Response> {
+        let mut cur = Cursor {
+            buf: payload,
+            at: 0,
+        };
+        let code = cur.u8().ok()?;
+        if code != status::OK {
+            return Some(Response::Err(code));
+        }
+        let resp = match opcode {
+            Opcode::Get => match cur.u8().ok()? {
+                0 => Response::Value(None),
+                1 => Response::Value(Some(cur.value().ok()?)),
+                _ => return None,
+            },
+            Opcode::Put | Opcode::Del | Opcode::Batch => Response::Applied(cur.u32().ok()?),
+            Opcode::Sync => Response::Synced,
+            Opcode::Stats => {
+                let bytes = cur.value().ok()?;
+                Response::Stats(String::from_utf8(bytes).ok()?)
+            }
+        };
+        if cur.remaining() > 0 {
+            return None;
+        }
+        Some(resp)
+    }
+}
+
+impl fmt::Display for Response {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Response::Value(None) => write!(f, "(nil)"),
+            Response::Value(Some(v)) => write!(f, "{} value bytes", v.len()),
+            Response::Applied(n) => write!(f, "applied {n}"),
+            Response::Synced => write!(f, "synced"),
+            Response::Stats(j) => write!(f, "stats ({} bytes)", j.len()),
+            Response::Err(code) => write!(f, "error: {}", status::name(*code)),
+        }
+    }
+}
+
+fn put_key(out: &mut Vec<u8>, key: &str) {
+    let bytes = key.as_bytes();
+    debug_assert!(bytes.len() <= u16::MAX as usize, "key too long for wire");
+    out.extend_from_slice(&(bytes.len() as u16).to_le_bytes());
+    out.extend_from_slice(bytes);
+}
+
+fn put_value(out: &mut Vec<u8>, value: &[u8]) {
+    out.extend_from_slice(&(value.len() as u32).to_le_bytes());
+    out.extend_from_slice(value);
+}
+
+/// Bounds-checked little-endian reader over a payload slice. Every method
+/// returns [`status::ERR_MALFORMED`] on underrun, so `?` threads the error
+/// code straight to the response.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl Cursor<'_> {
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.at
+    }
+
+    fn take(&mut self, n: usize) -> Result<&[u8], u8> {
+        if self.remaining() < n {
+            return Err(status::ERR_MALFORMED);
+        }
+        let s = &self.buf[self.at..self.at + n];
+        self.at += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, u8> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, u8> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn key(&mut self) -> Result<String, u8> {
+        let len = self.u16()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| status::ERR_MALFORMED)
+    }
+
+    fn value(&mut self) -> Result<Vec<u8>, u8> {
+        let len = self.u32()? as usize;
+        Ok(self.take(len)?.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(req: Request) {
+        let payload = req.encode_payload();
+        let got = Request::decode(req.opcode() as u8, &payload).unwrap();
+        assert_eq!(got, req);
+    }
+
+    #[test]
+    fn request_roundtrips() {
+        roundtrip(Request::Get { key: "k".into() });
+        roundtrip(Request::Put {
+            key: "key".into(),
+            value: b"value".to_vec(),
+        });
+        roundtrip(Request::Del { key: "".into() });
+        roundtrip(Request::Batch {
+            ops: vec![
+                ("a".into(), Some(b"1".to_vec())),
+                ("b".into(), None),
+                ("c".into(), Some(Vec::new())),
+            ],
+        });
+        roundtrip(Request::Sync);
+        roundtrip(Request::Stats);
+    }
+
+    #[test]
+    fn from_write_batch_preserves_order_and_kinds() {
+        let wb = WriteBatch::new().put("x", b"1").delete("y").put("z", b"2");
+        let req = Request::from_write_batch(&wb);
+        assert_eq!(
+            req,
+            Request::Batch {
+                ops: vec![
+                    ("x".into(), Some(b"1".to_vec())),
+                    ("y".into(), None),
+                    ("z".into(), Some(b"2".to_vec())),
+                ]
+            }
+        );
+    }
+
+    #[test]
+    fn response_roundtrips() {
+        for (op, resp) in [
+            (Opcode::Get, Response::Value(None)),
+            (Opcode::Get, Response::Value(Some(b"v".to_vec()))),
+            (Opcode::Put, Response::Applied(1)),
+            (Opcode::Batch, Response::Applied(42)),
+            (Opcode::Sync, Response::Synced),
+            (Opcode::Stats, Response::Stats("{\"net\":{}}".into())),
+            (Opcode::Get, Response::Err(status::ERR_MALFORMED)),
+        ] {
+            let payload = resp.encode_payload();
+            assert_eq!(Response::decode(op, &payload).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn unknown_opcode_and_malformed_payloads_map_to_status_codes() {
+        assert_eq!(Request::decode(0, &[]), Err(status::ERR_UNKNOWN_OPCODE));
+        assert_eq!(Request::decode(200, &[]), Err(status::ERR_UNKNOWN_OPCODE));
+        // GET with a truncated key.
+        assert_eq!(
+            Request::decode(1, &[5, 0, b'a']),
+            Err(status::ERR_MALFORMED)
+        );
+        // PUT missing its value.
+        assert_eq!(
+            Request::decode(2, &[1, 0, b'k']),
+            Err(status::ERR_MALFORMED)
+        );
+        // BATCH with an op tag that doesn't exist.
+        let mut p = 1u32.to_le_bytes().to_vec();
+        p.push(7);
+        p.extend_from_slice(&[1, 0, b'k']);
+        assert_eq!(Request::decode(4, &p), Err(status::ERR_MALFORMED));
+        // BATCH whose count can't fit in the remaining bytes.
+        let p = u32::MAX.to_le_bytes().to_vec();
+        assert_eq!(Request::decode(4, &p), Err(status::ERR_MALFORMED));
+        // Trailing garbage after a well-formed body.
+        let mut p = Request::Get { key: "k".into() }.encode_payload();
+        p.push(0);
+        assert_eq!(Request::decode(1, &p), Err(status::ERR_MALFORMED));
+        // Non-UTF-8 key bytes.
+        assert_eq!(
+            Request::decode(1, &[2, 0, 0xFF, 0xFE]),
+            Err(status::ERR_MALFORMED)
+        );
+    }
+
+    #[test]
+    fn sync_and_stats_reject_nonempty_payloads() {
+        assert_eq!(Request::decode(5, &[0]), Err(status::ERR_MALFORMED));
+        assert_eq!(Request::decode(6, &[1, 2]), Err(status::ERR_MALFORMED));
+    }
+
+    #[test]
+    fn opcode_table_is_wire_stable() {
+        for op in Opcode::ALL {
+            assert_eq!(Opcode::from_code(op as u8), Some(op));
+            assert!(!op.name().is_empty());
+        }
+        assert_eq!(Opcode::from_code(0), None);
+        assert_eq!(Opcode::from_code(7), None);
+    }
+
+    #[test]
+    fn status_names_are_stable() {
+        assert_eq!(status::name(status::OK), "ok");
+        assert_eq!(status::name(status::ERR_MALFORMED), "err_malformed");
+        assert_eq!(
+            status::name(status::ERR_UNKNOWN_OPCODE),
+            "err_unknown_opcode"
+        );
+        assert_eq!(status::name(status::ERR_BAD_VERSION), "err_bad_version");
+        assert_eq!(status::name(99), "err_unknown");
+    }
+}

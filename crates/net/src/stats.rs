@@ -1,0 +1,117 @@
+//! Server-side network counters and the request-latency histogram.
+//!
+//! These extend the observability schema (OBSERVABILITY.md "Network
+//! counters") one layer above the STM/KV stats: `net_requests` counts wire
+//! requests, `req_latency_ns` measures frame-decoded → response-written —
+//! for a durable write that includes the deferred fsync wait, so the
+//! histogram's tail is the end-to-end price of "acked ⇒ durable".
+
+use ad_support::hist::{Histogram, HistogramSnapshot};
+use ad_support::sync::atomic::{AtomicU64, Ordering};
+
+/// Live counters, updated by the accept loop and connection handlers.
+/// All updates are relaxed: diagnostics, not synchronization.
+#[derive(Default)]
+pub struct NetStats {
+    accepts: AtomicU64,
+    requests: AtomicU64,
+    frame_errors: AtomicU64,
+    status_errors: AtomicU64,
+    req_latency: Histogram,
+}
+
+impl NetStats {
+    pub(crate) fn on_accept(&self) {
+        self.accepts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_request(&self, latency_ns: u64) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.req_latency.record(latency_ns);
+    }
+
+    pub(crate) fn on_frame_error(&self) {
+        self.frame_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_status_error(&self) {
+        self.status_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copy the counters and histogram out.
+    pub fn snapshot(&self) -> NetStatsSnapshot {
+        NetStatsSnapshot {
+            net_accepts: self.accepts.load(Ordering::Relaxed),
+            net_requests: self.requests.load(Ordering::Relaxed),
+            net_frame_errors: self.frame_errors.load(Ordering::Relaxed),
+            net_status_errors: self.status_errors.load(Ordering::Relaxed),
+            req_latency_ns: self.req_latency.snapshot(),
+        }
+    }
+}
+
+/// An immutable copy of a server's network counters. Field names are the
+/// stable observability schema (same names in JSON and OBSERVABILITY.md).
+#[derive(Debug, Clone, Default)]
+pub struct NetStatsSnapshot {
+    /// Connections accepted.
+    pub net_accepts: u64,
+    /// Requests served (any status).
+    pub net_requests: u64,
+    /// Connections dropped for structural frame errors (bad CRC, oversize
+    /// length, reserved flags) — each also closed a connection.
+    pub net_frame_errors: u64,
+    /// Semantic errors answered with a non-OK status (connection kept).
+    pub net_status_errors: u64,
+    /// Request latency: frame decoded → response encoded, ns. For durable
+    /// writes this includes the deferred-fsync wait the ack gates on (the
+    /// socket write itself is excluded — see `server`).
+    pub req_latency_ns: HistogramSnapshot,
+}
+
+impl NetStatsSnapshot {
+    /// Stable-schema JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"net_accepts\":{},\"net_requests\":{},\"net_frame_errors\":{},\
+             \"net_status_errors\":{},\"req_latency_ns\":{}}}",
+            self.net_accepts,
+            self.net_requests,
+            self.net_frame_errors,
+            self.net_status_errors,
+            self.req_latency_ns.to_json(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_serialize() {
+        let s = NetStats::default();
+        s.on_accept();
+        s.on_request(1_000);
+        s.on_request(2_000);
+        s.on_frame_error();
+        s.on_status_error();
+        let snap = s.snapshot();
+        assert_eq!(snap.net_accepts, 1);
+        assert_eq!(snap.net_requests, 2);
+        assert_eq!(snap.net_frame_errors, 1);
+        assert_eq!(snap.net_status_errors, 1);
+        assert_eq!(snap.req_latency_ns.count(), 2);
+        let j = snap.to_json();
+        for key in [
+            "\"net_accepts\":1",
+            "\"net_requests\":2",
+            "\"net_frame_errors\":1",
+            "\"net_status_errors\":1",
+            "\"req_latency_ns\":{",
+        ] {
+            assert!(j.contains(key), "missing {key} in {j}");
+        }
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+}

@@ -1,0 +1,150 @@
+//! Frame-codec robustness: every way a byte stream can arrive (or be
+//! mangled) that the decoder must handle without panicking, plus the
+//! guard that keeps `PROTOCOL.md` honest about the opcode table.
+
+use ad_net::{Decoder, Frame, FrameError, Opcode, MAX_FRAME_LEN, VERSION};
+use ad_support::crc32::crc32;
+
+fn sample_frame() -> Frame {
+    Frame::new(
+        Opcode::Put as u8,
+        0xfeed_beef,
+        b"some payload bytes".to_vec(),
+    )
+}
+
+/// A valid frame split at *every* byte boundary decodes to the same
+/// frame regardless of where the read boundary fell.
+#[test]
+fn split_reads_at_every_byte_boundary() {
+    let frame = sample_frame();
+    let wire = frame.encode();
+    for split in 0..=wire.len() {
+        let mut dec = Decoder::new();
+        dec.feed(&wire[..split]);
+        if split < wire.len() {
+            assert_eq!(
+                dec.next_frame().expect("prefix must not be an error"),
+                None,
+                "decoder produced a frame from a {split}-byte prefix"
+            );
+        }
+        dec.feed(&wire[split..]);
+        let got = dec
+            .next_frame()
+            .unwrap_or_else(|e| panic!("split at {split}: {e}"))
+            .unwrap_or_else(|| panic!("split at {split}: no frame"));
+        assert_eq!(got.opcode, frame.opcode);
+        assert_eq!(got.req_id, frame.req_id);
+        assert_eq!(got.payload, frame.payload);
+        assert_eq!(dec.next_frame().expect("drained"), None);
+        assert_eq!(dec.pending(), 0, "split at {split} left residue");
+    }
+}
+
+/// A truncated stream (any strict prefix) yields `None` forever — never
+/// a frame, never an error: the decoder must wait for more bytes.
+#[test]
+fn truncated_stream_stays_pending() {
+    let wire = sample_frame().encode();
+    for cut in 0..wire.len() {
+        let mut dec = Decoder::new();
+        dec.feed(&wire[..cut]);
+        for _ in 0..3 {
+            assert_eq!(dec.next_frame().expect("no error on prefix"), None);
+        }
+        assert_eq!(dec.pending(), cut);
+    }
+}
+
+/// A length prefix above the limit is rejected before the payload is
+/// buffered — the connection-level defense against memory-exhaustion
+/// frames (PROTOCOL.md §3).
+#[test]
+fn oversize_length_is_rejected_from_the_prefix_alone() {
+    let mut dec = Decoder::new();
+    let too_big = MAX_FRAME_LEN + 1;
+    dec.feed(&too_big.to_le_bytes());
+    match dec.next_frame() {
+        Err(FrameError::Oversize(n)) => assert_eq!(n, too_big),
+        other => panic!("expected Oversize, got {other:?}"),
+    }
+}
+
+/// Flipping any single payload byte is caught by the CRC.
+#[test]
+fn any_single_byte_corruption_is_caught() {
+    let wire = sample_frame().encode();
+    // Skip the 4-byte length prefix: corrupting it turns into a different
+    // (possibly oversize/undersize) framing error, tested elsewhere.
+    for i in 4..wire.len() {
+        let mut bad = wire.clone();
+        bad[i] ^= 0x40;
+        let mut dec = Decoder::new();
+        dec.feed(&bad);
+        match dec.next_frame() {
+            Err(FrameError::BadCrc { .. }) | Err(FrameError::BadFlags(_)) => {}
+            other => panic!("corruption at byte {i} not caught: {other:?}"),
+        }
+    }
+}
+
+/// After a CRC error the decoder refuses to resynchronize — the server
+/// closes the connection rather than guessing at frame boundaries.
+#[test]
+fn corruption_then_good_frame_still_errors() {
+    let good = sample_frame().encode();
+    let mut bad = good.clone();
+    let last = bad.len() - 1;
+    bad[last] ^= 0xff;
+    let mut dec = Decoder::new();
+    dec.feed(&bad);
+    dec.feed(&good);
+    assert!(dec.next_frame().is_err(), "corrupt frame must error");
+}
+
+/// `PROTOCOL.md` §4 must document every opcode the server implements:
+/// each row of the opcode table carries the canonical name and code. A
+/// new `Opcode` variant fails this test until the spec is updated.
+#[test]
+fn protocol_md_documents_every_opcode() {
+    let spec = include_str!("../../../PROTOCOL.md");
+    for op in Opcode::ALL {
+        let row = format!("| `{}` | {} |", op.name(), op as u8);
+        assert!(
+            spec.contains(&row),
+            "PROTOCOL.md opcode table is missing a row starting {row:?} for {:?}",
+            op
+        );
+    }
+    // And the reverse: the spec's version must match the implementation.
+    assert!(
+        spec.contains(&format!("version is **{VERSION}**")),
+        "PROTOCOL.md does not state protocol version {VERSION}"
+    );
+}
+
+/// The canonical frame bytes in `PROTOCOL.md` §2 decode to the frame the
+/// spec says they are (spec and codec can't drift apart silently).
+#[test]
+fn spec_example_frame_round_trips() {
+    // PROTOCOL.md §2 example: GET "k" — the exact bytes are derived here
+    // the same way the spec text derives them.
+    let payload = {
+        let mut p = Vec::new();
+        p.extend_from_slice(&1u16.to_le_bytes());
+        p.push(b'k');
+        p
+    };
+    let frame = Frame::new(Opcode::Get as u8, 7, payload);
+    let wire = frame.encode();
+    // len = 8 (header) + 3 (payload) + 4 (crc) = 15
+    assert_eq!(&wire[..4], &15u32.to_le_bytes());
+    assert_eq!(wire[4], VERSION);
+    assert_eq!(wire[5], Opcode::Get as u8);
+    assert_eq!(&wire[6..8], &[0, 0]);
+    assert_eq!(&wire[8..12], &7u32.to_le_bytes());
+    assert_eq!(&wire[12..15], &[1, 0, b'k']);
+    let crc = crc32(&wire[4..15]);
+    assert_eq!(&wire[15..], &crc.to_le_bytes());
+}

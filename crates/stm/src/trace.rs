@@ -110,6 +110,17 @@ pub enum EventKind {
     /// A snapshot extension succeeded: the whole read set revalidated at a
     /// fresher timestamp; `arg` = the new read version.
     ValidationExtend = 18,
+    /// A network server emitted a client acknowledgement *after* the
+    /// request's deferred durability work resolved (`ad-net`, recorded via
+    /// [`Runtime::trace_app`] between `DeferHandle::wait` returning and the
+    /// response bytes being written); `arg` = the request id being acked.
+    /// On a merged timeline every one of these must causally follow the
+    /// `wal_fsync` that covered the request's redo record — the wire-level
+    /// restatement of the store's "ack ⇒ durable" contract, asserted by
+    /// `ad-kv-loadgen --smoke`.
+    ///
+    /// [`Runtime::trace_app`]: crate::Runtime::trace_app
+    NetAckDurable = 19,
 }
 
 impl EventKind {
@@ -134,6 +145,7 @@ impl EventKind {
             EventKind::DeferOffload => "defer_offload",
             EventKind::ClockBump => "clock_bump",
             EventKind::ValidationExtend => "validation_extend",
+            EventKind::NetAckDurable => "ack_after_durable",
         }
     }
 
@@ -167,6 +179,7 @@ impl EventKind {
             16 => EventKind::DeferOffload,
             17 => EventKind::ClockBump,
             18 => EventKind::ValidationExtend,
+            19 => EventKind::NetAckDurable,
             _ => return None,
         })
     }
@@ -235,6 +248,7 @@ impl fmt::Display for TraceEvent {
             EventKind::WalAppend => write!(f, " bytes={}", self.arg),
             EventKind::WalFsync => write!(f, " records={}", self.arg),
             EventKind::DeferOffload => write!(f, " queue_depth={}", self.arg),
+            EventKind::NetAckDurable => write!(f, " req_id={}", self.arg),
             _ => write!(f, " arg={}", self.arg),
         }
     }
@@ -839,6 +853,7 @@ mod tests {
             EventKind::DeferOffload,
             EventKind::ClockBump,
             EventKind::ValidationExtend,
+            EventKind::NetAckDurable,
         ] {
             assert_eq!(EventKind::from_code(k as u8), Some(k));
             assert!(!k.name().is_empty());

@@ -153,6 +153,31 @@ impl Pool {
     pub fn worker_count(&self) -> usize {
         self.workers.len()
     }
+
+    /// Drive an accept loop on the calling thread: pull items from `next`
+    /// until it returns `None`, handing each to `handle` on a pool worker.
+    ///
+    /// This is the `ad-net` server's front door — `next` is a blocking
+    /// `TcpListener::accept` wrapper, `handle` owns one connection until it
+    /// closes — but the shape is generic: any producer whose items each
+    /// need a worker's undivided attention. Submission uses the blocking
+    /// [`Pool::submit`], so a saturated pool (every worker busy, queue
+    /// full) pushes back on the *accept* side: new items wait in the
+    /// kernel's backlog instead of piling up as unbounded queued jobs.
+    /// Returns once `next` yields `None` — queued items still complete
+    /// (drain or drop the pool to wait for them).
+    pub fn accept_loop<T, N, H>(&self, mut next: N, handle: H)
+    where
+        T: Send + 'static,
+        N: FnMut() -> Option<T>,
+        H: Fn(T) + Send + Sync + 'static,
+    {
+        let handle = Arc::new(handle);
+        while let Some(item) = next() {
+            let handle = Arc::clone(&handle);
+            self.submit(Box::new(move || handle(item)));
+        }
+    }
 }
 
 fn worker_loop(shared: &Shared) {
@@ -333,6 +358,31 @@ mod tests {
         }));
         drop(pool);
         rx.recv_timeout(Duration::from_secs(10)).unwrap();
+    }
+
+    #[test]
+    fn accept_loop_dispatches_every_item_then_returns() {
+        let pool = Pool::new(2, 4);
+        let done = Arc::new(AtomicUsize::new(0));
+        let mut remaining = 25;
+        let d2 = Arc::clone(&done);
+        pool.accept_loop(
+            move || {
+                if remaining == 0 {
+                    None
+                } else {
+                    remaining -= 1;
+                    Some(remaining)
+                }
+            },
+            move |_item: usize| {
+                d2.fetch_add(1, Ordering::Relaxed);
+            },
+        );
+        // accept_loop returned once the producer dried up; the items it
+        // dispatched may still be in flight until the pool drains.
+        pool.drain();
+        assert_eq!(done.load(Ordering::Relaxed), 25);
     }
 
     #[test]
