@@ -52,11 +52,12 @@ fn main() {
         let slot = i % vars.len();
         rt.atomically(|tx| {
             let v = tx.read(&vars[slot])?;
-            tx.write(&vars[slot], v + 1)?;
+            // Deferral registered before the first write (DESIGN.md §9).
             let s = sink.clone();
             atomic_defer(tx, &[&sink], move || {
                 s.locked().applied.fetch_add(1, Ordering::Relaxed);
-            })
+            })?;
+            tx.write(&vars[slot], v + 1)
         });
     });
 

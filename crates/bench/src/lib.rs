@@ -360,7 +360,10 @@ pub fn motivation_arms(
                                 c2.locked().val.update_locked(|x| x + 1);
                             })
                         } else {
-                            // Long operation inside the transaction.
+                            // Long operation inside the transaction — the
+                            // *deliberately bad* baseline this benchmark
+                            // exists to measure (paper Figure 1).
+                            // ad-lint: allow(blocking-in-atomic)
                             std::thread::sleep(long_op);
                             c1.with(tx, |f, tx| tx.modify(&f.val, |x| x + 1))
                         }

@@ -69,7 +69,16 @@ impl<T: Any + Send + Sync + Clone> DeferHandle<T> {
     /// pooled executor this is the synchronization point a caller uses
     /// after its commit returned early; inline the result is already
     /// published and `wait` returns immediately.
+    ///
+    /// Calling this *from inside a deferred operation* running on a
+    /// single-worker pool is a self-deadlock (the waited-on op is queued
+    /// behind the caller; DESIGN.md §10): the hazard is detected before
+    /// blocking — counted, traced, and `debug_assert!`ed — via
+    /// [`Runtime::check_defer_self_wait`].
     pub fn wait(&self, rt: &Runtime) -> T {
+        if !self.is_ready() {
+            rt.check_defer_self_wait();
+        }
         rt.atomically(|tx| self.get(tx))
     }
 
@@ -90,7 +99,15 @@ impl<T: Any + Send + Sync + Clone> DeferHandle<T> {
     /// list — which covers every handle's cell — wakes as publications
     /// land, and commits once the last one is in. Handles that are
     /// already complete cost one transactional read each.
+    ///
+    /// The single-worker self-deadlock check of
+    /// [`wait`](DeferHandle::wait) applies here too: it fires if any
+    /// handle is still unresolved when called from the pool's own sole
+    /// worker.
     pub fn wait_all(rt: &Runtime, handles: &[DeferHandle<T>]) -> Vec<T> {
+        if handles.iter().any(|h| !h.is_ready()) {
+            rt.check_defer_self_wait();
+        }
         rt.atomically(|tx| handles.iter().map(|h| h.get(tx)).collect())
     }
 
@@ -290,6 +307,53 @@ mod tests {
         let rt = Runtime::new(TmConfig::stm());
         let none: Vec<DeferHandle<u32>> = Vec::new();
         assert_eq!(DeferHandle::wait_all(&rt, &none), Vec::<u32>::new());
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    fn self_wait_on_sole_worker_is_detected_not_deadlocked() {
+        use ad_stm::{Runtime, TmConfig};
+        // A deferred op on a single-worker pool blocks on a handle nobody
+        // has published: without the guard this hangs forever (the op that
+        // could publish would be queued behind the blocked worker). The
+        // guard fires first — counter bump, trace event, debug_assert —
+        // and the pool's catch_unwind turns the assert into a counted
+        // panic instead of a wedged test.
+        let rt = Runtime::new(TmConfig::stm().with_defer_pool(1, 16));
+        let obj = Defer::new(Obj { v: TVar::new(0) });
+        let orphan = DeferHandle::<u32>::default();
+        let rt2 = rt.clone();
+        let o = obj.clone();
+        rt.atomically(move |tx| {
+            let orphan = orphan.clone();
+            let rt2 = rt2.clone();
+            atomic_defer(tx, &[&o.clone()], move || {
+                // Deliberately the §10 (i) mistake this test exists to catch:
+                // ad-lint: allow(defer-waits-on-defer)
+                let _ = orphan.wait(&rt2);
+            })
+        });
+        rt.drain_deferred();
+        assert_eq!(rt.stats().defer_self_wait_hazards, 1);
+    }
+
+    #[test]
+    fn wait_from_submitter_thread_is_not_a_hazard() {
+        use ad_stm::{Runtime, TmConfig};
+        // The legitimate shape: commit returns early, the *submitting*
+        // thread waits. No hazard is counted even on a 1-worker pool.
+        let rt = Runtime::new(TmConfig::stm().with_defer_pool(1, 16));
+        let obj = Defer::new(Obj { v: TVar::new(0) });
+        let o = obj.clone();
+        let handle = rt.atomically(move |tx| {
+            let o2 = o.clone();
+            atomic_defer_with_result(tx, &[&o.clone()], move || {
+                o2.locked().v.store(9);
+                9u64
+            })
+        });
+        assert_eq!(handle.wait(&rt), 9);
+        assert_eq!(rt.stats().defer_self_wait_hazards, 0);
     }
 
     #[test]

@@ -127,9 +127,13 @@ pub fn durable_write(tx: &mut Tx, file: &DurableFile, buf: &DeferBuffer) -> StmR
                     Ok(0) => break,
                     Ok(n) => sent += n,
                     Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    // Aborting the batch on unrecoverable media failure is
+                    // the intended policy: durability cannot be faked.
+                    // ad-lint: allow(panic-in-deferred)
                     Err(e) => panic!("durable write failed irrecoverably: {e}"),
                 }
             }
+            // ad-lint: allow(panic-in-deferred)
             f.sync_all().expect("fsync failed");
         }
         // Set the completion flag while the locks are still held: only

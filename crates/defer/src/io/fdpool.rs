@@ -210,6 +210,9 @@ impl FdPool {
                 .write(true)
                 .truncate(false)
                 .open(&slot.path)
+                // Failing to open the backing file is unrecoverable for
+                // this op chain; abort-the-batch is the intended policy.
+                // ad-lint: allow(panic-in-deferred)
                 .expect("deferred open failed");
             // Recover the logical size from the file (first open) — Listing
             // 5's "get file size ... save metadata for future I/O".

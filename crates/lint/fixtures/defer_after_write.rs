@@ -1,0 +1,31 @@
+//! Fixture: `atomic_defer*` registered lexically after the first
+//! `tx.write` in the same atomic closure — against the
+//! defer-before-first-write ordering the KV commit protocol relies on
+//! (DESIGN.md §9). Two sites must be flagged as `defer-after-write`; the
+//! defer-first closure and the write-free closure must stay clean.
+
+fn write_then_defer(rt: &Runtime, o: Defer<Obj>, v: TVar<u64>) {
+    rt.atomically(|tx| {
+        let x = tx.read(&v)?;
+        tx.write(&v, x + 1)?;
+        atomic_defer(tx, &[&o.clone()], move || log_op(x)) // FLAG
+    });
+    rt.atomically(|tx| {
+        tx.write(&v, 0)?;
+        atomic_defer_unordered(tx, move || log_op(0)) // FLAG
+    });
+}
+
+fn blessed_orders(rt: &Runtime, o: Defer<Obj>, v: TVar<u64>) {
+    // Defer before the first write: the §9 ordering.
+    rt.atomically(|tx| {
+        let x = tx.read(&v)?;
+        atomic_defer(tx, &[&o.clone()], move || log_op(x))?;
+        tx.write(&v, x + 1)
+    });
+    // Read-only transaction: no write, nothing to order against.
+    rt.atomically(|tx| {
+        let x = tx.read(&v)?;
+        atomic_defer_unordered(tx, move || log_op(x))
+    });
+}

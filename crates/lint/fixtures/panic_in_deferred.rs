@@ -1,0 +1,36 @@
+//! Fixture: panicking shapes inside deferred closures — a panicking op
+//! poisons its whole post-commit batch (DESIGN.md §10 ii). Five sites
+//! must be flagged as `panic-in-deferred`: `unwrap`, `expect`, `panic!`,
+//! `assert!`, and an `unreachable!` reached through a macro body. The
+//! non-panicking variants and `debug_assert!` must stay clean, and the
+//! final `expect` is allow-annotated as deliberate policy.
+
+fn poisonous(rt: &Runtime, o: Defer<Obj>) {
+    rt.atomically(|tx| {
+        atomic_defer(tx, &[&o.clone()], move || {
+            let x = fallible().unwrap(); // FLAG
+            let y = fallible().expect("boom"); // FLAG
+            if x > y {
+                panic!("inverted"); // FLAG
+            }
+            assert!(x <= y); // FLAG
+            match x {
+                0 => unreachable!("zero was filtered"), // FLAG
+                _ => {}
+            }
+        })
+    });
+}
+
+fn harmless(rt: &Runtime, o: Defer<Obj>) {
+    rt.atomically(|tx| {
+        atomic_defer(tx, &[&o.clone()], move || {
+            let x = fallible().unwrap_or(0);
+            let y = fallible().unwrap_or_else(|_| 1);
+            debug_assert!(x <= y); // debug-only guard: exempt by design
+            // Aborting the batch is the intended policy here:
+            // ad-lint: allow(panic-in-deferred)
+            let _z = fallible().expect("deliberate abort-the-batch");
+        })
+    });
+}

@@ -1,0 +1,575 @@
+//! Phase 1: a hand-rolled Rust lexer.
+//!
+//! The v1 scanner stripped comments/literals in one pass and then split the
+//! residue on character class, which mis-tokenized exactly the corners the
+//! contracts care about: a raw identifier `r#tx` fell apart into `r`, `#`,
+//! `tx` (so rules saw a phantom `tx`), a raw string could swallow code after
+//! a stray `r#` fallback, and lifetimes needed a heuristic. This lexer
+//! produces a faithful token stream instead:
+//!
+//! * identifiers, including raw identifiers (`r#tx` is one [`Tok::Ident`]
+//!   with `raw = true` and the name `tx` — same *name* as `tx`, which is
+//!   what binding resolution wants, but never a substring accident);
+//! * string-ish literals in all forms — `"…"`, `r"…"`, `r#"…"#` (any hash
+//!   count), `b"…"`, `br#"…"#`, `c"…"`, char and byte literals — reduced to
+//!   a single [`Tok::Literal`] token each (their *content* is never
+//!   analyzed);
+//! * lifetimes (`'a`, `'static`) as [`Tok::Lifetime`], disambiguated from
+//!   char literals by the closing quote;
+//! * numeric literals (underscores, suffixes, floats with exponents) as
+//!   [`Tok::Literal`];
+//! * line and nested block comments dropped, with `ad-lint: allow(rule,…)`
+//!   markers collected per line (see [`Lexed::allows`]);
+//! * everything else as single-character [`Tok::Punct`] — multi-character
+//!   operators (`::`, `=>`, `||`) are left to consumers, which is safe
+//!   because adjacent `Punct`s can only have come from adjacent source
+//!   characters (whitespace always separates tokens here).
+//!
+//! Every token carries its 1-based source line for reporting.
+
+use std::collections::HashMap;
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword. `raw` marks raw-identifier syntax
+    /// (`r#name`); `name` never includes the `r#` prefix, so `r#tx` and
+    /// `tx` compare equal by name (they *are* the same identifier in Rust)
+    /// while staying distinguishable for diagnostics.
+    Ident {
+        /// The identifier text without any `r#` prefix.
+        name: String,
+        /// Was this written with raw-identifier syntax?
+        raw: bool,
+    },
+    /// A lifetime such as `'a` (the name excludes the tick).
+    Lifetime(String),
+    /// Any literal: string/raw-string/byte-string/char/byte/numeric. The
+    /// content is deliberately not kept — rules never look inside
+    /// literals; the token exists so adjacency is preserved.
+    Literal,
+    /// A single punctuation character.
+    Punct(char),
+}
+
+impl Tok {
+    /// The identifier name, if this is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            Tok::Ident { name, .. } => Some(name.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Is this the punctuation character `c`?
+    pub fn is_punct(&self, c: char) -> bool {
+        matches!(self, Tok::Punct(p) if *p == c)
+    }
+}
+
+/// Lexer output: the token stream plus the allow-marker table.
+#[derive(Debug)]
+pub struct Lexed {
+    /// Tokens with their 1-based source lines.
+    pub toks: Vec<(Tok, usize)>,
+    /// `// ad-lint: allow(rule, …)` markers found in comments, keyed by the
+    /// line the comment starts on. `all` is a valid wildcard rule name.
+    pub allows: HashMap<usize, Vec<String>>,
+}
+
+impl Lexed {
+    /// Is `rule` suppressed on `line` (marker on the same or previous
+    /// line)?
+    pub fn allowed(&self, line: usize, rule: &str) -> bool {
+        [line, line.saturating_sub(1)].iter().any(|l| {
+            self.allows
+                .get(l)
+                .is_some_and(|rs| rs.iter().any(|r| r == rule || r == "all"))
+        })
+    }
+}
+
+/// Lex one file's source text.
+pub fn lex(src: &str) -> Lexed {
+    Lexer {
+        chars: src.chars().collect(),
+        i: 0,
+        line: 1,
+        toks: Vec::new(),
+        allows: HashMap::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    i: usize,
+    line: usize,
+    toks: Vec<(Tok, usize)>,
+    allows: HashMap<usize, Vec<String>>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        if c == '\n' {
+            self.line += 1;
+        }
+        self.i += 1;
+        Some(c)
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            match c {
+                _ if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '\'' => self.tick(),
+                '"' => {
+                    let line = self.line;
+                    self.bump();
+                    self.string_body();
+                    self.toks.push((Tok::Literal, line));
+                }
+                _ if is_ident_start(c) => self.ident_or_prefixed_literal(),
+                _ if c.is_ascii_digit() => self.number(),
+                _ => {
+                    let line = self.line;
+                    self.bump();
+                    self.toks.push((Tok::Punct(c), line));
+                }
+            }
+        }
+        Lexed {
+            toks: self.toks,
+            allows: self.allows,
+        }
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let start = self.i;
+        while self.peek(0).is_some_and(|c| c != '\n') {
+            self.bump();
+        }
+        let text: String = self.chars[start..self.i].iter().collect();
+        self.record_allow(&text, line);
+    }
+
+    fn block_comment(&mut self) {
+        let line = self.line;
+        let start = self.i;
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+        let text: String = self.chars[start..self.i].iter().collect();
+        self.record_allow(&text, line);
+    }
+
+    fn record_allow(&mut self, text: &str, line: usize) {
+        // Doc comments (`///`, `//!`, `/**`, `/*!`) *describe* the marker
+        // syntax (this crate's own docs do); only plain comments direct
+        // the scanner.
+        if text.starts_with("///")
+            || text.starts_with("//!")
+            || text.starts_with("/**")
+            || text.starts_with("/*!")
+        {
+            return;
+        }
+        let Some(pos) = text.find("ad-lint:") else {
+            return;
+        };
+        let rest = &text[pos + "ad-lint:".len()..];
+        let Some(open) = rest.find("allow(") else {
+            return;
+        };
+        let Some(close) = rest[open..].find(')') else {
+            return;
+        };
+        for rule in rest[open + "allow(".len()..open + close].split(',') {
+            self.allows
+                .entry(line)
+                .or_default()
+                .push(rule.trim().to_string());
+        }
+    }
+
+    /// `'` starts either a lifetime (`'a`) or a char literal (`'a'`,
+    /// `'\n'`). A char literal closes with a `'`; a lifetime is a tick
+    /// followed by an identifier with *no* closing quote.
+    fn tick(&mut self) {
+        let line = self.line;
+        self.bump(); // the tick
+        if self.peek(0) == Some('\\') {
+            // Escaped char literal: consume to the closing quote.
+            self.bump();
+            while let Some(c) = self.bump() {
+                if c == '\'' {
+                    break;
+                }
+            }
+            self.toks.push((Tok::Literal, line));
+            return;
+        }
+        // A single non-identifier character closed by a quote: `'"'`,
+        // `','`, `'{'` — a char literal (never a lifetime). Missing this
+        // leaves the `"` of `'"'` to open a phantom string and desync
+        // string-mode for the rest of the file.
+        if self.peek(0).is_some_and(|c| !(c.is_alphanumeric() || c == '_'))
+            && self.peek(1) == Some('\'')
+        {
+            self.bump();
+            self.bump();
+            self.toks.push((Tok::Literal, line));
+            return;
+        }
+        // Collect an identifier-shaped run after the tick.
+        let start = self.i;
+        while self.peek(0).is_some_and(|c| c.is_alphanumeric() || c == '_') {
+            self.bump();
+        }
+        let name: String = self.chars[start..self.i].iter().collect();
+        if self.peek(0) == Some('\'') {
+            // `'x'` — a char literal (the run between quotes is one char,
+            // but we do not need to validate that).
+            self.bump();
+            self.toks.push((Tok::Literal, line));
+        } else if name.is_empty() {
+            // A bare tick (macro-ish input); keep it as punctuation.
+            self.toks.push((Tok::Punct('\''), line));
+        } else {
+            self.toks.push((Tok::Lifetime(name), line));
+        }
+    }
+
+    /// Consume a `"`-opened string body (the opening quote is already
+    /// consumed), honoring escapes.
+    fn string_body(&mut self) {
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+    }
+
+    /// Consume a raw-string body after the prefix: `#…#"` with `hashes`
+    /// leading hash characters already counted and consumed, and the
+    /// opening quote consumed too. Ends at `"` followed by `hashes`
+    /// hashes.
+    fn raw_string_body(&mut self, hashes: usize) {
+        while let Some(c) = self.bump() {
+            if c == '"' {
+                let mut k = 0;
+                while k < hashes && self.peek(k) == Some('#') {
+                    k += 1;
+                }
+                if k == hashes {
+                    for _ in 0..hashes {
+                        self.bump();
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    /// An identifier-start character: an identifier, a keyword, a raw
+    /// identifier (`r#name`), or a prefixed literal (`r"…"`, `b"…"`,
+    /// `br#"…"#`, `b'x'`, `c"…"`).
+    fn ident_or_prefixed_literal(&mut self) {
+        let line = self.line;
+        let start = self.i;
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.bump();
+        }
+        let word: String = self.chars[start..self.i].iter().collect();
+
+        // Prefixed string/char literals: the identifier run is exactly the
+        // prefix and the next char opens the literal.
+        match self.peek(0) {
+            Some('"') if matches!(word.as_str(), "r" | "b" | "br" | "c" | "cr") => {
+                self.bump();
+                if word.starts_with('r') || word.ends_with('r') {
+                    self.raw_string_body(0);
+                } else {
+                    self.string_body();
+                }
+                self.toks.push((Tok::Literal, line));
+                return;
+            }
+            Some('#') if matches!(word.as_str(), "r" | "br" | "cr") => {
+                // Possible raw string with hashes — or a raw identifier
+                // (`r#name`). Look past the hashes.
+                let mut hashes = 0usize;
+                while self.peek(hashes) == Some('#') {
+                    hashes += 1;
+                }
+                if self.peek(hashes) == Some('"') {
+                    for _ in 0..=hashes {
+                        self.bump(); // hashes + opening quote
+                    }
+                    self.raw_string_body(hashes);
+                    self.toks.push((Tok::Literal, line));
+                    return;
+                }
+                if word == "r" && hashes == 1 && self.peek(1).is_some_and(is_ident_start) {
+                    // Raw identifier: `r#` then an identifier.
+                    self.bump(); // '#'
+                    let istart = self.i;
+                    while self.peek(0).is_some_and(is_ident_continue) {
+                        self.bump();
+                    }
+                    let name: String = self.chars[istart..self.i].iter().collect();
+                    self.toks.push((Tok::Ident { name, raw: true }, line));
+                    return;
+                }
+                // Fall through: `r` (or `br`) is a plain identifier and the
+                // `#` will lex as punctuation on the next iteration.
+            }
+            Some('\'') if word == "b" => {
+                // Byte literal b'x' / b'\n'. Distinguish from `b 'label`
+                // (lifetime after an ident is always preceded by `<` or
+                // `&`, never a bare ident) — in practice `b'` is a byte
+                // literal.
+                self.bump(); // tick
+                if self.peek(0) == Some('\\') {
+                    self.bump();
+                }
+                while let Some(c) = self.bump() {
+                    if c == '\'' {
+                        break;
+                    }
+                }
+                self.toks.push((Tok::Literal, line));
+                return;
+            }
+            _ => {}
+        }
+        self.toks.push((Tok::Ident { name: word, raw: false }, line));
+    }
+
+    /// A numeric literal: digits, underscores, `.` fractions, exponents,
+    /// radix prefixes, and type suffixes — all reduced to one token.
+    fn number(&mut self) {
+        let line = self.line;
+        // Radix prefix?
+        if self.peek(0) == Some('0') && matches!(self.peek(1), Some('x' | 'o' | 'b')) {
+            self.bump();
+            self.bump();
+            while self
+                .peek(0)
+                .is_some_and(|c| c.is_ascii_hexdigit() || c == '_')
+            {
+                self.bump();
+            }
+        } else {
+            while self.peek(0).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+                self.bump();
+            }
+            // Fraction — but not `1.method()` or `1..2`.
+            if self.peek(0) == Some('.') && self.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+                self.bump();
+                while self.peek(0).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+                    self.bump();
+                }
+            }
+            // Exponent.
+            if matches!(self.peek(0), Some('e' | 'E'))
+                && (self.peek(1).is_some_and(|c| c.is_ascii_digit())
+                    || (matches!(self.peek(1), Some('+' | '-'))
+                        && self.peek(2).is_some_and(|c| c.is_ascii_digit())))
+            {
+                self.bump();
+                if matches!(self.peek(0), Some('+' | '-')) {
+                    self.bump();
+                }
+                while self.peek(0).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+                    self.bump();
+                }
+            }
+        }
+        // Type suffix (`u64`, `f32`, `usize`): an identifier run glued on.
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.bump();
+        }
+        self.toks.push((Tok::Literal, line));
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .iter()
+            .filter_map(|(t, _)| t.ident().map(str::to_string))
+            .collect()
+    }
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).toks.into_iter().map(|(t, _)| t).collect()
+    }
+
+    #[test]
+    fn raw_identifier_is_one_token_with_the_bare_name() {
+        let l = lex("let r#tx = 1; r#tx.send();");
+        let raws: Vec<_> = l
+            .toks
+            .iter()
+            .filter(|(t, _)| matches!(t, Tok::Ident { raw: true, .. }))
+            .collect();
+        assert_eq!(raws.len(), 2);
+        assert!(raws.iter().all(|(t, _)| t.ident() == Some("tx")));
+        // The v1 failure mode: no phantom separate `r` identifier.
+        assert!(!names("r#tx").contains(&"r".to_string()));
+    }
+
+    #[test]
+    fn raw_strings_do_not_swallow_code() {
+        // After the raw string closes, `tx` is a real token again.
+        let l = lex(r##"let s = r#"tx in a string"#; tx.read();"##);
+        let names: Vec<_> = l.toks.iter().filter_map(|(t, _)| t.ident()).collect();
+        assert_eq!(names, vec!["let", "s", "tx", "read"]);
+    }
+
+    #[test]
+    fn raw_string_with_zero_hashes() {
+        assert_eq!(names(r#"r"no tx here" after"#), vec!["after"]);
+    }
+
+    #[test]
+    fn byte_and_c_strings_are_literals() {
+        assert_eq!(names(r##"b"tx" br#"tx"# c"tx" done"##), vec!["done"]);
+    }
+
+    #[test]
+    fn byte_char_and_char_literals() {
+        assert_eq!(names(r"b'x' 'y' '\n' rest"), vec!["rest"]);
+    }
+
+    #[test]
+    fn non_identifier_char_literals_do_not_desync_string_mode() {
+        // `'"'` must lex as one Literal; if its quote leaks, the lexer
+        // flips into string mode and swallows the rest of the file.
+        assert_eq!(names("let q = '\"'; after();"), vec!["let", "q", "after"]);
+        assert_eq!(names("'{' '}' ',' '(' rest"), vec!["rest"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = kinds("&'a tx<'static>");
+        assert!(toks.contains(&Tok::Lifetime("a".into())));
+        assert!(toks.contains(&Tok::Lifetime("static".into())));
+        assert!(toks.iter().any(|t| t.ident() == Some("tx")));
+        assert!(!toks.contains(&Tok::Literal));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        assert_eq!(names("/* outer /* tx */ still comment */ code"), vec!["code"]);
+    }
+
+    #[test]
+    fn numeric_literals_are_single_tokens() {
+        for src in ["1_000u64", "0xFF_u8", "1.5e-3", "0b1010", "1.0f32", "7."] {
+            let toks = kinds(src);
+            // `7.` lexes as Literal + Punct('.'), everything else as one
+            // Literal; none of them leak identifier fragments like `u64`.
+            assert!(
+                toks.iter()
+                    .all(|t| matches!(t, Tok::Literal | Tok::Punct('.'))),
+                "{src}: {toks:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn allow_markers_collected_with_lines() {
+        let l = lex("let a = 1;\n// ad-lint: allow(rule-x, rule-y)\nlet b = 2;");
+        assert_eq!(
+            l.allows.get(&2),
+            Some(&vec!["rule-x".to_string(), "rule-y".to_string()])
+        );
+        assert!(l.allowed(2, "rule-x"));
+        assert!(l.allowed(3, "rule-y"), "previous-line marker applies");
+        assert!(!l.allowed(1, "rule-x"));
+    }
+
+    #[test]
+    fn doc_comments_do_not_carry_allow_markers() {
+        // Docs *describing* the marker syntax must not suppress findings
+        // (or trip `--check-allows` on placeholder rule names).
+        let l = lex("/// ad-lint: allow(all)\n//! ad-lint: allow(all)\nx();");
+        assert!(l.allows.is_empty(), "{:?}", l.allows);
+        let l = lex("/*! ad-lint: allow(all) */ x();");
+        assert!(l.allows.is_empty());
+    }
+
+    #[test]
+    fn block_comment_allow_marker_keyed_to_start_line() {
+        let l = lex("/* ad-lint: allow(all) */ x();");
+        assert!(l.allowed(1, "anything"));
+    }
+
+    #[test]
+    fn strings_and_comments_hide_identifiers() {
+        assert_eq!(
+            names("// atomically(|tx| v.load())\nlet s = \"Ordering::SeqCst\";"),
+            vec!["let", "s"]
+        );
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_tokens() {
+        let l = lex("a\n\"two\nline string\"\nb");
+        let b = l.toks.iter().find(|(t, _)| t.ident() == Some("b")).unwrap();
+        assert_eq!(b.1, 4);
+    }
+
+    #[test]
+    fn shebang_free_punct_passthrough() {
+        let toks = kinds("#[cfg(test)]");
+        assert!(toks.contains(&Tok::Punct('#')));
+        assert!(toks.iter().any(|t| t.ident() == Some("cfg")));
+    }
+}

@@ -1,35 +1,50 @@
-//! # ad-lint — a lexical TM-contract checker for this workspace
+//! # ad-lint — a token-tree TM-contract checker for this workspace
 //!
 //! The atomic-deferral API has contracts the Rust type system cannot see
-//! (paper §4; DESIGN.md §7.1, VERIFICATION.md):
+//! (paper §4; DESIGN.md §7.1, §9, §10; VERIFICATION.md):
 //!
 //! * Inside an `atomically`/`synchronized` closure, shared state must be
 //!   accessed through the transaction (`tx.read`/`tx.write` or subscribing
-//!   accessors), never through the non-transactional escape hatches —
-//!   `TVar::load()`/`TVar::store(v)`, `update_locked`,
-//!   `peek_unsynchronized`. Those compile fine and even work most of the
-//!   time; they silently break opacity/serializability.
-//! * A deferred operation runs *after* its transaction commits: capturing
-//!   the `Tx` (or reading through it) inside the deferred closure is
-//!   nonsensical and, were it expressible, unsound. (The borrow checker
-//!   stops most of this; the lint catches the lexical shapes that sneak
-//!   through via raw identifiers, e.g. a cloned handle named `tx`.)
+//!   accessors), never through the non-transactional escape hatches.
+//! * An `atomically` closure may re-execute on conflict: blocking calls
+//!   (fsync, socket writes, lock acquisition, channel receives, sleeps)
+//!   belong in deferred ops or `synchronized` sections, not in the
+//!   retryable path.
+//! * A deferred operation runs *after* its transaction commits: it must
+//!   not capture the `Tx`, must be `Send`-shaped (pool execution), must
+//!   not panic (a panicking op poisons its whole batch), and must not
+//!   wait on other deferred work (single-worker self-deadlock).
+//! * Deferrals must be registered before the transaction's first write
+//!   (defer-before-first-write, the ordering the KV commit protocol
+//!   relies on).
 //! * `Ordering::SeqCst` and raw `std::sync::atomic` are reserved for the
-//!   fence-disciplined core (`snapshot.rs`, `registry.rs`, `clock.rs`) and
-//!   the `ad-support` facade/model layer. Everywhere else, atomics must go
-//!   through `ad_support::sync::atomic` (so loom models see them) with the
-//!   weakest ordering that is argued correct — stray `SeqCst` usually
-//!   marks an unanalyzed protocol.
+//!   fence-disciplined core and the `ad-support` facade/model layer.
 //!
-//! The checker is deliberately **lexical**: a hand-rolled scanner over the
-//! token stream (comments and string literals stripped), no `syn`, no
-//! dependencies — this workspace builds offline. That costs precision at
-//! the margins (macro-generated code is invisible; a local variable named
-//! `tx` inside a deferred closure is flagged even if it is not a `Tx`),
-//! which is the right trade for a CI tripwire: cheap, deterministic, and
-//! every intentional exception is visible in the diff as an
-//! `// ad-lint: allow(<rule>)` marker on the offending (or preceding)
-//! line.
+//! Since v2 the checker is a real (still dependency-free) static-analysis
+//! pass instead of a flat lexical scan:
+//!
+//! 1. [`lexer`] — a hand-rolled Rust lexer: raw identifiers (`r#tx` is
+//!    one token named `tx`), raw/byte/C strings with any hash count,
+//!    lifetimes vs. char literals, nested block comments, numeric
+//!    literals; comments carry the `ad-lint: allow(...)` markers.
+//! 2. [`tree`] — brace matching into a token tree, so argument lists,
+//!    bodies, and macro invocations are nodes, not paren-depth counters.
+//! 3. `scope` (private) — the analysis walk: transactional *regions* (atomic
+//!    closure vs. deferred closure vs. plain code), lexical scopes with
+//!    *bindings* (the `tx` param of `atomically(|tx| ...)` is the
+//!    transaction; `let tx = channel.tx()` is not), descent into macro
+//!    invocation bodies, and one level of dataflow (`let op = move ||
+//!    ...;` passed by name to `atomic_defer*` is re-walked as a deferred
+//!    closure).
+//! 4. [`rules`] — the nine rules, each bound to the region it polices.
+//!
+//! What is still out of scope: type inference (a `Tx` smuggled through a
+//! struct field is invisible), macro *expansion* (a macro that itself
+//! wraps `atomically` does not open a region), and `match`/`if let`
+//! pattern bindings. Every intentional exception in the workspace is
+//! visible in the diff as an `// ad-lint: allow(<rule>)` marker on the
+//! offending (or preceding) line; `--check-allows` rejects markers that
+//! name rules that do not exist.
 //!
 //! Test code (`#[cfg(test)]`-gated items, `#[test]` functions, `tests/`
 //! and `fixtures/` directories) is skipped: tests routinely use the
@@ -38,48 +53,21 @@
 
 #![forbid(unsafe_code)]
 
-use std::collections::HashMap;
 use std::fmt;
 use std::path::Path;
 
-/// Rule: non-transactional accessor lexically inside an
-/// `atomically`/`synchronized` closure (outside any deferred-op closure,
-/// where direct access under the held lock is the point).
-pub const RULE_DIRECT_ACCESS: &str = "direct-access-in-atomic";
-/// Rule: the deferred closure of an `atomic_defer*` call mentions `tx`/`Tx`.
-pub const RULE_DEFER_CAPTURES_TX: &str = "defer-captures-tx";
-/// Rule: the deferred closure of an `atomic_defer*` call mentions a
-/// non-`Send` shape — `Rc`, `RefCell`, or a raw-pointer type. Deferred
-/// operations may run on a pool worker thread (`DeferExecCfg::Pool`); the
-/// `Send` bound catches direct captures, but `unsafe impl Send` wrappers
-/// and pointer laundering compile fine — the lint keeps the contract
-/// visible lexically either way.
-pub const RULE_NON_SEND_CAPTURE: &str = "non-send-capture";
-/// Rule: `Ordering::SeqCst` outside the fence-disciplined allowlist.
-pub const RULE_SEQCST: &str = "seqcst-outside-allowlist";
-/// Rule: raw `std::sync::atomic` outside the allowlist (use the
-/// `ad_support::sync::atomic` facade so loom models instrument the access).
-pub const RULE_RAW_ATOMIC: &str = "raw-atomic";
+pub mod lexer;
+pub mod protocol;
+pub mod rules;
+pub mod tree;
 
-/// Files (path-suffix/substring match, `/`-normalized) where `SeqCst` and
-/// raw `std::sync::atomic` are part of the audited fence discipline:
-/// the epoch-reclamation core, the registry and clock protocols, the
-/// `ad-support` facade/model layer itself, and the `verify` model suites
-/// (compiled only under `--cfg loom` test builds).
-///
-/// `tsc.rs` (the calibrated TSC-coarse timestamp source, OBSERVABILITY.md)
-/// is listed explicitly even though the blanket `crates/support/` entry
-/// covers it: its raw `rdtsc`/counter reads and `SeqCst` calibration
-/// stores are audited as a unit, and the entry must survive any future
-/// narrowing of the blanket.
-const ATOMICS_ALLOWLIST: &[&str] = &[
-    "crates/support/",
-    "crates/support/src/tsc.rs",
-    "crates/stm/src/snapshot.rs",
-    "crates/stm/src/registry.rs",
-    "crates/stm/src/clock.rs",
-    "src/verify",
-];
+mod scope;
+
+pub use rules::{
+    ALL_RULES, RULE_BLOCKING_IN_ATOMIC, RULE_DEFER_AFTER_WRITE, RULE_DEFER_CAPTURES_TX,
+    RULE_DEFER_WAITS, RULE_DIRECT_ACCESS, RULE_NON_SEND_CAPTURE, RULE_PANIC_IN_DEFERRED,
+    RULE_RAW_ATOMIC, RULE_SEQCST,
+};
 
 /// One violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -92,6 +80,9 @@ pub struct Finding {
     pub rule: &'static str,
     /// Human-readable explanation.
     pub message: String,
+    /// The offending source line, trimmed — carried into `--json` output
+    /// so CI artifacts are reviewable without checking out the tree.
+    pub snippet: String,
 }
 
 impl fmt::Display for Finding {
@@ -104,518 +95,55 @@ impl fmt::Display for Finding {
     }
 }
 
-// ---------------------------------------------------------------------------
-// Phase A: strip comments and literals, collect allow-markers
-// ---------------------------------------------------------------------------
+impl Finding {
+    /// One JSON object (`{"file":..,"line":..,"rule":..,"message":..,
+    /// "snippet":..}`) — hand-rolled, the workspace builds offline.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"file\":{},\"line\":{},\"rule\":{},\"message\":{},\"snippet\":{}}}",
+            json_str(&self.file),
+            self.line,
+            json_str(self.rule),
+            json_str(&self.message),
+            json_str(&self.snippet),
+        )
+    }
+}
 
-/// Replace comments, string literals, and char literals with spaces
-/// (newlines preserved, so token line numbers survive), and collect
-/// `ad-lint: allow(rule, ...)` markers found in comments, keyed by line.
-fn preprocess(src: &str) -> (String, HashMap<usize, Vec<String>>) {
-    let bytes: Vec<char> = src.chars().collect();
-    let mut out = String::with_capacity(src.len());
-    let mut allows: HashMap<usize, Vec<String>> = HashMap::new();
-    let mut line = 1usize;
-    let mut i = 0usize;
+/// Render findings as a JSON array (pretty enough for an artifact: one
+/// object per line).
+pub fn findings_to_json(findings: &[Finding]) -> String {
+    let mut out = String::from("[");
+    for (i, f) in findings.iter().enumerate() {
+        out.push_str(if i == 0 { "\n  " } else { ",\n  " });
+        out.push_str(&f.to_json());
+    }
+    out.push_str(if findings.is_empty() { "]" } else { "\n]" });
+    out
+}
 
-    let record_comment = |text: &str, line: usize, allows: &mut HashMap<usize, Vec<String>>| {
-        if let Some(pos) = text.find("ad-lint:") {
-            let rest = &text[pos + "ad-lint:".len()..];
-            if let Some(open) = rest.find("allow(") {
-                if let Some(close) = rest[open..].find(')') {
-                    for rule in rest[open + "allow(".len()..open + close].split(',') {
-                        allows
-                            .entry(line)
-                            .or_default()
-                            .push(rule.trim().to_string());
-                    }
-                }
-            }
-        }
-    };
-
-    while i < bytes.len() {
-        let c = bytes[i];
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
         match c {
-            '\n' => {
-                out.push('\n');
-                line += 1;
-                i += 1;
-            }
-            '/' if i + 1 < bytes.len() && bytes[i + 1] == '/' => {
-                let start = i;
-                while i < bytes.len() && bytes[i] != '\n' {
-                    out.push(' ');
-                    i += 1;
-                }
-                let text: String = bytes[start..i].iter().collect();
-                record_comment(&text, line, &mut allows);
-            }
-            '/' if i + 1 < bytes.len() && bytes[i + 1] == '*' => {
-                let start_line = line;
-                let start = i;
-                i += 2;
-                out.push_str("  ");
-                let mut depth = 1;
-                while i < bytes.len() && depth > 0 {
-                    if bytes[i] == '/' && i + 1 < bytes.len() && bytes[i + 1] == '*' {
-                        depth += 1;
-                        out.push_str("  ");
-                        i += 2;
-                    } else if bytes[i] == '*' && i + 1 < bytes.len() && bytes[i + 1] == '/' {
-                        depth -= 1;
-                        out.push_str("  ");
-                        i += 2;
-                    } else if bytes[i] == '\n' {
-                        out.push('\n');
-                        line += 1;
-                        i += 1;
-                    } else {
-                        out.push(' ');
-                        i += 1;
-                    }
-                }
-                let text: String = bytes[start..i].iter().collect();
-                record_comment(&text, start_line, &mut allows);
-            }
-            '"' => {
-                out.push(' ');
-                i += 1;
-                while i < bytes.len() {
-                    match bytes[i] {
-                        '\\' if i + 1 < bytes.len() => {
-                            out.push_str("  ");
-                            i += 2;
-                        }
-                        '"' => {
-                            out.push(' ');
-                            i += 1;
-                            break;
-                        }
-                        '\n' => {
-                            out.push('\n');
-                            line += 1;
-                            i += 1;
-                        }
-                        _ => {
-                            out.push(' ');
-                            i += 1;
-                        }
-                    }
-                }
-            }
-            'r' if i + 1 < bytes.len() && (bytes[i + 1] == '"' || bytes[i + 1] == '#') => {
-                // Raw string literal r"..." / r#"..."# (any hash count).
-                let mut j = i + 1;
-                let mut hashes = 0;
-                while j < bytes.len() && bytes[j] == '#' {
-                    hashes += 1;
-                    j += 1;
-                }
-                if j < bytes.len() && bytes[j] == '"' {
-                    out.push(' ');
-                    for _ in i + 1..=j {
-                        out.push(' ');
-                    }
-                    i = j + 1;
-                    // Scan for `"` followed by `hashes` hash marks.
-                    'raw: while i < bytes.len() {
-                        if bytes[i] == '"' {
-                            let mut k = 0;
-                            while k < hashes && i + 1 + k < bytes.len() && bytes[i + 1 + k] == '#' {
-                                k += 1;
-                            }
-                            if k == hashes {
-                                for _ in 0..=hashes {
-                                    out.push(' ');
-                                }
-                                i += 1 + hashes;
-                                break 'raw;
-                            }
-                        }
-                        if bytes[i] == '\n' {
-                            out.push('\n');
-                            line += 1;
-                        } else {
-                            out.push(' ');
-                        }
-                        i += 1;
-                    }
-                } else {
-                    // `r` not starting a raw string (e.g. an identifier).
-                    out.push(c);
-                    i += 1;
-                }
-            }
-            '\'' => {
-                // Char literal vs. lifetime: a literal closes with `'`
-                // within a few chars; a lifetime has no closing quote.
-                let close = if i + 2 < bytes.len() && bytes[i + 1] == '\\' {
-                    // Escaped char: find the next quote (bounded).
-                    (i + 2..bytes.len().min(i + 8)).find(|&j| bytes[j] == '\'')
-                } else if i + 2 < bytes.len() && bytes[i + 2] == '\'' {
-                    Some(i + 2)
-                } else {
-                    None
-                };
-                match close {
-                    Some(end) => {
-                        for _ in i..=end {
-                            out.push(' ');
-                        }
-                        i = end + 1;
-                    }
-                    None => {
-                        // Lifetime: keep the tick so `'a` never merges
-                        // surrounding tokens, drop into normal handling.
-                        out.push(' ');
-                        i += 1;
-                    }
-                }
-            }
-            _ => {
-                out.push(c);
-                i += 1;
-            }
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
         }
     }
-    (out, allows)
-}
-
-// ---------------------------------------------------------------------------
-// Phase B: lex into identifiers and punctuation
-// ---------------------------------------------------------------------------
-
-#[derive(Debug, Clone, PartialEq, Eq)]
-enum Tok {
-    Ident(String),
-    P(char),
-}
-
-fn lex(code: &str) -> Vec<(Tok, usize)> {
-    let mut toks = Vec::new();
-    let mut line = 1usize;
-    let mut it = code.chars().peekable();
-    while let Some(&c) = it.peek() {
-        if c == '\n' {
-            line += 1;
-            it.next();
-        } else if c.is_whitespace() {
-            it.next();
-        } else if c.is_alphanumeric() || c == '_' {
-            let mut s = String::new();
-            while let Some(&d) = it.peek() {
-                if d.is_alphanumeric() || d == '_' {
-                    s.push(d);
-                    it.next();
-                } else {
-                    break;
-                }
-            }
-            toks.push((Tok::Ident(s), line));
-        } else {
-            toks.push((Tok::P(c), line));
-            it.next();
-        }
-    }
-    toks
-}
-
-// ---------------------------------------------------------------------------
-// Phase C: region-tracking scan
-// ---------------------------------------------------------------------------
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum RegionKind {
-    /// Inside the parens of an `atomically(...)`/`synchronized(...)` call.
-    Atomic,
-    /// Inside an `atomic_defer*` call, before its deferred-closure argument.
-    DeferCall,
-    /// Inside the deferred-closure argument of an `atomic_defer*` call.
-    DeferOp,
-}
-
-struct Region {
-    kind: RegionKind,
-    /// Paren depth inside the call's argument list.
-    entry: usize,
-    /// For `DeferCall`: top-level commas seen / commas before the closure.
-    commas: usize,
-    threshold: usize,
-}
-
-fn ident(t: &Tok) -> Option<&str> {
-    match t {
-        Tok::Ident(s) => Some(s.as_str()),
-        Tok::P(_) => None,
-    }
-}
-
-fn is_p(t: &Tok, c: char) -> bool {
-    matches!(t, Tok::P(p) if *p == c)
+    out.push('"');
+    out
 }
 
 /// Scan one file's source. `file` is used for reporting and for the
 /// atomics allowlist (match on `/`-normalized substrings).
 pub fn scan_source(file: &str, src: &str) -> Vec<Finding> {
-    let (code, allows) = preprocess(src);
-    let toks = lex(&code);
-    let atomics_allowed = ATOMICS_ALLOWLIST.iter().any(|p| file.contains(p));
-
-    let mut findings: Vec<Finding> = Vec::new();
-    let mut regions: Vec<Region> = Vec::new();
-    let mut paren_depth = 0usize;
-    let mut brace_depth = 0usize;
-    let mut pending_test = false;
-    let mut test_skip_depth: Option<usize> = None;
-
-    let allowed = |allows: &HashMap<usize, Vec<String>>, line: usize, rule: &str| {
-        [line, line.saturating_sub(1)].iter().any(|l| {
-            allows
-                .get(l)
-                .is_some_and(|rs| rs.iter().any(|r| r == rule || r == "all"))
-        })
-    };
-    let push = |findings: &mut Vec<Finding>, line: usize, rule: &'static str, msg: String| {
-        if !allowed(&allows, line, rule) {
-            findings.push(Finding {
-                file: file.to_string(),
-                line,
-                rule,
-                message: msg,
-            });
-        }
-    };
-
-    let mut i = 0usize;
-    while i < toks.len() {
-        let (tok, line) = (&toks[i].0, toks[i].1);
-        let in_test = test_skip_depth.is_some();
-        match tok {
-            Tok::P('#') if i + 1 < toks.len() && is_p(&toks[i + 1].0, '[') => {
-                // Attribute: collect its tokens to the matching `]`.
-                let mut depth = 0usize;
-                let mut text = String::new();
-                let mut j = i + 1;
-                while j < toks.len() {
-                    match &toks[j].0 {
-                        Tok::P('[') => depth += 1,
-                        Tok::P(']') => {
-                            depth -= 1;
-                            if depth == 0 {
-                                break;
-                            }
-                        }
-                        Tok::Ident(s) => {
-                            text.push_str(s);
-                            text.push(' ');
-                        }
-                        Tok::P(c) => text.push(*c),
-                    }
-                    j += 1;
-                }
-                if !in_test && text.contains("test") && !text.contains("not(test") {
-                    pending_test = true;
-                }
-                i = j + 1;
-                continue;
-            }
-            Tok::P('{') => {
-                brace_depth += 1;
-                if pending_test && test_skip_depth.is_none() {
-                    test_skip_depth = Some(brace_depth);
-                    pending_test = false;
-                }
-            }
-            Tok::P('}') => {
-                if test_skip_depth == Some(brace_depth) {
-                    test_skip_depth = None;
-                }
-                brace_depth = brace_depth.saturating_sub(1);
-            }
-            Tok::P(';') if pending_test && test_skip_depth.is_none() && paren_depth == 0 => {
-                // `#[cfg(test)]` on a braceless item (e.g. a `use`).
-                pending_test = false;
-            }
-            Tok::P('(') => {
-                paren_depth += 1;
-                // Did an interesting identifier introduce this call?
-                if let Some(name) = i.checked_sub(1).and_then(|p| ident(&toks[p].0)) {
-                    let reg = match name {
-                        "atomically" | "synchronized" => Some((RegionKind::Atomic, 0)),
-                        "atomic_defer" | "atomic_defer_with_result" | "atomic_defer_tracked" => {
-                            Some((RegionKind::DeferCall, 2))
-                        }
-                        "atomic_defer_unordered" => Some((RegionKind::DeferCall, 1)),
-                        _ => None,
-                    };
-                    if let Some((kind, threshold)) = reg {
-                        regions.push(Region {
-                            kind,
-                            entry: paren_depth,
-                            commas: 0,
-                            threshold,
-                        });
-                    }
-                }
-            }
-            Tok::P(')') => {
-                if regions.last().is_some_and(|r| r.entry == paren_depth) {
-                    regions.pop();
-                }
-                paren_depth = paren_depth.saturating_sub(1);
-            }
-            Tok::P(',') => {
-                if let Some(r) = regions.last_mut() {
-                    if r.kind == RegionKind::DeferCall && r.entry == paren_depth {
-                        r.commas += 1;
-                        if r.commas >= r.threshold {
-                            r.kind = RegionKind::DeferOp;
-                        }
-                    }
-                }
-            }
-            Tok::P('.') if !in_test => {
-                // Method call `.name(`?
-                let name = toks.get(i + 1).and_then(|t| ident(&t.0));
-                let is_call = toks.get(i + 2).is_some_and(|t| is_p(&t.0, '('));
-                if let (Some(name), true) = (name, is_call) {
-                    let innermost = regions.last().map(|r| r.kind);
-                    if innermost == Some(RegionKind::Atomic) {
-                        let bad = match name {
-                            "load" => toks.get(i + 3).is_some_and(|t| is_p(&t.0, ')')),
-                            "store" => !call_args_mention(&toks, i + 2, "Ordering"),
-                            "update_locked" | "peek_unsynchronized" => true,
-                            _ => false,
-                        };
-                        if bad {
-                            push(
-                                &mut findings,
-                                line,
-                                RULE_DIRECT_ACCESS,
-                                format!(
-                                    "non-transactional accessor `.{name}(...)` inside an \
-                                     atomic closure; go through the transaction \
-                                     (tx.read/tx.write or a subscribing accessor)"
-                                ),
-                            );
-                        }
-                    }
-                }
-            }
-            Tok::P('*') if !in_test => {
-                // Raw-pointer type `*const T` / `*mut T` — `const`/`mut`
-                // after `*` cannot be an expression, so this is
-                // unambiguously a pointer type, which is never `Send`.
-                let innermost = regions.last().map(|r| r.kind);
-                let kw = toks.get(i + 1).and_then(|t| ident(&t.0));
-                if innermost == Some(RegionKind::DeferOp)
-                    && matches!(kw, Some("const") | Some("mut"))
-                {
-                    push(
-                        &mut findings,
-                        line,
-                        RULE_NON_SEND_CAPTURE,
-                        format!(
-                            "raw pointer type `*{} _` in a deferred closure: deferred \
-                             operations may run on a pool worker thread and their \
-                             captures must be Send; pass an owning handle (Arc) instead",
-                            kw.unwrap_or_default()
-                        ),
-                    );
-                }
-            }
-            Tok::Ident(s) if !in_test => {
-                let innermost = regions.last().map(|r| r.kind);
-                if innermost == Some(RegionKind::DeferOp) && (s == "Rc" || s == "RefCell") {
-                    push(
-                        &mut findings,
-                        line,
-                        RULE_NON_SEND_CAPTURE,
-                        format!(
-                            "deferred closure mentions `{s}`, which is not Send: deferred \
-                             operations may run on a pool worker thread; use Arc (and \
-                             Mutex/atomics for interior mutability) instead"
-                        ),
-                    );
-                }
-                if innermost == Some(RegionKind::DeferOp) && (s == "tx" || s == "Tx") {
-                    push(
-                        &mut findings,
-                        line,
-                        RULE_DEFER_CAPTURES_TX,
-                        "deferred closure mentions the transaction: deferred operations \
-                         run after commit and must not capture `Tx` (or anything read \
-                         through it)"
-                            .to_string(),
-                    );
-                }
-                if s == "SeqCst" && !atomics_allowed {
-                    push(
-                        &mut findings,
-                        line,
-                        RULE_SEQCST,
-                        "Ordering::SeqCst outside the fence-disciplined core; use the \
-                         weakest ordering that is argued correct, or move the protocol \
-                         into the audited allowlist"
-                            .to_string(),
-                    );
-                }
-                if (s == "std" || s == "core")
-                    && !atomics_allowed
-                    && path_follows(&toks, i, &["sync", "atomic"])
-                {
-                    push(
-                        &mut findings,
-                        line,
-                        RULE_RAW_ATOMIC,
-                        format!(
-                            "raw {s}::sync::atomic; use ad_support::sync::atomic so \
-                             loom models instrument the access"
-                        ),
-                    );
-                }
-            }
-            _ => {}
-        }
-        i += 1;
-    }
-    findings
-}
-
-/// Does the (balanced) argument list opening at `open` (index of `(`)
-/// mention `needle` as an identifier?
-fn call_args_mention(toks: &[(Tok, usize)], open: usize, needle: &str) -> bool {
-    let mut depth = 0usize;
-    for (t, _) in &toks[open..] {
-        match t {
-            Tok::P('(') => depth += 1,
-            Tok::P(')') => {
-                depth -= 1;
-                if depth == 0 {
-                    return false;
-                }
-            }
-            Tok::Ident(s) if s == needle => return true,
-            _ => {}
-        }
-    }
-    false
-}
-
-/// Is `toks[i]` followed by `::seg` for each segment in `path`?
-fn path_follows(toks: &[(Tok, usize)], i: usize, path: &[&str]) -> bool {
-    let mut j = i + 1;
-    for seg in path {
-        if !(toks.get(j).is_some_and(|t| is_p(&t.0, ':'))
-            && toks.get(j + 1).is_some_and(|t| is_p(&t.0, ':'))
-            && toks.get(j + 2).and_then(|t| ident(&t.0)) == Some(*seg))
-        {
-            return false;
-        }
-        j += 3;
-    }
-    true
+    scope::scan(file, src)
 }
 
 // ---------------------------------------------------------------------------
@@ -630,10 +158,79 @@ const SKIP_DIRS: &[&str] = &["target", ".git", "tests", "benches", "fixtures"];
 /// and return all findings, sorted by file and line.
 pub fn scan_tree(root: &Path) -> std::io::Result<Vec<Finding>> {
     let mut findings = Vec::new();
+    for_each_rs(root, SKIP_DIRS, &mut |path| {
+        let src = std::fs::read_to_string(path)?;
+        let file = path.to_string_lossy().replace('\\', "/");
+        findings.extend(scan_source(&file, &src));
+        Ok(())
+    })?;
+    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(findings)
+}
+
+/// An `ad-lint: allow(...)` marker naming a rule that does not exist —
+/// either a typo (the finding it meant to suppress is live) or a leftover
+/// from a removed rule. Both should fail CI.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StaleAllow {
+    /// `/`-normalized path.
+    pub file: String,
+    /// 1-based line of the marker comment.
+    pub line: usize,
+    /// The unknown rule name the marker used.
+    pub rule: String,
+}
+
+impl fmt::Display for StaleAllow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: allow marker names unknown rule `{}` (known: {})",
+            self.file,
+            self.line,
+            self.rule,
+            rules::ALL_RULES.join(", ")
+        )
+    }
+}
+
+/// Find stale allow markers under `root`. Unlike [`scan_tree`] this walks
+/// *everything* except build output and VCS state — a stale marker in a
+/// test or fixture is just as misleading as one in production code.
+pub fn check_allows_tree(root: &Path) -> std::io::Result<Vec<StaleAllow>> {
+    let mut stale = Vec::new();
+    for_each_rs(root, &["target", ".git"], &mut |path| {
+        let src = std::fs::read_to_string(path)?;
+        let file = path.to_string_lossy().replace('\\', "/");
+        let lexed = lexer::lex(&src);
+        let mut lines: Vec<_> = lexed.allows.iter().collect();
+        lines.sort();
+        for (line, rs) in lines {
+            for r in rs {
+                if r != "all" && !rules::ALL_RULES.contains(&r.as_str()) {
+                    stale.push(StaleAllow {
+                        file: file.clone(),
+                        line: *line,
+                        rule: r.clone(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    })?;
+    stale.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(stale)
+}
+
+fn for_each_rs(
+    root: &Path,
+    skip: &[&str],
+    f: &mut dyn FnMut(&Path) -> std::io::Result<()>,
+) -> std::io::Result<()> {
     let mut stack = vec![root.to_path_buf()];
     while let Some(dir) = stack.pop() {
         if dir.is_file() {
-            scan_file(&dir, &mut findings)?;
+            f(&dir)?;
             continue;
         }
         for entry in std::fs::read_dir(&dir)? {
@@ -642,22 +239,14 @@ pub fn scan_tree(root: &Path) -> std::io::Result<Vec<Finding>> {
             let name = entry.file_name();
             let name = name.to_string_lossy();
             if path.is_dir() {
-                if !SKIP_DIRS.contains(&name.as_ref()) {
+                if !skip.contains(&name.as_ref()) {
                     stack.push(path);
                 }
             } else if name.ends_with(".rs") {
-                scan_file(&path, &mut findings)?;
+                f(&path)?;
             }
         }
     }
-    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
-    Ok(findings)
-}
-
-fn scan_file(path: &Path, findings: &mut Vec<Finding>) -> std::io::Result<()> {
-    let src = std::fs::read_to_string(path)?;
-    let file = path.to_string_lossy().replace('\\', "/");
-    findings.extend(scan_source(&file, &src));
     Ok(())
 }
 
@@ -665,7 +254,7 @@ fn scan_file(path: &Path, findings: &mut Vec<Finding>) -> std::io::Result<()> {
 mod tests {
     use super::*;
 
-    fn rules(findings: &[Finding]) -> Vec<&'static str> {
+    fn rules_of(findings: &[Finding]) -> Vec<&'static str> {
         findings.iter().map(|f| f.rule).collect()
     }
 
@@ -681,9 +270,10 @@ mod tests {
             }
         "#;
         let f = scan_source("crates/demo/src/lib.rs", src);
-        assert_eq!(rules(&f), vec![RULE_DIRECT_ACCESS, RULE_DIRECT_ACCESS]);
+        assert_eq!(rules_of(&f), vec![RULE_DIRECT_ACCESS, RULE_DIRECT_ACCESS]);
         assert_eq!(f[0].line, 4);
         assert_eq!(f[1].line, 5);
+        assert_eq!(f[0].snippet, "let x = v.load();");
     }
 
     #[test]
@@ -696,7 +286,7 @@ mod tests {
         // The Ordering argument marks this as a (facade) atomic, not a
         // TVar accessor — a different contract, not this rule's business.
         let f = scan_source("crates/demo/src/lib.rs", src);
-        assert_eq!(rules(&f), Vec::<&str>::new());
+        assert_eq!(rules_of(&f), Vec::<&str>::new());
     }
 
     #[test]
@@ -710,7 +300,7 @@ mod tests {
             }
         ";
         let f = scan_source("crates/demo/src/lib.rs", src);
-        assert_eq!(rules(&f), vec![RULE_DIRECT_ACCESS, RULE_DIRECT_ACCESS]);
+        assert_eq!(rules_of(&f), vec![RULE_DIRECT_ACCESS, RULE_DIRECT_ACCESS]);
     }
 
     #[test]
@@ -729,7 +319,7 @@ mod tests {
         // Direct access *is* the point of a deferred op (the lock is held);
         // and the `tx` in argument position 1 is outside the closure.
         let f = scan_source("crates/demo/src/lib.rs", src);
-        assert_eq!(rules(&f), Vec::<&str>::new());
+        assert_eq!(rules_of(&f), Vec::<&str>::new());
     }
 
     #[test]
@@ -744,7 +334,7 @@ mod tests {
             }
         ";
         let f = scan_source("crates/demo/src/lib.rs", src);
-        assert_eq!(rules(&f), vec![RULE_DEFER_CAPTURES_TX]);
+        assert_eq!(rules_of(&f), vec![RULE_DEFER_CAPTURES_TX]);
         assert_eq!(f[0].line, 5);
     }
 
@@ -760,7 +350,7 @@ mod tests {
             }
         ";
         let f = scan_source("crates/demo/src/lib.rs", src);
-        assert_eq!(rules(&f), vec![RULE_DEFER_CAPTURES_TX]);
+        assert_eq!(rules_of(&f), vec![RULE_DEFER_CAPTURES_TX]);
     }
 
     #[test]
@@ -778,7 +368,7 @@ mod tests {
             }
         ";
         let f = scan_source("crates/demo/src/lib.rs", src);
-        assert_eq!(rules(&f), vec![RULE_NON_SEND_CAPTURE; 3]);
+        assert_eq!(rules_of(&f), vec![RULE_NON_SEND_CAPTURE; 3]);
         assert_eq!(f[0].line, 5);
     }
 
@@ -800,7 +390,7 @@ mod tests {
             }
         ";
         let f = scan_source("crates/demo/src/lib.rs", src);
-        assert_eq!(rules(&f), Vec::<&str>::new());
+        assert_eq!(rules_of(&f), Vec::<&str>::new());
     }
 
     #[test]
@@ -815,28 +405,28 @@ mod tests {
             }
         ";
         let f = scan_source("crates/demo/src/lib.rs", src);
-        assert_eq!(rules(&f), vec![RULE_DEFER_CAPTURES_TX]);
+        assert_eq!(rules_of(&f), vec![RULE_DEFER_CAPTURES_TX]);
     }
 
     #[test]
     fn seqcst_flagged_outside_allowlist_only() {
         let src = "fn f(a: AtomicU64) { a.load(Ordering::SeqCst); }";
         assert_eq!(
-            rules(&scan_source("crates/demo/src/lib.rs", src)),
+            rules_of(&scan_source("crates/demo/src/lib.rs", src)),
             vec![RULE_SEQCST]
         );
         assert_eq!(
-            rules(&scan_source("crates/stm/src/snapshot.rs", src)),
+            rules_of(&scan_source("crates/stm/src/snapshot.rs", src)),
             Vec::<&str>::new()
         );
         assert_eq!(
-            rules(&scan_source("crates/support/src/model.rs", src)),
+            rules_of(&scan_source("crates/support/src/model.rs", src)),
             Vec::<&str>::new()
         );
         // The audited TSC timestamp source (raw counter reads + SeqCst
         // calibration) has its own allowlist entry; keep it covered.
         assert_eq!(
-            rules(&scan_source("crates/support/src/tsc.rs", src)),
+            rules_of(&scan_source("crates/support/src/tsc.rs", src)),
             Vec::<&str>::new()
         );
     }
@@ -845,19 +435,16 @@ mod tests {
     fn raw_atomic_path_flagged_outside_allowlist_only() {
         let src = "use std::sync::atomic::AtomicU64;";
         assert_eq!(
-            rules(&scan_source("crates/stm/src/tx.rs", src)),
+            rules_of(&scan_source("crates/stm/src/tx.rs", src)),
             vec![RULE_RAW_ATOMIC]
         );
         assert_eq!(
-            rules(&scan_source("crates/support/src/sync.rs", src)),
+            rules_of(&scan_source("crates/support/src/sync.rs", src)),
             Vec::<&str>::new()
         );
         // Unrelated std paths are fine.
         assert_eq!(
-            rules(&scan_source(
-                "crates/stm/src/tx.rs",
-                "use std::sync::Arc;"
-            )),
+            rules_of(&scan_source("crates/stm/src/tx.rs", "use std::sync::Arc;")),
             Vec::<&str>::new()
         );
     }
@@ -873,7 +460,7 @@ mod tests {
             }
         ";
         let f = scan_source("crates/demo/src/lib.rs", src);
-        assert_eq!(rules(&f), vec![RULE_SEQCST]);
+        assert_eq!(rules_of(&f), vec![RULE_SEQCST]);
         assert_eq!(f[0].line, 6, "only the unannotated use survives");
     }
 
@@ -892,8 +479,22 @@ mod tests {
             }
         ";
         let f = scan_source("crates/demo/src/lib.rs", src);
-        assert_eq!(rules(&f), vec![RULE_DIRECT_ACCESS]);
+        assert_eq!(rules_of(&f), vec![RULE_DIRECT_ACCESS]);
         assert_eq!(f[0].line, 3, "only the production occurrence");
+    }
+
+    #[test]
+    fn cfg_not_test_items_are_scanned() {
+        // `not(test)` gates an item *out* of tests — that is production
+        // code and must be checked (the v1 text-matcher got this wrong).
+        let src = "
+            #[cfg(not(test))]
+            fn prod(v: TVar<u64>) {
+                atomically(|tx| { v.load(); Ok(()) });
+            }
+        ";
+        let f = scan_source("crates/demo/src/lib.rs", src);
+        assert_eq!(rules_of(&f), vec![RULE_DIRECT_ACCESS]);
     }
 
     #[test]
@@ -907,16 +508,17 @@ mod tests {
             }
         "##;
         assert_eq!(
-            rules(&scan_source("crates/demo/src/lib.rs", src)),
+            rules_of(&scan_source("crates/demo/src/lib.rs", src)),
             Vec::<&str>::new()
         );
     }
 
     #[test]
     fn nested_transaction_inside_deferred_op_is_checked_again() {
-        // A deferred op may legitimately run its own transactions; direct
-        // accessors inside *that* nested atomic closure are violations
-        // again.
+        // A deferred op that opens its own transaction is (a) a
+        // self-deadlock hazard on a single-worker pool — the new
+        // defer-waits-on-defer rule — and (b) once inside the nested
+        // atomic closure, the atomic rules apply again.
         let src = "
             fn f(o: Defer<Obj>, v: TVar<u64>) {
                 atomically(|tx| {
@@ -927,7 +529,9 @@ mod tests {
             }
         ";
         let f = scan_source("crates/demo/src/lib.rs", src);
-        assert_eq!(rules(&f), vec![RULE_DIRECT_ACCESS]);
+        assert_eq!(rules_of(&f), vec![RULE_DEFER_WAITS, RULE_DIRECT_ACCESS]);
+        assert_eq!(f[0].line, 5);
+        assert_eq!(f[1].line, 5);
     }
 
     #[test]
@@ -940,7 +544,227 @@ mod tests {
             fn prod() { let o = Ordering::SeqCst; }
         ";
         let f = scan_source("crates/demo/src/lib.rs", src);
-        assert_eq!(rules(&f), vec![RULE_SEQCST]);
+        assert_eq!(rules_of(&f), vec![RULE_SEQCST]);
         assert_eq!(f[0].line, 6);
+    }
+
+    // -- v2: the new rules -------------------------------------------------
+
+    #[test]
+    fn blocking_calls_in_atomically_are_flagged() {
+        let src = "
+            fn f(file: File, rt: &Runtime) {
+                rt.atomically(|tx| {
+                    file.sync_all();
+                    std::thread::sleep(d);
+                    Ok(())
+                });
+            }
+        ";
+        let f = scan_source("crates/demo/src/lib.rs", src);
+        assert_eq!(
+            rules_of(&f),
+            vec![RULE_BLOCKING_IN_ATOMIC, RULE_BLOCKING_IN_ATOMIC]
+        );
+    }
+
+    #[test]
+    fn tx_write_is_not_blocking_io() {
+        // `tx.write(...)` is the transactional write API; `w.write(...)`
+        // on anything else inside `atomically` is stream I/O.
+        let src = "
+            fn f(v: TVar<u64>, w: Socket) {
+                atomically(|tx| {
+                    tx.write(&v, 1)?;
+                    Ok(())
+                });
+                atomically(|tx| {
+                    w.write(buf);
+                    Ok(())
+                });
+            }
+        ";
+        let f = scan_source("crates/demo/src/lib.rs", src);
+        assert_eq!(rules_of(&f), vec![RULE_BLOCKING_IN_ATOMIC]);
+        assert_eq!(f[0].line, 8);
+    }
+
+    #[test]
+    fn synchronized_sections_may_block() {
+        // `synchronized` is irrevocable and serial — blocking I/O there is
+        // the documented pattern (iobench's Irrevocable arm).
+        let src = "
+            fn f(file: File) {
+                synchronized(|tx| {
+                    file.sync_all();
+                    Ok(())
+                });
+            }
+        ";
+        assert_eq!(
+            rules_of(&scan_source("crates/demo/src/lib.rs", src)),
+            Vec::<&str>::new()
+        );
+    }
+
+    #[test]
+    fn deferred_closures_may_block() {
+        let src = "
+            fn f(file: Arc<File>, v: TVar<u64>) {
+                atomically(|tx| {
+                    let f2 = file.clone();
+                    atomic_defer_unordered(tx, move || {
+                        f2.sync_all().ok();
+                    })
+                });
+            }
+        ";
+        assert_eq!(
+            rules_of(&scan_source("crates/demo/src/lib.rs", src)),
+            Vec::<&str>::new()
+        );
+    }
+
+    #[test]
+    fn defer_waiting_on_defer_is_flagged() {
+        let src = "
+            fn f(h: DeferHandle<u64>, store: Store) {
+                atomically(|tx| {
+                    atomic_defer_unordered(tx, move || {
+                        let _ = h.wait(&rt);
+                        store.sync();
+                    })
+                });
+            }
+        ";
+        let f = scan_source("crates/demo/src/lib.rs", src);
+        assert_eq!(rules_of(&f), vec![RULE_DEFER_WAITS, RULE_DEFER_WAITS]);
+    }
+
+    #[test]
+    fn panics_in_deferred_closures_are_flagged() {
+        let src = r#"
+            fn f(o: Defer<Obj>) {
+                atomically(|tx| {
+                    atomic_defer(tx, &[&o.clone()], move || {
+                        let x = fallible().unwrap();
+                        other().expect("boom");
+                        assert!(x > 0);
+                        panic!("bad");
+                    })
+                });
+            }
+        "#;
+        let f = scan_source("crates/demo/src/lib.rs", src);
+        assert_eq!(rules_of(&f), vec![RULE_PANIC_IN_DEFERRED; 4]);
+    }
+
+    #[test]
+    fn unwrap_or_variants_do_not_panic() {
+        let src = r#"
+            fn f(o: Defer<Obj>) {
+                atomically(|tx| {
+                    atomic_defer(tx, &[&o.clone()], move || {
+                        let x = fallible().unwrap_or(0);
+                        let y = other().unwrap_or_else(|_| 1);
+                        let z = third().expect_err;
+                        drop((x, y, z));
+                    })
+                });
+            }
+        "#;
+        assert_eq!(
+            rules_of(&scan_source("crates/demo/src/lib.rs", src)),
+            Vec::<&str>::new()
+        );
+    }
+
+    #[test]
+    fn defer_after_first_write_is_flagged() {
+        let src = "
+            fn f(o: Defer<Obj>, v: TVar<u64>) {
+                atomically(|tx| {
+                    tx.write(&v, 1)?;
+                    atomic_defer(tx, &[&o.clone()], move || { op(); })
+                });
+            }
+        ";
+        let f = scan_source("crates/demo/src/lib.rs", src);
+        assert_eq!(rules_of(&f), vec![RULE_DEFER_AFTER_WRITE]);
+        assert_eq!(f[0].line, 5);
+        assert!(f[0].message.contains("line 4"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn defer_before_first_write_is_the_blessed_order() {
+        let src = "
+            fn f(o: Defer<Obj>, v: TVar<u64>) {
+                atomically(|tx| {
+                    atomic_defer(tx, &[&o.clone()], move || { op(); });
+                    tx.write(&v, 1)?;
+                    Ok(())
+                });
+            }
+        ";
+        assert_eq!(
+            rules_of(&scan_source("crates/demo/src/lib.rs", src)),
+            Vec::<&str>::new()
+        );
+    }
+
+    #[test]
+    fn let_bound_closure_passed_by_name_is_a_deferred_region() {
+        // The KV store's batch path: the deferred closure is `let`-bound
+        // and passed by name — the dataflow re-walk must see through it.
+        let src = r#"
+            fn f(o: Defer<Obj>, v: TVar<u64>) {
+                atomically(|tx| {
+                    let op = move || {
+                        let _ = tx.read(&v);
+                    };
+                    atomic_defer(tx, &[&o.clone()], op)
+                });
+            }
+        "#;
+        let f = scan_source("crates/demo/src/lib.rs", src);
+        assert_eq!(rules_of(&f), vec![RULE_DEFER_CAPTURES_TX]);
+        assert_eq!(f[0].line, 5);
+    }
+
+    #[test]
+    fn json_output_is_escaped_and_structured() {
+        let f = Finding {
+            file: "a\\b.rs".into(),
+            line: 3,
+            rule: RULE_SEQCST,
+            message: "say \"no\"".into(),
+            snippet: "let x\t= 1;".into(),
+        };
+        assert_eq!(
+            f.to_json(),
+            r#"{"file":"a\\b.rs","line":3,"rule":"seqcst-outside-allowlist","message":"say \"no\"","snippet":"let x\t= 1;"}"#,
+        );
+        assert_eq!(findings_to_json(&[]), "[]");
+        let arr = findings_to_json(&[f]);
+        assert!(arr.starts_with("[\n  {") && arr.ends_with("}\n]"), "{arr}");
+    }
+
+    #[test]
+    fn stale_allow_detection_reports_unknown_rules() {
+        let dir = std::env::temp_dir().join(format!("ad-lint-allow-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.rs");
+        std::fs::write(
+            &path,
+            "// ad-lint: allow(seqcst-outside-allowlist)\nfn a() {}\n\
+             // ad-lint: allow(no-such-rule)\nfn b() {}\n\
+             // ad-lint: allow(all)\nfn c() {}\n",
+        )
+        .unwrap();
+        let stale = check_allows_tree(&dir).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(stale.len(), 1, "{stale:?}");
+        assert_eq!(stale[0].rule, "no-such-rule");
+        assert_eq!(stale[0].line, 3);
     }
 }

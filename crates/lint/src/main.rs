@@ -3,27 +3,56 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run -p ad-lint                 # scan the workspace
-//! cargo run -p ad-lint -- PATH...      # scan specific files/directories
+//! cargo run -p ad-lint                      # scan the workspace
+//! cargo run -p ad-lint -- PATH...           # scan specific files/dirs
+//! cargo run -p ad-lint -- --json            # findings as a JSON array
+//! cargo run -p ad-lint -- --protocol        # wire-spec drift subcheck
+//! cargo run -p ad-lint -- --check-allows    # stale allow-marker subcheck
 //! ```
 //!
-//! Exits non-zero if any finding survives its `ad-lint: allow(...)`
-//! markers. Run it from anywhere inside the workspace; with no arguments
-//! it scans the workspace root (two levels up from this crate).
+//! The default mode exits non-zero if any finding survives its
+//! `ad-lint: allow(...)` markers. Run it from anywhere inside the
+//! workspace; with no path arguments it scans the workspace root (two
+//! levels up from this crate). `--json` writes the array to stdout (CI
+//! uploads it as an artifact) and keeps the exit-code contract.
+//! `--protocol` and `--check-allows` run instead of the scan.
+//!
+//! Exit codes: 0 clean, 1 findings/drift/stale markers, 2 scan error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let args: Vec<PathBuf> = std::env::args_os().skip(1).map(PathBuf::from).collect();
-    let roots = if args.is_empty() {
-        let mut root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
-        root.pop(); // crates/
-        root.pop(); // workspace root
-        vec![root]
+    let mut json = false;
+    let mut protocol = false;
+    let mut check_allows = false;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for arg in std::env::args_os().skip(1) {
+        match arg.to_str() {
+            Some("--json") => json = true,
+            Some("--protocol") => protocol = true,
+            Some("--check-allows") => check_allows = true,
+            Some(s) if s.starts_with("--") => {
+                eprintln!("ad-lint: unknown flag {s}");
+                eprintln!("usage: ad-lint [--json | --protocol | --check-allows] [PATH...]");
+                return ExitCode::from(2);
+            }
+            _ => paths.push(PathBuf::from(arg)),
+        }
+    }
+
+    let roots = if paths.is_empty() {
+        vec![workspace_root()]
     } else {
-        args
+        paths
     };
+
+    if protocol {
+        return run_protocol();
+    }
+    if check_allows {
+        return run_check_allows(&roots);
+    }
 
     let mut findings = Vec::new();
     for root in &roots {
@@ -36,14 +65,74 @@ fn main() -> ExitCode {
         }
     }
 
-    for f in &findings {
-        println!("{f}");
+    if json {
+        println!("{}", ad_lint::findings_to_json(&findings));
+    } else {
+        for f in &findings {
+            println!("{f}");
+        }
     }
     if findings.is_empty() {
         eprintln!("ad-lint: clean");
         ExitCode::SUCCESS
     } else {
         eprintln!("ad-lint: {} finding(s)", findings.len());
+        ExitCode::FAILURE
+    }
+}
+
+fn workspace_root() -> PathBuf {
+    let mut root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    root.pop(); // crates/
+    root.pop(); // workspace root
+    root
+}
+
+/// `--protocol`: diff PROTOCOL.md's opcode/status tables against the
+/// consts in crates/net/src/proto.rs. Always anchored at the workspace
+/// root — the two artifacts have fixed locations.
+fn run_protocol() -> ExitCode {
+    match ad_lint::protocol::check(&workspace_root()) {
+        Ok(drift) if drift.is_empty() => {
+            eprintln!("ad-lint: protocol tables agree");
+            ExitCode::SUCCESS
+        }
+        Ok(drift) => {
+            for d in &drift {
+                println!("{d}");
+            }
+            eprintln!("ad-lint: {} wire-spec divergence(s)", drift.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("ad-lint: protocol check failed: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// `--check-allows`: every `ad-lint: allow(...)` marker must name a real
+/// rule (or `all`) — a typo'd marker silently suppresses nothing while
+/// looking like it suppresses something.
+fn run_check_allows(roots: &[PathBuf]) -> ExitCode {
+    let mut stale = Vec::new();
+    for root in roots {
+        match ad_lint::check_allows_tree(root) {
+            Ok(s) => stale.extend(s),
+            Err(e) => {
+                eprintln!("ad-lint: failed to scan {}: {e}", root.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if stale.is_empty() {
+        eprintln!("ad-lint: all allow markers name known rules");
+        ExitCode::SUCCESS
+    } else {
+        for s in &stale {
+            println!("{s}");
+        }
+        eprintln!("ad-lint: {} stale allow marker(s)", stale.len());
         ExitCode::FAILURE
     }
 }

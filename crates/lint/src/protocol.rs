@@ -1,0 +1,256 @@
+//! `--protocol` subcheck: wire-spec drift detection.
+//!
+//! PROTOCOL.md §4.1 (opcode table) and §5.1 (status table) are the
+//! normative wire spec; `crates/net/src/proto.rs` implements them as the
+//! `Opcode` enum discriminants and the `status` consts. The codec tests
+//! pin the *code*'s internal consistency, and `include_str!` pins doc
+//! drift at the byte level for the sections it covers — this check closes
+//! the remaining gap by parsing both artifacts and diffing name↔number
+//! assignments, so renumbering either side (or adding an opcode to one
+//! side only) fails CI with a message naming the divergence.
+
+use std::path::Path;
+
+/// Name ↔ number tables extracted from one artifact.
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct Tables {
+    /// Wire opcode names and codes, e.g. `("GET", 1)`.
+    pub opcodes: Vec<(String, u8)>,
+    /// Status codes and names, e.g. `(0, "OK")`.
+    pub statuses: Vec<(u8, String)>,
+}
+
+/// Parse the opcode/status tables out of PROTOCOL.md. A table row is
+/// `| cells |`-shaped; an opcode row has a backticked ALL-CAPS name in the
+/// first cell and an integer code in the second, a status row the
+/// reverse. Nothing else in the document matches either shape.
+pub fn parse_doc(md: &str) -> Tables {
+    let mut t = Tables::default();
+    for line in md.lines() {
+        let line = line.trim();
+        if !line.starts_with('|') {
+            continue;
+        }
+        let cells: Vec<&str> = line
+            .trim_matches('|')
+            .split('|')
+            .map(str::trim)
+            .collect();
+        if cells.len() < 2 {
+            continue;
+        }
+        if let (Some(name), Ok(code)) = (backticked_name(cells[0]), cells[1].parse::<u8>()) {
+            t.opcodes.push((name, code));
+            continue;
+        }
+        if let (Ok(code), Some(name)) = (cells[0].parse::<u8>(), backticked_name(cells[1])) {
+            t.statuses.push((code, name));
+        }
+    }
+    t
+}
+
+/// A `` `NAME` `` cell where NAME is ALL_CAPS (wire names are).
+fn backticked_name(cell: &str) -> Option<String> {
+    let inner = cell.strip_prefix('`')?.strip_suffix('`')?;
+    (!inner.is_empty()
+        && inner
+            .chars()
+            .all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_'))
+    .then(|| inner.to_string())
+}
+
+/// Parse the `Opcode` enum discriminants and the `status` consts out of
+/// proto.rs source. Deliberately line-oriented: the declarations' shape is
+/// itself pinned by the net crate's tests, and a parse miss here shows up
+/// as a missing entry — loud, not silent.
+pub fn parse_proto(rs: &str) -> Tables {
+    let mut t = Tables::default();
+    let mut in_enum = false;
+    for line in rs.lines() {
+        let line = line.trim();
+        if line.starts_with("pub enum Opcode") {
+            in_enum = true;
+            continue;
+        }
+        if in_enum {
+            if line.starts_with('}') {
+                in_enum = false;
+                continue;
+            }
+            // `Get = 1,`
+            if let Some((name, rest)) = line.split_once('=') {
+                let name = name.trim();
+                let code = rest.trim().trim_end_matches(',').parse::<u8>();
+                if let (true, Ok(code)) = (
+                    name.chars().all(char::is_alphanumeric) && !name.is_empty(),
+                    code,
+                ) {
+                    // The wire name is the uppercase of the variant
+                    // (`Opcode::name()` pins the same mapping in tests).
+                    t.opcodes.push((name.to_uppercase(), code));
+                }
+            }
+            continue;
+        }
+        // `pub const ERR_MALFORMED: u8 = 1;`
+        if let Some(rest) = line.strip_prefix("pub const ") {
+            if let Some((name, rest)) = rest.split_once(": u8 = ") {
+                let name = name.trim();
+                if let Ok(code) = rest.trim().trim_end_matches(';').parse::<u8>() {
+                    if name
+                        .chars()
+                        .all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_')
+                    {
+                        t.statuses.push((code, name.to_string()));
+                    }
+                }
+            }
+        }
+    }
+    t
+}
+
+/// Diff the two tables; each returned string names one divergence.
+pub fn diff(doc: &Tables, code: &Tables) -> Vec<String> {
+    let mut drift = Vec::new();
+    if doc.opcodes.is_empty() {
+        drift.push("PROTOCOL.md: no opcode table rows parsed (section moved or reformatted?)".into());
+    }
+    if doc.statuses.is_empty() {
+        drift.push("PROTOCOL.md: no status table rows parsed (section moved or reformatted?)".into());
+    }
+    for (name, dc) in &doc.opcodes {
+        match code.opcodes.iter().find(|(n, _)| n == name) {
+            None => drift.push(format!(
+                "opcode `{name}` ({dc}) is in PROTOCOL.md but not in proto.rs"
+            )),
+            Some((_, cc)) if cc != dc => drift.push(format!(
+                "opcode `{name}`: PROTOCOL.md says {dc}, proto.rs says {cc}"
+            )),
+            _ => {}
+        }
+    }
+    for (name, cc) in &code.opcodes {
+        if !doc.opcodes.iter().any(|(n, _)| n == name) {
+            drift.push(format!(
+                "opcode `{name}` ({cc}) is in proto.rs but not in PROTOCOL.md"
+            ));
+        }
+    }
+    for (dc, name) in &doc.statuses {
+        match code.statuses.iter().find(|(_, n)| n == name) {
+            None => drift.push(format!(
+                "status `{name}` ({dc}) is in PROTOCOL.md but not in proto.rs"
+            )),
+            Some((cc, _)) if cc != dc => drift.push(format!(
+                "status `{name}`: PROTOCOL.md says {dc}, proto.rs says {cc}"
+            )),
+            _ => {}
+        }
+    }
+    for (cc, name) in &code.statuses {
+        if !doc.statuses.iter().any(|(_, n)| n == name) {
+            drift.push(format!(
+                "status `{name}` ({cc}) is in proto.rs but not in PROTOCOL.md"
+            ));
+        }
+    }
+    drift
+}
+
+/// Run the drift check against a workspace root.
+pub fn check(root: &Path) -> std::io::Result<Vec<String>> {
+    let md = std::fs::read_to_string(root.join("PROTOCOL.md"))?;
+    let rs = std::fs::read_to_string(root.join("crates/net/src/proto.rs"))?;
+    Ok(diff(&parse_doc(&md), &parse_proto(&rs)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: &str = "\
+| opcode | code | payload (request) | response payload | mutating |
+|---|---|---|---|---|
+| `GET` | 1 | key | status, presence, value | no |
+| `PUT` | 2 | key, value | status, applied count | yes |
+
+| status | name | meaning |
+|---|---|---|
+| 0 | `OK` | request executed |
+| 1 | `ERR_MALFORMED` | payload failed to decode |
+";
+
+    const RS: &str = "\
+pub enum Opcode {
+    Get = 1,
+    Put = 2,
+}
+pub mod status {
+    pub const OK: u8 = 0;
+    pub const ERR_MALFORMED: u8 = 1;
+}
+";
+
+    #[test]
+    fn doc_tables_parse() {
+        let t = parse_doc(DOC);
+        assert_eq!(t.opcodes, vec![("GET".into(), 1), ("PUT".into(), 2)]);
+        assert_eq!(
+            t.statuses,
+            vec![(0, "OK".into()), (1, "ERR_MALFORMED".into())]
+        );
+    }
+
+    #[test]
+    fn proto_declarations_parse() {
+        let t = parse_proto(RS);
+        assert_eq!(t.opcodes, vec![("GET".into(), 1), ("PUT".into(), 2)]);
+        assert_eq!(
+            t.statuses,
+            vec![(0, "OK".into()), (1, "ERR_MALFORMED".into())]
+        );
+    }
+
+    #[test]
+    fn agreement_is_clean() {
+        assert!(diff(&parse_doc(DOC), &parse_proto(RS)).is_empty());
+    }
+
+    #[test]
+    fn renumbering_is_drift() {
+        let rs = RS.replace("Put = 2", "Put = 9");
+        let d = diff(&parse_doc(DOC), &parse_proto(&rs));
+        assert_eq!(d.len(), 1);
+        assert!(d[0].contains("PUT") && d[0].contains('9'), "{d:?}");
+    }
+
+    #[test]
+    fn one_sided_additions_are_drift_in_both_directions() {
+        let rs = format!("{}\npub const ERR_NEW: u8 = 9;\n", RS);
+        let d = diff(&parse_doc(DOC), &parse_proto(&rs));
+        assert!(d.iter().any(|s| s.contains("ERR_NEW")), "{d:?}");
+
+        let doc = format!("{}| 3 | `ERR_DOC_ONLY` | docs only |\n", DOC);
+        let d = diff(&parse_doc(&doc), &parse_proto(RS));
+        assert!(d.iter().any(|s| s.contains("ERR_DOC_ONLY")), "{d:?}");
+    }
+
+    #[test]
+    fn empty_doc_tables_are_loud() {
+        let d = diff(&parse_doc("no tables here"), &parse_proto(RS));
+        assert!(d.iter().any(|s| s.contains("no opcode table")), "{d:?}");
+    }
+
+    #[test]
+    fn real_workspace_artifacts_agree() {
+        // CARGO_MANIFEST_DIR = crates/lint; the workspace root is two up.
+        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .canonicalize()
+            .expect("workspace root");
+        let drift = check(&root).expect("both artifacts readable");
+        assert!(drift.is_empty(), "wire-spec drift: {drift:#?}");
+    }
+}

@@ -1,0 +1,72 @@
+//! Rules that bind *atomic* regions: `direct-access-in-atomic` and
+//! `blocking-in-atomic`.
+
+use crate::tree::{Group, Node};
+
+/// Non-transactional accessor shapes inside an atomic closure.
+///
+/// `.load()` with no arguments is a `TVar` direct read (an atomics-facade
+/// `load(Ordering::..)` has an argument); `.store(v)` without an
+/// `Ordering` argument is a `TVar` direct write; `update_locked` and
+/// `peek_unsynchronized` are the named escape hatches.
+pub fn direct_access(name: &str, args: &Group) -> Option<String> {
+    let bad = match name {
+        "load" => args.children.is_empty(),
+        "store" => !mentions_ident(args, "Ordering"),
+        "update_locked" | "peek_unsynchronized" => true,
+        _ => false,
+    };
+    bad.then(|| {
+        format!(
+            "non-transactional accessor `.{name}(...)` inside an atomic closure; \
+             go through the transaction (tx.read/tx.write or a subscribing accessor)"
+        )
+    })
+}
+
+/// Blocking method calls that must not appear in a *retryable*
+/// (`atomically`) closure. The caller has already established that the
+/// receiver is not the transaction (`tx.write` is a transactional write,
+/// not socket I/O).
+///
+/// Durability: `sync_all`/`sync_data`/`fsync`; stream I/O: `write`,
+/// `write_all`, `flush`, `read_exact`; synchronization: `lock`, `join`,
+/// channel `recv`/`recv_timeout`.
+pub fn blocking_method(name: &str) -> Option<String> {
+    const BLOCKING: &[&str] = &[
+        "sync_all",
+        "sync_data",
+        "fsync",
+        "write",
+        "write_all",
+        "flush",
+        "read_exact",
+        "lock",
+        "join",
+        "recv",
+        "recv_timeout",
+    ];
+    BLOCKING.contains(&name).then(|| {
+        format!(
+            "blocking call `.{name}(...)` inside an `atomically` closure: the closure \
+             may re-execute on conflict and must stay side-effect free; move the \
+             blocking work into an `atomic_defer*` op (post-commit, under the held \
+             TxLocks) or a `synchronized` irrevocable section"
+        )
+    })
+}
+
+/// `thread::sleep` (free-function form) inside an `atomically` closure.
+pub fn sleep_msg() -> String {
+    "`sleep` inside an `atomically` closure: the closure may re-execute on \
+     conflict and the sleep multiplies the window for conflicting writers; \
+     defer the delay or use `synchronized`"
+        .to_string()
+}
+
+fn mentions_ident(g: &Group, needle: &str) -> bool {
+    g.children.iter().any(|n| match n {
+        Node::Group(inner) => mentions_ident(inner, needle),
+        _ => n.ident() == Some(needle),
+    })
+}

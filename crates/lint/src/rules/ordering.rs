@@ -1,0 +1,29 @@
+//! Region-independent rules (`seqcst-outside-allowlist`, `raw-atomic`)
+//! and the defer-before-first-write ordering rule (`defer-after-write`).
+
+/// `Ordering::SeqCst` outside the audited fence core.
+pub fn seqcst_msg() -> String {
+    "Ordering::SeqCst outside the fence-disciplined core; use the \
+     weakest ordering that is argued correct, or move the protocol \
+     into the audited allowlist"
+        .to_string()
+}
+
+/// Raw `std::sync::atomic` / `core::sync::atomic` outside the allowlist.
+pub fn raw_atomic_msg(root: &str) -> String {
+    format!(
+        "raw {root}::sync::atomic; use ad_support::sync::atomic so \
+         loom models instrument the access"
+    )
+}
+
+/// An `atomic_defer*` call after the first `tx.write` in the same atomic
+/// closure.
+pub fn defer_after_write_msg(call: &str, write_line: usize) -> String {
+    format!(
+        "`{call}` after the first `tx.write` (line {write_line}) in this atomic \
+         closure: register deferrals before the first write, so an abort between \
+         write-set population and commit cannot observe a half-built deferral \
+         batch (defer-before-first-write, DESIGN.md §9)"
+    )
+}

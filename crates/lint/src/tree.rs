@@ -1,0 +1,167 @@
+//! Phase 2: brace matching — the flat token stream becomes a token
+//! *tree*.
+//!
+//! Every `(...)`, `{...}`, `[...]` span nests as a [`Node::Group`] whose
+//! children are themselves nodes. The analyzer then walks sequences of
+//! siblings: a call's argument list is one group, a function body is one
+//! group, a macro invocation's body is one group — so "descend into the
+//! macro body" or "the deferred closure is the third argument" are tree
+//! operations instead of paren-depth counters. Mis-nested input (mid-edit
+//! files, macro fragments) degrades gracefully: an unmatched closer
+//! becomes a plain leaf, an unclosed opener's group ends at EOF.
+
+use crate::lexer::Tok;
+
+/// One node of the token tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// A non-delimiter token with its 1-based line.
+    Leaf(Tok, usize),
+    /// A delimited group.
+    Group(Group),
+}
+
+/// A `( )` / `{ }` / `[ ]` span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Group {
+    /// The opening delimiter: `(`, `{`, or `[`.
+    pub delim: char,
+    /// Line of the opening delimiter.
+    pub open_line: usize,
+    /// The nodes between the delimiters.
+    pub children: Vec<Node>,
+}
+
+impl Node {
+    /// The identifier name if this is an identifier leaf.
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            Node::Leaf(t, _) => t.ident(),
+            Node::Group(_) => None,
+        }
+    }
+
+    /// Is this a punctuation leaf for `c`?
+    pub fn is_punct(&self, c: char) -> bool {
+        matches!(self, Node::Leaf(t, _) if t.is_punct(c))
+    }
+
+    /// The group, if this is a group with delimiter `delim`.
+    pub fn group(&self, delim: char) -> Option<&Group> {
+        match self {
+            Node::Group(g) if g.delim == delim => Some(g),
+            _ => None,
+        }
+    }
+
+    /// Any group, regardless of delimiter.
+    pub fn any_group(&self) -> Option<&Group> {
+        match self {
+            Node::Group(g) => Some(g),
+            _ => None,
+        }
+    }
+
+    /// Best-effort source line of this node.
+    pub fn line(&self) -> usize {
+        match self {
+            Node::Leaf(_, l) => *l,
+            Node::Group(g) => g.open_line,
+        }
+    }
+}
+
+fn closer(open: char) -> char {
+    match open {
+        '(' => ')',
+        '{' => '}',
+        _ => ']',
+    }
+}
+
+/// Build the token tree for a token stream.
+pub fn build(toks: &[(Tok, usize)]) -> Vec<Node> {
+    // Stack of open groups; the bottom entry is the top-level sequence.
+    let mut stack: Vec<(char, usize, Vec<Node>)> = vec![(' ', 0, Vec::new())];
+    for (tok, line) in toks {
+        match tok {
+            Tok::Punct(c @ ('(' | '{' | '[')) => stack.push((*c, *line, Vec::new())),
+            Tok::Punct(c @ (')' | '}' | ']')) => {
+                if stack.len() > 1 && closer(stack.last().unwrap().0) == *c {
+                    let (delim, open_line, children) = stack.pop().unwrap();
+                    stack.last_mut().unwrap().2.push(Node::Group(Group {
+                        delim,
+                        open_line,
+                        children,
+                    }));
+                } else {
+                    // Unmatched closer: keep it as a leaf so the rest of
+                    // the file still gets analyzed.
+                    stack
+                        .last_mut()
+                        .unwrap()
+                        .2
+                        .push(Node::Leaf(Tok::Punct(*c), *line));
+                }
+            }
+            other => stack
+                .last_mut()
+                .unwrap()
+                .2
+                .push(Node::Leaf(other.clone(), *line)),
+        }
+    }
+    // Unclosed groups end at EOF.
+    while stack.len() > 1 {
+        let (delim, open_line, children) = stack.pop().unwrap();
+        stack.last_mut().unwrap().2.push(Node::Group(Group {
+            delim,
+            open_line,
+            children,
+        }));
+    }
+    stack.pop().unwrap().2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn tree(src: &str) -> Vec<Node> {
+        build(&lex(src).toks)
+    }
+
+    #[test]
+    fn groups_nest() {
+        let t = tree("f(a, g(b), [c]) { d }");
+        // f, (…), {…}
+        assert_eq!(t.len(), 3);
+        let args = t[1].group('(').expect("call args");
+        assert_eq!(args.children.len(), 6, "a , g (…) , […]");
+        assert!(args.children[3].group('(').is_some());
+        assert!(args.children[5].group('[').is_some());
+        assert!(t[2].group('{').is_some());
+    }
+
+    #[test]
+    fn unmatched_closer_is_a_leaf() {
+        let t = tree("a ) b");
+        assert_eq!(t.len(), 3);
+        assert!(t[1].is_punct(')'));
+    }
+
+    #[test]
+    fn unclosed_group_ends_at_eof() {
+        let t = tree("f(a, b");
+        assert_eq!(t.len(), 2);
+        let g = t[1].group('(').expect("group closed at EOF");
+        assert_eq!(g.children.len(), 3);
+    }
+
+    #[test]
+    fn open_lines_recorded() {
+        let t = tree("a\n{\nb\n}");
+        assert_eq!(t[1].line(), 2);
+    }
+}

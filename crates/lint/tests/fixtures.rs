@@ -7,7 +7,8 @@
 use std::path::Path;
 
 use ad_lint::{
-    scan_tree, RULE_DEFER_CAPTURES_TX, RULE_DIRECT_ACCESS, RULE_NON_SEND_CAPTURE,
+    scan_tree, RULE_BLOCKING_IN_ATOMIC, RULE_DEFER_AFTER_WRITE, RULE_DEFER_CAPTURES_TX,
+    RULE_DEFER_WAITS, RULE_DIRECT_ACCESS, RULE_NON_SEND_CAPTURE, RULE_PANIC_IN_DEFERRED,
     RULE_RAW_ATOMIC, RULE_SEQCST,
 };
 
@@ -53,6 +54,46 @@ fn seqcst_fixture_is_rejected() {
 #[test]
 fn raw_atomic_fixture_is_rejected() {
     assert_eq!(fixture("raw_atomic.rs"), vec![RULE_RAW_ATOMIC; 3]);
+}
+
+#[test]
+fn blocking_in_atomic_fixture_is_rejected() {
+    // fsync, stream write, channel recv, lock, sleep — and nothing from
+    // the deferred-op / `synchronized` homes where blocking is legal.
+    assert_eq!(
+        fixture("blocking_in_atomic.rs"),
+        vec![RULE_BLOCKING_IN_ATOMIC; 5]
+    );
+}
+
+#[test]
+fn defer_waits_on_defer_fixture_is_rejected() {
+    // handle wait, path-position wait_all, store.sync(), re-entrant
+    // atomically — the post-commit wait outside any deferred op is clean.
+    assert_eq!(
+        fixture("defer_waits_on_defer.rs"),
+        vec![RULE_DEFER_WAITS; 4]
+    );
+}
+
+#[test]
+fn panic_in_deferred_fixture_is_rejected() {
+    // unwrap, expect, panic!, assert!, unreachable! — with unwrap_or*,
+    // debug_assert!, and the allow-annotated expect suppressed.
+    assert_eq!(
+        fixture("panic_in_deferred.rs"),
+        vec![RULE_PANIC_IN_DEFERRED; 5]
+    );
+}
+
+#[test]
+fn defer_after_write_fixture_is_rejected() {
+    // Two write-then-defer closures; the defer-first and read-only
+    // closures are clean.
+    assert_eq!(
+        fixture("defer_after_write.rs"),
+        vec![RULE_DEFER_AFTER_WRITE; 2]
+    );
 }
 
 #[test]

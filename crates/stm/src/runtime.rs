@@ -529,6 +529,55 @@ impl Runtime {
         0
     }
 
+    /// Would blocking on deferred work from the calling thread risk the
+    /// single-worker self-deadlock of DESIGN.md §10 (i)? True exactly when
+    /// this thread is the *sole* worker of this runtime's `Pool` executor:
+    /// whatever it waits for is queued behind the batch it is running and
+    /// can never be dispatched. Always false under `Inline` (no workers)
+    /// and with two or more workers (another worker can serve the queue).
+    pub fn defer_wait_would_self_deadlock(&self) -> bool {
+        #[cfg(not(loom))]
+        if let Some(pool) = &self.inner.defer_pool {
+            return pool.wait_would_self_deadlock();
+        }
+        false
+    }
+
+    /// Record a detected self-wait hazard (see
+    /// [`Runtime::defer_wait_would_self_deadlock`]): bump the
+    /// `defer_self_wait_hazards` counter, emit a `DeferSelfWaitHazard`
+    /// trace event carrying the pool's queue depth, and — in debug builds —
+    /// panic via `debug_assert!` so tests and dev runs fail loudly instead
+    /// of hanging. Returns whether the hazard was present (callers may use
+    /// this to degrade, e.g. drain inline instead of blocking).
+    ///
+    /// `ad-defer`'s `DeferHandle::wait`/`wait_all` call this before
+    /// blocking; it is public so other blocking-on-deferred-work paths can
+    /// reuse the same detection.
+    pub fn check_defer_self_wait(&self) -> bool {
+        if !self.defer_wait_would_self_deadlock() {
+            return false;
+        }
+        self.inner.stats.on_defer_self_wait_hazard();
+        #[cfg(not(loom))]
+        {
+            let depth = self
+                .inner
+                .defer_pool
+                .as_ref()
+                .map_or(0, |p| p.queue_len() as u64);
+            self.trace_event(EventKind::DeferSelfWaitHazard, depth);
+        }
+        debug_assert!(
+            false,
+            "DeferHandle wait on the runtime's only defer-pool worker: the \
+             waited-on op may be queued behind this job and can never run \
+             (self-deadlock, DESIGN.md §10). Size the pool with >= 2 workers \
+             or complete the dependency before this op."
+        );
+        true
+    }
+
     /// Internal identifier (stable for the lifetime of the runtime).
     pub fn id(&self) -> u64 {
         self.inner.id

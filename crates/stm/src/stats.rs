@@ -33,6 +33,7 @@ pub struct Stats {
     pub(crate) deferred_ops: AtomicU64,
     pub(crate) defer_offloads: AtomicU64,
     pub(crate) defer_inline_fallbacks: AtomicU64,
+    pub(crate) defer_self_wait_hazards: AtomicU64,
     pub(crate) clock_bumps: AtomicU64,
     pub(crate) validation_extends: AtomicU64,
     /// The latency histograms, boxed as one block: `Stats` lives inside the
@@ -87,6 +88,7 @@ impl Stats {
         on_deferred_op => deferred_ops,
         on_defer_offload => defer_offloads,
         on_defer_inline_fallback => defer_inline_fallbacks,
+        on_defer_self_wait_hazard => defer_self_wait_hazards,
         on_clock_bump => clock_bumps,
         on_validation_extend => validation_extends,
     }
@@ -134,6 +136,7 @@ impl Stats {
             deferred_ops: self.deferred_ops.load(Ordering::Relaxed),
             defer_offloads: self.defer_offloads.load(Ordering::Relaxed),
             defer_inline_fallbacks: self.defer_inline_fallbacks.load(Ordering::Relaxed),
+            defer_self_wait_hazards: self.defer_self_wait_hazards.load(Ordering::Relaxed),
             clock_bumps: self.clock_bumps.load(Ordering::Relaxed),
             validation_extends: self.validation_extends.load(Ordering::Relaxed),
         }
@@ -165,6 +168,7 @@ impl Stats {
             &self.deferred_ops,
             &self.defer_offloads,
             &self.defer_inline_fallbacks,
+            &self.defer_self_wait_hazards,
             &self.clock_bumps,
             &self.validation_extends,
         ] {
@@ -211,6 +215,14 @@ pub struct StatsSnapshot {
     /// ran inline on the committing thread instead (backpressure fallback;
     /// a nonzero rate means the pool's workers are saturated).
     pub defer_inline_fallbacks: u64,
+    /// Times a `DeferHandle::wait`/`wait_all` was entered on the sole
+    /// worker of the runtime's own deferred-op pool — the self-deadlock
+    /// hazard of DESIGN.md §10 (i): the waited-on op may be queued behind
+    /// the very job doing the waiting, and no other worker exists to run
+    /// it. Any nonzero value is a bug in the embedding application (the
+    /// static rule `defer-waits-on-defer` catches the lexical cases;
+    /// this counter is the runtime backstop).
+    pub defer_self_wait_hazards: u64,
     /// Shared clock-word advances forced by snapshot extensions under the
     /// `Sloppy` commit-clock policy (always 0 under `Gv2`/`Sharded`): how
     /// often a reader had to pay the CAS the writers skipped.
@@ -247,6 +259,7 @@ impl StatsSnapshot {
             deferred_ops: self.deferred_ops - earlier.deferred_ops,
             defer_offloads: self.defer_offloads - earlier.defer_offloads,
             defer_inline_fallbacks: self.defer_inline_fallbacks - earlier.defer_inline_fallbacks,
+            defer_self_wait_hazards: self.defer_self_wait_hazards - earlier.defer_self_wait_hazards,
             clock_bumps: self.clock_bumps - earlier.clock_bumps,
             validation_extends: self.validation_extends - earlier.validation_extends,
         }
@@ -261,7 +274,7 @@ impl StatsSnapshot {
              \"aborts_unsupported\":{},\"retries\":{},\"serializations\":{},\
              \"quiesce_waits\":{},\"quiesce_ns\":{},\"deferred_ops\":{},\
              \"defer_offloads\":{},\"defer_inline_fallbacks\":{},\
-             \"clock_bumps\":{},\
+             \"defer_self_wait_hazards\":{},\"clock_bumps\":{},\
              \"validation_extends\":{}}}",
             self.starts,
             self.commits,
@@ -276,6 +289,7 @@ impl StatsSnapshot {
             self.deferred_ops,
             self.defer_offloads,
             self.defer_inline_fallbacks,
+            self.defer_self_wait_hazards,
             self.clock_bumps,
             self.validation_extends,
         )
@@ -292,7 +306,8 @@ impl fmt::Display for StatsSnapshot {
             "counters[commits={} serial_commits={} aborts={} (aborts_conflict={} \
              aborts_capacity={} aborts_unsupported={}) retries={} serializations={} \
              quiesce_waits={} deferred_ops={} defer_offloads={} \
-             defer_inline_fallbacks={} clock_bumps={} validation_extends={}] \
+             defer_inline_fallbacks={} defer_self_wait_hazards={} \
+             clock_bumps={} validation_extends={}] \
              durations[quiesce_ns={} ({:.1}ms)]",
             self.total_commits(),
             self.serial_commits,
@@ -306,6 +321,7 @@ impl fmt::Display for StatsSnapshot {
             self.deferred_ops,
             self.defer_offloads,
             self.defer_inline_fallbacks,
+            self.defer_self_wait_hazards,
             self.clock_bumps,
             self.validation_extends,
             self.quiesce_ns,
@@ -393,6 +409,7 @@ impl StatsReport {
         c.deferred_ops += o.deferred_ops;
         c.defer_offloads += o.defer_offloads;
         c.defer_inline_fallbacks += o.defer_inline_fallbacks;
+        c.defer_self_wait_hazards += o.defer_self_wait_hazards;
         c.clock_bumps += o.clock_bumps;
         c.validation_extends += o.validation_extends;
         self.commit_latency_ns.merge(&other.commit_latency_ns);
@@ -531,6 +548,7 @@ mod tests {
             "\"defer_queue_wait_ns\"",
             "\"defer_offloads\":0",
             "\"defer_inline_fallbacks\":0",
+            "\"defer_self_wait_hazards\":0",
             "\"clock_bumps\":0",
             "\"validation_extends\":0",
         ] {

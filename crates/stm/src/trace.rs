@@ -121,6 +121,14 @@ pub enum EventKind {
     ///
     /// [`Runtime::trace_app`]: crate::Runtime::trace_app
     NetAckDurable = 19,
+    /// A `DeferHandle::wait`/`wait_all` was entered on the sole worker of
+    /// this runtime's own deferred-op pool — the self-deadlock hazard of
+    /// DESIGN.md §10 (i): the waited-on op may be queued behind the job
+    /// doing the waiting. `arg` = the pool's queue depth at the wait (jobs
+    /// that can never be dispatched while this one blocks). Emitted (with
+    /// the `defer_self_wait_hazards` counter bump) just before the wait
+    /// blocks; in debug builds a `debug_assert!` fires as well.
+    DeferSelfWaitHazard = 20,
 }
 
 impl EventKind {
@@ -146,6 +154,7 @@ impl EventKind {
             EventKind::ClockBump => "clock_bump",
             EventKind::ValidationExtend => "validation_extend",
             EventKind::NetAckDurable => "ack_after_durable",
+            EventKind::DeferSelfWaitHazard => "defer_self_wait_hazard",
         }
     }
 
@@ -180,6 +189,7 @@ impl EventKind {
             17 => EventKind::ClockBump,
             18 => EventKind::ValidationExtend,
             19 => EventKind::NetAckDurable,
+            20 => EventKind::DeferSelfWaitHazard,
             _ => return None,
         })
     }
@@ -247,7 +257,9 @@ impl fmt::Display for TraceEvent {
             }
             EventKind::WalAppend => write!(f, " bytes={}", self.arg),
             EventKind::WalFsync => write!(f, " records={}", self.arg),
-            EventKind::DeferOffload => write!(f, " queue_depth={}", self.arg),
+            EventKind::DeferOffload | EventKind::DeferSelfWaitHazard => {
+                write!(f, " queue_depth={}", self.arg)
+            }
             EventKind::NetAckDurable => write!(f, " req_id={}", self.arg),
             _ => write!(f, " arg={}", self.arg),
         }
@@ -854,6 +866,7 @@ mod tests {
             EventKind::ClockBump,
             EventKind::ValidationExtend,
             EventKind::NetAckDurable,
+            EventKind::DeferSelfWaitHazard,
         ] {
             assert_eq!(EventKind::from_code(k as u8), Some(k));
             assert!(!k.name().is_empty());

@@ -23,6 +23,7 @@
 //!   joins every worker except the current thread, which is detached —
 //!   joining yourself would deadlock.
 
+use std::cell::Cell;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -30,6 +31,14 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use crate::sync::{Condvar, Mutex};
+
+thread_local! {
+    /// Identity of the pool this thread serves as a worker (the `Shared`
+    /// allocation's address), or 0 for threads that are not pool workers.
+    /// Set once at worker startup, before the first job runs; a thread
+    /// serves at most one pool for its whole life, so no save/restore.
+    static WORKER_OF: Cell<usize> = const { Cell::new(0) };
+}
 
 /// A unit of work. Jobs must be `Send` (they hop to a worker thread) and
 /// `'static` (the pool outlives any borrow the submitter could prove).
@@ -154,6 +163,24 @@ impl Pool {
         self.workers.len()
     }
 
+    /// Is the calling thread one of *this* pool's workers — i.e. is it
+    /// currently inside a job this pool dispatched? The question matters
+    /// because a worker that blocks waiting for another job of the same
+    /// pool can deadlock when no other worker is free to run it (the
+    /// single-worker self-wait of DESIGN.md §10); `ad-stm` uses this to
+    /// detect that hazard at the wait site.
+    pub fn current_thread_is_worker(&self) -> bool {
+        WORKER_OF.get() == Arc::as_ptr(&self.shared) as usize
+    }
+
+    /// Would the calling thread deadlock by blocking until some *other*
+    /// queued job of this pool completes? True exactly when the caller is
+    /// this pool's sole worker: whatever it waits for sits behind the job
+    /// it is running and can never be dispatched.
+    pub fn wait_would_self_deadlock(&self) -> bool {
+        self.current_thread_is_worker() && self.workers.len() == 1
+    }
+
     /// Drive an accept loop on the calling thread: pull items from `next`
     /// until it returns `None`, handing each to `handle` on a pool worker.
     ///
@@ -180,7 +207,8 @@ impl Pool {
     }
 }
 
-fn worker_loop(shared: &Shared) {
+fn worker_loop(shared: &Arc<Shared>) {
+    WORKER_OF.set(Arc::as_ptr(shared) as usize);
     loop {
         let job = {
             let mut st = shared.state.lock();
@@ -383,6 +411,43 @@ mod tests {
         // dispatched may still be in flight until the pool drains.
         pool.drain();
         assert_eq!(done.load(Ordering::Relaxed), 25);
+    }
+
+    #[test]
+    fn worker_marker_identifies_its_own_pool_only() {
+        let pool = Arc::new(Pool::new(1, 4));
+        let other = Pool::new(1, 4);
+        // The submitting thread is nobody's worker.
+        assert!(!pool.current_thread_is_worker());
+        assert!(!pool.wait_would_self_deadlock());
+        let (tx, rx) = std::sync::mpsc::channel();
+        let p2 = Arc::clone(&pool);
+        pool.submit(Box::new(move || {
+            tx.send(p2.current_thread_is_worker() && p2.wait_would_self_deadlock())
+                .unwrap();
+        }));
+        assert!(rx.recv_timeout(Duration::from_secs(10)).unwrap());
+        // A worker of one pool is not a worker of another.
+        let (tx, rx) = std::sync::mpsc::channel();
+        other.submit(Box::new({
+            let p2 = Arc::clone(&pool);
+            move || tx.send(p2.current_thread_is_worker()).unwrap()
+        }));
+        assert!(!rx.recv_timeout(Duration::from_secs(10)).unwrap());
+    }
+
+    #[test]
+    fn multi_worker_pool_is_not_a_self_wait_hazard() {
+        let pool = Arc::new(Pool::new(2, 4));
+        let (tx, rx) = std::sync::mpsc::channel();
+        let p2 = Arc::clone(&pool);
+        pool.submit(Box::new(move || {
+            tx.send((p2.current_thread_is_worker(), p2.wait_would_self_deadlock()))
+                .unwrap();
+        }));
+        let (is_worker, hazard) = rx.recv_timeout(Duration::from_secs(10)).unwrap();
+        assert!(is_worker);
+        assert!(!hazard, "a second worker can still serve the queue");
     }
 
     #[test]

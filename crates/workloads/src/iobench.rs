@@ -317,17 +317,17 @@ fn run_tm(
                 // `atomic_defer` version: content produced transactionally,
                 // I/O deferred on the file's deferrable object.
                 rt_ref.atomically(|tx| {
-                    let c = f.file.with(tx, |_, tx| {
-                        let c = tx.read(&f.counter)?;
-                        tx.write(&f.counter, c + 1)?;
-                        Ok(c + 1)
-                    })?;
+                    // Read (subscribing to the file's TxLock) and register
+                    // the deferral before the first write — the §9
+                    // defer-before-first-write ordering.
+                    let c = f.file.with(tx, |_, tx| tx.read(&f.counter))? + 1;
                     let content = format!("op{c}:{idx}");
                     let io = f.file.clone();
                     atomic_defer(tx, &[&f.file], move || {
                         let guard = io.locked();
                         perform_io(&guard.path, &mut guard.handle.lock(), keep_open, &content);
-                    })
+                    })?;
+                    f.file.with(tx, |_, tx| tx.write(&f.counter, c))
                 });
             }
             _ => unreachable!(),
