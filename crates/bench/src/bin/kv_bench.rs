@@ -38,7 +38,10 @@
 //!   exactly, group commit must have coalesced, and the per-TVar
 //!   contention report must show load spread across shards. Add `--async`
 //!   to run the same smoke on `SyncPolicy::Async`, i.e. with deferred WAL
-//!   appends on the pooled executor (CI runs both).
+//!   appends on the pooled executor, or `--ckpt` to run the
+//!   checkpointing smoke instead: an auto-checkpointing store under the
+//!   same load must bound its live WAL and replay only the post-cut
+//!   suffix on reopen (CI runs all three).
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -46,7 +49,7 @@ use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
 use ad_bench::{arg_flag, arg_num, arg_value};
-use ad_kv::{KvConfig, KvStore, SyncPolicy, WriteBatch};
+use ad_kv::{CkptPolicy, KvConfig, KvStore, SyncPolicy, WriteBatch};
 use ad_stm::StatsReport;
 use ad_support::prng::Rng;
 use ad_support::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -80,6 +83,10 @@ enum Persistence {
     Volatile,
     Group,
     PerCommit,
+    /// Group commit plus background checkpointing (`CkptPolicy::Auto`
+    /// at a 256 KiB WAL threshold): same sync path as `group`, but the
+    /// live log stays bounded and recovery replays only the suffix.
+    GroupCkpt,
 }
 
 impl Persistence {
@@ -88,6 +95,7 @@ impl Persistence {
             Persistence::Volatile => "volatile",
             Persistence::Group => "group",
             Persistence::PerCommit => "percommit",
+            Persistence::GroupCkpt => "group_ckpt",
         }
     }
 }
@@ -106,6 +114,20 @@ struct Row {
     append_p50_ns: u64,
     append_p99_ns: u64,
     append_max_ns: u64,
+    /// Checkpoints published during the cell (0 without a ckpt tier).
+    ckpt_count: u64,
+    /// On-disk WAL bytes (base file + live segments) at the end of the
+    /// cell — what a reopen has to scan. Unbounded under `group`,
+    /// bounded under `group_ckpt`.
+    wal_live_bytes: u64,
+    /// Size of the current published snapshot, 0 when none.
+    snapshot_bytes: u64,
+    /// Wall-clock milliseconds of a cold reopen of the cell's files
+    /// (two-tier recovery: snapshot load + suffix replay). 0 for
+    /// volatile cells.
+    recovery_ms: f64,
+    /// Redo records the reopen actually replayed.
+    recovery_replayed: u64,
     steady_stats: Option<StatsReport>,
 }
 
@@ -118,8 +140,60 @@ fn open_store(persistence: Persistence, path: &Path) -> KvStore {
         Persistence::Volatile => KvConfig::volatile(),
         Persistence::Group => KvConfig::durable(path, SyncPolicy::GroupCommit),
         Persistence::PerCommit => KvConfig::durable(path, SyncPolicy::PerCommit),
+        Persistence::GroupCkpt => KvConfig::durable(path, SyncPolicy::GroupCommit).with_ckpt(
+            CkptPolicy::Auto {
+                wal_bytes: 256 << 10,
+                wal_records: u64::MAX,
+            },
+        ),
     };
     KvStore::open(config).expect("opening store")
+}
+
+/// Remove the cell's base WAL plus any rotated segments and snapshot
+/// files beside it (`{name}.seg*`, `{name}.ckpt.*`).
+fn cleanup_files(path: &Path) {
+    let _ = std::fs::remove_file(path);
+    let (Some(parent), Some(fname)) = (path.parent(), path.file_name().and_then(|s| s.to_str()))
+    else {
+        return;
+    };
+    let Ok(rd) = std::fs::read_dir(parent) else {
+        return;
+    };
+    for e in rd.flatten() {
+        if let Some(n) = e.file_name().to_str() {
+            if n.starts_with(&format!("{fname}.seg")) || n.starts_with(&format!("{fname}.ckpt")) {
+                let _ = std::fs::remove_file(e.path());
+            }
+        }
+    }
+}
+
+/// On-disk bytes a reopen has to scan: base WAL file plus live segments.
+fn wal_live_bytes(path: &Path) -> u64 {
+    let mut total = path.metadata().map_or(0, |m| m.len());
+    let (Some(parent), Some(fname)) = (path.parent(), path.file_name().and_then(|s| s.to_str()))
+    else {
+        return total;
+    };
+    let Ok(rd) = std::fs::read_dir(parent) else {
+        return total;
+    };
+    for e in rd.flatten() {
+        if let Some(n) = e.file_name().to_str() {
+            if n.starts_with(&format!("{fname}.seg")) {
+                total += e.metadata().map_or(0, |m| m.len());
+            }
+        }
+    }
+    total
+}
+
+fn snapshot_bytes(path: &Path) -> u64 {
+    let mut cur = path.as_os_str().to_os_string();
+    cur.push(".ckpt.cur");
+    PathBuf::from(cur).metadata().map_or(0, |m| m.len())
 }
 
 fn preload(store: &KvStore) {
@@ -279,6 +353,77 @@ fn smoke(dir: &Path, use_async: bool) {
     );
 }
 
+/// `--smoke --ckpt`: the bounded-WAL/bounded-recovery contract under
+/// load. An update-heavy burst on a `group_ckpt` store (auto checkpoint
+/// at a 64 KiB WAL threshold so several checkpoints fire within the
+/// smoke window) must leave the live log smaller than the bytes
+/// appended, and a reopen must replay only the post-cut suffix while
+/// reproducing the live state exactly.
+fn smoke_ckpt(dir: &Path) {
+    let path = dir.join("kv-smoke-ckpt.wal");
+    cleanup_files(&path);
+    let config = KvConfig::durable(&path, SyncPolicy::GroupCommit).with_ckpt(CkptPolicy::Auto {
+        wal_bytes: 64 << 10,
+        wal_records: u64::MAX,
+    });
+    let store = Arc::new(KvStore::open(config).expect("opening store"));
+    preload(&store);
+    let (ops_per_sec, _) = run_cell(
+        &store,
+        Mix::UpdateHeavy,
+        4,
+        Duration::from_millis(25),
+        Duration::from_millis(50),
+        false,
+    );
+    store.sync();
+    // The background trigger should have fired several times over the
+    // preload alone (640 KiB of values at a 64 KiB threshold); a final
+    // manual checkpoint makes the accounting deterministic regardless.
+    let report = store.checkpoint().expect("manual checkpoint");
+    let stats = store.ckpt_stats().expect("ckpt tier is configured");
+    assert!(stats.count >= 1, "no checkpoint ever completed");
+    let wal = store.wal_stats().expect("durable store has WAL stats");
+    let live = wal_live_bytes(&path);
+    assert!(
+        live < wal.bytes,
+        "checkpointing never truncated: live {live} >= appended {}",
+        wal.bytes
+    );
+    assert!(snapshot_bytes(&path) > 0, "no published snapshot on disk");
+
+    let live_state: BTreeMap<String, Vec<u8>> = store.dump();
+    drop(store);
+    let t0 = Instant::now();
+    let reopened = open_store(Persistence::GroupCkpt, &path);
+    let recovery_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let rr = reopened
+        .recovery_report()
+        .expect("reopened store has a recovery report")
+        .clone();
+    assert!(!rr.torn(), "clean shutdown left a torn WAL");
+    assert_eq!(rr.snapshot_cut, report.cut, "reopen did not use the newest snapshot");
+    assert!(
+        rr.replayed <= wal.records.saturating_sub(rr.snapshot_cut),
+        "replayed {} > records-after-cut {}",
+        rr.replayed,
+        wal.records.saturating_sub(rr.snapshot_cut)
+    );
+    assert_eq!(
+        reopened.dump(),
+        live_state,
+        "recovered state differs from live state"
+    );
+    drop(reopened);
+    cleanup_files(&path);
+    println!(
+        "ckpt smoke ok: {ops_per_sec:.0} ops/s, {} checkpoint(s), cut {}, \
+         live WAL {live} of {} appended bytes, reopen replayed {} records \
+         in {recovery_ms:.1} ms",
+        stats.count, report.cut, wal.bytes, rr.replayed
+    );
+}
+
 fn main() {
     let ms: u64 = arg_num("--ms", 200);
     let out = arg_value("--out").unwrap_or_else(|| "BENCH_kv.json".to_string());
@@ -290,7 +435,11 @@ fn main() {
     let trace_out = arg_value("--trace-json");
 
     if arg_flag("--smoke") {
-        smoke(&dir, arg_flag("--async"));
+        if arg_flag("--ckpt") {
+            smoke_ckpt(&dir);
+        } else {
+            smoke(&dir, arg_flag("--async"));
+        }
         return;
     }
 
@@ -302,6 +451,7 @@ fn main() {
         (Mix::UpdateHeavy, Persistence::Volatile),
         (Mix::UpdateHeavy, Persistence::Group),
         (Mix::UpdateHeavy, Persistence::PerCommit),
+        (Mix::UpdateHeavy, Persistence::GroupCkpt),
         (Mix::ScanHeavy, Persistence::Group),
     ];
 
@@ -313,7 +463,7 @@ fn main() {
                 mix.name(),
                 persistence.name()
             ));
-            let _ = std::fs::remove_file(&path);
+            cleanup_files(&path);
             let store = Arc::new(open_store(persistence, &path));
             // The busiest durable cell doubles as the trace capture when
             // --trace-json is given; stats snapshots need tracing too.
@@ -345,6 +495,22 @@ fn main() {
                     .unwrap_or_else(|e| panic!("writing {path}: {e}"));
                 println!("wrote chrome trace to {path}");
             }
+            let ckpt_count = store.ckpt_stats().map_or(0, |s| s.count);
+            drop(store);
+            // Cold-reopen cost: what this cell's files charge at restart.
+            // Bounded under group_ckpt (snapshot + suffix), proportional
+            // to the whole log otherwise.
+            let live_bytes = wal_live_bytes(&path);
+            let snap_bytes = snapshot_bytes(&path);
+            let (recovery_ms, recovery_replayed) = if persistence == Persistence::Volatile {
+                (0.0, 0)
+            } else {
+                let t0 = Instant::now();
+                let reopened = open_store(persistence, &path);
+                let elapsed_ms = t0.elapsed().as_secs_f64() * 1e3;
+                let replayed = reopened.recovery_report().map_or(0, |r| r.replayed);
+                (elapsed_ms, replayed)
+            };
             rows.push(Row {
                 mix,
                 persistence,
@@ -356,10 +522,14 @@ fn main() {
                 append_p50_ns: wal.as_ref().map_or(0, |w| w.append_ns.quantile(0.50)),
                 append_p99_ns: wal.as_ref().map_or(0, |w| w.append_ns.quantile(0.99)),
                 append_max_ns: wal.as_ref().map_or(0, |w| w.append_ns.max()),
+                ckpt_count,
+                wal_live_bytes: live_bytes,
+                snapshot_bytes: snap_bytes,
+                recovery_ms,
+                recovery_replayed,
                 steady_stats,
             });
-            drop(store);
-            let _ = std::fs::remove_file(&path);
+            cleanup_files(&path);
         }
     }
 
@@ -391,7 +561,9 @@ fn main() {
             "    {{\"workload\": \"{}\", \"sync\": \"{}\", \"threads\": {}, \
              \"ops_per_sec\": {:.0}, \"wal_records\": {}, \"wal_batches\": {}, \
              \"coalescing\": {:.2}, \"append_p50_ns\": {}, \"append_p99_ns\": {}, \
-             \"append_max_ns\": {}}}{}\n",
+             \"append_max_ns\": {}, \"ckpt_count\": {}, \"wal_live_bytes\": {}, \
+             \"snapshot_bytes\": {}, \"recovery_ms\": {:.2}, \
+             \"recovery_replayed\": {}}}{}\n",
             r.mix.name(),
             r.persistence.name(),
             r.threads,
@@ -402,6 +574,11 @@ fn main() {
             r.append_p50_ns,
             r.append_p99_ns,
             r.append_max_ns,
+            r.ckpt_count,
+            r.wal_live_bytes,
+            r.snapshot_bytes,
+            r.recovery_ms,
+            r.recovery_replayed,
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }

@@ -1,0 +1,477 @@
+//! Checkpointing: turn the durable tier from "append-only log with
+//! replay" into `snapshot + WAL suffix`, with bounded log size and
+//! recovery proportional to the suffix.
+//!
+//! ## Snapshot format
+//!
+//! ```text
+//! header:  magic u32 ("ADSN") | version u32 (1)
+//! record:  klen u32 | vlen u32 | key[klen] | value[vlen] | crc u32
+//! footer:  magic u32 ("ADSF") | cut u64 | count u64 | crc u32
+//! ```
+//!
+//! Little-endian throughout. Each record's `crc` is CRC-32 (IEEE) over
+//! `klen | vlen | key | value`; the footer's is over `cut | count`. The
+//! footer carries the WAL *cut*: the snapshot is exactly the committed
+//! state produced by records `1..=cut`, so recovery replays only
+//! `seq > cut`. Unlike the WAL (longest-valid-prefix), snapshot
+//! validation is all-or-nothing — a snapshot missing its footer or
+//! failing any CRC is rejected entirely and recovery falls back to the
+//! previous one.
+//!
+//! ## Publish protocol (never write in place)
+//!
+//! 1. write the serialized snapshot to `snapshot.tmp`, fsync it;
+//! 2. rename `snapshot.cur` → `snapshot.prev` (keep one fallback);
+//! 3. rename `snapshot.tmp` → `snapshot.cur` (atomic publish);
+//! 4. fsync the directory;
+//! 5. only then delete the WAL segments the snapshot covers.
+//!
+//! A crash anywhere in that sequence leaves either the old pair (steps
+//! 1–2) or the new snapshot plus not-yet-deleted segments (steps 3–5);
+//! both recover to a committed prefix — see the crash matrix in
+//! `tests/ckpt_recovery.rs` and DESIGN.md §13.
+//!
+//! ## Quiescent cut
+//!
+//! The cut is `durable_seq` taken by [`Wal::rotate`] with no group
+//! leader in flight, so segment contents split exactly at the cut; the
+//! checkpointer then waits until the memtable has applied everything up
+//! to the cut ([`MemTable::wait_applied_through`]) before freezing.
+//! Every applier of a record `<= cut` is already past its fsync, so the
+//! wait is bounded and never deadlocks — the snapshot is taken at rest
+//! with respect to the cut, never racing live writers (the safe-
+//! privatization discipline, DESIGN.md §13.3).
+
+use std::io::{self, Write};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+use ad_stm::{EventKind, Runtime};
+use ad_support::crc32::crc32;
+use ad_support::hist::{Histogram, HistogramSnapshot};
+use ad_support::sync::atomic::{AtomicU64, Ordering};
+use ad_support::sync::Mutex;
+
+use crate::memtable::MemTable;
+use crate::wal::{
+    fsync_dir_of, Wal, MEMDISK_SNAP_CUR, MEMDISK_SNAP_PREV, MEMDISK_SNAP_TMP,
+};
+use crate::MemDisk;
+
+/// Snapshot header magic: `b"ADSN"` little-endian.
+pub const SNAP_MAGIC: u32 = u32::from_le_bytes(*b"ADSN");
+/// Snapshot footer magic: `b"ADSF"` little-endian. Greater than any
+/// sane `klen`, so the decoder can tell footer from record.
+pub const SNAP_FOOTER_MAGIC: u32 = u32::from_le_bytes(*b"ADSF");
+/// Snapshot format version.
+pub const SNAP_VERSION: u32 = 1;
+/// Sanity bound on snapshot key/value lengths (same spirit as
+/// [`crate::wal::MAX_PAYLOAD`]).
+const SNAP_MAX_FIELD: u32 = 1 << 28;
+
+/// Serialize the committed state `map` as of WAL cut `cut`.
+pub fn encode_snapshot<'a, I>(cut: u64, entries: I) -> Vec<u8>
+where
+    I: IntoIterator<Item = (&'a Arc<str>, &'a Arc<[u8]>)>,
+{
+    let mut out = Vec::new();
+    out.extend_from_slice(&SNAP_MAGIC.to_le_bytes());
+    out.extend_from_slice(&SNAP_VERSION.to_le_bytes());
+    let mut count = 0u64;
+    for (k, v) in entries {
+        let rec_start = out.len();
+        out.extend_from_slice(&(k.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(v.len() as u32).to_le_bytes());
+        out.extend_from_slice(k.as_bytes());
+        out.extend_from_slice(v);
+        let crc = crc32(&out[rec_start..]);
+        out.extend_from_slice(&crc.to_le_bytes());
+        count += 1;
+    }
+    out.extend_from_slice(&SNAP_FOOTER_MAGIC.to_le_bytes());
+    let foot_start = out.len();
+    out.extend_from_slice(&cut.to_le_bytes());
+    out.extend_from_slice(&count.to_le_bytes());
+    let crc = crc32(&out[foot_start..]);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Decode and validate a snapshot. All-or-nothing: any CRC failure,
+/// truncation, count mismatch, or missing footer rejects the whole
+/// snapshot (`None`) and the caller falls back to the previous one.
+pub fn decode_snapshot(
+    bytes: &[u8],
+) -> Option<(u64, crate::memtable::KeyMap)> {
+    fn take<'a>(bytes: &'a [u8], at: &mut usize, n: usize) -> Option<&'a [u8]> {
+        let end = at.checked_add(n)?;
+        let s = bytes.get(*at..end)?;
+        *at = end;
+        Some(s)
+    }
+    fn u32_at(bytes: &[u8], at: &mut usize) -> Option<u32> {
+        Some(u32::from_le_bytes(take(bytes, at, 4)?.try_into().ok()?))
+    }
+    fn u64_at(bytes: &[u8], at: &mut usize) -> Option<u64> {
+        Some(u64::from_le_bytes(take(bytes, at, 8)?.try_into().ok()?))
+    }
+
+    let mut at = 0usize;
+    if u32_at(bytes, &mut at)? != SNAP_MAGIC || u32_at(bytes, &mut at)? != SNAP_VERSION {
+        return None;
+    }
+    let mut map = std::collections::BTreeMap::new();
+    let mut count = 0u64;
+    loop {
+        let rec_start = at;
+        let first = u32_at(bytes, &mut at)?;
+        if first == SNAP_FOOTER_MAGIC {
+            let foot_start = at;
+            let cut = u64_at(bytes, &mut at)?;
+            let n = u64_at(bytes, &mut at)?;
+            let crc = u32_at(bytes, &mut at)?;
+            if crc != crc32(&bytes[foot_start..foot_start + 16]) || n != count || at != bytes.len()
+            {
+                return None;
+            }
+            return Some((cut, map));
+        }
+        let klen = first;
+        let vlen = u32_at(bytes, &mut at)?;
+        if klen >= SNAP_MAX_FIELD || vlen >= SNAP_MAX_FIELD {
+            return None;
+        }
+        let key = std::str::from_utf8(take(bytes, &mut at, klen as usize)?).ok()?;
+        let key: Arc<str> = Arc::from(key);
+        let value: Arc<[u8]> = Arc::from(take(bytes, &mut at, vlen as usize)?);
+        let crc = u32_at(bytes, &mut at)?;
+        if crc != crc32(&bytes[rec_start..at - 4]) {
+            return None;
+        }
+        map.insert(key, value);
+        count += 1;
+    }
+}
+
+/// Where published snapshots live. The store is handed the fully
+/// serialized bytes and must make them the new `snapshot.cur` via the
+/// write-tmp / fsync / rename / fsync-dir protocol — never in place.
+pub trait SnapshotStore: Send {
+    /// Durably publish `bytes` as the current snapshot, demoting the
+    /// old current to the previous slot.
+    fn write_and_publish(&mut self, bytes: &[u8]) -> io::Result<()>;
+}
+
+/// Snapshot file paths derived from the WAL base path `base`:
+/// `{base}.ckpt.tmp` / `.cur` / `.prev`.
+pub(crate) fn snapshot_paths(base: &std::path::Path) -> (PathBuf, PathBuf, PathBuf) {
+    let with = |suffix: &str| {
+        let mut s = base.as_os_str().to_os_string();
+        s.push(suffix);
+        PathBuf::from(s)
+    };
+    (with(".ckpt.tmp"), with(".ckpt.cur"), with(".ckpt.prev"))
+}
+
+/// File-backed [`SnapshotStore`] beside the WAL at `base`.
+pub struct FileSnapshots {
+    base: PathBuf,
+}
+
+impl FileSnapshots {
+    /// Snapshots named `{base}.ckpt.*`.
+    pub fn new(base: PathBuf) -> Self {
+        FileSnapshots { base }
+    }
+}
+
+impl SnapshotStore for FileSnapshots {
+    fn write_and_publish(&mut self, bytes: &[u8]) -> io::Result<()> {
+        let (tmp, cur, prev) = snapshot_paths(&self.base);
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(bytes)?;
+            f.sync_all()?;
+        }
+        if cur.exists() {
+            std::fs::rename(&cur, &prev)?;
+        }
+        std::fs::rename(&tmp, &cur)?;
+        fsync_dir_of(&cur)
+    }
+}
+
+impl SnapshotStore for MemDisk {
+    fn write_and_publish(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.await_publish_gate();
+        self.create(MEMDISK_SNAP_TMP);
+        self.append_file(MEMDISK_SNAP_TMP, bytes);
+        self.sync_file(MEMDISK_SNAP_TMP);
+        if self.read_file(MEMDISK_SNAP_CUR).is_some() {
+            self.rename_file(MEMDISK_SNAP_CUR, MEMDISK_SNAP_PREV);
+        }
+        self.rename_file(MEMDISK_SNAP_TMP, MEMDISK_SNAP_CUR);
+        Ok(())
+    }
+}
+
+/// When checkpoints run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CkptPolicy {
+    /// Only when [`crate::KvStore::checkpoint`] is called.
+    Manual,
+    /// A background thread checkpoints whenever the WAL has grown past
+    /// either threshold since the last cut (whichever trips first).
+    Auto {
+        /// Checkpoint after this many WAL bytes since the last cut.
+        wal_bytes: u64,
+        /// Checkpoint after this many WAL records since the last cut.
+        wal_records: u64,
+    },
+}
+
+/// Outcome of one checkpoint attempt.
+#[derive(Debug, Clone, Copy)]
+pub struct CkptReport {
+    /// Whether a snapshot was actually published (false when nothing
+    /// new was durable since the last cut).
+    pub performed: bool,
+    /// The WAL cut the current snapshot covers.
+    pub cut: u64,
+    /// Live keys in the published snapshot.
+    pub keys: u64,
+    /// Serialized snapshot size in bytes.
+    pub snapshot_bytes: u64,
+    /// WAL segment bytes deleted after the publish.
+    pub wal_bytes_dropped: u64,
+    /// Wall-clock duration of the checkpoint, nanoseconds.
+    pub duration_ns: u64,
+}
+
+/// Cumulative checkpoint counters (relaxed: diagnostics, not
+/// synchronization), snapshotted by [`Checkpointer::stats`].
+#[derive(Default)]
+struct CkptCounters {
+    count: AtomicU64,
+    bytes: AtomicU64,
+    wal_truncated_bytes: AtomicU64,
+    last_cut: AtomicU64,
+    duration_ns: Histogram,
+}
+
+/// A snapshot of the checkpoint counters, with the same hand-rolled
+/// stable-schema JSON as the rest of the workspace.
+#[derive(Debug, Clone, Default)]
+pub struct CkptStats {
+    /// Snapshots published.
+    pub count: u64,
+    /// Cumulative serialized snapshot bytes.
+    pub bytes: u64,
+    /// Cumulative WAL bytes reclaimed by post-publish truncation.
+    pub wal_truncated_bytes: u64,
+    /// The WAL cut the current snapshot covers.
+    pub last_cut: u64,
+    /// Checkpoint wall-clock duration histogram, ns.
+    pub duration_ns: HistogramSnapshot,
+}
+
+impl CkptStats {
+    /// Stable-schema JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"count\":{},\"bytes\":{},\"wal_truncated_bytes\":{},\"last_cut\":{},\
+             \"duration_ns\":{}}}",
+            self.count,
+            self.bytes,
+            self.wal_truncated_bytes,
+            self.last_cut,
+            self.duration_ns.to_json(),
+        )
+    }
+}
+
+struct RunState {
+    snaps: Box<dyn SnapshotStore>,
+    last_cut: u64,
+}
+
+/// Publishes `{snapshot, WAL cut}` pairs; one checkpoint at a time.
+/// All of its I/O happens here — on the caller's thread or the store's
+/// background trigger thread — never inside an atomic section.
+pub struct Checkpointer {
+    wal: Arc<Wal>,
+    memtable: Arc<MemTable>,
+    run: Mutex<RunState>,
+    counters: CkptCounters,
+    auto: Option<(u64, u64)>,
+    bytes_mark: AtomicU64,
+    records_mark: AtomicU64,
+}
+
+impl Checkpointer {
+    /// A checkpointer over `wal` + `memtable`, publishing to `snaps`.
+    /// `last_cut` is the cut of the snapshot recovery loaded (0 if
+    /// none); `policy` configures the background trigger thresholds.
+    pub fn new(
+        wal: Arc<Wal>,
+        memtable: Arc<MemTable>,
+        snaps: Box<dyn SnapshotStore>,
+        last_cut: u64,
+        policy: CkptPolicy,
+    ) -> Self {
+        let auto = match policy {
+            CkptPolicy::Manual => None,
+            CkptPolicy::Auto {
+                wal_bytes,
+                wal_records,
+            } => Some((wal_bytes, wal_records)),
+        };
+        Checkpointer {
+            wal,
+            memtable,
+            run: Mutex::new(RunState { snaps, last_cut }),
+            counters: CkptCounters::default(),
+            auto,
+            bytes_mark: AtomicU64::new(0),
+            records_mark: AtomicU64::new(0),
+        }
+    }
+
+    /// Run one checkpoint (see the module docs for the protocol).
+    /// Serialized: a second caller blocks until the first finishes,
+    /// then usually observes nothing new and returns a skipped report.
+    pub fn run(&self, rt: &Runtime) -> io::Result<CkptReport> {
+        let mut run = self.run.lock();
+        let t0 = Instant::now();
+        let durable = self.wal.durable_seq();
+        if durable <= run.last_cut {
+            return Ok(CkptReport {
+                performed: false,
+                cut: run.last_cut,
+                keys: 0,
+                snapshot_bytes: 0,
+                wal_bytes_dropped: 0,
+                duration_ns: 0,
+            });
+        }
+        rt.trace_app(EventKind::CkptBegin, durable);
+        // 1. Quiescent cut + fresh segment: records > cut land in the
+        //    new segment, the old ones become immutable.
+        let cut = self.wal.rotate()?;
+        // 2. The memtable catches up to the cut (bounded: every record
+        //    <= cut is durable, so its applier is past the fsync).
+        self.memtable.wait_applied_through(cut);
+        // 3. Freeze and serialize outside any store lock.
+        let frozen = self.memtable.freeze_through(cut);
+        let keys = frozen.len() as u64;
+        let bytes = encode_snapshot(cut, frozen.iter());
+        // 4. Durable, atomic publish.
+        run.snaps.write_and_publish(&bytes)?;
+        rt.trace_app(EventKind::CkptPublish, bytes.len() as u64);
+        // 5. Only now is it safe to drop the covered segments.
+        let freed = self.wal.drop_rotated()?;
+        rt.trace_app(EventKind::WalTruncate, freed);
+        // 6. Fold the frozen delta into the memtable base.
+        self.memtable.compact_through(cut);
+        run.last_cut = cut;
+
+        self.bytes_mark
+            .store(self.wal.bytes_appended(), Ordering::Relaxed);
+        self.records_mark
+            .store(self.wal.records_appended(), Ordering::Relaxed);
+        self.counters.count.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .bytes
+            .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        self.counters
+            .wal_truncated_bytes
+            .fetch_add(freed, Ordering::Relaxed);
+        self.counters.last_cut.store(cut, Ordering::Relaxed);
+        let duration_ns = t0.elapsed().as_nanos() as u64;
+        self.counters.duration_ns.record(duration_ns);
+        Ok(CkptReport {
+            performed: true,
+            cut,
+            keys,
+            snapshot_bytes: bytes.len() as u64,
+            wal_bytes_dropped: freed,
+            duration_ns,
+        })
+    }
+
+    /// Cheap threshold check for the background trigger (two relaxed
+    /// loads; called from deferred ops, so it must not block).
+    pub fn should_trigger(&self) -> bool {
+        match self.auto {
+            None => false,
+            Some((max_bytes, max_records)) => {
+                let b = self.wal.bytes_appended() - self.bytes_mark.load(Ordering::Relaxed);
+                let r = self.wal.records_appended() - self.records_mark.load(Ordering::Relaxed);
+                b >= max_bytes || r >= max_records
+            }
+        }
+    }
+
+    /// Snapshot the checkpoint counters.
+    pub fn stats(&self) -> CkptStats {
+        CkptStats {
+            count: self.counters.count.load(Ordering::Relaxed),
+            bytes: self.counters.bytes.load(Ordering::Relaxed),
+            wal_truncated_bytes: self.counters.wal_truncated_bytes.load(Ordering::Relaxed),
+            last_cut: self.counters.last_cut.load(Ordering::Relaxed),
+            duration_ns: self.counters.duration_ns.snapshot(),
+        }
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn sample() -> BTreeMap<Arc<str>, Arc<[u8]>> {
+        let mut m: BTreeMap<Arc<str>, Arc<[u8]>> = BTreeMap::new();
+        m.insert(Arc::from("alpha"), Arc::from(&b"1"[..]));
+        m.insert(Arc::from("beta"), Arc::from(&[0u8; 100][..]));
+        m.insert(Arc::from("gamma"), Arc::from(&b""[..]));
+        m
+    }
+
+    #[test]
+    fn snapshot_codec_round_trips() {
+        let m = sample();
+        let bytes = encode_snapshot(42, m.iter());
+        let (cut, back) = decode_snapshot(&bytes).expect("valid snapshot");
+        assert_eq!(cut, 42);
+        assert_eq!(back, m);
+
+        let empty = encode_snapshot(7, std::iter::empty());
+        let (cut, back) = decode_snapshot(&empty).expect("empty snapshot is valid");
+        assert_eq!(cut, 7);
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn snapshot_validation_is_all_or_nothing() {
+        let bytes = encode_snapshot(42, sample().iter());
+        // Any truncation is rejected — even one that ends exactly on a
+        // record boundary (the footer is gone).
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_snapshot(&bytes[..cut]).is_none(),
+                "truncation at {cut} accepted"
+            );
+        }
+        // Any single corrupt byte is rejected.
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0xff;
+            assert!(
+                decode_snapshot(&bad).is_none(),
+                "corrupt byte at {i} accepted"
+            );
+        }
+    }
+}

@@ -26,11 +26,23 @@
 //!
 //! ## Crash recovery
 //!
-//! [`KvStore::open`] scans the log, truncates the torn tail (checksums +
-//! contiguous sequence numbers decide validity), and replays the surviving
-//! prefix. One redo record is one transaction, so recovery can never
-//! resurrect half of a multi-key write — see [`recover`] and the
-//! crash-matrix tests in `tests/recovery.rs`.
+//! [`KvStore::open`] runs two-tier recovery: load the newest valid
+//! checkpoint snapshot (CRC-validated, all-or-nothing, falling back to
+//! the previous snapshot), then scan the WAL segments, truncate the torn
+//! tail (checksums + contiguous sequence numbers decide validity), and
+//! replay only the suffix past the snapshot's cut. One redo record is one
+//! transaction, so recovery can never resurrect half of a multi-key
+//! write — see [`recover`], [`checkpoint`], and the crash-matrix tests in
+//! `tests/recovery.rs` and `tests/ckpt_recovery.rs`.
+//!
+//! ## Bounding the log
+//!
+//! Without checkpoints the WAL grows forever and recovery replays
+//! everything. [`KvStore::checkpoint`] (or [`CkptPolicy::Auto`]) publishes
+//! an atomic snapshot of the committed-durable state — built from the
+//! [`memtable`], which the same deferred ops populate post-fsync — and
+//! then drops the WAL segments the snapshot covers: bounded log, bounded
+//! recovery ([`checkpoint`]).
 //!
 //! ## Example
 //!
@@ -47,6 +59,8 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod checkpoint;
+pub mod memtable;
 pub mod recover;
 pub mod store;
 pub mod wal;
@@ -58,9 +72,13 @@ pub mod wal;
 #[cfg(all(test, loom))]
 mod verify;
 
-pub use recover::{RecoveryReport, RedoOps, RedoRecord, ScanEnd};
+pub use checkpoint::{
+    CkptPolicy, CkptReport, CkptStats, Checkpointer, FileSnapshots, SnapshotStore,
+};
+pub use memtable::MemTable;
+pub use recover::{RecoveryReport, RedoOps, RedoRecord, ScanEnd, SnapshotSource};
 pub use store::{Durability, KvConfig, KvStore, WriteBatch};
-pub use wal::{FileMedium, MemMedium, SyncPolicy, Wal, WalMedium, WalStats};
+pub use wal::{FileMedium, MemDisk, MemMedium, SyncPolicy, Wal, WalMedium, WalStats};
 
 // Re-exported so connection-facing callers (`ad-net`) can name the handle
 // the `*_async` write methods return without depending on `ad-defer`.

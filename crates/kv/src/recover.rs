@@ -17,8 +17,11 @@
 //! deliberately prefix-only — a record *after* a corrupt one may well be
 //! intact, but replaying across a hole would reorder same-key updates.
 
+use std::collections::BTreeMap;
+
 use ad_support::crc32::crc32;
 
+use crate::checkpoint::decode_snapshot;
 use crate::wal::{HEADER_LEN, MAGIC, MAX_PAYLOAD};
 
 /// A batch's writes in application order: `Some(value)` is a put, `None`
@@ -57,13 +60,24 @@ pub enum ScanEnd {
     BadPayload,
 }
 
+/// Which snapshot file provided recovery's base image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotSource {
+    /// No snapshot: the store recovered from the WAL alone.
+    None,
+    /// `snapshot.cur` validated and was loaded.
+    Current,
+    /// `snapshot.cur` was missing or corrupt; `snapshot.prev` was loaded.
+    Previous,
+}
+
 /// The outcome of a recovery scan (and, when produced by
 /// [`KvStore::open`](crate::KvStore::open), the replay).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RecoveryReport {
-    /// Records accepted and replayed.
+    /// Records accepted by the scan (across all WAL segments).
     pub records: u64,
-    /// Individual key operations replayed.
+    /// Individual key operations in the accepted records.
     pub ops: u64,
     /// Bytes of valid WAL prefix kept.
     pub valid_bytes: u64,
@@ -73,6 +87,17 @@ pub struct RecoveryReport {
     pub last_seq: u64,
     /// Why the scan stopped.
     pub end: ScanEnd,
+    /// WAL cut of the loaded snapshot — replay skipped `seq <= cut`
+    /// (0 when no snapshot was loaded).
+    pub snapshot_cut: u64,
+    /// Live keys loaded from the snapshot.
+    pub snapshot_keys: u64,
+    /// Which snapshot file provided the base image.
+    pub snapshot_source: SnapshotSource,
+    /// Records actually replayed: accepted records with
+    /// `seq > snapshot_cut`. Always `<= records` — a post-checkpoint
+    /// reopen replays only the WAL suffix, not full history.
+    pub replayed: u64,
 }
 
 impl RecoveryReport {
@@ -209,12 +234,151 @@ pub fn scan(bytes: &[u8], first_seq: u64) -> (Vec<RedoRecord>, RecoveryReport) {
         truncated_bytes: (bytes.len() - off) as u64,
         last_seq: expect_seq - 1,
         end,
+        snapshot_cut: 0,
+        snapshot_keys: 0,
+        snapshot_source: SnapshotSource::None,
+        replayed: records.len() as u64,
     };
     (records, report)
 }
 
+/// The full two-tier recovery result: the snapshot's base image, the
+/// WAL-suffix records to replay on top of it, and instructions for
+/// sanitizing the on-disk segments before appending resumes.
+pub(crate) struct TwoTier {
+    /// Committed state as of `report.snapshot_cut` (empty without a
+    /// snapshot).
+    pub base: crate::memtable::KeyMap,
+    /// Accepted records with `seq > snapshot_cut`, in sequence order.
+    pub records: Vec<RedoRecord>,
+    /// Provenance and scan outcome.
+    pub report: RecoveryReport,
+    /// Sequence the resumed WAL assigns next.
+    pub next_seq: u64,
+    /// Per input segment: `Some(valid_len)` → keep, truncated to that
+    /// length; `None` → delete (beyond a chain break, or unusable).
+    pub keep: Vec<Option<u64>>,
+    /// Index of the segment appends resume on (`None` → start a fresh
+    /// segment at `next_seq`).
+    pub active: Option<usize>,
+}
+
+/// Two-tier recovery: load the newest valid snapshot (`cur`, falling
+/// back to `prev` on CRC/footer failure), then scan the WAL segments —
+/// `(first_seq, bytes)` pairs in sequence order — as one contiguous
+/// chain and keep the longest valid prefix. Records at or below the
+/// snapshot's cut are dropped (already in the base image; they linger
+/// in segments only across the crash window between snapshot publish
+/// and WAL truncation, where suffix replay must be — and is —
+/// idempotent: the filter simply excludes them). If the surviving chain
+/// starts above `cut + 1` the suffix cannot be replayed without a hole,
+/// so it is discarded entirely and the store recovers to the snapshot
+/// alone — an older committed prefix (only reachable via double
+/// corruption: the current snapshot *and* a covered segment).
+pub(crate) fn recover_two_tier(
+    snap_cur: Option<&[u8]>,
+    snap_prev: Option<&[u8]>,
+    segments: &[(u64, Vec<u8>)],
+) -> TwoTier {
+    let (cut, base, source) = match snap_cur.and_then(decode_snapshot) {
+        Some((cut, map)) => (cut, map, SnapshotSource::Current),
+        None => match snap_prev.and_then(decode_snapshot) {
+            Some((cut, map)) => (cut, map, SnapshotSource::Previous),
+            None => (0, BTreeMap::new(), SnapshotSource::None),
+        },
+    };
+
+    let mut records: Vec<RedoRecord> = Vec::new();
+    let mut ops = 0u64;
+    let mut valid = 0u64;
+    let mut truncated = 0u64;
+    let mut end = ScanEnd::Clean;
+    let mut keep: Vec<Option<u64>> = vec![None; segments.len()];
+    let mut active = None;
+    let mut expect = segments.first().map_or(1, |(id, _)| *id);
+    let mut chain_last = expect - 1;
+    let mut broken = false;
+    for (i, (first_seq, bytes)) in segments.iter().enumerate() {
+        if broken {
+            truncated += bytes.len() as u64;
+            continue;
+        }
+        if *first_seq != expect {
+            // A hole between segments: everything from here on is
+            // unreachable without reordering — discard it.
+            broken = true;
+            end = ScanEnd::BadSequence;
+            truncated += bytes.len() as u64;
+            continue;
+        }
+        let (recs, rep) = scan(bytes, *first_seq);
+        valid += rep.valid_bytes;
+        truncated += rep.truncated_bytes;
+        ops += rep.ops;
+        chain_last = rep.last_seq;
+        keep[i] = Some(rep.valid_bytes);
+        active = Some(i);
+        records.extend(recs);
+        if rep.end == ScanEnd::Clean {
+            expect = rep.last_seq + 1;
+        } else {
+            broken = true;
+            end = rep.end;
+        }
+    }
+
+    // Two ways the chain can be useless against the snapshot:
+    // - it *starts* above cut+1 (a hole between snapshot and suffix —
+    //   nothing after the hole can be replayed), or
+    // - it *ends* below the cut (every surviving record is already in
+    //   the snapshot, and resuming appends at cut+1 on a segment whose
+    //   last record is older would bake a sequence gap into the file).
+    // Either way: drop the segments entirely and recover to the
+    // snapshot alone; appends restart on a fresh, contiguous segment.
+    let chain_start = segments.first().map_or(cut + 1, |(id, _)| *id);
+    if chain_start > cut + 1 || chain_last < cut {
+        if chain_start > cut + 1 {
+            end = ScanEnd::BadSequence;
+        }
+        truncated += valid;
+        valid = 0;
+        ops = 0;
+        records.clear();
+        keep.iter_mut().for_each(|k| *k = None);
+        active = None;
+        chain_last = cut;
+    }
+
+    let total = records.len() as u64;
+    records.retain(|r| r.seq > cut);
+    let replayed = records.len() as u64;
+    let next_seq = chain_last.max(cut) + 1;
+    let report = RecoveryReport {
+        records: total,
+        ops,
+        valid_bytes: valid,
+        truncated_bytes: truncated,
+        last_seq: chain_last,
+        end,
+        snapshot_cut: cut,
+        snapshot_keys: base.len() as u64,
+        snapshot_source: source,
+        replayed,
+    };
+    TwoTier {
+        base,
+        records,
+        report,
+        next_seq,
+        keep,
+        active,
+    }
+}
+
 #[cfg(all(test, not(loom)))]
 mod tests {
+    use std::sync::Arc;
+
     use super::*;
     use crate::wal::frame_record;
 
@@ -330,5 +494,87 @@ mod tests {
         assert_eq!(rep.end, ScanEnd::Clean);
         assert_eq!(rep.last_seq, 0);
         assert!(!rep.torn());
+    }
+
+    fn snap(cut: u64, entries: &[(&str, &[u8])]) -> Vec<u8> {
+        let map: BTreeMap<Arc<str>, Arc<[u8]>> = entries
+            .iter()
+            .map(|(k, v)| (Arc::from(*k), Arc::from(*v)))
+            .collect();
+        crate::checkpoint::encode_snapshot(cut, map.iter())
+    }
+
+    #[test]
+    fn two_tier_replays_only_the_suffix() {
+        // Snapshot at cut 2; suffix segment carries 3..=4.
+        let mut seg = record(3, 3, &[("c", Some(b"3"))]);
+        seg.extend(record(4, 4, &[("a", None)]));
+        let cur = snap(2, &[("a", b"1"), ("b", b"2")]);
+        let t = recover_two_tier(Some(&cur), None, &[(3, seg)]);
+        assert_eq!(t.report.snapshot_cut, 2);
+        assert_eq!(t.report.snapshot_source, SnapshotSource::Current);
+        assert_eq!(t.report.snapshot_keys, 2);
+        assert_eq!(t.report.replayed, 2);
+        assert_eq!(t.records.len(), 2);
+        assert_eq!(t.base.len(), 2);
+        assert_eq!(t.next_seq, 5);
+        assert_eq!(t.active, Some(0));
+    }
+
+    #[test]
+    fn two_tier_skips_covered_records_idempotently() {
+        // The crash window between snapshot publish and WAL truncation:
+        // the old segment (1..=2) still exists next to the snapshot at
+        // cut 2. Records <= cut are filtered, not re-applied.
+        let mut seg0 = record(1, 1, &[("a", Some(b"old"))]);
+        seg0.extend(record(2, 2, &[("b", Some(b"2"))]));
+        let seg1 = record(3, 3, &[("c", Some(b"3"))]);
+        let cur = snap(2, &[("a", b"old"), ("b", b"2")]);
+        let t = recover_two_tier(Some(&cur), None, &[(1, seg0), (3, seg1)]);
+        assert_eq!(t.report.records, 3);
+        assert_eq!(t.report.replayed, 1, "only the suffix record replays");
+        assert_eq!(t.records[0].seq, 3);
+    }
+
+    #[test]
+    fn two_tier_falls_back_to_previous_snapshot() {
+        let seg = record(2, 2, &[("b", Some(b"2"))]);
+        let mut cur = snap(3, &[("a", b"new")]);
+        let n = cur.len();
+        cur[n - 1] ^= 0xff; // corrupt the current snapshot
+        let prev = snap(1, &[("a", b"old")]);
+        let t = recover_two_tier(Some(&cur), Some(&prev), &[(2, seg)]);
+        assert_eq!(t.report.snapshot_source, SnapshotSource::Previous);
+        assert_eq!(t.report.snapshot_cut, 1);
+        assert_eq!(t.report.replayed, 1);
+        assert_eq!(t.base.get("a").map(|v| v.as_ref()), Some(&b"old"[..]));
+    }
+
+    #[test]
+    fn two_tier_discards_suffix_with_a_hole() {
+        // Snapshot at cut 1 but the only segment starts at 5: records
+        // 2..=4 are gone, so the suffix is unreplayable and the store
+        // recovers to the snapshot alone.
+        let seg = record(5, 5, &[("z", Some(b"5"))]);
+        let cur = snap(1, &[("a", b"1")]);
+        let t = recover_two_tier(Some(&cur), None, &[(5, seg)]);
+        assert_eq!(t.report.replayed, 0);
+        assert!(t.records.is_empty());
+        assert_eq!(t.report.end, ScanEnd::BadSequence);
+        assert_eq!(t.active, None, "segments are unusable");
+        assert_eq!(t.keep, vec![None]);
+        assert_eq!(t.next_seq, 2, "appends restart right after the cut");
+    }
+
+    #[test]
+    fn two_tier_without_any_snapshot_matches_plain_scan() {
+        let mut seg = record(1, 1, &[("a", Some(b"1"))]);
+        seg.extend(record(2, 2, &[("b", Some(b"2"))]));
+        let t = recover_two_tier(None, None, &[(1, seg.clone())]);
+        let (recs, rep) = scan(&seg, 1);
+        assert_eq!(t.records, recs);
+        assert_eq!(t.report.records, rep.records);
+        assert_eq!(t.report.snapshot_source, SnapshotSource::None);
+        assert_eq!(t.report.replayed, 2);
     }
 }

@@ -38,8 +38,17 @@ use ad_defer::{atomic_defer, atomic_defer_tracked, Defer, DeferHandle, Deferrabl
 use ad_stm::{Runtime, StmResult, TVar, TmConfig, Tx};
 use ad_support::sync::atomic::{AtomicU64, Ordering};
 
-use crate::recover::{encode_redo, scan, RecoveryReport, RedoRecord};
-use crate::wal::{FileMedium, SyncPolicy, Wal, WalMedium, WalStats};
+use ad_support::sync::{Condvar, Mutex};
+
+use crate::checkpoint::{
+    snapshot_paths, CkptPolicy, CkptReport, CkptStats, Checkpointer, FileSnapshots, SnapshotStore,
+};
+use crate::memtable::MemTable;
+use crate::recover::{encode_redo, recover_two_tier, scan, RecoveryReport, RedoRecord};
+use crate::wal::{
+    fsync_dir_of, segment_path, FileMedium, MemDisk, SyncPolicy, Wal, WalMedium, WalStats,
+    MEMDISK_SNAP_CUR, MEMDISK_SNAP_PREV, MEMDISK_SNAP_TMP, MEMDISK_WAL,
+};
 
 /// Whether (and how) the store persists writes.
 #[derive(Debug, Clone)]
@@ -65,6 +74,9 @@ pub struct KvConfig {
     pub buckets_per_shard: usize,
     /// Persistence mode.
     pub durability: Durability,
+    /// Checkpoint policy (only meaningful for durable stores whose
+    /// medium supports segment rotation — file-backed and [`MemDisk`]).
+    pub ckpt: CkptPolicy,
 }
 
 impl Default for KvConfig {
@@ -73,6 +85,7 @@ impl Default for KvConfig {
             shards: 16,
             buckets_per_shard: 64,
             durability: Durability::Volatile,
+            ckpt: CkptPolicy::Manual,
         }
     }
 }
@@ -97,6 +110,13 @@ impl KvConfig {
     /// Override the shard count (and proportionally the bucket count).
     pub fn with_shards(mut self, shards: usize) -> Self {
         self.shards = shards;
+        self
+    }
+
+    /// Set the checkpoint policy ([`CkptPolicy::Auto`] starts a
+    /// background trigger thread on open).
+    pub fn with_ckpt(mut self, ckpt: CkptPolicy) -> Self {
+        self.ckpt = ckpt;
         self
     }
 }
@@ -153,14 +173,80 @@ struct Shard {
     buckets: Vec<TVar<Bucket>>,
 }
 
+/// Wakeup channel between deferred ops (which notice the WAL crossed a
+/// threshold) and the background checkpoint thread (which does the I/O;
+/// running a checkpoint *inside* a deferred op would self-deadlock — it
+/// waits for a memtable watermark that includes the caller's own
+/// not-yet-applied record).
+struct CkptSignal {
+    state: Mutex<CkptWake>,
+    cv: Condvar,
+}
+
+#[derive(Default)]
+struct CkptWake {
+    shutdown: bool,
+    kicked: bool,
+}
+
+struct CkptWorker {
+    handle: Option<std::thread::JoinHandle<()>>,
+    signal: Arc<CkptSignal>,
+}
+
+/// Everything an open path hands to [`KvStore::build`]: the recovered
+/// durable state (snapshot base + WAL suffix records), the resumed WAL,
+/// and the optional snapshot store that enables checkpointing.
+struct BuildParts {
+    wal: Option<Arc<Wal>>,
+    base: crate::memtable::KeyMap,
+    records: Vec<RedoRecord>,
+    recovery: Option<RecoveryReport>,
+    snaps: Option<Box<dyn SnapshotStore>>,
+    ckpt_policy: CkptPolicy,
+}
+
+impl BuildParts {
+    fn volatile() -> Self {
+        BuildParts {
+            wal: None,
+            base: BTreeMap::new(),
+            records: Vec::new(),
+            recovery: None,
+            snaps: None,
+            ckpt_policy: CkptPolicy::Manual,
+        }
+    }
+}
+
 /// The durable transactional KV store. Clone-free: share it via `Arc`.
 pub struct KvStore {
     rt: Arc<Runtime>,
     shards: Vec<Defer<Shard>>,
     buckets_per_shard: usize,
     wal: Option<Arc<Wal>>,
+    /// Durable-tier index of recent committed writes (every durable
+    /// store; populated post-fsync from the same deferred ops that
+    /// append redo records).
+    memtable: Option<Arc<MemTable>>,
+    /// Present when the medium supports rotation and a snapshot store
+    /// exists (file-backed and [`MemDisk`] opens).
+    ckpt: Option<Arc<Checkpointer>>,
+    ckpt_worker: Option<CkptWorker>,
     next_txid: AtomicU64,
     recovery: Option<RecoveryReport>,
+}
+
+impl Drop for KvStore {
+    fn drop(&mut self) {
+        if let Some(w) = self.ckpt_worker.take() {
+            w.signal.state.lock().shutdown = true;
+            w.signal.cv.notify_all();
+            if let Some(h) = w.handle {
+                let _ = h.join();
+            }
+        }
+    }
 }
 
 fn fnv1a64(data: &[u8]) -> u64 {
@@ -174,66 +260,136 @@ fn fnv1a64(data: &[u8]) -> u64 {
 
 impl KvStore {
     /// Open a store: fresh for [`Durability::Volatile`]; for
-    /// [`Durability::Durable`], recover the WAL at `path` (scan, truncate
-    /// the torn tail, replay) and continue appending after it.
+    /// [`Durability::Durable`], two-tier recovery at `path` — load the
+    /// newest valid snapshot (`{path}.ckpt.cur`, falling back to
+    /// `.prev`), replay the WAL suffix with `seq > cut` across the
+    /// segment files (`path`, `{path}.segN`), truncate any torn tail —
+    /// and continue appending after it.
     pub fn open(config: KvConfig) -> io::Result<KvStore> {
         match &config.durability {
             Durability::Volatile => Ok(Self::build(
                 config.shards,
                 config.buckets_per_shard,
-                None,
-                &[],
-                None,
+                BuildParts::volatile(),
             )),
             Durability::Durable { path, sync } => {
-                Self::open_durable(path, *sync, config.shards, config.buckets_per_shard)
+                let path = path.clone();
+                Self::open_durable(&path, *sync, &config)
             }
         }
     }
 
-    fn open_durable(
-        path: &Path,
-        sync: SyncPolicy,
-        shards: usize,
-        buckets_per_shard: usize,
-    ) -> io::Result<KvStore> {
-        let bytes = match std::fs::read(path) {
-            Ok(b) => b,
-            Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
-            Err(e) => return Err(e),
-        };
-        let (records, report) = scan(&bytes, 1);
-        let mut file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(false)
-            .open(path)?;
-        if report.torn() {
-            // Cut the torn tail so the next append continues a valid log,
-            // and make the truncation itself durable before accepting
-            // writes.
-            file.set_len(report.valid_bytes)?;
-            file.sync_data()?;
+    fn open_durable(path: &Path, sync: SyncPolicy, config: &KvConfig) -> io::Result<KvStore> {
+        // Discover segments: the base file carries the chain from seq 1,
+        // rotated segments are `{base}.seg{first_seq:020}`.
+        let mut segs: Vec<(u64, PathBuf)> = Vec::new();
+        if path.exists() {
+            segs.push((1, path.to_path_buf()));
         }
-        file.seek(SeekFrom::End(0))?;
-        let wal = Arc::new(Wal::new(
-            Box::new(FileMedium::new(file)),
-            sync,
-            report.last_seq + 1,
-        ));
+        let fname = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let dir = path
+            .parent()
+            .filter(|p| !p.as_os_str().is_empty())
+            .unwrap_or(Path::new("."));
+        if let Ok(rd) = std::fs::read_dir(dir) {
+            for entry in rd.flatten() {
+                let name = entry.file_name().to_string_lossy().into_owned();
+                if let Some(suffix) = name
+                    .strip_prefix(&fname)
+                    .and_then(|s| s.strip_prefix(".seg"))
+                {
+                    if let Ok(id) = suffix.parse::<u64>() {
+                        segs.push((id, entry.path()));
+                    }
+                }
+            }
+        }
+        segs.sort();
+        let mut seg_bytes: Vec<(u64, Vec<u8>)> = Vec::with_capacity(segs.len());
+        for (id, p) in &segs {
+            seg_bytes.push((*id, std::fs::read(p)?));
+        }
+        let (tmp, cur, prev) = snapshot_paths(path);
+        let read_opt = |p: &Path| match std::fs::read(p) {
+            Ok(b) => Ok(Some(b)),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e),
+        };
+        let cur_bytes = read_opt(&cur)?;
+        let prev_bytes = read_opt(&prev)?;
+        let t = recover_two_tier(cur_bytes.as_deref(), prev_bytes.as_deref(), &seg_bytes);
+
+        // Sanitize before accepting writes: drop a stale tmp, cut torn
+        // tails, delete unusable segments — durably.
+        let _ = std::fs::remove_file(&tmp);
+        let mut old_segments = Vec::new();
+        let mut active_file = None;
+        for (i, (_, p)) in segs.iter().enumerate() {
+            match t.keep[i] {
+                Some(valid) => {
+                    let mut file = OpenOptions::new().read(true).write(true).open(p)?;
+                    let len = file.metadata()?.len();
+                    if len != valid {
+                        file.set_len(valid)?;
+                        file.sync_data()?;
+                    }
+                    if t.active == Some(i) {
+                        file.seek(SeekFrom::End(0))?;
+                        active_file = Some((file, p.clone()));
+                    } else {
+                        old_segments.push(p.clone());
+                    }
+                }
+                None => match std::fs::remove_file(p) {
+                    Ok(()) | Err(_) => {}
+                },
+            }
+        }
+        let (file, current) = match active_file {
+            Some(fp) => fp,
+            None => {
+                // Fresh store, or recovery discarded every segment:
+                // start a new contiguous segment.
+                let p = if t.next_seq == 1 {
+                    path.to_path_buf()
+                } else {
+                    segment_path(path, t.next_seq)
+                };
+                let f = OpenOptions::new()
+                    .create(true)
+                    .truncate(true)
+                    .read(true)
+                    .write(true)
+                    .open(&p)?;
+                (f, p)
+            }
+        };
+        fsync_dir_of(path)?;
+        let medium = FileMedium::with_segments(file, path.to_path_buf(), current, old_segments);
+        let wal = Arc::new(Wal::new(Box::new(medium), sync, t.next_seq));
+        let snaps: Box<dyn SnapshotStore> = Box::new(FileSnapshots::new(path.to_path_buf()));
         Ok(Self::build(
-            shards,
-            buckets_per_shard,
-            Some(wal),
-            &records,
-            Some(report),
+            config.shards,
+            config.buckets_per_shard,
+            BuildParts {
+                wal: Some(wal),
+                base: t.base,
+                records: t.records,
+                recovery: Some(t.report),
+                snaps: Some(snaps),
+                ckpt_policy: config.ckpt,
+            },
         ))
     }
 
     /// Open over an explicit [`WalMedium`], recovering from `existing`
-    /// (a crash image) first. The testing/bench entry point: `MemMedium`
-    /// here gives byte-exact crash injection without touching disk.
+    /// (a crash image) first. The single-stream testing/bench entry
+    /// point: `MemMedium` here gives byte-exact crash injection without
+    /// touching disk. No snapshot store is attached, so checkpointing is
+    /// unavailable — use [`KvStore::open_on_disk`] for that.
     pub fn open_on_medium(
         config: &KvConfig,
         sync: SyncPolicy,
@@ -245,21 +401,104 @@ impl KvStore {
         let store = Self::build(
             config.shards,
             config.buckets_per_shard,
-            Some(wal),
-            &records,
-            Some(report.clone()),
+            BuildParts {
+                wal: Some(wal),
+                base: BTreeMap::new(),
+                records,
+                recovery: Some(report.clone()),
+                snaps: None,
+                ckpt_policy: CkptPolicy::Manual,
+            },
         );
         (store, report)
     }
 
-    fn build(
-        shards: usize,
-        buckets_per_shard: usize,
-        wal: Option<Arc<Wal>>,
-        records: &[RedoRecord],
-        recovery: Option<RecoveryReport>,
-    ) -> KvStore {
+    /// Open on a [`MemDisk`] — the multi-file in-memory medium — with
+    /// full two-tier recovery and checkpoint support. The testing entry
+    /// point for byte-exact crash images across checkpoint boundaries
+    /// ([`MemDisk::crash_image`]).
+    pub fn open_on_disk(
+        config: &KvConfig,
+        sync: SyncPolicy,
+        disk: MemDisk,
+    ) -> (KvStore, RecoveryReport) {
+        let mut segs: Vec<(u64, String)> = disk
+            .file_names()
+            .into_iter()
+            .filter_map(|n| {
+                if n == MEMDISK_WAL {
+                    Some((1, n))
+                } else if let Some(suffix) = n.strip_prefix("wal.seg") {
+                    suffix.parse::<u64>().ok().map(|id| (id, n))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        segs.sort();
+        let seg_bytes: Vec<(u64, Vec<u8>)> = segs
+            .iter()
+            .map(|(id, n)| (*id, disk.read_file(n).unwrap_or_default()))
+            .collect();
+        let cur = disk.read_file(MEMDISK_SNAP_CUR);
+        let prev = disk.read_file(MEMDISK_SNAP_PREV);
+        let t = recover_two_tier(cur.as_deref(), prev.as_deref(), &seg_bytes);
+
+        if disk.read_file(MEMDISK_SNAP_TMP).is_some() {
+            disk.delete_file(MEMDISK_SNAP_TMP);
+        }
+        let mut old_segments = Vec::new();
+        let mut active = None;
+        for (i, (_, name)) in segs.iter().enumerate() {
+            match t.keep[i] {
+                Some(valid) => {
+                    disk.truncate_file(name, valid as usize);
+                    if t.active == Some(i) {
+                        active = Some(name.clone());
+                    } else {
+                        old_segments.push(name.clone());
+                    }
+                }
+                None => {
+                    disk.delete_file(name);
+                }
+            }
+        }
+        let active = active.unwrap_or_else(|| {
+            if t.next_seq == 1 {
+                MEMDISK_WAL.to_string()
+            } else {
+                format!("wal.seg{:020}", t.next_seq)
+            }
+        });
+        disk.set_active_wal(&active, old_segments);
+        let wal = Arc::new(Wal::new(Box::new(disk.clone()), sync, t.next_seq));
+        let report = t.report.clone();
+        let store = Self::build(
+            config.shards,
+            config.buckets_per_shard,
+            BuildParts {
+                wal: Some(wal),
+                base: t.base,
+                records: t.records,
+                recovery: Some(t.report),
+                snaps: Some(Box::new(disk)),
+                ckpt_policy: config.ckpt,
+            },
+        );
+        (store, report)
+    }
+
+    fn build(shards: usize, buckets_per_shard: usize, parts: BuildParts) -> KvStore {
         assert!(shards >= 1 && buckets_per_shard >= 1);
+        let BuildParts {
+            wal,
+            base,
+            records,
+            recovery,
+            snaps,
+            ckpt_policy,
+        } = parts;
         // Under SyncPolicy::Async the store's runtime gets a pooled
         // deferred executor: commits return after write-back + quiescence
         // and the WAL append (including the group-commit leader's fsync)
@@ -273,24 +512,47 @@ impl KvStore {
             }
             _ => TmConfig::stm(),
         };
+        // Bulk-load the snapshot's base image straight into the buckets
+        // (the store is not yet shared, and BTreeMap order means each
+        // bucket's subsequence is already sorted); the WAL suffix then
+        // replays transactionally, one record per transaction, exactly
+        // like the pre-checkpoint recovery path — deterministic replay,
+        // monotonic versions.
+        type BucketLoad = Vec<(Arc<str>, Arc<[u8]>)>;
+        let mut bucket_data: Vec<Vec<BucketLoad>> =
+            vec![vec![Vec::new(); buckets_per_shard]; shards];
+        for (k, v) in &base {
+            let h = fnv1a64(k.as_bytes());
+            let (si, bi) = (
+                (h as u32 as usize) % shards,
+                ((h >> 32) as usize) % buckets_per_shard,
+            );
+            bucket_data[si][bi].push((Arc::clone(k), Arc::clone(v)));
+        }
+        let snapshot_cut = recovery.as_ref().map_or(0, |r| r.snapshot_cut);
         let store = KvStore {
             rt: Arc::new(Runtime::new(tm_cfg)),
-            shards: (0..shards)
-                .map(|_| {
+            shards: bucket_data
+                .into_iter()
+                .map(|buckets| {
                     Defer::new(Shard {
-                        buckets: (0..buckets_per_shard)
-                            .map(|_| TVar::new(Bucket::default()))
+                        buckets: buckets
+                            .into_iter()
+                            .map(|entries| TVar::new(Arc::new(entries)))
                             .collect(),
                     })
                 })
                 .collect(),
             buckets_per_shard,
             wal,
+            memtable: None,
+            ckpt: None,
+            ckpt_worker: None,
             next_txid: AtomicU64::new(1),
             recovery,
         };
         let mut max_txid = 0;
-        for rec in records {
+        for rec in &records {
             max_txid = max_txid.max(rec.txid);
             store.rt.atomically(|tx| {
                 for (key, value) in &rec.ops {
@@ -299,7 +561,71 @@ impl KvStore {
                 Ok(())
             });
         }
-        store.next_txid.store(max_txid + 1, Ordering::Relaxed);
+        // txids are diagnostic, but keep them monotonic across
+        // checkpointed restarts (snapshotted records' txids are gone;
+        // the cut bounds them because txids are handed out per batch).
+        store
+            .next_txid
+            .store(max_txid.max(snapshot_cut) + 1, Ordering::Relaxed);
+        let mut store = store;
+        if let Some(wal) = &store.wal {
+            // The memtable base is the recovered durable state: snapshot
+            // image plus replayed suffix; the watermark starts at the
+            // resumed WAL position.
+            let mut mt_base = base;
+            for rec in &records {
+                for (key, value) in &rec.ops {
+                    match value {
+                        Some(v) => {
+                            mt_base.insert(Arc::from(key.as_str()), Arc::from(v.as_slice()));
+                        }
+                        None => {
+                            mt_base.remove(key.as_str());
+                        }
+                    }
+                }
+            }
+            let memtable = Arc::new(MemTable::with_base(mt_base, wal.durable_seq()));
+            if let Some(snaps) = snaps {
+                let ckpt = Arc::new(Checkpointer::new(
+                    Arc::clone(wal),
+                    Arc::clone(&memtable),
+                    snaps,
+                    snapshot_cut,
+                    ckpt_policy,
+                ));
+                if matches!(ckpt_policy, CkptPolicy::Auto { .. }) {
+                    let signal = Arc::new(CkptSignal {
+                        state: Mutex::new(CkptWake::default()),
+                        cv: Condvar::new(),
+                    });
+                    let worker_sig = Arc::clone(&signal);
+                    let worker_ckpt = Arc::clone(&ckpt);
+                    let worker_rt = Arc::clone(&store.rt);
+                    let handle = std::thread::spawn(move || loop {
+                        {
+                            let mut g = worker_sig.state.lock();
+                            while !g.shutdown && !g.kicked {
+                                worker_sig.cv.wait(&mut g);
+                            }
+                            if g.shutdown {
+                                return;
+                            }
+                            g.kicked = false;
+                        }
+                        if let Err(e) = worker_ckpt.run(&worker_rt) {
+                            eprintln!("ad-kv: background checkpoint failed: {e}");
+                        }
+                    });
+                    store.ckpt_worker = Some(CkptWorker {
+                        handle: Some(handle),
+                        signal,
+                    });
+                }
+                store.ckpt = Some(ckpt);
+            }
+            store.memtable = Some(memtable);
+        }
         store
     }
 
@@ -410,6 +736,24 @@ impl KvStore {
             .wal
             .as_ref()
             .map(|_| Arc::from(encode_redo(txid, &batch.ops).into_boxed_slice()));
+        // Pre-convert the ops once for the memtable apply inside the
+        // deferred closure (same zero-allocation-on-retry discipline as
+        // the payload).
+        let applied: Option<Arc<Vec<crate::memtable::MemOp>>> =
+            self.memtable.as_ref().map(|_| {
+                Arc::new(
+                    batch
+                        .ops
+                        .iter()
+                        .map(|(k, v)| {
+                            (
+                                Arc::from(k.as_str()),
+                                v.as_deref().map(Arc::from),
+                            )
+                        })
+                        .collect(),
+                )
+            });
         let mut touched: Vec<usize> = batch.ops.iter().map(|(k, _)| self.locate(k).0).collect();
         touched.sort_unstable();
         touched.dedup();
@@ -427,8 +771,33 @@ impl KvStore {
                 let wal2 = Arc::clone(wal);
                 let bytes = Arc::clone(payload);
                 let runtime = Arc::clone(&self.rt);
+                let mt = self.memtable.clone();
+                let ops = applied.clone();
+                let trigger = match (&self.ckpt, &self.ckpt_worker) {
+                    (Some(ck), Some(w)) => Some((Arc::clone(ck), Arc::clone(&w.signal))),
+                    _ => None,
+                };
                 let op = move || {
-                    wal2.append_durable(&bytes, &runtime);
+                    let seq = wal2.append_durable(&bytes, &runtime);
+                    // Post-fsync, shard locks still held: the memtable
+                    // only ever sees durable bytes (see `memtable` docs).
+                    if let (Some(mt), Some(ops)) = (&mt, &ops) {
+                        mt.apply(seq, ops);
+                    }
+                    // Checkpoint I/O must not run here (it waits on the
+                    // memtable watermark, which includes *this* record up
+                    // until the `apply` above) — just wake the worker.
+                    if let Some((ck, sig)) = &trigger {
+                        if ck.should_trigger() {
+                            // This closure is the *deferred op* (bound to a
+                            // variable before `atomic_defer`, so the lint's
+                            // lexical scoping can't see its legal home);
+                            // the lock is post-commit, never retried.
+                            // ad-lint: allow(blocking-in-atomic)
+                            sig.state.lock().kicked = true;
+                            sig.cv.notify_all();
+                        }
+                    }
                 };
                 if tracked {
                     handle = Some(atomic_defer_tracked(tx, &refs, op)?);
@@ -553,24 +922,82 @@ impl KvStore {
         self.wal.as_ref().map(|w| w.stats())
     }
 
+    /// Take a checkpoint now: atomically publish a snapshot of the
+    /// committed-durable state at a quiescent WAL cut and drop the WAL
+    /// segments it covers. Returns `CkptReport { performed: false, .. }`
+    /// when nothing new is durable since the last checkpoint, and
+    /// `ErrorKind::Unsupported` when the store has no snapshot tier
+    /// (volatile, or opened via [`KvStore::open_on_medium`]).
+    ///
+    /// Serving continues throughout: writers keep appending to the
+    /// post-rotation segment and readers are never blocked (the snapshot
+    /// is serialized from an `Arc`-shared frozen copy of the memtable).
+    pub fn checkpoint(&self) -> io::Result<CkptReport> {
+        match &self.ckpt {
+            Some(ck) => ck.run(&self.rt),
+            None => Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "store has no checkpoint tier (volatile or single-stream medium)",
+            )),
+        }
+    }
+
+    /// Checkpoint counters and the checkpoint-duration histogram, if
+    /// this store has a checkpoint tier.
+    pub fn ckpt_stats(&self) -> Option<CkptStats> {
+        self.ckpt.as_ref().map(|c| c.stats())
+    }
+
+    /// Point lookup against the durable tier only — the memtable of
+    /// fsynced writes — skipping the transactional read path and its
+    /// shard subscription entirely.
+    ///
+    /// **Weaker than opacity**: this read does not serialize with
+    /// in-flight transactions, so it can miss a write that committed
+    /// (acked) a moment ago on another thread, and a sequence of calls
+    /// is not a consistent snapshot. What it can **never** do is return
+    /// volatile bytes: the memtable is populated strictly after the redo
+    /// record's covering fsync. Volatile stores fall back to
+    /// [`KvStore::get`].
+    pub fn read_uncommitted(&self, key: &str) -> Option<Arc<[u8]>> {
+        match &self.memtable {
+            Some(mt) => mt.get(key),
+            None => self.get(key),
+        }
+    }
+
+    /// Range scan against the durable tier only — same contract (and
+    /// same caveats) as [`KvStore::read_uncommitted`]. Volatile stores
+    /// fall back to [`KvStore::scan_from`].
+    pub fn scan_uncommitted(&self, start: &str, limit: usize) -> Vec<(Arc<str>, Arc<[u8]>)> {
+        match &self.memtable {
+            Some(mt) => mt.scan_from(start, limit),
+            None => self.scan_from(start, limit),
+        }
+    }
+
     /// The WAL's sync policy, or `None` for a volatile store.
     pub fn sync_policy(&self) -> Option<SyncPolicy> {
         self.wal.as_ref().map(|w| w.sync_policy())
     }
 
     /// One JSON object with everything a monitoring endpoint wants:
-    /// `{"shards":..,"keys":..,"wal":{..}|null,"stm":{..}}` — the WAL
-    /// counters ([`WalStats::to_json`]) and the runtime's full stats report
+    /// `{"shards":..,"keys":..,"wal":{..}|null,"ckpt":{..}|null,"stm":{..}}`
+    /// — the WAL counters ([`WalStats::to_json`]), the checkpoint
+    /// counters ([`CkptStats::to_json`], `null` when the store has no
+    /// checkpoint tier), and the runtime's full stats report
     /// ([`ad_stm::StatsReport::to_json`]). This is the payload of the
     /// `ad-net` STATS response (PROTOCOL.md §5.6), kept here so library
     /// embedders and the wire protocol serve identical schemas.
     pub fn stats_json(&self) -> String {
         format!(
-            "{{\"shards\":{},\"keys\":{},\"wal\":{},\"stm\":{}}}",
+            "{{\"shards\":{},\"keys\":{},\"wal\":{},\"ckpt\":{},\"stm\":{}}}",
             self.shards.len(),
             self.len(),
             self.wal_stats()
                 .map_or_else(|| "null".to_string(), |w| w.to_json()),
+            self.ckpt_stats()
+                .map_or_else(|| "null".to_string(), |c| c.to_json()),
             self.rt.snapshot_stats().to_json(),
         )
     }
@@ -732,6 +1159,82 @@ mod tests {
         assert_eq!(volatile.sync_policy(), None);
         assert!(volatile.put_async("k", b"v").is_none());
         assert!(volatile.stats_json().contains("\"wal\":null"));
+    }
+
+    /// A medium whose fsync blocks while a gate flag is held: the test
+    /// can freeze a write inside its committed-but-not-yet-durable
+    /// window and probe what each read path observes.
+    struct GatedMedium {
+        inner: MemMedium,
+        gate: Arc<(Mutex<bool>, Condvar)>,
+    }
+
+    impl WalMedium for GatedMedium {
+        fn append(&mut self, data: &[u8]) {
+            self.inner.append(data);
+        }
+        fn sync(&mut self) {
+            let (flag, cv) = &*self.gate;
+            let mut held = flag.lock();
+            while *held {
+                cv.wait(&mut held);
+            }
+            drop(held);
+            self.inner.sync();
+        }
+    }
+
+    #[test]
+    fn read_uncommitted_never_observes_volatile_bytes() {
+        let gate = Arc::new((Mutex::new(true), Condvar::new()));
+        let mem = MemMedium::new();
+        let medium = GatedMedium {
+            inner: mem.clone(),
+            gate: Arc::clone(&gate),
+        };
+        // Async: put_async returns at commit; the append + gated fsync
+        // run on a pool worker while the shard lock stays held.
+        let (store, _) = KvStore::open_on_medium(
+            &KvConfig::default(),
+            SyncPolicy::Async,
+            Box::new(medium),
+            &[],
+        );
+        let h = store.put_async("k", b"v").expect("durable handle");
+        for _ in 0..2000 {
+            if !mem.written().is_empty() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert!(!mem.written().is_empty(), "append reached the medium");
+        assert!(mem.synced().is_empty(), "fsync is gated");
+        assert!(!h.is_done());
+        // The committed write exists in the TVars (shard-locked) and in
+        // the kernel-buffered WAL — but the durable tier must not show
+        // it: the memtable applies strictly after the covering fsync.
+        assert_eq!(
+            store.read_uncommitted("k"),
+            None,
+            "durable-tier read observed volatile bytes"
+        );
+        assert!(store.scan_uncommitted("", 10).is_empty());
+
+        *gate.0.lock() = false;
+        gate.1.notify_all();
+        store.wait_durable(&h);
+        assert_eq!(mem.synced().len(), mem.written().len());
+        assert_eq!(store.read_uncommitted("k").as_deref(), Some(&b"v"[..]));
+        let scanned = store.scan_uncommitted("", 10);
+        assert_eq!(scanned.len(), 1);
+        assert_eq!(scanned[0].0.as_ref(), "k");
+
+        // Volatile stores have no durable tier: both fall back to the
+        // transactional paths.
+        let volatile = KvStore::open(KvConfig::volatile()).unwrap();
+        volatile.put("a", b"1");
+        assert_eq!(volatile.read_uncommitted("a").as_deref(), Some(&b"1"[..]));
+        assert_eq!(volatile.scan_uncommitted("", 10).len(), 1);
     }
 
     #[test]

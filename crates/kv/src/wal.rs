@@ -31,8 +31,10 @@
 //! [`SyncPolicy::PerCommit`] is the ablation baseline: every append pays
 //! its own write + fsync, fully serialized.
 
+use std::collections::BTreeMap;
 use std::fs::File;
-use std::io::Write;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 use ad_stm::{EventKind, Runtime};
@@ -77,17 +79,78 @@ pub trait WalMedium: Send {
     fn append(&mut self, data: &[u8]);
     /// Block until every appended byte is durable.
     fn sync(&mut self);
+
+    /// Start a fresh segment: subsequent appends go to a new log file
+    /// whose first record will carry sequence `first_seq`. The previous
+    /// segment is kept until [`WalMedium::drop_rotated`]. Media without
+    /// segment support (the default) refuse — checkpointing is then
+    /// unavailable but plain logging still works.
+    fn rotate(&mut self, _first_seq: u64) -> io::Result<()> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "this WAL medium does not support segment rotation",
+        ))
+    }
+
+    /// Delete every pre-rotation segment (safe only after the covering
+    /// snapshot has been durably published). Returns the bytes freed.
+    fn drop_rotated(&mut self) -> io::Result<u64> {
+        Ok(0)
+    }
 }
 
-/// The real thing: an append-mode file, synced with `fsync`.
+/// Path of the WAL segment whose first record is `first_seq`:
+/// `{base}.seg{first_seq:020}` (zero-padded so lexical order is
+/// sequence order). The initial segment is `base` itself.
+pub(crate) fn segment_path(base: &Path, first_seq: u64) -> PathBuf {
+    let mut s = base.as_os_str().to_os_string();
+    s.push(format!(".seg{first_seq:020}"));
+    PathBuf::from(s)
+}
+
+/// fsync the directory containing `path` so a just-created/renamed
+/// entry survives a crash.
+pub(crate) fn fsync_dir_of(path: &Path) -> io::Result<()> {
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    File::open(dir.unwrap_or(Path::new(".")))?.sync_all()
+}
+
+/// The real thing: an append-mode file, synced with `fsync`. When built
+/// with [`FileMedium::with_segments`] it also supports checkpoint-driven
+/// segment rotation (`{base}.seg{first_seq}` files, dir-fsynced).
 pub struct FileMedium {
     file: File,
+    /// Segment naming base; `None` for a plain single-file medium.
+    base: Option<PathBuf>,
+    /// Path of the segment `file` appends to.
+    current: Option<PathBuf>,
+    /// Rotated-out segments awaiting [`WalMedium::drop_rotated`].
+    old: Vec<PathBuf>,
 }
 
 impl FileMedium {
-    /// Wrap an already-positioned append-mode file.
+    /// Wrap an already-positioned append-mode file (no segment support).
     pub fn new(file: File) -> Self {
-        FileMedium { file }
+        FileMedium {
+            file,
+            base: None,
+            current: None,
+            old: Vec::new(),
+        }
+    }
+
+    /// Wrap an already-positioned append-mode segment file at `current`,
+    /// with rotation support under the naming base `base`. `old` lists
+    /// earlier segments still on disk (recovery passes the segments that
+    /// precede `current`); they are deleted by the next
+    /// [`WalMedium::drop_rotated`].
+    pub fn with_segments(file: File, base: PathBuf, current: PathBuf, old: Vec<PathBuf>) -> Self {
+        FileMedium {
+            file,
+            base: Some(base),
+            current: Some(current),
+            old,
+        }
     }
 }
 
@@ -98,6 +161,49 @@ impl WalMedium for FileMedium {
 
     fn sync(&mut self) {
         self.file.sync_data().expect("WAL fsync failed");
+    }
+
+    fn rotate(&mut self, first_seq: u64) -> io::Result<()> {
+        let base = self.base.as_ref().ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::Unsupported,
+                "FileMedium::new has no segment base; use with_segments",
+            )
+        })?;
+        let path = segment_path(base, first_seq);
+        let next = std::fs::OpenOptions::new()
+            .create(true)
+            .truncate(true)
+            .write(true)
+            .open(&path)?;
+        next.sync_all()?;
+        fsync_dir_of(&path)?;
+        let prev = std::mem::replace(&mut self.file, next);
+        // The old segment's bytes were already synced per append policy;
+        // a final sync_data is belt-and-braces before we stop writing it.
+        prev.sync_data()?;
+        if let Some(cur) = self.current.replace(path) {
+            self.old.push(cur);
+        }
+        Ok(())
+    }
+
+    fn drop_rotated(&mut self) -> io::Result<u64> {
+        let mut freed = 0u64;
+        for p in self.old.drain(..) {
+            if let Ok(md) = std::fs::metadata(&p) {
+                freed += md.len();
+            }
+            match std::fs::remove_file(&p) {
+                Ok(()) => {}
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e),
+            }
+        }
+        if let Some(base) = &self.base {
+            fsync_dir_of(base)?;
+        }
+        Ok(freed)
     }
 }
 
@@ -158,6 +264,327 @@ impl WalMedium for MemMedium {
         let mut g = self.inner.lock();
         g.synced_len = g.written.len();
         g.syncs += 1;
+    }
+}
+
+/// Name of the initial WAL segment on a [`MemDisk`].
+pub(crate) const MEMDISK_WAL: &str = "wal";
+/// Name of the published snapshot on a [`MemDisk`].
+pub(crate) const MEMDISK_SNAP_CUR: &str = "snapshot.cur";
+/// Name of the previous snapshot on a [`MemDisk`].
+pub(crate) const MEMDISK_SNAP_PREV: &str = "snapshot.prev";
+/// Name of the in-flight snapshot on a [`MemDisk`].
+pub(crate) const MEMDISK_SNAP_TMP: &str = "snapshot.tmp";
+
+/// One durability-relevant operation on a [`MemDisk`], journaled so
+/// tests can rebuild the disk as of any prefix — byte-exact crash
+/// images across checkpoint boundaries. Metadata operations (create,
+/// rename, delete) are treated as atomic and durable because the real
+/// protocol fsyncs the directory after each one.
+#[derive(Debug, Clone)]
+enum DiskEvent {
+    Append { file: String, bytes: Vec<u8> },
+    Sync { file: String },
+    Create { file: String },
+    Rename { from: String, to: String },
+    Delete { file: String },
+}
+
+#[derive(Debug, Default, Clone)]
+struct MemFile {
+    written: Vec<u8>,
+    synced_len: usize,
+}
+
+#[derive(Default)]
+struct MemDiskInner {
+    files: BTreeMap<String, MemFile>,
+    /// The WAL segment appends currently go to.
+    active: Option<String>,
+    /// Rotated-out WAL segments awaiting `drop_rotated`.
+    old_wal: Vec<String>,
+    journal: Vec<DiskEvent>,
+    /// Test affordance: while true, snapshot publishes block (so a test
+    /// can hold a checkpoint in flight deterministically).
+    gate_publishes: bool,
+    publish_waiting: u64,
+}
+
+struct MemDiskShared {
+    state: Mutex<MemDiskInner>,
+    gate_cv: Condvar,
+}
+
+/// The multi-file sibling of [`MemMedium`]: an in-memory *disk* holding
+/// WAL segments plus snapshot files, with per-file synced-prefix
+/// tracking and an operation journal. Tests use the journal to rebuild
+/// the disk as of any operation prefix — including a byte-level cut of
+/// a trailing append — to enumerate every crash image across a
+/// checkpoint boundary ([`MemDisk::crash_image`]).
+#[derive(Clone)]
+pub struct MemDisk {
+    inner: std::sync::Arc<MemDiskShared>,
+}
+
+impl Default for MemDisk {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MemDisk {
+    /// A fresh disk with an empty initial WAL segment.
+    pub fn new() -> Self {
+        let disk = Self::blank();
+        disk.create(MEMDISK_WAL);
+        disk.inner.state.lock().active = Some(MEMDISK_WAL.to_string());
+        disk
+    }
+
+    fn blank() -> Self {
+        MemDisk {
+            inner: std::sync::Arc::new(MemDiskShared {
+                state: Mutex::new(MemDiskInner::default()),
+                gate_cv: Condvar::new(),
+            }),
+        }
+    }
+
+    pub(crate) fn create(&self, name: &str) {
+        let mut g = self.inner.state.lock();
+        g.files.insert(name.to_string(), MemFile::default());
+        g.journal.push(DiskEvent::Create {
+            file: name.to_string(),
+        });
+    }
+
+    pub(crate) fn append_file(&self, name: &str, bytes: &[u8]) {
+        let mut g = self.inner.state.lock();
+        g.files
+            .get_mut(name)
+            .expect("append to missing MemDisk file")
+            .written
+            .extend_from_slice(bytes);
+        g.journal.push(DiskEvent::Append {
+            file: name.to_string(),
+            bytes: bytes.to_vec(),
+        });
+    }
+
+    pub(crate) fn sync_file(&self, name: &str) {
+        let mut g = self.inner.state.lock();
+        let f = g.files.get_mut(name).expect("sync of missing MemDisk file");
+        f.synced_len = f.written.len();
+        g.journal.push(DiskEvent::Sync {
+            file: name.to_string(),
+        });
+    }
+
+    pub(crate) fn rename_file(&self, from: &str, to: &str) {
+        let mut g = self.inner.state.lock();
+        let f = g.files.remove(from).expect("rename of missing MemDisk file");
+        g.files.insert(to.to_string(), f);
+        g.journal.push(DiskEvent::Rename {
+            from: from.to_string(),
+            to: to.to_string(),
+        });
+    }
+
+    pub(crate) fn delete_file(&self, name: &str) -> u64 {
+        let mut g = self.inner.state.lock();
+        let freed = g.files.remove(name).map_or(0, |f| f.written.len() as u64);
+        g.journal.push(DiskEvent::Delete {
+            file: name.to_string(),
+        });
+        freed
+    }
+
+    /// Full contents of `name` (synced or not), or `None` if absent.
+    pub fn read_file(&self, name: &str) -> Option<Vec<u8>> {
+        self.inner
+            .state
+            .lock()
+            .files
+            .get(name)
+            .map(|f| f.written.clone())
+    }
+
+    /// Names of all files currently on the disk, sorted.
+    pub fn file_names(&self) -> Vec<String> {
+        self.inner.state.lock().files.keys().cloned().collect()
+    }
+
+    /// Total bytes across live WAL segments (`wal*` files).
+    pub fn wal_bytes(&self) -> u64 {
+        let g = self.inner.state.lock();
+        g.files
+            .iter()
+            .filter(|(n, _)| n.as_str() == MEMDISK_WAL || n.starts_with("wal.seg"))
+            .map(|(_, f)| f.written.len() as u64)
+            .sum()
+    }
+
+    /// Truncate `name` to `len` bytes — recovery's torn-tail cut, also
+    /// public as a corruption affordance for recovery tests.
+    pub fn truncate_file(&self, name: &str, len: usize) {
+        let mut g = self.inner.state.lock();
+        if let Some(f) = g.files.get_mut(name) {
+            f.written.truncate(len);
+            f.synced_len = f.synced_len.min(len);
+        }
+    }
+
+    /// Point WAL appends at `segment` (recovery's "append after the last
+    /// valid record"), creating it if missing.
+    pub(crate) fn set_active_wal(&self, segment: &str, old: Vec<String>) {
+        let mut g = self.inner.state.lock();
+        if !g.files.contains_key(segment) {
+            g.files.insert(segment.to_string(), MemFile::default());
+            g.journal.push(DiskEvent::Create {
+                file: segment.to_string(),
+            });
+        }
+        g.active = Some(segment.to_string());
+        g.old_wal = old;
+    }
+
+    /// Number of journaled disk operations so far.
+    pub fn journal_len(&self) -> usize {
+        self.inner.state.lock().journal.len()
+    }
+
+    /// If journal entry `i` is an append, its byte length (so tests can
+    /// enumerate byte-level cuts inside it).
+    pub fn event_append_len(&self, i: usize) -> Option<usize> {
+        match self.inner.state.lock().journal.get(i) {
+            Some(DiskEvent::Append { bytes, .. }) => Some(bytes.len()),
+            _ => None,
+        }
+    }
+
+    /// Rebuild the disk as it would look after a crash: journal entries
+    /// `..events` fully applied, plus the first `partial_bytes` of entry
+    /// `events` if that entry is an append. With `synced_only`, every
+    /// file is additionally truncated to its synced prefix (the
+    /// pessimistic image: unsynced bytes never reached the platter);
+    /// otherwise unsynced bytes survive (the optimistic image). Metadata
+    /// operations are always durable — the publish protocol fsyncs the
+    /// directory after each.
+    pub fn crash_image(&self, events: usize, partial_bytes: usize, synced_only: bool) -> MemDisk {
+        let journal = self.inner.state.lock().journal.clone();
+        let img = Self::blank();
+        {
+            let mut g = img.inner.state.lock();
+            let apply = |g: &mut MemDiskInner, ev: &DiskEvent, limit: Option<usize>| match ev {
+                DiskEvent::Create { file } => {
+                    g.files.insert(file.clone(), MemFile::default());
+                }
+                DiskEvent::Append { file, bytes } => {
+                    let take = limit.unwrap_or(bytes.len()).min(bytes.len());
+                    if let Some(f) = g.files.get_mut(file) {
+                        f.written.extend_from_slice(&bytes[..take]);
+                    }
+                }
+                DiskEvent::Sync { file } => {
+                    if let Some(f) = g.files.get_mut(file) {
+                        f.synced_len = f.written.len();
+                    }
+                }
+                DiskEvent::Rename { from, to } => {
+                    if let Some(f) = g.files.remove(from) {
+                        g.files.insert(to.clone(), f);
+                    }
+                }
+                DiskEvent::Delete { file } => {
+                    g.files.remove(file);
+                }
+            };
+            for ev in journal.iter().take(events) {
+                apply(&mut g, ev, None);
+            }
+            if let Some(ev @ DiskEvent::Append { .. }) = journal.get(events) {
+                apply(&mut g, ev, Some(partial_bytes));
+            }
+            if synced_only {
+                for f in g.files.values_mut() {
+                    let keep = f.synced_len;
+                    f.written.truncate(keep);
+                }
+            }
+        }
+        img
+    }
+
+    /// Hold all snapshot publishes: a checkpoint reaching its publish
+    /// step blocks until [`MemDisk::release_publishes`].
+    pub fn hold_publishes(&self) {
+        self.inner.state.lock().gate_publishes = true;
+    }
+
+    /// Release held publishes and wake blocked checkpointers.
+    pub fn release_publishes(&self) {
+        self.inner.state.lock().gate_publishes = false;
+        self.inner.gate_cv.notify_all();
+    }
+
+    /// True while at least one publish is blocked on the gate.
+    pub fn publish_blocked(&self) -> bool {
+        self.inner.state.lock().publish_waiting > 0
+    }
+
+    /// Block the calling checkpointer while the publish gate is held.
+    pub(crate) fn await_publish_gate(&self) {
+        let mut g = self.inner.state.lock();
+        if g.gate_publishes {
+            g.publish_waiting += 1;
+            while g.gate_publishes {
+                self.inner.gate_cv.wait(&mut g);
+            }
+            g.publish_waiting -= 1;
+        }
+    }
+}
+
+impl WalMedium for MemDisk {
+    fn append(&mut self, data: &[u8]) {
+        let name = self
+            .inner
+            .state
+            .lock()
+            .active
+            .clone()
+            .expect("MemDisk has no active WAL segment");
+        self.append_file(&name, data);
+    }
+
+    fn sync(&mut self) {
+        let name = self
+            .inner
+            .state
+            .lock()
+            .active
+            .clone()
+            .expect("MemDisk has no active WAL segment");
+        self.sync_file(&name);
+    }
+
+    fn rotate(&mut self, first_seq: u64) -> io::Result<()> {
+        let name = format!("wal.seg{first_seq:020}");
+        self.create(&name);
+        let mut g = self.inner.state.lock();
+        if let Some(prev) = g.active.replace(name) {
+            g.old_wal.push(prev);
+        }
+        Ok(())
+    }
+
+    fn drop_rotated(&mut self) -> io::Result<u64> {
+        let old = std::mem::take(&mut self.inner.state.lock().old_wal);
+        let mut freed = 0;
+        for name in old {
+            freed += self.delete_file(&name);
+        }
+        Ok(freed)
     }
 }
 
@@ -365,6 +792,47 @@ impl Wal {
         self.state.lock().durable_seq
     }
 
+    /// Rotate the log at a quiescent cut: waits out any in-flight group
+    /// leader, then starts a fresh segment whose first record will be
+    /// `cut + 1`. Returns the cut — the highest durable sequence; every
+    /// record `<= cut` is in pre-rotation segments, every record `> cut`
+    /// (including any already framed into the pending buffer) lands in
+    /// the new segment. The old segments survive until
+    /// [`Wal::drop_rotated`].
+    pub fn rotate(&self) -> io::Result<u64> {
+        let mut st = self.state.lock();
+        // Wait out an in-flight leader: once none is active, every
+        // pending framed record has seq > durable_seq, so the cut is
+        // exact. (PerCommit appends hold the state lock throughout, so
+        // holding it here is already exclusive.)
+        while st.leader_active {
+            self.durable_cv.wait(&mut st);
+        }
+        let cut = st.durable_seq;
+        {
+            // state → medium lock order, same as the append paths.
+            let mut m = self.medium.lock();
+            m.rotate(cut + 1)?;
+        }
+        Ok(cut)
+    }
+
+    /// Delete pre-rotation segments (call only after the snapshot
+    /// covering them is durably published). Returns bytes freed.
+    pub fn drop_rotated(&self) -> io::Result<u64> {
+        self.medium.lock().drop_rotated()
+    }
+
+    /// Cumulative records appended (relaxed; for checkpoint triggers).
+    pub fn records_appended(&self) -> u64 {
+        self.counters.records.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative bytes appended (relaxed; for checkpoint triggers).
+    pub fn bytes_appended(&self) -> u64 {
+        self.counters.bytes.load(Ordering::Relaxed)
+    }
+
     /// Snapshot the WAL counters and latency histograms.
     pub fn stats(&self) -> WalStats {
         WalStats {
@@ -486,5 +954,61 @@ mod tests {
         let rt = Runtime::new(TmConfig::stm());
         assert_eq!(wal.durable_seq(), 41);
         assert_eq!(wal.append_durable(b"x", &rt), 42);
+    }
+
+    #[test]
+    fn rotation_moves_appends_to_a_new_segment_and_drop_frees_old() {
+        let disk = MemDisk::new();
+        let wal = Wal::new(Box::new(disk.clone()), SyncPolicy::GroupCommit, 1);
+        let rt = Runtime::new(TmConfig::stm());
+        wal.append_durable(b"before-1", &rt);
+        wal.append_durable(b"before-2", &rt);
+
+        let cut = wal.rotate().unwrap();
+        assert_eq!(cut, 2);
+        wal.append_durable(b"after-3", &rt);
+
+        let seg = "wal.seg00000000000000000003";
+        let old = disk.read_file(MEMDISK_WAL).unwrap();
+        let new = disk.read_file(seg).unwrap();
+        assert!(!old.is_empty() && !new.is_empty());
+        // Record 3 is only in the new segment.
+        let find = |hay: &[u8], needle: &[u8]| hay.windows(needle.len()).any(|w| w == needle);
+        assert!(find(&new, b"after-3") && !find(&old, b"after-3"));
+
+        let freed = wal.drop_rotated().unwrap();
+        assert_eq!(freed, old.len() as u64);
+        assert!(disk.read_file(MEMDISK_WAL).is_none(), "old segment deleted");
+        assert_eq!(disk.read_file(seg).unwrap(), new);
+    }
+
+    #[test]
+    fn rotate_is_unsupported_on_plain_media() {
+        let wal = Wal::new(Box::new(MemMedium::new()), SyncPolicy::GroupCommit, 1);
+        let err = wal.rotate().unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::Unsupported);
+    }
+
+    #[test]
+    fn memdisk_crash_images_replay_the_journal() {
+        let disk = MemDisk::new();
+        let wal = Wal::new(Box::new(disk.clone()), SyncPolicy::GroupCommit, 1);
+        let rt = Runtime::new(TmConfig::stm());
+        wal.append_durable(b"abc", &rt);
+        let n = disk.journal_len();
+        wal.append_durable(b"def", &rt);
+
+        // Optimistic image mid-way through the second append keeps a
+        // byte-level prefix of it; pessimistic image drops unsynced bytes.
+        let len2 = disk.event_append_len(n).unwrap();
+        let img = disk.crash_image(n, len2 / 2, false);
+        let full = disk.read_file(MEMDISK_WAL).unwrap();
+        assert_eq!(
+            img.read_file(MEMDISK_WAL).unwrap(),
+            full[..full.len() - (len2 - len2 / 2)].to_vec()
+        );
+        let pess = disk.crash_image(n, len2 / 2, true);
+        let first_rec_len = HEADER_LEN + 3;
+        assert_eq!(pess.read_file(MEMDISK_WAL).unwrap().len(), first_rec_len);
     }
 }

@@ -1,8 +1,10 @@
 //! Fixture: blocking calls inside a *retryable* `atomically` closure.
-//! Five sites must be flagged as `blocking-in-atomic`: fsync, stream
-//! write, channel recv, mutex lock, and a thread sleep. The `tx.write`,
-//! the blocking work inside the deferred closure, and the whole
-//! `synchronized` section are legal and must stay clean.
+//! Eight sites must be flagged as `blocking-in-atomic`: fsync, stream
+//! write, channel recv, mutex lock, a thread sleep, and three
+//! checkpoint-tier helpers (a store checkpoint, a WAL rotation, a
+//! memtable watermark wait). The `tx.write`, the blocking work inside
+//! the deferred closure, and the whole `synchronized` section are legal
+//! and must stay clean.
 
 fn hot_path(rt: &Runtime, file: std::fs::File, sock: Socket, m: Mutex<u8>, rx: Receiver<u8>) {
     rt.atomically(|tx| {
@@ -12,6 +14,16 @@ fn hot_path(rt: &Runtime, file: std::fs::File, sock: Socket, m: Mutex<u8>, rx: R
         let _msg = rx.recv(); // FLAG: channel receive
         let _g = m.lock(); // FLAG: lock acquisition
         std::thread::sleep(Duration::from_millis(1)); // FLAG: sleep
+        Ok(())
+    });
+}
+
+fn checkpoint_tier(rt: &Runtime, store: KvStore, wal: Wal, mt: MemTable) {
+    rt.atomically(|tx| {
+        tx.write(&COUNTER, 2)?; // transactional write: not I/O
+        store.checkpoint().ok(); // FLAG: snapshot write + fsync + rename
+        wal.rotate().ok(); // FLAG: waits out the group-commit leader
+        mt.wait_applied_through(7); // FLAG: unbounded watermark wait
         Ok(())
     });
 }

@@ -31,7 +31,10 @@ pub fn direct_access(name: &str, args: &Group) -> Option<String> {
 ///
 /// Durability: `sync_all`/`sync_data`/`fsync`; stream I/O: `write`,
 /// `write_all`, `flush`, `read_exact`; synchronization: `lock`, `join`,
-/// channel `recv`/`recv_timeout`.
+/// channel `recv`/`recv_timeout`; checkpointing (`ad-kv`, each an
+/// fsync-plus-rename or an unbounded wait under the hood):
+/// `checkpoint`, `write_and_publish`, `rotate`, `drop_rotated`,
+/// `wait_applied_through`.
 pub fn blocking_method(name: &str) -> Option<String> {
     const BLOCKING: &[&str] = &[
         "sync_all",
@@ -45,6 +48,11 @@ pub fn blocking_method(name: &str) -> Option<String> {
         "join",
         "recv",
         "recv_timeout",
+        "checkpoint",
+        "write_and_publish",
+        "rotate",
+        "drop_rotated",
+        "wait_applied_through",
     ];
     BLOCKING.contains(&name).then(|| {
         format!(

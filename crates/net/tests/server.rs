@@ -7,7 +7,7 @@ use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::sync::Arc;
 
-use ad_kv::{KvConfig, KvStore, MemMedium, SyncPolicy, WriteBatch};
+use ad_kv::{KvConfig, KvStore, MemDisk, MemMedium, SyncPolicy, WriteBatch};
 use ad_net::{Client, Decoder, Frame, Opcode, Response, Server, ServerConfig, VERSION};
 use ad_support::crc32::crc32;
 
@@ -95,6 +95,47 @@ fn put_ack_implies_synced_wal_bytes() {
     assert!(find(&synced, b"durable-value"));
     drop(c);
     drop(server);
+}
+
+/// The server keeps answering — reads *and* durable writes — while a
+/// checkpoint is in flight. The snapshot publish is parked on the
+/// [`MemDisk`] publish gate, so the whole request/response exchange
+/// below happens strictly inside the checkpoint's publish window; only
+/// the checkpointer thread blocks, never the serving path.
+#[test]
+fn server_keeps_serving_during_a_checkpoint() {
+    let disk = MemDisk::new();
+    let (store, _report) =
+        KvStore::open_on_disk(&KvConfig::default(), SyncPolicy::GroupCommit, disk.clone());
+    let store = Arc::new(store);
+    let server =
+        Server::start(Arc::clone(&store), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut c = Client::connect(server.local_addr()).unwrap();
+    c.put("k", b"before").unwrap();
+
+    disk.hold_publishes();
+    let ck_store = Arc::clone(&store);
+    let ck = std::thread::spawn(move || ck_store.checkpoint().expect("checkpoint"));
+    while !disk.publish_blocked() {
+        std::thread::yield_now();
+    }
+
+    assert_eq!(c.get("k").unwrap().as_deref(), Some(&b"before"[..]));
+    c.put("k2", b"during").unwrap();
+    assert_eq!(c.get("k2").unwrap().as_deref(), Some(&b"during"[..]));
+    let stats = c.stats().unwrap();
+    assert!(
+        stats.contains("\"ckpt\""),
+        "disk-backed STATS carries the checkpoint section: {stats}"
+    );
+
+    disk.release_publishes();
+    let report = ck.join().unwrap();
+    assert!(report.performed);
+    assert!(report.cut >= 1, "the pre-checkpoint put is under the cut");
+    // The mid-checkpoint write survives the snapshot + suffix split.
+    assert_eq!(c.get("k2").unwrap().as_deref(), Some(&b"during"[..]));
+    assert_eq!(store.ckpt_stats().expect("ckpt tier").count, 1);
 }
 
 /// A client that dies mid-frame (half a BATCH on the wire, then RST)

@@ -108,7 +108,7 @@ impl Runtime {
                 serial: RwLock::new(()),
                 registry: Registry::default(),
                 stats: Stats::default(),
-                sink: TraceSink::new(cfg.trace_ring_events),
+                sink: TraceSink::new(cfg.trace_ring_events, cfg.trace_spill),
                 #[cfg(not(loom))]
                 defer_pool: match cfg.defer_exec {
                     crate::config::DeferExecCfg::Inline => None,
@@ -145,7 +145,12 @@ impl Runtime {
 
     /// Snapshot of this runtime's statistics counters.
     pub fn stats(&self) -> StatsSnapshot {
-        self.inner.stats.snapshot()
+        let mut s = self.inner.stats.snapshot();
+        // Spill accounting lives in the trace sink (per-thread monotone
+        // counters), not the Stats block; overlay it here so consumers
+        // see one coherent snapshot.
+        s.trace_spilled_events = self.inner.sink.spilled_total();
+        s
     }
 
     /// Full observability report: the counters plus the four latency
@@ -155,7 +160,9 @@ impl Runtime {
     /// histograms only fill while [`Runtime::set_tracing`] is on; the
     /// quiescence histogram is always live.
     pub fn snapshot_stats(&self) -> StatsReport {
-        self.inner.stats.report()
+        let mut r = self.inner.stats.report();
+        r.counters.trace_spilled_events = self.inner.sink.spilled_total();
+        r
     }
 
     /// Zero the statistics counters and histograms.

@@ -139,6 +139,7 @@ impl Stats {
             defer_self_wait_hazards: self.defer_self_wait_hazards.load(Ordering::Relaxed),
             clock_bumps: self.clock_bumps.load(Ordering::Relaxed),
             validation_extends: self.validation_extends.load(Ordering::Relaxed),
+            trace_spilled_events: 0,
         }
     }
 
@@ -230,6 +231,11 @@ pub struct StatsSnapshot {
     /// Successful snapshot extensions (a read witnessed a version above
     /// `rv` and the whole read set revalidated at a fresher timestamp).
     pub validation_extends: u64,
+    /// Trace events rescued from ring wrap-around by the heap spill
+    /// (`TmConfig::trace_spill`; always 0 with spill off). Maintained by
+    /// the trace sink and overlaid by `Runtime::stats` /
+    /// `Runtime::snapshot_stats` — `Stats::snapshot` alone reports 0.
+    pub trace_spilled_events: u64,
 }
 
 impl StatsSnapshot {
@@ -262,6 +268,7 @@ impl StatsSnapshot {
             defer_self_wait_hazards: self.defer_self_wait_hazards - earlier.defer_self_wait_hazards,
             clock_bumps: self.clock_bumps - earlier.clock_bumps,
             validation_extends: self.validation_extends - earlier.validation_extends,
+            trace_spilled_events: self.trace_spilled_events - earlier.trace_spilled_events,
         }
     }
 
@@ -275,7 +282,7 @@ impl StatsSnapshot {
              \"quiesce_waits\":{},\"quiesce_ns\":{},\"deferred_ops\":{},\
              \"defer_offloads\":{},\"defer_inline_fallbacks\":{},\
              \"defer_self_wait_hazards\":{},\"clock_bumps\":{},\
-             \"validation_extends\":{}}}",
+             \"validation_extends\":{},\"trace_spilled_events\":{}}}",
             self.starts,
             self.commits,
             self.serial_commits,
@@ -292,6 +299,7 @@ impl StatsSnapshot {
             self.defer_self_wait_hazards,
             self.clock_bumps,
             self.validation_extends,
+            self.trace_spilled_events,
         )
     }
 }
@@ -307,7 +315,7 @@ impl fmt::Display for StatsSnapshot {
              aborts_capacity={} aborts_unsupported={}) retries={} serializations={} \
              quiesce_waits={} deferred_ops={} defer_offloads={} \
              defer_inline_fallbacks={} defer_self_wait_hazards={} \
-             clock_bumps={} validation_extends={}] \
+             clock_bumps={} validation_extends={} trace_spilled_events={}] \
              durations[quiesce_ns={} ({:.1}ms)]",
             self.total_commits(),
             self.serial_commits,
@@ -324,6 +332,7 @@ impl fmt::Display for StatsSnapshot {
             self.defer_self_wait_hazards,
             self.clock_bumps,
             self.validation_extends,
+            self.trace_spilled_events,
             self.quiesce_ns,
             self.quiesce_ns as f64 / 1e6,
         )
@@ -412,6 +421,7 @@ impl StatsReport {
         c.defer_self_wait_hazards += o.defer_self_wait_hazards;
         c.clock_bumps += o.clock_bumps;
         c.validation_extends += o.validation_extends;
+        c.trace_spilled_events += o.trace_spilled_events;
         self.commit_latency_ns.merge(&other.commit_latency_ns);
         self.quiesce_wait_ns.merge(&other.quiesce_wait_ns);
         self.retry_backoff_ns.merge(&other.retry_backoff_ns);
@@ -551,6 +561,7 @@ mod tests {
             "\"defer_self_wait_hazards\":0",
             "\"clock_bumps\":0",
             "\"validation_extends\":0",
+            "\"trace_spilled_events\":0",
         ] {
             assert!(j.contains(key), "missing {key} in {j}");
         }

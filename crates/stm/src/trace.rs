@@ -129,6 +129,17 @@ pub enum EventKind {
     /// the `defer_self_wait_hazards` counter bump) just before the wait
     /// blocks; in debug builds a `debug_assert!` fires as well.
     DeferSelfWaitHazard = 20,
+    /// A checkpoint started (application event, `ad-kv`). `arg` = the
+    /// durable WAL sequence at the moment the checkpointer woke up — the
+    /// cut will be at least this.
+    CkptBegin = 21,
+    /// A checkpoint's snapshot was durably published (tmp written,
+    /// fsynced, renamed over current, directory fsynced). `arg` = the
+    /// snapshot's size in bytes.
+    CkptPublish = 22,
+    /// WAL segments covered by a published snapshot were deleted.
+    /// `arg` = bytes freed.
+    WalTruncate = 23,
 }
 
 impl EventKind {
@@ -155,6 +166,9 @@ impl EventKind {
             EventKind::ValidationExtend => "validation_extend",
             EventKind::NetAckDurable => "ack_after_durable",
             EventKind::DeferSelfWaitHazard => "defer_self_wait_hazard",
+            EventKind::CkptBegin => "ckpt_begin",
+            EventKind::CkptPublish => "ckpt_publish",
+            EventKind::WalTruncate => "wal_truncate",
         }
     }
 
@@ -190,6 +204,9 @@ impl EventKind {
             18 => EventKind::ValidationExtend,
             19 => EventKind::NetAckDurable,
             20 => EventKind::DeferSelfWaitHazard,
+            21 => EventKind::CkptBegin,
+            22 => EventKind::CkptPublish,
+            23 => EventKind::WalTruncate,
             _ => return None,
         })
     }
@@ -275,6 +292,10 @@ pub struct Trace {
     pub events: Vec<TraceEvent>,
     /// Events lost to ring wrap-around (oldest-first overwrite).
     pub dropped: u64,
+    /// Events rescued from ring wrap-around by the heap spill
+    /// (`TmConfig::trace_spill`) and merged into `events`; always 0 with
+    /// spill off.
+    pub spilled: u64,
 }
 
 impl Trace {
@@ -292,6 +313,9 @@ impl Trace {
         }
         if self.dropped > 0 {
             s.push_str(&format!("({} events dropped to ring wrap)\n", self.dropped));
+        }
+        if self.spilled > 0 {
+            s.push_str(&format!("({} events spilled to heap)\n", self.spilled));
         }
         s
     }
@@ -564,12 +588,19 @@ pub(crate) struct TraceBuf {
     /// Total events ever written by the owner (monotone).
     head: AtomicU64,
     slots: Box<[Slot]>,
+    /// Ring-overflow rescue (`TmConfig::trace_spill`): events the owner is
+    /// about to overwrite land here instead of being dropped. Touched only
+    /// on overflow, so the keeping-up hot path never takes the lock.
+    spill: Option<Mutex<Vec<TraceEvent>>>,
+    /// Total events ever spilled by the owner (monotone, never reset —
+    /// feeds the `trace_spilled_events` counter).
+    spilled: AtomicU64,
 }
 
 impl TraceBuf {
     /// `capacity` is rounded up to a power of two (minimum 2) so the ring
     /// index stays a mask of the monotone head counter.
-    fn new(thread: u32, capacity: usize) -> Arc<TraceBuf> {
+    fn new(thread: u32, capacity: usize, spill: bool) -> Arc<TraceBuf> {
         let cap = capacity.max(2).next_power_of_two();
         Arc::new(TraceBuf {
             thread,
@@ -581,6 +612,8 @@ impl TraceBuf {
                     packed: AtomicU64::new(0),
                 })
                 .collect(),
+            spill: if spill { Some(Mutex::new(Vec::new())) } else { None },
+            spilled: AtomicU64::new(0),
         })
     }
 
@@ -593,6 +626,24 @@ impl TraceBuf {
     pub(crate) fn push(&self, ts: u64, kind: EventKind, arg: u64) {
         let head = self.head.load(Ordering::Relaxed);
         let slot = &self.slots[(head as usize) & (self.slots.len() - 1)];
+        // Spill the event this push is about to overwrite. Owner-side
+        // reads need no seqlock dance — only the owner writes slots.
+        if let Some(spill) = &self.spill {
+            let old_seq = slot.seq.load(Ordering::Relaxed);
+            if old_seq != 0 {
+                let old_packed = slot.packed.load(Ordering::Relaxed);
+                if let Some(old_kind) = EventKind::from_code((old_packed >> ARG_BITS) as u8) {
+                    spill.lock().push(TraceEvent {
+                        ts_ns: slot.ts.load(Ordering::Relaxed),
+                        thread: self.thread,
+                        seq: old_seq,
+                        kind: old_kind,
+                        arg: old_packed & ARG_MASK,
+                    });
+                    self.spilled.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
         // Invalidate first so a concurrent reader can't pair the old seq
         // with the new payload, then publish payload before the new seq.
         slot.seq.store(0, Ordering::Relaxed);
@@ -605,9 +656,17 @@ impl TraceBuf {
         self.head.store(head + 1, Ordering::Release);
     }
 
-    /// Copy out every readable event. Returns `(events, dropped)`.
-    fn drain_into(&self, out: &mut Vec<TraceEvent>) -> u64 {
+    /// Copy out every readable event, spilled ones first. Returns
+    /// `(dropped, spilled_now)` — with spill on, a kept-up drain reports
+    /// `dropped == 0` because every overwritten event was rescued.
+    fn drain_into(&self, out: &mut Vec<TraceEvent>) -> (u64, u64) {
         let head = self.head.load(Ordering::Acquire);
+        let mut spilled_now = 0u64;
+        if let Some(spill) = &self.spill {
+            let mut g = spill.lock();
+            spilled_now = g.len() as u64;
+            out.append(&mut g);
+        }
         let mut readable = 0u64;
         for slot in self.slots.iter() {
             let s1 = slot.seq.load(Ordering::Acquire);
@@ -632,7 +691,7 @@ impl TraceBuf {
                 arg: packed & ARG_MASK,
             });
         }
-        head.saturating_sub(readable)
+        (head.saturating_sub(readable + spilled_now), spilled_now)
     }
 
     /// Clear all slots (merger side; racing writers may lose the event
@@ -653,23 +712,28 @@ pub(crate) struct TraceSink {
     /// Per-thread ring capacity in events (already a power of two ≥ 2);
     /// applied to each ring as it registers.
     ring_cap: usize,
+    /// Whether rings spill overflow to the heap (`TmConfig::trace_spill`);
+    /// applied to each ring as it registers.
+    spill: bool,
     bufs: Mutex<Vec<Arc<TraceBuf>>>,
 }
 
 impl Default for TraceSink {
     fn default() -> Self {
-        TraceSink::new(DEFAULT_RING_CAP)
+        TraceSink::new(DEFAULT_RING_CAP, false)
     }
 }
 
 impl TraceSink {
     /// Create a sink whose per-thread rings hold `ring_cap` events
-    /// (rounded up to a power of two, minimum 2).
-    pub(crate) fn new(ring_cap: usize) -> Self {
+    /// (rounded up to a power of two, minimum 2) and spill overflow to
+    /// the heap when `spill` is on.
+    pub(crate) fn new(ring_cap: usize, spill: bool) -> Self {
         TraceSink {
             enabled: AtomicBool::new(false),
             next_thread: AtomicU32::new(0),
             ring_cap: ring_cap.max(2).next_power_of_two(),
+            spill,
             bufs: Mutex::new(Vec::new()),
         }
     }
@@ -718,6 +782,7 @@ impl TraceSink {
                     let buf = TraceBuf::new(
                         self.next_thread.fetch_add(1, Ordering::Relaxed),
                         self.ring_cap,
+                        self.spill,
                     );
                     self.bufs.lock().push(Arc::clone(&buf));
                     buf
@@ -730,18 +795,42 @@ impl TraceSink {
             .ok();
     }
 
+    /// Total events ever spilled to the heap across every thread's ring
+    /// (monotone; feeds the `trace_spilled_events` counter).
+    pub(crate) fn spilled_total(&self) -> u64 {
+        self.bufs
+            .lock()
+            .iter()
+            .map(|b| b.spilled.load(Ordering::Relaxed))
+            .sum()
+    }
+
     /// Merge every thread's ring into one timeline and clear the rings.
     pub(crate) fn take(&self) -> Trace {
         let bufs = self.bufs.lock();
         let mut events = Vec::new();
         let mut dropped = 0u64;
+        let mut spilled = 0u64;
         for buf in bufs.iter() {
-            dropped += buf.drain_into(&mut events);
+            let (d, s) = buf.drain_into(&mut events);
+            dropped += d;
+            spilled += s;
             buf.clear();
         }
         drop(bufs);
+        if self.spill {
+            // An event the merger drains from the ring can also be spilled
+            // by a racing owner overwriting its slot before `clear` lands;
+            // (thread, seq) identifies the event, so collapse duplicates.
+            events.sort_unstable_by_key(|e| (e.thread, e.seq));
+            events.dedup_by_key(|e| (e.thread, e.seq));
+        }
         events.sort_unstable_by_key(|e| (e.ts_ns, e.thread, e.seq));
-        Trace { events, dropped }
+        Trace {
+            events,
+            dropped,
+            spilled,
+        }
     }
 }
 
@@ -787,7 +876,7 @@ mod tests {
         // A configured 4-event ring receiving 10 events keeps the newest 4
         // and reports the other 6 dropped — the runtime-configurable ring
         // size must not break the drop accounting.
-        let sink = TraceSink::new(4);
+        let sink = TraceSink::new(4, false);
         sink.set_enabled(true);
         for i in 0..10 {
             sink.push(9005, now_ns(), EventKind::ReadSetGrow, i);
@@ -795,6 +884,7 @@ mod tests {
         let t = sink.take();
         assert_eq!(t.events.len(), 4);
         assert_eq!(t.dropped, 6);
+        assert_eq!(t.spilled, 0);
         let seqs: Vec<u64> = t.events.iter().map(|e| e.seq).collect();
         assert_eq!(seqs, vec![7, 8, 9, 10]);
         let args: Vec<u64> = t.events.iter().map(|e| e.arg).collect();
@@ -802,10 +892,37 @@ mod tests {
     }
 
     #[test]
+    fn spill_rescues_overflow_instead_of_dropping() {
+        // The same 10-events-into-a-4-slot-ring overload, but with spill
+        // on: nothing is dropped, the 6 overwritten events are rescued to
+        // the heap and merged back in order.
+        let sink = TraceSink::new(4, true);
+        sink.set_enabled(true);
+        for i in 0..10 {
+            sink.push(9007, now_ns(), EventKind::ReadSetGrow, i);
+        }
+        assert_eq!(sink.spilled_total(), 6);
+        let t = sink.take();
+        assert_eq!(t.events.len(), 10, "spill keeps every event");
+        assert_eq!(t.dropped, 0);
+        assert_eq!(t.spilled, 6);
+        let seqs: Vec<u64> = t.events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, (1..=10).collect::<Vec<u64>>());
+        let args: Vec<u64> = t.events.iter().map(|e| e.arg).collect();
+        assert_eq!(args, (0..10).collect::<Vec<u64>>());
+        // Drained: the next take carries nothing over, but the monotone
+        // spilled total survives for the stats counter.
+        let t2 = sink.take();
+        assert!(t2.events.is_empty());
+        assert_eq!(t2.spilled, 0);
+        assert_eq!(sink.spilled_total(), 6);
+    }
+
+    #[test]
     fn ring_capacity_rounds_up_to_power_of_two() {
         // Requesting 3 events rounds the ring up to 4: pushing 4 must not
         // drop anything, pushing a 5th drops exactly one.
-        let sink = TraceSink::new(3);
+        let sink = TraceSink::new(3, false);
         sink.set_enabled(true);
         for i in 0..4 {
             sink.push(9006, now_ns(), EventKind::Begin, i);
@@ -867,6 +984,9 @@ mod tests {
             EventKind::ValidationExtend,
             EventKind::NetAckDurable,
             EventKind::DeferSelfWaitHazard,
+            EventKind::CkptBegin,
+            EventKind::CkptPublish,
+            EventKind::WalTruncate,
         ] {
             assert_eq!(EventKind::from_code(k as u8), Some(k));
             assert!(!k.name().is_empty());

@@ -663,3 +663,39 @@ fn configured_tiny_trace_ring_reports_drops() {
     assert_eq!(v.load(), 50);
     assert_eq!(w.load(), 50);
 }
+
+#[test]
+fn trace_spill_makes_a_tiny_ring_lossless() {
+    // The same overloaded 4-event ring, but with `with_trace_spill(true)`:
+    // overwritten events are rescued to the heap, so the drained trace
+    // reports zero drops and the spill shows up in both `Trace::spilled`
+    // and the `trace_spilled_events` stats counter.
+    let rt = Runtime::new(TmConfig::stm().with_trace_ring(4).with_trace_spill(true));
+    rt.set_tracing(true);
+    let v = TVar::new(0u64);
+    for _ in 0..50 {
+        let v2 = v.clone();
+        rt.atomically(move |tx| {
+            let x = tx.read(&v2)?;
+            tx.write(&v2, x + 1)
+        });
+    }
+    let t = rt.take_trace();
+    assert_eq!(t.dropped, 0, "spill must rescue every overwritten event");
+    assert!(t.spilled > 0, "50 transactions must overflow a 4-event ring");
+    assert!(t.events.len() >= 100, "all lifecycle events survive");
+    // Per-thread sequences are gap-free — nothing was silently lost.
+    let seqs: Vec<u64> = t
+        .events
+        .iter()
+        .filter(|e| e.thread == t.events[0].thread)
+        .map(|e| e.seq)
+        .collect();
+    assert_eq!(seqs, (1..=seqs.len() as u64).collect::<Vec<u64>>());
+    assert_eq!(rt.stats().trace_spilled_events, t.spilled);
+    assert!(rt
+        .snapshot_stats()
+        .to_json()
+        .contains("\"trace_spilled_events\""));
+    assert_eq!(v.load(), 50);
+}
