@@ -1123,6 +1123,50 @@ mod tests {
     }
 
     #[test]
+    fn file_backed_checkpoint_after_crash_between_rotate_and_publish() {
+        let dir = std::env::temp_dir().join(format!(
+            "ad-kv-rotate-reuse-test-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store.wal");
+
+        let cfg = KvConfig::durable(&path, SyncPolicy::PerCommit);
+        let store = KvStore::open(cfg.clone()).unwrap();
+        store.put("a", b"1");
+        store.put("b", b"2");
+        drop(store);
+        // Simulate a crash after Wal::rotate but before the snapshot
+        // publish: the empty post-cut segment exists, no snapshot does.
+        std::fs::File::create(segment_path(&path, 3)).unwrap();
+
+        // Recovery resumes appends on that segment; the next checkpoint
+        // rotates at the same cut and must reuse it — not rotate into it
+        // and delete the file the store is appending to.
+        let store = KvStore::open(cfg.clone()).unwrap();
+        let report = store.checkpoint().unwrap();
+        assert!(report.performed);
+        assert_eq!(report.cut, 2);
+        store.put("post", b"3");
+        drop(store);
+
+        let reopened = KvStore::open(cfg).unwrap();
+        assert_eq!(reopened.get("a").as_deref(), Some(&b"1"[..]));
+        assert_eq!(reopened.get("b").as_deref(), Some(&b"2"[..]));
+        assert_eq!(
+            reopened.get("post").as_deref(),
+            Some(&b"3"[..]),
+            "fsync-acked write on the reused segment survived the reopen"
+        );
+        let r = reopened.recovery_report().unwrap();
+        assert_eq!(r.snapshot_cut, 2);
+        assert_eq!(r.replayed, 1, "only the post-checkpoint suffix replays");
+        drop(reopened);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn get_many_is_a_consistent_snapshot_shape() {
         let store = KvStore::open(KvConfig::volatile()).unwrap();
         store.write_batch(&WriteBatch::new().put("a", b"1").put("z", b"26"));

@@ -85,6 +85,15 @@ pub trait WalMedium: Send {
     /// segment is kept until [`WalMedium::drop_rotated`]. Media without
     /// segment support (the default) refuse — checkpointing is then
     /// unavailable but plain logging still works.
+    ///
+    /// Must be idempotent against the active segment: when the segment
+    /// appends already go to is the one named for `first_seq` (it then
+    /// holds no records — the cut is quiescent, so every durable record
+    /// has seq `< first_seq`), the medium reuses it as the post-cut
+    /// segment instead of re-creating it and queueing the live file for
+    /// deletion. This happens after recovering from a crash between
+    /// [`Wal::rotate`] and the snapshot publish, and when a checkpoint
+    /// is retried after a failed publish with no intervening appends.
     fn rotate(&mut self, _first_seq: u64) -> io::Result<()> {
         Err(io::Error::new(
             io::ErrorKind::Unsupported,
@@ -171,6 +180,13 @@ impl WalMedium for FileMedium {
             )
         })?;
         let path = segment_path(base, first_seq);
+        if self.current.as_deref() == Some(path.as_path()) {
+            // Already appending to the post-cut segment (empty: no
+            // durable record has seq >= first_seq). Re-opening it with
+            // truncate and pushing it onto `old` would hand the live
+            // segment to drop_rotated — reuse it instead.
+            return Ok(());
+        }
         let next = std::fs::OpenOptions::new()
             .create(true)
             .truncate(true)
@@ -570,6 +586,12 @@ impl WalMedium for MemDisk {
 
     fn rotate(&mut self, first_seq: u64) -> io::Result<()> {
         let name = format!("wal.seg{first_seq:020}");
+        if self.inner.state.lock().active.as_deref() == Some(name.as_str()) {
+            // Already appending to the post-cut segment (see the trait
+            // docs): re-creating it would wipe it and queue the live
+            // segment for deletion.
+            return Ok(());
+        }
         self.create(&name);
         let mut g = self.inner.state.lock();
         if let Some(prev) = g.active.replace(name) {
@@ -980,6 +1002,30 @@ mod tests {
         assert_eq!(freed, old.len() as u64);
         assert!(disk.read_file(MEMDISK_WAL).is_none(), "old segment deleted");
         assert_eq!(disk.read_file(seg).unwrap(), new);
+    }
+
+    #[test]
+    fn re_rotating_at_the_same_cut_reuses_the_active_segment() {
+        let disk = MemDisk::new();
+        let wal = Wal::new(Box::new(disk.clone()), SyncPolicy::GroupCommit, 1);
+        let rt = Runtime::new(TmConfig::stm());
+        wal.append_durable(b"r1", &rt);
+        assert_eq!(wal.rotate().unwrap(), 1);
+        // Checkpoint retry after a failed publish (no intervening
+        // appends): the second rotate targets the segment appends
+        // already go to and must not queue it for deletion.
+        assert_eq!(wal.rotate().unwrap(), 1);
+        let seg = "wal.seg00000000000000000002";
+        assert!(disk.read_file(seg).is_some());
+        let freed = wal.drop_rotated().unwrap();
+        assert!(freed > 0, "the pre-cut segment is still reclaimed");
+        assert!(
+            disk.read_file(seg).is_some(),
+            "active segment survived drop_rotated"
+        );
+        // The WAL is still writable on the surviving segment.
+        wal.append_durable(b"r2", &rt);
+        assert!(!disk.read_file(seg).unwrap().is_empty());
     }
 
     #[test]

@@ -22,6 +22,12 @@
 //!   must skip covered records (`seq <= cut`) idempotently rather than
 //!   replay them on top of the snapshot;
 //! - crash after the truncate — the snapshot plus the suffix segment.
+//!
+//! Every recovered image is additionally exercised forward: an immediate
+//! checkpoint (which, on the crash-after-rotate images, re-rotates at
+//! the same cut and must reuse the already-active empty segment rather
+//! than rotate into it and delete it), a write, and a second reopen that
+//! must preserve both the recovered prefix and the new write.
 
 use std::collections::BTreeMap;
 
@@ -123,7 +129,7 @@ fn crash_matrix_across_checkpoint_boundaries() {
     let mut images = 0u64;
     let mut rename_truncate_window = 0u64;
     let mut check = |img: MemDisk| {
-        let (re, report) = KvStore::open_on_disk(&cfg(), SyncPolicy::PerCommit, img);
+        let (re, report) = KvStore::open_on_disk(&cfg(), SyncPolicy::PerCommit, img.clone());
         let dump = re.dump();
         assert!(
             h.models.contains(&dump),
@@ -142,6 +148,24 @@ fn crash_matrix_across_checkpoint_boundaries() {
         if report.snapshot_cut > 0 && report.records > report.replayed {
             rename_truncate_window += 1;
         }
+        // The recovered store must stay usable: checkpoint it right away
+        // (the crash-between-rotate-and-publish images resume on an empty
+        // segment already named for the cut — rotation must reuse it, not
+        // rotate into it and delete the live segment), write, and reopen.
+        re.checkpoint().expect("checkpoint on recovered image");
+        re.put("zz-crash-probe", b"pc");
+        drop(re);
+        let (re2, _) = KvStore::open_on_disk(&cfg(), SyncPolicy::PerCommit, img);
+        let mut dump2 = re2.dump();
+        assert_eq!(
+            dump2.remove("zz-crash-probe").as_deref(),
+            Some(&b"pc"[..]),
+            "post-recovery write lost across the second reopen"
+        );
+        assert_eq!(
+            dump2, dump,
+            "second reopen changed the recovered state\nreport: {report:?}"
+        );
         images += 1;
     };
 
