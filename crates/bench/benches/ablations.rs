@@ -115,8 +115,11 @@ fn serialize_threshold_ablation(c: &mut Criterion) {
     for threshold in [2u32, 10, 100] {
         group.bench_function(format!("after_{threshold}"), |b| {
             b.iter_custom(|iters| {
-                let rt =
-                    Runtime::new(TmConfig::stm().with_serialize_after(threshold).with_quiesce(false));
+                let rt = Runtime::new(
+                    TmConfig::stm()
+                        .with_serialize_after(threshold)
+                        .with_quiesce(false),
+                );
                 let hot = TVar::new(0u64);
                 let stop = Arc::new(AtomicBool::new(false));
 

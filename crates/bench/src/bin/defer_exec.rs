@@ -129,9 +129,7 @@ fn main() {
     let op_cost = Duration::from_micros(op_us);
     let think = Duration::from_micros(think_us);
 
-    println!(
-        "defer_exec: {threads} threads x {ops} ops, op {op_us}us, think {think_us}us"
-    );
+    println!("defer_exec: {threads} threads x {ops} ops, op {op_us}us, think {think_us}us");
 
     let cells = [
         run_arm(TmConfig::stm(), "inline", threads, ops, op_cost, think),
@@ -165,8 +163,7 @@ fn main() {
 
     // Sanity that the arms actually exercised the executors as configured.
     assert_eq!(
-        cells[0].stats.counters.defer_offloads,
-        0,
+        cells[0].stats.counters.defer_offloads, 0,
         "inline arm offloaded"
     );
     // Every batch is accounted once: offloaded, or diverted inline when

@@ -57,8 +57,7 @@ fn main() {
     let mut results = Vec::new();
     for &variant in &variants {
         for &t in &threads {
-            let capture =
-                trace_out.is_some() && variant == Variant::Defer && t == max_threads;
+            let capture = trace_out.is_some() && variant == Variant::Defer && t == max_threads;
             let (m, trace) = run_iobench_traced(&cfg, variant, t, capture);
             if capture {
                 let path = trace_out.as_ref().unwrap();

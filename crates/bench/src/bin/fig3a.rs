@@ -44,7 +44,8 @@ fn main() {
                 obs: params.obs || capture,
                 ..params.clone()
             };
-            let (m, trace) = run_dedup_cell_traced(series, t, &corpus, &cell_params, series.label());
+            let (m, trace) =
+                run_dedup_cell_traced(series, t, &corpus, &cell_params, series.label());
             if capture {
                 let path = trace_out.as_ref().unwrap();
                 let trace = trace.expect("TM backends produce a trace");

@@ -140,12 +140,12 @@ fn open_store(persistence: Persistence, path: &Path) -> KvStore {
         Persistence::Volatile => KvConfig::volatile(),
         Persistence::Group => KvConfig::durable(path, SyncPolicy::GroupCommit),
         Persistence::PerCommit => KvConfig::durable(path, SyncPolicy::PerCommit),
-        Persistence::GroupCkpt => KvConfig::durable(path, SyncPolicy::GroupCommit).with_ckpt(
-            CkptPolicy::Auto {
+        Persistence::GroupCkpt => {
+            KvConfig::durable(path, SyncPolicy::GroupCommit).with_ckpt(CkptPolicy::Auto {
                 wal_bytes: 256 << 10,
                 wal_records: u64::MAX,
-            },
-        ),
+            })
+        }
     };
     KvStore::open(config).expect("opening store")
 }
@@ -242,8 +242,7 @@ fn run_cell(
 ) -> (f64, Option<StatsReport>) {
     let stop = Arc::new(AtomicBool::new(false));
     let barrier = Arc::new(Barrier::new(threads + 1));
-    let counters: Arc<Vec<AtomicU64>> =
-        Arc::new((0..threads).map(|_| AtomicU64::new(0)).collect());
+    let counters: Arc<Vec<AtomicU64>> = Arc::new((0..threads).map(|_| AtomicU64::new(0)).collect());
 
     std::thread::scope(|s| {
         for t in 0..threads {
@@ -340,7 +339,11 @@ fn smoke(dir: &Path, use_async: bool) {
         .expect("reopened store has a recovery report")
         .clone();
     assert!(!report.torn(), "clean shutdown left a torn WAL");
-    assert_eq!(reopened.dump(), live, "recovered state differs from live state");
+    assert_eq!(
+        reopened.dump(),
+        live,
+        "recovered state differs from live state"
+    );
     let _ = std::fs::remove_file(&path);
     println!(
         "smoke ok: {ops_per_sec:.0} ops/s, {} records in {} batches (coalescing {:.2}), \
@@ -402,7 +405,10 @@ fn smoke_ckpt(dir: &Path) {
         .expect("reopened store has a recovery report")
         .clone();
     assert!(!rr.torn(), "clean shutdown left a torn WAL");
-    assert_eq!(rr.snapshot_cut, report.cut, "reopen did not use the newest snapshot");
+    assert_eq!(
+        rr.snapshot_cut, report.cut,
+        "reopen did not use the newest snapshot"
+    );
     assert!(
         rr.replayed <= wal.records.saturating_sub(rr.snapshot_cut),
         "replayed {} > records-after-cut {}",

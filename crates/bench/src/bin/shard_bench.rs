@@ -1,0 +1,471 @@
+//! `shard_bench` — closed-loop throughput benchmark for `ad-shard`'s
+//! cross-shard transactions, and the tracked evidence of what a 2-phase
+//! commit across runtimes costs relative to single-shard batches.
+//!
+//! Emits `BENCH_kv_shard.json` (repo root by default): ops/sec at 1, 2
+//! and 4 shards under a zipf-skewed (θ=0.99, YCSB-style) mixed workload
+//! — 50% routed gets, 40% single-shard put batches, 10% multi-key
+//! batches that span shards whenever their sampled keys hash apart —
+//! with batch-commit latency quantiles split by class (single-shard vs
+//! cross-shard) and the merged per-runtime STM counters alongside. Every
+//! shard is its own `KvStore` on its own WAL (`SyncPolicy::GroupCommit`
+//! on real files), so a cross-shard batch pays real prepare/ack round
+//! trips and at least two covering fsyncs; the `cross_p50_ns` vs
+//! `single_p50_ns` gap is the protocol's price tag (EXPERIMENTS.md for
+//! methodology and the 1-core caveat).
+//!
+//! ```text
+//! cargo run --release -p ad-bench --bin shard_bench                 # full grid
+//! cargo run --release -p ad-bench --bin shard_bench -- --ms 500
+//! cargo run --release -p ad-bench --bin shard_bench -- --smoke     # CI: quick + asserts
+//! ```
+//!
+//! * `--ms N` — steady-state milliseconds per cell (default 200), warm-up
+//!   a quarter of that (min 50 ms), excluded from the numbers.
+//! * `--dir PATH` — where shard WALs go (default: system temp dir).
+//! * `--out PATH` — JSON destination (default `BENCH_kv_shard.json`).
+//! * `--smoke` — one short 2-shard cell plus the correctness gates CI
+//!   runs: atomicity probes (readers racing cross-shard commits must
+//!   never see a partial per-shard slice), the durability round trip
+//!   (reopening the same WALs reproduces the live state exactly), and
+//!   the merged-trace contract (one cross-shard commit renders as one
+//!   timeline with both runtimes' protocol instants on it).
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use ad_bench::{arg_flag, arg_num, arg_value};
+use ad_kv::{KvConfig, KvStore, SyncPolicy, WriteBatch};
+use ad_shard::ShardRouter;
+use ad_support::hist::Histogram;
+use ad_support::prng::Rng;
+use ad_support::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+const KEYSPACE: usize = 10_000;
+const VALUE_LEN: usize = 64;
+const THREADS: usize = 4;
+const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+const ZIPF_THETA: f64 = 0.99;
+/// Keys per multi-key batch; with skew some may collide on one shard,
+/// so the *actual* cross-shard ratio is measured and reported.
+const BATCH_KEYS: usize = 4;
+
+/// YCSB-style zipf sampler: item 0 is the hottest, `eta`/`zetan` are the
+/// usual precomputed constants so sampling is O(1).
+#[derive(Clone, Copy)]
+struct Zipf {
+    n: usize,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+}
+
+impl Zipf {
+    fn new(n: usize, theta: f64) -> Zipf {
+        let zetan: f64 = (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+        let zeta2 = 1.0 + 0.5f64.powf(theta);
+        Zipf {
+            n,
+            theta,
+            alpha: 1.0 / (1.0 - theta),
+            zetan,
+            eta: (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan),
+        }
+    }
+
+    fn sample(&self, rng: &mut Rng) -> usize {
+        let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let idx = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as usize;
+        idx.min(self.n - 1)
+    }
+}
+
+fn key(i: usize) -> String {
+    format!("key{i:05}")
+}
+
+fn cleanup_cell(dir: &Path) {
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+/// One router over `shards` stores, each on its own WAL file inside
+/// `dir` (created fresh).
+fn open_router(shards: usize, dir: &Path) -> ShardRouter {
+    std::fs::create_dir_all(dir).expect("creating shard WAL dir");
+    let stores = (0..shards)
+        .map(|s| {
+            let path = dir.join(format!("shard{s}.wal"));
+            Arc::new(
+                KvStore::open(KvConfig::durable(&path, SyncPolicy::GroupCommit))
+                    .expect("opening shard store"),
+            )
+        })
+        .collect();
+    ShardRouter::from_stores(stores)
+}
+
+fn preload(router: &ShardRouter) {
+    let mut batch = WriteBatch::new();
+    for i in 0..KEYSPACE {
+        batch = batch.put(key(i), vec![0u8; VALUE_LEN]);
+        if batch.len() == 256 {
+            // Preload batches span shards; correctness is the point of
+            // the protocol, so the preload exercises it too.
+            router.write_batch(&batch);
+            batch = WriteBatch::new();
+        }
+    }
+    if !batch.is_empty() {
+        router.write_batch(&batch);
+    }
+}
+
+struct CellOut {
+    ops_per_sec: f64,
+    single_batches: u64,
+    cross_batches: u64,
+    single_ns: Histogram,
+    cross_ns: Histogram,
+}
+
+/// One op: 50% routed get, 40% single-key put batch, 10% multi-key
+/// batch (classified by how many shards its sampled keys actually hit).
+fn one_op(router: &ShardRouter, zipf: &Zipf, rng: &mut Rng, op_seq: u64, out: &CellCounters) {
+    let roll = rng.next_u64() % 100;
+    if roll < 50 {
+        std::hint::black_box(router.get(&key(zipf.sample(rng))));
+        return;
+    }
+    let mut value = vec![0u8; VALUE_LEN];
+    value[..8].copy_from_slice(&op_seq.to_le_bytes());
+    if roll < 90 {
+        let k = key(zipf.sample(rng));
+        let t0 = Instant::now();
+        router.write_batch(&WriteBatch::new().put(&k, value.clone()));
+        out.single_ns.record(t0.elapsed().as_nanos() as u64);
+        out.single.fetch_add(1, Ordering::Relaxed);
+    } else {
+        let mut b = WriteBatch::new();
+        let mut shards = std::collections::BTreeSet::new();
+        for _ in 0..BATCH_KEYS {
+            let k = key(zipf.sample(rng));
+            shards.insert(router.shard_of(&k));
+            b = b.put(&k, value.clone());
+        }
+        let t0 = Instant::now();
+        router.write_batch(&b);
+        let ns = t0.elapsed().as_nanos() as u64;
+        if shards.len() > 1 {
+            out.cross_ns.record(ns);
+            out.cross.fetch_add(1, Ordering::Relaxed);
+        } else {
+            out.single_ns.record(ns);
+            out.single.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+struct CellCounters {
+    single: AtomicU64,
+    cross: AtomicU64,
+    single_ns: Histogram,
+    cross_ns: Histogram,
+}
+
+fn run_cell(router: &Arc<ShardRouter>, warm: Duration, steady: Duration) -> CellOut {
+    let stop = Arc::new(AtomicBool::new(false));
+    let barrier = Arc::new(Barrier::new(THREADS + 1));
+    let ops: Arc<Vec<AtomicU64>> = Arc::new((0..THREADS).map(|_| AtomicU64::new(0)).collect());
+    let counters = Arc::new(CellCounters {
+        single: AtomicU64::new(0),
+        cross: AtomicU64::new(0),
+        single_ns: Histogram::new(),
+        cross_ns: Histogram::new(),
+    });
+    let zipf = Zipf::new(KEYSPACE, ZIPF_THETA);
+
+    let ops_per_sec = std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let router = Arc::clone(router);
+            let stop = Arc::clone(&stop);
+            let barrier = Arc::clone(&barrier);
+            let ops = Arc::clone(&ops);
+            let counters = Arc::clone(&counters);
+            s.spawn(move || {
+                let mut rng = Rng::seed_from_u64(0x5AA4_D000 + t as u64);
+                let mut n = 0u64;
+                barrier.wait();
+                while !stop.load(Ordering::Relaxed) {
+                    for _ in 0..8 {
+                        one_op(&router, &zipf, &mut rng, n, &counters);
+                        n += 1;
+                    }
+                    ops[t].store(n, Ordering::Relaxed);
+                }
+            });
+        }
+        barrier.wait();
+        std::thread::sleep(warm);
+        // Latency histograms include warm-up; the throughput window does
+        // not (quantiles are robust to a short warm tail, rates are not).
+        let ops0: u64 = ops.iter().map(|c| c.load(Ordering::Relaxed)).sum();
+        let t0 = Instant::now();
+        std::thread::sleep(steady);
+        let ops1: u64 = ops.iter().map(|c| c.load(Ordering::Relaxed)).sum();
+        let elapsed = t0.elapsed();
+        stop.store(true, Ordering::Relaxed);
+        (ops1 - ops0) as f64 / elapsed.as_secs_f64()
+    });
+    // Workers joined at scope exit; the counters Arc is sole-owned now.
+    let c = Arc::try_unwrap(counters).ok().expect("workers joined");
+    CellOut {
+        ops_per_sec,
+        single_batches: c.single.load(Ordering::Relaxed),
+        cross_batches: c.cross.load(Ordering::Relaxed),
+        single_ns: c.single_ns,
+        cross_ns: c.cross_ns,
+    }
+}
+
+/// The merged-trace contract, used by both smoke and the unit-level CI
+/// gate: one cross-shard commit must render as a single timeline with
+/// both runtimes tagged and all six protocol instants present.
+fn assert_merged_trace(router: &ShardRouter) {
+    // Two keys guaranteed on different shards.
+    let on = |s: usize| {
+        (0..)
+            .map(|i| format!("t{i}"))
+            .find(|k| router.shard_of(k) == s)
+            .expect("keys cover shards")
+    };
+    let (a, b) = (on(0), on(1));
+    router.set_tracing(true);
+    router.write_batch(&WriteBatch::new().put(&a, b"1").put(&b, b"2"));
+    // Quiesce before draining: the participant's release-side instants
+    // land asynchronously, and draining a live ring can lose the event
+    // being written.
+    router.quiesce();
+    router.set_tracing(false);
+    let trace = router.take_trace();
+    assert_eq!(
+        trace.render().matches("shard_").count(),
+        6,
+        "one 2-shard commit is six protocol instants:\n{}",
+        trace.render()
+    );
+    let runtimes = trace.runtime_ids();
+    assert!(
+        runtimes.len() >= 2,
+        "merged timeline shows {} runtime(s): {runtimes:?}",
+        runtimes.len()
+    );
+    let rendered = trace.render();
+    for kind in ["shard_prepare", "shard_ack", "shard_release"] {
+        assert!(rendered.contains(kind), "missing {kind} in merged timeline");
+    }
+    println!(
+        "merged trace ok: {} events across runtimes {runtimes:?}",
+        trace.events.len()
+    );
+}
+
+fn smoke(dir: &Path) {
+    let cell_dir = dir.join("shard-smoke");
+    cleanup_cell(&cell_dir);
+    let router = Arc::new(open_router(2, &cell_dir));
+    preload(&router);
+    let out = run_cell(
+        &router,
+        Duration::from_millis(25),
+        Duration::from_millis(50),
+    );
+    assert!(
+        out.cross_batches > 0,
+        "smoke never committed a cross-shard batch"
+    );
+
+    // Atomicity probe: readers race cross-shard commits; a reader that
+    // sees one key of a shard's slice without its sibling (values
+    // disagreeing) caught a partial batch.
+    let on = |p: &str, s: usize| {
+        (0..)
+            .map(|i| format!("{p}{i}"))
+            .find(|k| router.shard_of(k) == s)
+            .expect("keys cover shards")
+    };
+    let probe = [on("p", 0), on("q", 0), on("r", 1), on("s", 1)];
+    for k in &probe {
+        router.put(k, &0u64.to_le_bytes());
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+    let checker = {
+        let router = Arc::clone(&router);
+        let probe = probe.clone();
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                let got = router.get_many(&[&probe[0], &probe[1], &probe[2], &probe[3]]);
+                let round = |v: &Option<Arc<[u8]>>| {
+                    u64::from_le_bytes(v.as_deref().unwrap().try_into().unwrap())
+                };
+                assert_eq!(round(&got[0]), round(&got[1]), "partial batch on shard 0");
+                assert_eq!(round(&got[2]), round(&got[3]), "partial batch on shard 1");
+            }
+        })
+    };
+    for round in 1u64..200 {
+        let v = round.to_le_bytes();
+        router.write_batch(
+            &WriteBatch::new()
+                .put(&probe[0], v)
+                .put(&probe[1], v)
+                .put(&probe[2], v)
+                .put(&probe[3], v),
+        );
+    }
+    stop.store(true, Ordering::Relaxed);
+    checker.join().expect("atomicity checker");
+
+    // Merged observability contract.
+    assert_merged_trace(&router);
+
+    // Durability round trip: reopening the same WALs must reproduce the
+    // live state exactly — acked means durable on every shard.
+    let live: BTreeMap<String, Vec<u8>> = router.dump();
+    let stats = router.stats();
+    drop(router);
+    let reopened = open_router(2, &cell_dir);
+    assert_eq!(
+        reopened.dump(),
+        live,
+        "recovered cross-shard state differs from live state"
+    );
+    drop(reopened);
+    cleanup_cell(&cell_dir);
+    println!(
+        "smoke ok: {:.0} ops/s, {} single / {} cross batches, {} commits across runtimes, \
+         recovery reproduced {} keys",
+        out.ops_per_sec,
+        out.single_batches,
+        out.cross_batches,
+        stats.counters.commits,
+        live.len()
+    );
+}
+
+fn main() {
+    let ms: u64 = arg_num("--ms", 200);
+    let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_kv_shard.json".to_string());
+    let dir = arg_value("--dir")
+        .map(PathBuf::from)
+        .unwrap_or_else(std::env::temp_dir);
+    std::fs::create_dir_all(&dir).expect("creating WAL dir");
+
+    if arg_flag("--smoke") {
+        smoke(&dir);
+        return;
+    }
+
+    let steady = Duration::from_millis(ms);
+    let warm = Duration::from_millis((ms / 4).max(50));
+
+    struct Row {
+        shards: usize,
+        ops_per_sec: f64,
+        single_batches: u64,
+        cross_batches: u64,
+        cross_pct: f64,
+        single_p50_ns: u64,
+        single_p99_ns: u64,
+        cross_p50_ns: u64,
+        cross_p99_ns: u64,
+        commits: u64,
+        wal_records: u64,
+    }
+    let mut rows: Vec<Row> = Vec::new();
+
+    for &shards in &SHARD_COUNTS {
+        let cell_dir = dir.join(format!("shard-bench-{shards}"));
+        cleanup_cell(&cell_dir);
+        let router = Arc::new(open_router(shards, &cell_dir));
+        preload(&router);
+        let out = run_cell(&router, warm, steady);
+        let stats = router.stats();
+        let wal_records: u64 = (0..shards)
+            .map(|s| router.store(s).wal_stats().map_or(0, |w| w.records))
+            .sum();
+        let batches = out.single_batches + out.cross_batches;
+        let cross_pct = if batches > 0 {
+            100.0 * out.cross_batches as f64 / batches as f64
+        } else {
+            0.0
+        };
+        let sh = out.single_ns.snapshot();
+        let ch = out.cross_ns.snapshot();
+        println!(
+            "shards={shards}  {:>12.0} ops/s  cross {:.1}% of batches  \
+             single p50 {} ns  cross p50 {} ns",
+            out.ops_per_sec,
+            cross_pct,
+            sh.quantile(0.50),
+            ch.quantile(0.50)
+        );
+        rows.push(Row {
+            shards,
+            ops_per_sec: out.ops_per_sec,
+            single_batches: out.single_batches,
+            cross_batches: out.cross_batches,
+            cross_pct,
+            single_p50_ns: sh.quantile(0.50),
+            single_p99_ns: sh.quantile(0.99),
+            cross_p50_ns: ch.quantile(0.50),
+            cross_p99_ns: ch.quantile(0.99),
+            commits: stats.counters.commits,
+            wal_records,
+        });
+        drop(router);
+        cleanup_cell(&cell_dir);
+    }
+
+    let mut json = String::from("{\n  \"bench\": \"kv_shard\",\n");
+    json.push_str(&format!("  \"duration_ms_per_cell\": {ms},\n"));
+    json.push_str(&format!("  \"threads\": {THREADS},\n"));
+    json.push_str(&format!("  \"keyspace\": {KEYSPACE},\n"));
+    json.push_str(&format!("  \"value_len\": {VALUE_LEN},\n"));
+    json.push_str(&format!("  \"zipf_theta\": {ZIPF_THETA},\n"));
+    json.push_str(&format!("  \"batch_keys\": {BATCH_KEYS},\n"));
+    json.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"shards\": {}, \"ops_per_sec\": {:.0}, \"single_batches\": {}, \
+             \"cross_batches\": {}, \"cross_pct\": {:.2}, \"single_p50_ns\": {}, \
+             \"single_p99_ns\": {}, \"cross_p50_ns\": {}, \"cross_p99_ns\": {}, \
+             \"commits\": {}, \"wal_records\": {}}}{}\n",
+            r.shards,
+            r.ops_per_sec,
+            r.single_batches,
+            r.cross_batches,
+            r.cross_pct,
+            r.single_p50_ns,
+            r.single_p99_ns,
+            r.cross_p50_ns,
+            r.cross_p99_ns,
+            r.commits,
+            r.wal_records,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, json).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+    println!("wrote {out_path}");
+}

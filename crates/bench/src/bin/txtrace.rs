@@ -20,6 +20,16 @@
 //! chrome://tracing / Perfetto trace-event JSON — load the file in
 //! `about:tracing` or <https://ui.perfetto.dev>).
 //!
+//! `--shards N` switches to the cross-shard mode: `--ops` write batches
+//! spanning all `N` shards of an `ad-shard` router (each shard its own
+//! runtime), with the per-runtime trace rings merged into **one**
+//! timeline. Rows are tagged `r<runtime>.t<thread>`, so a single
+//! cross-shard commit reads as one story: the coordinator's
+//! `shard_prepare` → the participant's `shard_prepare`/`shard_ack` on
+//! its own runtime → the coordinator's decision `shard_release` → the
+//! participant's release. In the chrome export each runtime is its own
+//! process row.
+//!
 //! After the timeline, the per-TVar contention report
 //! ([`ad_stm::Trace::contention_report`]) ranks the variables whose
 //! commit-time validation failures caused the aborts — the quickest answer
@@ -32,10 +42,80 @@ use ad_defer::{atomic_defer, Defer};
 use ad_stm::{Runtime, TVar, TmConfig};
 use ad_workloads::run_fixed_work;
 
+/// `--shards N`: run cross-shard batches on a volatile router and
+/// render the merged multi-runtime timeline.
+fn shard_mode(shards: usize, ops: usize) {
+    use ad_shard::ShardRouter;
+
+    let router = ShardRouter::open_volatile(shards.max(2));
+    let n = router.shard_count();
+    router.set_tracing(true);
+    // One key per shard so every batch is a full-width cross-shard
+    // commit: 1 coordinator + (n-1) participants.
+    let keys: Vec<String> = (0..n)
+        .map(|s| {
+            (0..)
+                .map(|i| format!("k{i}"))
+                .find(|k| router.shard_of(k) == s)
+                .expect("keys cover shards")
+        })
+        .collect();
+    for round in 0..ops.max(1) {
+        let mut b = ad_kv::WriteBatch::new();
+        for k in &keys {
+            b = b.put(k, round.to_le_bytes().to_vec());
+        }
+        router.write_batch(&b);
+        std::hint::black_box(router.get(&keys[round % n]));
+    }
+    // Participants finish their release-side work asynchronously on the
+    // transport workers; quiesce so the drain sees every protocol
+    // instant — (5*(n-1)+1) per batch — without racing a live writer.
+    router.quiesce();
+    router.set_tracing(false);
+    let trace = router.take_trace();
+
+    println!(
+        "txtrace --shards: {} cross-shard batch(es) over {} runtimes — {} events \
+         ({} dropped) in one merged timeline",
+        ops.max(1),
+        trace.runtime_ids().len(),
+        trace.events.len(),
+        trace.dropped
+    );
+    println!();
+    print!("{}", trace.render());
+
+    if let Some(path) = arg_value("--trace-json") {
+        std::fs::write(&path, trace.to_chrome_json())
+            .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!();
+        println!("wrote chrome trace to {path} (one process row per runtime)");
+    }
+
+    if arg_flag("--stats") {
+        println!();
+        println!("{}", router.stats());
+    }
+}
+
 fn main() {
     let total_ops: usize = arg_num("--ops", 64);
     let threads: usize = arg_num("--threads", 2);
     let nvars: usize = arg_num("--vars", 2);
+
+    if let Some(shards) = arg_value("--shards") {
+        let shards: usize = shards.parse().expect("--shards takes a count");
+        shard_mode(
+            shards,
+            if arg_value("--ops").is_some() {
+                total_ops
+            } else {
+                2
+            },
+        );
+        return;
+    }
 
     let rt = Runtime::new(TmConfig::stm());
     rt.set_tracing(true);

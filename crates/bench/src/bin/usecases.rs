@@ -27,7 +27,13 @@ fn main() {
     for v in LogVariant::all() {
         for &t in &threads {
             let m = run_logbench(&log_cfg, v, t);
-            eprintln!("  {:<16} {:>2}t: {:>8.3}s  {}", m.series, t, m.secs(), m.note);
+            eprintln!(
+                "  {:<16} {:>2}t: {:>8.3}s  {}",
+                m.series,
+                t,
+                m.secs(),
+                m.note
+            );
             log_results.push(m);
         }
     }
@@ -41,7 +47,13 @@ fn main() {
     for v in PoolVariant::all() {
         for &t in &threads {
             let m = run_poolbench(&pool_cfg, v, t);
-            eprintln!("  {:<10} {:>2}t: {:>8.3}s  {}", m.series, t, m.secs(), m.note);
+            eprintln!(
+                "  {:<10} {:>2}t: {:>8.3}s  {}",
+                m.series,
+                t,
+                m.secs(),
+                m.note
+            );
             pool_results.push(m);
         }
     }

@@ -246,7 +246,10 @@ pub fn run_dedup_cell_traced(
                 .filter(|e| backend.is_table_var(e.var))
                 .map(|e| e.fails)
                 .sum();
-            format!(" validate_fails={} fp_table_fails={table_fails}", r.total_fails)
+            format!(
+                " validate_fails={} fp_table_fails={table_fails}",
+                r.total_fails
+            )
         }
         _ => String::new(),
     };

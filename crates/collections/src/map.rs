@@ -65,7 +65,10 @@ where
     /// Look up `key`.
     pub fn get(&self, tx: &mut Tx, key: &K) -> StmResult<Option<V>> {
         let bucket = tx.read(self.bucket(key))?;
-        Ok(bucket.iter().find(|(k, _)| k == key).map(|(_, v)| v.clone()))
+        Ok(bucket
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.clone()))
     }
 
     /// Insert or replace; returns the previous value.
@@ -246,8 +249,7 @@ mod tests {
                 let m = std::sync::Arc::clone(&m);
                 let winners = &winners;
                 s.spawn(move || {
-                    let (_, inserted) =
-                        atomically(|tx| m.get_or_insert_with(tx, 1, || t));
+                    let (_, inserted) = atomically(|tx| m.get_or_insert_with(tx, 1, || t));
                     if inserted {
                         winners.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     }

@@ -169,7 +169,10 @@ mod tests {
                 });
             }
         });
-        assert_eq!(consumed.load(std::sync::atomic::Ordering::Relaxed), produced);
+        assert_eq!(
+            consumed.load(std::sync::atomic::Ordering::Relaxed),
+            produced
+        );
         assert!(atomically(|tx| q.is_empty(tx)));
     }
 

@@ -50,7 +50,12 @@ fn balance_factor<K, V>(n: &Node<K, V>) -> i32 {
 
 /// Rebuild `n` with AVL rebalancing applied (the "hard part" of ordered
 /// containers that TM makes composable).
-fn balance<K: Clone, V: Clone>(key: K, value: V, left: Link<K, V>, right: Link<K, V>) -> Link<K, V> {
+fn balance<K: Clone, V: Clone>(
+    key: K,
+    value: V,
+    left: Link<K, V>,
+    right: Link<K, V>,
+) -> Link<K, V> {
     let bf = height(&left) as i32 - height(&right) as i32;
     if bf > 1 {
         let l = left.as_deref().expect("left-heavy implies left child");
@@ -61,7 +66,12 @@ fn balance<K: Clone, V: Clone>(key: K, value: V, left: Link<K, V>, right: Link<K
         }
         // Left-right rotation.
         let lr = l.right.as_deref().expect("LR rotation needs left.right");
-        let new_left = mk(l.key.clone(), l.value.clone(), l.left.clone(), lr.left.clone());
+        let new_left = mk(
+            l.key.clone(),
+            l.value.clone(),
+            l.left.clone(),
+            lr.left.clone(),
+        );
         let new_right = mk(key, value, lr.right.clone(), right);
         return mk(lr.key.clone(), lr.value.clone(), new_left, new_right);
     }
@@ -75,7 +85,12 @@ fn balance<K: Clone, V: Clone>(key: K, value: V, left: Link<K, V>, right: Link<K
         // Right-left rotation.
         let rl = r.left.as_deref().expect("RL rotation needs right.left");
         let new_left = mk(key, value, left, rl.left.clone());
-        let new_right = mk(r.key.clone(), r.value.clone(), rl.right.clone(), r.right.clone());
+        let new_right = mk(
+            r.key.clone(),
+            r.value.clone(),
+            rl.right.clone(),
+            r.right.clone(),
+        );
         return mk(rl.key.clone(), rl.value.clone(), new_left, new_right);
     }
     mk(key, value, left, right)
@@ -95,11 +110,17 @@ fn insert_at<K: Ord + Clone, V: Clone>(
             ),
             std::cmp::Ordering::Less => {
                 let (l, prev) = insert_at(&n.left, key, value);
-                (balance(n.key.clone(), n.value.clone(), l, n.right.clone()), prev)
+                (
+                    balance(n.key.clone(), n.value.clone(), l, n.right.clone()),
+                    prev,
+                )
             }
             std::cmp::Ordering::Greater => {
                 let (r, prev) = insert_at(&n.right, key, value);
-                (balance(n.key.clone(), n.value.clone(), n.left.clone(), r), prev)
+                (
+                    balance(n.key.clone(), n.value.clone(), n.left.clone(), r),
+                    prev,
+                )
             }
         },
     }
@@ -127,14 +148,20 @@ fn remove_at<K: Ord + Clone, V: Clone>(link: &Link<K, V>, key: &K) -> (Link<K, V
                 if removed.is_none() {
                     return (link.clone(), None);
                 }
-                (balance(n.key.clone(), n.value.clone(), l, n.right.clone()), removed)
+                (
+                    balance(n.key.clone(), n.value.clone(), l, n.right.clone()),
+                    removed,
+                )
             }
             std::cmp::Ordering::Greater => {
                 let (r, removed) = remove_at(&n.right, key);
                 if removed.is_none() {
                     return (link.clone(), None);
                 }
-                (balance(n.key.clone(), n.value.clone(), n.left.clone(), r), removed)
+                (
+                    balance(n.key.clone(), n.value.clone(), n.left.clone(), r),
+                    removed,
+                )
             }
             std::cmp::Ordering::Equal => {
                 let removed = Some(n.value.clone());
@@ -246,10 +273,7 @@ where
                 Some(n) => {
                     let hl = check(&n.left);
                     let hr = check(&n.right);
-                    assert!(
-                        (hl as i32 - hr as i32).abs() <= 1,
-                        "AVL invariant violated"
-                    );
+                    assert!((hl as i32 - hr as i32).abs() <= 1, "AVL invariant violated");
                     assert_eq!(n.height, 1 + hl.max(hr), "cached height wrong");
                     assert_eq!(
                         n.size,
@@ -295,10 +319,7 @@ mod tests {
         atomically(|tx| t.insert(tx, 3, "three".into()));
         assert_eq!(atomically(|tx| t.get(tx, &2)).as_deref(), Some("two"));
         assert_eq!(atomically(|tx| t.len(tx)), 3);
-        assert_eq!(
-            atomically(|tx| t.remove(tx, &2)).as_deref(),
-            Some("two")
-        );
+        assert_eq!(atomically(|tx| t.remove(tx, &2)).as_deref(), Some("two"));
         assert_eq!(atomically(|tx| t.get(tx, &2)), None);
         assert_eq!(atomically(|tx| t.len(tx)), 2);
         t.assert_balanced();

@@ -243,9 +243,7 @@ mod tests {
 
     #[test]
     fn duplicates_become_references() {
-        let corpus = Arc::new(generate(
-            &CorpusParams::new(256 * 1024).with_dup_ratio(0.8),
-        ));
+        let corpus = Arc::new(generate(&CorpusParams::new(256 * 1024).with_dup_ratio(0.8)));
         let backend = run_backend(2, Arc::clone(&corpus));
         let stats = backend.output_stats();
         assert!(stats.reference_records > 0, "no dedup happened: {stats:?}");

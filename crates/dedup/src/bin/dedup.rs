@@ -74,11 +74,9 @@ fn main() -> ExitCode {
                 table_capacity: (input.len() / 4096).max(1 << 12),
                 ..BackendConfig::default()
             };
-            let Some(backend) = make_backend(
-                &backend_name,
-                cfg,
-                SinkTarget::File(args[2].clone().into()),
-            ) else {
+            let Some(backend) =
+                make_backend(&backend_name, cfg, SinkTarget::File(args[2].clone().into()))
+            else {
                 eprintln!("unknown backend {backend_name}");
                 return usage();
             };
@@ -128,14 +126,21 @@ fn main() -> ExitCode {
             let Ok(size) = args[1].parse::<usize>() else {
                 return usage();
             };
-            let dup: f64 = opt(&args, "--dup").and_then(|v| v.parse().ok()).unwrap_or(0.5);
-            let seed: u64 = opt(&args, "--seed").and_then(|v| v.parse().ok()).unwrap_or(1);
+            let dup: f64 = opt(&args, "--dup")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0.5);
+            let seed: u64 = opt(&args, "--seed")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(1);
             let data = generate(&CorpusParams::new(size).with_dup_ratio(dup).with_seed(seed));
             if let Err(e) = std::fs::write(&args[2], &data) {
                 eprintln!("cannot write {}: {e}", args[2]);
                 return ExitCode::FAILURE;
             }
-            println!("generated {} bytes (dup_ratio {dup}, seed {seed})", data.len());
+            println!(
+                "generated {} bytes (dup_ratio {dup}, seed {seed})",
+                data.len()
+            );
             ExitCode::SUCCESS
         }
         _ => usage(),

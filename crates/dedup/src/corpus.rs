@@ -56,9 +56,30 @@ pub fn from_file(path: impl AsRef<std::path::Path>) -> std::io::Result<Vec<u8>> 
 }
 
 const WORDS: &[&str] = &[
-    "transaction", "memory", "atomic", "deferral", "lock", "subscribe", "commit", "abort",
-    "quiesce", "serial", "pipeline", "chunk", "fingerprint", "compress", "output", "thread",
-    "conflict", "retry", "irrevocable", "buffer", "stream", "record", "archive", "worker",
+    "transaction",
+    "memory",
+    "atomic",
+    "deferral",
+    "lock",
+    "subscribe",
+    "commit",
+    "abort",
+    "quiesce",
+    "serial",
+    "pipeline",
+    "chunk",
+    "fingerprint",
+    "compress",
+    "output",
+    "thread",
+    "conflict",
+    "retry",
+    "irrevocable",
+    "buffer",
+    "stream",
+    "record",
+    "archive",
+    "worker",
 ];
 
 /// Generate a corpus. Deterministic for a given `params`.

@@ -139,8 +139,8 @@ pub fn reconstruct(archive: &[u8]) -> Result<Vec<u8>, DecodeError> {
     for rec in records {
         match rec {
             Record::Unique { fp, payload } => {
-                let raw = lzss::decompress(&payload)
-                    .map_err(|e| DecodeError::Corrupt(e.to_string()))?;
+                let raw =
+                    lzss::decompress(&payload).map_err(|e| DecodeError::Corrupt(e.to_string()))?;
                 if crate::sha256::sha256(&raw) != fp {
                     return Err(DecodeError::FingerprintMismatch(to_hex(&fp)));
                 }

@@ -169,8 +169,7 @@ pub fn run_pipeline_staged(
     // Fragment (producer): coarse ranges with their index.
     let (coarse_tx, coarse_rx) = channel::bounded::<(usize, Range<usize>)>(cfg.queue_depth);
     // Refine → Sequence: fine ranges per coarse chunk, possibly out of order.
-    let (refined_tx, refined_rx) =
-        channel::bounded::<(usize, Vec<Range<usize>>)>(cfg.queue_depth);
+    let (refined_tx, refined_rx) = channel::bounded::<(usize, Vec<Range<usize>>)>(cfg.queue_depth);
     // Sequence → Process: globally ordered (seq, range).
     let (seq_tx, seq_rx) = channel::bounded::<(u64, Range<usize>)>(cfg.queue_depth);
 
@@ -362,8 +361,7 @@ mod tests {
         assert_eq!(staged_report.unique_chunks, fused_report.unique_chunks);
         assert_eq!(staged_report.bytes_out, fused_report.bytes_out);
         assert!(staged_report.label.contains("staged"));
-        let rebuilt =
-            crate::format::reconstruct(&staged.archive_bytes().unwrap()).unwrap();
+        let rebuilt = crate::format::reconstruct(&staged.archive_bytes().unwrap()).unwrap();
         assert_eq!(rebuilt, *corpus);
     }
 
@@ -378,8 +376,7 @@ mod tests {
         )
         .unwrap();
         let report = run_pipeline_staged(&corpus, &PipelineConfig::tiny(2), &backend);
-        let rebuilt =
-            crate::format::reconstruct(&backend.archive_bytes().unwrap()).unwrap();
+        let rebuilt = crate::format::reconstruct(&backend.archive_bytes().unwrap()).unwrap();
         assert_eq!(rebuilt, *corpus);
         assert_eq!(
             report.total_chunks,

@@ -261,9 +261,15 @@ mod tests {
         let edited = chunk_boundaries(&data, ChunkParams::tiny());
         // All boundaries beyond the first few chunks must be identical.
         let orig_cuts: Vec<usize> = orig.iter().map(|r| r.end).filter(|&e| e > 5_000).collect();
-        let edited_cuts: Vec<usize> =
-            edited.iter().map(|r| r.end).filter(|&e| e > 5_000).collect();
-        assert_eq!(orig_cuts, edited_cuts, "edit rippled through all boundaries");
+        let edited_cuts: Vec<usize> = edited
+            .iter()
+            .map(|r| r.end)
+            .filter(|&e| e > 5_000)
+            .collect();
+        assert_eq!(
+            orig_cuts, edited_cuts,
+            "edit rippled through all boundaries"
+        );
     }
 
     #[test]

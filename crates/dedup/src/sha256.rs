@@ -205,7 +205,11 @@ mod tests {
         // Feed in awkward chunk sizes crossing block boundaries.
         let mut h = Sha256::new();
         let mut off = 0;
-        for (i, step) in [1usize, 63, 64, 65, 127, 1000, 7].iter().cycle().enumerate() {
+        for (i, step) in [1usize, 63, 64, 65, 127, 1000, 7]
+            .iter()
+            .cycle()
+            .enumerate()
+        {
             if off >= data.len() {
                 break;
             }

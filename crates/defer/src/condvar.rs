@@ -181,7 +181,12 @@ mod tests {
         let not_empty = TxCondvar::new();
 
         std::thread::scope(|s| {
-            let (q, nf, ne, rt2) = (queue.clone(), not_full.clone(), not_empty.clone(), rt.clone());
+            let (q, nf, ne, rt2) = (
+                queue.clone(),
+                not_full.clone(),
+                not_empty.clone(),
+                rt.clone(),
+            );
             s.spawn(move || {
                 for i in 0..ITEMS {
                     rt2.atomically(|tx| {
@@ -196,7 +201,12 @@ mod tests {
                 }
             });
 
-            let (q, nf, ne, rt2) = (queue.clone(), not_full.clone(), not_empty.clone(), rt.clone());
+            let (q, nf, ne, rt2) = (
+                queue.clone(),
+                not_full.clone(),
+                not_empty.clone(),
+                rt.clone(),
+            );
             let consumer = s.spawn(move || {
                 let mut got = Vec::new();
                 while got.len() < ITEMS as usize {
@@ -243,8 +253,8 @@ mod tests {
 
     #[test]
     fn notify_from_deferred_operation() {
-        use crate::deferrable::Defer;
         use crate::defer::atomic_defer;
+        use crate::deferrable::Defer;
 
         struct Disk {
             written: TVar<bool>,

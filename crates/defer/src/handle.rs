@@ -74,10 +74,17 @@ impl<T: Any + Send + Sync + Clone> DeferHandle<T> {
     /// single-worker pool is a self-deadlock (the waited-on op is queued
     /// behind the caller; DESIGN.md §10): the hazard is detected before
     /// blocking — counted, traced, and `debug_assert!`ed — via
-    /// [`Runtime::check_defer_self_wait`].
+    /// [`Runtime::check_defer_self_wait`]. Calling it from a worker of a
+    /// *different* runtime's pool (a shard coordinator's deferred op
+    /// waiting on a remote shard's handle) is the distinct cross-runtime
+    /// hazard of DESIGN.md §14, detected via
+    /// [`Runtime::check_defer_remote_wait`] — counted and traced on the
+    /// waited-on runtime, but not asserted: bounded remote waits are how
+    /// ad-shard's 2-phase commit blocks for acks.
     pub fn wait(&self, rt: &Runtime) -> T {
         if !self.is_ready() {
             rt.check_defer_self_wait();
+            rt.check_defer_remote_wait();
         }
         rt.atomically(|tx| self.get(tx))
     }
@@ -107,6 +114,7 @@ impl<T: Any + Send + Sync + Clone> DeferHandle<T> {
     pub fn wait_all(rt: &Runtime, handles: &[DeferHandle<T>]) -> Vec<T> {
         if handles.iter().any(|h| !h.is_ready()) {
             rt.check_defer_self_wait();
+            rt.check_defer_remote_wait();
         }
         rt.atomically(|tx| handles.iter().map(|h| h.get(tx)).collect())
     }
@@ -266,9 +274,7 @@ mod tests {
     fn try_get_sees_none_only_before_publication() {
         let obj = Defer::new(Obj { v: TVar::new(0) });
         let o = obj.clone();
-        let handle = atomically(move |tx| {
-            atomic_defer_with_result(tx, &[&o.clone()], move || 1u8)
-        });
+        let handle = atomically(move |tx| atomic_defer_with_result(tx, &[&o.clone()], move || 1u8));
         // After `atomically` returns, deferred ops have completed.
         let got = atomically(|tx| handle.try_get(tx));
         assert_eq!(got, Some(1));
@@ -354,6 +360,51 @@ mod tests {
         });
         assert_eq!(handle.wait(&rt), 9);
         assert_eq!(rt.stats().defer_self_wait_hazards, 0);
+    }
+
+    #[test]
+    fn remote_wait_from_other_pools_worker_is_counted_not_asserted() {
+        use ad_stm::{Runtime, TmConfig};
+        // The cross-shard shape (DESIGN.md §14): a worker of runtime A's
+        // pool blocks on a handle whose progress belongs to runtime B.
+        // That is legal — B's own pool resolves the handle — but it is the
+        // remote-wait hazard: counted and traced on B, never asserted.
+        let rt_a = Runtime::new(TmConfig::stm().with_defer_pool(1, 16));
+        let rt_b = Runtime::new(TmConfig::stm().with_defer_pool(1, 16));
+        let obj_a = Defer::new(Obj { v: TVar::new(0) });
+        let obj_b = Defer::new(Obj { v: TVar::new(0) });
+
+        // Publish a slow op on B so its handle is not yet ready when A's
+        // worker starts waiting on it.
+        let ob = obj_b.clone();
+        let b_handle = rt_b.atomically(move |tx| {
+            atomic_defer_with_result(tx, &[&ob.clone()], move || {
+                std::thread::sleep(Duration::from_millis(30));
+                11u32
+            })
+        });
+
+        let oa = obj_a.clone();
+        let rt_b2 = rt_b.clone();
+        let bh = b_handle.clone();
+        let got = rt_a.atomically(move |tx| {
+            let rt_b2 = rt_b2.clone();
+            let bh = bh.clone();
+            atomic_defer_with_result(tx, &[&oa.clone()], move || {
+                // Cross-runtime wait from a foreign pool worker: the
+                // self-wait guard must NOT fire (it is not B's worker),
+                // the remote-wait guard must.
+                // ad-lint: allow(defer-waits-on-defer)
+                bh.wait(&rt_b2)
+            })
+        });
+        assert_eq!(got.wait(&rt_a), 11);
+        assert_eq!(rt_b.stats().defer_remote_wait_hazards, 1);
+        assert_eq!(rt_b.stats().defer_self_wait_hazards, 0);
+        assert_eq!(rt_a.stats().defer_self_wait_hazards, 0);
+        // Submitter-thread waits (the two `.wait` calls above made from
+        // this test thread) never count as remote hazards.
+        assert_eq!(rt_a.stats().defer_remote_wait_hazards, 0);
     }
 
     #[test]

@@ -20,9 +20,9 @@
 //!   depended on thread identity — only on two-phase locking (§4.1) — so
 //!   renaming the owner is semantics-preserving.
 
+use ad_support::sync::atomic::{AtomicU64, Ordering};
 use std::cell::Cell;
 use std::fmt;
-use ad_support::sync::atomic::{AtomicU64, Ordering};
 
 static NEXT_OWNER: AtomicU64 = AtomicU64::new(1);
 
@@ -67,7 +67,10 @@ impl OwnerId {
     /// collide with thread owners.
     pub fn batch(token: u64) -> OwnerId {
         debug_assert!(token != 0, "batch tokens are non-zero");
-        debug_assert!(token & BATCH_BIT == 0, "batch token overflowed the owner namespace");
+        debug_assert!(
+            token & BATCH_BIT == 0,
+            "batch token overflowed the owner namespace"
+        );
         OwnerId(BATCH_BIT | token)
     }
 

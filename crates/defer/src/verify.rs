@@ -151,8 +151,8 @@ fn model_catches_unsubscribed_read() {
         },
         |e| scenario(e, false),
     );
-    let (seed, msg) = violation
-        .expect("the unsubscribed-reader variant no longer observes a torn pair; re-tune");
+    let (seed, msg) =
+        violation.expect("the unsubscribed-reader variant no longer observes a torn pair; re-tune");
     assert!(
         msg.contains("intermediate state"),
         "expected a torn-pair observation, got (seed {seed}): {msg}"
@@ -270,8 +270,8 @@ fn model_catches_release_before_op_done() {
         },
         |e| handoff_scenario(e, true),
     );
-    let (seed, msg) = violation
-        .expect("the release-before-op variant no longer exposes a torn pair; re-tune");
+    let (seed, msg) =
+        violation.expect("the release-before-op variant no longer exposes a torn pair; re-tune");
     assert!(
         msg.contains("intermediate state"),
         "expected a torn-pair observation, got (seed {seed}): {msg}"

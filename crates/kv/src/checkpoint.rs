@@ -55,9 +55,7 @@ use ad_support::sync::atomic::{AtomicU64, Ordering};
 use ad_support::sync::Mutex;
 
 use crate::memtable::MemTable;
-use crate::wal::{
-    fsync_dir_of, Wal, MEMDISK_SNAP_CUR, MEMDISK_SNAP_PREV, MEMDISK_SNAP_TMP,
-};
+use crate::wal::{fsync_dir_of, Wal, MEMDISK_SNAP_CUR, MEMDISK_SNAP_PREV, MEMDISK_SNAP_TMP};
 use crate::MemDisk;
 
 /// Snapshot header magic: `b"ADSN"` little-endian.
@@ -102,9 +100,7 @@ where
 /// Decode and validate a snapshot. All-or-nothing: any CRC failure,
 /// truncation, count mismatch, or missing footer rejects the whole
 /// snapshot (`None`) and the caller falls back to the previous one.
-pub fn decode_snapshot(
-    bytes: &[u8],
-) -> Option<(u64, crate::memtable::KeyMap)> {
+pub fn decode_snapshot(bytes: &[u8]) -> Option<(u64, crate::memtable::KeyMap)> {
     fn take<'a>(bytes: &'a [u8], at: &mut usize, n: usize) -> Option<&'a [u8]> {
         let end = at.checked_add(n)?;
         let s = bytes.get(*at..end)?;

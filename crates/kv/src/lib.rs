@@ -73,11 +73,11 @@ pub mod wal;
 mod verify;
 
 pub use checkpoint::{
-    CkptPolicy, CkptReport, CkptStats, Checkpointer, FileSnapshots, SnapshotStore,
+    Checkpointer, CkptPolicy, CkptReport, CkptStats, FileSnapshots, SnapshotStore,
 };
 pub use memtable::MemTable;
-pub use recover::{RecoveryReport, RedoOps, RedoRecord, ScanEnd, SnapshotSource};
-pub use store::{Durability, KvConfig, KvStore, WriteBatch};
+pub use recover::{RecoveryReport, RedoKind, RedoOps, RedoRecord, ScanEnd, SnapshotSource};
+pub use store::{Durability, KvConfig, KvStore, RemoteSlice, WriteBatch};
 pub use wal::{FileMedium, MemDisk, MemMedium, SyncPolicy, Wal, WalMedium, WalStats};
 
 // Re-exported so connection-facing callers (`ad-net`) can name the handle

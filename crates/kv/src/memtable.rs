@@ -135,14 +135,12 @@ impl MemTable {
     pub fn scan_from(&self, start: &str, limit: usize) -> Vec<(Arc<str>, Arc<[u8]>)> {
         let g = self.inner.lock();
         let mut out = Vec::new();
-        let mut base = g.base.range::<str, _>((
-            std::ops::Bound::Included(start),
-            std::ops::Bound::Unbounded,
-        ));
-        let mut delta = g.delta.range::<str, _>((
-            std::ops::Bound::Included(start),
-            std::ops::Bound::Unbounded,
-        ));
+        let mut base = g
+            .base
+            .range::<str, _>((std::ops::Bound::Included(start), std::ops::Bound::Unbounded));
+        let mut delta = g
+            .delta
+            .range::<str, _>((std::ops::Bound::Included(start), std::ops::Bound::Unbounded));
         let (mut b, mut d) = (base.next(), delta.next());
         while out.len() < limit {
             match (b, d) {

@@ -28,6 +28,44 @@ use crate::wal::{HEADER_LEN, MAGIC, MAX_PAYLOAD};
 /// a delete.
 pub type RedoOps = Vec<(String, Option<Vec<u8>>)>;
 
+/// What a redo record *means* to replay — the cross-shard commit protocol
+/// (DESIGN.md §14) adds two staged kinds to the original single-shard one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RedoKind {
+    /// A single-shard transaction's writes: applied unconditionally.
+    Local,
+    /// One shard's staged slice of a cross-shard batch, durable before
+    /// the participant acked. Replay **never** applies a prepare
+    /// directly: its data becomes real only through a later
+    /// [`RedoKind::Decided`] record with the same `gid` (written by this
+    /// shard once it learned the outcome), or through recovery-time
+    /// reconciliation when some shard's log proves the gid committed.
+    /// An unresolvable prepare is presumed aborted.
+    Prepare {
+        /// Global cross-shard transaction id; the coordinator's shard
+        /// index lives in the high 16 bits.
+        gid: u64,
+    },
+    /// A decided slice of cross-shard batch `gid`: applied exactly like
+    /// [`RedoKind::Local`], and additionally *proof of commit* — a
+    /// `Decided` record for `gid` anywhere in the cluster resolves every
+    /// shard's matching prepare.
+    Decided {
+        /// Global cross-shard transaction id (see [`RedoKind::Prepare`]).
+        gid: u64,
+    },
+}
+
+impl RedoKind {
+    /// The gid of a cross-shard record, `None` for [`RedoKind::Local`].
+    pub fn gid(&self) -> Option<u64> {
+        match self {
+            RedoKind::Local => None,
+            RedoKind::Prepare { gid } | RedoKind::Decided { gid } => Some(*gid),
+        }
+    }
+}
+
 /// One decoded redo record: a committed transaction's writes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RedoRecord {
@@ -35,6 +73,8 @@ pub struct RedoRecord {
     pub seq: u64,
     /// The writing transaction's id (diagnostic; not required for replay).
     pub txid: u64,
+    /// Replay semantics: unconditional, staged, or decided (cross-shard).
+    pub kind: RedoKind,
     /// The writes, in application order: `Some(value)` is a put, `None`
     /// a delete.
     pub ops: RedoOps,
@@ -107,15 +147,44 @@ impl RecoveryReport {
     }
 }
 
-/// Encode a redo payload: `txid: u64 | nops: u32 | ops*`, each op
-/// `klen: u32 | key | tag: u8 (0 delete, 1 put) | [vlen: u32 | value]`.
+/// Encode a redo payload:
+/// `kind: u8 | [gid: u64 when kind != 0] | txid: u64 | nops: u32 | ops*`,
+/// each op `klen: u32 | key | tag: u8 (0 delete, 1 put) | [vlen: u32 | value]`.
+/// Kind bytes: 0 [`RedoKind::Local`], 1 [`RedoKind::Prepare`],
+/// 2 [`RedoKind::Decided`]. This function emits kind 0; the cross-shard
+/// kinds come from [`encode_prepare`] / [`encode_decided`].
 pub fn encode_redo(txid: u64, ops: &[(String, Option<Vec<u8>>)]) -> Vec<u8> {
+    encode_kinded(RedoKind::Local, txid, ops)
+}
+
+/// Encode a staged cross-shard slice ([`RedoKind::Prepare`]).
+pub fn encode_prepare(gid: u64, txid: u64, ops: &[(String, Option<Vec<u8>>)]) -> Vec<u8> {
+    encode_kinded(RedoKind::Prepare { gid }, txid, ops)
+}
+
+/// Encode a decided cross-shard slice ([`RedoKind::Decided`]).
+pub fn encode_decided(gid: u64, txid: u64, ops: &[(String, Option<Vec<u8>>)]) -> Vec<u8> {
+    encode_kinded(RedoKind::Decided { gid }, txid, ops)
+}
+
+fn encode_kinded(kind: RedoKind, txid: u64, ops: &[(String, Option<Vec<u8>>)]) -> Vec<u8> {
     let mut out = Vec::with_capacity(
-        12 + ops
+        21 + ops
             .iter()
             .map(|(k, v)| 9 + k.len() + v.as_ref().map_or(0, |v| 4 + v.len()))
             .sum::<usize>(),
     );
+    match kind {
+        RedoKind::Local => out.push(0),
+        RedoKind::Prepare { gid } => {
+            out.push(1);
+            out.extend_from_slice(&gid.to_le_bytes());
+        }
+        RedoKind::Decided { gid } => {
+            out.push(2);
+            out.extend_from_slice(&gid.to_le_bytes());
+        }
+    }
     out.extend_from_slice(&txid.to_le_bytes());
     out.extend_from_slice(&(ops.len() as u32).to_le_bytes());
     for (key, value) in ops {
@@ -133,9 +202,10 @@ pub fn encode_redo(txid: u64, ops: &[(String, Option<Vec<u8>>)]) -> Vec<u8> {
     out
 }
 
-/// Decode a redo payload produced by [`encode_redo`]. `None` on any
-/// structural error (recovery treats that record as the torn tail).
-pub fn decode_redo(payload: &[u8]) -> Option<(u64, RedoOps)> {
+/// Decode a redo payload produced by [`encode_redo`] /
+/// [`encode_prepare`] / [`encode_decided`]. `None` on any structural
+/// error (recovery treats that record as the torn tail).
+pub fn decode_redo(payload: &[u8]) -> Option<(RedoKind, u64, RedoOps)> {
     fn take<'a>(b: &mut &'a [u8], n: usize) -> Option<&'a [u8]> {
         if b.len() < n {
             return None;
@@ -146,6 +216,18 @@ pub fn decode_redo(payload: &[u8]) -> Option<(u64, RedoOps)> {
     }
 
     let mut b = payload;
+    let kind = match take(&mut b, 1)?[0] {
+        0 => RedoKind::Local,
+        tag @ (1 | 2) => {
+            let gid = u64::from_le_bytes(take(&mut b, 8)?.try_into().ok()?);
+            if tag == 1 {
+                RedoKind::Prepare { gid }
+            } else {
+                RedoKind::Decided { gid }
+            }
+        }
+        _ => return None,
+    };
     let txid = u64::from_le_bytes(take(&mut b, 8)?.try_into().ok()?);
     let nops = u32::from_le_bytes(take(&mut b, 4)?.try_into().ok()?) as usize;
     let mut ops = Vec::with_capacity(nops.min(1024));
@@ -166,7 +248,7 @@ pub fn decode_redo(payload: &[u8]) -> Option<(u64, RedoOps)> {
     if !b.is_empty() {
         return None; // trailing garbage inside a checksummed frame
     }
-    Some((txid, ops))
+    Some((kind, txid, ops))
 }
 
 /// Scan `bytes` as a WAL image: return the decoded records of the longest
@@ -214,7 +296,7 @@ pub fn scan(bytes: &[u8], first_seq: u64) -> (Vec<RedoRecord>, RecoveryReport) {
             end = ScanEnd::BadSequence;
             break;
         }
-        let Some((txid, rec_ops)) = decode_redo(payload) else {
+        let Some((kind, txid, rec_ops)) = decode_redo(payload) else {
             end = ScanEnd::BadPayload;
             break;
         };
@@ -222,6 +304,7 @@ pub fn scan(bytes: &[u8], first_seq: u64) -> (Vec<RedoRecord>, RecoveryReport) {
         records.push(RedoRecord {
             seq,
             txid,
+            kind,
             ops: rec_ops,
         });
         expect_seq += 1;
@@ -400,22 +483,46 @@ mod tests {
             (String::new(), Some(Vec::new())),
         ];
         let enc = encode_redo(99, &ops);
-        assert_eq!(decode_redo(&enc), Some((99, ops)));
+        assert_eq!(decode_redo(&enc), Some((RedoKind::Local, 99, ops)));
+    }
+
+    #[test]
+    fn cross_shard_kinds_roundtrip_with_gid() {
+        let ops = vec![("k".to_string(), Some(b"v".to_vec()))];
+        let gid = (3u64 << 48) | 7;
+        let enc = encode_prepare(gid, 5, &ops);
+        assert_eq!(
+            decode_redo(&enc),
+            Some((RedoKind::Prepare { gid }, 5, ops.clone()))
+        );
+        let enc = encode_decided(gid, 5, &ops);
+        assert_eq!(decode_redo(&enc), Some((RedoKind::Decided { gid }, 5, ops)));
+        assert_eq!(RedoKind::Prepare { gid }.gid(), Some(gid));
+        assert_eq!(RedoKind::Local.gid(), None);
     }
 
     #[test]
     fn decode_rejects_truncation_and_garbage() {
-        let enc = encode_redo(1, &[("k".to_string(), Some(b"v".to_vec()))]);
-        for cut in 0..enc.len() {
-            assert_eq!(decode_redo(&enc[..cut]), None, "accepted prefix {cut}");
+        for enc in [
+            encode_redo(1, &[("k".to_string(), Some(b"v".to_vec()))]),
+            encode_prepare(9, 1, &[("k".to_string(), Some(b"v".to_vec()))]),
+            encode_decided(9, 1, &[("k".to_string(), Some(b"v".to_vec()))]),
+        ] {
+            for cut in 0..enc.len() {
+                assert_eq!(decode_redo(&enc[..cut]), None, "accepted prefix {cut}");
+            }
+            let mut trailing = enc.clone();
+            trailing.push(0);
+            assert_eq!(decode_redo(&trailing), None);
         }
-        let mut trailing = enc.clone();
-        trailing.push(0);
-        assert_eq!(decode_redo(&trailing), None);
-        let mut bad_tag = enc;
-        let tag_pos = 8 + 4 + 4 + 1; // txid + nops + klen + "k"
+        let enc = encode_redo(1, &[("k".to_string(), Some(b"v".to_vec()))]);
+        let mut bad_tag = enc.clone();
+        let tag_pos = 1 + 8 + 4 + 4 + 1; // kind + txid + nops + klen + "k"
         bad_tag[tag_pos] = 7;
         assert_eq!(decode_redo(&bad_tag), None);
+        let mut bad_kind = enc;
+        bad_kind[0] = 9;
+        assert_eq!(decode_redo(&bad_kind), None);
     }
 
     #[test]

@@ -35,16 +35,19 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use ad_defer::{atomic_defer, atomic_defer_tracked, Defer, DeferHandle, Deferrable};
-use ad_stm::{Runtime, StmResult, TVar, TmConfig, Tx};
+use ad_stm::{EventKind, Runtime, StmResult, TVar, TmConfig, Tx};
 use ad_support::sync::atomic::{AtomicU64, Ordering};
 
 use ad_support::sync::{Condvar, Mutex};
 
 use crate::checkpoint::{
-    snapshot_paths, CkptPolicy, CkptReport, CkptStats, Checkpointer, FileSnapshots, SnapshotStore,
+    snapshot_paths, Checkpointer, CkptPolicy, CkptReport, CkptStats, FileSnapshots, SnapshotStore,
 };
 use crate::memtable::MemTable;
-use crate::recover::{encode_redo, recover_two_tier, scan, RecoveryReport, RedoRecord};
+use crate::recover::{
+    encode_decided, encode_prepare, encode_redo, recover_two_tier, scan, RecoveryReport, RedoKind,
+    RedoRecord,
+};
 use crate::wal::{
     fsync_dir_of, segment_path, FileMedium, MemDisk, SyncPolicy, Wal, WalMedium, WalStats,
     MEMDISK_SNAP_CUR, MEMDISK_SNAP_PREV, MEMDISK_SNAP_TMP, MEMDISK_WAL,
@@ -162,6 +165,13 @@ impl WriteBatch {
     pub fn is_empty(&self) -> bool {
         self.ops.is_empty()
     }
+
+    /// Build a batch from decoded redo ops — the shape cross-shard
+    /// slices travel in (`ad-shard` transport frames, recovered
+    /// [`RedoRecord`]s).
+    pub fn from_ops(ops: crate::recover::RedoOps) -> Self {
+        WriteBatch { ops }
+    }
 }
 
 /// A sorted immutable bucket; updates clone-and-replace.
@@ -235,6 +245,30 @@ pub struct KvStore {
     ckpt_worker: Option<CkptWorker>,
     next_txid: AtomicU64,
     recovery: Option<RecoveryReport>,
+    /// Cross-shard slices staged in the recovered log whose outcome this
+    /// log alone cannot prove: awaiting reconciliation against the other
+    /// shards' logs (`ad-shard`), else presumed aborted. Never applied.
+    pending_prepares: Mutex<Vec<RedoRecord>>,
+    /// gids this shard's recovered log proves committed (it contains a
+    /// [`RedoKind::Decided`] record for them) — the evidence the
+    /// reconciliation pass consults to resolve *other* shards' prepares.
+    recovered_decided: Vec<u64>,
+}
+
+/// One remote participant of a cross-shard batch, as the coordinating
+/// store sees it: opaque callbacks the sharding layer (`ad-shard`) wires
+/// to its transport. Both are `Arc<dyn Fn>` because the coordinating
+/// transaction's body may re-run on conflict — the deferred operations
+/// that call them are rebuilt per attempt and run once, post-commit.
+pub struct RemoteSlice {
+    /// Send the participant its slice of the batch and block until the
+    /// participant acknowledges the slice is *staged durably* on its
+    /// shard. Runs as its own deferred operation, in submission
+    /// (ascending-shard) order.
+    pub prepare: Arc<dyn Fn() + Send + Sync>,
+    /// Tell the participant the decision record is durable — it may now
+    /// expose the slice. Must not block on the participant's apply.
+    pub release: Arc<dyn Fn() + Send + Sync>,
 }
 
 impl Drop for KvStore {
@@ -550,10 +584,29 @@ impl KvStore {
             ckpt_worker: None,
             next_txid: AtomicU64::new(1),
             recovery,
+            pending_prepares: Mutex::new(Vec::new()),
+            recovered_decided: Vec::new(),
         };
+        // Cross-shard records (DESIGN.md §14): a Decided record anywhere
+        // in this log proves its gid committed; a Prepare record is
+        // *never* replayed directly — its data becomes real only through
+        // a matching Decided record (same log, or appended by
+        // reconciliation after `resolve_prepared`). Prepares still
+        // lacking a local decision after replay are parked for the
+        // sharding layer; standalone opens presume them aborted.
+        let decided: std::collections::HashSet<u64> = records
+            .iter()
+            .filter_map(|r| match r.kind {
+                RedoKind::Decided { gid } => Some(gid),
+                _ => None,
+            })
+            .collect();
         let mut max_txid = 0;
         for rec in &records {
             max_txid = max_txid.max(rec.txid);
+            if matches!(rec.kind, RedoKind::Prepare { .. }) {
+                continue;
+            }
             store.rt.atomically(|tx| {
                 for (key, value) in &rec.ops {
                     store.apply_in_tx(tx, key, value.as_deref())?;
@@ -561,6 +614,15 @@ impl KvStore {
                 Ok(())
             });
         }
+        *store.pending_prepares.lock() = records
+            .iter()
+            .filter(|r| matches!(r.kind, RedoKind::Prepare { gid } if !decided.contains(&gid)))
+            .cloned()
+            .collect();
+        let mut store = store;
+        store.recovered_decided = decided.into_iter().collect();
+        store.recovered_decided.sort_unstable();
+        let store = store;
         // txids are diagnostic, but keep them monotonic across
         // checkpointed restarts (snapshotted records' txids are gone;
         // the cut bounds them because txids are handed out per batch).
@@ -571,9 +633,13 @@ impl KvStore {
         if let Some(wal) = &store.wal {
             // The memtable base is the recovered durable state: snapshot
             // image plus replayed suffix; the watermark starts at the
-            // resumed WAL position.
+            // resumed WAL position. Undecided prepares stay out — the
+            // durable tier must never show a staged slice.
             let mut mt_base = base;
             for rec in &records {
+                if matches!(rec.kind, RedoKind::Prepare { .. }) {
+                    continue;
+                }
                 for (key, value) in &rec.ops {
                     match value {
                         Some(v) => {
@@ -739,25 +805,8 @@ impl KvStore {
         // Pre-convert the ops once for the memtable apply inside the
         // deferred closure (same zero-allocation-on-retry discipline as
         // the payload).
-        let applied: Option<Arc<Vec<crate::memtable::MemOp>>> =
-            self.memtable.as_ref().map(|_| {
-                Arc::new(
-                    batch
-                        .ops
-                        .iter()
-                        .map(|(k, v)| {
-                            (
-                                Arc::from(k.as_str()),
-                                v.as_deref().map(Arc::from),
-                            )
-                        })
-                        .collect(),
-                )
-            });
-        let mut touched: Vec<usize> = batch.ops.iter().map(|(k, _)| self.locate(k).0).collect();
-        touched.sort_unstable();
-        touched.dedup();
-        let handles: Vec<Defer<Shard>> = touched.iter().map(|&i| self.shards[i].clone()).collect();
+        let applied = self.mem_ops_of(batch);
+        let handles = self.touched_shards(batch);
 
         self.rt.atomically(|tx| {
             // Deferral first (lock acquisitions are transactional writes on
@@ -810,6 +859,253 @@ impl KvStore {
             }
             Ok(handle)
         })
+    }
+
+    /// Commit this store's slice of a cross-shard batch as the
+    /// **coordinator** (DESIGN.md §14). In one transaction: apply `batch`
+    /// to the buckets and queue, over the touched shards, one deferred
+    /// prepare per entry of `remotes` (in submission order — the caller
+    /// passes participants in ascending shard order, which is what makes
+    /// the protocol deadlock-free) followed by the decision operation:
+    /// append this shard's gid-tagged [`RedoKind::Decided`] record and
+    /// block for its covering fsync — **the commit point of the entire
+    /// cross-shard batch** — then apply it to the memtable and broadcast
+    /// release. The shard locks are held from commit until the decision
+    /// op returns, so no reader on this shard observes the slice before
+    /// every participant staged durably and the decision itself is
+    /// durable.
+    ///
+    /// Requires the inline deferred executor (any policy but
+    /// [`SyncPolicy::Async`]): the protocol depends on the prepare ops
+    /// and the decision op running in submission order.
+    pub fn write_batch_coordinated(&self, gid: u64, batch: &WriteBatch, remotes: &[RemoteSlice]) {
+        assert!(!batch.ops.is_empty(), "coordinator slice cannot be empty");
+        assert!(
+            self.sync_policy() != Some(SyncPolicy::Async),
+            "cross-shard coordination requires the inline deferred executor"
+        );
+        let txid = self.next_txid.fetch_add(1, Ordering::Relaxed);
+        let payload: Option<Arc<[u8]>> = self
+            .wal
+            .as_ref()
+            .map(|_| Arc::from(encode_decided(gid, txid, &batch.ops).into_boxed_slice()));
+        let applied = self.mem_ops_of(batch);
+        let handles = self.touched_shards(batch);
+
+        self.rt.atomically(|tx| {
+            let refs: Vec<&dyn Deferrable> = handles.iter().map(|s| s as &dyn Deferrable).collect();
+            for r in remotes {
+                let p = Arc::clone(&r.prepare);
+                let rt2 = Arc::clone(&self.rt);
+                atomic_defer(tx, &refs, move || {
+                    rt2.trace_app(EventKind::ShardPrepare, gid);
+                    p();
+                    rt2.trace_app(EventKind::ShardAck, gid);
+                })?;
+            }
+            let wal = self.wal.clone();
+            let bytes = payload.clone();
+            let runtime = Arc::clone(&self.rt);
+            let mt = self.memtable.clone();
+            let ops = applied.clone();
+            let releases: Vec<Arc<dyn Fn() + Send + Sync>> =
+                remotes.iter().map(|r| Arc::clone(&r.release)).collect();
+            atomic_defer(tx, &refs, move || {
+                if let (Some(wal), Some(bytes)) = (&wal, &bytes) {
+                    let seq = wal.append_durable(bytes, &runtime);
+                    if let (Some(mt), Some(ops)) = (&mt, &ops) {
+                        mt.apply(seq, ops);
+                    }
+                }
+                runtime.trace_app(EventKind::ShardRelease, gid);
+                for release in &releases {
+                    release();
+                }
+            })?;
+            for (key, value) in &batch.ops {
+                self.apply_in_tx(tx, key, value.as_deref())?;
+            }
+            Ok(())
+        });
+    }
+
+    /// Stage and apply one shard's slice of a cross-shard batch as a
+    /// **participant** (DESIGN.md §14). In one transaction: apply `batch`
+    /// to the buckets and `atomic_defer`, over the touched shards, an
+    /// operation that (1) appends the gid-tagged [`RedoKind::Prepare`]
+    /// record and blocks for its covering fsync, (2) calls `ack` — the
+    /// stage is durable, the coordinator may count this shard, (3) blocks
+    /// in `wait_release` until the coordinator says the decision is
+    /// durable, and (4) appends this shard's own [`RedoKind::Decided`]
+    /// record and applies it to the memtable. The shard locks are held
+    /// from commit through (4): neither a transactional read nor a
+    /// durable-tier read ([`read_uncommitted`](Self::read_uncommitted),
+    /// which skips locks but only ever sees the memtable) can observe
+    /// the slice before the whole batch is decided.
+    ///
+    /// Returns after (4). Volatile stores skip the WAL steps but keep
+    /// the same lock window.
+    pub fn apply_prepared<A, R>(&self, gid: u64, batch: &WriteBatch, ack: A, wait_release: R)
+    where
+        A: Fn() + Send + Sync + 'static,
+        R: Fn() + Send + Sync + 'static,
+    {
+        assert!(!batch.ops.is_empty(), "participant slice cannot be empty");
+        let txid = self.next_txid.fetch_add(1, Ordering::Relaxed);
+        let prepare_bytes: Option<Arc<[u8]>> = self
+            .wal
+            .as_ref()
+            .map(|_| Arc::from(encode_prepare(gid, txid, &batch.ops).into_boxed_slice()));
+        let decided_bytes: Option<Arc<[u8]>> = self
+            .wal
+            .as_ref()
+            .map(|_| Arc::from(encode_decided(gid, txid, &batch.ops).into_boxed_slice()));
+        let applied = self.mem_ops_of(batch);
+        let handles = self.touched_shards(batch);
+        let ack = Arc::new(ack);
+        let wait_release = Arc::new(wait_release);
+
+        self.rt.atomically(|tx| {
+            let refs: Vec<&dyn Deferrable> = handles.iter().map(|s| s as &dyn Deferrable).collect();
+            let wal = self.wal.clone();
+            let prepare_bytes = prepare_bytes.clone();
+            let decided_bytes = decided_bytes.clone();
+            let runtime = Arc::clone(&self.rt);
+            let mt = self.memtable.clone();
+            let ops = applied.clone();
+            let ack = Arc::clone(&ack);
+            let wait_release = Arc::clone(&wait_release);
+            atomic_defer(tx, &refs, move || {
+                runtime.trace_app(EventKind::ShardPrepare, gid);
+                if let (Some(wal), Some(bytes)) = (&wal, &prepare_bytes) {
+                    let seq = wal.append_durable(bytes, &runtime);
+                    // Account the sequence so the watermark (and hence
+                    // checkpointing) keeps advancing, but with no ops:
+                    // staged data must stay out of the durable tier.
+                    if let Some(mt) = &mt {
+                        mt.apply(seq, &[]);
+                    }
+                }
+                runtime.trace_app(EventKind::ShardAck, gid);
+                ack();
+                wait_release();
+                runtime.trace_app(EventKind::ShardRelease, gid);
+                if let (Some(wal), Some(bytes)) = (&wal, &decided_bytes) {
+                    let seq = wal.append_durable(bytes, &runtime);
+                    if let (Some(mt), Some(ops)) = (&mt, &ops) {
+                        mt.apply(seq, ops);
+                    }
+                }
+            })?;
+            for (key, value) in &batch.ops {
+                self.apply_in_tx(tx, key, value.as_deref())?;
+            }
+            Ok(())
+        });
+    }
+
+    /// gids of cross-shard slices staged in this store's recovered log
+    /// that its own log cannot prove committed. The sharding layer
+    /// resolves each against the other shards' logs
+    /// ([`resolve_prepared`](Self::resolve_prepared) /
+    /// [`abort_prepared`](Self::abort_prepared)); a store opened
+    /// standalone leaves them parked — presumed aborted, never applied.
+    pub fn pending_prepared_gids(&self) -> Vec<u64> {
+        self.pending_prepares
+            .lock()
+            .iter()
+            .filter_map(|r| r.kind.gid())
+            .collect()
+    }
+
+    /// gids this store's recovered log proves committed (a
+    /// [`RedoKind::Decided`] record survives for them). Reconciliation
+    /// evidence for *other* shards' pending prepares.
+    pub fn recovered_decided_gids(&self) -> &[u64] {
+        &self.recovered_decided
+    }
+
+    /// Resolve a recovered pending prepare as committed: apply its ops
+    /// and append this shard's own Decided record durably, so the next
+    /// recovery needs no cross-shard evidence. Returns `false` if no
+    /// pending prepare with `gid` exists.
+    pub fn resolve_prepared(&self, gid: u64) -> bool {
+        let rec = {
+            let mut pending = self.pending_prepares.lock();
+            let Some(i) = pending.iter().position(|r| r.kind.gid() == Some(gid)) else {
+                return false;
+            };
+            pending.remove(i)
+        };
+        let batch = WriteBatch {
+            ops: rec.ops.clone(),
+        };
+        let payload: Option<Arc<[u8]>> = self
+            .wal
+            .as_ref()
+            .map(|_| Arc::from(encode_decided(gid, rec.txid, &rec.ops).into_boxed_slice()));
+        let applied = self.mem_ops_of(&batch);
+        let handles = self.touched_shards(&batch);
+        self.rt.atomically(|tx| {
+            let refs: Vec<&dyn Deferrable> = handles.iter().map(|s| s as &dyn Deferrable).collect();
+            if let (Some(wal), Some(payload)) = (&self.wal, &payload) {
+                let wal = Arc::clone(wal);
+                let bytes = Arc::clone(payload);
+                let runtime = Arc::clone(&self.rt);
+                let mt = self.memtable.clone();
+                let ops = applied.clone();
+                atomic_defer(tx, &refs, move || {
+                    let seq = wal.append_durable(&bytes, &runtime);
+                    if let (Some(mt), Some(ops)) = (&mt, &ops) {
+                        mt.apply(seq, ops);
+                    }
+                })?;
+            }
+            for (key, value) in &batch.ops {
+                self.apply_in_tx(tx, key, value.as_deref())?;
+            }
+            Ok(())
+        });
+        true
+    }
+
+    /// Drop a recovered pending prepare (presumed abort: no shard's log
+    /// proves the gid committed). The staged record stays in the WAL but
+    /// is never applied — and is gone after the next checkpoint. Returns
+    /// `false` if no pending prepare with `gid` exists.
+    pub fn abort_prepared(&self, gid: u64) -> bool {
+        let mut pending = self.pending_prepares.lock();
+        match pending.iter().position(|r| r.kind.gid() == Some(gid)) {
+            Some(i) => {
+                pending.remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Pre-convert a batch for memtable apply inside a deferred closure
+    /// (allocation happens once, outside the transaction — conflict
+    /// re-execution clones only `Arc`s).
+    fn mem_ops_of(&self, batch: &WriteBatch) -> Option<Arc<Vec<crate::memtable::MemOp>>> {
+        self.memtable.as_ref().map(|_| {
+            Arc::new(
+                batch
+                    .ops
+                    .iter()
+                    .map(|(k, v)| (Arc::from(k.as_str()), v.as_deref().map(Arc::from)))
+                    .collect(),
+            )
+        })
+    }
+
+    /// The deduplicated, index-ordered `Defer` handles of the shards a
+    /// batch touches — the lock set for its deferred durability ops.
+    fn touched_shards(&self, batch: &WriteBatch) -> Vec<Defer<Shard>> {
+        let mut touched: Vec<usize> = batch.ops.iter().map(|(k, _)| self.locate(k).0).collect();
+        touched.sort_unstable();
+        touched.dedup();
+        touched.iter().map(|&i| self.shards[i].clone()).collect()
     }
 
     /// Insert or overwrite one key, returning a durability handle — see
@@ -1074,12 +1370,8 @@ mod tests {
     fn reopen_recovers_committed_state() {
         let mem = MemMedium::new();
         let cfg = KvConfig::default();
-        let (store, _) = KvStore::open_on_medium(
-            &cfg,
-            SyncPolicy::GroupCommit,
-            Box::new(mem.clone()),
-            &[],
-        );
+        let (store, _) =
+            KvStore::open_on_medium(&cfg, SyncPolicy::GroupCommit, Box::new(mem.clone()), &[]);
         store.put("a", b"1");
         store.write_batch(&WriteBatch::new().put("b", b"2").put("c", b"3"));
         store.delete("a");
@@ -1124,10 +1416,8 @@ mod tests {
 
     #[test]
     fn file_backed_checkpoint_after_crash_between_rotate_and_publish() {
-        let dir = std::env::temp_dir().join(format!(
-            "ad-kv-rotate-reuse-test-{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("ad-kv-rotate-reuse-test-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("store.wal");
@@ -1185,16 +1475,26 @@ mod tests {
             Box::new(mem.clone()),
             &[],
         );
-        let h = store.put_async("k", b"v").expect("durable put yields a handle");
+        let h = store
+            .put_async("k", b"v")
+            .expect("durable put yields a handle");
         store.wait_durable(&h);
         assert!(!mem.synced().is_empty());
-        let h = store.delete_async("k").expect("durable delete yields a handle");
+        let h = store
+            .delete_async("k")
+            .expect("durable delete yields a handle");
         store.wait_durable(&h);
         assert!(store.is_empty());
         assert_eq!(store.sync_policy(), Some(SyncPolicy::GroupCommit));
 
         let j = store.stats_json();
-        for key in ["\"shards\":", "\"keys\":0", "\"wal\":{", "\"stm\":{", "\"records\":2"] {
+        for key in [
+            "\"shards\":",
+            "\"keys\":0",
+            "\"wal\":{",
+            "\"stm\":{",
+            "\"records\":2",
+        ] {
             assert!(j.contains(key), "missing {key} in {j}");
         }
         assert_eq!(j.matches('{').count(), j.matches('}').count());

@@ -33,11 +33,7 @@ use crate::wal::{frame_record, MemMedium, SyncPolicy, Wal, WalMedium};
 
 fn group_commit_scenario(e: &mut Exec) {
     let mem = MemMedium::new();
-    let wal = Arc::new(Wal::new(
-        Box::new(mem.clone()),
-        SyncPolicy::GroupCommit,
-        1,
-    ));
+    let wal = Arc::new(Wal::new(Box::new(mem.clone()), SyncPolicy::GroupCommit, 1));
     let rt = Arc::new(Runtime::new(TmConfig::stm()));
 
     for t in 0..2u64 {
@@ -97,7 +93,11 @@ fn buggy_ack_scenario(e: &mut Exec) {
     let check_mem = mem.clone();
     e.spawn(move || {
         let mut framed = Vec::new();
-        frame_record(&mut framed, 1, &encode_redo(1, &[("k".into(), Some(vec![1]))]));
+        frame_record(
+            &mut framed,
+            1,
+            &encode_redo(1, &[("k".into(), Some(vec![1]))]),
+        );
         writer_mem.append(&framed);
         // "Ack": the caller is told the write is durable now.
         let (_, report) = scan(&check_mem.synced(), 1);

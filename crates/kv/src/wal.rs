@@ -398,7 +398,10 @@ impl MemDisk {
 
     pub(crate) fn rename_file(&self, from: &str, to: &str) {
         let mut g = self.inner.state.lock();
-        let f = g.files.remove(from).expect("rename of missing MemDisk file");
+        let f = g
+            .files
+            .remove(from)
+            .expect("rename of missing MemDisk file");
         g.files.insert(to.to_string(), f);
         g.journal.push(DiskEvent::Rename {
             from: from.to_string(),
@@ -805,7 +808,9 @@ impl Wal {
             .record(started.elapsed().as_nanos() as u64);
         self.counters.records.fetch_add(records, Ordering::Relaxed);
         self.counters.batches.fetch_add(1, Ordering::Relaxed);
-        self.counters.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.counters
+            .bytes
+            .fetch_add(bytes as u64, Ordering::Relaxed);
         rt.trace_app(EventKind::WalFsync, records);
     }
 

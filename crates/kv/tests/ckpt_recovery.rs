@@ -230,7 +230,10 @@ fn checkpoint_bounds_the_live_log() {
     assert_eq!(report.wal_bytes_dropped, grown);
     assert_eq!(disk.wal_bytes(), 0, "all 50 records were covered");
     store.put("after", b"x");
-    assert!(disk.wal_bytes() > 0, "suffix accumulates in the new segment");
+    assert!(
+        disk.wal_bytes() > 0,
+        "suffix accumulates in the new segment"
+    );
     assert!(disk.wal_bytes() < grown);
 
     let stats = store.ckpt_stats().expect("disk-backed store has ckpt tier");

@@ -151,7 +151,8 @@ fn sync_policies_are_semantically_equivalent() {
             }
         }
         let live = store.dump();
-        let (rec, _) = KvStore::open_on_medium(&cfg, sync, Box::new(MemMedium::new()), &mem.synced());
+        let (rec, _) =
+            KvStore::open_on_medium(&cfg, sync, Box::new(MemMedium::new()), &mem.synced());
         (live, rec.dump(), mem.sync_count())
     };
     let (live_g, rec_g, syncs_g) = run(SyncPolicy::GroupCommit);

@@ -55,7 +55,10 @@ fn history() -> Vec<Ops> {
             ("gamma".into(), Some(b"3".to_vec())),
             ("delta".into(), Some(b"4".to_vec())),
         ],
-        vec![("alpha".into(), None), ("beta".into(), Some(b"22".to_vec()))],
+        vec![
+            ("alpha".into(), None),
+            ("beta".into(), Some(b"22".to_vec())),
+        ],
         vec![
             ("epsilon".into(), Some(vec![0u8; 200])),
             ("gamma".into(), None),
@@ -166,8 +169,12 @@ fn fixture_torn_tail_mid_record() {
     assert!(report.torn());
 
     let cfg = KvConfig::default();
-    let (store, rep) =
-        KvStore::open_on_medium(&cfg, SyncPolicy::GroupCommit, Box::new(MemMedium::new()), &log);
+    let (store, rep) = KvStore::open_on_medium(
+        &cfg,
+        SyncPolicy::GroupCommit,
+        Box::new(MemMedium::new()),
+        &log,
+    );
     assert_eq!(rep.records, 2);
     assert_eq!(store.len(), 2);
     assert_eq!(store.get("c"), None);
@@ -200,8 +207,12 @@ fn fixture_corrupt_record_drops_suffix() {
     assert_eq!(records.len(), 1);
     assert_eq!(report.end, ScanEnd::BadChecksum);
 
-    let (store, _) =
-        KvStore::open_on_medium(&KvConfig::default(), SyncPolicy::GroupCommit, Box::new(MemMedium::new()), &log);
+    let (store, _) = KvStore::open_on_medium(
+        &KvConfig::default(),
+        SyncPolicy::GroupCommit,
+        Box::new(MemMedium::new()),
+        &log,
+    );
     assert_eq!(store.dump().keys().collect::<Vec<_>>(), vec!["a"]);
 }
 
@@ -210,11 +221,7 @@ fn fixture_corrupt_record_drops_suffix() {
 #[test]
 fn crash_between_group_commit_batches_is_clean() {
     let mem = MemMedium::new();
-    let wal = std::sync::Arc::new(Wal::new(
-        Box::new(mem.clone()),
-        SyncPolicy::GroupCommit,
-        1,
-    ));
+    let wal = std::sync::Arc::new(Wal::new(Box::new(mem.clone()), SyncPolicy::GroupCommit, 1));
     let rt = std::sync::Arc::new(Runtime::new(TmConfig::stm()));
     std::thread::scope(|s| {
         for t in 0..4 {
@@ -223,8 +230,7 @@ fn crash_between_group_commit_batches_is_clean() {
             s.spawn(move || {
                 for i in 0..5u32 {
                     let key = format!("t{t}k{i}");
-                    let payload =
-                        encode_redo(u64::from(i) + 1, &[(key, Some(b"v".to_vec()))]);
+                    let payload = encode_redo(u64::from(i) + 1, &[(key, Some(b"v".to_vec()))]);
                     wal.append_durable(&payload, &rt);
                 }
             });

@@ -241,7 +241,9 @@ impl Lexer {
         // `','`, `'{'` — a char literal (never a lifetime). Missing this
         // leaves the `"` of `'"'` to open a phantom string and desync
         // string-mode for the rest of the file.
-        if self.peek(0).is_some_and(|c| !(c.is_alphanumeric() || c == '_'))
+        if self
+            .peek(0)
+            .is_some_and(|c| !(c.is_alphanumeric() || c == '_'))
             && self.peek(1) == Some('\'')
         {
             self.bump();
@@ -251,7 +253,10 @@ impl Lexer {
         }
         // Collect an identifier-shaped run after the tick.
         let start = self.i;
-        while self.peek(0).is_some_and(|c| c.is_alphanumeric() || c == '_') {
+        while self
+            .peek(0)
+            .is_some_and(|c| c.is_alphanumeric() || c == '_')
+        {
             self.bump();
         }
         let name: String = self.chars[start..self.i].iter().collect();
@@ -375,7 +380,13 @@ impl Lexer {
             }
             _ => {}
         }
-        self.toks.push((Tok::Ident { name: word, raw: false }, line));
+        self.toks.push((
+            Tok::Ident {
+                name: word,
+                raw: false,
+            },
+            line,
+        ));
     }
 
     /// A numeric literal: digits, underscores, `.` fractions, exponents,
@@ -506,7 +517,10 @@ mod tests {
 
     #[test]
     fn nested_block_comments() {
-        assert_eq!(names("/* outer /* tx */ still comment */ code"), vec!["code"]);
+        assert_eq!(
+            names("/* outer /* tx */ still comment */ code"),
+            vec!["code"]
+        );
     }
 
     #[test]

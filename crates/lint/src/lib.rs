@@ -17,6 +17,10 @@
 //! * Deferrals must be registered before the transaction's first write
 //!   (defer-before-first-write, the ordering the KV commit protocol
 //!   relies on).
+//! * A live atomic closure must not touch state owned by a *different*
+//!   runtime — another runtime's `atomically`, or a store entry point
+//!   that commits its own transaction on its own runtime. Cross-runtime
+//!   writes go through the `ad-shard` router (DESIGN.md §14).
 //! * `Ordering::SeqCst` and raw `std::sync::atomic` are reserved for the
 //!   fence-disciplined core and the `ad-support` facade/model layer.
 //!
@@ -64,9 +68,9 @@ pub mod tree;
 mod scope;
 
 pub use rules::{
-    ALL_RULES, RULE_BLOCKING_IN_ATOMIC, RULE_DEFER_AFTER_WRITE, RULE_DEFER_CAPTURES_TX,
-    RULE_DEFER_WAITS, RULE_DIRECT_ACCESS, RULE_NON_SEND_CAPTURE, RULE_PANIC_IN_DEFERRED,
-    RULE_RAW_ATOMIC, RULE_SEQCST,
+    ALL_RULES, RULE_BLOCKING_IN_ATOMIC, RULE_CROSS_RUNTIME, RULE_DEFER_AFTER_WRITE,
+    RULE_DEFER_CAPTURES_TX, RULE_DEFER_WAITS, RULE_DIRECT_ACCESS, RULE_NON_SEND_CAPTURE,
+    RULE_PANIC_IN_DEFERRED, RULE_RAW_ATOMIC, RULE_SEQCST,
 };
 
 /// One violation.
@@ -729,6 +733,56 @@ mod tests {
         let f = scan_source("crates/demo/src/lib.rs", src);
         assert_eq!(rules_of(&f), vec![RULE_DEFER_CAPTURES_TX]);
         assert_eq!(f[0].line, 5);
+    }
+
+    #[test]
+    fn cross_runtime_nested_entry_needs_a_named_mismatch() {
+        // rt_b inside rt_a's transaction is flagged; same-runtime
+        // re-entry and a bare (unattributable) host stay silent.
+        let src = "
+            fn f(rt_a: &Runtime, rt_b: &Runtime, v: TVar<u64>) {
+                rt_a.atomically(|tx| {
+                    rt_b.atomically(|tx2| tx2.read(&v));
+                    rt_a.atomically(|tx2| tx2.read(&v));
+                    tx.read(&v)
+                });
+                atomically(|tx| {
+                    rt_b.atomically(|tx2| tx2.read(&v));
+                    Ok(())
+                });
+            }
+        ";
+        let f = scan_source("crates/demo/src/lib.rs", src);
+        assert_eq!(rules_of(&f), vec![RULE_CROSS_RUNTIME]);
+        assert_eq!(f[0].line, 4);
+        assert!(
+            f[0].message.contains("`rt_b.atomically"),
+            "{}",
+            f[0].message
+        );
+    }
+
+    #[test]
+    fn store_entry_points_inside_atomic_closures_are_cross_runtime() {
+        // A store commits on its own runtime: calling it from inside any
+        // live transaction (retryable or irrevocable) is cross-runtime
+        // access; the same call outside a region is the normal API.
+        let src = "
+            fn f(rt: &Runtime, store: &KvStore, b: WriteBatch) {
+                rt.atomically(|tx| {
+                    store.write_batch(&b);
+                    Ok(())
+                });
+                synchronized(|tx| {
+                    let _ = store.get_many(&[\"a\"]);
+                    Ok(())
+                });
+                store.write_batch(&b);
+            }
+        ";
+        let f = scan_source("crates/demo/src/lib.rs", src);
+        assert_eq!(rules_of(&f), vec![RULE_CROSS_RUNTIME; 2]);
+        assert_eq!((f[0].line, f[1].line), (4, 8));
     }
 
     #[test]

@@ -31,11 +31,7 @@ pub fn parse_doc(md: &str) -> Tables {
         if !line.starts_with('|') {
             continue;
         }
-        let cells: Vec<&str> = line
-            .trim_matches('|')
-            .split('|')
-            .map(str::trim)
-            .collect();
+        let cells: Vec<&str> = line.trim_matches('|').split('|').map(str::trim).collect();
         if cells.len() < 2 {
             continue;
         }
@@ -115,10 +111,14 @@ pub fn parse_proto(rs: &str) -> Tables {
 pub fn diff(doc: &Tables, code: &Tables) -> Vec<String> {
     let mut drift = Vec::new();
     if doc.opcodes.is_empty() {
-        drift.push("PROTOCOL.md: no opcode table rows parsed (section moved or reformatted?)".into());
+        drift.push(
+            "PROTOCOL.md: no opcode table rows parsed (section moved or reformatted?)".into(),
+        );
     }
     if doc.statuses.is_empty() {
-        drift.push("PROTOCOL.md: no status table rows parsed (section moved or reformatted?)".into());
+        drift.push(
+            "PROTOCOL.md: no status table rows parsed (section moved or reformatted?)".into(),
+        );
     }
     for (name, dc) in &doc.opcodes {
         match code.opcodes.iter().find(|(n, _)| n == name) {

@@ -1,5 +1,5 @@
-//! Rules that bind *atomic* regions: `direct-access-in-atomic` and
-//! `blocking-in-atomic`.
+//! Rules that bind *atomic* regions: `direct-access-in-atomic`,
+//! `blocking-in-atomic`, and `cross-runtime-access`.
 
 use crate::tree::{Group, Node};
 
@@ -60,6 +60,46 @@ pub fn blocking_method(name: &str) -> Option<String> {
              may re-execute on conflict and must stay side-effect free; move the \
              blocking work into an `atomic_defer*` op (post-commit, under the held \
              TxLocks) or a `synchronized` irrevocable section"
+        )
+    })
+}
+
+/// Entering another runtime's transaction from inside a live atomic
+/// closure: `other.atomically(...)` where `other` is a *named* receiver
+/// different from the named host of the enclosing region. (When either
+/// side is unnamed — a bare `atomically(...)` import or a receiver
+/// reached through a call chain — ownership cannot be proven lexically
+/// and the rule stays silent.)
+pub fn cross_runtime_entry_msg(entry: &str, host: &str, other: &str) -> String {
+    format!(
+        "`{other}.{entry}(...)` inside a transaction hosted by `{host}`: each \
+         runtime is its own island (clock, quiescence, TxLocks), so the inner \
+         commit is invisible to the outer validation and re-executes on every \
+         outer retry. Route cross-runtime writes through the shard router's \
+         prepare/ack protocol (DESIGN.md §14)"
+    )
+}
+
+/// A store entry point called from inside a live atomic closure. Each of
+/// these opens its *own* transaction on the store's own runtime — by
+/// construction a different runtime than the one hosting the enclosing
+/// closure (a store never re-enters itself transactionally). Exact,
+/// store-specific names only: generic container methods (`get`, `insert`)
+/// must not match.
+pub fn cross_runtime_store(name: &str) -> Option<String> {
+    const STORE_ENTRY: &[&str] = &[
+        "write_batch",
+        "write_batch_coordinated",
+        "apply_prepared",
+        "get_many",
+    ];
+    STORE_ENTRY.contains(&name).then(|| {
+        format!(
+            "store entry point `.{name}(...)` inside an atomic closure: it \
+             commits its own transaction on the store's runtime, which the \
+             enclosing transaction's validation never sees — on an outer retry \
+             the store-side effect repeats. Do the store call before/after the \
+             transaction, or route it through the shard router (DESIGN.md §14)"
         )
     })
 }

@@ -10,6 +10,7 @@
 //! | `panic-in-deferred` | deferred | `unwrap`/`expect`/`panic!`/`assert!` — a panicking op poisons its whole batch (DESIGN.md §10) |
 //! | `defer-waits-on-defer` | deferred | waiting on deferred results (or re-entering a transaction) from inside a deferred op — single-worker self-deadlock (DESIGN.md §10) |
 //! | `defer-after-write` | atomic | `atomic_defer*` lexically after the first `tx.write` (DESIGN.md §9 ordering) |
+//! | `cross-runtime-access` | atomic | entering another runtime's transaction, or a store entry point (own runtime, own transaction) from inside a live atomic closure (DESIGN.md §14) |
 //! | `seqcst-outside-allowlist` | any | `Ordering::SeqCst` outside the audited fence core |
 //! | `raw-atomic` | any | `std/core::sync::atomic` bypassing the loom-instrumented facade |
 
@@ -55,6 +56,17 @@ pub const RULE_PANIC_IN_DEFERRED: &str = "panic-in-deferred";
 /// conflict abort cannot leave a half-registered deferral (DESIGN.md §9 —
 /// the KV commit protocol relies on this ordering).
 pub const RULE_DEFER_AFTER_WRITE: &str = "defer-after-write";
+/// Rule: a live atomic closure touches state owned by a *different*
+/// runtime — `other.atomically(...)` whose named receiver differs from
+/// the region's host runtime, or a store entry point (`write_batch`,
+/// `apply_prepared`, ...) that opens its own transaction on its own
+/// runtime. Every runtime is its own island (clock, quiescence, TxLocks):
+/// the inner commit is invisible to the outer validation, the outer
+/// closure can retry and repeat the inner (already-committed) effect, and
+/// coordinator-holds-locks deadlocks become possible. Cross-runtime work
+/// goes through the `ad-shard` router's prepare/ack protocol (DESIGN.md
+/// §14); router internals carry the usual allow-marker.
+pub const RULE_CROSS_RUNTIME: &str = "cross-runtime-access";
 
 /// Every rule, for `--check-allows` (stale-marker detection) and docs.
 pub const ALL_RULES: &[&str] = &[
@@ -65,6 +77,7 @@ pub const ALL_RULES: &[&str] = &[
     RULE_PANIC_IN_DEFERRED,
     RULE_DEFER_WAITS,
     RULE_DEFER_AFTER_WRITE,
+    RULE_CROSS_RUNTIME,
     RULE_SEQCST,
     RULE_RAW_ATOMIC,
 ];

@@ -57,6 +57,11 @@ struct Region {
     /// Line of the first `tx.write(...)` seen in this (atomic) region —
     /// the defer-before-first-write watermark for `defer-after-write`.
     write_line: Option<usize>,
+    /// Named receiver of the `atomically`/`synchronized` call that opened
+    /// this region (`rt.atomically(...)` → `rt`); `None` for a bare call
+    /// or a receiver reached through a call chain. `cross-runtime-access`
+    /// compares nested entry receivers against this.
+    host: Option<String>,
 }
 
 /// What an in-scope identifier is bound to.
@@ -86,8 +91,12 @@ struct Scope {
 /// Role the enclosing call assigns to a closure argument.
 enum CallSpec {
     /// `atomically`/`synchronized`: the first closure argument is the
-    /// atomic closure; its first param is the `Tx`.
-    Atomic(RegionKind),
+    /// atomic closure; its first param is the `Tx`. `host` is the named
+    /// receiver of the call, if any.
+    Atomic {
+        kind: RegionKind,
+        host: Option<String>,
+    },
     /// `atomic_defer*`: the argument after `commas` top-level commas is
     /// the deferred closure.
     Defer { commas: usize },
@@ -279,10 +288,12 @@ impl Analyzer<'_> {
                 n.ident() == Some("move") && nodes.get(i + 1).is_some_and(|x| x.is_punct('|'));
             if move_closure || (n.is_punct('|') && closure_can_start(prev)) {
                 let pipe = if move_closure { i + 1 } else { i };
-                let role = match ctx.spec {
-                    Some(CallSpec::Atomic(kind)) if commas == 0 && !role_given => Some(kind),
-                    Some(CallSpec::Defer { commas: c }) if commas == c && !role_given => {
-                        Some(RegionKind::DeferOp)
+                let role = match &ctx.spec {
+                    Some(CallSpec::Atomic { kind, host }) if commas == 0 && !role_given => {
+                        Some((*kind, host.clone()))
+                    }
+                    Some(CallSpec::Defer { commas: c }) if commas == *c && !role_given => {
+                        Some((RegionKind::DeferOp, None))
                     }
                     _ => None,
                 };
@@ -305,6 +316,7 @@ impl Analyzer<'_> {
                         self.regions.push(Region {
                             kind: RegionKind::DeferOp,
                             write_line: None,
+                            host: None,
                         });
                         self.scopes.push(Scope::default());
                         for p in &def.params {
@@ -445,6 +457,14 @@ impl Analyzer<'_> {
                     self.push(line, rules::RULE_BLOCKING_IN_ATOMIC, msg);
                 }
             }
+            // A store entry point commits its own transaction on its own
+            // runtime — cross-runtime by construction inside any live
+            // atomic closure (retryable or irrevocable).
+            if self.in_atomic() && !recv_is_tx {
+                if let Some(msg) = rules::atomic::cross_runtime_store(name) {
+                    self.push(line, rules::RULE_CROSS_RUNTIME, msg);
+                }
+            }
             if self.innermost() == Some(RegionKind::DeferOp) {
                 if let Some(msg) = rules::deferred::wait_method(name) {
                     self.push(line, rules::RULE_DEFER_WAITS, msg);
@@ -474,14 +494,39 @@ impl Analyzer<'_> {
                         rules::deferred::reentry_msg(name),
                     );
                 }
+                let host = receiver
+                    .and_then(Node::ident)
+                    .filter(|r| self.resolve(r) != Some(Binding::Tx))
+                    .map(str::to_string);
+                // Nested entry on a *different named* runtime than the
+                // enclosing region's named host is cross-runtime access.
+                // Either side unnamed (bare call, call-chain receiver) →
+                // ownership unprovable lexically, stay silent.
+                if self.in_atomic() {
+                    let enclosing = self.regions.last().and_then(|r| r.host.clone());
+                    if let (Some(enclosing), Some(other)) = (enclosing.as_deref(), host.as_deref())
+                    {
+                        if other != enclosing {
+                            let msg =
+                                rules::atomic::cross_runtime_entry_msg(name, enclosing, other);
+                            self.push(line, rules::RULE_CROSS_RUNTIME, msg);
+                        }
+                    }
+                }
                 let kind = if name == "atomically" {
                     RegionKind::Atomically
                 } else {
                     RegionKind::Synchronized
                 };
-                self.walk_call_args(args, Some(CallSpec::Atomic(kind)), recv_tx_name.as_deref());
+                self.walk_call_args(
+                    args,
+                    Some(CallSpec::Atomic { kind, host }),
+                    recv_tx_name.as_deref(),
+                );
             }
-            "atomic_defer" | "atomic_defer_with_result" | "atomic_defer_tracked"
+            "atomic_defer"
+            | "atomic_defer_with_result"
+            | "atomic_defer_tracked"
             | "atomic_defer_unordered" => {
                 if let Some(r) = self.regions.last() {
                     if r.kind != RegionKind::DeferOp {
@@ -494,8 +539,16 @@ impl Analyzer<'_> {
                         }
                     }
                 }
-                let commas = if name == "atomic_defer_unordered" { 1 } else { 2 };
-                self.walk_call_args(args, Some(CallSpec::Defer { commas }), recv_tx_name.as_deref());
+                let commas = if name == "atomic_defer_unordered" {
+                    1
+                } else {
+                    2
+                };
+                self.walk_call_args(
+                    args,
+                    Some(CallSpec::Defer { commas }),
+                    recv_tx_name.as_deref(),
+                );
             }
             "sleep" if self.innermost() == Some(RegionKind::Atomically) => {
                 self.push(
@@ -633,7 +686,9 @@ impl Analyzer<'_> {
                 break;
             }
             if n.is_punct('=')
-                && !nodes.get(k + 1).is_some_and(|x| x.is_punct('=') || x.is_punct('>'))
+                && !nodes
+                    .get(k + 1)
+                    .is_some_and(|x| x.is_punct('=') || x.is_punct('>'))
                 && !nodes
                     .get(k.wrapping_sub(1))
                     .is_some_and(|x| "=!+-*/&|^%".chars().any(|c| x.is_punct(c)))
@@ -700,10 +755,7 @@ impl Analyzer<'_> {
         if let Some(name) = &name {
             // `let tx2 = tx;` / `let tx2 = &tx;` aliases the transaction;
             // any other RHS (notably `let tx = channel.tx()`) is plain.
-            let alias = rhs
-                .iter()
-                .filter(|n| !n.is_punct('&'))
-                .collect::<Vec<_>>();
+            let alias = rhs.iter().filter(|n| !n.is_punct('&')).collect::<Vec<_>>();
             let b = match alias.as_slice() {
                 [one] => one
                     .ident()
@@ -717,20 +769,23 @@ impl Analyzer<'_> {
     }
 
     /// Walk a closure starting at the opening `|` (index `pipe`), with an
-    /// optional region role. Returns the index after the closure body.
+    /// optional region role (and, for atomic roles, the named host
+    /// runtime). Returns the index after the closure body.
     fn walk_closure(
         &mut self,
         nodes: &[Node],
         pipe: usize,
-        role: Option<RegionKind>,
+        role: Option<(RegionKind, Option<String>)>,
         tx_thread: Option<&str>,
     ) -> usize {
         let (params, body_start, body_end) = parse_closure_sig(nodes, pipe);
         self.scopes.push(Scope::default());
         for (idx, p) in params.iter().enumerate() {
-            let b = match role {
+            let b = match &role {
                 // The first param of an atomic closure is the transaction.
-                Some(RegionKind::Atomically | RegionKind::Synchronized) if idx == 0 => Binding::Tx,
+                Some((RegionKind::Atomically | RegionKind::Synchronized, _)) if idx == 0 => {
+                    Binding::Tx
+                }
                 // Accessor idiom: a param named after the `Tx` forwarded in
                 // the same argument list is the transaction threaded back.
                 _ if tx_thread == Some(p.as_str()) => Binding::Tx,
@@ -738,10 +793,11 @@ impl Analyzer<'_> {
             };
             self.bind(p, b);
         }
-        if let Some(kind) = role {
+        if let Some((kind, host)) = &role {
             self.regions.push(Region {
-                kind,
+                kind: *kind,
                 write_line: None,
+                host: host.clone(),
             });
         }
         if body_end == body_start + 1 {
@@ -916,9 +972,7 @@ fn skip_item(nodes: &[Node], mut j: usize) -> usize {
     loop {
         match nodes.get(j) {
             None => return nodes.len(),
-            Some(n) if n.is_punct('#')
-                && nodes.get(j + 1).and_then(|x| x.group('[')).is_some() =>
-            {
+            Some(n) if n.is_punct('#') && nodes.get(j + 1).and_then(|x| x.group('[')).is_some() => {
                 j += 2;
             }
             Some(n) if n.group('{').is_some() || n.is_punct(';') => return j + 1,

@@ -7,9 +7,9 @@
 use std::path::Path;
 
 use ad_lint::{
-    scan_tree, RULE_BLOCKING_IN_ATOMIC, RULE_DEFER_AFTER_WRITE, RULE_DEFER_CAPTURES_TX,
-    RULE_DEFER_WAITS, RULE_DIRECT_ACCESS, RULE_NON_SEND_CAPTURE, RULE_PANIC_IN_DEFERRED,
-    RULE_RAW_ATOMIC, RULE_SEQCST,
+    scan_tree, RULE_BLOCKING_IN_ATOMIC, RULE_CROSS_RUNTIME, RULE_DEFER_AFTER_WRITE,
+    RULE_DEFER_CAPTURES_TX, RULE_DEFER_WAITS, RULE_DIRECT_ACCESS, RULE_NON_SEND_CAPTURE,
+    RULE_PANIC_IN_DEFERRED, RULE_RAW_ATOMIC, RULE_SEQCST,
 };
 
 fn fixture(name: &str) -> Vec<&'static str> {
@@ -96,6 +96,15 @@ fn defer_after_write_fixture_is_rejected() {
         fixture("defer_after_write.rs"),
         vec![RULE_DEFER_AFTER_WRITE; 2]
     );
+}
+
+#[test]
+fn cross_runtime_fixture_is_rejected() {
+    // Nested entry on a foreign named runtime, a store write_batch, and
+    // an apply_prepared inside live atomic closures — with same-runtime
+    // nesting, the allow-annotated router call, and store calls outside
+    // any region all clean.
+    assert_eq!(fixture("cross_runtime.rs"), vec![RULE_CROSS_RUNTIME; 3]);
 }
 
 #[test]

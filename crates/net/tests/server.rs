@@ -108,8 +108,7 @@ fn server_keeps_serving_during_a_checkpoint() {
     let (store, _report) =
         KvStore::open_on_disk(&KvConfig::default(), SyncPolicy::GroupCommit, disk.clone());
     let store = Arc::new(store);
-    let server =
-        Server::start(Arc::clone(&store), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let server = Server::start(Arc::clone(&store), "127.0.0.1:0", ServerConfig::default()).unwrap();
     let mut c = Client::connect(server.local_addr()).unwrap();
     c.put("k", b"before").unwrap();
 

@@ -1,0 +1,62 @@
+//! # ad-shard — cross-shard transactions as a 2-phase commit across runtimes
+//!
+//! One [`ad_kv::KvStore`] is an *island*: its runtime, its clock, its
+//! quiescence, its WAL. This crate partitions a key space over N such
+//! islands and makes a multi-shard write batch atomic **and durable**
+//! across all of them, by running atomic deferral's hold-until-done
+//! discipline as the lock-holding half of a two-phase commit
+//! (DESIGN.md §14).
+//!
+//! ## The protocol in one paragraph
+//!
+//! The lowest touched shard coordinates. Its transaction applies the
+//! local slice and `atomic_defer`s, over its own shard locks, one
+//! *prepare* operation per remote participant (ascending shard order)
+//! plus a final *decision* operation. Each prepare sends the
+//! participant its slice over the [`Transport`] and blocks until the
+//! participant acks — and a participant acks only after its slice is
+//! staged in its own WAL ([`ad_kv::RedoKind::Prepare`]) and fsynced,
+//! with its own shard locks held. The decision operation appends the
+//! coordinator's gid-tagged [`ad_kv::RedoKind::Decided`] record — the
+//! commit point of the whole batch — and broadcasts release; each
+//! participant then re-logs its slice as decided and unlocks. Locks are
+//! held everywhere from commit to release: **a reader on any shard can
+//! never observe a partial cross-shard batch**, and when the
+//! coordinator's call returns, the batch is durable on every shard.
+//!
+//! Crashes recover by presumed abort: a staged slice whose gid no
+//! surviving log proves decided is never applied
+//! ([`ShardRouter::from_stores`] reconciles; see DESIGN.md §14 for the
+//! killed-coordinator / killed-participant matrix).
+//!
+//! ## Why it cannot deadlock
+//!
+//! A coordinator only waits on *higher* shard ids (it is the minimum
+//! touched shard and prepares ascend); a blocked participant's lock
+//! holder is always a protocol step whose release depends only on
+//! still-higher shards. Wait-for edges strictly increase in shard id,
+//! so no cycle closes.
+//!
+//! ## Observability
+//!
+//! Every store keeps its own runtime; [`ShardRouter::take_trace`]
+//! merges the per-runtime rings with [`ad_stm::Trace::merge`] so one
+//! cross-shard commit renders as a single timeline tagged `r<id>.t<n>`,
+//! with `shard_prepare` / `shard_ack` / `shard_release` instants on
+//! both sides. [`ShardRouter::stats`] merges the runtimes' counters.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod router;
+pub mod transport;
+
+/// Loom-style model of the hold-until-all-ack invariant: a coordinator
+/// and participants exchanging prepare/ack/release while an observer
+/// tries to catch a partially visible batch. Compiled only under
+/// `RUSTFLAGS="--cfg loom"` test builds — see VERIFICATION.md.
+#[cfg(all(test, loom))]
+mod verify;
+
+pub use router::ShardRouter;
+pub use transport::{Frame, LocalTransport, Transport};

@@ -1,0 +1,543 @@
+//! The shard router: key partitioning, the cross-shard commit itself,
+//! recovery reconciliation, and merged observability.
+
+use std::collections::{BTreeMap, HashSet};
+use std::io;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use ad_kv::{
+    CkptReport, KvConfig, KvStore, MemDisk, RecoveryReport, RemoteSlice, SyncPolicy, WriteBatch,
+};
+use ad_stm::{StatsReport, Trace};
+use ad_support::sync::atomic::{AtomicU64, Ordering};
+use ad_support::sync::{Condvar, Mutex, RwLock};
+
+use crate::transport::{Frame, LocalTransport, Transport};
+
+/// Low 48 bits of a gid: the per-router sequence. The high 16 bits name
+/// the coordinator shard, so recovery can say who held the decision.
+const GID_SEQ_MASK: u64 = (1 << 48) - 1;
+
+/// Barrier handshake ids live above the gid space.
+const BARRIER_BASE: u64 = 1 << 63;
+
+/// Signal kinds — the tag keeps a participant's release wait from
+/// consuming its own just-sent ack (both are keyed by `(gid, shard)`).
+const SIG_ACK: u8 = 0;
+const SIG_RELEASE: u8 = 1;
+const SIG_BARRIER: u8 = 2;
+
+/// One-shot signals between transport workers and protocol waiters:
+/// `wait` blocks until a matching `signal` arrived, then consumes it.
+struct SignalTable {
+    set: Mutex<HashSet<(u8, u64, u16)>>,
+    cv: Condvar,
+}
+
+impl SignalTable {
+    fn new() -> Self {
+        SignalTable {
+            set: Mutex::new(HashSet::new()),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn signal(&self, kind: u8, id: u64, shard: u16) {
+        self.set.lock().insert((kind, id, shard));
+        self.cv.notify_all();
+    }
+
+    fn wait(&self, kind: u8, id: u64, shard: u16) {
+        let mut g = self.set.lock();
+        while !g.remove(&(kind, id, shard)) {
+            self.cv.wait(&mut g);
+        }
+    }
+}
+
+fn fnv1a64(data: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in data {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// A key space partitioned over N independent [`KvStore`]s (each with
+/// its own runtime and WAL), with cross-shard write batches committed
+/// by the 2-phase protocol of DESIGN.md §14.
+///
+/// Reads and single-shard batches go straight to the owning store and
+/// cost exactly what they cost unsharded. A batch spanning shards picks
+/// the lowest touched shard as coordinator and pays one prepare/ack
+/// round trip per remote participant plus the decision fsync.
+pub struct ShardRouter {
+    stores: Vec<Arc<KvStore>>,
+    sender: Arc<dyn Transport>,
+    signals: Arc<SignalTable>,
+    /// Readers: in-flight cross-shard commits. Writer:
+    /// [`ShardRouter::checkpoint_all`], which must not truncate a
+    /// decision record some shard's staged slice still depends on.
+    ckpt_gate: RwLock<()>,
+    next_seq: AtomicU64,
+    next_barrier: AtomicU64,
+    local: Arc<LocalTransport>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ShardRouter {
+    /// Route over `n` fresh volatile stores (bench baseline: no WAL, so
+    /// the protocol's fsyncs are no-ops but the lock discipline is
+    /// identical).
+    pub fn open_volatile(n: usize) -> ShardRouter {
+        Self::from_stores(
+            (0..n)
+                .map(|_| {
+                    Arc::new(
+                        KvStore::open(KvConfig::volatile()).expect("volatile open is infallible"),
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    /// Open shard `i` on `disks[i]` (two-tier recovery per shard), then
+    /// reconcile cross-shard outcomes across all of them — the crash
+    /// recovery entry point for byte-level [`MemDisk`] images.
+    pub fn open_on_disks(
+        cfg: &KvConfig,
+        sync: SyncPolicy,
+        disks: &[MemDisk],
+    ) -> (ShardRouter, Vec<RecoveryReport>) {
+        let mut stores = Vec::with_capacity(disks.len());
+        let mut reports = Vec::with_capacity(disks.len());
+        for disk in disks {
+            let (store, report) = KvStore::open_on_disk(cfg, sync, disk.clone());
+            stores.push(Arc::new(store));
+            reports.push(report);
+        }
+        (Self::from_stores(stores), reports)
+    }
+
+    /// Assemble a router over already-opened stores.
+    ///
+    /// Reconciliation runs first: every shard's pending prepares are
+    /// checked against the union of all shards' decided gids — a gid
+    /// any surviving log proves committed is applied (and re-logged as
+    /// decided, so the *next* recovery needs no cross-shard evidence);
+    /// everything else is presumed aborted and never applied. The gid
+    /// sequence resumes above every gid seen in any log, so a lingering
+    /// aborted prepare can never collide with a fresh transaction.
+    pub fn from_stores(stores: Vec<Arc<KvStore>>) -> ShardRouter {
+        assert!(!stores.is_empty(), "a router needs at least one shard");
+        assert!(stores.len() <= u16::MAX as usize, "shard ids are u16");
+
+        let mut decided: HashSet<u64> = HashSet::new();
+        let mut max_seen = 0u64;
+        for store in &stores {
+            for &gid in store.recovered_decided_gids() {
+                decided.insert(gid);
+                max_seen = max_seen.max(gid & GID_SEQ_MASK);
+            }
+            for gid in store.pending_prepared_gids() {
+                max_seen = max_seen.max(gid & GID_SEQ_MASK);
+            }
+        }
+        for store in &stores {
+            for gid in store.pending_prepared_gids() {
+                if decided.contains(&gid) {
+                    store.resolve_prepared(gid);
+                } else {
+                    store.abort_prepared(gid);
+                }
+            }
+        }
+
+        let n = stores.len();
+        let local = Arc::new(LocalTransport::new(n));
+        let sender: Arc<dyn Transport> = Arc::clone(&local) as Arc<dyn Transport>;
+        let signals = Arc::new(SignalTable::new());
+        let mut workers = Vec::with_capacity(2 * n);
+        for (s, shard_store) in stores.iter().enumerate() {
+            // Data worker: runs the participant side. It blocks inside
+            // `apply_prepared` for the prepare→release window, which
+            // serializes staged slices per shard.
+            let store = Arc::clone(shard_store);
+            let rx = Arc::clone(&local);
+            let tx = Arc::clone(&sender);
+            let sig = Arc::clone(&signals);
+            workers.push(std::thread::spawn(move || loop {
+                match rx.recv_data(s) {
+                    Frame::Prepare { gid, from, ops } => {
+                        let me = s as u16;
+                        let ack_tx = Arc::clone(&tx);
+                        let rel_sig = Arc::clone(&sig);
+                        store.apply_prepared(
+                            gid,
+                            &WriteBatch::from_ops(ops),
+                            move || ack_tx.send(from, Frame::Ack { gid, from: me }),
+                            move || rel_sig.wait(SIG_RELEASE, gid, me),
+                        );
+                    }
+                    Frame::Barrier { id, from } => {
+                        tx.send(from, Frame::BarrierAck { id, from: s as u16 });
+                    }
+                    Frame::Shutdown => return,
+                    _ => {}
+                }
+            }));
+            // Control worker: never blocks on protocol progress — it
+            // only flips signals, so releases and acks overtake any
+            // parked prepare.
+            let rx = Arc::clone(&local);
+            let sig = Arc::clone(&signals);
+            workers.push(std::thread::spawn(move || loop {
+                match rx.recv_ctl(s) {
+                    Frame::Ack { gid, from } => sig.signal(SIG_ACK, gid, from),
+                    Frame::Release { gid } => sig.signal(SIG_RELEASE, gid, s as u16),
+                    Frame::BarrierAck { id, from } => sig.signal(SIG_BARRIER, id, from),
+                    Frame::Shutdown => return,
+                    _ => {}
+                }
+            }));
+        }
+
+        ShardRouter {
+            stores,
+            sender,
+            signals,
+            ckpt_gate: RwLock::new(()),
+            next_seq: AtomicU64::new(max_seen + 1),
+            next_barrier: AtomicU64::new(0),
+            local,
+            workers,
+        }
+    }
+
+    /// The shard owning `key`.
+    pub fn shard_of(&self, key: &str) -> usize {
+        (fnv1a64(key.as_bytes()) as usize) % self.stores.len()
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.stores.len()
+    }
+
+    /// Direct access to shard `s`'s store (tests, per-shard stats).
+    pub fn store(&self, s: usize) -> &Arc<KvStore> {
+        &self.stores[s]
+    }
+
+    /// Point lookup on the owning shard (serializable there).
+    pub fn get(&self, key: &str) -> Option<Arc<[u8]>> {
+        self.stores[self.shard_of(key)].get(key)
+    }
+
+    /// Multi-key lookup: keys grouped by shard, one transaction per
+    /// shard. Each shard's slice of the result is a serializable
+    /// snapshot of that shard; the combination across shards is *not* a
+    /// single snapshot (DESIGN.md §14 — the write protocol guarantees
+    /// no shard ever shows a partial batch, which is what keeps this
+    /// useful, but two shards may be read at different moments).
+    pub fn get_many(&self, keys: &[&str]) -> Vec<Option<Arc<[u8]>>> {
+        let mut by_shard: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for (i, key) in keys.iter().enumerate() {
+            by_shard.entry(self.shard_of(key)).or_default().push(i);
+        }
+        let mut out = vec![None; keys.len()];
+        for (s, idxs) in by_shard {
+            let ks: Vec<&str> = idxs.iter().map(|&i| keys[i]).collect();
+            for (i, v) in idxs.iter().zip(self.stores[s].get_many(&ks)) {
+                out[*i] = v;
+            }
+        }
+        out
+    }
+
+    /// Insert or overwrite one key (single-shard by construction).
+    pub fn put(&self, key: &str, value: &[u8]) {
+        self.write_batch(&WriteBatch::new().put(key, value));
+    }
+
+    /// Delete one key.
+    pub fn delete(&self, key: &str) {
+        self.write_batch(&WriteBatch::new().delete(key));
+    }
+
+    /// Apply an atomic multi-key batch across shards. A batch touching
+    /// one shard commits exactly like [`KvStore::write_batch`]. A batch
+    /// spanning shards runs the 2-phase protocol: when this returns,
+    /// every slice is durable on its shard, and at no point could any
+    /// reader anywhere observe some slices without the others.
+    pub fn write_batch(&self, batch: &WriteBatch) {
+        let mut slices: BTreeMap<usize, ad_kv::RedoOps> = BTreeMap::new();
+        for (k, v) in batch.ops() {
+            slices
+                .entry(self.shard_of(k))
+                .or_default()
+                .push((k.to_string(), v.map(|v| v.to_vec())));
+        }
+        if slices.is_empty() {
+            return;
+        }
+        if slices.len() == 1 {
+            let (s, ops) = slices.into_iter().next().expect("nonempty");
+            self.stores[s].write_batch(&WriteBatch::from_ops(ops));
+            return;
+        }
+
+        // Cross-shard: coordinator = lowest touched shard; prepares go
+        // out in ascending shard order (BTreeMap iteration), which is
+        // the deadlock-freedom discipline.
+        let _inflight = self.ckpt_gate.read();
+        let gid = {
+            let coord = *slices.keys().next().expect("nonempty") as u64;
+            (coord << 48) | (self.next_seq.fetch_add(1, Ordering::Relaxed) & GID_SEQ_MASK)
+        };
+        let mut it = slices.into_iter();
+        let (coord, coord_ops) = it.next().expect("nonempty");
+        let remotes: Vec<RemoteSlice> = it
+            .map(|(p, ops)| {
+                let p = p as u16;
+                let from = coord as u16;
+                let ops = Arc::new(ops);
+                let prep_tx = Arc::clone(&self.sender);
+                let prep_sig = Arc::clone(&self.signals);
+                let rel_tx = Arc::clone(&self.sender);
+                RemoteSlice {
+                    prepare: Arc::new(move || {
+                        prep_tx.send(
+                            p,
+                            Frame::Prepare {
+                                gid,
+                                from,
+                                ops: (*ops).clone(),
+                            },
+                        );
+                        prep_sig.wait(SIG_ACK, gid, p);
+                    }),
+                    release: Arc::new(move || rel_tx.send(p, Frame::Release { gid })),
+                }
+            })
+            .collect();
+        self.stores[coord].write_batch_coordinated(gid, &WriteBatch::from_ops(coord_ops), &remotes);
+    }
+
+    /// Block until every shard's deferred durability work has drained.
+    pub fn sync(&self) {
+        for store in &self.stores {
+            store.sync();
+        }
+    }
+
+    /// Block until every shard's transport data queue has drained: every
+    /// participant slice for a batch whose `write_batch` already returned
+    /// has finished its release-side work (decided re-log, apply, trace
+    /// instants). The participant half of a cross-shard commit runs
+    /// asynchronously on the transport worker, so callers that want to
+    /// *observe* a completed commit — drain a merged trace, compare
+    /// dumps — quiesce first. New commits are not gated out; callers
+    /// needing a frozen world ([`ShardRouter::checkpoint_all`]) hold the
+    /// checkpoint gate around this.
+    pub fn quiesce(&self) {
+        let id = BARRIER_BASE | self.next_barrier.fetch_add(1, Ordering::Relaxed);
+        for s in 0..self.stores.len() {
+            self.sender.send(s as u16, Frame::Barrier { id, from: 0 });
+        }
+        for s in 0..self.stores.len() {
+            self.signals.wait(SIG_BARRIER, id, s as u16);
+        }
+    }
+
+    /// Checkpoint every shard at a cross-shard-quiescent point: new
+    /// cross-shard commits are gated out, a barrier drains every
+    /// shard's staged-but-unreleased slices, and only then does each
+    /// shard snapshot and truncate. Without the quiesce, a coordinator
+    /// could truncate the decision record a participant's staged slice
+    /// still needs at its next recovery (DESIGN.md §14).
+    pub fn checkpoint_all(&self) -> io::Result<Vec<CkptReport>> {
+        let _gate = self.ckpt_gate.write();
+        self.quiesce();
+        self.stores.iter().map(|s| s.checkpoint()).collect()
+    }
+
+    /// Merged STM counters across every shard's runtime
+    /// ([`StatsReport::merge`]): one report for the whole key space.
+    pub fn stats(&self) -> StatsReport {
+        let mut iter = self.stores.iter();
+        let first = iter.next().expect("at least one shard");
+        let mut acc = first.runtime().snapshot_stats();
+        for store in iter {
+            acc.merge(&store.runtime().snapshot_stats());
+        }
+        acc
+    }
+
+    /// Enable or disable tracing on every shard's runtime.
+    pub fn set_tracing(&self, on: bool) {
+        for store in &self.stores {
+            store.runtime().set_tracing(on);
+        }
+    }
+
+    /// Drain and merge every runtime's trace ring into one timeline
+    /// ([`Trace::merge`]): a cross-shard commit shows its coordinator
+    /// and participant halves interleaved by timestamp, rows tagged
+    /// `r<runtime>.t<thread>`.
+    pub fn take_trace(&self) -> Trace {
+        Trace::merge(self.stores.iter().map(|s| s.runtime().take_trace()))
+    }
+
+    /// Full contents across all shards — test/verification helper.
+    pub fn dump(&self) -> BTreeMap<String, Vec<u8>> {
+        let mut out = BTreeMap::new();
+        for store in &self.stores {
+            out.append(&mut store.dump());
+        }
+        out
+    }
+
+    /// Total live keys across shards.
+    pub fn len(&self) -> usize {
+        self.stores.iter().map(|s| s.len()).sum()
+    }
+
+    /// True when no shard holds any key.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Drop for ShardRouter {
+    fn drop(&mut self) {
+        for s in 0..self.stores.len() {
+            self.local.shutdown(s);
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+
+    /// `count` keys all owned by shard `want` of an `n`-shard router.
+    fn keys_on(router: &ShardRouter, want: usize, count: usize) -> Vec<String> {
+        (0..)
+            .map(|i| format!("k{i}"))
+            .filter(|k| router.shard_of(k) == want)
+            .take(count)
+            .collect()
+    }
+
+    #[test]
+    fn single_shard_batches_and_reads_route_by_key() {
+        let router = ShardRouter::open_volatile(4);
+        router.put("alpha", b"1");
+        router.put("beta", b"2");
+        assert_eq!(router.get("alpha").as_deref(), Some(&b"1"[..]));
+        assert_eq!(router.get("beta").as_deref(), Some(&b"2"[..]));
+        assert_eq!(router.len(), 2);
+        let on_shard: usize = (0..router.shard_count())
+            .map(|s| router.store(s).len())
+            .sum();
+        assert_eq!(on_shard, 2, "keys live on exactly one shard each");
+    }
+
+    #[test]
+    fn cross_shard_batch_commits_atomically_everywhere() {
+        let router = ShardRouter::open_volatile(3);
+        let a = keys_on(&router, 0, 1).remove(0);
+        let b = keys_on(&router, 1, 1).remove(0);
+        let c = keys_on(&router, 2, 1).remove(0);
+        router.write_batch(
+            &WriteBatch::new()
+                .put(a.as_str(), b"A")
+                .put(b.as_str(), b"B")
+                .put(c.as_str(), b"C"),
+        );
+        assert_eq!(router.get(&a).as_deref(), Some(&b"A"[..]));
+        assert_eq!(router.get(&b).as_deref(), Some(&b"B"[..]));
+        assert_eq!(router.get(&c).as_deref(), Some(&b"C"[..]));
+        // And a follow-up cross-shard batch over the same keys (delete
+        // half) also lands atomically.
+        router.write_batch(&WriteBatch::new().delete(a.as_str()).put(c.as_str(), b"C2"));
+        assert_eq!(router.get(&a), None);
+        assert_eq!(router.get(&c).as_deref(), Some(&b"C2"[..]));
+    }
+
+    #[test]
+    fn get_many_spans_shards() {
+        let router = ShardRouter::open_volatile(2);
+        let a = keys_on(&router, 0, 1).remove(0);
+        let b = keys_on(&router, 1, 1).remove(0);
+        router.write_batch(
+            &WriteBatch::new()
+                .put(a.as_str(), b"1")
+                .put(b.as_str(), b"2"),
+        );
+        let got = router.get_many(&[a.as_str(), "missing", b.as_str()]);
+        assert_eq!(got[0].as_deref(), Some(&b"1"[..]));
+        assert_eq!(got[1], None);
+        assert_eq!(got[2].as_deref(), Some(&b"2"[..]));
+    }
+
+    #[test]
+    fn merged_stats_count_all_runtimes() {
+        let router = ShardRouter::open_volatile(2);
+        let a = keys_on(&router, 0, 1).remove(0);
+        let b = keys_on(&router, 1, 1).remove(0);
+        router.write_batch(
+            &WriteBatch::new()
+                .put(a.as_str(), b"1")
+                .put(b.as_str(), b"2"),
+        );
+        let merged = router.stats();
+        let per_shard: u64 = (0..2)
+            .map(|s| router.store(s).runtime().snapshot_stats().counters.commits)
+            .sum();
+        assert_eq!(merged.counters.commits, per_shard);
+        assert!(
+            merged.counters.commits >= 2,
+            "both shards committed their slice"
+        );
+    }
+
+    #[test]
+    fn merged_trace_tags_both_runtimes_for_one_commit() {
+        let router = ShardRouter::open_volatile(2);
+        router.set_tracing(true);
+        let a = keys_on(&router, 0, 1).remove(0);
+        let b = keys_on(&router, 1, 1).remove(0);
+        router.write_batch(
+            &WriteBatch::new()
+                .put(a.as_str(), b"1")
+                .put(b.as_str(), b"2"),
+        );
+        // The participant's release-side events land asynchronously (its
+        // re-log runs on the transport worker after the coordinator's
+        // call returned): quiesce so the drain below races no writer —
+        // draining a *live* ring can lose the event being written.
+        router.quiesce();
+        router.set_tracing(false);
+        let trace = router.take_trace();
+        let runtimes = trace.runtime_ids();
+        assert_eq!(
+            runtimes.len(),
+            2,
+            "one timeline, two runtimes: {runtimes:?}"
+        );
+        let rendered = trace.render();
+        for kind in ["shard_prepare", "shard_ack", "shard_release"] {
+            assert!(rendered.contains(kind), "missing {kind} in:\n{rendered}");
+        }
+        // Coordinator emits prepare/ack/release; participant emits its
+        // own triple: exactly 6 protocol instants for one commit.
+        assert_eq!(rendered.matches("shard_").count(), 6, "in:\n{rendered}");
+    }
+}

@@ -1,0 +1,188 @@
+//! Loom-style model of the cross-shard commit's hold-until-all-ack
+//! invariant (`RUSTFLAGS="--cfg loom"`).
+//!
+//! The protocol's atomicity argument (DESIGN.md §14) is a lock-ordering
+//! claim: the coordinator's shard locks — taken atomically with its
+//! commit by `atomic_defer` — are released only after every participant
+//! has staged its slice and acked, and the decision itself is logged.
+//! If that ever breaks, a reader on the coordinator shard can observe
+//! the coordinator's slice of a batch whose remote slices do not yet
+//! exist anywhere durable — the partial cross-shard state the whole
+//! design exists to rule out.
+//!
+//! [`commit_holds_until_all_acks`] runs the *real* store primitives —
+//! [`KvStore::write_batch_coordinated`] and [`KvStore::apply_prepared`]
+//! on two volatile stores, full STM underneath — under the model
+//! scheduler, with the transport replaced by model-aware gates. An
+//! observer asserts, on every schedule the scheduler can find:
+//!
+//! 1. coordinator slice visible ⇒ the participant has staged and acked;
+//! 2. participant slice visible ⇒ the decision ran (release was sent).
+//!
+//! [`model_catches_release_before_last_ack`] is the seeded regression:
+//! a coordinator that commits its slice in a plain transaction and only
+//! *then* runs the prepare round — the classic commit-before-coordinate
+//! bug an executor or router refactor could introduce. Its locks release
+//! at commit, before any ack, and the checker must find the schedule
+//! where the observer catches invariant 1 broken. If it stops finding
+//! it, the green model has rotted into always-green.
+
+use std::sync::Arc;
+
+use ad_kv::{KvConfig, KvStore, RemoteSlice, WriteBatch};
+use ad_support::model::{check, check_expect_violation, CheckOpts, Exec};
+use ad_support::sync::atomic::{AtomicBool, Ordering};
+use ad_support::sync::{Condvar, Mutex};
+
+/// A model-aware one-shot gate (the stand-in for transport delivery).
+struct Gate {
+    open: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Gate {
+    fn new() -> Arc<Self> {
+        Arc::new(Gate {
+            open: Mutex::new(false),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn open(&self) {
+        *self.open.lock() = true;
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) {
+        let mut g = self.open.lock();
+        while !*g {
+            self.cv.wait(&mut g);
+        }
+    }
+}
+
+fn store() -> Arc<KvStore> {
+    let mut cfg = KvConfig::volatile().with_shards(1);
+    cfg.buckets_per_shard = 1;
+    Arc::new(KvStore::open(cfg).expect("volatile open"))
+}
+
+const GID: u64 = 1;
+
+/// Wire up one coordinator, one participant, and one observer. When
+/// `buggy` is set, the coordinator commits its slice *before* running
+/// the prepare round instead of deferring the round over its locks.
+fn scenario(e: &mut Exec, buggy: bool) {
+    let coord = store();
+    let part = store();
+    let acked = Arc::new(AtomicBool::new(false));
+    let decided = Arc::new(AtomicBool::new(false));
+    let ack_gate = Gate::new();
+    let rel_gate = Gate::new();
+
+    {
+        let part = Arc::clone(&part);
+        let acked = Arc::clone(&acked);
+        let ack_gate = Arc::clone(&ack_gate);
+        let rel_gate = Arc::clone(&rel_gate);
+        e.spawn(move || {
+            let batch = WriteBatch::new().put("kb", b"vb");
+            let ack = move || {
+                acked.store(true, Ordering::SeqCst);
+                ack_gate.open();
+            };
+            let rel = move || rel_gate.wait();
+            part.apply_prepared(GID, &batch, ack, rel);
+        });
+    }
+
+    {
+        let coord_store = Arc::clone(&coord);
+        let decided = Arc::clone(&decided);
+        let ack_gate = Arc::clone(&ack_gate);
+        let rel_gate = Arc::clone(&rel_gate);
+        e.spawn(move || {
+            let batch = WriteBatch::new().put("ka", b"va");
+            if buggy {
+                // BUG (deliberate): plain commit first — the shard locks
+                // release here — then the prepare/ack round and release.
+                coord_store.write_batch(&batch);
+                ack_gate.wait();
+                decided.store(true, Ordering::SeqCst);
+                rel_gate.open();
+            } else {
+                let rel = {
+                    let decided = Arc::clone(&decided);
+                    let rel_gate = Arc::clone(&rel_gate);
+                    move || {
+                        decided.store(true, Ordering::SeqCst);
+                        rel_gate.open();
+                    }
+                };
+                coord_store.write_batch_coordinated(
+                    GID,
+                    &batch,
+                    &[RemoteSlice {
+                        prepare: Arc::new(move || ack_gate.wait()),
+                        release: Arc::new(rel),
+                    }],
+                );
+            }
+        });
+    }
+
+    e.spawn(move || {
+        for _ in 0..2 {
+            if coord.get("ka").is_some() {
+                // Invariant 1: the coordinator's slice became visible,
+                // so its locks released — legal only past the last ack.
+                assert!(
+                    acked.load(Ordering::SeqCst),
+                    "coordinator slice visible before every participant acked"
+                );
+            }
+            if part.get("kb").is_some() {
+                // Invariant 2: a participant exposes its slice only
+                // after the decision ran and released it.
+                assert!(
+                    decided.load(Ordering::SeqCst),
+                    "participant slice visible before the decision"
+                );
+            }
+        }
+    });
+}
+
+/// Green sweep: both invariants hold across every explored interleaving
+/// of the real coordinator/participant primitives.
+#[test]
+fn commit_holds_until_all_acks() {
+    check(
+        "shard-2pc-hold-until-all-acks",
+        CheckOpts {
+            seeds: 400,
+            max_steps: 500_000,
+        },
+        |e| scenario(e, false),
+    );
+}
+
+/// Seeded regression: with the commit-before-coordinate coordinator the
+/// checker must find a schedule where invariant 1 breaks. Guards the
+/// green model's sensitivity.
+#[test]
+fn model_catches_release_before_last_ack() {
+    let violation = check_expect_violation(
+        CheckOpts {
+            seeds: 400,
+            max_steps: 500_000,
+        },
+        |e| scenario(e, true),
+    );
+    let (seed, msg) =
+        violation.expect("the commit-before-coordinate variant no longer races; re-tune the model");
+    assert!(
+        msg.contains("before every participant acked"),
+        "expected a hold-until-ack violation, got (seed {seed}): {msg}"
+    );
+}

@@ -81,12 +81,34 @@ pub enum DeferExecCfg {
         /// Bounded queue capacity in batches (clamped to at least 1).
         queue_cap: usize,
     },
+    /// Like [`DeferExecCfg::Pool`], but the worker count autoscales within
+    /// `[min_workers, max_workers]` from queue-depth feedback: a submit
+    /// that finds queued batches outnumbering parked workers spawns one
+    /// more (saturation — the condition that makes `defer_queue_wait_ns`
+    /// climb), and a surplus worker idle past `idle_timeout_ms` with an
+    /// empty queue retires itself. Backpressure is unchanged: a full queue
+    /// still runs the batch inline on the committer.
+    AutoPool {
+        /// Worker-count floor (clamped to at least 1); spawned at startup.
+        min_workers: usize,
+        /// Worker-count ceiling (clamped to at least `min_workers`).
+        max_workers: usize,
+        /// Bounded queue capacity in batches (clamped to at least 1).
+        queue_cap: usize,
+        /// How long a surplus worker idles before retiring, in
+        /// milliseconds.
+        idle_timeout_ms: u64,
+    },
 }
 
 impl DeferExecCfg {
-    /// True when deferred ops are offloaded to the worker pool.
+    /// True when deferred ops are offloaded to a worker pool (fixed or
+    /// autoscaling).
     pub fn is_pool(&self) -> bool {
-        matches!(self, DeferExecCfg::Pool { .. })
+        matches!(
+            self,
+            DeferExecCfg::Pool { .. } | DeferExecCfg::AutoPool { .. }
+        )
     }
 }
 
@@ -212,6 +234,25 @@ impl TmConfig {
         self
     }
 
+    /// Builder-style switch to the *autoscaling* worker-pool executor:
+    /// worker count floats in `[min_workers, max_workers]` on queue-depth
+    /// feedback with a 100 ms idle-retirement timeout (see
+    /// [`DeferExecCfg::AutoPool`] for the policy).
+    pub fn with_defer_autoscale(
+        mut self,
+        min_workers: usize,
+        max_workers: usize,
+        queue_cap: usize,
+    ) -> Self {
+        self.defer_exec = DeferExecCfg::AutoPool {
+            min_workers,
+            max_workers,
+            queue_cap,
+            idle_timeout_ms: 100,
+        };
+        self
+    }
+
     /// Builder-style override of the deferred-op executor.
     pub fn with_defer_exec(mut self, exec: DeferExecCfg) -> Self {
         self.defer_exec = exec;
@@ -246,7 +287,11 @@ mod tests {
         assert_eq!(c.serialize_after, 100);
         assert!(c.quiesce);
         assert!(!c.is_htm());
-        assert_eq!(c.defer_exec, DeferExecCfg::Inline, "Inline must stay the default");
+        assert_eq!(
+            c.defer_exec,
+            DeferExecCfg::Inline,
+            "Inline must stay the default"
+        );
         assert_eq!(c.clock, ClockPolicy::Gv2, "Gv2 must stay the default");
     }
 
@@ -284,6 +329,21 @@ mod tests {
             Mode::HtmSim(h) => assert_eq!(h.capacity_bytes, 1024),
             _ => panic!("expected HTM mode"),
         }
+    }
+
+    #[test]
+    fn autoscale_builder_sets_bounds() {
+        let c = TmConfig::stm().with_defer_autoscale(1, 8, 64);
+        assert!(c.defer_exec.is_pool());
+        assert_eq!(
+            c.defer_exec,
+            DeferExecCfg::AutoPool {
+                min_workers: 1,
+                max_workers: 8,
+                queue_cap: 64,
+                idle_timeout_ms: 100
+            }
+        );
     }
 
     #[test]

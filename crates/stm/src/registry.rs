@@ -19,8 +19,8 @@
 //! still rely on it for logical privatization). It is switchable per
 //! runtime for the quiescence ablation benchmark.
 
-use std::cell::RefCell;
 use ad_support::sync::atomic::{AtomicU64, Ordering};
+use std::cell::RefCell;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -149,12 +149,7 @@ impl Registry {
     fn copy_slots(&self, my_slot: &Arc<ActivitySlot>, out: &mut Vec<Arc<ActivitySlot>>) {
         out.clear();
         let slots = self.slots.read();
-        out.extend(
-            slots
-                .iter()
-                .filter(|s| !Arc::ptr_eq(s, my_slot))
-                .cloned(),
-        );
+        out.extend(slots.iter().filter(|s| !Arc::ptr_eq(s, my_slot)).cloned());
     }
 
     /// Spin until every slot is inactive or running at `>= wv`. Returns the

@@ -115,6 +115,17 @@ impl Runtime {
                     crate::config::DeferExecCfg::Pool { workers, queue_cap } => {
                         Some(ad_support::pool::Pool::new(workers, queue_cap))
                     }
+                    crate::config::DeferExecCfg::AutoPool {
+                        min_workers,
+                        max_workers,
+                        queue_cap,
+                        idle_timeout_ms,
+                    } => Some(ad_support::pool::Pool::with_limits(
+                        min_workers,
+                        max_workers,
+                        queue_cap,
+                        std::time::Duration::from_millis(idle_timeout_ms),
+                    )),
                 },
             }),
         }
@@ -452,7 +463,11 @@ impl Runtime {
         #[cfg(not(loom))]
         if let Some(pool) = &self.inner.defer_pool {
             let obs = self.inner.sink.enabled();
-            let t_submit = if obs { Some(crate::trace::now_ns()) } else { None };
+            let t_submit = if obs {
+                Some(crate::trace::now_ns())
+            } else {
+                None
+            };
             let rt = self.clone();
             let job = Box::new(move || {
                 if let Some(t0) = t_submit {
@@ -582,6 +597,62 @@ impl Runtime {
              (self-deadlock, DESIGN.md §10). Size the pool with >= 2 workers \
              or complete the dependency before this op."
         );
+        true
+    }
+
+    /// Live worker count of the `Pool`/`AutoPool` executor (0 under
+    /// `Inline`). On an autoscaling pool this floats between the
+    /// configured min and max with load.
+    pub fn defer_worker_count(&self) -> usize {
+        #[cfg(not(loom))]
+        if let Some(pool) = &self.inner.defer_pool {
+            return pool.worker_count();
+        }
+        0
+    }
+
+    /// Would blocking on *this* runtime's deferred work from the calling
+    /// thread tie up a worker of some **other** pool? True when the caller
+    /// is a pool worker but not one of this runtime's own — the
+    /// cross-runtime wait hazard of DESIGN.md §14: runtime A's worker
+    /// blocking on runtime B's `DeferHandle` occupies a thread A may
+    /// itself be waiting on, and with symmetric traffic the two pools can
+    /// starve each other. Unlike the single-worker self-wait this is not
+    /// necessarily a deadlock (ad-shard's ascending-shard prepare order
+    /// bounds it), so it is reported, not asserted.
+    pub fn defer_wait_is_remote_from_worker(&self) -> bool {
+        #[cfg(not(loom))]
+        {
+            if !ad_support::pool::Pool::current_thread_is_any_worker() {
+                return false;
+            }
+            if let Some(pool) = &self.inner.defer_pool {
+                if pool.current_thread_is_worker() {
+                    return false; // own-pool worker: the self-wait check owns this case
+                }
+            }
+            true
+        }
+        #[cfg(loom)]
+        false
+    }
+
+    /// Record a detected cross-runtime wait hazard (see
+    /// [`Runtime::defer_wait_is_remote_from_worker`]): bump the
+    /// `defer_remote_wait_hazards` counter and emit a
+    /// `DeferRemoteWaitHazard` trace event carrying this (the waited-on)
+    /// runtime's id. No `debug_assert!`, unlike
+    /// [`Runtime::check_defer_self_wait`] — a bounded remote wait is legal
+    /// (it is exactly how ad-shard's coordinator blocks for participant
+    /// acks); the counter and event exist so an embedding can audit where
+    /// its pools block on each other. Returns whether the hazard was
+    /// present.
+    pub fn check_defer_remote_wait(&self) -> bool {
+        if !self.defer_wait_is_remote_from_worker() {
+            return false;
+        }
+        self.inner.stats.on_defer_remote_wait_hazard();
+        self.trace_app(EventKind::DeferRemoteWaitHazard, self.inner.id);
         true
     }
 

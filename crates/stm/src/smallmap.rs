@@ -43,10 +43,7 @@ impl<V> SmallMap<V> {
         if self.spilled {
             self.spill.get(&key)
         } else {
-            self.inline
-                .iter()
-                .find(|(k, _)| *k == key)
-                .map(|(_, v)| v)
+            self.inline.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
         }
     }
 

@@ -88,9 +88,9 @@
 //! The concurrent stress tests live in `tests/snapshot_stress.rs`.
 #![allow(unsafe_code)]
 
+use ad_support::sync::atomic::{fence, AtomicBool, AtomicPtr, AtomicU64, Ordering};
 use std::cell::RefCell;
 use std::collections::VecDeque;
-use ad_support::sync::atomic::{fence, AtomicBool, AtomicPtr, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use ad_support::sync::Mutex;

@@ -13,8 +13,8 @@
 //! snake_case names appear in [`StatsSnapshot`]'s `Display`, in
 //! [`StatsReport::to_json`], and in `OBSERVABILITY.md`.
 
-use std::fmt;
 use ad_support::sync::atomic::{AtomicU64, Ordering};
+use std::fmt;
 
 use ad_support::hist::{Histogram, HistogramSnapshot};
 
@@ -34,6 +34,7 @@ pub struct Stats {
     pub(crate) defer_offloads: AtomicU64,
     pub(crate) defer_inline_fallbacks: AtomicU64,
     pub(crate) defer_self_wait_hazards: AtomicU64,
+    pub(crate) defer_remote_wait_hazards: AtomicU64,
     pub(crate) clock_bumps: AtomicU64,
     pub(crate) validation_extends: AtomicU64,
     /// The latency histograms, boxed as one block: `Stats` lives inside the
@@ -89,6 +90,7 @@ impl Stats {
         on_defer_offload => defer_offloads,
         on_defer_inline_fallback => defer_inline_fallbacks,
         on_defer_self_wait_hazard => defer_self_wait_hazards,
+        on_defer_remote_wait_hazard => defer_remote_wait_hazards,
         on_clock_bump => clock_bumps,
         on_validation_extend => validation_extends,
     }
@@ -137,6 +139,7 @@ impl Stats {
             defer_offloads: self.defer_offloads.load(Ordering::Relaxed),
             defer_inline_fallbacks: self.defer_inline_fallbacks.load(Ordering::Relaxed),
             defer_self_wait_hazards: self.defer_self_wait_hazards.load(Ordering::Relaxed),
+            defer_remote_wait_hazards: self.defer_remote_wait_hazards.load(Ordering::Relaxed),
             clock_bumps: self.clock_bumps.load(Ordering::Relaxed),
             validation_extends: self.validation_extends.load(Ordering::Relaxed),
             trace_spilled_events: 0,
@@ -170,6 +173,7 @@ impl Stats {
             &self.defer_offloads,
             &self.defer_inline_fallbacks,
             &self.defer_self_wait_hazards,
+            &self.defer_remote_wait_hazards,
             &self.clock_bumps,
             &self.validation_extends,
         ] {
@@ -224,6 +228,15 @@ pub struct StatsSnapshot {
     /// static rule `defer-waits-on-defer` catches the lexical cases;
     /// this counter is the runtime backstop).
     pub defer_self_wait_hazards: u64,
+    /// Times a `DeferHandle::wait`/`wait_all` on this runtime's deferred
+    /// work was entered from a worker thread of a *different* pool — the
+    /// cross-runtime wait hazard of DESIGN.md §14: the wait ties up a
+    /// thread the other runtime may itself be waiting on. Not necessarily
+    /// a bug (ad-shard's coordinator legally blocks for participant acks
+    /// this way, bounded by its ascending-shard prepare order), but a
+    /// nonzero value is where to look when two runtimes' pools starve
+    /// each other.
+    pub defer_remote_wait_hazards: u64,
     /// Shared clock-word advances forced by snapshot extensions under the
     /// `Sloppy` commit-clock policy (always 0 under `Gv2`/`Sharded`): how
     /// often a reader had to pay the CAS the writers skipped.
@@ -266,6 +279,8 @@ impl StatsSnapshot {
             defer_offloads: self.defer_offloads - earlier.defer_offloads,
             defer_inline_fallbacks: self.defer_inline_fallbacks - earlier.defer_inline_fallbacks,
             defer_self_wait_hazards: self.defer_self_wait_hazards - earlier.defer_self_wait_hazards,
+            defer_remote_wait_hazards: self.defer_remote_wait_hazards
+                - earlier.defer_remote_wait_hazards,
             clock_bumps: self.clock_bumps - earlier.clock_bumps,
             validation_extends: self.validation_extends - earlier.validation_extends,
             trace_spilled_events: self.trace_spilled_events - earlier.trace_spilled_events,
@@ -281,7 +296,8 @@ impl StatsSnapshot {
              \"aborts_unsupported\":{},\"retries\":{},\"serializations\":{},\
              \"quiesce_waits\":{},\"quiesce_ns\":{},\"deferred_ops\":{},\
              \"defer_offloads\":{},\"defer_inline_fallbacks\":{},\
-             \"defer_self_wait_hazards\":{},\"clock_bumps\":{},\
+             \"defer_self_wait_hazards\":{},\"defer_remote_wait_hazards\":{},\
+             \"clock_bumps\":{},\
              \"validation_extends\":{},\"trace_spilled_events\":{}}}",
             self.starts,
             self.commits,
@@ -297,6 +313,7 @@ impl StatsSnapshot {
             self.defer_offloads,
             self.defer_inline_fallbacks,
             self.defer_self_wait_hazards,
+            self.defer_remote_wait_hazards,
             self.clock_bumps,
             self.validation_extends,
             self.trace_spilled_events,
@@ -315,6 +332,7 @@ impl fmt::Display for StatsSnapshot {
              aborts_capacity={} aborts_unsupported={}) retries={} serializations={} \
              quiesce_waits={} deferred_ops={} defer_offloads={} \
              defer_inline_fallbacks={} defer_self_wait_hazards={} \
+             defer_remote_wait_hazards={} \
              clock_bumps={} validation_extends={} trace_spilled_events={}] \
              durations[quiesce_ns={} ({:.1}ms)]",
             self.total_commits(),
@@ -330,6 +348,7 @@ impl fmt::Display for StatsSnapshot {
             self.defer_offloads,
             self.defer_inline_fallbacks,
             self.defer_self_wait_hazards,
+            self.defer_remote_wait_hazards,
             self.clock_bumps,
             self.validation_extends,
             self.trace_spilled_events,
@@ -388,7 +407,9 @@ impl StatsReport {
     pub fn delta(&self, earlier: &StatsReport) -> StatsReport {
         StatsReport {
             counters: self.counters.delta_since(&earlier.counters),
-            commit_latency_ns: self.commit_latency_ns.delta_since(&earlier.commit_latency_ns),
+            commit_latency_ns: self
+                .commit_latency_ns
+                .delta_since(&earlier.commit_latency_ns),
             quiesce_wait_ns: self.quiesce_wait_ns.delta_since(&earlier.quiesce_wait_ns),
             retry_backoff_ns: self.retry_backoff_ns.delta_since(&earlier.retry_backoff_ns),
             defer_queue_to_done_ns: self
@@ -419,6 +440,7 @@ impl StatsReport {
         c.defer_offloads += o.defer_offloads;
         c.defer_inline_fallbacks += o.defer_inline_fallbacks;
         c.defer_self_wait_hazards += o.defer_self_wait_hazards;
+        c.defer_remote_wait_hazards += o.defer_remote_wait_hazards;
         c.clock_bumps += o.clock_bumps;
         c.validation_extends += o.validation_extends;
         c.trace_spilled_events += o.trace_spilled_events;
@@ -442,7 +464,11 @@ impl fmt::Display for StatsReport {
             "  defer_queue_to_done_ns:   {}",
             self.defer_queue_to_done_ns
         )?;
-        write!(f, "  defer_queue_wait_ns:      {}", self.defer_queue_wait_ns)
+        write!(
+            f,
+            "  defer_queue_wait_ns:      {}",
+            self.defer_queue_wait_ns
+        )
     }
 }
 
@@ -559,6 +585,7 @@ mod tests {
             "\"defer_offloads\":0",
             "\"defer_inline_fallbacks\":0",
             "\"defer_self_wait_hazards\":0",
+            "\"defer_remote_wait_hazards\":0",
             "\"clock_bumps\":0",
             "\"validation_extends\":0",
             "\"trace_spilled_events\":0",

@@ -28,9 +28,9 @@
 //! ~0.1 %, with possible tiny cross-core skew — the merge therefore keys
 //! strict ordering on per-thread sequence numbers, not timestamps.
 
+use ad_support::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::cell::RefCell;
 use std::fmt;
-use ad_support::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use ad_support::sync::Mutex;
@@ -140,6 +140,34 @@ pub enum EventKind {
     /// WAL segments covered by a published snapshot were deleted.
     /// `arg` = bytes freed.
     WalTruncate = 23,
+    /// A `DeferHandle::wait`/`wait_all` was entered on a worker thread of
+    /// a *different* runtime's deferred-op pool — the cross-runtime cousin
+    /// of [`EventKind::DeferSelfWaitHazard`] (DESIGN.md §14): a shard
+    /// coordinator's worker blocking on a remote shard's handle ties up a
+    /// thread the remote runtime may itself be waiting on, and with
+    /// symmetric traffic the two pools can deadlock against each other.
+    /// `arg` = the waited-on runtime's id. Emitted (with the
+    /// `defer_remote_wait_hazards` counter bump) just before the wait
+    /// blocks; unlike the self-wait hazard it does not `debug_assert!`,
+    /// because ad-shard's ascending-shard prepare order makes a bounded
+    /// remote wait legal — the event is for audit, not prohibition.
+    DeferRemoteWaitHazard = 24,
+    /// A cross-shard coordinator sent (or a participant began applying) a
+    /// prepare frame for a global batch (`ad-shard`, recorded via
+    /// [`Runtime::trace_app`]); `arg` = the global batch id's low bits.
+    ///
+    /// [`Runtime::trace_app`]: crate::Runtime::trace_app
+    ShardPrepare = 25,
+    /// A participant acknowledged a prepare as durable on its shard;
+    /// `arg` = the global batch id's low bits. On a merged timeline this
+    /// must causally follow the participant's `wal_fsync` covering the
+    /// prepare record.
+    ShardAck = 26,
+    /// The coordinator released a cross-shard batch after every
+    /// participant acked (commit record durable); `arg` = the global
+    /// batch id's low bits. Participant-side locks are held until their
+    /// runtime observes this — the hold-until-all-ack invariant.
+    ShardRelease = 27,
 }
 
 impl EventKind {
@@ -169,6 +197,10 @@ impl EventKind {
             EventKind::CkptBegin => "ckpt_begin",
             EventKind::CkptPublish => "ckpt_publish",
             EventKind::WalTruncate => "wal_truncate",
+            EventKind::DeferRemoteWaitHazard => "defer_remote_wait_hazard",
+            EventKind::ShardPrepare => "shard_prepare",
+            EventKind::ShardAck => "shard_ack",
+            EventKind::ShardRelease => "shard_release",
         }
     }
 
@@ -207,6 +239,10 @@ impl EventKind {
             21 => EventKind::CkptBegin,
             22 => EventKind::CkptPublish,
             23 => EventKind::WalTruncate,
+            24 => EventKind::DeferRemoteWaitHazard,
+            25 => EventKind::ShardPrepare,
+            26 => EventKind::ShardAck,
+            27 => EventKind::ShardRelease,
             _ => return None,
         })
     }
@@ -237,6 +273,15 @@ pub(crate) fn now_ns() -> u64 {
 pub struct TraceEvent {
     /// Nanoseconds since the process trace epoch.
     pub ts_ns: u64,
+    /// Id of the [`Runtime`] whose sink recorded the event
+    /// ([`Runtime::id`]) — what makes events from different runtimes
+    /// distinguishable after [`Trace::merge`]. Thread ids are dense *per
+    /// runtime*, so `(runtime, thread, seq)` is the global event identity;
+    /// `(thread, seq)` alone collides across runtimes.
+    ///
+    /// [`Runtime`]: crate::Runtime
+    /// [`Runtime::id`]: crate::Runtime::id
+    pub runtime: u64,
     /// Trace-local thread id (dense, assigned per runtime in registration
     /// order; not an OS tid).
     pub thread: u32,
@@ -253,8 +298,9 @@ impl fmt::Display for TraceEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{:>12.3}us t{:<3} {:<16}",
+            "{:>12.3}us r{}.t{:<3} {:<16}",
             self.ts_ns as f64 / 1e3,
+            self.runtime,
             self.thread,
             self.kind.name(),
         )?;
@@ -276,6 +322,10 @@ impl fmt::Display for TraceEvent {
             EventKind::WalFsync => write!(f, " records={}", self.arg),
             EventKind::DeferOffload | EventKind::DeferSelfWaitHazard => {
                 write!(f, " queue_depth={}", self.arg)
+            }
+            EventKind::DeferRemoteWaitHazard => write!(f, " remote_runtime={}", self.arg),
+            EventKind::ShardPrepare | EventKind::ShardAck | EventKind::ShardRelease => {
+                write!(f, " gid={}", self.arg)
             }
             EventKind::NetAckDurable => write!(f, " req_id={}", self.arg),
             _ => write!(f, " arg={}", self.arg),
@@ -299,9 +349,60 @@ pub struct Trace {
 }
 
 impl Trace {
-    /// Events of one thread, in order.
+    /// Events of one thread, in order. In a merged multi-runtime trace the
+    /// same thread id can exist in several runtimes — use
+    /// [`Trace::runtime_thread_events`] there.
     pub fn thread_events(&self, thread: u32) -> impl Iterator<Item = &TraceEvent> {
         self.events.iter().filter(move |e| e.thread == thread)
+    }
+
+    /// Events of one `(runtime, thread)` row of a merged timeline, in order.
+    pub fn runtime_thread_events(
+        &self,
+        runtime: u64,
+        thread: u32,
+    ) -> impl Iterator<Item = &TraceEvent> {
+        self.events
+            .iter()
+            .filter(move |e| e.runtime == runtime && e.thread == thread)
+    }
+
+    /// The distinct runtime ids present, ascending.
+    pub fn runtime_ids(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self.events.iter().map(|e| e.runtime).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Merge several per-runtime traces (each from its own
+    /// `Runtime::take_trace`) into one timeline.
+    ///
+    /// This is how a multi-runtime system — ad-shard's router, or any
+    /// embedding running one runtime per partition — renders a cross-shard
+    /// commit as *one* story: events keep their `runtime` tag, duplicates
+    /// are collapsed by the global event identity `(runtime, thread, seq)`
+    /// (a spill-enabled ring can hand the same event to two consecutive
+    /// drains that race a writer), and the result is re-sorted on the
+    /// common timestamp axis exactly like a single-runtime take.
+    /// `dropped`/`spilled` sum over the inputs.
+    pub fn merge(traces: impl IntoIterator<Item = Trace>) -> Trace {
+        let mut events = Vec::new();
+        let mut dropped = 0u64;
+        let mut spilled = 0u64;
+        for t in traces {
+            events.extend(t.events);
+            dropped += t.dropped;
+            spilled += t.spilled;
+        }
+        events.sort_unstable_by_key(|e| (e.runtime, e.thread, e.seq));
+        events.dedup_by_key(|e| (e.runtime, e.thread, e.seq));
+        events.sort_unstable_by_key(|e| (e.ts_ns, e.runtime, e.thread, e.seq));
+        Trace {
+            events,
+            dropped,
+            spilled,
+        }
     }
 
     /// Render the timeline as line-oriented text (one event per line).
@@ -328,7 +429,9 @@ impl Trace {
     /// `quiesce_exit` as `quiesce`, `defer_exec_start`→`defer_exec_end`
     /// (matched by queue index) as `defer_op` — and everything else is an
     /// instant (`"ph":"i"`). Timestamps are microseconds since the process
-    /// trace epoch; `tid` is the trace-local thread id.
+    /// trace epoch; `pid` is the runtime id (so a merged multi-runtime
+    /// trace renders one process group per runtime) and `tid` is the
+    /// trace-local thread id within that runtime.
     pub fn to_chrome_json(&self) -> String {
         // Comma placement between events needs one bit of state; carrying
         // it with the buffer keeps every call site a plain `w.push(..)`.
@@ -337,10 +440,12 @@ impl Trace {
             first: bool,
         }
         impl EventSink {
+            #[allow(clippy::too_many_arguments)]
             fn push(
                 &mut self,
                 name: &str,
                 ph: char,
+                runtime: u64,
                 thread: u32,
                 ts_ns: u64,
                 dur_ns: Option<u64>,
@@ -352,7 +457,7 @@ impl Trace {
                 }
                 self.first = false;
                 out.push_str(&format!(
-                    "  {{\"name\":\"{name}\",\"ph\":\"{ph}\",\"pid\":0,\"tid\":{thread},\
+                    "  {{\"name\":\"{name}\",\"ph\":\"{ph}\",\"pid\":{runtime},\"tid\":{thread},\
                      \"ts\":{:.3}",
                     ts_ns as f64 / 1e3,
                 ));
@@ -382,43 +487,66 @@ impl Trace {
             first: true,
         };
         w.out.push_str("{\"traceEvents\":[\n");
-        // Open-slice state per thread: transaction begin, quiescence entry,
-        // and in-flight deferred ops keyed by queue index.
-        let mut open_txn: FxHashMap<u32, u64> = FxHashMap::default();
-        let mut open_quiesce: FxHashMap<u32, u64> = FxHashMap::default();
-        let mut open_defer: FxHashMap<(u32, u64), u64> = FxHashMap::default();
+        // Open-slice state per (runtime, thread) row: transaction begin,
+        // quiescence entry, and in-flight deferred ops keyed by queue
+        // index. Thread ids alone collide across runtimes in a merged
+        // trace, so every pairing key carries the runtime too.
+        let mut open_txn: FxHashMap<(u64, u32), u64> = FxHashMap::default();
+        let mut open_quiesce: FxHashMap<(u64, u32), u64> = FxHashMap::default();
+        let mut open_defer: FxHashMap<(u64, u32, u64), u64> = FxHashMap::default();
         for e in &self.events {
+            let row = (e.runtime, e.thread);
             match e.kind {
                 EventKind::Begin => {
                     // A begin with no matching end (ring wrap, still
                     // running) is replaced by the next begin; emit nothing.
-                    open_txn.insert(e.thread, e.ts_ns);
+                    open_txn.insert(row, e.ts_ns);
                 }
                 EventKind::Commit | EventKind::Abort => {
                     let label = if e.kind == EventKind::Commit {
-                        ("mode", format!("\"{}\"", if e.arg == 1 { "serial" } else { "speculative" }))
+                        (
+                            "mode",
+                            format!("\"{}\"", if e.arg == 1 { "serial" } else { "speculative" }),
+                        )
                     } else {
-                        ("cause", format!("\"{}\"", EventKind::abort_cause_name(e.arg)))
+                        (
+                            "cause",
+                            format!("\"{}\"", EventKind::abort_cause_name(e.arg)),
+                        )
                     };
-                    match open_txn.remove(&e.thread) {
+                    match open_txn.remove(&row) {
                         Some(start) => w.push(
-                            if e.kind == EventKind::Commit { "txn" } else { "txn_abort" },
+                            if e.kind == EventKind::Commit {
+                                "txn"
+                            } else {
+                                "txn_abort"
+                            },
                             'X',
+                            e.runtime,
                             e.thread,
                             start,
                             Some(e.ts_ns.saturating_sub(start)),
                             &[label],
                         ),
-                        None => w.push(e.kind.name(), 'i', e.thread, e.ts_ns, None, &[label]),
+                        None => w.push(
+                            e.kind.name(),
+                            'i',
+                            e.runtime,
+                            e.thread,
+                            e.ts_ns,
+                            None,
+                            &[label],
+                        ),
                     }
                 }
                 EventKind::QuiesceEnter => {
-                    open_quiesce.insert(e.thread, e.ts_ns);
+                    open_quiesce.insert(row, e.ts_ns);
                 }
-                EventKind::QuiesceExit => match open_quiesce.remove(&e.thread) {
+                EventKind::QuiesceExit => match open_quiesce.remove(&row) {
                     Some(start) => w.push(
                         "quiesce",
                         'X',
+                        e.runtime,
                         e.thread,
                         start,
                         Some(e.ts_ns.saturating_sub(start)),
@@ -427,6 +555,7 @@ impl Trace {
                     None => w.push(
                         "quiesce_exit",
                         'i',
+                        e.runtime,
                         e.thread,
                         e.ts_ns,
                         None,
@@ -434,12 +563,13 @@ impl Trace {
                     ),
                 },
                 EventKind::DeferExecStart => {
-                    open_defer.insert((e.thread, e.arg), e.ts_ns);
+                    open_defer.insert((e.runtime, e.thread, e.arg), e.ts_ns);
                 }
-                EventKind::DeferExecEnd => match open_defer.remove(&(e.thread, e.arg)) {
+                EventKind::DeferExecEnd => match open_defer.remove(&(e.runtime, e.thread, e.arg)) {
                     Some(start) => w.push(
                         "defer_op",
                         'X',
+                        e.runtime,
                         e.thread,
                         start,
                         Some(e.ts_ns.saturating_sub(start)),
@@ -448,6 +578,7 @@ impl Trace {
                     None => w.push(
                         "defer_exec_end",
                         'i',
+                        e.runtime,
                         e.thread,
                         e.ts_ns,
                         None,
@@ -457,14 +588,25 @@ impl Trace {
                 EventKind::DeferOffload => w.push(
                     "defer_offload",
                     'i',
+                    e.runtime,
                     e.thread,
                     e.ts_ns,
                     None,
                     &[("queue_depth", e.arg.to_string())],
                 ),
+                EventKind::ShardPrepare | EventKind::ShardAck | EventKind::ShardRelease => w.push(
+                    e.kind.name(),
+                    'i',
+                    e.runtime,
+                    e.thread,
+                    e.ts_ns,
+                    None,
+                    &[("gid", e.arg.to_string())],
+                ),
                 _ => w.push(
                     e.kind.name(),
                     'i',
+                    e.runtime,
                     e.thread,
                     e.ts_ns,
                     None,
@@ -584,6 +726,9 @@ const ARG_MASK: u64 = (1 << ARG_BITS) - 1;
 /// A single-writer ring buffer of trace events, owned by one thread and
 /// readable (racily but safely) by the merger.
 pub(crate) struct TraceBuf {
+    /// Id of the runtime whose sink owns this ring — stamped on every
+    /// event it emits, so merged traces keep their provenance.
+    runtime: u64,
     thread: u32,
     /// Total events ever written by the owner (monotone).
     head: AtomicU64,
@@ -600,9 +745,10 @@ pub(crate) struct TraceBuf {
 impl TraceBuf {
     /// `capacity` is rounded up to a power of two (minimum 2) so the ring
     /// index stays a mask of the monotone head counter.
-    fn new(thread: u32, capacity: usize, spill: bool) -> Arc<TraceBuf> {
+    fn new(runtime: u64, thread: u32, capacity: usize, spill: bool) -> Arc<TraceBuf> {
         let cap = capacity.max(2).next_power_of_two();
         Arc::new(TraceBuf {
+            runtime,
             thread,
             head: AtomicU64::new(0),
             slots: (0..cap)
@@ -612,7 +758,11 @@ impl TraceBuf {
                     packed: AtomicU64::new(0),
                 })
                 .collect(),
-            spill: if spill { Some(Mutex::new(Vec::new())) } else { None },
+            spill: if spill {
+                Some(Mutex::new(Vec::new()))
+            } else {
+                None
+            },
             spilled: AtomicU64::new(0),
         })
     }
@@ -635,6 +785,7 @@ impl TraceBuf {
                 if let Some(old_kind) = EventKind::from_code((old_packed >> ARG_BITS) as u8) {
                     spill.lock().push(TraceEvent {
                         ts_ns: slot.ts.load(Ordering::Relaxed),
+                        runtime: self.runtime,
                         thread: self.thread,
                         seq: old_seq,
                         kind: old_kind,
@@ -685,6 +836,7 @@ impl TraceBuf {
             readable += 1;
             out.push(TraceEvent {
                 ts_ns: ts,
+                runtime: self.runtime,
                 thread: self.thread,
                 seq: s1,
                 kind,
@@ -780,6 +932,7 @@ impl TraceSink {
                 }
                 let buf = cache.map.entry(runtime_id).or_insert_with(|| {
                     let buf = TraceBuf::new(
+                        runtime_id,
                         self.next_thread.fetch_add(1, Ordering::Relaxed),
                         self.ring_cap,
                         self.spill,
@@ -821,11 +974,12 @@ impl TraceSink {
         if self.spill {
             // An event the merger drains from the ring can also be spilled
             // by a racing owner overwriting its slot before `clear` lands;
-            // (thread, seq) identifies the event, so collapse duplicates.
-            events.sort_unstable_by_key(|e| (e.thread, e.seq));
-            events.dedup_by_key(|e| (e.thread, e.seq));
+            // (runtime, thread, seq) identifies the event, so collapse
+            // duplicates.
+            events.sort_unstable_by_key(|e| (e.runtime, e.thread, e.seq));
+            events.dedup_by_key(|e| (e.runtime, e.thread, e.seq));
         }
-        events.sort_unstable_by_key(|e| (e.ts_ns, e.thread, e.seq));
+        events.sort_unstable_by_key(|e| (e.ts_ns, e.runtime, e.thread, e.seq));
         Trace {
             events,
             dropped,
@@ -987,6 +1141,10 @@ mod tests {
             EventKind::CkptBegin,
             EventKind::CkptPublish,
             EventKind::WalTruncate,
+            EventKind::DeferRemoteWaitHazard,
+            EventKind::ShardPrepare,
+            EventKind::ShardAck,
+            EventKind::ShardRelease,
         ] {
             assert_eq!(EventKind::from_code(k as u8), Some(k));
             assert!(!k.name().is_empty());
@@ -999,20 +1157,33 @@ mod tests {
     fn display_renders_causes_and_modes() {
         let e = TraceEvent {
             ts_ns: 1500,
+            runtime: 7,
             thread: 0,
             seq: 1,
             kind: EventKind::Abort,
             arg: super::cause::CAPACITY,
         };
         assert!(e.to_string().contains("cause=capacity"));
+        // The runtime tag prefixes the thread id on every rendered line.
+        assert!(e.to_string().contains("r7.t0"), "{e}");
         let c = TraceEvent {
             ts_ns: 1500,
+            runtime: 7,
             thread: 0,
             seq: 2,
             kind: EventKind::Commit,
             arg: 1,
         };
         assert!(c.to_string().contains("mode=serial"));
+        let g = TraceEvent {
+            ts_ns: 1500,
+            runtime: 2,
+            thread: 1,
+            seq: 3,
+            kind: EventKind::ShardAck,
+            arg: 41,
+        };
+        assert!(g.to_string().contains("gid=41"), "{g}");
     }
 
     #[test]
@@ -1090,6 +1261,68 @@ mod tests {
         assert!(r.entries.is_empty());
         assert_eq!(r.top_share(), 0.0);
         assert!(r.to_string().contains("no validate_fail"));
+    }
+
+    #[test]
+    fn merge_combines_runtimes_and_dedups_by_identity() {
+        // Two sinks standing in for two runtimes: events interleave on the
+        // shared timestamp axis, keep their runtime tags, and overlapping
+        // drains (same (runtime, thread, seq) twice) collapse to one.
+        let a = TraceSink::default();
+        let b = TraceSink::default();
+        a.set_enabled(true);
+        b.set_enabled(true);
+        a.push(1, now_ns(), EventKind::Begin, 0);
+        b.push(2, now_ns(), EventKind::Begin, 0);
+        a.push(1, now_ns(), EventKind::Commit, 0);
+        b.push(2, now_ns(), EventKind::Commit, 0);
+        let ta = a.take();
+        let tb = b.take();
+        // Simulate a duplicated event across two drains of the same ring.
+        let mut tb_dup = tb.clone();
+        tb_dup.events.extend(tb.events.iter().copied());
+        let m = Trace::merge([ta, tb_dup]);
+        assert_eq!(m.events.len(), 4, "duplicates collapsed: {:#?}", m.events);
+        assert_eq!(m.runtime_ids(), vec![1, 2]);
+        assert!(m.events.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
+        assert_eq!(m.runtime_thread_events(1, 0).count(), 2);
+        assert_eq!(m.runtime_thread_events(2, 0).count(), 2);
+        // Both runtimes' rows render with distinct tags.
+        let text = m.render();
+        assert!(text.contains("r1.t0"), "{text}");
+        assert!(text.contains("r2.t0"), "{text}");
+        // Chrome export keeps the rows apart via pid = runtime id.
+        let j = m.to_chrome_json();
+        assert!(j.contains("\"pid\":1"), "{j}");
+        assert!(j.contains("\"pid\":2"), "{j}");
+        // Each runtime's begin/commit pairs into its own txn slice — the
+        // cross-runtime merge must not cross-pair rows that share tid 0.
+        assert_eq!(j.matches("\"name\":\"txn\",\"ph\":\"X\"").count(), 2, "{j}");
+    }
+
+    #[test]
+    fn merge_sums_dropped_and_spilled() {
+        let a = TraceSink::new(4, true);
+        a.set_enabled(true);
+        for i in 0..10 {
+            a.push(5, now_ns(), EventKind::ReadSetGrow, i);
+        }
+        let b = TraceSink::new(4, false);
+        b.set_enabled(true);
+        for i in 0..10 {
+            b.push(6, now_ns(), EventKind::ReadSetGrow, i);
+        }
+        let m = Trace::merge([a.take(), b.take()]);
+        assert_eq!(m.spilled, 6, "runtime 5's rescued overflow");
+        assert_eq!(m.dropped, 6, "runtime 6's lost overflow");
+        // The spill-enabled runtime stays gap-free after the merge.
+        let seqs: Vec<u64> = m
+            .events
+            .iter()
+            .filter(|e| e.runtime == 5)
+            .map(|e| e.seq)
+            .collect();
+        assert_eq!(seqs, (1..=10).collect::<Vec<u64>>());
     }
 
     #[test]

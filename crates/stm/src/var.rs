@@ -18,9 +18,9 @@
 //! this mirrors the paper's advice that deferrable buffers be encapsulated
 //! behind handles.
 
+use ad_support::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::any::Any;
 use std::marker::PhantomData;
-use ad_support::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use ad_support::sync::Mutex;
@@ -263,7 +263,6 @@ impl<T: Any + Send + Sync + Clone> TVar<T> {
         let cur = self.load();
         self.store(f(cur));
     }
-
 }
 
 impl<T> TVar<T> {

@@ -108,9 +108,8 @@ fn quiesce_waits_for_older_writeback_and_skips_newer() {
 fn model_catches_end_before_writeback() {
     let _g = serialize();
     let violation = check_expect_violation(opts(), |e| quiesce_vs_writeback(e, true));
-    let (seed, msg) = violation.expect(
-        "the quiesce model no longer catches end-before-write-back; re-tune it",
-    );
+    let (seed, msg) =
+        violation.expect("the quiesce model no longer catches end-before-write-back; re-tune it");
     assert!(
         msg.contains("quiesce returned before"),
         "expected the stale-write-back assertion, got (seed {seed}): {msg}"

@@ -15,10 +15,7 @@ fn first_branch_wins_when_it_succeeds() {
     let v = TVar::new(1u32);
     let got = atomically(|tx| {
         let v = v.clone();
-        tx.or_else(
-            move |tx| tx.read(&v),
-            |_tx| Ok(99),
-        )
+        tx.or_else(move |tx| tx.read(&v), |_tx| Ok(99))
     });
     assert_eq!(got, 1);
 }
@@ -81,7 +78,10 @@ fn first_branch_deferred_actions_are_discarded() {
             },
         )
     });
-    assert!(!ran_first.load(Ordering::Relaxed), "abandoned deferred action ran");
+    assert!(
+        !ran_first.load(Ordering::Relaxed),
+        "abandoned deferred action ran"
+    );
     assert!(ran_second.load(Ordering::Relaxed));
 }
 
@@ -123,9 +123,7 @@ fn waits_on_union_of_both_branches() {
 fn nested_or_else() {
     let got = atomically(|tx| {
         tx.or_else(
-            |tx| {
-                tx.or_else(|tx| tx.retry::<u32>(), |tx| tx.retry::<u32>())
-            },
+            |tx| tx.or_else(|tx| tx.retry::<u32>(), |tx| tx.retry::<u32>()),
             |_tx| Ok(42u32),
         )
     });

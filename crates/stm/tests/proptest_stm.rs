@@ -149,7 +149,11 @@ fn htm_any_capacity_matches_sequential() {
         run_sequential(&ops, &mut expected);
         run_transactional(&rt, &ops, &vars);
         let got: Vec<i64> = vars.iter().map(|v| v.load()).collect();
-        assert_eq!(got, expected.to_vec(), "seed case {case} capacity {capacity}");
+        assert_eq!(
+            got,
+            expected.to_vec(),
+            "seed case {case} capacity {capacity}"
+        );
     }
 }
 

@@ -22,8 +22,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
 
-use ad_support::prng::Rng;
 use ad_stm::{Runtime, TVar, TmConfig};
+use ad_support::prng::Rng;
 
 /// Readers continuously `load` a pair that writers only ever set to
 /// `(n, !n)`: observing any pair that doesn't satisfy the relation means a

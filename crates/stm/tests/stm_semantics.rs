@@ -489,7 +489,10 @@ fn readonly_transactions_commit_without_clock_tick() {
     // Other tests may run concurrently and tick the clock, but 100 of our
     // own read-only transactions must not add 100 ticks themselves. Use a
     // dedicated runtime-independent bound: in an isolated run this is 0.
-    assert!(after - before < 200, "read-only commits appear to tick the clock");
+    assert!(
+        after - before < 200,
+        "read-only commits appear to tick the clock"
+    );
 }
 
 #[test]
@@ -682,7 +685,10 @@ fn trace_spill_makes_a_tiny_ring_lossless() {
     }
     let t = rt.take_trace();
     assert_eq!(t.dropped, 0, "spill must rescue every overwritten event");
-    assert!(t.spilled > 0, "50 transactions must overflow a 4-event ring");
+    assert!(
+        t.spilled > 0,
+        "50 transactions must overflow a 4-event ring"
+    );
     assert!(t.events.len() >= 100, "all lifecycle events survive");
     // Per-thread sequences are gap-free — nothing was silently lost.
     let seqs: Vec<u64> = t
@@ -698,4 +704,90 @@ fn trace_spill_makes_a_tiny_ring_lossless() {
         .to_json()
         .contains("\"trace_spilled_events\""));
     assert_eq!(v.load(), 50);
+}
+
+#[test]
+fn cross_runtime_merge_with_a_spilled_ring_stays_deduplicated_and_gap_free() {
+    // The multi-runtime contract `ad-shard` relies on: merging one
+    // runtime whose tiny ring spilled with a second, roomy runtime must
+    // (a) keep both runtimes' provenance tags, (b) lose nothing from the
+    // spilled runtime — per-thread sequences stay contiguous from 1 —
+    // and (c) contain no duplicate `(runtime, thread, seq)` identity even
+    // though a spill-enabled ring can hand the same event to the spill
+    // rescue *and* a drain (the documented double-report race).
+    use ad_stm::Trace;
+
+    let spilly = Runtime::new(TmConfig::stm().with_trace_ring(4).with_trace_spill(true));
+    let roomy = Runtime::new(TmConfig::stm());
+    spilly.set_tracing(true);
+    roomy.set_tracing(true);
+    let v = TVar::new(0u64);
+    let w = TVar::new(0u64);
+    // Interleave commits on the two runtimes, draining the spilled one
+    // mid-stream so the final merge has to collapse overlapping drains.
+    let mut partial = Vec::new();
+    for i in 0..50u64 {
+        let v2 = v.clone();
+        spilly.atomically(move |tx| {
+            let x = tx.read(&v2)?;
+            tx.write(&v2, x + 1)
+        });
+        let w2 = w.clone();
+        roomy.atomically(move |tx| {
+            let x = tx.read(&w2)?;
+            tx.write(&w2, x + 1)
+        });
+        if i == 25 {
+            partial.push(spilly.take_trace());
+        }
+    }
+    partial.push(spilly.take_trace());
+    partial.push(roomy.take_trace());
+    let merged = Trace::merge(partial);
+
+    assert_eq!(
+        merged.runtime_ids().len(),
+        2,
+        "both runtimes tagged in the merged timeline"
+    );
+    assert_eq!(merged.dropped, 0, "spill rescues every overwritten event");
+    assert!(
+        merged.spilled > 0,
+        "100 events must overflow a 4-event ring"
+    );
+
+    // (c) deduplicated: the identity triple is globally unique.
+    let mut ids: Vec<(u64, u32, u64)> = merged
+        .events
+        .iter()
+        .map(|e| (e.runtime, e.thread, e.seq))
+        .collect();
+    let n = ids.len();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), n, "merge left duplicate event identities");
+
+    // (b) gap-free: within every (runtime, thread) row the sequence runs
+    // 1..=len with no holes.
+    let mut rows: std::collections::BTreeMap<(u64, u32), Vec<u64>> =
+        std::collections::BTreeMap::new();
+    for e in &merged.events {
+        rows.entry((e.runtime, e.thread)).or_default().push(e.seq);
+    }
+    for ((rt_id, thread), mut seqs) in rows {
+        seqs.sort_unstable();
+        assert_eq!(
+            seqs,
+            (1..=seqs.len() as u64).collect::<Vec<u64>>(),
+            "gap in runtime {rt_id} thread {thread}"
+        );
+    }
+
+    // And the merged timeline is on one timestamp axis.
+    assert!(
+        merged.events.windows(2).all(|p| p[0].ts_ns <= p[1].ts_ns),
+        "merged events must be timestamp-sorted"
+    );
+    assert_eq!(v.load(), 50);
+    assert_eq!(w.load(), 50);
 }

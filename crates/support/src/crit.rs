@@ -151,17 +151,17 @@ impl Bencher {
         let warm_start = Instant::now();
         loop {
             let t = f(iters);
-            est_per_iter = t.checked_div(iters as u32).unwrap_or(Duration::from_nanos(1));
+            est_per_iter = t
+                .checked_div(iters as u32)
+                .unwrap_or(Duration::from_nanos(1));
             if warm_start.elapsed() >= self.cfg.warm_up_time {
                 break;
             }
             iters = (iters * 2).min(1 << 24);
         }
 
-        let per_sample = self.cfg.measurement_time.as_nanos() as u64
-            / self.cfg.sample_size as u64;
-        let sample_iters =
-            (per_sample / est_per_iter.as_nanos().max(1) as u64).clamp(1, 1 << 28);
+        let per_sample = self.cfg.measurement_time.as_nanos() as u64 / self.cfg.sample_size as u64;
+        let sample_iters = (per_sample / est_per_iter.as_nanos().max(1) as u64).clamp(1, 1 << 28);
 
         let mut samples: Vec<f64> = Vec::with_capacity(self.cfg.sample_size);
         for _ in 0..self.cfg.sample_size {
@@ -198,7 +198,11 @@ fn report(name: &str, r: &MeasureResult) {
     );
     if let Ok(path) = std::env::var("AD_BENCH_JSON") {
         use std::io::Write;
-        if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(path) {
+        if let Ok(mut f) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+        {
             let _ = writeln!(
                 f,
                 "{{\"name\":\"{}\",\"ns_per_iter\":{:.2},\"ns_min\":{:.2},\"ns_max\":{:.2}}}",

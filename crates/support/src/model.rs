@@ -167,7 +167,10 @@ impl Scheduler {
             steps: 0,
             max_steps,
             // Seed 0 would wedge xorshift; mix in a constant.
-            rng: seed.wrapping_mul(2654435761).wrapping_add(0x9E37_79B9_7F4A_7C15) | 1,
+            rng: seed
+                .wrapping_mul(2654435761)
+                .wrapping_add(0x9E37_79B9_7F4A_7C15)
+                | 1,
             failed: None,
             strategy: Strategy::Uniform,
         };

@@ -22,6 +22,13 @@
 //!   workers* (the last `Runtime` handle can die inside a queued job). Drop
 //!   joins every worker except the current thread, which is detached —
 //!   joining yourself would deadlock.
+//! * **Autoscaling (optional).** [`Pool::with_limits`] bounds the worker
+//!   count to `[min, max]` instead of fixing it: a submit that finds jobs
+//!   queued and every worker busy spawns one more worker (queue-depth
+//!   feedback — the same signal `defer_queue_wait_ns` integrates over
+//!   time), and a worker idle past the configured timeout with the queue
+//!   empty retires itself down to `min`. [`Pool::new`] is the degenerate
+//!   `min == max` pool, which never scales and never takes a timed wait.
 
 use std::cell::Cell;
 use std::collections::VecDeque;
@@ -29,6 +36,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use crate::sync::{Condvar, Mutex};
 
@@ -49,6 +57,12 @@ struct State {
     /// Jobs submitted but not yet completed (queued + running).
     pending: usize,
     shutdown: bool,
+    /// Worker threads currently alive (spawned and not yet retired).
+    live: usize,
+    /// Workers parked in `work.wait` right now. Scale-up triggers when a
+    /// submit leaves jobs queued with nobody parked — every live worker is
+    /// mid-job, so depth can only shrink by growing the pool.
+    idle_workers: usize,
 }
 
 struct Shared {
@@ -60,41 +74,97 @@ struct Shared {
     /// Signals drainers: pending hit zero.
     idle: Condvar,
     capacity: usize,
+    /// Worker-count floor: scale-down never retires below this.
+    min_workers: usize,
+    /// Worker-count ceiling: scale-up never spawns above this.
+    max_workers: usize,
+    /// How long a surplus worker (live > min) idles before retiring.
+    /// Irrelevant when `min == max` — fixed pools use untimed waits.
+    idle_timeout: Duration,
     panics: AtomicU64,
 }
 
-/// A fixed-size worker pool over a bounded FIFO job queue.
+impl Shared {
+    fn autoscales(&self) -> bool {
+        self.min_workers != self.max_workers
+    }
+}
+
+/// A worker pool over a bounded FIFO job queue. Fixed-size via
+/// [`Pool::new`], or autoscaling within `[min, max]` via
+/// [`Pool::with_limits`].
 pub struct Pool {
     shared: Arc<Shared>,
-    workers: Vec<JoinHandle<()>>,
+    /// Join handles of every worker ever spawned (retired ones join
+    /// instantly at drop). Guarded: autoscale submits push new handles
+    /// through `&self`.
+    workers: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl Pool {
     /// Spawn `workers` threads (clamped to at least 1) serving a queue with
-    /// room for `queue_cap` waiting jobs (clamped to at least 1).
+    /// room for `queue_cap` waiting jobs (clamped to at least 1). The
+    /// worker count stays fixed for the pool's lifetime.
     pub fn new(workers: usize, queue_cap: usize) -> Pool {
+        let n = workers.max(1);
+        Pool::with_limits(n, n, queue_cap, Duration::from_millis(100))
+    }
+
+    /// Spawn an autoscaling pool: `min_workers` (clamped to at least 1)
+    /// start immediately; saturation — a submit that leaves jobs queued
+    /// while every live worker is busy — grows the pool one worker at a
+    /// time up to `max_workers`; a worker idle for `idle_timeout` with an
+    /// empty queue retires itself back down to `min_workers`.
+    pub fn with_limits(
+        min_workers: usize,
+        max_workers: usize,
+        queue_cap: usize,
+        idle_timeout: Duration,
+    ) -> Pool {
+        let min = min_workers.max(1);
+        let max = max_workers.max(min);
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
                 queue: VecDeque::new(),
                 pending: 0,
                 shutdown: false,
+                live: min,
+                idle_workers: 0,
             }),
             work: Condvar::new(),
             room: Condvar::new(),
             idle: Condvar::new(),
             capacity: queue_cap.max(1),
+            min_workers: min,
+            max_workers: max,
+            idle_timeout,
             panics: AtomicU64::new(0),
         });
-        let workers = (0..workers.max(1))
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("ad-defer-pool-{i}"))
-                    .spawn(move || worker_loop(&shared))
-                    .expect("spawning pool worker")
-            })
-            .collect();
-        Pool { shared, workers }
+        let workers = (0..min)
+            .map(|i| spawn_worker(&shared, i))
+            .collect::<Vec<_>>();
+        Pool {
+            shared,
+            workers: Mutex::new(workers),
+        }
+    }
+
+    /// Scale-up check, called after a job lands in the queue: if queued
+    /// jobs outnumber the workers parked to receive them, some job will
+    /// sit until a busy worker finishes — spawn one more (up to the
+    /// ceiling). `st` is the state lock, still held; `live` is bumped
+    /// under it so concurrent submits cannot overshoot `max_workers`.
+    fn maybe_grow(&self, st: &mut crate::sync::MutexGuard<'_, State>) {
+        if !self.shared.autoscales()
+            || st.queue.len() <= st.idle_workers
+            || st.live >= self.shared.max_workers
+        {
+            return;
+        }
+        st.live += 1;
+        let id = st.live - 1;
+        let handle = spawn_worker(&self.shared, id);
+        self.workers.lock().push(handle);
     }
 
     /// Queue a job, blocking while the queue is at capacity. Returns the
@@ -108,6 +178,7 @@ impl Pool {
         let depth = st.queue.len();
         st.queue.push_back(job);
         st.pending += 1;
+        self.maybe_grow(&mut st);
         drop(st);
         self.shared.work.notify_one();
         depth
@@ -128,6 +199,7 @@ impl Pool {
         let depth = st.queue.len();
         st.queue.push_back(job);
         st.pending += 1;
+        self.maybe_grow(&mut st);
         drop(st);
         self.shared.work.notify_one();
         Ok(depth)
@@ -158,9 +230,21 @@ impl Pool {
         self.shared.panics.load(Ordering::Relaxed)
     }
 
-    /// Number of worker threads.
+    /// Number of live worker threads right now (racy snapshot; varies
+    /// between the configured min and max on an autoscaling pool).
     pub fn worker_count(&self) -> usize {
-        self.workers.len()
+        self.shared.state.lock().live
+    }
+
+    /// The configured worker-count floor (equals the ceiling on a fixed
+    /// pool).
+    pub fn min_workers(&self) -> usize {
+        self.shared.min_workers
+    }
+
+    /// The configured worker-count ceiling.
+    pub fn max_workers(&self) -> usize {
+        self.shared.max_workers
     }
 
     /// Is the calling thread one of *this* pool's workers — i.e. is it
@@ -175,10 +259,21 @@ impl Pool {
 
     /// Would the calling thread deadlock by blocking until some *other*
     /// queued job of this pool completes? True exactly when the caller is
-    /// this pool's sole worker: whatever it waits for sits behind the job
-    /// it is running and can never be dispatched.
+    /// this pool's sole *live* worker: whatever it waits for sits behind
+    /// the job it is running and can never be dispatched. (Scale-up cannot
+    /// rescue the wait — growth triggers on submit, and the waited-on job
+    /// is already queued.)
     pub fn wait_would_self_deadlock(&self) -> bool {
-        self.current_thread_is_worker() && self.workers.len() == 1
+        self.current_thread_is_worker() && self.shared.state.lock().live == 1
+    }
+
+    /// Is the calling thread a worker of *any* pool (not necessarily this
+    /// one)? The cross-runtime cousin of
+    /// [`Pool::current_thread_is_worker`]: a worker of runtime A's pool
+    /// blocking on runtime B's deferred work ties up a thread B may itself
+    /// be waiting on — `ad-stm` reports it as the remote-wait hazard.
+    pub fn current_thread_is_any_worker() -> bool {
+        WORKER_OF.get() != 0
     }
 
     /// Drive an accept loop on the calling thread: pull items from `next`
@@ -207,6 +302,14 @@ impl Pool {
     }
 }
 
+fn spawn_worker(shared: &Arc<Shared>, id: usize) -> JoinHandle<()> {
+    let shared = Arc::clone(shared);
+    std::thread::Builder::new()
+        .name(format!("ad-defer-pool-{id}"))
+        .spawn(move || worker_loop(&shared))
+        .expect("spawning pool worker")
+}
+
 fn worker_loop(shared: &Arc<Shared>) {
     WORKER_OF.set(Arc::as_ptr(shared) as usize);
     loop {
@@ -217,9 +320,33 @@ fn worker_loop(shared: &Arc<Shared>) {
                     break job;
                 }
                 if st.shutdown {
+                    st.live -= 1;
                     return;
                 }
-                shared.work.wait(&mut st);
+                st.idle_workers += 1;
+                // Fixed pools wait untimed; surplus workers of an
+                // autoscaling pool retire after idling out. The timed wait
+                // is cfg-gated: the loom facade has no real clock (the
+                // pool is never exercised under the model checker anyway —
+                // it spawns OS threads).
+                #[cfg(not(loom))]
+                let timed_out = if shared.autoscales() {
+                    shared.work.wait_timeout(&mut st, shared.idle_timeout)
+                } else {
+                    shared.work.wait(&mut st);
+                    false
+                };
+                #[cfg(loom)]
+                let timed_out = {
+                    shared.work.wait(&mut st);
+                    false
+                };
+                st.idle_workers -= 1;
+                if timed_out && st.queue.is_empty() && !st.shutdown && st.live > shared.min_workers
+                {
+                    st.live -= 1;
+                    return;
+                }
             }
         };
         // A slot opened up; wake one blocked submitter.
@@ -249,7 +376,7 @@ impl Drop for Pool {
         }
         self.shared.work.notify_all();
         let me = std::thread::current().id();
-        for h in self.workers.drain(..) {
+        for h in self.workers.get_mut().drain(..) {
             if h.thread().id() != me {
                 let _ = h.join();
             }
@@ -260,7 +387,7 @@ impl Drop for Pool {
 impl std::fmt::Debug for Pool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Pool")
-            .field("workers", &self.workers.len())
+            .field("workers", &self.worker_count())
             .field("capacity", &self.shared.capacity)
             .field("queue_len", &self.queue_len())
             .finish()
@@ -448,6 +575,104 @@ mod tests {
         let (is_worker, hazard) = rx.recv_timeout(Duration::from_secs(10)).unwrap();
         assert!(is_worker);
         assert!(!hazard, "a second worker can still serve the queue");
+    }
+
+    #[test]
+    fn autoscale_grows_under_saturated_queue() {
+        // min=1, max=4. Park every worker on a gate; each further submit
+        // finds jobs queued and nobody idle, so the pool must grow one
+        // worker at a time until it pins at max.
+        let pool = Pool::with_limits(1, 4, 64, Duration::from_secs(3600));
+        assert_eq!(pool.worker_count(), 1);
+        assert_eq!(pool.min_workers(), 1);
+        assert_eq!(pool.max_workers(), 4);
+        let (gate_tx, gate_rx) = std::sync::mpsc::channel::<()>();
+        let gate_rx = Arc::new(Mutex::new(gate_rx));
+        // 8 gated jobs: enough to saturate 4 workers twice over.
+        for _ in 0..8 {
+            let gate_rx = Arc::clone(&gate_rx);
+            pool.submit(Box::new(move || {
+                let g = gate_rx.lock();
+                g.recv().unwrap();
+            }));
+        }
+        // Growth happens synchronously inside submit, so the count is
+        // already pinned at the ceiling.
+        assert_eq!(pool.worker_count(), 4, "saturated queue must scale to max");
+        for _ in 0..8 {
+            gate_tx.send(()).unwrap();
+        }
+        pool.drain();
+        assert_eq!(pool.worker_count(), 4, "no retirement before idle timeout");
+    }
+
+    #[test]
+    fn autoscale_shrinks_back_to_min_at_idle() {
+        let pool = Pool::with_limits(1, 4, 64, Duration::from_millis(10));
+        let (gate_tx, gate_rx) = std::sync::mpsc::channel::<()>();
+        let gate_rx = Arc::new(Mutex::new(gate_rx));
+        for _ in 0..6 {
+            let gate_rx = Arc::clone(&gate_rx);
+            pool.submit(Box::new(move || {
+                let g = gate_rx.lock();
+                g.recv().unwrap();
+            }));
+        }
+        assert_eq!(pool.worker_count(), 4);
+        for _ in 0..6 {
+            gate_tx.send(()).unwrap();
+        }
+        pool.drain();
+        // Surplus workers idle out; poll until the pool is back at min.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while pool.worker_count() > 1 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "pool stuck at {} workers",
+                pool.worker_count()
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(pool.worker_count(), 1, "idle pool must shrink to min");
+        // The shrunken pool still serves jobs.
+        let n = Arc::new(AtomicUsize::new(0));
+        let n2 = Arc::clone(&n);
+        pool.submit(Box::new(move || {
+            n2.fetch_add(1, Ordering::Relaxed);
+        }));
+        pool.drain();
+        assert_eq!(n.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn fixed_pool_never_scales() {
+        let pool = Pool::new(2, 8);
+        let (gate_tx, gate_rx) = std::sync::mpsc::channel::<()>();
+        let gate_rx = Arc::new(Mutex::new(gate_rx));
+        for _ in 0..6 {
+            let gate_rx = Arc::clone(&gate_rx);
+            pool.submit(Box::new(move || {
+                let g = gate_rx.lock();
+                g.recv().unwrap();
+            }));
+        }
+        assert_eq!(pool.worker_count(), 2, "Pool::new is min == max");
+        for _ in 0..6 {
+            gate_tx.send(()).unwrap();
+        }
+        pool.drain();
+        assert_eq!(pool.worker_count(), 2);
+    }
+
+    #[test]
+    fn any_worker_marker_sees_workers_of_every_pool() {
+        let pool = Pool::new(1, 4);
+        assert!(!Pool::current_thread_is_any_worker());
+        let (tx, rx) = std::sync::mpsc::channel();
+        pool.submit(Box::new(move || {
+            tx.send(Pool::current_thread_is_any_worker()).unwrap();
+        }));
+        assert!(rx.recv_timeout(Duration::from_secs(10)).unwrap());
     }
 
     #[test]

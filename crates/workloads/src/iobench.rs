@@ -115,7 +115,8 @@ impl IoBenchConfig {
     fn paths(&self, tag: &str) -> Vec<PathBuf> {
         // A process-unique run id keeps concurrently running benchmarks
         // (e.g. parallel tests) from colliding on file names.
-        static RUN: ad_support::sync::atomic::AtomicU64 = ad_support::sync::atomic::AtomicU64::new(0);
+        static RUN: ad_support::sync::atomic::AtomicU64 =
+            ad_support::sync::atomic::AtomicU64::new(0);
         let run = RUN.fetch_add(1, ad_support::sync::atomic::Ordering::Relaxed);
         (0..self.files)
             .map(|i| {
@@ -334,7 +335,12 @@ fn run_tm(
         }
     });
     let trace = capture_trace.then(|| rt.take_trace());
-    (elapsed, format!("{}", rt.stats()), rt.snapshot_stats(), trace)
+    (
+        elapsed,
+        format!("{}", rt.stats()),
+        rt.snapshot_stats(),
+        trace,
+    )
 }
 
 /// Count the records written across all benchmark files (verification

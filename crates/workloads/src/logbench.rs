@@ -93,7 +93,8 @@ impl LogBenchConfig {
     fn path(&self, tag: &str) -> PathBuf {
         // A process-unique run id keeps concurrently running benchmarks
         // (e.g. parallel tests) from colliding on file names.
-        static RUN: ad_support::sync::atomic::AtomicU64 = ad_support::sync::atomic::AtomicU64::new(0);
+        static RUN: ad_support::sync::atomic::AtomicU64 =
+            ad_support::sync::atomic::AtomicU64::new(0);
         let run = RUN.fetch_add(1, ad_support::sync::atomic::Ordering::Relaxed);
         self.dir.join(format!(
             "ad_logbench_{}_{run}_{tag}.log",

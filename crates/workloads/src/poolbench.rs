@@ -81,7 +81,8 @@ impl PoolBenchConfig {
     fn paths(&self, tag: &str) -> Vec<PathBuf> {
         // A process-unique run id keeps concurrently running benchmarks
         // (e.g. parallel tests) from colliding on file names.
-        static RUN: ad_support::sync::atomic::AtomicU64 = ad_support::sync::atomic::AtomicU64::new(0);
+        static RUN: ad_support::sync::atomic::AtomicU64 =
+            ad_support::sync::atomic::AtomicU64::new(0);
         let run = RUN.fetch_add(1, ad_support::sync::atomic::Ordering::Relaxed);
         (0..self.files)
             .map(|i| {

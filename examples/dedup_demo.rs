@@ -17,9 +17,7 @@ use ad_dedup::LockBackend;
 use ad_stm::{Runtime, TmConfig};
 
 fn main() {
-    let corpus = Arc::new(generate(
-        &CorpusParams::new(1 << 20).with_dup_ratio(0.6),
-    ));
+    let corpus = Arc::new(generate(&CorpusParams::new(1 << 20).with_dup_ratio(0.6)));
     println!("corpus: {} bytes, dup_ratio 0.6", corpus.len());
     let threads = 2;
 
@@ -54,9 +52,7 @@ fn main() {
         ),
     ];
 
-    println!(
-        "\n| backend | time | chunks | unique | ratio | notes |\n|---|---|---|---|---|---|"
-    );
+    println!("\n| backend | time | chunks | unique | ratio | notes |\n|---|---|---|---|---|---|");
     for backend in &backends {
         let report =
             run_pipeline_verified(&corpus, &PipelineConfig::tiny(threads), backend.as_ref());

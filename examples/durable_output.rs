@@ -47,7 +47,10 @@ fn main() {
         "journal: {:?}",
         String::from_utf8_lossy(&journal_bytes).trim()
     );
-    println!("index:   {:?}", String::from_utf8_lossy(&index_bytes).trim());
+    println!(
+        "index:   {:?}",
+        String::from_utf8_lossy(&index_bytes).trim()
+    );
     assert!(!journal_bytes.is_empty() && !index_bytes.is_empty());
 
     let _ = std::fs::remove_file(&journal_path);

@@ -26,7 +26,10 @@ fn main() {
             let store = std::sync::Arc::clone(&store);
             s.spawn(move || {
                 for i in 0..25 {
-                    store.put(&format!("user{t}:{i:02}"), format!("value-{t}-{i}").as_bytes());
+                    store.put(
+                        &format!("user{t}:{i:02}"),
+                        format!("value-{t}-{i}").as_bytes(),
+                    );
                 }
             });
         }
@@ -59,7 +62,11 @@ fn main() {
         report.ops,
         report.torn()
     );
-    assert_eq!(recovered.dump(), before, "recovery must reproduce the store");
+    assert_eq!(
+        recovered.dump(),
+        before,
+        "recovery must reproduce the store"
+    );
     assert_eq!(
         recovered.get("account:alice").as_deref(),
         Some("70".as_bytes())

@@ -50,11 +50,26 @@ fn dedup_all_backends_agree_and_verify() {
 
     // Every backend chunks identically, so chunk/unique counts must agree.
     for w in reports.windows(2) {
-        assert_eq!(w[0].total_chunks, w[1].total_chunks, "{} vs {}", w[0].label, w[1].label);
-        assert_eq!(w[0].unique_chunks, w[1].unique_chunks, "{} vs {}", w[0].label, w[1].label);
-        assert_eq!(w[0].bytes_out, w[1].bytes_out, "{} vs {}", w[0].label, w[1].label);
+        assert_eq!(
+            w[0].total_chunks, w[1].total_chunks,
+            "{} vs {}",
+            w[0].label, w[1].label
+        );
+        assert_eq!(
+            w[0].unique_chunks, w[1].unique_chunks,
+            "{} vs {}",
+            w[0].label, w[1].label
+        );
+        assert_eq!(
+            w[0].bytes_out, w[1].bytes_out,
+            "{} vs {}",
+            w[0].label, w[1].label
+        );
     }
-    assert!(reports[0].duplicate_chunks > 0, "corpus produced no duplicates");
+    assert!(
+        reports[0].duplicate_chunks > 0,
+        "corpus produced no duplicates"
+    );
 }
 
 #[test]
@@ -84,7 +99,10 @@ fn dedup_mechanism_signatures_match_the_paper() {
     .unwrap();
     run_pipeline_verified(&corpus, &PipelineConfig::tiny(2), &da);
     let s = da.runtime().stats();
-    assert_eq!(s.aborts_unsupported, 0, "DeferAll must never need serial mode: {s}");
+    assert_eq!(
+        s.aborts_unsupported, 0,
+        "DeferAll must never need serial mode: {s}"
+    );
     assert!(s.deferred_ops > 0);
 
     // HTM baseline: compression overflows capacity.

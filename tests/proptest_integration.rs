@@ -6,10 +6,10 @@
 use ad_support::prng::Rng;
 use std::sync::Arc;
 
-use ad_defer::{atomic_defer, Defer};
 use ad_dedup::backend::tm::{TmBackend, TmFlavor};
 use ad_dedup::backend::{BackendConfig, SinkTarget};
 use ad_dedup::pipeline::{run_pipeline_verified, PipelineConfig};
+use ad_defer::{atomic_defer, Defer};
 use ad_stm::{Runtime, TVar, TmConfig};
 
 /// The dedup pipeline reconstructs ARBITRARY byte streams (not just the
